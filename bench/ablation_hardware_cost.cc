@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The paper's closing cost argument (section 4): the SBTB/CBTB must
+ * sit on-chip and their storage "increase[s] linearly with k" (each
+ * entry holds the first k target instructions), while the Forward
+ * Semantic's cost is off-chip code bytes.
+ *
+ * This bench quantifies both sides: BTB storage bits as a function of
+ * k for the paper's 256-entry geometry, against the measured FS
+ * code-size increase at the matching k + l.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace branchlab;
+
+    // Storage model for one fully-associative entry:
+    //   tag (30b) + valid (1b) + target (30b) + counter (2b, CBTB)
+    //   + k instructions x 32b.
+    const auto btb_bits = [](unsigned k, bool counter) {
+        const std::uint64_t entry =
+            30 + 1 + 30 + (counter ? 2 : 0) +
+            static_cast<std::uint64_t>(k) * 32;
+        return 256 * entry;
+    };
+
+    core::ExperimentConfig config = bench::paperConfig();
+    config.runStaticSchemes = false;
+    const auto results = bench::runSuite(config);
+
+    double avg_increase[9] = {};
+    for (const auto &r : results) {
+        for (const auto &[slots, inc] : r.codeIncrease) {
+            if (slots < 9)
+                avg_increase[slots] += inc / 10.0;
+        }
+    }
+
+    bench::printCaption(
+        "Hardware storage vs software code growth (paper section 4)");
+    TextTable table({"k", "SBTB bits", "CBTB bits", "on-chip KiB",
+                     "FS code growth (k+l=k)"});
+    for (unsigned k : {1u, 2u, 4u, 8u}) {
+        const std::uint64_t sbtb = btb_bits(k, false);
+        const std::uint64_t cbtb = btb_bits(k, true);
+        table.addRow(
+            {std::to_string(k), std::to_string(sbtb),
+             std::to_string(cbtb),
+             formatFixed(static_cast<double>(cbtb) / 8.0 / 1024.0, 1),
+             formatPercent(avg_increase[k], 2)});
+    }
+    table.render(std::cout);
+
+    std::cout
+        << "\nShape: BTB storage grows linearly in k (the paper's "
+           "closing point), reaching\n~10 on-chip KiB at k = 8 -- a "
+           "large fraction of a 1989 die -- while the FS\npays a "
+           "comparable percentage in off-chip code bytes instead.\n";
+    return 0;
+}

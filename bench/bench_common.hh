@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared scaffolding for the reproduction benches: run the full
+ * ten-benchmark suite with the paper's configuration and hand the
+ * results to each table/figure printer.
+ */
+
+#ifndef BRANCHLAB_BENCH_COMMON_HH
+#define BRANCHLAB_BENCH_COMMON_HH
+
+#include <iostream>
+
+#include "core/runner.hh"
+#include "core/tables.hh"
+#include "support/logging.hh"
+
+namespace branchlab::bench
+{
+
+/** The paper's configuration (256-entry fully-assoc LRU, 2-bit T=2). */
+inline core::ExperimentConfig
+paperConfig()
+{
+    core::ExperimentConfig config;
+    return config;
+}
+
+/** Run the whole suite once, with a progress note per benchmark. */
+inline std::vector<core::BenchmarkResult>
+runSuite(const core::ExperimentConfig &config = paperConfig(),
+         bool verbose = true)
+{
+    core::ExperimentRunner runner(config);
+    std::vector<core::BenchmarkResult> results;
+    for (const workloads::Workload *workload : workloads::allWorkloads()) {
+        if (verbose)
+            std::cerr << "  running " << workload->name() << "...\n";
+        results.push_back(runner.runBenchmark(*workload));
+    }
+    return results;
+}
+
+/** Print a header in the style of the paper's table captions. */
+inline void
+printCaption(const std::string &caption)
+{
+    std::cout << "\n" << caption << "\n"
+              << std::string(caption.size(), '=') << "\n";
+}
+
+} // namespace branchlab::bench
+
+#endif // BRANCHLAB_BENCH_COMMON_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrate
+ * itself: predictor predict+update throughput, associative-buffer
+ * lookups, and raw VM interpretation speed. These gate how large an
+ * input suite the reproduction can afford.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+#include "predict/cbtb.hh"
+#include "predict/profile_predictor.hh"
+#include "predict/sbtb.hh"
+#include "support/random.hh"
+#include "vm/machine.hh"
+
+using namespace branchlab;
+
+namespace
+{
+
+/** A synthetic branch stream with realistic locality. */
+std::vector<trace::BranchEvent>
+makeStream(std::size_t count, std::size_t working_set)
+{
+    Rng rng(42);
+    std::vector<trace::BranchEvent> events;
+    events.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        trace::BranchEvent ev;
+        ev.pc = 0x1000 + rng.nextBelow(working_set) * 7;
+        ev.conditional = rng.nextBool(0.75);
+        ev.taken = ev.conditional ? rng.nextBool(0.4) : true;
+        ev.targetAddr = ev.pc + 100;
+        ev.fallthroughAddr = ev.pc + 1;
+        ev.nextPc = ev.taken ? ev.targetAddr : ev.fallthroughAddr;
+        ev.op = ev.conditional ? ir::Opcode::Beq : ir::Opcode::Jmp;
+        events.push_back(ev);
+    }
+    return events;
+}
+
+template <typename Predictor>
+void
+predictorThroughput(benchmark::State &state)
+{
+    const auto events = makeStream(1 << 14, 512);
+    Predictor predictor;
+    for (auto _ : state) {
+        for (const trace::BranchEvent &ev : events) {
+            const predict::BranchQuery query = predict::makeQuery(ev);
+            benchmark::DoNotOptimize(predictor.predict(query));
+            predictor.update(query, ev);
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(events.size()));
+}
+
+void
+BM_SbtbThroughput(benchmark::State &state)
+{
+    predictorThroughput<predict::SimpleBtb>(state);
+}
+
+void
+BM_CbtbThroughput(benchmark::State &state)
+{
+    predictorThroughput<predict::CounterBtb>(state);
+}
+
+void
+BM_VmInterpreterSpeed(benchmark::State &state)
+{
+    // Tight arithmetic loop: measures raw dispatch cost.
+    ir::Program prog("vmspeed");
+    ir::IrBuilder b(prog);
+    b.beginFunction("main");
+    const ir::Reg acc = b.newReg();
+    const ir::Reg i = b.newReg();
+    b.ldiTo(acc, 0);
+    b.forRangeImm(i, 0, 100'000, [&] {
+        const ir::Reg x = b.muli(i, 3);
+        const ir::Reg y = b.bitXori(x, 0x55);
+        b.emitBinaryTo(ir::Opcode::Add, acc, acc, y);
+    });
+    b.out(acc, 1);
+    b.halt();
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        vm::Machine machine(prog, layout);
+        const vm::RunResult result = machine.run();
+        instructions += result.instructions;
+        benchmark::DoNotOptimize(result.instructions);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+
+BENCHMARK(BM_SbtbThroughput);
+BENCHMARK(BM_CbtbThroughput);
+BENCHMARK(BM_VmInterpreterSpeed);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Build everything, run the full test suite, and regenerate every
+# paper table/figure, capturing both logs at the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,37 @@
+#include "core/experiment.hh"
+
+#include "support/logging.hh"
+#include "support/stats.hh"
+
+namespace branchlab::core
+{
+
+const SchemeResult &
+BenchmarkResult::scheme(const std::string &scheme_name) const
+{
+    if (scheme_name == "SBTB")
+        return sbtb;
+    if (scheme_name == "CBTB")
+        return cbtb;
+    if (scheme_name == "FS")
+        return fs;
+    for (const SchemeResult &result : staticSchemes) {
+        if (result.scheme == scheme_name)
+            return result;
+    }
+    blab_fatal("no scheme result named '", scheme_name, "' for '", name,
+               "'");
+}
+
+Summary
+summarize(const std::vector<double> &values)
+{
+    RunningStat stat;
+    for (double v : values)
+        stat.addSample(v);
+    // The paper reports sample standard deviations over the ten
+    // benchmarks.
+    return Summary{stat.mean(), stat.sampleStddev()};
+}
+
+} // namespace branchlab::core

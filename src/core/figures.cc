@@ -1,0 +1,118 @@
+#include "core/figures.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/tables.hh"
+#include "pipeline/cost_model.hh"
+#include "support/logging.hh"
+#include "support/stats.hh"
+
+namespace branchlab::core
+{
+
+FigurePanel
+makeFigurePanel(const std::vector<BenchmarkResult> &results, unsigned k,
+                unsigned x_max)
+{
+    FigurePanel panel;
+    panel.k = k;
+    panel.xMax = x_max;
+    const struct
+    {
+        const char *label;
+        const char *scheme;
+    } schemes[] = {
+        {"SBTB", "SBTB"},
+        {"CBTB", "CBTB"},
+        {"FS", "FS"},
+    };
+    for (const auto &entry : schemes) {
+        FigureSeries series;
+        series.label = entry.label;
+        series.values = pipeline::figureSeries(
+            averageAccuracy(results, entry.scheme), k, x_max);
+        panel.series.push_back(std::move(series));
+    }
+    return panel;
+}
+
+TextTable
+panelTable(const FigurePanel &panel)
+{
+    std::vector<std::string> headers{"l+m"};
+    for (const FigureSeries &series : panel.series)
+        headers.push_back(series.label);
+    TextTable table(headers);
+    for (unsigned x = 0; x <= panel.xMax; ++x) {
+        std::vector<std::string> row{std::to_string(x)};
+        for (const FigureSeries &series : panel.series)
+            row.push_back(formatFixed(series.values[x], 3));
+        table.addRow(row);
+    }
+    return table;
+}
+
+std::string
+renderAsciiChart(const FigurePanel &panel, unsigned height)
+{
+    blab_assert(height >= 4, "chart too short");
+    blab_assert(!panel.series.empty(), "empty panel");
+
+    double lo = panel.series[0].values[0];
+    double hi = lo;
+    for (const FigureSeries &series : panel.series) {
+        for (double v : series.values) {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+    if (hi - lo < 1e-9)
+        hi = lo + 1.0;
+
+    const unsigned width = panel.xMax + 1;
+    const unsigned col_stride = 5; // columns per x step
+    std::vector<std::string> canvas(
+        height, std::string(width * col_stride, ' '));
+    const char marks[] = {'#', '+', '.'};
+
+    for (std::size_t s = 0; s < panel.series.size(); ++s) {
+        for (unsigned x = 0; x < width; ++x) {
+            const double v = panel.series[s].values[x];
+            const auto row = static_cast<unsigned>(
+                std::lround((hi - v) / (hi - lo) *
+                            static_cast<double>(height - 1)));
+            canvas[row][x * col_stride + 2] =
+                marks[std::min<std::size_t>(s, 2)];
+        }
+    }
+
+    std::ostringstream os;
+    os << "branch cost vs l-bar+m-bar, k=" << panel.k << "  (";
+    for (std::size_t s = 0; s < panel.series.size(); ++s) {
+        if (s > 0)
+            os << ", ";
+        os << marks[std::min<std::size_t>(s, 2)] << "="
+           << panel.series[s].label;
+    }
+    os << ")\n";
+    for (unsigned row = 0; row < height; ++row) {
+        const double level =
+            hi - (hi - lo) * static_cast<double>(row) /
+                     static_cast<double>(height - 1);
+        os << formatFixed(level, 2) << " |" << canvas[row] << "\n";
+    }
+    os << "      +";
+    os << std::string(width * col_stride, '-') << "\n";
+    os << "       ";
+    for (unsigned x = 0; x < width; ++x) {
+        std::string label = std::to_string(x);
+        label.resize(col_stride, ' ');
+        os << label;
+    }
+    os << "\n";
+    return os.str();
+}
+
+} // namespace branchlab::core

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 3/4 reproduction: branch cost vs l-bar + m-bar curves for
+ * k = 1, 2, 4, 8 for the three schemes, with an ASCII renderer for
+ * the bench harness.
+ */
+
+#ifndef BRANCHLAB_CORE_FIGURES_HH
+#define BRANCHLAB_CORE_FIGURES_HH
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "support/table.hh"
+
+namespace branchlab::core
+{
+
+/** One plotted curve. */
+struct FigureSeries
+{
+    std::string label;
+    std::vector<double> values; ///< y at x = 0..values.size()-1
+};
+
+/** The data of one figure panel (fixed k). */
+struct FigurePanel
+{
+    unsigned k = 1;
+    /** x axis: l-bar + m-bar from 0 to xMax. */
+    unsigned xMax = 10;
+    std::vector<FigureSeries> series; ///< SBTB, CBTB, FS.
+};
+
+/**
+ * Build the panel for one k from suite-average accuracies, as the
+ * paper does ("the averages from Table 3 of A were used").
+ */
+FigurePanel makeFigurePanel(const std::vector<BenchmarkResult> &results,
+                            unsigned k, unsigned x_max = 10);
+
+/** Tabulate a panel (x, then one column per series). */
+TextTable panelTable(const FigurePanel &panel);
+
+/** Render a panel as an ASCII chart (rows = cost, cols = x). */
+std::string renderAsciiChart(const FigurePanel &panel, unsigned height = 18);
+
+} // namespace branchlab::core
+
+#endif // BRANCHLAB_CORE_FIGURES_HH

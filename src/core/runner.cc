@@ -1,0 +1,194 @@
+#include "core/runner.hh"
+
+#include "ir/verifier.hh"
+#include "predict/flushing.hh"
+#include "predict/profile_predictor.hh"
+#include "predict/static_predictors.hh"
+#include "profile/profile.hh"
+#include "support/logging.hh"
+#include "trace/record.hh"
+#include "vm/machine.hh"
+
+namespace branchlab::core
+{
+
+namespace
+{
+
+/** Execute every input of a suite, feeding one sink. */
+void
+runSuite(const ir::Program &program, const ir::Layout &layout,
+         const std::vector<workloads::WorkloadInput> &inputs,
+         trace::TraceSink &sink, trace::TraceStats *stats,
+         std::uint64_t max_instructions)
+{
+    for (const workloads::WorkloadInput &input : inputs) {
+        vm::Machine machine(program, layout);
+        for (std::size_t chan = 0; chan < input.channels.size(); ++chan) {
+            machine.setInput(static_cast<int>(chan),
+                             input.channels[chan]);
+        }
+        machine.setSink(&sink);
+        vm::RunLimits limits;
+        limits.maxInstructions = max_instructions;
+        const vm::RunResult result = machine.run(limits);
+        if (result.reason == vm::StopReason::InstructionLimit) {
+            blab_fatal("workload '", program.name(),
+                       "' exceeded the instruction limit on input '",
+                       input.description, "'");
+        }
+        if (stats != nullptr)
+            stats->addInstructions(result.instructions);
+    }
+}
+
+} // namespace
+
+BenchmarkResult
+ExperimentRunner::runBenchmark(const workloads::Workload &workload) const
+{
+    BenchmarkResult result;
+    result.name = workload.name();
+
+    const ir::Program program = workload.buildProgram();
+    ir::verifyProgramOrDie(program);
+    const ir::Layout layout(program);
+    result.staticSize = program.staticSize();
+
+    const unsigned runs = config_.runsOverride != 0
+                              ? config_.runsOverride
+                              : workload.defaultRuns();
+    result.runs = runs;
+
+    // Deterministic per-benchmark input stream.
+    Rng rng(config_.seed ^ hashString(workload.name()));
+    const std::vector<workloads::WorkloadInput> inputs =
+        workload.makeInputs(rng, runs);
+
+    // ---- Pass 1: hardware schemes, statics, profile, statistics. ----
+    predict::SimpleBtb sbtb(config_.btb);
+    predict::CounterBtb cbtb(config_.btb, config_.counter);
+    predict::PredictionDriver sbtb_driver(sbtb);
+    predict::PredictionDriver cbtb_driver(cbtb);
+
+    predict::AlwaysTaken always_taken;
+    predict::AlwaysNotTaken always_not_taken;
+    predict::BackwardTaken btfnt;
+    predict::OpcodeBias opcode_bias;
+    std::vector<predict::PredictionDriver> static_drivers;
+    static_drivers.reserve(4);
+    if (config_.runStaticSchemes) {
+        static_drivers.emplace_back(always_taken);
+        static_drivers.emplace_back(always_not_taken);
+        static_drivers.emplace_back(btfnt);
+        static_drivers.emplace_back(opcode_bias);
+    }
+
+    profile::ProgramProfile profile(program, layout);
+
+    trace::FanoutSink fanout;
+    fanout.addSink(&sbtb_driver);
+    fanout.addSink(&cbtb_driver);
+    for (predict::PredictionDriver &driver : static_drivers)
+        fanout.addSink(&driver);
+    fanout.addSink(&profile);
+    fanout.addSink(&result.stats);
+
+    for (unsigned r = 0; r < runs; ++r)
+        profile.noteRun();
+    runSuite(program, layout, inputs, fanout, &result.stats,
+             config_.maxInstructionsPerRun);
+
+    result.sbtb = SchemeResult{"SBTB",
+                               sbtb_driver.stats().accuracy.ratio(),
+                               sbtb.missRatio(), true};
+    result.cbtb = SchemeResult{"CBTB",
+                               cbtb_driver.stats().accuracy.ratio(),
+                               cbtb.missRatio(), true};
+    if (config_.runStaticSchemes) {
+        const char *names[] = {"always-taken", "always-not-taken",
+                               "btfnt", "opcode-bias"};
+        for (std::size_t i = 0; i < static_drivers.size(); ++i) {
+            result.staticSchemes.push_back(SchemeResult{
+                names[i], static_drivers[i].stats().accuracy.ratio(),
+                0.0, false});
+        }
+    }
+
+    // ---- Pass 2: the Forward Semantic over the same runs. ----
+    predict::ProfilePredictor fs(profile.buildLikelyMap());
+    predict::PredictionDriver fs_driver(fs);
+    runSuite(program, layout, inputs, fs_driver, nullptr,
+             config_.maxInstructionsPerRun);
+    result.fs = SchemeResult{"FS", fs_driver.stats().accuracy.ratio(),
+                             0.0, false};
+
+    // ---- Code-size transformation (Table 5). ----
+    if (config_.runCodeSize) {
+        for (unsigned slots : config_.codeSizeSlots) {
+            profile::FsConfig fs_config;
+            fs_config.slotCount = slots;
+            fs_config.trace.minArcProbability = config_.traceThreshold;
+            const profile::FsResult image =
+                profile::ForwardSlotFiller(profile, fs_config).build();
+            result.codeIncrease[slots] = image.codeSizeIncrease();
+        }
+    }
+
+    return result;
+}
+
+RecordedWorkload
+recordWorkload(const workloads::Workload &workload,
+               const ExperimentConfig &config)
+{
+    RecordedWorkload recorded;
+    recorded.name = workload.name();
+    recorded.program =
+        std::make_unique<ir::Program>(workload.buildProgram());
+    ir::verifyProgramOrDie(*recorded.program);
+    recorded.layout = std::make_unique<ir::Layout>(*recorded.program);
+
+    const unsigned runs = config.runsOverride != 0
+                              ? config.runsOverride
+                              : workload.defaultRuns();
+    Rng rng(config.seed ^ hashString(workload.name()));
+    const std::vector<workloads::WorkloadInput> inputs =
+        workload.makeInputs(rng, runs);
+
+    trace::BranchRecorder recorder;
+    profile::ProgramProfile profile(*recorded.program, *recorded.layout);
+    for (unsigned r = 0; r < runs; ++r)
+        profile.noteRun();
+    trace::FanoutSink fanout;
+    fanout.addSink(&recorder);
+    fanout.addSink(&profile);
+    fanout.addSink(&recorded.stats);
+    runSuite(*recorded.program, *recorded.layout, inputs, fanout,
+             &recorded.stats, config.maxInstructionsPerRun);
+
+    recorded.events = recorder.events();
+    recorded.likelyMap = profile.buildLikelyMap();
+    return recorded;
+}
+
+double
+replayAccuracy(const RecordedWorkload &recorded,
+               predict::BranchPredictor &predictor)
+{
+    predict::PredictionDriver driver(predictor);
+    for (const trace::BranchEvent &event : recorded.events)
+        driver.onBranch(event);
+    return driver.stats().accuracy.ratio();
+}
+
+std::vector<BenchmarkResult>
+ExperimentRunner::runAll() const
+{
+    std::vector<BenchmarkResult> results;
+    for (const workloads::Workload *workload : workloads::allWorkloads())
+        results.push_back(runBenchmark(*workload));
+    return results;
+}
+
+} // namespace branchlab::core

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The experiment runner: builds a workload's program, executes its
+ * input suite on the VM, drives every prediction scheme over the
+ * branch stream, and applies the Forward Semantic transformation.
+ *
+ * Methodology follows the paper's section 3: the exact same inputs
+ * drive all schemes; the hardware schemes observe the stream online
+ * while the Forward Semantic profiles the full suite first and is
+ * then measured over the same runs (the paper's profile-equals-
+ * measurement setup). Two passes over deterministic inputs replay
+ * identical streams.
+ */
+
+#ifndef BRANCHLAB_CORE_RUNNER_HH
+#define BRANCHLAB_CORE_RUNNER_HH
+
+#include <memory>
+
+#include "core/experiment.hh"
+#include "ir/layout.hh"
+#include "predict/profile_predictor.hh"
+#include "trace/event.hh"
+#include "workloads/workload.hh"
+
+namespace branchlab::core
+{
+
+/**
+ * One workload's recorded branch stream plus everything needed to
+ * replay it against arbitrary predictors (ablation benches, tests).
+ * The program and layout are owned here because events reference
+ * their addresses.
+ */
+struct RecordedWorkload
+{
+    std::string name;
+    std::unique_ptr<ir::Program> program;
+    std::unique_ptr<ir::Layout> layout;
+    std::vector<trace::BranchEvent> events;
+    trace::TraceStats stats;
+    /** The Forward Semantic's compiled-in predictions, profiled over
+     *  exactly these events. */
+    predict::LikelyMap likelyMap;
+};
+
+/** Execute a workload's input suite once, recording the stream. */
+RecordedWorkload
+recordWorkload(const workloads::Workload &workload,
+               const ExperimentConfig &config = ExperimentConfig{});
+
+/** Replay recorded events against a predictor; returns its accuracy. */
+double replayAccuracy(const RecordedWorkload &recorded,
+                      predict::BranchPredictor &predictor);
+
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(ExperimentConfig config = ExperimentConfig{})
+        : config_(config)
+    {}
+
+    /** Run one benchmark end to end. */
+    BenchmarkResult runBenchmark(const workloads::Workload &workload) const;
+
+    /** Run the full ten-benchmark suite (Table 1 order). */
+    std::vector<BenchmarkResult> runAll() const;
+
+    const ExperimentConfig &config() const { return config_; }
+
+  private:
+    ExperimentConfig config_;
+};
+
+} // namespace branchlab::core
+
+#endif // BRANCHLAB_CORE_RUNNER_HH

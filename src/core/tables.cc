@@ -1,0 +1,230 @@
+#include "core/tables.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "pipeline/cost_model.hh"
+#include "support/logging.hh"
+#include "support/stats.hh"
+
+namespace branchlab::core
+{
+
+namespace
+{
+
+std::string
+formatCount(std::uint64_t value)
+{
+    // Render like the paper: millions with one decimal.
+    if (value >= 1'000'000) {
+        return formatFixed(static_cast<double>(value) / 1e6, 1) + "M";
+    }
+    if (value >= 1'000) {
+        return formatFixed(static_cast<double>(value) / 1e3, 1) + "K";
+    }
+    return std::to_string(value);
+}
+
+} // namespace
+
+double
+averageAccuracy(const std::vector<BenchmarkResult> &results,
+                const std::string &scheme)
+{
+    blab_assert(!results.empty(), "no results");
+    double sum = 0.0;
+    for (const BenchmarkResult &r : results)
+        sum += r.scheme(scheme).accuracy;
+    return sum / static_cast<double>(results.size());
+}
+
+TextTable
+makeTable1(const std::vector<BenchmarkResult> &results)
+{
+    TextTable table({"Benchmark", "Static", "Runs", "Inst.", "Control",
+                     "Inst/branch"});
+    for (const BenchmarkResult &r : results) {
+        table.addRow({r.name, std::to_string(r.staticSize),
+                      std::to_string(r.runs),
+                      formatCount(r.stats.instructions()),
+                      formatPercent(r.stats.controlFraction(), 0),
+                      formatFixed(r.stats.instructionsPerBranch(), 1)});
+    }
+    return table;
+}
+
+TextTable
+makeTable2(const std::vector<BenchmarkResult> &results)
+{
+    TextTable table({"Benchmark", "Cond taken", "Cond not", "Unc known",
+                     "Unc unknown"});
+    std::vector<double> taken, known;
+    for (const BenchmarkResult &r : results) {
+        const double t = r.stats.conditionalTakenFraction();
+        const double k = r.stats.unconditionalKnownFraction();
+        taken.push_back(t);
+        known.push_back(k);
+        table.addRow({r.name, formatPercent(t, 0),
+                      formatPercent(1.0 - t, 0), formatPercent(k, 0),
+                      formatPercent(1.0 - k, 0)});
+    }
+    table.addSeparator();
+    const Summary ts = summarize(taken);
+    const Summary ks = summarize(known);
+    table.addRow({"Average", formatPercent(ts.mean, 0),
+                  formatPercent(1.0 - ts.mean, 0),
+                  formatPercent(ks.mean, 0),
+                  formatPercent(1.0 - ks.mean, 1)});
+    return table;
+}
+
+TextTable
+makeTable3(const std::vector<BenchmarkResult> &results)
+{
+    TextTable table({"Benchmark", "rho_SBTB", "A_SBTB", "rho_CBTB",
+                     "A_CBTB", "A_FS"});
+    std::vector<double> rho_s, a_s, rho_c, a_c, a_f;
+    for (const BenchmarkResult &r : results) {
+        rho_s.push_back(r.sbtb.missRatio);
+        a_s.push_back(r.sbtb.accuracy);
+        rho_c.push_back(r.cbtb.missRatio);
+        a_c.push_back(r.cbtb.accuracy);
+        a_f.push_back(r.fs.accuracy);
+        table.addRow({r.name, formatFixed(r.sbtb.missRatio, 2),
+                      formatPercent(r.sbtb.accuracy, 1),
+                      formatFixed(r.cbtb.missRatio, 4),
+                      formatPercent(r.cbtb.accuracy, 1),
+                      formatPercent(r.fs.accuracy, 1)});
+    }
+    table.addSeparator();
+    const Summary s_rho_s = summarize(rho_s);
+    const Summary s_a_s = summarize(a_s);
+    const Summary s_rho_c = summarize(rho_c);
+    const Summary s_a_c = summarize(a_c);
+    const Summary s_a_f = summarize(a_f);
+    table.addRow({"Average", formatFixed(s_rho_s.mean, 2),
+                  formatPercent(s_a_s.mean, 1),
+                  formatFixed(s_rho_c.mean, 4),
+                  formatPercent(s_a_c.mean, 1),
+                  formatPercent(s_a_f.mean, 1)});
+    table.addRow({"Std. dev.", formatFixed(s_rho_s.stddev, 2),
+                  formatPercent(s_a_s.stddev, 2),
+                  formatFixed(s_rho_c.stddev, 4),
+                  formatPercent(s_a_c.stddev, 2),
+                  formatPercent(s_a_f.stddev, 2)});
+    return table;
+}
+
+TextTable
+makeTable4(const std::vector<BenchmarkResult> &results)
+{
+    // k + l-bar = 2 and 3 with m-bar = 1: flush depths 3 and 4.
+    TextTable table({"Benchmark", "SBTB(2)", "CBTB(2)", "FS(2)",
+                     "SBTB(3)", "CBTB(3)", "FS(3)"});
+    std::vector<double> costs[6];
+    for (const BenchmarkResult &r : results) {
+        const double values[6] = {
+            pipeline::branchCost(r.sbtb.accuracy, 3.0),
+            pipeline::branchCost(r.cbtb.accuracy, 3.0),
+            pipeline::branchCost(r.fs.accuracy, 3.0),
+            pipeline::branchCost(r.sbtb.accuracy, 4.0),
+            pipeline::branchCost(r.cbtb.accuracy, 4.0),
+            pipeline::branchCost(r.fs.accuracy, 4.0),
+        };
+        std::vector<std::string> row{r.name};
+        for (int i = 0; i < 6; ++i) {
+            costs[i].push_back(values[i]);
+            row.push_back(formatFixed(values[i], 2));
+        }
+        table.addRow(row);
+    }
+    table.addSeparator();
+    std::vector<std::string> avg{"Average"}, dev{"Std. dev."};
+    for (auto &column : costs) {
+        const Summary s = summarize(column);
+        avg.push_back(formatFixed(s.mean, 2));
+        dev.push_back(formatFixed(s.stddev, 3));
+    }
+    table.addRow(avg);
+    table.addRow(dev);
+    return table;
+}
+
+std::vector<double>
+table4GrowthPercents(const std::vector<BenchmarkResult> &results)
+{
+    // Average per-benchmark percentage increase in branch cost going
+    // from flush depth 3 to 4 (the paper's 7.7 / 6.9 / 5.3 numbers).
+    double growth[3] = {0.0, 0.0, 0.0};
+    for (const BenchmarkResult &r : results) {
+        const double acc[3] = {r.sbtb.accuracy, r.cbtb.accuracy,
+                               r.fs.accuracy};
+        for (int i = 0; i < 3; ++i)
+            growth[i] += pipeline::costGrowthPercent(acc[i], 3.0, 4.0);
+    }
+    const auto n = static_cast<double>(results.size());
+    return {growth[0] / n, growth[1] / n, growth[2] / n};
+}
+
+TextTable
+makeTable5(const std::vector<BenchmarkResult> &results)
+{
+    blab_assert(!results.empty(), "no results");
+    std::vector<unsigned> slot_counts;
+    for (const auto &[slots, increase] : results.front().codeIncrease)
+        slot_counts.push_back(slots);
+
+    std::vector<std::string> headers{"Benchmark"};
+    for (unsigned slots : slot_counts)
+        headers.push_back("k+l=" + std::to_string(slots));
+    TextTable table(headers);
+
+    std::vector<std::vector<double>> columns(slot_counts.size());
+    for (const BenchmarkResult &r : results) {
+        std::vector<std::string> row{r.name};
+        for (std::size_t i = 0; i < slot_counts.size(); ++i) {
+            const double inc = r.codeIncrease.at(slot_counts[i]);
+            columns[i].push_back(inc);
+            row.push_back(formatPercent(inc, 2));
+        }
+        table.addRow(row);
+    }
+    table.addSeparator();
+    std::vector<std::string> avg{"Average"}, dev{"Std. dev."};
+    for (auto &column : columns) {
+        const Summary s = summarize(column);
+        avg.push_back(formatPercent(s.mean, 2));
+        dev.push_back(formatPercent(s.stddev, 2));
+    }
+    table.addRow(avg);
+    table.addRow(dev);
+    return table;
+}
+
+TextTable
+makeStaticSchemeTable(const std::vector<BenchmarkResult> &results)
+{
+    TextTable table({"Benchmark", "always-taken", "always-not-taken",
+                     "btfnt", "opcode-bias"});
+    std::vector<double> cols[4];
+    for (const BenchmarkResult &r : results) {
+        std::vector<std::string> row{r.name};
+        const char *names[] = {"always-taken", "always-not-taken",
+                               "btfnt", "opcode-bias"};
+        for (int i = 0; i < 4; ++i) {
+            const double a = r.scheme(names[i]).accuracy;
+            cols[i].push_back(a);
+            row.push_back(formatPercent(a, 1));
+        }
+        table.addRow(row);
+    }
+    table.addSeparator();
+    std::vector<std::string> avg{"Average"};
+    for (auto &column : cols)
+        avg.push_back(formatPercent(summarize(column).mean, 1));
+    table.addRow(avg);
+    return table;
+}
+
+} // namespace branchlab::core

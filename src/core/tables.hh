@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Formatters that render the experiment results as the paper's
+ * Tables 1-5 (plus the extra static-scheme and ablation tables).
+ */
+
+#ifndef BRANCHLAB_CORE_TABLES_HH
+#define BRANCHLAB_CORE_TABLES_HH
+
+#include "core/experiment.hh"
+#include "support/table.hh"
+
+namespace branchlab::core
+{
+
+/** Table 1: benchmark characteristics. */
+TextTable makeTable1(const std::vector<BenchmarkResult> &results);
+
+/** Table 2: branch statistics (taken/not, known/unknown). */
+TextTable makeTable2(const std::vector<BenchmarkResult> &results);
+
+/** Table 3: rho and A per scheme, with average and std. dev. rows. */
+TextTable makeTable3(const std::vector<BenchmarkResult> &results);
+
+/**
+ * Table 4: branch cost for k + l-bar = 2 and 3 at m-bar = 1, with the
+ * average-percentage-increase scaling rows the paper quotes in the
+ * text (7.7% / 6.9% / 5.3%).
+ */
+TextTable makeTable4(const std::vector<BenchmarkResult> &results);
+
+/** The Table 4 scaling sentence data: average % cost increase per
+ *  scheme going from k + l-bar = 2 to 3. */
+std::vector<double>
+table4GrowthPercents(const std::vector<BenchmarkResult> &results);
+
+/** Table 5: percentage code-size increase vs k + l. */
+TextTable makeTable5(const std::vector<BenchmarkResult> &results);
+
+/** Extra: section 1's static schemes. */
+TextTable makeStaticSchemeTable(
+    const std::vector<BenchmarkResult> &results);
+
+/** Suite-average accuracy of one scheme ("SBTB"/"CBTB"/"FS"/...). */
+double averageAccuracy(const std::vector<BenchmarkResult> &results,
+                       const std::string &scheme);
+
+} // namespace branchlab::core
+
+#endif // BRANCHLAB_CORE_TABLES_HH

@@ -1,0 +1,76 @@
+#include "ir/basic_block.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace branchlab::ir
+{
+
+void
+BasicBlock::append(Instruction inst)
+{
+    blab_assert(!isSealed(), "appending to sealed block '", label_, "'");
+    insts_.push_back(std::move(inst));
+}
+
+const Instruction &
+BasicBlock::inst(std::size_t index) const
+{
+    blab_assert(index < insts_.size(), "instruction index out of range");
+    return insts_[index];
+}
+
+Instruction &
+BasicBlock::inst(std::size_t index)
+{
+    blab_assert(index < insts_.size(), "instruction index out of range");
+    return insts_[index];
+}
+
+bool
+BasicBlock::isSealed() const
+{
+    return !insts_.empty() && insts_.back().isTerminator();
+}
+
+const Instruction &
+BasicBlock::terminator() const
+{
+    blab_assert(isSealed(), "block '", label_, "' has no terminator");
+    return insts_.back();
+}
+
+std::vector<BlockId>
+BasicBlock::successors() const
+{
+    const Instruction &term = terminator();
+    std::vector<BlockId> succs;
+    switch (term.op) {
+      case Opcode::Jmp:
+        succs.push_back(term.target);
+        break;
+      case Opcode::JTab:
+        for (BlockId b : term.table) {
+            if (std::find(succs.begin(), succs.end(), b) == succs.end())
+                succs.push_back(b);
+        }
+        break;
+      case Opcode::Call:
+      case Opcode::CallInd:
+        succs.push_back(term.next);
+        break;
+      case Opcode::Ret:
+      case Opcode::Halt:
+        break;
+      default:
+        blab_assert(term.isConditional(), "unexpected terminator");
+        succs.push_back(term.target);
+        if (term.next != term.target)
+            succs.push_back(term.next);
+        break;
+    }
+    return succs;
+}
+
+} // namespace branchlab::ir

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A basic block: a straight-line instruction sequence ending in exactly
+ * one terminator.
+ */
+
+#ifndef BRANCHLAB_IR_BASIC_BLOCK_HH
+#define BRANCHLAB_IR_BASIC_BLOCK_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hh"
+#include "ir/types.hh"
+
+namespace branchlab::ir
+{
+
+/**
+ * A basic block. Instructions are appended during construction; the
+ * last one must be a terminator once the block is sealed (enforced by
+ * the Verifier, not here, so builders can work incrementally).
+ */
+class BasicBlock
+{
+  public:
+    BasicBlock(BlockId id, std::string label)
+        : id_(id), label_(std::move(label))
+    {}
+
+    BlockId id() const { return id_; }
+    const std::string &label() const { return label_; }
+
+    /** Append an instruction. */
+    void append(Instruction inst);
+
+    std::size_t size() const { return insts_.size(); }
+    bool empty() const { return insts_.empty(); }
+
+    const Instruction &inst(std::size_t index) const;
+    Instruction &inst(std::size_t index);
+
+    const std::vector<Instruction> &instructions() const { return insts_; }
+
+    /** True when the block ends with a terminator. */
+    bool isSealed() const;
+
+    /** The terminator; block must be sealed. */
+    const Instruction &terminator() const;
+
+    /**
+     * Successor block ids implied by the terminator, in a canonical
+     * order: conditional -> {taken, fallthrough}; Jmp -> {target};
+     * JTab -> table entries (deduplicated, in table order);
+     * Call/CallInd -> {continuation}; Ret/Halt -> {}.
+     *
+     * Call successors list the *local* continuation because trace
+     * selection and layout operate function-locally.
+     */
+    std::vector<BlockId> successors() const;
+
+  private:
+    BlockId id_;
+    std::string label_;
+    std::vector<Instruction> insts_;
+};
+
+} // namespace branchlab::ir
+
+#endif // BRANCHLAB_IR_BASIC_BLOCK_HH

@@ -1,0 +1,545 @@
+#include "ir/builder.hh"
+
+#include "support/logging.hh"
+
+namespace branchlab::ir
+{
+
+Opcode
+negateCondition(Opcode cc)
+{
+    switch (cc) {
+      case Opcode::Beq:
+        return Opcode::Bne;
+      case Opcode::Bne:
+        return Opcode::Beq;
+      case Opcode::Blt:
+        return Opcode::Bge;
+      case Opcode::Bge:
+        return Opcode::Blt;
+      case Opcode::Ble:
+        return Opcode::Bgt;
+      case Opcode::Bgt:
+        return Opcode::Ble;
+      default:
+        blab_panic("negateCondition on ", opcodeName(cc));
+    }
+}
+
+FuncId
+IrBuilder::beginFunction(const std::string &name, unsigned num_args)
+{
+    const FuncId func = declareFunction(name, num_args);
+    beginDeclared(func);
+    return func;
+}
+
+FuncId
+IrBuilder::declareFunction(const std::string &name, unsigned num_args)
+{
+    return prog_.newFunction(name, num_args);
+}
+
+void
+IrBuilder::beginDeclared(FuncId func)
+{
+    blab_assert(currentFunc_ == kNoFunc,
+                "beginDeclared while another function is open");
+    blab_assert(prog_.function(func).numBlocks() == 0,
+                "function '", prog_.function(func).name(),
+                "' already has a body");
+    currentFunc_ = func;
+    currentBlock_ = currentFunction().newBlock("entry");
+}
+
+void
+IrBuilder::endFunction()
+{
+    requireOpen();
+    const Function &f = currentFunction();
+    for (const BasicBlock &b : f.blocks()) {
+        blab_assert(b.isSealed(), "function '", f.name(), "' block '",
+                    b.label(), "' lacks a terminator");
+    }
+    currentFunc_ = kNoFunc;
+    currentBlock_ = kNoBlock;
+}
+
+Reg
+IrBuilder::arg(unsigned index) const
+{
+    blab_assert(index < currentFunction().numArgs(),
+                "argument index out of range");
+    return static_cast<Reg>(index);
+}
+
+Reg
+IrBuilder::newReg()
+{
+    requireOpen();
+    return currentFunction().newReg();
+}
+
+BlockId
+IrBuilder::newBlock(const std::string &label)
+{
+    requireOpen();
+    return currentFunction().newBlock(label);
+}
+
+void
+IrBuilder::setBlock(BlockId block)
+{
+    requireOpen();
+    blab_assert(!currentFunction().block(block).isSealed(),
+                "setBlock on sealed block");
+    currentBlock_ = block;
+}
+
+BlockId
+IrBuilder::currentBlock() const
+{
+    blab_assert(currentBlock_ != kNoBlock, "no insertion block");
+    return currentBlock_;
+}
+
+bool
+IrBuilder::blockSealed() const
+{
+    return currentFunction().block(currentBlock_).isSealed();
+}
+
+Reg
+IrBuilder::emitBinary(Opcode op, Reg a, Reg b)
+{
+    const Reg dst = newReg();
+    emitBinaryTo(op, dst, a, b);
+    return dst;
+}
+
+Reg
+IrBuilder::emitBinaryImm(Opcode op, Reg a, Word imm)
+{
+    const Reg dst = newReg();
+    emitBinaryImmTo(op, dst, a, imm);
+    return dst;
+}
+
+void
+IrBuilder::emitBinaryTo(Opcode op, Reg dst, Reg a, Reg b)
+{
+    insertionBlock().append(makeBinary(op, dst, a, b));
+}
+
+void
+IrBuilder::emitBinaryImmTo(Opcode op, Reg dst, Reg a, Word imm)
+{
+    insertionBlock().append(makeBinaryImm(op, dst, a, imm));
+}
+
+Reg
+IrBuilder::bitNot(Reg a)
+{
+    const Reg dst = newReg();
+    insertionBlock().append(makeUnary(Opcode::Not, dst, a));
+    return dst;
+}
+
+Reg
+IrBuilder::neg(Reg a)
+{
+    const Reg dst = newReg();
+    insertionBlock().append(makeUnary(Opcode::Neg, dst, a));
+    return dst;
+}
+
+Reg
+IrBuilder::mov(Reg a)
+{
+    const Reg dst = newReg();
+    insertionBlock().append(makeUnary(Opcode::Mov, dst, a));
+    return dst;
+}
+
+void
+IrBuilder::movTo(Reg dst, Reg src)
+{
+    insertionBlock().append(makeUnary(Opcode::Mov, dst, src));
+}
+
+Reg
+IrBuilder::ldi(Word value)
+{
+    const Reg dst = newReg();
+    ldiTo(dst, value);
+    return dst;
+}
+
+void
+IrBuilder::ldiTo(Reg dst, Word value)
+{
+    insertionBlock().append(makeLdi(dst, value));
+}
+
+Reg
+IrBuilder::ld(Reg base, Word offset)
+{
+    const Reg dst = newReg();
+    ldTo(dst, base, offset);
+    return dst;
+}
+
+void
+IrBuilder::ldTo(Reg dst, Reg base, Word offset)
+{
+    insertionBlock().append(makeLd(dst, base, offset));
+}
+
+void
+IrBuilder::st(Reg base, Reg value, Word offset)
+{
+    insertionBlock().append(makeSt(base, value, offset));
+}
+
+Reg
+IrBuilder::ldf(FuncId func)
+{
+    const Reg dst = newReg();
+    insertionBlock().append(makeLdf(dst, func));
+    return dst;
+}
+
+Reg
+IrBuilder::in(Word channel)
+{
+    const Reg dst = newReg();
+    insertionBlock().append(makeIn(dst, channel));
+    return dst;
+}
+
+void
+IrBuilder::out(Reg value, Word channel)
+{
+    insertionBlock().append(makeOut(value, channel));
+}
+
+void
+IrBuilder::nop()
+{
+    insertionBlock().append(makeNop());
+}
+
+void
+IrBuilder::branch(const Cond &cond, BlockId taken, BlockId fallthrough)
+{
+    Instruction inst =
+        cond.useImm
+            ? makeCondBranchImm(cond.cc, cond.lhs, cond.imm, taken,
+                                fallthrough)
+            : makeCondBranch(cond.cc, cond.lhs, cond.rhs, taken,
+                             fallthrough);
+    insertionBlock().append(std::move(inst));
+    currentBlock_ = fallthrough;
+}
+
+void
+IrBuilder::jmp(BlockId target)
+{
+    insertionBlock().append(makeJmp(target));
+    // The jump ends this block; callers wanting to build the target
+    // next must setBlock() explicitly.
+    currentBlock_ = kNoBlock;
+}
+
+void
+IrBuilder::jumpTable(Reg index, std::vector<BlockId> table)
+{
+    insertionBlock().append(makeJTab(index, std::move(table)));
+    currentBlock_ = kNoBlock;
+}
+
+Reg
+IrBuilder::call(FuncId callee, const std::vector<Reg> &args)
+{
+    const Reg dst = newReg();
+    const BlockId cont = newBlock("cont" + std::to_string(blockCounter_++));
+    insertionBlock().append(makeCall(callee, args, dst, cont));
+    currentBlock_ = cont;
+    return dst;
+}
+
+void
+IrBuilder::callVoid(FuncId callee, const std::vector<Reg> &args)
+{
+    const BlockId cont = newBlock("cont" + std::to_string(blockCounter_++));
+    insertionBlock().append(makeCall(callee, args, kNoReg, cont));
+    currentBlock_ = cont;
+}
+
+Reg
+IrBuilder::callInd(Reg callee, const std::vector<Reg> &args)
+{
+    const Reg dst = newReg();
+    const BlockId cont = newBlock("cont" + std::to_string(blockCounter_++));
+    insertionBlock().append(makeCallInd(callee, args, dst, cont));
+    currentBlock_ = cont;
+    return dst;
+}
+
+void
+IrBuilder::ret()
+{
+    insertionBlock().append(makeRet());
+    currentBlock_ = kNoBlock;
+}
+
+void
+IrBuilder::ret(Reg value)
+{
+    insertionBlock().append(makeRet(value));
+    currentBlock_ = kNoBlock;
+}
+
+void
+IrBuilder::halt()
+{
+    insertionBlock().append(makeHalt());
+    currentBlock_ = kNoBlock;
+}
+
+Cond
+IrBuilder::cmpEq(Reg a, Reg b)
+{
+    return Cond{Opcode::Beq, a, b, 0, false};
+}
+
+Cond
+IrBuilder::cmpNe(Reg a, Reg b)
+{
+    return Cond{Opcode::Bne, a, b, 0, false};
+}
+
+Cond
+IrBuilder::cmpLt(Reg a, Reg b)
+{
+    return Cond{Opcode::Blt, a, b, 0, false};
+}
+
+Cond
+IrBuilder::cmpLe(Reg a, Reg b)
+{
+    return Cond{Opcode::Ble, a, b, 0, false};
+}
+
+Cond
+IrBuilder::cmpGt(Reg a, Reg b)
+{
+    return Cond{Opcode::Bgt, a, b, 0, false};
+}
+
+Cond
+IrBuilder::cmpGe(Reg a, Reg b)
+{
+    return Cond{Opcode::Bge, a, b, 0, false};
+}
+
+Cond
+IrBuilder::cmpEqi(Reg a, Word imm)
+{
+    return Cond{Opcode::Beq, a, kNoReg, imm, true};
+}
+
+Cond
+IrBuilder::cmpNei(Reg a, Word imm)
+{
+    return Cond{Opcode::Bne, a, kNoReg, imm, true};
+}
+
+Cond
+IrBuilder::cmpLti(Reg a, Word imm)
+{
+    return Cond{Opcode::Blt, a, kNoReg, imm, true};
+}
+
+Cond
+IrBuilder::cmpLei(Reg a, Word imm)
+{
+    return Cond{Opcode::Ble, a, kNoReg, imm, true};
+}
+
+Cond
+IrBuilder::cmpGti(Reg a, Word imm)
+{
+    return Cond{Opcode::Bgt, a, kNoReg, imm, true};
+}
+
+Cond
+IrBuilder::cmpGei(Reg a, Word imm)
+{
+    return Cond{Opcode::Bge, a, kNoReg, imm, true};
+}
+
+namespace
+{
+
+/** Negate a Cond for "branch over the body when the test fails". */
+Cond
+negateCond(const Cond &cond)
+{
+    Cond negated = cond;
+    negated.cc = negateCondition(cond.cc);
+    return negated;
+}
+
+} // namespace
+
+void
+IrBuilder::whileLoop(const CondFn &cond, const CodeFn &body)
+{
+    // Loop inversion (the rotation compilers of the era performed):
+    // a forward guard test skips the loop entirely, and the repeated
+    // test sits at the bottom as a taken-backward conditional. The
+    // condition code is emitted twice, as inversion duplicates it.
+    const int n = blockCounter_++;
+    const BlockId body_b = newBlock("while.body" + std::to_string(n));
+    const BlockId exit_b = newBlock("while.exit" + std::to_string(n));
+
+    const Cond guard = cond();
+    branch(negateCond(guard), exit_b, body_b);
+    body();
+    if (currentBlock_ != kNoBlock && !blockSealed()) {
+        const Cond again = cond();
+        branch(again, body_b, exit_b);
+    }
+    currentBlock_ = exit_b;
+}
+
+void
+IrBuilder::doWhile(const CodeFn &body, const CondFn &cond)
+{
+    const int n = blockCounter_++;
+    const BlockId head = newBlock("do.head" + std::to_string(n));
+    const BlockId exit_b = newBlock("do.exit" + std::to_string(n));
+
+    jmp(head);
+    setBlock(head);
+    body();
+    if (currentBlock_ != kNoBlock && !blockSealed()) {
+        // Bottom test: taken means another iteration (backward branch).
+        const Cond test = cond();
+        branch(test, head, exit_b);
+    }
+    currentBlock_ = exit_b;
+}
+
+void
+IrBuilder::ifThen(const CondFn &cond, const CodeFn &then_body)
+{
+    // Naive-compiler lowering: branch *to* the then-clause when the
+    // test holds and hop over it otherwise. Rarely-true tests thus
+    // become not-taken-dominant conditionals plus an unconditional
+    // jump on the common path -- the mix the paper's Table 2 shows.
+    const int n = blockCounter_++;
+    const BlockId then_b = newBlock("if.then" + std::to_string(n));
+    const BlockId skip_b = newBlock("if.skip" + std::to_string(n));
+    const BlockId end_b = newBlock("if.end" + std::to_string(n));
+
+    const Cond test = cond();
+    branch(test, then_b, skip_b);
+    jmp(end_b);
+    setBlock(then_b);
+    then_body();
+    if (currentBlock_ != kNoBlock && !blockSealed())
+        jmp(end_b);
+    currentBlock_ = end_b;
+}
+
+void
+IrBuilder::ifThenElse(const CondFn &cond, const CodeFn &then_body,
+                      const CodeFn &else_body)
+{
+    const int n = blockCounter_++;
+    const BlockId then_b = newBlock("if.then" + std::to_string(n));
+    const BlockId else_b = newBlock("if.else" + std::to_string(n));
+    const BlockId end_b = newBlock("if.end" + std::to_string(n));
+
+    const Cond test = cond();
+    branch(test, then_b, else_b);
+    setBlock(then_b);
+    then_body();
+    if (currentBlock_ != kNoBlock && !blockSealed())
+        jmp(end_b);
+    currentBlock_ = else_b;
+    else_body();
+    if (currentBlock_ != kNoBlock && !blockSealed())
+        jmp(end_b);
+    currentBlock_ = end_b;
+}
+
+void
+IrBuilder::forRange(Reg counter, Word lo, Reg hi, const CodeFn &body,
+                    Word step)
+{
+    ldiTo(counter, lo);
+    whileLoop([&] { return cmpLt(counter, hi); },
+              [&] {
+                  body();
+                  emitBinaryImmTo(Opcode::Add, counter, counter, step);
+              });
+}
+
+void
+IrBuilder::forRangeImm(Reg counter, Word lo, Word hi, const CodeFn &body,
+                       Word step)
+{
+    ldiTo(counter, lo);
+    whileLoop([&] { return cmpLti(counter, hi); },
+              [&] {
+                  body();
+                  emitBinaryImmTo(Opcode::Add, counter, counter, step);
+              });
+}
+
+void
+IrBuilder::loopWithExit(const std::function<void(BlockId exit)> &body)
+{
+    const int n = blockCounter_++;
+    const BlockId head = newBlock("loop.head" + std::to_string(n));
+    const BlockId exit_b = newBlock("loop.exit" + std::to_string(n));
+
+    jmp(head);
+    setBlock(head);
+    body(exit_b);
+    if (currentBlock_ != kNoBlock && !blockSealed())
+        jmp(head);
+    currentBlock_ = exit_b;
+}
+
+Function &
+IrBuilder::currentFunction()
+{
+    blab_assert(currentFunc_ != kNoFunc, "no function is open");
+    return prog_.function(currentFunc_);
+}
+
+const Function &
+IrBuilder::currentFunction() const
+{
+    blab_assert(currentFunc_ != kNoFunc, "no function is open");
+    return prog_.function(currentFunc_);
+}
+
+BasicBlock &
+IrBuilder::insertionBlock()
+{
+    blab_assert(currentBlock_ != kNoBlock, "no insertion block");
+    return currentFunction().block(currentBlock_);
+}
+
+void
+IrBuilder::requireOpen()
+{
+    blab_assert(currentFunc_ != kNoFunc, "no function is open");
+}
+
+} // namespace branchlab::ir

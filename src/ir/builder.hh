@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Fluent construction API for IR programs.
+ *
+ * Two layers:
+ *  - raw emitters (one per opcode family) that append to the current
+ *    insertion block, and
+ *  - structured-control helpers (whileLoop, doWhile, ifThen, ...) that
+ *    lower C-like control flow the way a simple compiler would:
+ *    loop-head tests branch *forward* to the exit, do-while back-edges
+ *    branch *backward* to the head, if-tests branch forward over the
+ *    then-clause. This gives the workloads the branch-direction mix
+ *    the schemes in the paper are sensitive to.
+ */
+
+#ifndef BRANCHLAB_IR_BUILDER_HH
+#define BRANCHLAB_IR_BUILDER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace branchlab::ir
+{
+
+/**
+ * A comparison awaiting lowering into a conditional branch.
+ * Built by IrBuilder::cmp* helpers.
+ */
+struct Cond
+{
+    Opcode cc = Opcode::Beq;
+    Reg lhs = kNoReg;
+    Reg rhs = kNoReg;
+    Word imm = 0;
+    bool useImm = false;
+};
+
+/** The opposite comparison (Beq<->Bne, Blt<->Bge, Ble<->Bgt). */
+Opcode negateCondition(Opcode cc);
+
+/**
+ * Program builder. One IrBuilder may build many functions, one at a
+ * time (beginFunction .. endFunction).
+ */
+class IrBuilder
+{
+  public:
+    explicit IrBuilder(Program &program) : prog_(program) {}
+
+    // ------------------------------------------------------------------
+    // Function and block management.
+    // ------------------------------------------------------------------
+
+    /** Start a function; creates and enters its entry block. */
+    FuncId beginFunction(const std::string &name, unsigned num_args = 0);
+
+    /** Create a function without opening it (for mutual recursion:
+     *  declare first, define later with beginDeclared). */
+    FuncId declareFunction(const std::string &name, unsigned num_args = 0);
+
+    /** Open a previously declared (still empty) function. */
+    void beginDeclared(FuncId func);
+
+    /** Finish the current function; verifies every block is sealed. */
+    void endFunction();
+
+    /** The i-th argument register of the current function. */
+    Reg arg(unsigned index) const;
+
+    /** Allocate a fresh virtual register. */
+    Reg newReg();
+
+    /** Create a new block in the current function. */
+    BlockId newBlock(const std::string &label);
+
+    /** Move the insertion point; the target must be unsealed. */
+    void setBlock(BlockId block);
+
+    /** Current insertion block. */
+    BlockId currentBlock() const;
+
+    /** True when the current block has been sealed by a terminator. */
+    bool blockSealed() const;
+
+    Program &program() { return prog_; }
+
+    // ------------------------------------------------------------------
+    // Straight-line emitters. Value-producing forms allocate a fresh
+    // destination register; *To forms write a caller-chosen register.
+    // ------------------------------------------------------------------
+
+    Reg emitBinary(Opcode op, Reg a, Reg b);
+    Reg emitBinaryImm(Opcode op, Reg a, Word imm);
+    void emitBinaryTo(Opcode op, Reg dst, Reg a, Reg b);
+    void emitBinaryImmTo(Opcode op, Reg dst, Reg a, Word imm);
+
+    Reg add(Reg a, Reg b) { return emitBinary(Opcode::Add, a, b); }
+    Reg addi(Reg a, Word i) { return emitBinaryImm(Opcode::Add, a, i); }
+    Reg sub(Reg a, Reg b) { return emitBinary(Opcode::Sub, a, b); }
+    Reg subi(Reg a, Word i) { return emitBinaryImm(Opcode::Sub, a, i); }
+    Reg mul(Reg a, Reg b) { return emitBinary(Opcode::Mul, a, b); }
+    Reg muli(Reg a, Word i) { return emitBinaryImm(Opcode::Mul, a, i); }
+    Reg div(Reg a, Reg b) { return emitBinary(Opcode::Div, a, b); }
+    Reg divi(Reg a, Word i) { return emitBinaryImm(Opcode::Div, a, i); }
+    Reg rem(Reg a, Reg b) { return emitBinary(Opcode::Rem, a, b); }
+    Reg remi(Reg a, Word i) { return emitBinaryImm(Opcode::Rem, a, i); }
+    Reg bitAnd(Reg a, Reg b) { return emitBinary(Opcode::And, a, b); }
+    Reg bitAndi(Reg a, Word i) { return emitBinaryImm(Opcode::And, a, i); }
+    Reg bitOr(Reg a, Reg b) { return emitBinary(Opcode::Or, a, b); }
+    Reg bitOri(Reg a, Word i) { return emitBinaryImm(Opcode::Or, a, i); }
+    Reg bitXor(Reg a, Reg b) { return emitBinary(Opcode::Xor, a, b); }
+    Reg bitXori(Reg a, Word i) { return emitBinaryImm(Opcode::Xor, a, i); }
+    Reg shl(Reg a, Reg b) { return emitBinary(Opcode::Shl, a, b); }
+    Reg shli(Reg a, Word i) { return emitBinaryImm(Opcode::Shl, a, i); }
+    Reg shr(Reg a, Reg b) { return emitBinary(Opcode::Shr, a, b); }
+    Reg shri(Reg a, Word i) { return emitBinaryImm(Opcode::Shr, a, i); }
+
+    Reg bitNot(Reg a);
+    Reg neg(Reg a);
+    Reg mov(Reg a);
+    void movTo(Reg dst, Reg src);
+
+    Reg ldi(Word value);
+    void ldiTo(Reg dst, Word value);
+    Reg ld(Reg base, Word offset = 0);
+    void ldTo(Reg dst, Reg base, Word offset = 0);
+    void st(Reg base, Reg value, Word offset = 0);
+    Reg ldf(FuncId func);
+    Reg in(Word channel = 0);
+    void out(Reg value, Word channel = 0);
+    void nop();
+
+    // ------------------------------------------------------------------
+    // Raw control flow. Each of these seals the current block.
+    // ------------------------------------------------------------------
+
+    void branch(const Cond &cond, BlockId taken, BlockId fallthrough);
+    void jmp(BlockId target);
+    void jumpTable(Reg index, std::vector<BlockId> table);
+    /** Direct call; creates + enters a continuation block, returns the
+     *  return-value register. */
+    Reg call(FuncId callee, const std::vector<Reg> &args);
+    /** Direct call discarding the return value. */
+    void callVoid(FuncId callee, const std::vector<Reg> &args);
+    /** Indirect call through a function reference (Ldf value). */
+    Reg callInd(Reg callee, const std::vector<Reg> &args);
+    void ret();
+    void ret(Reg value);
+    void halt();
+
+    // ------------------------------------------------------------------
+    // Comparison factories for the structured helpers.
+    // ------------------------------------------------------------------
+
+    static Cond cmpEq(Reg a, Reg b);
+    static Cond cmpNe(Reg a, Reg b);
+    static Cond cmpLt(Reg a, Reg b);
+    static Cond cmpLe(Reg a, Reg b);
+    static Cond cmpGt(Reg a, Reg b);
+    static Cond cmpGe(Reg a, Reg b);
+    static Cond cmpEqi(Reg a, Word imm);
+    static Cond cmpNei(Reg a, Word imm);
+    static Cond cmpLti(Reg a, Word imm);
+    static Cond cmpLei(Reg a, Word imm);
+    static Cond cmpGti(Reg a, Word imm);
+    static Cond cmpGei(Reg a, Word imm);
+
+    // ------------------------------------------------------------------
+    // Structured control flow.
+    // ------------------------------------------------------------------
+
+    using CodeFn = std::function<void()>;
+    using CondFn = std::function<Cond()>;
+
+    /**
+     * while (cond) body -- the head test branches forward to the exit
+     * when the condition fails (predicted-not-taken shape), the body
+     * jumps back to the head.
+     */
+    void whileLoop(const CondFn &cond, const CodeFn &body);
+
+    /**
+     * do body while (cond) -- the bottom test branches backward to the
+     * head while the condition holds (taken-backward shape).
+     */
+    void doWhile(const CodeFn &body, const CondFn &cond);
+
+    /** if (cond) then -- the test branches forward over the clause. */
+    void ifThen(const CondFn &cond, const CodeFn &then_body);
+
+    /** if (cond) then else -- forward test to the else clause. */
+    void ifThenElse(const CondFn &cond, const CodeFn &then_body,
+                    const CodeFn &else_body);
+
+    /**
+     * for (i = lo; i < hi; i += step) body. @p counter must be a
+     * caller-allocated register (readable in the body).
+     */
+    void forRange(Reg counter, Word lo, Reg hi, const CodeFn &body,
+                  Word step = 1);
+    void forRangeImm(Reg counter, Word lo, Word hi, const CodeFn &body,
+                     Word step = 1);
+
+    /**
+     * Infinite loop with a break condition evaluated by the body:
+     * the body receives the exit block and may branch to it.
+     */
+    void loopWithExit(const std::function<void(BlockId exit)> &body);
+
+  private:
+    Function &currentFunction();
+    const Function &currentFunction() const;
+    BasicBlock &insertionBlock();
+    void requireOpen();
+
+    Program &prog_;
+    FuncId currentFunc_ = kNoFunc;
+    BlockId currentBlock_ = kNoBlock;
+    int blockCounter_ = 0;
+};
+
+} // namespace branchlab::ir
+
+#endif // BRANCHLAB_IR_BUILDER_HH

@@ -1,0 +1,49 @@
+#include "ir/function.hh"
+
+#include "support/logging.hh"
+
+namespace branchlab::ir
+{
+
+Reg
+Function::newReg()
+{
+    blab_assert(numRegs_ < kNoReg - 1, "register space exhausted in '",
+                name_, "'");
+    return static_cast<Reg>(numRegs_++);
+}
+
+BlockId
+Function::newBlock(const std::string &label)
+{
+    const auto id = static_cast<BlockId>(blocks_.size());
+    blocks_.emplace_back(id, label);
+    return id;
+}
+
+BasicBlock &
+Function::block(BlockId id)
+{
+    blab_assert(id < blocks_.size(), "block ", id, " out of range in '",
+                name_, "'");
+    return blocks_[id];
+}
+
+const BasicBlock &
+Function::block(BlockId id) const
+{
+    blab_assert(id < blocks_.size(), "block ", id, " out of range in '",
+                name_, "'");
+    return blocks_[id];
+}
+
+std::size_t
+Function::staticSize() const
+{
+    std::size_t total = 0;
+    for (const BasicBlock &b : blocks_)
+        total += b.size();
+    return total;
+}
+
+} // namespace branchlab::ir

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * An IR function: a named collection of basic blocks with an entry
+ * block and a virtual-register count.
+ */
+
+#ifndef BRANCHLAB_IR_FUNCTION_HH
+#define BRANCHLAB_IR_FUNCTION_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.hh"
+#include "ir/types.hh"
+
+namespace branchlab::ir
+{
+
+/**
+ * A function. Block 0 is always the entry block. Arguments arrive in
+ * registers r0 .. r(numArgs-1).
+ */
+class Function
+{
+  public:
+    Function(FuncId id, std::string name, unsigned num_args)
+        : id_(id), name_(std::move(name)), numArgs_(num_args),
+          numRegs_(num_args)
+    {}
+
+    FuncId id() const { return id_; }
+    const std::string &name() const { return name_; }
+    unsigned numArgs() const { return numArgs_; }
+    unsigned numRegs() const { return numRegs_; }
+
+    /** Allocate a fresh virtual register. */
+    Reg newReg();
+
+    /** Create a new (empty) block and return its id. */
+    BlockId newBlock(const std::string &label);
+
+    std::size_t numBlocks() const { return blocks_.size(); }
+
+    BasicBlock &block(BlockId id);
+    const BasicBlock &block(BlockId id) const;
+
+    BlockId entry() const { return 0; }
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /** Total instruction count over all blocks (static size). */
+    std::size_t staticSize() const;
+
+  private:
+    FuncId id_;
+    std::string name_;
+    unsigned numArgs_;
+    unsigned numRegs_;
+    std::vector<BasicBlock> blocks_;
+};
+
+} // namespace branchlab::ir
+
+#endif // BRANCHLAB_IR_FUNCTION_HH

@@ -1,0 +1,205 @@
+#include "ir/instruction.hh"
+
+#include "support/logging.hh"
+
+namespace branchlab::ir
+{
+
+Instruction
+makeBinary(Opcode op, Reg dst, Reg src1, Reg src2)
+{
+    blab_assert(isBinaryAlu(op), "makeBinary with ", opcodeName(op));
+    Instruction inst;
+    inst.op = op;
+    inst.dst = dst;
+    inst.src1 = src1;
+    inst.src2 = src2;
+    return inst;
+}
+
+Instruction
+makeBinaryImm(Opcode op, Reg dst, Reg src1, Word imm)
+{
+    blab_assert(isBinaryAlu(op), "makeBinaryImm with ", opcodeName(op));
+    Instruction inst;
+    inst.op = op;
+    inst.dst = dst;
+    inst.src1 = src1;
+    inst.imm = imm;
+    inst.useImm = true;
+    return inst;
+}
+
+Instruction
+makeUnary(Opcode op, Reg dst, Reg src1)
+{
+    blab_assert(isUnaryAlu(op), "makeUnary with ", opcodeName(op));
+    Instruction inst;
+    inst.op = op;
+    inst.dst = dst;
+    inst.src1 = src1;
+    return inst;
+}
+
+Instruction
+makeLdi(Reg dst, Word imm)
+{
+    Instruction inst;
+    inst.op = Opcode::Ldi;
+    inst.dst = dst;
+    inst.imm = imm;
+    return inst;
+}
+
+Instruction
+makeLd(Reg dst, Reg base, Word offset)
+{
+    Instruction inst;
+    inst.op = Opcode::Ld;
+    inst.dst = dst;
+    inst.src1 = base;
+    inst.imm = offset;
+    return inst;
+}
+
+Instruction
+makeSt(Reg base, Reg value, Word offset)
+{
+    Instruction inst;
+    inst.op = Opcode::St;
+    inst.src1 = base;
+    inst.src2 = value;
+    inst.imm = offset;
+    return inst;
+}
+
+Instruction
+makeLdf(Reg dst, FuncId func)
+{
+    Instruction inst;
+    inst.op = Opcode::Ldf;
+    inst.dst = dst;
+    inst.func = func;
+    return inst;
+}
+
+Instruction
+makeIn(Reg dst, Word channel)
+{
+    Instruction inst;
+    inst.op = Opcode::In;
+    inst.dst = dst;
+    inst.imm = channel;
+    return inst;
+}
+
+Instruction
+makeOut(Reg src, Word channel)
+{
+    Instruction inst;
+    inst.op = Opcode::Out;
+    inst.src1 = src;
+    inst.imm = channel;
+    return inst;
+}
+
+Instruction
+makeNop()
+{
+    return Instruction{};
+}
+
+Instruction
+makeCondBranch(Opcode op, Reg lhs, Reg rhs, BlockId taken,
+               BlockId fallthrough)
+{
+    blab_assert(isConditionalBranch(op), "makeCondBranch with ",
+                opcodeName(op));
+    Instruction inst;
+    inst.op = op;
+    inst.src1 = lhs;
+    inst.src2 = rhs;
+    inst.target = taken;
+    inst.next = fallthrough;
+    return inst;
+}
+
+Instruction
+makeCondBranchImm(Opcode op, Reg lhs, Word imm, BlockId taken,
+                  BlockId fallthrough)
+{
+    blab_assert(isConditionalBranch(op), "makeCondBranchImm with ",
+                opcodeName(op));
+    Instruction inst;
+    inst.op = op;
+    inst.src1 = lhs;
+    inst.imm = imm;
+    inst.useImm = true;
+    inst.target = taken;
+    inst.next = fallthrough;
+    return inst;
+}
+
+Instruction
+makeJmp(BlockId target)
+{
+    Instruction inst;
+    inst.op = Opcode::Jmp;
+    inst.target = target;
+    return inst;
+}
+
+Instruction
+makeJTab(Reg index, std::vector<BlockId> table)
+{
+    blab_assert(!table.empty(), "jump table must be non-empty");
+    Instruction inst;
+    inst.op = Opcode::JTab;
+    inst.src1 = index;
+    inst.table = std::move(table);
+    return inst;
+}
+
+Instruction
+makeCall(FuncId func, std::vector<Reg> args, Reg dst, BlockId continuation)
+{
+    Instruction inst;
+    inst.op = Opcode::Call;
+    inst.func = func;
+    inst.args = std::move(args);
+    inst.dst = dst;
+    inst.next = continuation;
+    return inst;
+}
+
+Instruction
+makeCallInd(Reg callee, std::vector<Reg> args, Reg dst,
+            BlockId continuation)
+{
+    Instruction inst;
+    inst.op = Opcode::CallInd;
+    inst.src1 = callee;
+    inst.args = std::move(args);
+    inst.dst = dst;
+    inst.next = continuation;
+    return inst;
+}
+
+Instruction
+makeRet(Reg value)
+{
+    Instruction inst;
+    inst.op = Opcode::Ret;
+    inst.src1 = value;
+    return inst;
+}
+
+Instruction
+makeHalt()
+{
+    Instruction inst;
+    inst.op = Opcode::Halt;
+    return inst;
+}
+
+} // namespace branchlab::ir

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The IR instruction: a flat record with opcode-dependent operand
+ * fields. Kept trivially copyable except for the (rare) jump-table and
+ * call-argument vectors.
+ */
+
+#ifndef BRANCHLAB_IR_INSTRUCTION_HH
+#define BRANCHLAB_IR_INSTRUCTION_HH
+
+#include <vector>
+
+#include "ir/opcode.hh"
+#include "ir/types.hh"
+
+namespace branchlab::ir
+{
+
+/**
+ * One IR instruction.
+ *
+ * Operand usage by opcode family:
+ *  - binary ALU:  dst, src1, (src2 | imm when useImm)
+ *  - unary ALU:   dst, src1
+ *  - Ldi:         dst, imm
+ *  - Ld:          dst <- mem[src1 + imm]
+ *  - St:          mem[src1 + imm] <- src2
+ *  - Ldf:         dst <- func
+ *  - In:          dst, channel = imm
+ *  - Out:         src1, channel = imm
+ *  - Beq..Bge:    compare src1 with (src2 | imm); taken -> target,
+ *                 fallthrough -> next
+ *  - Jmp:         -> target
+ *  - JTab:        -> table[src1] (block ids in 'table')
+ *  - Call:        func(args...) -> dst; continue at next
+ *  - CallInd:     (src1)(args...) -> dst; continue at next
+ *  - Ret:         optional value in src1 (kNoReg when void)
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+
+    Reg dst = kNoReg;
+    Reg src1 = kNoReg;
+    Reg src2 = kNoReg;
+    /** Immediate operand; also the memory offset for Ld/St and the
+     *  channel for In/Out. */
+    Word imm = 0;
+    /** When true, binary ALU ops and conditional branches compare
+     *  src1 against imm instead of src2. */
+    bool useImm = false;
+
+    /** Taken target of a conditional branch, or Jmp target. */
+    BlockId target = kNoBlock;
+    /** Fallthrough of a conditional branch; continuation of a call. */
+    BlockId next = kNoBlock;
+    /** Callee of Call; referenced function of Ldf. */
+    FuncId func = kNoFunc;
+
+    /** JTab: candidate target blocks, indexed by the value of src1. */
+    std::vector<BlockId> table;
+    /** Call/CallInd: argument registers, copied to callee r0..rn-1. */
+    std::vector<Reg> args;
+
+    bool isBranch() const { return ir::isBranch(op); }
+    bool isConditional() const { return ir::isConditionalBranch(op); }
+    bool isTerminator() const { return ir::isTerminator(op); }
+};
+
+/** Factory helpers used by the builder (and directly by tests). */
+Instruction makeBinary(Opcode op, Reg dst, Reg src1, Reg src2);
+Instruction makeBinaryImm(Opcode op, Reg dst, Reg src1, Word imm);
+Instruction makeUnary(Opcode op, Reg dst, Reg src1);
+Instruction makeLdi(Reg dst, Word imm);
+Instruction makeLd(Reg dst, Reg base, Word offset);
+Instruction makeSt(Reg base, Reg value, Word offset);
+Instruction makeLdf(Reg dst, FuncId func);
+Instruction makeIn(Reg dst, Word channel);
+Instruction makeOut(Reg src, Word channel);
+Instruction makeNop();
+Instruction makeCondBranch(Opcode op, Reg lhs, Reg rhs, BlockId taken,
+                           BlockId fallthrough);
+Instruction makeCondBranchImm(Opcode op, Reg lhs, Word imm, BlockId taken,
+                              BlockId fallthrough);
+Instruction makeJmp(BlockId target);
+Instruction makeJTab(Reg index, std::vector<BlockId> table);
+Instruction makeCall(FuncId func, std::vector<Reg> args, Reg dst,
+                     BlockId continuation);
+Instruction makeCallInd(Reg callee, std::vector<Reg> args, Reg dst,
+                        BlockId continuation);
+Instruction makeRet(Reg value = kNoReg);
+Instruction makeHalt();
+
+} // namespace branchlab::ir
+
+#endif // BRANCHLAB_IR_INSTRUCTION_HH

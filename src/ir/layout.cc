@@ -1,0 +1,81 @@
+#include "ir/layout.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace branchlab::ir
+{
+
+Layout::Layout(const Program &program) : prog_(program)
+{
+    Addr cursor = kCodeBase;
+    funcStart_.reserve(program.numFunctions());
+    blockStart_.reserve(program.numFunctions());
+    for (FuncId f = 0; f < program.numFunctions(); ++f) {
+        const Function &func = program.function(f);
+        funcStart_.push_back(cursor);
+        std::vector<Addr> starts;
+        starts.reserve(func.numBlocks());
+        for (const BasicBlock &block : func.blocks()) {
+            starts.push_back(cursor);
+            cursor += block.size();
+        }
+        blockStart_.push_back(std::move(starts));
+    }
+    total_ = cursor - kCodeBase;
+}
+
+Addr
+Layout::funcEntry(FuncId func) const
+{
+    blab_assert(func < funcStart_.size(), "function out of range");
+    return funcStart_[func];
+}
+
+Addr
+Layout::blockAddr(FuncId func, BlockId block) const
+{
+    blab_assert(func < blockStart_.size(), "function out of range");
+    blab_assert(block < blockStart_[func].size(), "block out of range");
+    return blockStart_[func][block];
+}
+
+Addr
+Layout::instAddr(FuncId func, BlockId block, std::size_t index) const
+{
+    blab_assert(index < prog_.function(func).block(block).size(),
+                "instruction index out of range");
+    return blockAddr(func, block) + index;
+}
+
+CodeLocation
+Layout::locate(Addr addr) const
+{
+    blab_assert(isCodeAddr(addr), "address 0x", std::hex, addr,
+                " is not a code address");
+    // Find the owning function: last start <= addr.
+    const auto fit = std::upper_bound(funcStart_.begin(), funcStart_.end(),
+                                      addr);
+    const auto func = static_cast<FuncId>(
+        std::distance(funcStart_.begin(), fit) - 1);
+    const auto &starts = blockStart_[func];
+    const auto bit = std::upper_bound(starts.begin(), starts.end(), addr);
+    const auto block = static_cast<BlockId>(
+        std::distance(starts.begin(), bit) - 1);
+    CodeLocation loc;
+    loc.func = func;
+    loc.block = block;
+    loc.index = static_cast<std::uint32_t>(addr - starts[block]);
+    blab_assert(loc.index < prog_.function(func).block(block).size(),
+                "address falls in an empty block");
+    return loc;
+}
+
+bool
+Layout::isCodeAddr(Addr addr) const
+{
+    return addr >= kCodeBase && addr < codeEnd();
+}
+
+} // namespace branchlab::ir

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Static address assignment for IR programs.
+ *
+ * The layout pass gives every instruction a unique address (one
+ * address unit per instruction, matching the paper's instruction-
+ * granular pipeline model). Addresses are what the branch target
+ * buffers tag on and what decides whether a branch is "backward" for
+ * the BTFNT static predictor.
+ *
+ * Functions are laid out in creation order; within a function, blocks
+ * in creation order. Code starts at address kCodeBase so that address
+ * 0 never aliases a valid instruction.
+ */
+
+#ifndef BRANCHLAB_IR_LAYOUT_HH
+#define BRANCHLAB_IR_LAYOUT_HH
+
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace branchlab::ir
+{
+
+/** First code address. */
+inline constexpr Addr kCodeBase = 0x1000;
+
+/** Where an address points inside a program. */
+struct CodeLocation
+{
+    FuncId func = kNoFunc;
+    BlockId block = kNoBlock;
+    std::uint32_t index = 0; ///< Instruction index within the block.
+
+    bool operator==(const CodeLocation &) const = default;
+};
+
+/**
+ * Immutable address map for one program. Build once, query often.
+ * The program must outlive the layout and must not be mutated after
+ * the layout is built.
+ */
+class Layout
+{
+  public:
+    explicit Layout(const Program &program);
+
+    /** Address of a function's entry instruction. */
+    Addr funcEntry(FuncId func) const;
+
+    /** Address of a block's first instruction. */
+    Addr blockAddr(FuncId func, BlockId block) const;
+
+    /** Address of one instruction. */
+    Addr instAddr(FuncId func, BlockId block, std::size_t index) const;
+
+    /** Map an address back to its instruction (must be a code addr). */
+    CodeLocation locate(Addr addr) const;
+
+    /** Total laid-out size in address units (= instruction count). */
+    Addr totalSize() const { return total_; }
+
+    /** One past the last code address. */
+    Addr codeEnd() const { return kCodeBase + total_; }
+
+    /** True when @p addr falls inside laid-out code. */
+    bool isCodeAddr(Addr addr) const;
+
+    const Program &program() const { return prog_; }
+
+  private:
+    const Program &prog_;
+    /** Per function: start address. */
+    std::vector<Addr> funcStart_;
+    /** Per function: per block start address. */
+    std::vector<std::vector<Addr>> blockStart_;
+    Addr total_ = 0;
+};
+
+} // namespace branchlab::ir
+
+#endif // BRANCHLAB_IR_LAYOUT_HH

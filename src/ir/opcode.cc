@@ -1,0 +1,109 @@
+#include "ir/opcode.hh"
+
+#include <array>
+
+#include "support/logging.hh"
+
+namespace branchlab::ir
+{
+
+namespace
+{
+
+const std::array<std::string, kNumOpcodes> opcode_names = {
+    "add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr",
+    "not", "neg", "mov",
+    "ldi", "ld", "st", "ldf",
+    "in", "out",
+    "nop",
+    "beq", "bne", "blt", "ble", "bgt", "bge",
+    "jmp", "jtab", "call", "callind", "ret", "halt",
+};
+
+} // namespace
+
+const std::string &
+opcodeName(Opcode op)
+{
+    const auto index = static_cast<std::size_t>(op);
+    blab_assert(index < opcode_names.size(), "bad opcode ", index);
+    return opcode_names[index];
+}
+
+bool
+isBinaryAlu(Opcode op)
+{
+    return op >= Opcode::Add && op <= Opcode::Shr;
+}
+
+bool
+isUnaryAlu(Opcode op)
+{
+    return op == Opcode::Not || op == Opcode::Neg || op == Opcode::Mov;
+}
+
+bool
+isTerminator(Opcode op)
+{
+    return op >= Opcode::Beq;
+}
+
+bool
+isBranch(Opcode op)
+{
+    return isTerminator(op) && op != Opcode::Halt;
+}
+
+bool
+isConditionalBranch(Opcode op)
+{
+    return op >= Opcode::Beq && op <= Opcode::Bge;
+}
+
+bool
+isUnconditionalBranch(Opcode op)
+{
+    return isBranch(op) && !isConditionalBranch(op);
+}
+
+bool
+hasKnownTarget(Opcode op)
+{
+    blab_assert(isBranch(op), "hasKnownTarget on non-branch ",
+                opcodeName(op));
+    switch (op) {
+      case Opcode::Jmp:
+      case Opcode::Call:
+      case Opcode::Ret:
+        return true;
+      case Opcode::JTab:
+      case Opcode::CallInd:
+        return false;
+      default:
+        // Conditional branches always encode their taken target.
+        return true;
+    }
+}
+
+bool
+evalCondition(Opcode op, std::int64_t lhs, std::int64_t rhs)
+{
+    switch (op) {
+      case Opcode::Beq:
+        return lhs == rhs;
+      case Opcode::Bne:
+        return lhs != rhs;
+      case Opcode::Blt:
+        return lhs < rhs;
+      case Opcode::Ble:
+        return lhs <= rhs;
+      case Opcode::Bgt:
+        return lhs > rhs;
+      case Opcode::Bge:
+        return lhs >= rhs;
+      default:
+        blab_panic("evalCondition on non-conditional ", opcodeName(op));
+    }
+}
+
+} // namespace branchlab::ir

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * IR opcode set and static opcode traits.
+ *
+ * The control-transfer taxonomy mirrors the paper's Table 2:
+ *  - conditional branches (comparison folded in, per the paper's
+ *    pipeline model in section 2.1);
+ *  - unconditional branches with *known* targets (direct jumps, calls,
+ *    and returns -- a return's target is the link address, readable at
+ *    decode when the register file is accessed);
+ *  - unconditional branches with *unknown* targets (jumps through
+ *    run-time data: switch tables and indirect calls, as used by cccp).
+ */
+
+#ifndef BRANCHLAB_IR_OPCODE_HH
+#define BRANCHLAB_IR_OPCODE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace branchlab::ir
+{
+
+/** Every operation the IR virtual machine can execute. */
+enum class Opcode : std::uint8_t
+{
+    // Arithmetic / logic (dst, src1, src2-or-imm).
+    Add,
+    Sub,
+    Mul,
+    Div,   ///< Signed division; divide-by-zero is a VM fault.
+    Rem,   ///< Signed remainder; divide-by-zero is a VM fault.
+    And,
+    Or,
+    Xor,
+    Shl,   ///< Logical shift left (shift amount masked to 0..63).
+    Shr,   ///< Arithmetic shift right (shift amount masked to 0..63).
+
+    // Unary (dst, src1).
+    Not,   ///< Bitwise complement.
+    Neg,   ///< Two's-complement negation.
+    Mov,   ///< Register copy.
+
+    // Constants and memory.
+    Ldi,   ///< dst <- imm.
+    Ld,    ///< dst <- mem[src1 + imm].
+    St,    ///< mem[src1 + imm] <- src2.
+    Ldf,   ///< dst <- function reference (for indirect calls).
+
+    // I/O (word streams, one per channel).
+    In,    ///< dst <- next word of input channel imm (-1 at end).
+    Out,   ///< append src1 to output channel imm.
+
+    Nop,   ///< No operation; fills forward slots.
+
+    // Terminators: conditional branches (src1 ? src2-or-imm).
+    Beq,
+    Bne,
+    Blt,
+    Ble,
+    Bgt,
+    Bge,
+
+    // Terminators: unconditional control transfers.
+    Jmp,     ///< Direct jump to a block (known target).
+    JTab,    ///< Jump through a table indexed by src1 (unknown target).
+    Call,    ///< Direct call (known target); continues at 'next'.
+    CallInd, ///< Call through a function ref in src1 (unknown target).
+    Ret,     ///< Return to caller's continuation (known target).
+    Halt,    ///< Stop the machine (not a branch).
+};
+
+/** Number of distinct opcodes (for iteration in tests). */
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::Halt) + 1;
+
+/** Mnemonic, e.g. "beq". */
+const std::string &opcodeName(Opcode op);
+
+/** True for the two-source arithmetic/logic opcodes (Add..Shr). */
+bool isBinaryAlu(Opcode op);
+
+/** True for Not/Neg/Mov. */
+bool isUnaryAlu(Opcode op);
+
+/** True when the opcode must terminate a basic block. */
+bool isTerminator(Opcode op);
+
+/** True when executing the opcode is a branch event for the
+ *  prediction schemes (all terminators except Halt). */
+bool isBranch(Opcode op);
+
+/** True for Beq..Bge. */
+bool isConditionalBranch(Opcode op);
+
+/** True for unconditional branches (branch but not conditional). */
+bool isUnconditionalBranch(Opcode op);
+
+/**
+ * True when the branch target is statically encoded or readable at the
+ * decode stage (direct jumps/calls and returns); false for jumps and
+ * calls through run-time data. Meaningful only for branches.
+ */
+bool hasKnownTarget(Opcode op);
+
+/** Evaluate a conditional-branch comparison. */
+bool evalCondition(Opcode op, std::int64_t lhs, std::int64_t rhs);
+
+} // namespace branchlab::ir
+
+#endif // BRANCHLAB_IR_OPCODE_HH

@@ -1,0 +1,76 @@
+#include "ir/program.hh"
+
+#include "support/logging.hh"
+
+namespace branchlab::ir
+{
+
+FuncId
+Program::newFunction(const std::string &name, unsigned num_args)
+{
+    for (const Function &f : funcs_) {
+        if (f.name() == name)
+            blab_fatal("duplicate function name '", name, "'");
+    }
+    const auto id = static_cast<FuncId>(funcs_.size());
+    funcs_.emplace_back(id, name, num_args);
+    return id;
+}
+
+Function &
+Program::function(FuncId id)
+{
+    blab_assert(id < funcs_.size(), "function id ", id, " out of range");
+    return funcs_[id];
+}
+
+const Function &
+Program::function(FuncId id) const
+{
+    blab_assert(id < funcs_.size(), "function id ", id, " out of range");
+    return funcs_[id];
+}
+
+FuncId
+Program::findFunction(const std::string &name) const
+{
+    for (const Function &f : funcs_) {
+        if (f.name() == name)
+            return f.id();
+    }
+    blab_fatal("no function named '", name, "' in program '", name_, "'");
+}
+
+FuncId
+Program::mainFunction() const
+{
+    blab_assert(!funcs_.empty(), "program '", name_, "' has no functions");
+    return findFunction("main");
+}
+
+Word
+Program::addData(const std::vector<Word> &words)
+{
+    const Word base = dataSize();
+    data_.insert(data_.end(), words.begin(), words.end());
+    return base;
+}
+
+Word
+Program::addZeroData(std::size_t count)
+{
+    const Word base = dataSize();
+    data_.insert(data_.end(), count, 0);
+    return base;
+}
+
+std::size_t
+Program::staticSize() const
+{
+    std::size_t total = 0;
+    for (const Function &f : funcs_)
+        total += f.staticSize();
+    return total;
+}
+
+} // namespace branchlab::ir

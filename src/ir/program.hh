@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A whole IR program: functions plus an initialised data segment.
+ */
+
+#ifndef BRANCHLAB_IR_PROGRAM_HH
+#define BRANCHLAB_IR_PROGRAM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+#include "ir/types.hh"
+
+namespace branchlab::ir
+{
+
+/**
+ * A program. Memory is a flat word-addressed space; the data segment
+ * occupies addresses [0, dataSize) and is copied in at machine reset.
+ * The heap begins at dataSize (see heapBase()).
+ */
+class Program
+{
+  public:
+    explicit Program(std::string name) : name_(std::move(name)) {}
+
+    // Programs own their functions; moving is fine, copying is not.
+    Program(const Program &) = delete;
+    Program &operator=(const Program &) = delete;
+    Program(Program &&) = default;
+    Program &operator=(Program &&) = default;
+
+    const std::string &name() const { return name_; }
+
+    /** Create a new function. The entry function is the one named
+     *  "main" (creation order is free, so helpers can be built before
+     *  their callers). */
+    FuncId newFunction(const std::string &name, unsigned num_args);
+
+    std::size_t numFunctions() const { return funcs_.size(); }
+
+    Function &function(FuncId id);
+    const Function &function(FuncId id) const;
+
+    /** Look up a function by name; fatal when absent. */
+    FuncId findFunction(const std::string &name) const;
+
+    /** The entry function: the function named "main". */
+    FuncId mainFunction() const;
+
+    /**
+     * Append words to the data segment; returns the base address of
+     * the appended region.
+     */
+    Word addData(const std::vector<Word> &words);
+
+    /** Reserve @p count zeroed words; returns the base address. */
+    Word addZeroData(std::size_t count);
+
+    const std::vector<Word> &data() const { return data_; }
+    Word dataSize() const { return static_cast<Word>(data_.size()); }
+
+    /** First address past the data segment (start of free memory). */
+    Word heapBase() const { return dataSize(); }
+
+    /** Total static instruction count over all functions. */
+    std::size_t staticSize() const;
+
+  private:
+    std::string name_;
+    std::vector<Function> funcs_;
+    std::vector<Word> data_;
+};
+
+} // namespace branchlab::ir
+
+#endif // BRANCHLAB_IR_PROGRAM_HH

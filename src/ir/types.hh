@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Common identifier types for the BranchLab compiler IR.
+ *
+ * The IR sits at the level the paper calls "compiler intermediate
+ * instructions": virtual registers, explicit basic blocks, and
+ * comparisons folded into conditional branches.
+ */
+
+#ifndef BRANCHLAB_IR_TYPES_HH
+#define BRANCHLAB_IR_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace branchlab::ir
+{
+
+/** A virtual-register index, local to a function. */
+using Reg = std::uint16_t;
+
+/** A basic-block index, local to a function. */
+using BlockId = std::uint32_t;
+
+/** A function index, global to a program. */
+using FuncId = std::uint32_t;
+
+/** A static instruction address assigned by the layout pass. One IR
+ *  instruction occupies one address unit, matching the paper's
+ *  instruction-granular pipeline model. */
+using Addr = std::uint64_t;
+
+/** Sentinel meaning "no register operand". */
+inline constexpr Reg kNoReg = std::numeric_limits<Reg>::max();
+
+/** Sentinel meaning "no block". */
+inline constexpr BlockId kNoBlock = std::numeric_limits<BlockId>::max();
+
+/** Sentinel meaning "no function". */
+inline constexpr FuncId kNoFunc = std::numeric_limits<FuncId>::max();
+
+/** Sentinel meaning "no address". */
+inline constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/** Machine word: all IR values are 64-bit signed integers. */
+using Word = std::int64_t;
+
+} // namespace branchlab::ir
+
+#endif // BRANCHLAB_IR_TYPES_HH

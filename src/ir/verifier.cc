@@ -1,0 +1,261 @@
+#include "ir/verifier.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace branchlab::ir
+{
+
+namespace
+{
+
+/** Collects errors with a per-instruction context prefix. */
+class Checker
+{
+  public:
+    explicit Checker(const Program &program) : prog_(program) {}
+
+    std::vector<std::string> takeErrors() { return std::move(errors_); }
+
+    void
+    run()
+    {
+        if (prog_.numFunctions() == 0) {
+            addError("program has no functions");
+            return;
+        }
+        bool has_main = false;
+        for (FuncId f = 0; f < prog_.numFunctions(); ++f) {
+            if (prog_.function(f).name() == "main") {
+                has_main = true;
+                if (prog_.function(f).numArgs() != 0)
+                    addError("main function must take no arguments");
+            }
+        }
+        if (!has_main)
+            addError("program has no 'main' function");
+        for (FuncId f = 0; f < prog_.numFunctions(); ++f)
+            checkFunction(prog_.function(f));
+    }
+
+  private:
+    void
+    addError(const std::string &text)
+    {
+        errors_.push_back(context_.empty() ? text : context_ + ": " + text);
+    }
+
+    void
+    checkFunction(const Function &func)
+    {
+        if (func.numBlocks() == 0) {
+            context_ = func.name();
+            addError("function has no blocks");
+            context_.clear();
+            return;
+        }
+        for (const BasicBlock &block : func.blocks()) {
+            for (std::size_t i = 0; i < block.size(); ++i) {
+                std::ostringstream ctx;
+                ctx << func.name() << "." << block.label() << "[" << i
+                    << "]";
+                context_ = ctx.str();
+                checkInst(func, block, i);
+            }
+            context_ = func.name() + "." + block.label();
+            if (!block.isSealed())
+                addError("block lacks a terminator");
+            context_.clear();
+        }
+    }
+
+    void
+    checkReg(const Function &func, Reg reg, const char *role)
+    {
+        if (reg == kNoReg) {
+            addError(std::string("missing ") + role + " register");
+        } else if (reg >= func.numRegs()) {
+            addError(std::string(role) + " register r" +
+                     std::to_string(reg) + " out of range (numRegs=" +
+                     std::to_string(func.numRegs()) + ")");
+        }
+    }
+
+    void
+    checkBlockRef(const Function &func, BlockId block, const char *role)
+    {
+        if (block == kNoBlock) {
+            addError(std::string("missing ") + role + " block");
+        } else if (block >= func.numBlocks()) {
+            addError(std::string(role) + " block " +
+                     std::to_string(block) + " out of range");
+        }
+    }
+
+    void
+    checkFuncRef(FuncId func, const char *role)
+    {
+        if (func == kNoFunc) {
+            addError(std::string("missing ") + role + " function");
+        } else if (func >= prog_.numFunctions()) {
+            addError(std::string(role) + " function " +
+                     std::to_string(func) + " out of range");
+        }
+    }
+
+    void
+    checkChannel(Word channel)
+    {
+        if (channel < 0 || channel >= kMaxChannels) {
+            addError("I/O channel " + std::to_string(channel) +
+                     " out of range");
+        }
+    }
+
+    void
+    checkInst(const Function &func, const BasicBlock &block,
+              std::size_t index)
+    {
+        const Instruction &inst = block.inst(index);
+        const bool is_last = index + 1 == block.size();
+
+        if (inst.isTerminator() && !is_last) {
+            addError("terminator '" + opcodeName(inst.op) +
+                     "' in the middle of a block");
+            return;
+        }
+
+        switch (inst.op) {
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::Mul:
+          case Opcode::Div:
+          case Opcode::Rem:
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+          case Opcode::Shl:
+          case Opcode::Shr:
+            checkReg(func, inst.dst, "destination");
+            checkReg(func, inst.src1, "first source");
+            if (!inst.useImm)
+                checkReg(func, inst.src2, "second source");
+            break;
+          case Opcode::Not:
+          case Opcode::Neg:
+          case Opcode::Mov:
+            checkReg(func, inst.dst, "destination");
+            checkReg(func, inst.src1, "source");
+            break;
+          case Opcode::Ldi:
+            checkReg(func, inst.dst, "destination");
+            break;
+          case Opcode::Ld:
+            checkReg(func, inst.dst, "destination");
+            checkReg(func, inst.src1, "base");
+            break;
+          case Opcode::St:
+            checkReg(func, inst.src1, "base");
+            checkReg(func, inst.src2, "value");
+            break;
+          case Opcode::Ldf:
+            checkReg(func, inst.dst, "destination");
+            checkFuncRef(inst.func, "referenced");
+            break;
+          case Opcode::In:
+            checkReg(func, inst.dst, "destination");
+            checkChannel(inst.imm);
+            break;
+          case Opcode::Out:
+            checkReg(func, inst.src1, "source");
+            checkChannel(inst.imm);
+            break;
+          case Opcode::Nop:
+            break;
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Ble:
+          case Opcode::Bgt:
+          case Opcode::Bge:
+            checkReg(func, inst.src1, "first compare");
+            if (!inst.useImm)
+                checkReg(func, inst.src2, "second compare");
+            checkBlockRef(func, inst.target, "taken");
+            checkBlockRef(func, inst.next, "fallthrough");
+            break;
+          case Opcode::Jmp:
+            checkBlockRef(func, inst.target, "jump");
+            break;
+          case Opcode::JTab:
+            checkReg(func, inst.src1, "index");
+            if (inst.table.empty())
+                addError("empty jump table");
+            for (BlockId b : inst.table)
+                checkBlockRef(func, b, "table");
+            break;
+          case Opcode::Call:
+          case Opcode::CallInd:
+            if (inst.op == Opcode::Call) {
+                checkFuncRef(inst.func, "callee");
+                if (inst.func < prog_.numFunctions() &&
+                    inst.args.size() !=
+                        prog_.function(inst.func).numArgs()) {
+                    addError("call passes " +
+                             std::to_string(inst.args.size()) +
+                             " args, callee expects " +
+                             std::to_string(
+                                 prog_.function(inst.func).numArgs()));
+                }
+            } else {
+                checkReg(func, inst.src1, "callee");
+            }
+            for (Reg a : inst.args)
+                checkReg(func, a, "argument");
+            if (inst.dst != kNoReg)
+                checkReg(func, inst.dst, "result");
+            checkBlockRef(func, inst.next, "continuation");
+            break;
+          case Opcode::Ret:
+            if (inst.src1 != kNoReg)
+                checkReg(func, inst.src1, "return value");
+            break;
+          case Opcode::Halt:
+            break;
+        }
+    }
+
+    const Program &prog_;
+    std::vector<std::string> errors_;
+    std::string context_;
+};
+
+} // namespace
+
+std::string
+VerifyResult::message() const
+{
+    return joinStrings(errors, "\n");
+}
+
+VerifyResult
+verifyProgram(const Program &program)
+{
+    Checker checker(program);
+    checker.run();
+    return VerifyResult{checker.takeErrors()};
+}
+
+void
+verifyProgramOrDie(const Program &program)
+{
+    const VerifyResult result = verifyProgram(program);
+    if (!result.ok()) {
+        blab_fatal("program '", program.name(), "' failed verification:\n",
+                   result.message());
+    }
+}
+
+} // namespace branchlab::ir

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Structural validity checks for IR programs.
+ *
+ * The verifier is run by the VM and the benchmark harness before any
+ * program executes; a workload that fails verification is a BranchLab
+ * bug, so failures collect into a report the tests can assert on.
+ */
+
+#ifndef BRANCHLAB_IR_VERIFIER_HH
+#define BRANCHLAB_IR_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace branchlab::ir
+{
+
+/** Outcome of verifying a program. */
+struct VerifyResult
+{
+    std::vector<std::string> errors;
+
+    bool ok() const { return errors.empty(); }
+    /** All error messages joined with newlines. */
+    std::string message() const;
+};
+
+/**
+ * Check a program for structural validity:
+ *  - at least one function; main takes no arguments;
+ *  - every block sealed by exactly one terminator, terminator last;
+ *  - every register operand inside the function's register count;
+ *  - every block/function reference in range;
+ *  - jump tables non-empty with valid entries;
+ *  - I/O channels within the VM's channel limit.
+ */
+VerifyResult verifyProgram(const Program &program);
+
+/** Verify and blab_fatal on failure (convenience for tools). */
+void verifyProgramOrDie(const Program &program);
+
+/** Maximum I/O channel index the VM supports (exclusive). */
+inline constexpr Word kMaxChannels = 8;
+
+} // namespace branchlab::ir
+
+#endif // BRANCHLAB_IR_VERIFIER_HH

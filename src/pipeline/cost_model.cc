@@ -1,0 +1,88 @@
+#include "pipeline/cost_model.hh"
+
+#include "support/logging.hh"
+
+namespace branchlab::pipeline
+{
+
+double
+PipelineConfig::effectiveEllBar() const
+{
+    const double value = ellBar < 0.0 ? static_cast<double>(ell) : ellBar;
+    blab_assert(value <= static_cast<double>(ell),
+                "l-bar cannot exceed l");
+    return value;
+}
+
+double
+PipelineConfig::effectiveMBar() const
+{
+    const double value =
+        mBar < 0.0 ? fCond * static_cast<double>(m) : mBar;
+    blab_assert(value <= static_cast<double>(m), "m-bar cannot exceed m");
+    return value;
+}
+
+double
+PipelineConfig::flushDepth() const
+{
+    return static_cast<double>(k) + effectiveEllBar() + effectiveMBar();
+}
+
+double
+branchCost(double accuracy, double flush_depth)
+{
+    blab_assert(accuracy >= 0.0 && accuracy <= 1.0,
+                "accuracy must lie in [0, 1]");
+    blab_assert(flush_depth >= 0.0, "flush depth must be non-negative");
+    return accuracy + flush_depth * (1.0 - accuracy);
+}
+
+double
+branchCost(double accuracy, const PipelineConfig &config)
+{
+    return branchCost(accuracy, config.flushDepth());
+}
+
+double
+figureCost(double accuracy, unsigned k, double ell_plus_m_bar)
+{
+    return branchCost(accuracy,
+                      static_cast<double>(k) + ell_plus_m_bar);
+}
+
+std::vector<double>
+figureSeries(double accuracy, unsigned k, unsigned x_max)
+{
+    std::vector<double> series;
+    series.reserve(x_max + 1);
+    for (unsigned x = 0; x <= x_max; ++x)
+        series.push_back(figureCost(accuracy, k, x));
+    return series;
+}
+
+double
+costGrowthPercent(double accuracy, double flush1, double flush2)
+{
+    const double c1 = branchCost(accuracy, flush1);
+    const double c2 = branchCost(accuracy, flush2);
+    return (c2 - c1) / c1 * 100.0;
+}
+
+double
+refinedBranchCost(double a_cond, double a_uncond, double f_cond,
+                  const PipelineConfig &config)
+{
+    blab_assert(f_cond >= 0.0 && f_cond <= 1.0,
+                "f_cond must lie in [0, 1]");
+    const double cond_depth =
+        static_cast<double>(config.k) + config.effectiveEllBar() +
+        static_cast<double>(config.m);
+    const double uncond_depth =
+        static_cast<double>(config.k) + config.effectiveEllBar();
+    const double cond_cost = branchCost(a_cond, cond_depth);
+    const double uncond_cost = branchCost(a_uncond, uncond_depth);
+    return f_cond * cond_cost + (1.0 - f_cond) * uncond_cost;
+}
+
+} // namespace branchlab::pipeline

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The paper's branch cost model (section 2.3):
+ *
+ *     cost = A + (k + l-bar + m-bar)(1 - A)   [cycles per branch]
+ *
+ * where A is the prediction accuracy, k the instruction-memory-access
+ * depth of the fetch unit, l-bar the average decode-unit flush
+ * (0 <= l-bar <= l, = l for RISC pipelines) and m-bar the average
+ * execution-unit flush (= f_cond * m under compiler-static
+ * interlocking, f_cond being the conditional fraction of branches).
+ */
+
+#ifndef BRANCHLAB_PIPELINE_COST_MODEL_HH
+#define BRANCHLAB_PIPELINE_COST_MODEL_HH
+
+#include <vector>
+
+namespace branchlab::pipeline
+{
+
+/** The pipeline shape of Figure 1. */
+struct PipelineConfig
+{
+    /** Instruction-memory access stages in the fetch unit (the fetch
+     *  unit also has one next-address select stage). */
+    unsigned k = 1;
+    /** Decode stages. */
+    unsigned ell = 1;
+    /** Execute stages. */
+    unsigned m = 1;
+    /** Average decode flush; negative means "use ell" (RISC). */
+    double ellBar = -1.0;
+    /** Average execute flush; negative means "use fCond * m"
+     *  (compiler-static interlocking). */
+    double mBar = -1.0;
+    /** Fraction of dynamic branches that are conditional. */
+    double fCond = 1.0;
+
+    /** Effective l-bar after defaulting. */
+    double effectiveEllBar() const;
+    /** Effective m-bar after defaulting. */
+    double effectiveMBar() const;
+    /** Average instructions flushed per mispredict:
+     *  k + l-bar + m-bar. */
+    double flushDepth() const;
+    /** Total pipeline stages (select + k + l + m + state update). */
+    unsigned totalStages() const { return 1 + k + ell + m + 1; }
+};
+
+/** The paper's cost equation. @p accuracy must lie in [0, 1]. */
+double branchCost(double accuracy, double flush_depth);
+
+/** Cost under a pipeline configuration. */
+double branchCost(double accuracy, const PipelineConfig &config);
+
+/**
+ * One point of the Figure 3/4 curves: cost at a given l-bar + m-bar
+ * for fixed k (the figures sweep the x axis l-bar + m-bar directly).
+ */
+double figureCost(double accuracy, unsigned k, double ell_plus_m_bar);
+
+/** A whole Figure 3/4 series: x = 0..x_max inclusive (integer steps). */
+std::vector<double> figureSeries(double accuracy, unsigned k,
+                                 unsigned x_max);
+
+/**
+ * Percentage increase from cost(a) at flush depth d1 to depth d2 --
+ * the Table 4 scaling metric (paper: 7.7% / 6.9% / 5.3% for
+ * SBTB / CBTB / FS going from k + l-bar = 2 to 3 at m-bar = 1).
+ */
+double costGrowthPercent(double accuracy, double flush1, double flush2);
+
+/**
+ * Refined per-class cost (extension): instead of folding the
+ * conditional/unconditional resolution depths into m-bar with f_cond,
+ * weight the two classes by their own accuracies:
+ *
+ *   cost = f_cond * [a_cond + (k + l + m)(1 - a_cond)]
+ *        + (1 - f_cond) * [a_uncond + (k + l)(1 - a_uncond)]
+ *
+ * The cycle simulator matches this exactly (unconditional branches
+ * resolve at the end of decode); the paper's single-A model is its
+ * f_cond-averaged approximation.
+ */
+double refinedBranchCost(double a_cond, double a_uncond, double f_cond,
+                         const PipelineConfig &config);
+
+} // namespace branchlab::pipeline
+
+#endif // BRANCHLAB_PIPELINE_COST_MODEL_HH

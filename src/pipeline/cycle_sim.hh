@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A cycle-level, single-issue, in-order pipeline simulator used to
+ * *validate* the analytic cost model rather than assume it.
+ *
+ * The machine of Figure 1 is modelled event-style: one instruction is
+ * fetched per cycle; a correctly predicted branch disturbs nothing; a
+ * mispredicted branch blocks correct-path fetch until it resolves --
+ * at the end of the decode unit for unconditional branches (their
+ * action and target are known there) and at the end of the execution
+ * unit for conditional branches. The resulting average cycles per
+ * branch should match the analytic model with l-bar = l and
+ * m-bar = f_cond * m, which the tests and the model-validation bench
+ * assert.
+ */
+
+#ifndef BRANCHLAB_PIPELINE_CYCLE_SIM_HH
+#define BRANCHLAB_PIPELINE_CYCLE_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pipeline/cost_model.hh"
+#include "predict/predictor.hh"
+
+namespace branchlab::pipeline
+{
+
+/** One committed instruction fed to the cycle simulator. */
+struct StreamItem
+{
+    bool isBranch = false;
+    bool conditional = false;
+    /** Whether the fetch-time prediction was correct (only meaningful
+     *  for branches). */
+    bool predictedCorrect = true;
+};
+
+/** Outcome of a cycle-level simulation. */
+struct CycleResult
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t penaltyCycles = 0;
+
+    /** Measured average cycles attributable to each branch:
+     *  1 + penaltyCycles / branches (0 branches -> 0). */
+    double avgBranchCost() const;
+};
+
+/** The simulator. Stateless between calls. */
+class CyclePipeline
+{
+  public:
+    explicit CyclePipeline(const PipelineConfig &config)
+        : config_(config)
+    {}
+
+    /** Simulate a committed stream. */
+    CycleResult simulate(const std::vector<StreamItem> &stream) const;
+
+    /** Penalty (blocked fetch cycles) of one mispredicted branch. */
+    unsigned penaltyFor(bool conditional) const;
+
+    const PipelineConfig &config() const { return config_; }
+
+  private:
+    PipelineConfig config_;
+};
+
+/**
+ * Adapter: replay a recorded branch stream against a predictor,
+ * interleaving @p nonbranch_run non-branch instructions before each
+ * branch (use the workload's measured instructions-per-branch), and
+ * produce the cycle simulator's input.
+ */
+std::vector<StreamItem>
+buildStream(const std::vector<trace::BranchEvent> &events,
+            predict::BranchPredictor &predictor, unsigned nonbranch_run);
+
+} // namespace branchlab::pipeline
+
+#endif // BRANCHLAB_PIPELINE_CYCLE_SIM_HH

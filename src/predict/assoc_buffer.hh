@@ -1,0 +1,216 @@
+/**
+ * @file
+ * A set-associative tagged buffer, the hardware substrate shared by
+ * the SBTB and CBTB (and usable for any address-tagged structure).
+ *
+ * The paper's buffers are 256-entry fully associative with LRU
+ * replacement; geometry and policy are parameterised here so the
+ * ablation benches can sweep them.
+ */
+
+#ifndef BRANCHLAB_PREDICT_ASSOC_BUFFER_HH
+#define BRANCHLAB_PREDICT_ASSOC_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/types.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace branchlab::predict
+{
+
+/** Victim-selection policy on a full set. */
+enum class ReplacementPolicy
+{
+    Lru,    ///< Evict the least recently touched way.
+    Fifo,   ///< Evict the oldest-inserted way.
+    Random, ///< Evict a uniformly random way.
+};
+
+/** Geometry + policy of an associative buffer. */
+struct BufferConfig
+{
+    /** Total entries; must be a positive multiple of associativity. */
+    std::size_t entries = 256;
+    /** Ways per set; 0 means fully associative. */
+    std::size_t associativity = 0;
+    ReplacementPolicy policy = ReplacementPolicy::Lru;
+    /** Seed for the Random policy. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * The buffer. @tparam Entry is the payload stored per tag (e.g. a
+ * target address, or target + counter for the CBTB).
+ */
+template <typename Entry>
+class AssociativeBuffer
+{
+  public:
+    explicit AssociativeBuffer(const BufferConfig &config)
+        : config_(config), rng_(config.seed)
+    {
+        blab_assert(config.entries > 0, "buffer needs entries");
+        const std::size_t assoc = config.associativity == 0
+                                      ? config.entries
+                                      : config.associativity;
+        blab_assert(config.entries % assoc == 0,
+                    "entries must be a multiple of associativity");
+        assoc_ = assoc;
+        numSets_ = config.entries / assoc;
+        ways_.assign(config.entries, Way{});
+    }
+
+    /**
+     * Look up a tag; touches LRU state on hit.
+     * @return pointer to the payload, or nullptr on miss.
+     */
+    Entry *
+    find(ir::Addr tag)
+    {
+        Way *way = findWay(tag);
+        if (way == nullptr)
+            return nullptr;
+        way->lastUse = ++tick_;
+        return &way->entry;
+    }
+
+    /** Look up without touching replacement state (for inspection). */
+    const Entry *
+    peek(ir::Addr tag) const
+    {
+        const std::size_t set = setOf(tag);
+        for (std::size_t w = 0; w < assoc_; ++w) {
+            const Way &way = ways_[set * assoc_ + w];
+            if (way.valid && way.tag == tag)
+                return &way.entry;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Insert a tag (which must not be resident), evicting a victim by
+     * the configured policy when the set is full.
+     * @return reference to the fresh (default-constructed) payload.
+     */
+    Entry &
+    insert(ir::Addr tag)
+    {
+        blab_assert(findWay(tag) == nullptr,
+                    "insert of already-resident tag");
+        const std::size_t set = setOf(tag);
+        Way *victim = nullptr;
+        for (std::size_t w = 0; w < assoc_; ++w) {
+            Way &way = ways_[set * assoc_ + w];
+            if (!way.valid) {
+                victim = &way;
+                break;
+            }
+        }
+        if (victim == nullptr)
+            victim = pickVictim(set);
+        victim->valid = true;
+        victim->tag = tag;
+        victim->entry = Entry{};
+        victim->lastUse = ++tick_;
+        victim->inserted = tick_;
+        return victim->entry;
+    }
+
+    /** Remove a tag if resident (the SBTB's delete-on-fallthrough). */
+    void
+    erase(ir::Addr tag)
+    {
+        Way *way = findWay(tag);
+        if (way != nullptr)
+            way->valid = false;
+    }
+
+    /** Invalidate everything (context switch). */
+    void
+    flush()
+    {
+        for (Way &way : ways_)
+            way.valid = false;
+    }
+
+    /** Number of valid entries (for tests). */
+    std::size_t
+    occupancy() const
+    {
+        std::size_t count = 0;
+        for (const Way &way : ways_)
+            count += way.valid ? 1 : 0;
+        return count;
+    }
+
+    const BufferConfig &config() const { return config_; }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        ir::Addr tag = ir::kNoAddr;
+        std::uint64_t lastUse = 0;
+        std::uint64_t inserted = 0;
+        Entry entry{};
+    };
+
+    std::size_t
+    setOf(ir::Addr tag) const
+    {
+        return static_cast<std::size_t>(tag) % numSets_;
+    }
+
+    Way *
+    findWay(ir::Addr tag)
+    {
+        const std::size_t set = setOf(tag);
+        for (std::size_t w = 0; w < assoc_; ++w) {
+            Way &way = ways_[set * assoc_ + w];
+            if (way.valid && way.tag == tag)
+                return &way;
+        }
+        return nullptr;
+    }
+
+    Way *
+    pickVictim(std::size_t set)
+    {
+        Way *base = &ways_[set * assoc_];
+        switch (config_.policy) {
+          case ReplacementPolicy::Lru: {
+            Way *victim = base;
+            for (std::size_t w = 1; w < assoc_; ++w) {
+                if (base[w].lastUse < victim->lastUse)
+                    victim = &base[w];
+            }
+            return victim;
+          }
+          case ReplacementPolicy::Fifo: {
+            Way *victim = base;
+            for (std::size_t w = 1; w < assoc_; ++w) {
+                if (base[w].inserted < victim->inserted)
+                    victim = &base[w];
+            }
+            return victim;
+          }
+          case ReplacementPolicy::Random:
+            return &base[rng_.nextBelow(assoc_)];
+        }
+        blab_panic("unreachable replacement policy");
+    }
+
+    BufferConfig config_;
+    std::size_t assoc_ = 0;
+    std::size_t numSets_ = 0;
+    std::uint64_t tick_ = 0;
+    std::vector<Way> ways_;
+    Rng rng_;
+};
+
+} // namespace branchlab::predict
+
+#endif // BRANCHLAB_PREDICT_ASSOC_BUFFER_HH

@@ -1,0 +1,46 @@
+#include "predict/flushing.hh"
+
+#include "support/logging.hh"
+
+namespace branchlab::predict
+{
+
+FlushingPredictor::FlushingPredictor(BranchPredictor &inner,
+                                     std::uint64_t interval)
+    : inner_(inner), interval_(interval)
+{
+    blab_assert(interval_ > 0, "flush interval must be positive");
+}
+
+std::string
+FlushingPredictor::name() const
+{
+    return inner_.name() + "+cswitch" + std::to_string(interval_);
+}
+
+Prediction
+FlushingPredictor::predict(const BranchQuery &query)
+{
+    if (sinceFlush_ >= interval_) {
+        inner_.flush();
+        ++flushes_;
+        sinceFlush_ = 0;
+    }
+    return inner_.predict(query);
+}
+
+void
+FlushingPredictor::update(const BranchQuery &query,
+                          const trace::BranchEvent &outcome)
+{
+    ++sinceFlush_;
+    inner_.update(query, outcome);
+}
+
+void
+FlushingPredictor::flush()
+{
+    inner_.flush();
+}
+
+} // namespace branchlab::predict

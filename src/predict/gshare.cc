@@ -1,0 +1,84 @@
+#include "predict/gshare.hh"
+
+namespace branchlab::predict
+{
+
+GsharePredictor::GsharePredictor(const GshareConfig &config)
+    : config_(config), targets_(config.targets)
+{
+    blab_assert(config_.historyBits >= 1 && config_.historyBits <= 24,
+                "history bits out of range");
+    mask_ = (1ull << config_.historyBits) - 1;
+    // Weakly not-taken start, matching the not-taken default of the
+    // paper's schemes.
+    counters_.assign(1ull << config_.historyBits, 1);
+}
+
+std::string
+GsharePredictor::name() const
+{
+    return "gshare-" + std::to_string(config_.historyBits);
+}
+
+std::size_t
+GsharePredictor::indexFor(ir::Addr pc) const
+{
+    return static_cast<std::size_t>((history_ ^ pc) & mask_);
+}
+
+Prediction
+GsharePredictor::predict(const BranchQuery &query)
+{
+    // Unconditional branches: last-target buffer, like a BTB.
+    if (!query.conditional) {
+        TargetEntry *entry = targets_.find(query.pc);
+        if (query.staticTarget != ir::kNoAddr)
+            return Prediction{true, query.staticTarget};
+        if (entry == nullptr)
+            return Prediction{false, ir::kNoAddr};
+        return Prediction{true, entry->target};
+    }
+
+    const bool taken = counters_[indexFor(query.pc)] >= 2;
+    if (!taken)
+        return Prediction{false, ir::kNoAddr};
+    return Prediction{true, query.staticTarget};
+}
+
+void
+GsharePredictor::update(const BranchQuery &query,
+                        const trace::BranchEvent &outcome)
+{
+    if (outcome.taken) {
+        TargetEntry *entry = targets_.find(query.pc);
+        if (entry == nullptr)
+            entry = &targets_.insert(query.pc);
+        entry->target = outcome.nextPc;
+    }
+    if (!query.conditional)
+        return;
+    std::uint8_t &counter = counters_[indexFor(query.pc)];
+    if (outcome.taken) {
+        if (counter < 3)
+            ++counter;
+    } else if (counter > 0) {
+        --counter;
+    }
+    history_ = ((history_ << 1) | (outcome.taken ? 1 : 0)) & mask_;
+}
+
+void
+GsharePredictor::flush()
+{
+    history_ = 0;
+    std::fill(counters_.begin(), counters_.end(), 1);
+    targets_.flush();
+}
+
+unsigned
+GsharePredictor::counterAt(ir::Addr pc) const
+{
+    return counters_[static_cast<std::size_t>((history_ ^ pc) & mask_)];
+}
+
+} // namespace branchlab::predict

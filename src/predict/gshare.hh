@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A gshare global-history predictor (McFarling, 1993) -- four years
+ * *after* the paper. Included as a forward-looking baseline: the
+ * paper's conclusion (software prediction matches hardware) predates
+ * history-correlated predictors, and the future-schemes ablation
+ * shows where that conclusion starts to bend.
+ *
+ * Direction: a table of 2-bit counters indexed by (global history XOR
+ * branch address). Targets: a conventional BTB alongside (predicting
+ * taken without a fetch address would never stream correctly).
+ */
+
+#ifndef BRANCHLAB_PREDICT_GSHARE_HH
+#define BRANCHLAB_PREDICT_GSHARE_HH
+
+#include <vector>
+
+#include "predict/assoc_buffer.hh"
+#include "predict/predictor.hh"
+
+namespace branchlab::predict
+{
+
+/** gshare parameters. */
+struct GshareConfig
+{
+    /** Global-history length = log2(counter-table size). */
+    unsigned historyBits = 10;
+    /** Target buffer geometry. */
+    BufferConfig targets{};
+};
+
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    explicit GsharePredictor(const GshareConfig &config = GshareConfig{});
+
+    std::string name() const override;
+
+    Prediction predict(const BranchQuery &query) override;
+    void update(const BranchQuery &query,
+                const trace::BranchEvent &outcome) override;
+    void flush() override;
+
+    /** Counter value at a (pc, current-history) point (tests). */
+    unsigned counterAt(ir::Addr pc) const;
+    std::uint64_t history() const { return history_; }
+
+  private:
+    struct TargetEntry
+    {
+        ir::Addr target = ir::kNoAddr;
+    };
+
+    std::size_t indexFor(ir::Addr pc) const;
+
+    GshareConfig config_;
+    std::uint64_t mask_;
+    std::uint64_t history_ = 0;
+    std::vector<std::uint8_t> counters_;
+    AssociativeBuffer<TargetEntry> targets_;
+};
+
+} // namespace branchlab::predict
+
+#endif // BRANCHLAB_PREDICT_GSHARE_HH

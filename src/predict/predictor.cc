@@ -1,0 +1,70 @@
+#include "predict/predictor.hh"
+
+namespace branchlab::predict
+{
+
+BranchQuery
+makeQuery(const trace::BranchEvent &event)
+{
+    BranchQuery query;
+    query.pc = event.pc;
+    query.op = event.op;
+    query.conditional = event.conditional;
+    query.targetKnown = event.targetKnown;
+    // Only conditionals, direct jumps, and direct calls have their
+    // target statically encoded in the instruction.
+    const bool static_target =
+        event.conditional || event.op == ir::Opcode::Jmp ||
+        event.op == ir::Opcode::Call;
+    query.staticTarget = static_target ? event.targetAddr : ir::kNoAddr;
+    return query;
+}
+
+void
+PredictorStats::merge(const PredictorStats &other)
+{
+    accuracy.merge(other.accuracy);
+    conditionalAccuracy.merge(other.conditionalAccuracy);
+    unconditionalAccuracy.merge(other.unconditionalAccuracy);
+    predictedTaken.merge(other.predictedTaken);
+}
+
+void
+PredictorStats::reset()
+{
+    accuracy.reset();
+    conditionalAccuracy.reset();
+    unconditionalAccuracy.reset();
+    predictedTaken.reset();
+}
+
+bool
+PredictionDriver::isCorrect(const Prediction &prediction,
+                            const trace::BranchEvent &outcome)
+{
+    if (!prediction.taken) {
+        // Sequential fetch: right exactly when the branch fell
+        // through (unconditional branches never do).
+        return !outcome.taken;
+    }
+    return outcome.taken && prediction.target == outcome.nextPc;
+}
+
+void
+PredictionDriver::onBranch(const trace::BranchEvent &event)
+{
+    const BranchQuery query = makeQuery(event);
+    const Prediction prediction = predictor_.predict(query);
+    const bool correct = isCorrect(prediction, event);
+
+    stats_.accuracy.record(correct);
+    if (event.conditional)
+        stats_.conditionalAccuracy.record(correct);
+    else
+        stats_.unconditionalAccuracy.record(correct);
+    stats_.predictedTaken.record(prediction.taken);
+
+    predictor_.update(query, event);
+}
+
+} // namespace branchlab::predict

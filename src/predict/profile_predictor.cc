@@ -1,0 +1,34 @@
+#include "predict/profile_predictor.hh"
+
+namespace branchlab::predict
+{
+
+Prediction
+ProfilePredictor::predict(const BranchQuery &query)
+{
+    // Direct unconditional transfers are always right: the target is
+    // static and the forward slots hold its path.
+    if (!query.conditional && query.staticTarget != ir::kNoAddr)
+        return Prediction{true, query.staticTarget};
+
+    const auto it = map_.find(query.pc);
+    if (it == map_.end()) {
+        // Never executed during profiling: the compiler leaves the
+        // likely bit clear (conditional) and cannot fill slots
+        // (indirect), so the fetch unit streams sequentially.
+        ++cold_;
+        return Prediction{false, ir::kNoAddr};
+    }
+
+    if (query.conditional) {
+        if (!it->second.likelyTaken)
+            return Prediction{false, ir::kNoAddr};
+        return Prediction{true, query.staticTarget};
+    }
+
+    // Return / indirect jump / indirect call: slots hold the dominant
+    // profiled target's path.
+    return Prediction{true, it->second.dominantTarget};
+}
+
+} // namespace branchlab::predict

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The prediction half of the Forward Semantic scheme (paper section
+ * 2.2): an optimizing, profiling compiler sets a "likely-taken" bit in
+ * every branch instruction from observed behaviour, and fills forward
+ * slots with the target path's instructions.
+ *
+ * Prediction-accuracy semantics (A_FS):
+ *  - conditional branches follow their likely bit; when the bit says
+ *    taken, the forward slots supply the (statically known) target
+ *    path, so the prediction is correct iff the branch is taken;
+ *  - direct jumps and calls always predict correctly (static target);
+ *  - returns and data-dependent jumps (JTab/CallInd) predict taken
+ *    with the *profile-dominant* target copied into the slots: the
+ *    prediction is correct only when the dynamic target matches the
+ *    dominant one. This is the software analogue of the hardware
+ *    schemes' last-target entry and implements the paper's remark that
+ *    unknown-target branches "pose a problem for all three schemes".
+ *
+ * The scheme holds no run-time state, so flush() (context switch) has
+ * no effect -- the property section 3 highlights.
+ */
+
+#ifndef BRANCHLAB_PREDICT_PROFILE_PREDICTOR_HH
+#define BRANCHLAB_PREDICT_PROFILE_PREDICTOR_HH
+
+#include <unordered_map>
+
+#include "predict/predictor.hh"
+
+namespace branchlab::predict
+{
+
+/** What the profiling compiler encodes for one static branch. */
+struct LikelyInfo
+{
+    /** The likely-taken bit. */
+    bool likelyTaken = false;
+    /** Dominant dynamic target from the profile (kNoAddr when the
+     *  branch never executed in the profile runs). */
+    ir::Addr dominantTarget = ir::kNoAddr;
+};
+
+/** Map from branch address to its compiled-in prediction. */
+using LikelyMap = std::unordered_map<ir::Addr, LikelyInfo>;
+
+class ProfilePredictor : public BranchPredictor
+{
+  public:
+    explicit ProfilePredictor(LikelyMap map) : map_(std::move(map)) {}
+
+    std::string name() const override { return "forward-semantic"; }
+
+    Prediction predict(const BranchQuery &query) override;
+
+    void update(const BranchQuery &, const trace::BranchEvent &) override
+    {
+        // Compile-time prediction: nothing learns at run time.
+    }
+
+    const LikelyMap &map() const { return map_; }
+
+    /** Branches the profile never saw predict not-taken; count them
+     *  for diagnostics. */
+    std::uint64_t coldBranches() const { return cold_; }
+
+  private:
+    LikelyMap map_;
+    std::uint64_t cold_ = 0;
+};
+
+} // namespace branchlab::predict
+
+#endif // BRANCHLAB_PREDICT_PROFILE_PREDICTOR_HH

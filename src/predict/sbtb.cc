@@ -1,0 +1,47 @@
+#include "predict/sbtb.hh"
+
+namespace branchlab::predict
+{
+
+SimpleBtb::SimpleBtb(const BufferConfig &config) : buffer_(config) {}
+
+std::string
+SimpleBtb::name() const
+{
+    return "SBTB-" + std::to_string(buffer_.config().entries);
+}
+
+Prediction
+SimpleBtb::predict(const BranchQuery &query)
+{
+    Entry *entry = buffer_.find(query.pc);
+    lookups_.record(entry != nullptr);
+    if (entry == nullptr)
+        return Prediction{false, ir::kNoAddr};
+    return Prediction{true, entry->target};
+}
+
+void
+SimpleBtb::update(const BranchQuery &query,
+                  const trace::BranchEvent &outcome)
+{
+    if (outcome.taken) {
+        Entry *entry = buffer_.find(query.pc);
+        if (entry == nullptr)
+            entry = &buffer_.insert(query.pc);
+        // Keep the most recent target so returns and indirect jumps
+        // track their last destination.
+        entry->target = outcome.nextPc;
+    } else {
+        // Predicted taken (if resident) but fell through: delete.
+        buffer_.erase(query.pc);
+    }
+}
+
+void
+SimpleBtb::flush()
+{
+    buffer_.flush();
+}
+
+} // namespace branchlab::predict

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The Simple Branch Target Buffer (paper section 2.2).
+ *
+ * Remembers taken branches only. A hit predicts taken with the stored
+ * target; a miss predicts not-taken. A branch that was predicted
+ * taken (i.e. hit) but fell through has its entry deleted. The paper
+ * evaluates a 256-entry fully-associative LRU configuration.
+ */
+
+#ifndef BRANCHLAB_PREDICT_SBTB_HH
+#define BRANCHLAB_PREDICT_SBTB_HH
+
+#include "predict/assoc_buffer.hh"
+#include "predict/predictor.hh"
+
+namespace branchlab::predict
+{
+
+class SimpleBtb : public BranchPredictor
+{
+  public:
+    explicit SimpleBtb(const BufferConfig &config = BufferConfig{});
+
+    std::string name() const override;
+
+    Prediction predict(const BranchQuery &query) override;
+    void update(const BranchQuery &query,
+                const trace::BranchEvent &outcome) override;
+    void flush() override;
+
+    /** The paper's rho_SBTB: fraction of branch lookups that missed. */
+    double missRatio() const { return lookups_.complement(); }
+    std::uint64_t lookups() const { return lookups_.total(); }
+    std::uint64_t hits() const { return lookups_.hits(); }
+
+    /** Valid entries currently resident (tests). */
+    std::size_t occupancy() const { return buffer_.occupancy(); }
+
+  private:
+    struct Entry
+    {
+        ir::Addr target = ir::kNoAddr;
+    };
+
+    AssociativeBuffer<Entry> buffer_;
+    Ratio lookups_; ///< hit/total over predict() calls.
+};
+
+} // namespace branchlab::predict
+
+#endif // BRANCHLAB_PREDICT_SBTB_HH

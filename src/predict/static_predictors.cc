@@ -1,0 +1,64 @@
+#include "predict/static_predictors.hh"
+
+namespace branchlab::predict
+{
+
+Prediction
+AlwaysTaken::predict(const BranchQuery &query)
+{
+    // Without a decodable target the fetch unit has nothing to fetch;
+    // the taken prediction then never streams the right path.
+    return Prediction{true, query.staticTarget};
+}
+
+Prediction
+AlwaysNotTaken::predict(const BranchQuery &)
+{
+    return Prediction{false, ir::kNoAddr};
+}
+
+Prediction
+BackwardTaken::predict(const BranchQuery &query)
+{
+    if (query.staticTarget == ir::kNoAddr)
+        return Prediction{false, ir::kNoAddr};
+    if (!query.conditional)
+        return Prediction{true, query.staticTarget};
+    if (query.staticTarget < query.pc)
+        return Prediction{true, query.staticTarget};
+    return Prediction{false, ir::kNoAddr};
+}
+
+OpcodeBias::OpcodeBias()
+{
+    // Loop-flavoured default: equality tests skip, ordered tests that
+    // guard back-edges retake. Unconditionals resolve via the static
+    // target in predict().
+    bias_[ir::Opcode::Beq] = false;
+    bias_[ir::Opcode::Bne] = true;
+    bias_[ir::Opcode::Blt] = true;
+    bias_[ir::Opcode::Ble] = true;
+    bias_[ir::Opcode::Bgt] = false;
+    bias_[ir::Opcode::Bge] = false;
+}
+
+OpcodeBias::OpcodeBias(std::map<ir::Opcode, bool> bias)
+    : bias_(std::move(bias))
+{}
+
+Prediction
+OpcodeBias::predict(const BranchQuery &query)
+{
+    if (!query.conditional) {
+        if (query.staticTarget == ir::kNoAddr)
+            return Prediction{false, ir::kNoAddr};
+        return Prediction{true, query.staticTarget};
+    }
+    const auto it = bias_.find(query.op);
+    const bool taken = it != bias_.end() && it->second;
+    if (!taken)
+        return Prediction{false, ir::kNoAddr};
+    return Prediction{true, query.staticTarget};
+}
+
+} // namespace branchlab::predict

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The static (no-dynamic-state) prediction schemes surveyed in the
+ * paper's introduction, implemented as comparison baselines:
+ *
+ *  - always taken (reported 63-77% accurate in [1][3][2][4]);
+ *  - always not-taken;
+ *  - backward-taken / forward-not-taken (BTFNT, J. E. Smith's rule,
+ *    76.5% average in [4]);
+ *  - per-opcode bias (the prediction-in-ROM scheme, 66.2-86.7%).
+ *
+ * None of these consult run-time state, so flush() is a no-op and
+ * their accuracy is immune to context switches.
+ */
+
+#ifndef BRANCHLAB_PREDICT_STATIC_PREDICTORS_HH
+#define BRANCHLAB_PREDICT_STATIC_PREDICTORS_HH
+
+#include <map>
+
+#include "predict/predictor.hh"
+
+namespace branchlab::predict
+{
+
+/** Predict every branch taken, fetching the static target. */
+class AlwaysTaken : public BranchPredictor
+{
+  public:
+    std::string name() const override { return "always-taken"; }
+    Prediction predict(const BranchQuery &query) override;
+    void update(const BranchQuery &, const trace::BranchEvent &) override
+    {}
+};
+
+/** Predict every branch not-taken (plain sequential fetch). */
+class AlwaysNotTaken : public BranchPredictor
+{
+  public:
+    std::string name() const override { return "always-not-taken"; }
+    Prediction predict(const BranchQuery &query) override;
+    void update(const BranchQuery &, const trace::BranchEvent &) override
+    {}
+};
+
+/**
+ * Backward-taken / forward-not-taken. Backward conditional branches
+ * (loop back-edges) predict taken; forward conditionals predict
+ * not-taken. Unconditional branches with static targets predict
+ * taken; unknown-target branches fall back to not-taken.
+ */
+class BackwardTaken : public BranchPredictor
+{
+  public:
+    std::string name() const override { return "btfnt"; }
+    Prediction predict(const BranchQuery &query) override;
+    void update(const BranchQuery &, const trace::BranchEvent &) override
+    {}
+};
+
+/**
+ * Per-opcode bias, as stored in a ROM alongside the microcode. The
+ * default table predicts loop-flavoured comparisons taken. A custom
+ * table can be supplied (e.g. one measured from a profile).
+ */
+class OpcodeBias : public BranchPredictor
+{
+  public:
+    OpcodeBias();
+    explicit OpcodeBias(std::map<ir::Opcode, bool> bias);
+
+    std::string name() const override { return "opcode-bias"; }
+    Prediction predict(const BranchQuery &query) override;
+    void update(const BranchQuery &, const trace::BranchEvent &) override
+    {}
+
+  private:
+    std::map<ir::Opcode, bool> bias_;
+};
+
+} // namespace branchlab::predict
+
+#endif // BRANCHLAB_PREDICT_STATIC_PREDICTORS_HH

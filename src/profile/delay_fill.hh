@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Delayed-branch-with-squashing analysis -- the McFarling & Hennessy
+ * scheme [1] the paper contrasts the Forward Semantic against in
+ * section 2.2.
+ *
+ * A machine with d delay slots executes the d instructions after each
+ * branch unconditionally (plain delayed branch) or squashes them on a
+ * mispredict (squashing variant). The compiler fills slots, in order
+ * of preference, with
+ *
+ *  1. instructions from *before* the branch (useful on both paths;
+ *     legal when they do not produce the branch's condition operands),
+ *  2. instructions from the predicted path (squashing variant: useful
+ *     only when the prediction holds), or
+ *  3. NO-OPs (pure waste).
+ *
+ * This pass performs (1) exactly -- a dependence-checked suffix move
+ * within the branch's basic block -- and accounts (2)/(3) with the
+ * profile's per-branch majority accuracy and target availability. The
+ * headline outputs are the per-slot fill probabilities (McFarling &
+ * Hennessy report ~70% for the first slot, ~25% for the second) and
+ * the expected branch cost at a given pipeline depth.
+ */
+
+#ifndef BRANCHLAB_PROFILE_DELAY_FILL_HH
+#define BRANCHLAB_PROFILE_DELAY_FILL_HH
+
+#include <vector>
+
+#include "profile/profile.hh"
+
+namespace branchlab::profile
+{
+
+/** Per-static-branch fill analysis. */
+struct DelaySite
+{
+    ir::CodeLocation branch{};
+    /** Dynamic executions (profile weight). */
+    std::uint64_t weight = 0;
+    /** Slots fillable from above (dependence-checked suffix). */
+    unsigned fromAbove = 0;
+    /** Remaining slots fillable from the predicted path (0 when the
+     *  branch's likely target is not static). */
+    unsigned fromTarget = 0;
+    /** Slots left as NO-OPs. */
+    unsigned nops = 0;
+    /** Probability the branch follows its predicted (majority)
+     *  direction and target, from the profile. */
+    double predictProb = 0.0;
+};
+
+/** Whole-program results for one slot count d. */
+struct DelayFillResult
+{
+    unsigned slots = 0;
+    std::vector<DelaySite> sites;
+
+    /** Dynamic probability that slot @p index (0-based) is filled
+     *  with an always-useful (from-above) instruction. */
+    double aboveFillRate(unsigned index) const;
+
+    /** Dynamic average of slots filled from above. */
+    double meanAboveFilled() const;
+
+    /**
+     * Expected cycles per branch for the squashing machine with
+     * d = @p flush_depth delay slots: 1 for the branch, plus one
+     * wasted cycle per NO-OP slot, plus (1 - p) wasted cycles per
+     * predicted-path slot.
+     */
+    double expectedBranchCost() const;
+};
+
+/**
+ * Analyse every *executed* branch of a profiled program for a
+ * d-slot delayed-branch machine. Zero-weight branches are skipped
+ * (they contribute nothing to dynamic rates).
+ */
+DelayFillResult analyzeDelaySlots(const ProgramProfile &profile,
+                                  unsigned slots);
+
+/**
+ * The dependence-checked fill-from-above count for one block: the
+ * longest suffix of non-terminator instructions, at most @p slots
+ * long, none of which writes a register the terminator reads.
+ * Exposed for unit tests.
+ */
+unsigned fillableFromAbove(const ir::BasicBlock &block, unsigned slots);
+
+} // namespace branchlab::profile
+
+#endif // BRANCHLAB_PROFILE_DELAY_FILL_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The Forward Semantic code transformation (paper section 2.2):
+ *
+ *  1. select traces from the profile;
+ *  2. align each trace: reverse conditional branches whose likely
+ *     direction is the taken side so the likely path falls through
+ *     inside traces, and so trace-ending conditionals take their
+ *     likely side ("all conditional branches that are predicted taken
+ *     are placed at the end of these traces");
+ *  3. lay traces out (hottest first) and reserve k + l forward slots
+ *     after every predicted-taken branch with a statically known
+ *     target (likely-taken conditionals, escaping jumps, calls);
+ *  4. fill each slot group with the first k + l instructions of the
+ *     branch's target path (the target trace's content), padding with
+ *     NO-OPs when the target trace is shorter, and advance the branch
+ *     target past the copied prefix (the paper's target_addr
+ *     adjustment).
+ *
+ * Branches without compile-time targets (returns, jump tables,
+ * indirect calls) receive no slots and contribute no code growth; see
+ * DESIGN.md for how their prediction accuracy is modelled.
+ *
+ * The copy window reads the target trace's *base* content (home
+ * instructions, before slot insertion), which makes the result
+ * independent of fill order; the paper's lightest-first ordering is
+ * therefore immaterial here and noted in EXPERIMENTS.md.
+ */
+
+#ifndef BRANCHLAB_PROFILE_FORWARD_SLOTS_HH
+#define BRANCHLAB_PROFILE_FORWARD_SLOTS_HH
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "profile/trace_select.hh"
+
+namespace branchlab::profile
+{
+
+/** Forward Semantic parameters. */
+struct FsConfig
+{
+    /** Number of forward slots per predicted-taken branch (k + l). */
+    unsigned slotCount = 2;
+    /**
+     * Also reserve slots after trace-escaping direct jumps. The
+     * paper's slot mechanism exists to mask *conditional* branches
+     * (Figure 2); unconditional targets resolve at decode, so the
+     * default matches the paper's Table 5 densities. Enable to model
+     * fetch-penalty masking for jumps too.
+     */
+    bool slotUnconditional = false;
+    TraceSelectConfig trace;
+};
+
+/** One position of the transformed linear image. */
+struct ImageSlot
+{
+    enum class Kind
+    {
+        Home, ///< A block's own instruction, at its (single) home.
+        Copy, ///< A forward-slot copy of a target-path instruction.
+        Pad,  ///< NO-OP padding in a partially filled slot group.
+    };
+
+    Kind kind = Kind::Pad;
+    /** Original identity (valid for Home and Copy). */
+    ir::CodeLocation orig{};
+};
+
+/** One predicted-taken branch that received forward slots. */
+struct SlotSite
+{
+    /** Image index of the branch instruction. */
+    std::size_t branchImageIndex = 0;
+    /** Original location of the branch. */
+    ir::CodeLocation branchOrig{};
+    /** Non-pad slots (instructions actually copied). */
+    unsigned copied = 0;
+    /** NO-OP pads appended after the copies. */
+    unsigned padded = 0;
+    /** Original-layout address of the likely-path target. */
+    ir::Addr origTargetAddr = ir::kNoAddr;
+    /** Where control resumes after the slots: the target path
+     *  advanced by 'copied' instructions (nullopt when the copied
+     *  window consumed the entire target trace). */
+    std::optional<ir::CodeLocation> resume;
+    /** True when the site is a call (slots hold the callee prefix). */
+    bool viaCall = false;
+};
+
+/** Result of the transformation. */
+struct FsResult
+{
+    /** The final linear image. */
+    std::vector<ImageSlot> slots;
+    std::vector<SlotSite> sites;
+    /** Traces in layout order (function by function, hottest first).*/
+    std::vector<Trace> traces;
+    /** Image index of each original instruction's home, keyed by its
+     *  original layout address. */
+    std::unordered_map<ir::Addr, std::size_t> homeIndex;
+    /** Original terminator addresses whose condition was reversed. */
+    std::unordered_set<ir::Addr> reversed;
+    /** Static size before transformation (instructions). */
+    std::size_t originalSize = 0;
+
+    std::size_t expandedSize() const { return slots.size(); }
+
+    /** Table 5's metric: (expanded - original) / original. */
+    double codeSizeIncrease() const;
+};
+
+/** Runs the transformation for one profiled program. */
+class ForwardSlotFiller
+{
+  public:
+    ForwardSlotFiller(const ProgramProfile &profile,
+                      const FsConfig &config = FsConfig{});
+
+    /** Build the transformed image. */
+    FsResult build() const;
+
+  private:
+    const ProgramProfile &profile_;
+    FsConfig config_;
+};
+
+} // namespace branchlab::profile
+
+#endif // BRANCHLAB_PROFILE_FORWARD_SLOTS_HH

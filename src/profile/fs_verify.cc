@@ -1,0 +1,263 @@
+#include "profile/fs_verify.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "ir/printer.hh"
+#include "support/logging.hh"
+
+namespace branchlab::profile
+{
+
+using ir::Addr;
+using ir::BlockId;
+using ir::CodeLocation;
+using ir::FuncId;
+using ir::Opcode;
+
+namespace
+{
+
+/** Rebuild each trace's base content independently of the filler. */
+std::vector<std::vector<CodeLocation>>
+rebuildBase(const ir::Program &prog, const std::vector<Trace> &traces)
+{
+    std::vector<std::vector<CodeLocation>> base(traces.size());
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        for (BlockId b : traces[t].blocks) {
+            const ir::BasicBlock &bb =
+                prog.function(traces[t].func).block(b);
+            for (std::uint32_t i = 0; i < bb.size(); ++i)
+                base[t].push_back(CodeLocation{traces[t].func, b, i});
+        }
+    }
+    return base;
+}
+
+std::string
+describeLoc(const ir::Program &prog, const CodeLocation &loc)
+{
+    const ir::Function &fn = prog.function(loc.func);
+    std::ostringstream os;
+    os << fn.name() << "." << fn.block(loc.block).label() << "["
+       << loc.index << "]";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+verifyFsImage(const ProgramProfile &profile, const FsResult &image,
+              unsigned slot_count)
+{
+    const ir::Program &prog = profile.program();
+    const ir::Layout &layout = profile.layout();
+    std::ostringstream os;
+
+    const auto base = rebuildBase(prog, image.traces);
+
+    // Locate each block's trace and base offset.
+    std::map<std::pair<FuncId, BlockId>, std::pair<std::size_t, std::size_t>>
+        home;
+    for (std::size_t t = 0; t < image.traces.size(); ++t) {
+        std::size_t offset = 0;
+        for (BlockId b : image.traces[t].blocks) {
+            home[{image.traces[t].func, b}] = {t, offset};
+            offset += prog.function(image.traces[t].func).block(b).size();
+        }
+    }
+
+    // V1 + V2 + V3: per-site shape, copy contents, resume point.
+    for (const SlotSite &site : image.sites) {
+        if (site.copied + site.padded != slot_count) {
+            os << "V1: site at " << describeLoc(prog, site.branchOrig)
+               << " has " << site.copied << "+" << site.padded
+               << " slots, expected " << slot_count;
+            return os.str();
+        }
+        // The group occupies [branch+1, branch+slot_count].
+        if (site.branchImageIndex + slot_count >= image.slots.size()) {
+            os << "V1: site slot group overruns the image";
+            return os.str();
+        }
+        const ImageSlot &branch_slot = image.slots[site.branchImageIndex];
+        if (branch_slot.kind != ImageSlot::Kind::Home ||
+            !(branch_slot.orig == site.branchOrig)) {
+            os << "V1: site branch slot mismatch at "
+               << describeLoc(prog, site.branchOrig);
+            return os.str();
+        }
+
+        const CodeLocation target = layout.locate(site.origTargetAddr);
+        const auto home_it = home.find({target.func, target.block});
+        if (home_it == home.end()) {
+            os << "V2: site target " << describeLoc(prog, target)
+               << " not in any trace";
+            return os.str();
+        }
+        const std::size_t ut = home_it->second.first;
+        const std::size_t uoff = home_it->second.second + target.index;
+
+        for (unsigned c = 0; c < site.copied; ++c) {
+            const ImageSlot &slot =
+                image.slots[site.branchImageIndex + 1 + c];
+            if (slot.kind != ImageSlot::Kind::Copy) {
+                os << "V1: expected Copy slot " << c << " after "
+                   << describeLoc(prog, site.branchOrig);
+                return os.str();
+            }
+            if (uoff + c >= base[ut].size() ||
+                !(slot.orig == base[ut][uoff + c])) {
+                os << "V2: copy slot " << c << " after "
+                   << describeLoc(prog, site.branchOrig)
+                   << " does not match the target path";
+                return os.str();
+            }
+        }
+        for (unsigned p = 0; p < site.padded; ++p) {
+            const ImageSlot &slot =
+                image.slots[site.branchImageIndex + 1 + site.copied + p];
+            if (slot.kind != ImageSlot::Kind::Pad) {
+                os << "V1: expected Pad slot after copies at "
+                   << describeLoc(prog, site.branchOrig);
+                return os.str();
+            }
+        }
+        if (site.padded > 0 && uoff + site.copied != base[ut].size()) {
+            os << "V3: pads at " << describeLoc(prog, site.branchOrig)
+               << " although the target trace was not exhausted";
+            return os.str();
+        }
+        if (site.resume.has_value()) {
+            if (uoff + site.copied >= base[ut].size() ||
+                !(*site.resume == base[ut][uoff + site.copied])) {
+                os << "V3: resume point after "
+                   << describeLoc(prog, site.branchOrig)
+                   << " is not the target path advanced by "
+                   << site.copied;
+                return os.str();
+            }
+        } else if (uoff + site.copied < base[ut].size()) {
+            os << "V3: missing resume point at "
+               << describeLoc(prog, site.branchOrig);
+            return os.str();
+        }
+    }
+
+    // V4: consecutive trace blocks follow the effective likely path.
+    for (const Trace &trace : image.traces) {
+        const ir::Function &fn = prog.function(trace.func);
+        for (std::size_t j = 0; j + 1 < trace.blocks.size(); ++j) {
+            const ir::BasicBlock &bb = fn.block(trace.blocks[j]);
+            const ir::Instruction &term = bb.terminator();
+            const BlockId next = trace.blocks[j + 1];
+            const Addr term_addr =
+                layout.blockAddr(trace.func, trace.blocks[j]) +
+                bb.size() - 1;
+            const bool reversed = image.reversed.count(term_addr) != 0;
+            bool ok = false;
+            if (term.isConditional()) {
+                const BlockId fallthrough =
+                    reversed ? term.target : term.next;
+                ok = fallthrough == next;
+            } else if (term.op == Opcode::Jmp) {
+                ok = term.target == next;
+            } else if (term.op == Opcode::Call ||
+                       term.op == Opcode::CallInd) {
+                ok = term.next == next;
+            } else if (term.op == Opcode::JTab) {
+                ok = std::find(term.table.begin(), term.table.end(),
+                               next) != term.table.end();
+            }
+            if (!ok) {
+                os << "V4: trace in " << fn.name() << " connects block "
+                   << trace.blocks[j] << " to " << next
+                   << " without a likely fallthrough path";
+                return os.str();
+            }
+        }
+    }
+
+    // V5: homes form a partition and sizes add up.
+    std::size_t home_count = 0;
+    for (const ImageSlot &slot : image.slots) {
+        if (slot.kind == ImageSlot::Kind::Home)
+            ++home_count;
+    }
+    if (home_count != image.originalSize) {
+        os << "V5: " << home_count << " home slots for "
+           << image.originalSize << " original instructions";
+        return os.str();
+    }
+    if (image.homeIndex.size() != image.originalSize) {
+        os << "V5: homeIndex has " << image.homeIndex.size()
+           << " entries, expected " << image.originalSize;
+        return os.str();
+    }
+    const std::size_t expected =
+        image.originalSize + image.sites.size() * slot_count;
+    if (image.expandedSize() != expected) {
+        os << "V5: expanded size " << image.expandedSize()
+           << " != original " << image.originalSize << " + "
+           << image.sites.size() << " sites * " << slot_count;
+        return os.str();
+    }
+
+    // V6: reversals only mark conditional terminators.
+    for (Addr addr : image.reversed) {
+        const CodeLocation loc = layout.locate(addr);
+        const ir::Instruction &inst =
+            prog.function(loc.func).block(loc.block).inst(loc.index);
+        if (!inst.isConditional()) {
+            os << "V6: reversed mark on non-conditional at "
+               << describeLoc(prog, loc);
+            return os.str();
+        }
+    }
+
+    return std::string();
+}
+
+void
+printFsImage(std::ostream &os, const ProgramProfile &profile,
+             const FsResult &image)
+{
+    const ir::Program &prog = profile.program();
+    os << "Forward Semantic image of '" << prog.name() << "' ("
+       << image.originalSize << " -> " << image.expandedSize()
+       << " instructions, +"
+       << static_cast<int>(image.codeSizeIncrease() * 10000.0) / 100.0
+       << "%)\n";
+    for (std::size_t i = 0; i < image.slots.size(); ++i) {
+        const ImageSlot &slot = image.slots[i];
+        os << "  " << i << ": ";
+        switch (slot.kind) {
+          case ImageSlot::Kind::Home: {
+            const ir::Function &fn = prog.function(slot.orig.func);
+            const ir::Instruction &inst =
+                fn.block(slot.orig.block).inst(slot.orig.index);
+            os << ir::formatInstruction(prog, fn, inst);
+            if (slot.orig.index == 0) {
+                os << "    ; " << fn.name() << "."
+                   << fn.block(slot.orig.block).label();
+            }
+            break;
+          }
+          case ImageSlot::Kind::Copy: {
+            const ir::Function &fn = prog.function(slot.orig.func);
+            const ir::Instruction &inst =
+                fn.block(slot.orig.block).inst(slot.orig.index);
+            os << ir::formatInstruction(prog, fn, inst)
+               << "    ; forward-slot copy";
+            break;
+          }
+          case ImageSlot::Kind::Pad:
+            os << "nop    ; forward-slot pad";
+            break;
+        }
+        os << "\n";
+    }
+}
+
+} // namespace branchlab::profile

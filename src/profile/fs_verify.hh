@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Independent invariant checks over a Forward Semantic image, used by
+ * the test suite on every workload:
+ *
+ *  V1  every slot site is a branch Home followed by exactly
+ *      'copied' Copy slots and 'padded' Pad slots, copied + padded
+ *      equal to the configured slot count;
+ *  V2  the Copy slots replicate the target trace's content prefix
+ *      starting at the target block, crossing block boundaries within
+ *      the trace (the paper's Figure 2 semantics, branches included);
+ *  V3  Pads appear only when the target trace was exhausted, and the
+ *      recorded resume point is the target path advanced by 'copied'
+ *      (the paper's target_addr adjustment);
+ *  V4  inside every trace, consecutive blocks are reachable from the
+ *      (possibly reversed) terminator's fallthrough/continuation, so
+ *      the likely path is sequential;
+ *  V5  every original instruction has exactly one Home slot and the
+ *      expanded size equals original + sites * slotCount;
+ *  V6  only conditional terminators are marked reversed.
+ *
+ * Also provides a Figure-2-style listing printer for examples.
+ */
+
+#ifndef BRANCHLAB_PROFILE_FS_VERIFY_HH
+#define BRANCHLAB_PROFILE_FS_VERIFY_HH
+
+#include <ostream>
+#include <string>
+
+#include "profile/forward_slots.hh"
+
+namespace branchlab::profile
+{
+
+/**
+ * Check all invariants. @return empty string when the image is
+ * well-formed, else the first violated invariant's diagnostic.
+ */
+std::string verifyFsImage(const ProgramProfile &profile,
+                          const FsResult &image, unsigned slot_count);
+
+/** Print the transformed image as an addressed listing (Figure 2). */
+void printFsImage(std::ostream &os, const ProgramProfile &profile,
+                  const FsResult &image);
+
+} // namespace branchlab::profile
+
+#endif // BRANCHLAB_PROFILE_FS_VERIFY_HH

@@ -1,0 +1,414 @@
+#include "profile/image_exec.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+#include "trace/record.hh"
+#include "vm/memory.hh"
+
+namespace branchlab::profile
+{
+
+using ir::Addr;
+using ir::BlockId;
+using ir::CodeLocation;
+using ir::FuncId;
+using ir::Instruction;
+using ir::kNoReg;
+using ir::Opcode;
+using ir::Reg;
+using ir::Word;
+
+ImageExecutor::ImageExecutor(const ProgramProfile &profile,
+                             const FsResult &image)
+    : prog_(profile.program()), layout_(profile.layout()), image_(image)
+{
+    for (const SlotSite &site : image_.sites)
+        siteAt_[site.branchImageIndex] = &site;
+}
+
+ImageRunResult
+ImageExecutor::run(const std::vector<std::vector<Word>> &inputs,
+                   std::uint64_t max_instructions) const
+{
+    ImageRunResult result;
+    result.outputs.resize(8);
+
+    vm::Memory memory;
+    memory.reset(prog_.data());
+
+    struct Frame
+    {
+        std::size_t regBase;
+        Reg retDst;
+        std::size_t returnIndex;
+        FuncId func;
+    };
+    std::vector<Frame> frames;
+    std::vector<Word> reg_stack;
+    std::size_t input_cursor[8] = {};
+
+    const auto fault = [&](const std::string &what, std::size_t at) {
+        std::ostringstream os;
+        os << "image execution fault at slot " << at << ": " << what;
+        throw vm::ExecutionFault(os.str());
+    };
+
+    const auto home_of = [&](FuncId func, BlockId block,
+                             std::uint32_t index) {
+        const Addr addr = layout_.instAddr(func, block, index);
+        const auto it = image_.homeIndex.find(addr);
+        blab_assert(it != image_.homeIndex.end(),
+                    "image is missing a home slot");
+        return it->second;
+    };
+
+    const auto push_frame = [&](FuncId callee,
+                                const std::vector<Word> &args,
+                                Reg ret_dst, std::size_t return_index) {
+        const ir::Function &fn = prog_.function(callee);
+        Frame frame;
+        frame.regBase = reg_stack.size();
+        frame.retDst = ret_dst;
+        frame.returnIndex = return_index;
+        frame.func = callee;
+        reg_stack.resize(reg_stack.size() + fn.numRegs(), 0);
+        for (std::size_t i = 0; i < args.size(); ++i)
+            reg_stack[frame.regBase + i] = args[i];
+        frames.push_back(frame);
+        if (frames.size() > 10'000)
+            fault("call stack overflow", 0);
+    };
+
+    const FuncId main_id = prog_.mainFunction();
+    push_frame(main_id, {}, kNoReg,
+               std::numeric_limits<std::size_t>::max());
+    std::size_t pc =
+        home_of(main_id, prog_.function(main_id).entry(), 0);
+
+    // Active slot region (entered through a predicted-taken site).
+    std::size_t region_end = 0;
+    std::size_t region_resume = 0;
+    bool in_region = false;
+
+    const auto reg = [&](Reg r) -> Word & {
+        return reg_stack[frames.back().regBase + r];
+    };
+
+    while (true) {
+        if (result.instructions >= max_instructions) {
+            result.reason = vm::StopReason::InstructionLimit;
+            return result;
+        }
+        blab_assert(pc < image_.slots.size(), "image PC out of range");
+        const ImageSlot &slot = image_.slots[pc];
+        if (slot.kind == ImageSlot::Kind::Pad)
+            fault("executed a NO-OP pad (transform bug)", pc);
+
+        const CodeLocation loc = slot.orig;
+        const Instruction &inst =
+            prog_.function(loc.func).block(loc.block).inst(loc.index);
+        ++result.instructions;
+        result.committed.push_back(
+            layout_.instAddr(loc.func, loc.block, loc.index));
+
+        const auto rhs = [&]() -> Word {
+            return inst.useImm ? inst.imm : reg(inst.src2);
+        };
+
+        // Where sequential flow continues from this slot.
+        const auto advance = [&]() {
+            ++pc;
+            if (in_region && pc >= region_end) {
+                pc = region_resume;
+                in_region = false;
+            }
+        };
+
+        // Redirect control to an original location's home.
+        const auto go_block = [&](FuncId func, BlockId block) {
+            pc = home_of(func, block, 0);
+            in_region = false;
+        };
+
+        switch (inst.op) {
+          case Opcode::Add:
+            reg(inst.dst) = static_cast<Word>(
+                static_cast<std::uint64_t>(reg(inst.src1)) +
+                static_cast<std::uint64_t>(rhs()));
+            advance();
+            break;
+          case Opcode::Sub:
+            reg(inst.dst) = static_cast<Word>(
+                static_cast<std::uint64_t>(reg(inst.src1)) -
+                static_cast<std::uint64_t>(rhs()));
+            advance();
+            break;
+          case Opcode::Mul:
+            reg(inst.dst) = static_cast<Word>(
+                static_cast<std::uint64_t>(reg(inst.src1)) *
+                static_cast<std::uint64_t>(rhs()));
+            advance();
+            break;
+          case Opcode::Div: {
+            const Word divisor = rhs();
+            if (divisor == 0)
+                fault("division by zero", pc);
+            const Word dividend = reg(inst.src1);
+            reg(inst.dst) = (dividend == INT64_MIN && divisor == -1)
+                                ? INT64_MIN
+                                : dividend / divisor;
+            advance();
+            break;
+          }
+          case Opcode::Rem: {
+            const Word divisor = rhs();
+            if (divisor == 0)
+                fault("remainder by zero", pc);
+            const Word dividend = reg(inst.src1);
+            reg(inst.dst) = (dividend == INT64_MIN && divisor == -1)
+                                ? 0
+                                : dividend % divisor;
+            advance();
+            break;
+          }
+          case Opcode::And:
+            reg(inst.dst) = reg(inst.src1) & rhs();
+            advance();
+            break;
+          case Opcode::Or:
+            reg(inst.dst) = reg(inst.src1) | rhs();
+            advance();
+            break;
+          case Opcode::Xor:
+            reg(inst.dst) = reg(inst.src1) ^ rhs();
+            advance();
+            break;
+          case Opcode::Shl:
+            reg(inst.dst) = static_cast<Word>(
+                static_cast<std::uint64_t>(reg(inst.src1))
+                << (rhs() & 63));
+            advance();
+            break;
+          case Opcode::Shr:
+            reg(inst.dst) = reg(inst.src1) >> (rhs() & 63);
+            advance();
+            break;
+          case Opcode::Not:
+            reg(inst.dst) = ~reg(inst.src1);
+            advance();
+            break;
+          case Opcode::Neg:
+            reg(inst.dst) = static_cast<Word>(
+                0 - static_cast<std::uint64_t>(reg(inst.src1)));
+            advance();
+            break;
+          case Opcode::Mov:
+            reg(inst.dst) = reg(inst.src1);
+            advance();
+            break;
+          case Opcode::Ldi:
+            reg(inst.dst) = inst.imm;
+            advance();
+            break;
+          case Opcode::Ld: {
+            Word value = 0;
+            if (!memory.tryRead(reg(inst.src1) + inst.imm, value))
+                fault("load out of bounds", pc);
+            reg(inst.dst) = value;
+            advance();
+            break;
+          }
+          case Opcode::St:
+            if (!memory.tryWrite(reg(inst.src1) + inst.imm,
+                                 reg(inst.src2))) {
+                fault("store out of bounds", pc);
+            }
+            advance();
+            break;
+          case Opcode::Ldf:
+            reg(inst.dst) = static_cast<Word>(inst.func);
+            advance();
+            break;
+          case Opcode::In: {
+            const auto chan = static_cast<std::size_t>(inst.imm);
+            std::size_t &cursor = input_cursor[chan];
+            if (chan < inputs.size() &&
+                cursor < inputs[chan].size()) {
+                reg(inst.dst) = inputs[chan][cursor++];
+            } else {
+                reg(inst.dst) = -1;
+            }
+            advance();
+            break;
+          }
+          case Opcode::Out:
+            result.outputs[static_cast<std::size_t>(inst.imm)]
+                .push_back(reg(inst.src1));
+            advance();
+            break;
+          case Opcode::Nop:
+            advance();
+            break;
+
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Ble:
+          case Opcode::Bgt:
+          case Opcode::Bge: {
+            const bool taken =
+                ir::evalCondition(inst.op, reg(inst.src1), rhs());
+            const BlockId dest = taken ? inst.target : inst.next;
+            const auto site_it = siteAt_.find(pc);
+            if (site_it != siteAt_.end()) {
+                const SlotSite &site = *site_it->second;
+                const CodeLocation target =
+                    layout_.locate(site.origTargetAddr);
+                if (dest == target.block && site.copied > 0) {
+                    // The likely direction: fall into the forward
+                    // slots, resume at the advanced target.
+                    in_region = true;
+                    region_end = pc + 1 + site.copied;
+                    region_resume =
+                        site.resume.has_value()
+                            ? home_of(site.resume->func,
+                                      site.resume->block,
+                                      site.resume->index)
+                            : std::numeric_limits<std::size_t>::max();
+                    ++pc;
+                    break;
+                }
+            }
+            go_block(loc.func, dest);
+            break;
+          }
+
+          case Opcode::Jmp: {
+            const auto site_it = siteAt_.find(pc);
+            if (site_it != siteAt_.end() &&
+                site_it->second->copied > 0) {
+                const SlotSite &site = *site_it->second;
+                in_region = true;
+                region_end = pc + 1 + site.copied;
+                region_resume =
+                    site.resume.has_value()
+                        ? home_of(site.resume->func, site.resume->block,
+                                  site.resume->index)
+                        : std::numeric_limits<std::size_t>::max();
+                ++pc;
+                break;
+            }
+            go_block(loc.func, inst.target);
+            break;
+          }
+
+          case Opcode::JTab: {
+            const Word index = reg(inst.src1);
+            if (index < 0 ||
+                index >= static_cast<Word>(inst.table.size())) {
+                fault("jump-table index out of range", pc);
+            }
+            go_block(loc.func,
+                     inst.table[static_cast<std::size_t>(index)]);
+            break;
+          }
+
+          case Opcode::Call:
+          case Opcode::CallInd: {
+            FuncId callee = inst.func;
+            if (inst.op == Opcode::CallInd) {
+                const Word ref = reg(inst.src1);
+                if (ref < 0 ||
+                    ref >= static_cast<Word>(prog_.numFunctions())) {
+                    fault("indirect call to bad function ref", pc);
+                }
+                callee = static_cast<FuncId>(ref);
+            }
+            std::vector<Word> args;
+            args.reserve(inst.args.size());
+            for (Reg a : inst.args)
+                args.push_back(reg(a));
+            if (args.size() != prog_.function(callee).numArgs())
+                fault("argument count mismatch", pc);
+            const std::size_t return_index =
+                home_of(loc.func, inst.next, 0);
+            push_frame(callee, args, inst.dst, return_index);
+            pc = home_of(callee, prog_.function(callee).entry(), 0);
+            in_region = false;
+            break;
+          }
+
+          case Opcode::Ret: {
+            if (frames.size() == 1) {
+                result.reason = vm::StopReason::MainReturned;
+                return result;
+            }
+            const Word value =
+                inst.src1 != kNoReg ? reg(inst.src1) : 0;
+            const Frame finished = frames.back();
+            frames.pop_back();
+            reg_stack.resize(finished.regBase);
+            if (finished.retDst != kNoReg)
+                reg(finished.retDst) = value;
+            pc = finished.returnIndex;
+            in_region = false;
+            break;
+          }
+
+          case Opcode::Halt:
+            result.reason = vm::StopReason::Halted;
+            return result;
+        }
+    }
+}
+
+std::string
+checkImageEquivalence(const ProgramProfile &profile, const FsResult &image,
+                      const std::vector<std::vector<Word>> &inputs)
+{
+    const ir::Program &prog = profile.program();
+    const ir::Layout &layout = profile.layout();
+
+    // Reference run on the original program.
+    trace::InstRecorder recorder;
+    vm::Machine machine(prog, layout);
+    for (std::size_t chan = 0; chan < inputs.size(); ++chan)
+        machine.setInput(static_cast<int>(chan), inputs[chan]);
+    machine.setSink(&recorder);
+    const vm::RunResult reference = machine.run();
+
+    // Transformed-image run.
+    ImageExecutor executor(profile, image);
+    const ImageRunResult transformed = executor.run(inputs);
+
+    std::ostringstream os;
+    if (transformed.reason != reference.reason) {
+        os << "stop reasons differ";
+        return os.str();
+    }
+    if (transformed.committed.size() != recorder.addrs().size()) {
+        os << "committed stream lengths differ: original "
+           << recorder.addrs().size() << ", image "
+           << transformed.committed.size();
+        return os.str();
+    }
+    for (std::size_t i = 0; i < transformed.committed.size(); ++i) {
+        if (transformed.committed[i] != recorder.addrs()[i]) {
+            os << "committed streams diverge at instruction " << i
+               << ": original " << recorder.addrs()[i] << ", image "
+               << transformed.committed[i];
+            return os.str();
+        }
+    }
+    for (int chan = 0; chan < 8; ++chan) {
+        if (transformed.outputs[static_cast<std::size_t>(chan)] !=
+            machine.output(chan)) {
+            os << "outputs differ on channel " << chan;
+            return os.str();
+        }
+    }
+    return std::string();
+}
+
+} // namespace branchlab::profile

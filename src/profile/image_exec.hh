@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Execution of a Forward Semantic image -- the strongest check of the
+ * transformation: run the *transformed* code, forward slots and all,
+ * and require that its committed instruction stream (by original
+ * identity) and its outputs equal the original program's.
+ *
+ * Semantics of the transformed machine:
+ *  - home instructions execute in image order (blocks of a trace are
+ *    contiguous);
+ *  - a predicted-taken slot-site branch that is taken falls into its
+ *    slot region: the copied target-path instructions execute from
+ *    the slots while the (patched) target is fetched, and control
+ *    resumes at the advanced target -- the paper's alternate-PC
+ *    mechanism (Figure 2's "locations 3 and 4 ... execute using an
+ *    alternate program counter register");
+ *  - any other resolved branch redirects to its destination block's
+ *    home position (a mispredict squashes and refetches; the cost is
+ *    modelled elsewhere, the committed stream is what we check here);
+ *  - copied branches inside slot regions keep their own original
+ *    destinations (the absorbed unlikely branch of Figure 2);
+ *  - NO-OP pads sit after a copied trace tail that ends in a
+ *    terminator, so they never commit.
+ */
+
+#ifndef BRANCHLAB_PROFILE_IMAGE_EXEC_HH
+#define BRANCHLAB_PROFILE_IMAGE_EXEC_HH
+
+#include "profile/forward_slots.hh"
+#include "vm/machine.hh"
+
+namespace branchlab::profile
+{
+
+/** Outcome of an image execution. */
+struct ImageRunResult
+{
+    vm::StopReason reason = vm::StopReason::Halted;
+    /** Committed instructions (pads excluded). */
+    std::uint64_t instructions = 0;
+    /** Original-layout addresses of the committed stream. */
+    std::vector<ir::Addr> committed;
+    /** Per-channel outputs. */
+    std::vector<std::vector<ir::Word>> outputs;
+};
+
+/**
+ * Execute a Forward Semantic image. Inputs arrive per channel, as on
+ * the vm::Machine. Faults raise vm::ExecutionFault.
+ */
+class ImageExecutor
+{
+  public:
+    ImageExecutor(const ProgramProfile &profile, const FsResult &image);
+
+    /** Run from main's entry with the given channel inputs. */
+    ImageRunResult
+    run(const std::vector<std::vector<ir::Word>> &inputs,
+        std::uint64_t max_instructions = 100'000'000ULL) const;
+
+  private:
+    const ir::Program &prog_;
+    const ir::Layout &layout_;
+    const FsResult &image_;
+    /** Slot-site lookup by branch image index. */
+    std::unordered_map<std::size_t, const SlotSite *> siteAt_;
+};
+
+/**
+ * Convenience for tests: run the original program and the image over
+ * the same inputs and compare committed streams and outputs.
+ * @return empty string on equivalence, else a diagnostic.
+ */
+std::string
+checkImageEquivalence(const ProgramProfile &profile, const FsResult &image,
+                      const std::vector<std::vector<ir::Word>> &inputs);
+
+} // namespace branchlab::profile
+
+#endif // BRANCHLAB_PROFILE_IMAGE_EXEC_HH

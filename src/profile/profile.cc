@@ -1,0 +1,124 @@
+#include "profile/profile.hh"
+
+#include "support/logging.hh"
+
+namespace branchlab::profile
+{
+
+using ir::Addr;
+using ir::BlockId;
+using ir::FuncId;
+using ir::Opcode;
+
+Addr
+BranchCounts::dominantTarget() const
+{
+    Addr best = ir::kNoAddr;
+    std::uint64_t best_count = 0;
+    for (const auto &[addr, count] : nextCounts) {
+        if (count > best_count) {
+            best = addr;
+            best_count = count;
+        }
+    }
+    return best;
+}
+
+ProgramProfile::ProgramProfile(const ir::Program &program,
+                               const ir::Layout &layout)
+    : prog_(program), layout_(layout)
+{}
+
+void
+ProgramProfile::onBranch(const trace::BranchEvent &event)
+{
+    BranchCounts &counts = counts_[event.pc];
+    if (event.taken)
+        ++counts.taken;
+    else
+        ++counts.notTaken;
+    ++counts.nextCounts[event.nextPc];
+}
+
+const BranchCounts &
+ProgramProfile::branchCounts(Addr pc) const
+{
+    const auto it = counts_.find(pc);
+    return it == counts_.end() ? zero_ : it->second;
+}
+
+Addr
+ProgramProfile::terminatorAddr(FuncId func, BlockId block) const
+{
+    const ir::BasicBlock &bb = prog_.function(func).block(block);
+    blab_assert(bb.isSealed(), "profiling an unsealed block");
+    return layout_.blockAddr(func, block) + bb.size() - 1;
+}
+
+std::uint64_t
+ProgramProfile::blockWeight(FuncId func, BlockId block) const
+{
+    const ir::BasicBlock &bb = prog_.function(func).block(block);
+    const ir::Instruction &term = bb.terminator();
+    if (term.op == Opcode::Halt)
+        return runs_;
+    return branchCounts(terminatorAddr(func, block)).executions();
+}
+
+std::vector<Arc>
+ProgramProfile::outArcs(FuncId func, BlockId block) const
+{
+    const ir::Function &fn = prog_.function(func);
+    const ir::BasicBlock &bb = fn.block(block);
+    const ir::Instruction &term = bb.terminator();
+    const BranchCounts &counts = branchCounts(terminatorAddr(func, block));
+
+    std::vector<Arc> arcs;
+    switch (term.op) {
+      case Opcode::Jmp:
+        arcs.push_back(Arc{block, term.target, counts.taken});
+        break;
+      case Opcode::JTab: {
+        // One arc per observed target; resolve addresses to blocks.
+        for (const auto &[addr, count] : counts.nextCounts) {
+            const ir::CodeLocation loc = layout_.locate(addr);
+            blab_assert(loc.func == func && loc.index == 0,
+                        "jump-table target is not a local block start");
+            arcs.push_back(Arc{block, loc.block, count});
+        }
+        break;
+      }
+      case Opcode::Call:
+      case Opcode::CallInd:
+        // The continuation runs once per (returning) call.
+        arcs.push_back(Arc{block, term.next, counts.executions()});
+        break;
+      case Opcode::Ret:
+      case Opcode::Halt:
+        break;
+      default: {
+        blab_assert(term.isConditional(), "unexpected terminator");
+        arcs.push_back(Arc{block, term.target, counts.taken});
+        if (term.next != term.target)
+            arcs.push_back(Arc{block, term.next, counts.notTaken});
+        break;
+      }
+    }
+    return arcs;
+}
+
+predict::LikelyMap
+ProgramProfile::buildLikelyMap() const
+{
+    predict::LikelyMap map;
+    map.reserve(counts_.size());
+    for (const auto &[pc, counts] : counts_) {
+        predict::LikelyInfo info;
+        info.likelyTaken = counts.majorityTaken();
+        info.dominantTarget = counts.dominantTarget();
+        map.emplace(pc, info);
+    }
+    return map;
+}
+
+} // namespace branchlab::profile

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Profile collection: per-branch direction/target counts and
+ * per-block/arc execution weights, gathered from the VM's branch
+ * stream. This is the "program is first compiled into an executable
+ * intermediate form with probes" step of the Forward Semantic (paper
+ * section 2.2); we observe terminators instead of inserting probes,
+ * which yields identical counts.
+ */
+
+#ifndef BRANCHLAB_PROFILE_PROFILE_HH
+#define BRANCHLAB_PROFILE_PROFILE_HH
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/layout.hh"
+#include "ir/program.hh"
+#include "predict/profile_predictor.hh"
+#include "trace/event.hh"
+
+namespace branchlab::profile
+{
+
+/** Dynamic counts for one static branch instruction. */
+struct BranchCounts
+{
+    std::uint64_t taken = 0;
+    std::uint64_t notTaken = 0;
+    /** Dynamic next-PC distribution (targets of taken executions and,
+     *  for conditionals, the fallthrough address of not-taken ones). */
+    std::map<ir::Addr, std::uint64_t> nextCounts;
+
+    std::uint64_t executions() const { return taken + notTaken; }
+    bool majorityTaken() const { return taken > notTaken; }
+    /** Most frequent dynamic target (kNoAddr when never executed). */
+    ir::Addr dominantTarget() const;
+};
+
+/**
+ * A weighted arc of the control-flow graph, local to a function.
+ */
+struct Arc
+{
+    ir::BlockId from;
+    ir::BlockId to;
+    std::uint64_t weight;
+};
+
+/**
+ * Profile of one program over one or more runs. Attach as a trace
+ * sink during the profiling runs, then query.
+ */
+class ProgramProfile : public trace::TraceSink
+{
+  public:
+    ProgramProfile(const ir::Program &program, const ir::Layout &layout);
+
+    void onBranch(const trace::BranchEvent &event) override;
+
+    /** Record that a run started (weights the entry block). */
+    void noteRun() { ++runs_; }
+
+    std::uint64_t runs() const { return runs_; }
+
+    /** Counts for the branch at @p pc (zeros when never executed). */
+    const BranchCounts &branchCounts(ir::Addr pc) const;
+
+    /**
+     * Execution count of a block: the execution count of its
+     * terminator (every block ends in one). Blocks ending in Halt use
+     * the recorded run count.
+     */
+    std::uint64_t blockWeight(ir::FuncId func, ir::BlockId block) const;
+
+    /**
+     * Weighted intra-function arcs leaving @p block:
+     *  - conditional: taken-target and fallthrough arcs;
+     *  - Jmp: the target arc;
+     *  - JTab: one arc per observed dynamic target;
+     *  - Call/CallInd: the continuation arc (the callee is another
+     *    function; trace selection is function-local);
+     *  - Ret/Halt: none.
+     */
+    std::vector<Arc> outArcs(ir::FuncId func, ir::BlockId block) const;
+
+    /**
+     * Build the likely map the Forward Semantic compiles into the
+     * binary: per conditional branch the majority direction, per
+     * branch the dominant dynamic target.
+     */
+    predict::LikelyMap buildLikelyMap() const;
+
+    const ir::Program &program() const { return prog_; }
+    const ir::Layout &layout() const { return layout_; }
+
+  private:
+    /** Address of a block's terminator instruction. */
+    ir::Addr terminatorAddr(ir::FuncId func, ir::BlockId block) const;
+
+    const ir::Program &prog_;
+    const ir::Layout &layout_;
+    std::unordered_map<ir::Addr, BranchCounts> counts_;
+    std::uint64_t runs_ = 0;
+    BranchCounts zero_;
+};
+
+} // namespace branchlab::profile
+
+#endif // BRANCHLAB_PROFILE_PROFILE_HH

@@ -1,0 +1,197 @@
+#include "profile/trace_select.hh"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace branchlab::profile
+{
+
+using ir::BlockId;
+using ir::FuncId;
+
+TraceSelector::TraceSelector(const ProgramProfile &profile,
+                             const TraceSelectConfig &config)
+    : profile_(profile), config_(config)
+{
+    blab_assert(config_.minArcProbability > 0.0 &&
+                    config_.minArcProbability <= 1.0,
+                "arc probability threshold must lie in (0, 1]");
+}
+
+std::vector<Trace>
+TraceSelector::selectFunction(FuncId func) const
+{
+    const ir::Function &fn = profile_.program().function(func);
+    const auto num_blocks = static_cast<BlockId>(fn.numBlocks());
+
+    // Gather all weighted arcs once; build in/out adjacency.
+    std::vector<std::vector<Arc>> out_arcs(num_blocks);
+    std::vector<std::vector<Arc>> in_arcs(num_blocks);
+    for (BlockId b = 0; b < num_blocks; ++b) {
+        out_arcs[b] = profile_.outArcs(func, b);
+        for (const Arc &arc : out_arcs[b])
+            in_arcs[arc.to].push_back(arc);
+    }
+
+    const auto total_weight = [](const std::vector<Arc> &arcs) {
+        return std::accumulate(arcs.begin(), arcs.end(),
+                               std::uint64_t{0},
+                               [](std::uint64_t acc, const Arc &a) {
+                                   return acc + a.weight;
+                               });
+    };
+
+    const auto best_arc = [](const std::vector<Arc> &arcs) -> const Arc * {
+        const Arc *best = nullptr;
+        for (const Arc &arc : arcs) {
+            if (best == nullptr || arc.weight > best->weight)
+                best = &arc;
+        }
+        return best;
+    };
+
+    // Seeds: blocks by decreasing weight (stable on id for ties).
+    std::vector<BlockId> seeds(num_blocks);
+    std::iota(seeds.begin(), seeds.end(), 0);
+    std::vector<std::uint64_t> weights(num_blocks);
+    for (BlockId b = 0; b < num_blocks; ++b)
+        weights[b] = profile_.blockWeight(func, b);
+    std::stable_sort(seeds.begin(), seeds.end(),
+                     [&](BlockId a, BlockId b) {
+                         return weights[a] > weights[b];
+                     });
+
+    std::vector<bool> visited(num_blocks, false);
+    std::vector<Trace> traces;
+
+    for (BlockId seed : seeds) {
+        if (visited[seed])
+            continue;
+        std::deque<BlockId> chain{seed};
+        visited[seed] = true;
+
+        // Grow forward along the most likely successor arc.
+        BlockId current = seed;
+        while (true) {
+            const std::uint64_t total = total_weight(out_arcs[current]);
+            if (total == 0)
+                break;
+            const Arc *best = best_arc(out_arcs[current]);
+            const double prob = static_cast<double>(best->weight) /
+                                static_cast<double>(total);
+            if (prob < config_.minArcProbability || visited[best->to])
+                break;
+            visited[best->to] = true;
+            chain.push_back(best->to);
+            current = best->to;
+        }
+
+        // Grow backward along mutually-most-likely predecessor arcs.
+        current = seed;
+        while (config_.growBackward) {
+            const std::uint64_t total_in = total_weight(in_arcs[current]);
+            if (total_in == 0)
+                break;
+            const Arc *best = best_arc(in_arcs[current]);
+            const double in_prob = static_cast<double>(best->weight) /
+                                   static_cast<double>(total_in);
+            if (in_prob < config_.minArcProbability ||
+                visited[best->from]) {
+                break;
+            }
+            // The arc must also dominate the predecessor's outgoing
+            // weight, or the predecessor usually goes elsewhere.
+            const std::uint64_t total_out =
+                total_weight(out_arcs[best->from]);
+            const double out_prob =
+                total_out == 0 ? 0.0
+                               : static_cast<double>(best->weight) /
+                                     static_cast<double>(total_out);
+            if (out_prob < config_.minArcProbability)
+                break;
+            visited[best->from] = true;
+            chain.push_front(best->from);
+            current = best->from;
+        }
+
+        Trace trace;
+        trace.func = func;
+        trace.blocks.assign(chain.begin(), chain.end());
+        trace.weight = weights[seed];
+        traces.push_back(std::move(trace));
+    }
+
+    // Layout order: hottest traces first.
+    std::stable_sort(traces.begin(), traces.end(),
+                     [](const Trace &a, const Trace &b) {
+                         return a.weight > b.weight;
+                     });
+    return traces;
+}
+
+std::vector<Trace>
+TraceSelector::selectProgram() const
+{
+    std::vector<Trace> all;
+    const ir::Program &prog = profile_.program();
+    for (FuncId f = 0; f < prog.numFunctions(); ++f) {
+        std::vector<Trace> traces = selectFunction(f);
+        all.insert(all.end(), std::make_move_iterator(traces.begin()),
+                   std::make_move_iterator(traces.end()));
+    }
+    return all;
+}
+
+std::string
+checkTraces(const ir::Program &program, const std::vector<Trace> &traces)
+{
+    // Every block of every function appears in exactly one trace.
+    std::vector<std::vector<int>> seen(program.numFunctions());
+    for (FuncId f = 0; f < program.numFunctions(); ++f)
+        seen[f].assign(program.function(f).numBlocks(), 0);
+
+    std::ostringstream os;
+    for (const Trace &trace : traces) {
+        if (trace.blocks.empty()) {
+            os << "empty trace in function " << trace.func;
+            return os.str();
+        }
+        const ir::Function &fn = program.function(trace.func);
+        for (std::size_t i = 0; i < trace.blocks.size(); ++i) {
+            const BlockId b = trace.blocks[i];
+            if (b >= fn.numBlocks()) {
+                os << fn.name() << ": trace references bad block " << b;
+                return os.str();
+            }
+            ++seen[trace.func][b];
+            if (i > 0) {
+                // Consecutive blocks must be CFG-connected.
+                const auto succs =
+                    fn.block(trace.blocks[i - 1]).successors();
+                if (std::find(succs.begin(), succs.end(), b) ==
+                    succs.end()) {
+                    os << fn.name() << ": trace blocks "
+                       << trace.blocks[i - 1] << " -> " << b
+                       << " are not CFG-connected";
+                    return os.str();
+                }
+            }
+        }
+    }
+    for (FuncId f = 0; f < program.numFunctions(); ++f) {
+        for (BlockId b = 0; b < program.function(f).numBlocks(); ++b) {
+            if (seen[f][b] != 1) {
+                os << program.function(f).name() << ": block " << b
+                   << " appears " << seen[f][b] << " times";
+                return os.str();
+            }
+        }
+    }
+    return std::string();
+}
+
+} // namespace branchlab::profile

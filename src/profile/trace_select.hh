@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Trace selection (Hwu & Chang [11], Fisher [14]): bundle basic
+ * blocks that are virtually always executed together into traces,
+ * seeded at the heaviest unvisited block and grown along the most
+ * likely arcs in both directions.
+ */
+
+#ifndef BRANCHLAB_PROFILE_TRACE_SELECT_HH
+#define BRANCHLAB_PROFILE_TRACE_SELECT_HH
+
+#include <vector>
+
+#include "profile/profile.hh"
+
+namespace branchlab::profile
+{
+
+/** One selected trace: an ordered block chain within a function. */
+struct Trace
+{
+    ir::FuncId func = ir::kNoFunc;
+    std::vector<ir::BlockId> blocks;
+    /** Execution weight of the seed block (the trace's weight). */
+    std::uint64_t weight = 0;
+};
+
+/** Parameters of the growing heuristic. */
+struct TraceSelectConfig
+{
+    /**
+     * Minimum probability of an arc (relative to the source block's
+     * total outgoing weight) for the successor to join the trace.
+     * IMPACT-style selection uses a high threshold so traces only
+     * bundle blocks "virtually always executed together".
+     */
+    double minArcProbability = 0.7;
+    /** Also grow backward from the seed along likely predecessors. */
+    bool growBackward = true;
+};
+
+/**
+ * Select traces for every function of a profiled program. Every block
+ * belongs to exactly one trace (never-executed blocks become
+ * singleton traces). Within a function, traces are ordered by
+ * decreasing weight -- the layout order used by the Forward Semantic
+ * transform. The entry block's trace is *not* forced first; the
+ * function's entry address is wherever its entry block lands.
+ */
+class TraceSelector
+{
+  public:
+    TraceSelector(const ProgramProfile &profile,
+                  const TraceSelectConfig &config = TraceSelectConfig{});
+
+    /** Traces of one function, ordered by decreasing weight. */
+    std::vector<Trace> selectFunction(ir::FuncId func) const;
+
+    /** Traces of the whole program (per function, concatenated in
+     *  function order). */
+    std::vector<Trace> selectProgram() const;
+
+  private:
+    const ProgramProfile &profile_;
+    TraceSelectConfig config_;
+};
+
+/**
+ * Sanity checks used by tests: every block appears in exactly one
+ * trace; consecutive trace blocks are connected by a CFG arc.
+ * Returns an empty string when well-formed, else a diagnostic.
+ */
+std::string checkTraces(const ir::Program &program,
+                        const std::vector<Trace> &traces);
+
+} // namespace branchlab::profile
+
+#endif // BRANCHLAB_PROFILE_TRACE_SELECT_HH

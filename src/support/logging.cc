@@ -1,0 +1,79 @@
+#include "support/logging.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace branchlab
+{
+
+namespace
+{
+
+std::atomic<std::size_t> warning_count{0};
+std::atomic<bool> logging_throws{true};
+
+std::string
+decorate(const char *kind, const SourceLocation &loc,
+         const std::string &message)
+{
+    std::ostringstream os;
+    os << kind << ": " << message << " [" << loc.file << ":" << loc.line
+       << "]";
+    return os.str();
+}
+
+} // namespace
+
+void
+setLoggingThrows(bool throws)
+{
+    logging_throws.store(throws);
+}
+
+void
+panicImpl(const SourceLocation &loc, const std::string &message)
+{
+    const std::string text = decorate("panic", loc, message);
+    if (logging_throws.load())
+        throw LogicFailure(text);
+    std::cerr << text << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const SourceLocation &loc, const std::string &message)
+{
+    const std::string text = decorate("fatal", loc, message);
+    if (logging_throws.load())
+        throw ConfigFailure(text);
+    std::cerr << text << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const SourceLocation &loc, const std::string &message)
+{
+    warning_count.fetch_add(1);
+    std::cerr << decorate("warn", loc, message) << std::endl;
+}
+
+void
+informImpl(const std::string &message)
+{
+    std::cerr << "info: " << message << std::endl;
+}
+
+std::size_t
+warningCount()
+{
+    return warning_count.load();
+}
+
+void
+resetWarningCount()
+{
+    warning_count.store(0);
+}
+
+} // namespace branchlab

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers for BranchLab.
+ *
+ * The severity taxonomy follows the gem5 convention:
+ *  - panic():  an internal invariant was violated (a BranchLab bug);
+ *              aborts so a debugger or core dump can catch it.
+ *  - fatal():  the caller asked for something impossible (bad
+ *              configuration, invalid arguments); exits cleanly.
+ *  - warn():   something is suspicious but the run can continue.
+ *  - inform(): plain status output for the user.
+ */
+
+#ifndef BRANCHLAB_SUPPORT_LOGGING_HH
+#define BRANCHLAB_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace branchlab
+{
+
+/** Where a diagnostic originated, captured by the macros below. */
+struct SourceLocation
+{
+    const char *file;
+    int line;
+};
+
+/** Abort with an internal-error message. Never returns. */
+[[noreturn]] void panicImpl(const SourceLocation &loc,
+                            const std::string &message);
+
+/** Exit with a user-error message. Never returns. */
+[[noreturn]] void fatalImpl(const SourceLocation &loc,
+                            const std::string &message);
+
+/** Print a warning to stderr. */
+void warnImpl(const SourceLocation &loc, const std::string &message);
+
+/** Print a status message to stderr. */
+void informImpl(const std::string &message);
+
+/**
+ * Build a message from stream-insertable parts.
+ * Used by the logging macros; also handy for assembling error strings.
+ */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/** Count of warnings emitted so far (used by tests). */
+std::size_t warningCount();
+
+/** Reset the warning counter (used by tests). */
+void resetWarningCount();
+
+/**
+ * When true (the default), panic() and fatal() throw LogicFailure /
+ * ConfigFailure instead of terminating. Tests rely on this; standalone
+ * binaries may call setLoggingThrows(false) to get abort/exit semantics.
+ */
+void setLoggingThrows(bool throws);
+
+/** Exception thrown by panic() when setLoggingThrows(true). */
+class LogicFailure : public std::logic_error
+{
+  public:
+    explicit LogicFailure(const std::string &what)
+        : std::logic_error(what)
+    {}
+};
+
+/** Exception thrown by fatal() when setLoggingThrows(true). */
+class ConfigFailure : public std::runtime_error
+{
+  public:
+    explicit ConfigFailure(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+} // namespace branchlab
+
+#define BLAB_SRC_LOC ::branchlab::SourceLocation{__FILE__, __LINE__}
+
+/** Report an internal BranchLab bug and abort (or throw under tests). */
+#define blab_panic(...) \
+    ::branchlab::panicImpl(BLAB_SRC_LOC, \
+                           ::branchlab::composeMessage(__VA_ARGS__))
+
+/** Report a user/configuration error and exit (or throw under tests). */
+#define blab_fatal(...) \
+    ::branchlab::fatalImpl(BLAB_SRC_LOC, \
+                           ::branchlab::composeMessage(__VA_ARGS__))
+
+/** Emit a warning with source location. */
+#define blab_warn(...) \
+    ::branchlab::warnImpl(BLAB_SRC_LOC, \
+                          ::branchlab::composeMessage(__VA_ARGS__))
+
+/** Emit a status message. */
+#define blab_inform(...) \
+    ::branchlab::informImpl(::branchlab::composeMessage(__VA_ARGS__))
+
+/** Check an internal invariant; panics with the condition text on failure. */
+#define blab_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            blab_panic("assertion '", #cond, "' failed. ", \
+                       ::branchlab::composeMessage(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // BRANCHLAB_SUPPORT_LOGGING_HH

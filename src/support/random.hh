@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic choice in BranchLab (input corpora, replacement
+ * tie-breaks in tests, ...) flows through Xoshiro256StarStar seeded from
+ * an explicit 64-bit seed, so that every number reported in
+ * EXPERIMENTS.md is reproducible bit-for-bit across runs and platforms.
+ */
+
+#ifndef BRANCHLAB_SUPPORT_RANDOM_HH
+#define BRANCHLAB_SUPPORT_RANDOM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace branchlab
+{
+
+/**
+ * xoshiro256** generator (Blackman & Vigna) with a splitmix64 seeder.
+ *
+ * Chosen over std::mt19937 because its output sequence is fully
+ * specified here (libstdc++/libc++ distributions are not portable) and
+ * it is cheap to copy for forked sub-streams.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; equal seeds give equal sequences. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0, without modulo bias. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    std::int64_t nextInRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** True with probability @p p (clamped to [0, 1]). */
+    bool nextBool(double p = 0.5);
+
+    /** Pick an element index by non-negative weights (sum > 0). */
+    std::size_t pickWeighted(const std::vector<double> &weights);
+
+    /** Uniformly pick one element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &items)
+    {
+        return items[nextBelow(items.size())];
+    }
+
+    /** Fork an independent sub-stream (e.g., one per benchmark run). */
+    Rng fork();
+
+    /** In-place Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        for (std::size_t i = items.size(); i > 1; --i)
+            std::swap(items[i - 1], items[nextBelow(i)]);
+    }
+
+  private:
+    std::uint64_t state_[4];
+};
+
+/** Stable 64-bit hash of a string (FNV-1a); used to derive seeds. */
+std::uint64_t hashString(const std::string &text);
+
+} // namespace branchlab
+
+#endif // BRANCHLAB_SUPPORT_RANDOM_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * A small statistics package: counters, ratios, running mean / standard
+ * deviation, and histograms.
+ *
+ * The paper reports averages and standard deviations across benchmarks
+ * (Tables 3-5); RunningStat computes both with Welford's online
+ * algorithm. All statistics are named so they can be dumped uniformly.
+ */
+
+#ifndef BRANCHLAB_SUPPORT_STATS_HH
+#define BRANCHLAB_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace branchlab
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void increment(std::uint64_t amount = 1) { value_ += amount; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A hit/total ratio, e.g. prediction accuracy or BTB miss ratio.
+ * ratio() of an empty Ratio is defined as 0.
+ */
+class Ratio
+{
+  public:
+    void record(bool hit);
+    void reset();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t total() const { return total_; }
+    /** hits / total, or 0 when no events were recorded. */
+    double ratio() const;
+    /** 1 - ratio(). */
+    double complement() const;
+
+    /** Merge another ratio's events into this one. */
+    void merge(const Ratio &other);
+
+  private:
+    std::uint64_t hits_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Online mean / variance / min / max over a stream of samples
+ * (Welford's algorithm, numerically stable).
+ */
+class RunningStat
+{
+  public:
+    void addSample(double value);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    /** Population variance (divide by n), 0 when count < 2. */
+    double variance() const;
+    /** Population standard deviation. */
+    double stddev() const;
+    /** Sample standard deviation (divide by n-1), 0 when count < 2. */
+    double sampleStddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * A fixed-bucket histogram over integer sample values, with overflow
+ * and underflow buckets.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo    lowest bucketed value (inclusive)
+     * @param hi    highest bucketed value (inclusive)
+     * @param buckets number of equal-width buckets across [lo, hi]
+     */
+    Histogram(std::int64_t lo, std::int64_t hi, std::size_t buckets);
+
+    void addSample(std::int64_t value, std::uint64_t weight = 1);
+    void reset();
+
+    std::size_t numBuckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t index) const;
+    /** Inclusive lower bound of a bucket. */
+    std::int64_t bucketLow(std::size_t index) const;
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t totalSamples() const { return total_; }
+    double meanSample() const;
+
+  private:
+    std::int64_t lo_;
+    std::int64_t hi_;
+    std::int64_t width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+    double weighted_sum_ = 0.0;
+};
+
+/**
+ * A named collection of scalar statistics, dumpable as text. Modules
+ * register their counters under hierarchical dotted names, mirroring
+ * the gem5 stats-dump idiom at a much smaller scale.
+ */
+class StatRegistry
+{
+  public:
+    /** Record (or overwrite) a scalar statistic value. */
+    void setScalar(const std::string &name, double value);
+
+    /** Look up a scalar; fatal error when missing. */
+    double scalar(const std::string &name) const;
+
+    bool has(const std::string &name) const;
+    std::size_t size() const { return scalars_.size(); }
+
+    /** Dump all stats as "name value" lines in sorted order. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::map<std::string, double> scalars_;
+};
+
+/** Format a fraction as a percentage string, e.g. 0.915 -> "91.5%". */
+std::string formatPercent(double fraction, int decimals = 1);
+
+/** Format a double with fixed decimals, e.g. 1.2345 -> "1.23". */
+std::string formatFixed(double value, int decimals = 2);
+
+} // namespace branchlab
+
+#endif // BRANCHLAB_SUPPORT_STATS_HH

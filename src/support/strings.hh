@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Small string utilities shared across BranchLab modules.
+ */
+
+#ifndef BRANCHLAB_SUPPORT_STRINGS_HH
+#define BRANCHLAB_SUPPORT_STRINGS_HH
+
+#include <string>
+#include <vector>
+
+namespace branchlab
+{
+
+/** Split @p text on a separator character; keeps empty fields. */
+std::vector<std::string> splitString(const std::string &text, char sep);
+
+/** Split @p text into lines, treating '\n' as the separator. A final
+ *  newline does not produce a trailing empty line. */
+std::vector<std::string> splitLines(const std::string &text);
+
+/** Join parts with a separator. */
+std::string joinStrings(const std::vector<std::string> &parts,
+                        const std::string &sep);
+
+/** Strip leading and trailing whitespace (space, tab, CR, LF). */
+std::string trimString(const std::string &text);
+
+/** True when @p text begins with @p prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+/** True when @p text ends with @p suffix. */
+bool endsWith(const std::string &text, const std::string &suffix);
+
+/** Left-pad with spaces to at least @p width characters. */
+std::string padLeft(const std::string &text, std::size_t width);
+
+/** Right-pad with spaces to at least @p width characters. */
+std::string padRight(const std::string &text, std::size_t width);
+
+/** Replace every occurrence of @p from (non-empty) with @p to. */
+std::string replaceAll(std::string text, const std::string &from,
+                       const std::string &to);
+
+} // namespace branchlab
+
+#endif // BRANCHLAB_SUPPORT_STRINGS_HH

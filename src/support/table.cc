@@ -1,0 +1,129 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace branchlab
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    blab_assert(!headers_.empty(), "table needs at least one column");
+    aligns_.assign(headers_.size(), Align::Right);
+    aligns_[0] = Align::Left;
+}
+
+void
+TextTable::setAlign(std::size_t index, Align align)
+{
+    blab_assert(index < aligns_.size(), "column index out of range");
+    aligns_[index] = align;
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    blab_assert(cells.size() == headers_.size(),
+                "row has ", cells.size(), " cells, expected ",
+                headers_.size());
+    rows_.push_back(Row{false, std::move(cells)});
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back(Row{true, {}});
+}
+
+std::size_t
+TextTable::numRows() const
+{
+    std::size_t count = 0;
+    for (const Row &row : rows_)
+        count += row.separator ? 0 : 1;
+    return count;
+}
+
+void
+TextTable::render(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const Row &row : rows_) {
+        if (row.separator)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    const auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0)
+                os << "  ";
+            os << (aligns_[c] == Align::Left ? padRight(cells[c], widths[c])
+                                             : padLeft(cells[c], widths[c]));
+        }
+        os << "\n";
+    };
+
+    const auto emit_rule = [&]() {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            if (c > 0)
+                os << "  ";
+            os << std::string(widths[c], '-');
+        }
+        os << "\n";
+    };
+
+    emit_row(headers_);
+    emit_rule();
+    for (const Row &row : rows_) {
+        if (row.separator)
+            emit_rule();
+        else
+            emit_row(row.cells);
+    }
+}
+
+void
+TextTable::renderCsv(std::ostream &os) const
+{
+    const auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0)
+                os << ",";
+            os << csvQuote(cells[c]);
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const Row &row : rows_) {
+        if (!row.separator)
+            emit(row.cells);
+    }
+}
+
+std::string
+TextTable::toString() const
+{
+    std::ostringstream os;
+    render(os);
+    return os.str();
+}
+
+std::string
+csvQuote(const std::string &field)
+{
+    const bool needs_quote =
+        field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote)
+        return field;
+    return "\"" + replaceAll(field, "\"", "\"\"") + "\"";
+}
+
+} // namespace branchlab

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Aligned ASCII table and CSV rendering, used by the benchmark harness
+ * to print the paper's tables and figure series.
+ */
+
+#ifndef BRANCHLAB_SUPPORT_TABLE_HH
+#define BRANCHLAB_SUPPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace branchlab
+{
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"Benchmark", "A_SBTB"});
+ *   t.addRow({"cccp", "90.7%"});
+ *   t.render(std::cout);
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Alignment of a column's cells. */
+    enum class Align { Left, Right };
+
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Set alignment of column @p index (default: Left for the first
+     *  column, Right for all others). */
+    void setAlign(std::size_t index, Align align);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Data rows (separators excluded). */
+    std::size_t numRows() const;
+    std::size_t numColumns() const { return headers_.size(); }
+
+    /** Render with a header rule, two-space column gutters. */
+    void render(std::ostream &os) const;
+
+    /** Render as RFC-4180-ish CSV (separators skipped). */
+    void renderCsv(std::ostream &os) const;
+
+    /** Render to a string (for tests). */
+    std::string toString() const;
+
+  private:
+    struct Row
+    {
+        bool separator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    std::vector<Row> rows_;
+};
+
+/** Quote a CSV field per RFC 4180 when it needs quoting. */
+std::string csvQuote(const std::string &field);
+
+} // namespace branchlab
+
+#endif // BRANCHLAB_SUPPORT_TABLE_HH

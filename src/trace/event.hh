@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Dynamic trace events emitted by the IR virtual machine.
+ *
+ * Branch events carry everything the three schemes in the paper need:
+ * the branch's static address (BTB tag), its actual next PC, the
+ * static taken-target address, and the known/unknown-target
+ * classification from Table 2.
+ */
+
+#ifndef BRANCHLAB_TRACE_EVENT_HH
+#define BRANCHLAB_TRACE_EVENT_HH
+
+#include "ir/opcode.hh"
+#include "ir/types.hh"
+
+namespace branchlab::trace
+{
+
+/** One executed branch instruction. */
+struct BranchEvent
+{
+    /** Static address of the branch instruction. */
+    ir::Addr pc = ir::kNoAddr;
+    /** Address execution actually continues at. */
+    ir::Addr nextPc = ir::kNoAddr;
+    /**
+     * Address of the taken-path target. For conditional branches this
+     * is the static taken target even when the branch falls through;
+     * for unconditional branches it equals nextPc.
+     */
+    ir::Addr targetAddr = ir::kNoAddr;
+    /** Address of the next sequential instruction (fallthrough). */
+    ir::Addr fallthroughAddr = ir::kNoAddr;
+    /** The branch opcode (Beq..Ret). */
+    ir::Opcode op = ir::Opcode::Jmp;
+    /** True for Beq..Bge. */
+    bool conditional = false;
+    /** Outcome; unconditional branches are always taken. */
+    bool taken = true;
+    /**
+     * True when the target is statically encoded or register-readable
+     * at decode (jumps, calls, returns); false for jumps/calls through
+     * run-time data (JTab, CallInd). Paper Table 2's Known column.
+     */
+    bool targetKnown = true;
+
+    /** True for a backward transfer (target before the branch). */
+    bool
+    isBackward() const
+    {
+        return targetAddr != ir::kNoAddr && targetAddr < pc;
+    }
+};
+
+/** One executed instruction (instruction-level tracing only). */
+struct InstEvent
+{
+    ir::Addr pc = ir::kNoAddr;
+    ir::Opcode op = ir::Opcode::Nop;
+};
+
+/**
+ * Receiver of trace events. The VM drives exactly one sink; fan out
+ * with trace::FanoutSink when several consumers are needed.
+ *
+ * onInstruction is only called when wantsInstructions() returns true,
+ * keeping the common predictors-only path cheap.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Return true to receive per-instruction events. */
+    virtual bool wantsInstructions() const { return false; }
+
+    /** Called for every executed instruction (branches included). */
+    virtual void onInstruction(const InstEvent &event) { (void)event; }
+
+    /** Called for every executed branch. */
+    virtual void onBranch(const BranchEvent &event) = 0;
+};
+
+} // namespace branchlab::trace
+
+#endif // BRANCHLAB_TRACE_EVENT_HH

@@ -1,0 +1,177 @@
+#include "trace/io.hh"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+#include "support/logging.hh"
+
+namespace branchlab::trace
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'B', 'L', 'T', 'R'};
+constexpr std::size_t kEventBytes = 4 * 8 + 2;
+
+void
+putU32(std::ostream &os, std::uint32_t value)
+{
+    std::array<char, 4> bytes;
+    for (int i = 0; i < 4; ++i)
+        bytes[static_cast<std::size_t>(i)] =
+            static_cast<char>((value >> (8 * i)) & 0xff);
+    os.write(bytes.data(), bytes.size());
+}
+
+void
+putU64(std::ostream &os, std::uint64_t value)
+{
+    std::array<char, 8> bytes;
+    for (int i = 0; i < 8; ++i)
+        bytes[static_cast<std::size_t>(i)] =
+            static_cast<char>((value >> (8 * i)) & 0xff);
+    os.write(bytes.data(), bytes.size());
+}
+
+std::uint32_t
+getU32(std::istream &is)
+{
+    std::array<char, 4> bytes;
+    is.read(bytes.data(), bytes.size());
+    if (!is)
+        blab_fatal("truncated trace stream");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+        value |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(
+                         bytes[static_cast<std::size_t>(i)]))
+                 << (8 * i);
+    }
+    return value;
+}
+
+std::uint64_t
+getU64(std::istream &is)
+{
+    std::array<char, 8> bytes;
+    is.read(bytes.data(), bytes.size());
+    if (!is)
+        blab_fatal("truncated trace stream");
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+        value |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(
+                         bytes[static_cast<std::size_t>(i)]))
+                 << (8 * i);
+    }
+    return value;
+}
+
+void
+putEvent(std::ostream &os, const BranchEvent &event)
+{
+    putU64(os, event.pc);
+    putU64(os, event.nextPc);
+    putU64(os, event.targetAddr);
+    putU64(os, event.fallthroughAddr);
+    const char op = static_cast<char>(event.op);
+    os.put(op);
+    const char flags = static_cast<char>(
+        (event.conditional ? 1 : 0) | (event.taken ? 2 : 0) |
+        (event.targetKnown ? 4 : 0));
+    os.put(flags);
+}
+
+BranchEvent
+getEvent(std::istream &is)
+{
+    BranchEvent event;
+    event.pc = getU64(is);
+    event.nextPc = getU64(is);
+    event.targetAddr = getU64(is);
+    event.fallthroughAddr = getU64(is);
+    const int op = is.get();
+    const int flags = is.get();
+    if (op < 0 || flags < 0)
+        blab_fatal("truncated trace stream");
+    if (op >= ir::kNumOpcodes)
+        blab_fatal("corrupt trace stream: bad opcode ", op);
+    event.op = static_cast<ir::Opcode>(op);
+    event.conditional = (flags & 1) != 0;
+    event.taken = (flags & 2) != 0;
+    event.targetKnown = (flags & 4) != 0;
+    return event;
+}
+
+std::uint64_t
+readHeader(std::istream &is)
+{
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        blab_fatal("not a BranchLab trace (bad magic)");
+    const std::uint32_t version = getU32(is);
+    if (version != kTraceFormatVersion) {
+        blab_fatal("unsupported trace version ", version, " (expected ",
+                   kTraceFormatVersion, ")");
+    }
+    return getU64(is);
+}
+
+} // namespace
+
+std::size_t
+writeTrace(std::ostream &os, const std::vector<BranchEvent> &events)
+{
+    os.write(kMagic, sizeof(kMagic));
+    putU32(os, kTraceFormatVersion);
+    putU64(os, events.size());
+    for (const BranchEvent &event : events)
+        putEvent(os, event);
+    if (!os)
+        blab_fatal("trace write failed");
+    return sizeof(kMagic) + 4 + 8 + events.size() * kEventBytes;
+}
+
+void
+writeTraceFile(const std::string &path,
+               const std::vector<BranchEvent> &events)
+{
+    std::ofstream file(path, std::ios::binary);
+    if (!file)
+        blab_fatal("cannot open '", path, "' for writing");
+    writeTrace(file, events);
+}
+
+std::vector<BranchEvent>
+readTrace(std::istream &is)
+{
+    const std::uint64_t count = readHeader(is);
+    std::vector<BranchEvent> events;
+    events.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        events.push_back(getEvent(is));
+    return events;
+}
+
+std::vector<BranchEvent>
+readTraceFile(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        blab_fatal("cannot open '", path, "' for reading");
+    return readTrace(file);
+}
+
+std::size_t
+replayTrace(std::istream &is, TraceSink &sink)
+{
+    const std::uint64_t count = readHeader(is);
+    for (std::uint64_t i = 0; i < count; ++i)
+        sink.onBranch(getEvent(is));
+    return count;
+}
+
+} // namespace branchlab::trace

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Binary branch-trace serialization: write a recorded stream to disk
+ * once, replay it into predictors many times -- the workflow of
+ * trace-driven studies like the paper's (profile once, evaluate every
+ * scheme over the same stream).
+ *
+ * Format (little-endian, fixed-width):
+ *   header:  magic "BLTR", u32 version, u64 event count
+ *   events:  u64 pc, u64 nextPc, u64 targetAddr, u64 fallthroughAddr,
+ *            u8 opcode, u8 flags (bit0 conditional, bit1 taken,
+ *            bit2 targetKnown)
+ */
+
+#ifndef BRANCHLAB_TRACE_IO_HH
+#define BRANCHLAB_TRACE_IO_HH
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace branchlab::trace
+{
+
+/** Current on-disk format version. */
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/** Serialize events to a stream. @return bytes written. */
+std::size_t writeTrace(std::ostream &os,
+                       const std::vector<BranchEvent> &events);
+
+/** Serialize to a file; fatal on I/O failure. */
+void writeTraceFile(const std::string &path,
+                    const std::vector<BranchEvent> &events);
+
+/**
+ * Deserialize a stream written by writeTrace. Fatal on bad magic,
+ * version mismatch, or truncation.
+ */
+std::vector<BranchEvent> readTrace(std::istream &is);
+
+/** Deserialize from a file; fatal on I/O failure. */
+std::vector<BranchEvent> readTraceFile(const std::string &path);
+
+/**
+ * Stream events from a serialized trace directly into a sink without
+ * materialising the vector (for traces larger than memory).
+ * @return events delivered.
+ */
+std::size_t replayTrace(std::istream &is, TraceSink &sink);
+
+} // namespace branchlab::trace
+
+#endif // BRANCHLAB_TRACE_IO_HH

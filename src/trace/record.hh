@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Recording and fan-out trace sinks.
+ */
+
+#ifndef BRANCHLAB_TRACE_RECORD_HH
+#define BRANCHLAB_TRACE_RECORD_HH
+
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace branchlab::trace
+{
+
+/** Buffers every branch event in memory (tests, replay). */
+class BranchRecorder : public TraceSink
+{
+  public:
+    void onBranch(const BranchEvent &event) override;
+
+    const std::vector<BranchEvent> &events() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+    void clear() { events_.clear(); }
+
+    /** Replay all recorded events into another sink. */
+    void replayInto(TraceSink &sink) const;
+
+  private:
+    std::vector<BranchEvent> events_;
+};
+
+/** Buffers the full committed instruction stream (addresses). */
+class InstRecorder : public TraceSink
+{
+  public:
+    bool wantsInstructions() const override { return true; }
+    void onInstruction(const InstEvent &event) override;
+    void onBranch(const BranchEvent &event) override { (void)event; }
+
+    const std::vector<ir::Addr> &addrs() const { return addrs_; }
+    void clear() { addrs_.clear(); }
+
+  private:
+    std::vector<ir::Addr> addrs_;
+};
+
+/** Forwards events to several sinks in order. Does not own them. */
+class FanoutSink : public TraceSink
+{
+  public:
+    void addSink(TraceSink *sink);
+
+    bool wantsInstructions() const override;
+    void onInstruction(const InstEvent &event) override;
+    void onBranch(const BranchEvent &event) override;
+
+  private:
+    std::vector<TraceSink *> sinks_;
+};
+
+} // namespace branchlab::trace
+
+#endif // BRANCHLAB_TRACE_RECORD_HH

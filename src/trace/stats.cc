@@ -1,0 +1,74 @@
+#include "trace/stats.hh"
+
+namespace branchlab::trace
+{
+
+void
+TraceStats::onBranch(const BranchEvent &event)
+{
+    ++branches_;
+    if (event.conditional) {
+        ++conditional_;
+        if (event.taken)
+            ++condTaken_;
+    } else if (event.targetKnown) {
+        ++uncondKnown_;
+    }
+}
+
+void
+TraceStats::merge(const TraceStats &other)
+{
+    instructions_ += other.instructions_;
+    branches_ += other.branches_;
+    conditional_ += other.conditional_;
+    condTaken_ += other.condTaken_;
+    uncondKnown_ += other.uncondKnown_;
+}
+
+double
+TraceStats::controlFraction() const
+{
+    if (instructions_ == 0)
+        return 0.0;
+    return static_cast<double>(branches_) /
+           static_cast<double>(instructions_);
+}
+
+double
+TraceStats::conditionalTakenFraction() const
+{
+    if (conditional_ == 0)
+        return 0.0;
+    return static_cast<double>(condTaken_) /
+           static_cast<double>(conditional_);
+}
+
+double
+TraceStats::unconditionalKnownFraction() const
+{
+    const std::uint64_t uncond = unconditionalBranches();
+    if (uncond == 0)
+        return 0.0;
+    return static_cast<double>(uncondKnown_) / static_cast<double>(uncond);
+}
+
+double
+TraceStats::conditionalFraction() const
+{
+    if (branches_ == 0)
+        return 0.0;
+    return static_cast<double>(conditional_) /
+           static_cast<double>(branches_);
+}
+
+double
+TraceStats::instructionsPerBranch() const
+{
+    if (branches_ == 0)
+        return 0.0;
+    return static_cast<double>(instructions_) /
+           static_cast<double>(branches_);
+}
+
+} // namespace branchlab::trace

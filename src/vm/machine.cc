@@ -1,0 +1,407 @@
+#include "vm/machine.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace branchlab::vm
+{
+
+using ir::Addr;
+using ir::BlockId;
+using ir::FuncId;
+using ir::Instruction;
+using ir::kNoBlock;
+using ir::kNoReg;
+using ir::Opcode;
+using ir::Reg;
+using ir::Word;
+
+Machine::Machine(const ir::Program &program, const ir::Layout &layout)
+    : prog_(program), layout_(layout)
+{
+    reset();
+}
+
+void
+Machine::setInput(int channel, std::vector<Word> words)
+{
+    blab_assert(channel >= 0 && channel < 8, "channel out of range");
+    inputs_[channel] = std::move(words);
+    inputCursor_[channel] = 0;
+}
+
+void
+Machine::setInputBytes(int channel, const std::string &bytes)
+{
+    std::vector<Word> words;
+    words.reserve(bytes.size());
+    for (unsigned char c : bytes)
+        words.push_back(static_cast<Word>(c));
+    setInput(channel, std::move(words));
+}
+
+const std::vector<Word> &
+Machine::output(int channel) const
+{
+    blab_assert(channel >= 0 && channel < 8, "channel out of range");
+    return outputs_[channel];
+}
+
+std::string
+Machine::outputBytes(int channel) const
+{
+    const std::vector<Word> &words = output(channel);
+    std::string bytes;
+    bytes.reserve(words.size());
+    for (Word w : words)
+        bytes.push_back(static_cast<char>(w & 0xff));
+    return bytes;
+}
+
+void
+Machine::reset()
+{
+    frames_.clear();
+    regStack_.clear();
+    memory_.reset(prog_.data());
+    for (int c = 0; c < 8; ++c) {
+        inputCursor_[c] = 0;
+        outputs_[c].clear();
+    }
+}
+
+Word &
+Machine::reg(const Frame &frame, Reg r)
+{
+    return regStack_[frame.regBase + r];
+}
+
+void
+Machine::fault(const std::string &what, Addr pc)
+{
+    std::ostringstream os;
+    os << "execution fault in '" << prog_.name() << "' at address " << pc
+       << ": " << what;
+    throw ExecutionFault(os.str());
+}
+
+void
+Machine::pushFrame(FuncId func, const std::vector<Word> &args, Reg ret_dst,
+                   const RunLimits &limits, Addr pc)
+{
+    if (frames_.size() >= limits.maxFrames)
+        fault("call stack overflow", pc);
+    const ir::Function &callee = prog_.function(func);
+    Frame frame;
+    frame.func = func;
+    frame.block = callee.entry();
+    frame.index = 0;
+    frame.regBase = regStack_.size();
+    frame.retDst = ret_dst;
+    regStack_.resize(regStack_.size() + callee.numRegs(), 0);
+    for (std::size_t i = 0; i < args.size(); ++i)
+        regStack_[frame.regBase + i] = args[i];
+    frames_.push_back(frame);
+}
+
+RunResult
+Machine::run(const RunLimits &limits)
+{
+    RunResult result;
+    const RunLimits lim = limits;
+
+    frames_.clear();
+    regStack_.clear();
+    pushFrame(prog_.mainFunction(), {}, kNoReg, lim, 0);
+
+    const bool want_insts = sink_ != nullptr && sink_->wantsInstructions();
+
+    // Scratch buffer for call arguments, reused across calls.
+    std::vector<Word> arg_values;
+
+    while (true) {
+        Frame &fr = frames_.back();
+        const ir::Function &fn = prog_.function(fr.func);
+        const ir::BasicBlock &bb = fn.block(fr.block);
+        const Instruction &inst = bb.inst(fr.index);
+
+        if (result.instructions >= lim.maxInstructions) {
+            result.reason = StopReason::InstructionLimit;
+            return result;
+        }
+        ++result.instructions;
+
+        const Addr pc = layout_.blockAddr(fr.func, fr.block) + fr.index;
+
+        if (want_insts)
+            sink_->onInstruction(trace::InstEvent{pc, inst.op});
+
+        // Right-hand side of ALU/compare ops.
+        const auto rhs = [&]() -> Word {
+            return inst.useImm ? inst.imm : reg(fr, inst.src2);
+        };
+
+        switch (inst.op) {
+          case Opcode::Add:
+            reg(fr, inst.dst) = static_cast<Word>(
+                static_cast<std::uint64_t>(reg(fr, inst.src1)) +
+                static_cast<std::uint64_t>(rhs()));
+            break;
+          case Opcode::Sub:
+            reg(fr, inst.dst) = static_cast<Word>(
+                static_cast<std::uint64_t>(reg(fr, inst.src1)) -
+                static_cast<std::uint64_t>(rhs()));
+            break;
+          case Opcode::Mul:
+            reg(fr, inst.dst) = static_cast<Word>(
+                static_cast<std::uint64_t>(reg(fr, inst.src1)) *
+                static_cast<std::uint64_t>(rhs()));
+            break;
+          case Opcode::Div: {
+            const Word divisor = rhs();
+            if (divisor == 0)
+                fault("division by zero", pc);
+            const Word dividend = reg(fr, inst.src1);
+            if (dividend == INT64_MIN && divisor == -1)
+                reg(fr, inst.dst) = INT64_MIN; // wrap, avoid UB
+            else
+                reg(fr, inst.dst) = dividend / divisor;
+            break;
+          }
+          case Opcode::Rem: {
+            const Word divisor = rhs();
+            if (divisor == 0)
+                fault("remainder by zero", pc);
+            const Word dividend = reg(fr, inst.src1);
+            if (dividend == INT64_MIN && divisor == -1)
+                reg(fr, inst.dst) = 0;
+            else
+                reg(fr, inst.dst) = dividend % divisor;
+            break;
+          }
+          case Opcode::And:
+            reg(fr, inst.dst) = reg(fr, inst.src1) & rhs();
+            break;
+          case Opcode::Or:
+            reg(fr, inst.dst) = reg(fr, inst.src1) | rhs();
+            break;
+          case Opcode::Xor:
+            reg(fr, inst.dst) = reg(fr, inst.src1) ^ rhs();
+            break;
+          case Opcode::Shl:
+            reg(fr, inst.dst) = static_cast<Word>(
+                static_cast<std::uint64_t>(reg(fr, inst.src1))
+                << (rhs() & 63));
+            break;
+          case Opcode::Shr:
+            // C++20 defines signed right shift as arithmetic.
+            reg(fr, inst.dst) = reg(fr, inst.src1) >> (rhs() & 63);
+            break;
+          case Opcode::Not:
+            reg(fr, inst.dst) = ~reg(fr, inst.src1);
+            break;
+          case Opcode::Neg:
+            reg(fr, inst.dst) = static_cast<Word>(
+                0 - static_cast<std::uint64_t>(reg(fr, inst.src1)));
+            break;
+          case Opcode::Mov:
+            reg(fr, inst.dst) = reg(fr, inst.src1);
+            break;
+          case Opcode::Ldi:
+            reg(fr, inst.dst) = inst.imm;
+            break;
+          case Opcode::Ld: {
+            const Word addr = reg(fr, inst.src1) + inst.imm;
+            Word value = 0;
+            if (!memory_.tryRead(addr, value))
+                fault("load from bad address " + std::to_string(addr), pc);
+            reg(fr, inst.dst) = value;
+            break;
+          }
+          case Opcode::St: {
+            const Word addr = reg(fr, inst.src1) + inst.imm;
+            if (!memory_.tryWrite(addr, reg(fr, inst.src2)))
+                fault("store to bad address " + std::to_string(addr), pc);
+            break;
+          }
+          case Opcode::Ldf:
+            reg(fr, inst.dst) = static_cast<Word>(inst.func);
+            break;
+          case Opcode::In: {
+            const auto chan = static_cast<std::size_t>(inst.imm);
+            std::size_t &cursor = inputCursor_[chan];
+            if (cursor < inputs_[chan].size())
+                reg(fr, inst.dst) = inputs_[chan][cursor++];
+            else
+                reg(fr, inst.dst) = -1;
+            break;
+          }
+          case Opcode::Out:
+            outputs_[static_cast<std::size_t>(inst.imm)].push_back(
+                reg(fr, inst.src1));
+            break;
+          case Opcode::Nop:
+            break;
+
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Ble:
+          case Opcode::Bgt:
+          case Opcode::Bge: {
+            const bool taken =
+                ir::evalCondition(inst.op, reg(fr, inst.src1), rhs());
+            ++result.branches;
+            const Addr taken_addr =
+                layout_.blockAddr(fr.func, inst.target);
+            const Addr fall_addr = layout_.blockAddr(fr.func, inst.next);
+            if (sink_ != nullptr) {
+                trace::BranchEvent ev;
+                ev.pc = pc;
+                ev.op = inst.op;
+                ev.conditional = true;
+                ev.taken = taken;
+                ev.targetKnown = true;
+                ev.targetAddr = taken_addr;
+                ev.fallthroughAddr = fall_addr;
+                ev.nextPc = taken ? taken_addr : fall_addr;
+                sink_->onBranch(ev);
+            }
+            fr.block = taken ? inst.target : inst.next;
+            fr.index = 0;
+            continue;
+          }
+
+          case Opcode::Jmp: {
+            ++result.branches;
+            const Addr target = layout_.blockAddr(fr.func, inst.target);
+            if (sink_ != nullptr) {
+                trace::BranchEvent ev;
+                ev.pc = pc;
+                ev.op = inst.op;
+                ev.taken = true;
+                ev.targetKnown = true;
+                ev.targetAddr = target;
+                ev.fallthroughAddr = pc + 1;
+                ev.nextPc = target;
+                sink_->onBranch(ev);
+            }
+            fr.block = inst.target;
+            fr.index = 0;
+            continue;
+          }
+
+          case Opcode::JTab: {
+            ++result.branches;
+            const Word index = reg(fr, inst.src1);
+            if (index < 0 ||
+                index >= static_cast<Word>(inst.table.size())) {
+                fault("jump-table index " + std::to_string(index) +
+                          " out of range",
+                      pc);
+            }
+            const BlockId target_block =
+                inst.table[static_cast<std::size_t>(index)];
+            const Addr target = layout_.blockAddr(fr.func, target_block);
+            if (sink_ != nullptr) {
+                trace::BranchEvent ev;
+                ev.pc = pc;
+                ev.op = inst.op;
+                ev.taken = true;
+                ev.targetKnown = false;
+                ev.targetAddr = target;
+                ev.fallthroughAddr = pc + 1;
+                ev.nextPc = target;
+                sink_->onBranch(ev);
+            }
+            fr.block = target_block;
+            fr.index = 0;
+            continue;
+          }
+
+          case Opcode::Call:
+          case Opcode::CallInd: {
+            ++result.branches;
+            FuncId callee = inst.func;
+            if (inst.op == Opcode::CallInd) {
+                const Word ref = reg(fr, inst.src1);
+                if (ref < 0 ||
+                    ref >= static_cast<Word>(prog_.numFunctions())) {
+                    fault("indirect call to bad function ref " +
+                              std::to_string(ref),
+                          pc);
+                }
+                callee = static_cast<FuncId>(ref);
+            }
+            if (inst.args.size() != prog_.function(callee).numArgs())
+                fault("argument count mismatch in indirect call", pc);
+            const Addr target = layout_.funcEntry(callee);
+            if (sink_ != nullptr) {
+                trace::BranchEvent ev;
+                ev.pc = pc;
+                ev.op = inst.op;
+                ev.taken = true;
+                ev.targetKnown = inst.op == Opcode::Call;
+                ev.targetAddr = target;
+                ev.fallthroughAddr = pc + 1;
+                ev.nextPc = target;
+                sink_->onBranch(ev);
+            }
+            // Resume the caller at the continuation when the callee
+            // returns.
+            fr.block = inst.next;
+            fr.index = 0;
+            arg_values.clear();
+            for (Reg a : inst.args)
+                arg_values.push_back(reg(fr, a));
+            pushFrame(callee, arg_values, inst.dst, lim, pc);
+            continue;
+          }
+
+          case Opcode::Ret: {
+            if (frames_.size() == 1) {
+                // Returning from main ends the run; not a branch event
+                // (there is no target to fetch).
+                result.reason = StopReason::MainReturned;
+                return result;
+            }
+            ++result.branches;
+            const Word value =
+                inst.src1 != kNoReg ? reg(fr, inst.src1) : 0;
+            const Reg ret_dst = fr.retDst;
+            const std::size_t reg_base = fr.regBase;
+            frames_.pop_back();
+            regStack_.resize(reg_base);
+            Frame &caller = frames_.back();
+            if (ret_dst != kNoReg)
+                reg(caller, ret_dst) = value;
+            const Addr target =
+                layout_.blockAddr(caller.func, caller.block) +
+                caller.index;
+            if (sink_ != nullptr) {
+                trace::BranchEvent ev;
+                ev.pc = pc;
+                ev.op = Opcode::Ret;
+                ev.taken = true;
+                // The return address is register-resident and readable
+                // at decode: a known target (see DESIGN.md).
+                ev.targetKnown = true;
+                ev.targetAddr = target;
+                ev.fallthroughAddr = pc + 1;
+                ev.nextPc = target;
+                sink_->onBranch(ev);
+            }
+            continue;
+          }
+
+          case Opcode::Halt:
+            result.reason = StopReason::Halted;
+            return result;
+        }
+
+        ++fr.index;
+    }
+}
+
+} // namespace branchlab::vm

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The IR virtual machine: executes a verified, laid-out program and
+ * emits trace events for every branch (and optionally every
+ * instruction).
+ *
+ * This plays the role of the profiling runs in the paper: a benchmark
+ * program is executed over its input suite and the resulting dynamic
+ * branch stream drives the three prediction schemes.
+ */
+
+#ifndef BRANCHLAB_VM_MACHINE_HH
+#define BRANCHLAB_VM_MACHINE_HH
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ir/layout.hh"
+#include "ir/program.hh"
+#include "trace/event.hh"
+#include "vm/memory.hh"
+
+namespace branchlab::vm
+{
+
+/** Thrown when a program performs an illegal operation at run time
+ *  (division by zero, out-of-range jump-table index, bad memory
+ *  access, call-stack overflow). */
+class ExecutionFault : public std::runtime_error
+{
+  public:
+    explicit ExecutionFault(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Why a run stopped. */
+enum class StopReason
+{
+    Halted,           ///< A Halt instruction executed.
+    MainReturned,     ///< The entry function returned.
+    InstructionLimit, ///< RunLimits::maxInstructions exceeded.
+};
+
+/** Knobs bounding one run. */
+struct RunLimits
+{
+    std::uint64_t maxInstructions = 2'000'000'000ULL;
+    /** Maximum call-stack depth before an ExecutionFault. */
+    std::size_t maxFrames = 10'000;
+};
+
+/** Outcome of one run. */
+struct RunResult
+{
+    StopReason reason = StopReason::Halted;
+    std::uint64_t instructions = 0;
+    std::uint64_t branches = 0;
+};
+
+/**
+ * The virtual machine. One machine executes one program; reset state
+ * between runs with reset(). Inputs are word streams on channels
+ * 0..kMaxChannels-1; outputs accumulate per channel.
+ */
+class Machine
+{
+  public:
+    /**
+     * @param program verified program (caller must run the verifier)
+     * @param layout  address map built over @p program
+     */
+    Machine(const ir::Program &program, const ir::Layout &layout);
+
+    /** Replace the input stream of a channel (resets its cursor). */
+    void setInput(int channel, std::vector<ir::Word> words);
+
+    /** Convenience: set a channel's input from raw bytes, one word per
+     *  byte (how the workloads feed text). */
+    void setInputBytes(int channel, const std::string &bytes);
+
+    /** Output accumulated on a channel so far. */
+    const std::vector<ir::Word> &output(int channel) const;
+
+    /** Output rendered as bytes (low 8 bits of each word). */
+    std::string outputBytes(int channel) const;
+
+    /** Attach the (single) trace sink; may be null. Use a FanoutSink
+     *  to feed several consumers. */
+    void setSink(trace::TraceSink *sink) { sink_ = sink; }
+
+    /** Clear registers, memory, outputs, and input cursors (inputs
+     *  themselves are kept and replay from the start). */
+    void reset();
+
+    /** Execute from main until halt/return/limit. */
+    RunResult run(const RunLimits &limits = RunLimits{});
+
+    Memory &memory() { return memory_; }
+    const ir::Program &program() const { return prog_; }
+
+  private:
+    struct Frame
+    {
+        ir::FuncId func;
+        ir::BlockId block;
+        std::uint32_t index;
+        /** Base of this frame's registers in regStack_. */
+        std::size_t regBase;
+        /** Caller register receiving the return value (kNoReg: none).*/
+        ir::Reg retDst;
+    };
+
+    ir::Word &reg(const Frame &frame, ir::Reg r);
+    [[noreturn]] void fault(const std::string &what, ir::Addr pc);
+    void pushFrame(ir::FuncId func, const std::vector<ir::Word> &args,
+                   ir::Reg ret_dst, const RunLimits &limits, ir::Addr pc);
+
+    const ir::Program &prog_;
+    const ir::Layout &layout_;
+    Memory memory_;
+    trace::TraceSink *sink_ = nullptr;
+
+    std::vector<Frame> frames_;
+    std::vector<ir::Word> regStack_;
+
+    std::vector<ir::Word> inputs_[8];
+    std::size_t inputCursor_[8] = {};
+    std::vector<ir::Word> outputs_[8];
+};
+
+} // namespace branchlab::vm
+
+#endif // BRANCHLAB_VM_MACHINE_HH

@@ -1,0 +1,81 @@
+#include "vm/memory.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace branchlab::vm
+{
+
+Memory::Memory(ir::Word capacity_words) : cap_(capacity_words)
+{
+    blab_assert(cap_ > 0, "memory capacity must be positive");
+}
+
+void
+Memory::reset(const std::vector<ir::Word> &image)
+{
+    blab_assert(static_cast<ir::Word>(image.size()) <= cap_,
+                "data segment larger than memory capacity");
+    words_ = image;
+}
+
+bool
+Memory::inBounds(ir::Word addr) const
+{
+    return addr >= 0 && addr < cap_;
+}
+
+void
+Memory::ensure(std::size_t size)
+{
+    if (words_.size() < size) {
+        // Grow geometrically to amortise repeated small extensions.
+        std::size_t grown = std::max(size, words_.size() * 2);
+        grown = std::min(grown, static_cast<std::size_t>(cap_));
+        words_.resize(grown, 0);
+    }
+}
+
+bool
+Memory::tryRead(ir::Word addr, ir::Word &value)
+{
+    if (!inBounds(addr))
+        return false;
+    const auto index = static_cast<std::size_t>(addr);
+    if (index >= words_.size()) {
+        value = 0;
+        return true;
+    }
+    value = words_[index];
+    return true;
+}
+
+bool
+Memory::tryWrite(ir::Word addr, ir::Word value)
+{
+    if (!inBounds(addr))
+        return false;
+    const auto index = static_cast<std::size_t>(addr);
+    ensure(index + 1);
+    words_[index] = value;
+    return true;
+}
+
+ir::Word
+Memory::read(ir::Word addr)
+{
+    ir::Word value = 0;
+    if (!tryRead(addr, value))
+        blab_fatal("memory read out of bounds: ", addr);
+    return value;
+}
+
+void
+Memory::write(ir::Word addr, ir::Word value)
+{
+    if (!tryWrite(addr, value))
+        blab_fatal("memory write out of bounds: ", addr);
+}
+
+} // namespace branchlab::vm

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Flat word-addressed data memory for the IR virtual machine.
+ */
+
+#ifndef BRANCHLAB_VM_MEMORY_HH
+#define BRANCHLAB_VM_MEMORY_HH
+
+#include <vector>
+
+#include "ir/types.hh"
+
+namespace branchlab::vm
+{
+
+/**
+ * Data memory: 64-bit words addressed by non-negative word indices.
+ * Grows on demand up to a configurable cap; out-of-range accesses
+ * raise an ExecutionFault through the machine.
+ */
+class Memory
+{
+  public:
+    /** Default cap: 1 Mi words = 8 MiB per machine. */
+    static constexpr ir::Word kDefaultCap = 1 << 20;
+
+    explicit Memory(ir::Word capacity_words = kDefaultCap);
+
+    /** Reset contents to the given data segment image. */
+    void reset(const std::vector<ir::Word> &image);
+
+    /** True when @p addr is a legal data address. */
+    bool inBounds(ir::Word addr) const;
+
+    /** Read a word; returns false (and leaves @p value) when out of
+     *  bounds. Unwritten in-bounds words read as zero. */
+    bool tryRead(ir::Word addr, ir::Word &value);
+
+    /** Write a word; returns false when out of bounds. */
+    bool tryWrite(ir::Word addr, ir::Word value);
+
+    /** Direct read for tests; fatal when out of bounds. */
+    ir::Word read(ir::Word addr);
+
+    /** Direct write for tests; fatal when out of bounds. */
+    void write(ir::Word addr, ir::Word value);
+
+    ir::Word capacity() const { return cap_; }
+    /** Words currently backed by storage (high-water mark). */
+    std::size_t footprint() const { return words_.size(); }
+
+  private:
+    void ensure(std::size_t size);
+
+    ir::Word cap_;
+    std::vector<ir::Word> words_;
+};
+
+} // namespace branchlab::vm
+
+#endif // BRANCHLAB_VM_MEMORY_HH

@@ -1,0 +1,264 @@
+#include "workloads/corpus.hh"
+
+#include <array>
+
+#include "support/logging.hh"
+
+namespace branchlab::workloads
+{
+
+namespace
+{
+
+const std::array<const char *, 24> common_words = {
+    "the",    "quick",  "brown", "fox",    "jumps", "over",
+    "lazy",   "dog",    "and",   "then",   "some",  "system",
+    "branch", "cache",  "unit",  "stage",  "cycle", "fetch",
+    "decode", "detect", "issue", "commit", "trace", "slot",
+};
+
+const std::array<const char *, 8> c_types = {
+    "int", "char", "long", "short", "unsigned", "float", "double",
+    "void",
+};
+
+std::string
+randomWord(Rng &rng)
+{
+    return common_words[rng.nextBelow(common_words.size())];
+}
+
+} // namespace
+
+std::string
+generateIdentifier(Rng &rng)
+{
+    const std::size_t length = 3 + rng.nextBelow(8);
+    std::string name;
+    for (std::size_t i = 0; i < length; ++i)
+        name.push_back(static_cast<char>('a' + rng.nextBelow(26)));
+    return name;
+}
+
+std::string
+generateCSource(Rng &rng, int lines)
+{
+    std::string source;
+    int emitted = 0;
+
+    // Real C reuses a modest identifier vocabulary; a pool also keeps
+    // the cccp workload's symbol table realistically small.
+    std::vector<std::string> idents;
+    for (int i = 0; i < 40; ++i)
+        idents.push_back(generateIdentifier(rng));
+    const auto pick_ident = [&]() -> const std::string & {
+        return idents[rng.nextBelow(idents.size())];
+    };
+
+    // A few macro definitions up front (exercises cccp).
+    const int macros = 2 + static_cast<int>(rng.nextBelow(6));
+    std::vector<std::string> macro_names;
+    for (int i = 0; i < macros; ++i) {
+        const std::string name = generateIdentifier(rng) + "m";
+        macro_names.push_back(name);
+        source += "#define " + name + " " +
+                  std::to_string(rng.nextBelow(1000)) + "\n";
+        ++emitted;
+    }
+
+    while (emitted < lines) {
+        const std::string func = pick_ident() + "f";
+        source += c_types[rng.nextBelow(c_types.size())];
+        source += " " + func + "(" + c_types[rng.nextBelow(4)] + " " +
+                  pick_ident() + ")\n{\n";
+        emitted += 2;
+        const int body = 3 + static_cast<int>(rng.nextBelow(20));
+        bool in_ifdef = false;
+        for (int i = 0; i < body && emitted < lines; ++i, ++emitted) {
+            const auto kind = rng.nextBelow(8);
+            if (kind == 0) {
+                source += "    /* " + randomWord(rng) + " " +
+                          randomWord(rng) + " */\n";
+            } else if (kind == 1 && !in_ifdef) {
+                // 30% of conditionals name an undefined macro so the
+                // skip path runs.
+                const std::string guard =
+                    rng.nextBool(0.3)
+                        ? pick_ident() + "u"
+                        : macro_names[rng.nextBelow(macro_names.size())];
+                source += "#ifdef " + guard + "\n";
+                in_ifdef = true;
+            } else if (kind == 2 && in_ifdef) {
+                source += "#endif\n";
+                in_ifdef = false;
+            } else if (kind == 3) {
+                source += "    if (" + pick_ident() + " > " +
+                          std::to_string(rng.nextBelow(100)) + ")\n";
+            } else if (kind == 4) {
+                source += "    for (i = 0; i < " +
+                          macro_names[rng.nextBelow(macro_names.size())] +
+                          "; i++)\n";
+            } else {
+                source += "    " + pick_ident() + " = " + pick_ident() +
+                          " + " +
+                          macro_names[rng.nextBelow(macro_names.size())] +
+                          ";\n";
+            }
+        }
+        if (in_ifdef) {
+            source += "#endif\n";
+            ++emitted;
+        }
+        source += "}\n\n";
+        emitted += 2;
+    }
+    return source;
+}
+
+std::string
+generateText(Rng &rng, int lines)
+{
+    std::string text;
+    for (int line = 0; line < lines; ++line) {
+        const std::size_t words = 3 + rng.nextBelow(10);
+        for (std::size_t w = 0; w < words; ++w) {
+            if (w > 0)
+                text += rng.nextBool(0.1) ? "\t" : " ";
+            text += randomWord(rng);
+        }
+        text += "\n";
+        // Occasional blank line.
+        if (rng.nextBool(0.07))
+            text += "\n";
+    }
+    return text;
+}
+
+std::pair<std::string, std::string>
+generateFilePair(Rng &rng, int lines, double similarity)
+{
+    const std::string base = generateText(rng, lines);
+    std::string other = base;
+    // Flip bytes beyond the similar prefix.
+    const auto prefix =
+        static_cast<std::size_t>(similarity * static_cast<double>(
+                                                  other.size()));
+    for (std::size_t i = prefix; i < other.size(); ++i) {
+        if (rng.nextBool(0.2))
+            other[i] = static_cast<char>('a' + rng.nextBelow(26));
+    }
+    return {base, other};
+}
+
+std::string
+generateMakefile(Rng &rng, int targets)
+{
+    blab_assert(targets > 0, "need at least one target");
+    std::vector<std::string> names;
+    names.reserve(static_cast<std::size_t>(targets));
+    for (int i = 0; i < targets; ++i)
+        names.push_back(generateIdentifier(rng) + std::to_string(i));
+
+    std::string text;
+    // Rules: target i depends only on later-indexed names (acyclic).
+    for (int i = 0; i < targets; ++i) {
+        text += names[static_cast<std::size_t>(i)] + ":";
+        const int max_deps = targets - i - 1;
+        const int deps =
+            max_deps > 0
+                ? static_cast<int>(rng.nextBelow(
+                      static_cast<std::uint64_t>(std::min(4, max_deps)) +
+                      1))
+                : 0;
+        for (int d = 0; d < deps; ++d) {
+            const std::size_t pick =
+                static_cast<std::size_t>(i) + 1 +
+                rng.nextBelow(static_cast<std::uint64_t>(max_deps));
+            text += " " + names[pick];
+        }
+        text += "\n";
+    }
+    text += "!times\n";
+    for (int i = 0; i < targets; ++i) {
+        text += names[static_cast<std::size_t>(i)] + " " +
+                std::to_string(rng.nextBelow(100)) + "\n";
+    }
+    return text;
+}
+
+std::string
+generatePattern(Rng &rng)
+{
+    std::string pattern;
+    if (rng.nextBool(0.3))
+        pattern += "^";
+    const std::size_t atoms = 2 + rng.nextBelow(4);
+    for (std::size_t i = 0; i < atoms; ++i) {
+        const auto kind = rng.nextBelow(10);
+        if (kind < 6) {
+            pattern.push_back(
+                static_cast<char>('a' + rng.nextBelow(26)));
+        } else if (kind < 8) {
+            pattern += ".";
+        } else {
+            pattern.push_back(
+                static_cast<char>('a' + rng.nextBelow(26)));
+            pattern += "*";
+        }
+    }
+    return pattern;
+}
+
+namespace
+{
+
+/** Append one random expression's tokens (id=0 + * ( ) per header). */
+void
+appendExpr(Rng &rng, std::vector<long long> &tokens, int depth)
+{
+    // term (op term)*
+    const auto term = [&](auto &&self_ref) -> void {
+        if (depth < 3 && rng.nextBool(0.25)) {
+            tokens.push_back(3); // '('
+            appendExpr(rng, tokens, depth + 1);
+            tokens.push_back(4); // ')'
+        } else {
+            tokens.push_back(0); // id
+        }
+        (void)self_ref;
+    };
+    term(term);
+    const std::size_t ops = rng.nextBelow(4);
+    for (std::size_t i = 0; i < ops; ++i) {
+        tokens.push_back(rng.nextBool(0.5) ? 1 : 2); // '+' or '*'
+        term(term);
+    }
+}
+
+} // namespace
+
+std::vector<long long>
+generateExprTokens(Rng &rng, int expressions)
+{
+    std::vector<long long> tokens;
+    for (int e = 0; e < expressions; ++e) {
+        appendExpr(rng, tokens, 0);
+        tokens.push_back(5); // end-of-expression
+    }
+    return tokens;
+}
+
+std::vector<std::pair<std::string, std::string>>
+generateArchiveMembers(Rng &rng, int members)
+{
+    std::vector<std::pair<std::string, std::string>> files;
+    files.reserve(static_cast<std::size_t>(members));
+    for (int i = 0; i < members; ++i) {
+        const std::string name = generateIdentifier(rng);
+        const int lines = 2 + static_cast<int>(rng.nextBelow(30));
+        files.emplace_back(name, generateText(rng, lines));
+    }
+    return files;
+}
+
+} // namespace branchlab::workloads

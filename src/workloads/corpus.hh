@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Synthetic input-corpus generators, shaped after the paper's Table 1
+ * input descriptions: C source files of 100-3000 lines, prose text
+ * files, similar/dissimilar file pairs, makefiles, grammars, and
+ * archive member lists. All generation is driven by the caller's
+ * deterministic Rng.
+ */
+
+#ifndef BRANCHLAB_WORKLOADS_CORPUS_HH
+#define BRANCHLAB_WORKLOADS_CORPUS_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/random.hh"
+
+namespace branchlab::workloads
+{
+
+/** A pseudo-C source file of roughly @p lines lines, with comments,
+ *  preprocessor directives, functions, loops and conditionals. */
+std::string generateCSource(Rng &rng, int lines);
+
+/** Prose-like text of roughly @p lines lines. */
+std::string generateText(Rng &rng, int lines);
+
+/** A pair of files that agree on a prefix and then diverge
+ *  (@p similarity in [0,1]; 1 = identical). */
+std::pair<std::string, std::string> generateFilePair(Rng &rng, int lines,
+                                                     double similarity);
+
+/** A makefile-shaped dependency description understood by the 'make'
+ *  workload: "target: dep dep\n" rule lines followed by a "!times"
+ *  section of "name age" lines. */
+std::string generateMakefile(Rng &rng, int targets);
+
+/** A random identifier (lowercase, 3-10 chars). */
+std::string generateIdentifier(Rng &rng);
+
+/** A simple regular-expression pattern over lowercase letters using
+ *  literals, '.', '*' and optionally a leading '^'. */
+std::string generatePattern(Rng &rng);
+
+/**
+ * A token stream for the 'yacc' workload's expression grammar.
+ * Tokens: 0 = id, 1 = '+', 2 = '*', 3 = '(', 4 = ')', 5 = end.
+ * Generates @p expressions well-formed expressions followed by the
+ * end token after each.
+ */
+std::vector<long long> generateExprTokens(Rng &rng, int expressions);
+
+/** Archive member list for 'tar': (name, contents) pairs. */
+std::vector<std::pair<std::string, std::string>>
+generateArchiveMembers(Rng &rng, int members);
+
+} // namespace branchlab::workloads
+
+#endif // BRANCHLAB_WORKLOADS_CORPUS_HH

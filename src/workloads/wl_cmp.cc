@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The 'cmp' benchmark: byte-wise comparison of two files, reporting
+ * the first difference, the number of differing bytes, and the common
+ * length -- the cmp -l behaviour. Table 1 profiles cmp over pairs of
+ * similar and dissimilar text files.
+ */
+
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+#include "workloads/corpus.hh"
+
+namespace branchlab::workloads
+{
+
+namespace
+{
+
+using ir::IrBuilder;
+using ir::Reg;
+
+class CmpWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "cmp"; }
+
+    std::string
+    inputDescription() const override
+    {
+        return "similar/disimilar text files";
+    }
+
+    // Table 1's Runs column.
+    unsigned defaultRuns() const override { return 16; }
+
+    ir::Program
+    buildProgram() const override
+    {
+        ir::Program prog("cmp");
+        IrBuilder b(prog);
+
+        b.beginFunction("main", 0);
+        {
+            const Reg pos = b.newReg();
+            const Reg diffs = b.newReg();
+            const Reg first = b.newReg();
+            const Reg a = b.newReg();
+            const Reg c = b.newReg();
+            const Reg sum_a = b.newReg();
+            const Reg sum_b = b.newReg();
+            b.ldiTo(pos, 0);
+            b.ldiTo(diffs, 0);
+            b.ldiTo(first, -1);
+            b.ldiTo(sum_a, 0);
+            b.ldiTo(sum_b, 0);
+
+            // while ((a = getc(f1)) != EOF && (b = getc(f2)) != EOF)
+            // hand-rotated: the guard reads both streams, the repeated
+            // test sits at the loop bottom as a taken-backward branch.
+            const ir::BlockId body_b = b.newBlock("byte");
+            const ir::BlockId exit_b = b.newBlock("eof");
+            b.movTo(a, b.in(0));
+            b.movTo(c, b.in(1));
+            b.branch(IrBuilder::cmpEqi(a, -1), exit_b,
+                     b.newBlock("guard_a"));
+            b.branch(IrBuilder::cmpEqi(c, -1), exit_b, body_b);
+            {
+                // Rolling checksums of both files (cmp -l style
+                // summary work; keeps the byte loop realistic).
+                const Reg ma = b.muli(sum_a, 31);
+                const Reg na = b.add(ma, a);
+                b.emitBinaryImmTo(ir::Opcode::And, sum_a, na, 0xffffff);
+                const Reg mb = b.muli(sum_b, 31);
+                const Reg nb = b.add(mb, c);
+                b.emitBinaryImmTo(ir::Opcode::And, sum_b, nb, 0xffffff);
+                b.ifThen([&] { return IrBuilder::cmpNe(a, c); },
+                         [&] {
+                             b.emitBinaryImmTo(ir::Opcode::Add, diffs,
+                                               diffs, 1);
+                             b.ifThen(
+                                 [&] {
+                                     return IrBuilder::cmpEqi(first, -1);
+                                 },
+                                 [&] { b.movTo(first, pos); });
+                         });
+                b.emitBinaryImmTo(ir::Opcode::Add, pos, pos, 1);
+                // Bottom test: refill and loop while both streams
+                // still deliver (taken-backward on the common path).
+                b.movTo(a, b.in(0));
+                b.branch(IrBuilder::cmpEqi(a, -1), exit_b,
+                         b.newBlock("bottom_a"));
+                b.movTo(c, b.in(1));
+                b.branch(IrBuilder::cmpNei(c, -1), body_b, exit_b);
+            }
+            // currentBlock_ == exit_b after the bottom test.
+
+            b.out(first, 1);
+            b.out(diffs, 1);
+            b.out(pos, 1);
+            b.out(sum_a, 1);
+            b.out(sum_b, 1);
+            b.halt();
+        }
+        b.endFunction();
+        return prog;
+    }
+
+    std::vector<WorkloadInput>
+    makeInputs(Rng &rng, unsigned runs) const override
+    {
+        std::vector<WorkloadInput> inputs;
+        for (unsigned r = 0; r < runs; ++r) {
+            WorkloadInput input;
+            const int lines = 60 + static_cast<int>(rng.nextBelow(300));
+            // Alternate similar and dissimilar pairs, as in Table 1.
+            const double similarity = (r % 2 == 0) ? 0.9 : 0.1;
+            input.description =
+                (r % 2 == 0 ? "similar pair, " : "dissimilar pair, ") +
+                std::to_string(lines) + " lines";
+            const auto pair = generateFilePair(rng, lines, similarity);
+            input.setChannelBytes(0, pair.first);
+            input.setChannelBytes(1, pair.second);
+            inputs.push_back(std::move(input));
+        }
+        return inputs;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeCmpWorkload()
+{
+    return std::make_unique<CmpWorkload>();
+}
+
+} // namespace branchlab::workloads

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The 'compress' benchmark: LZW compression with the open-addressing
+ * hash table of compress(1). Codes are 12-bit (4096 entries); the
+ * probe loop and the found/not-found split give the data-dependent
+ * branch mix Table 3 shows (compress has the suite's lowest
+ * prediction accuracies).
+ */
+
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+#include "workloads/corpus.hh"
+
+namespace branchlab::workloads
+{
+
+namespace
+{
+
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::Reg;
+
+constexpr ir::Word kHashSize = 8192; // power of two > 4096 codes
+constexpr ir::Word kMaxCode = 4096;
+
+class CompressWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "compress"; }
+
+    std::string
+    inputDescription() const override
+    {
+        return "same as cccp";
+    }
+
+    // Table 1's Runs column.
+    unsigned defaultRuns() const override { return 20; }
+
+    ir::Program
+    buildProgram() const override
+    {
+        ir::Program prog("compress");
+        // Keys are stored +1 so 0 means "empty slot".
+        const ir::Word htab = prog.addZeroData(kHashSize);
+        const ir::Word codetab = prog.addZeroData(kHashSize);
+
+        IrBuilder b(prog);
+
+        b.beginFunction("main", 0);
+        {
+            const Reg htab_base = b.ldi(htab);
+            const Reg code_base = b.ldi(codetab);
+            const Reg next_code = b.newReg();
+            const Reg prefix = b.newReg();
+            const Reg out_codes = b.newReg();
+            b.ldiTo(next_code, 256);
+            b.ldiTo(out_codes, 0);
+
+            // First byte seeds the prefix; empty input emits nothing.
+            b.movTo(prefix, b.in(0));
+            b.ifThen([&] { return IrBuilder::cmpEqi(prefix, -1); },
+                     [&] {
+                         b.out(out_codes, 2);
+                         b.halt();
+                     });
+
+            const Reg c = b.newReg();
+            const Reg h = b.newReg();
+            const Reg key = b.newReg();
+            const Reg found = b.newReg();
+            b.loopWithExit([&](ir::BlockId exit) {
+                b.movTo(c, b.in(0));
+                b.branch(IrBuilder::cmpEqi(c, -1), exit,
+                         b.newBlock("have_byte"));
+
+                // key = (prefix << 8) | c, stored +1.
+                const Reg p_shift = b.shli(prefix, 8);
+                b.emitBinaryTo(Opcode::Or, key, p_shift, c);
+                b.emitBinaryImmTo(Opcode::Add, key, key, 1);
+
+                // h = ((c << 6) ^ prefix) & (kHashSize - 1), linear
+                // probing as in compress(1).
+                const Reg c_shift = b.shli(c, 6);
+                const Reg mix = b.bitXor(c_shift, prefix);
+                b.emitBinaryImmTo(Opcode::And, h, mix, kHashSize - 1);
+
+                b.ldiTo(found, 0);
+                b.loopWithExit([&](ir::BlockId probe_done) {
+                    const Reg slot_addr = b.add(htab_base, h);
+                    const Reg stored = b.ld(slot_addr, 0);
+                    // Empty slot ends an unsuccessful probe.
+                    b.branch(IrBuilder::cmpEqi(stored, 0), probe_done,
+                             b.newBlock("probe_occupied"));
+                    b.ifThen([&] { return IrBuilder::cmpEq(stored, key); },
+                             [&] {
+                                 b.ldiTo(found, 1);
+                                 b.jmp(probe_done);
+                             });
+                    b.emitBinaryImmTo(Opcode::Add, h, h, 1);
+                    b.emitBinaryImmTo(Opcode::And, h, h, kHashSize - 1);
+                });
+
+                b.ifThenElse(
+                    [&] { return IrBuilder::cmpNei(found, 0); },
+                    [&] {
+                        // Extend the current match.
+                        const Reg slot = b.add(code_base, h);
+                        b.movTo(prefix, b.ld(slot, 0));
+                    },
+                    [&] {
+                        // Emit the prefix code, install the new string.
+                        b.out(prefix, 1);
+                        b.emitBinaryImmTo(Opcode::Add, out_codes,
+                                          out_codes, 1);
+                        b.ifThen(
+                            [&] {
+                                return IrBuilder::cmpLti(next_code,
+                                                         kMaxCode);
+                            },
+                            [&] {
+                                const Reg kslot = b.add(htab_base, h);
+                                b.st(kslot, key, 0);
+                                const Reg cslot = b.add(code_base, h);
+                                b.st(cslot, next_code, 0);
+                                b.emitBinaryImmTo(Opcode::Add, next_code,
+                                                  next_code, 1);
+                            });
+                        b.movTo(prefix, c);
+                    });
+            });
+
+            b.out(prefix, 1);
+            b.emitBinaryImmTo(Opcode::Add, out_codes, out_codes, 1);
+            b.out(out_codes, 2);
+            b.halt();
+        }
+        b.endFunction();
+        return prog;
+    }
+
+    std::vector<WorkloadInput>
+    makeInputs(Rng &rng, unsigned runs) const override
+    {
+        std::vector<WorkloadInput> inputs;
+        for (unsigned r = 0; r < runs; ++r) {
+            WorkloadInput input;
+            const int lines = 100 + static_cast<int>(rng.nextBelow(500));
+            input.description =
+                "C source, " + std::to_string(lines) + " lines";
+            input.setChannelBytes(0, generateCSource(rng, lines));
+            inputs.push_back(std::move(input));
+        }
+        return inputs;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeCompressWorkload()
+{
+    return std::make_unique<CompressWorkload>();
+}
+
+} // namespace branchlab::workloads

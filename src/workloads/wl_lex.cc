@@ -1,0 +1,317 @@
+/**
+ * @file
+ * The 'lex' benchmark: a table-driven DFA lexer over C-like input,
+ * the inner loop of a lex-generated scanner. The transition table is
+ * built host-side and shipped in the data segment; the IR program is
+ * the classic state-machine loop: classify the byte, index the table,
+ * branch on accept. Table 1 runs lex over generated lexers; we run
+ * the generated-scanner loop over C sources, the dominant cost in
+ * both.
+ *
+ * Accept encoding in the transition table:
+ *   value >= 0                next state;
+ *   -1 >= value > -100        token (-value) ends, byte NOT consumed;
+ *   value <= -100             token (-value - 100) ends, byte consumed.
+ */
+
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+#include "workloads/corpus.hh"
+
+namespace branchlab::workloads
+{
+
+namespace
+{
+
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::Reg;
+using ir::Word;
+
+// Character classes.
+enum : Word
+{
+    ClsLetter = 0,
+    ClsDigit = 1,
+    ClsSpace = 2,
+    ClsQuote = 3,
+    ClsSlash = 4,
+    ClsStar = 5,
+    ClsOther = 6,
+    kNumClasses = 7,
+};
+
+// States.
+enum : Word
+{
+    StStart = 0,
+    StIdent = 1,
+    StNum = 2,
+    StString = 3,
+    StSlash = 4,
+    StComment = 5,
+    StCommentStar = 6,
+    kNumStates = 7,
+};
+
+// Token kinds (1-based; index 0 unused).
+enum : Word
+{
+    TokIdent = 1,
+    TokNum = 2,
+    TokString = 3,
+    TokComment = 4,
+    TokPunct = 5,
+    kNumTokens = 6,
+};
+
+std::vector<Word>
+buildClassTable()
+{
+    std::vector<Word> cls(256, ClsOther);
+    for (int c = 'a'; c <= 'z'; ++c)
+        cls[static_cast<std::size_t>(c)] = ClsLetter;
+    for (int c = 'A'; c <= 'Z'; ++c)
+        cls[static_cast<std::size_t>(c)] = ClsLetter;
+    cls['_'] = ClsLetter;
+    for (int c = '0'; c <= '9'; ++c)
+        cls[static_cast<std::size_t>(c)] = ClsDigit;
+    cls[' '] = ClsSpace;
+    cls['\t'] = ClsSpace;
+    cls['\n'] = ClsSpace;
+    cls['\r'] = ClsSpace;
+    cls['"'] = ClsQuote;
+    cls['/'] = ClsSlash;
+    cls['*'] = ClsStar;
+    return cls;
+}
+
+std::vector<Word>
+buildTransTable()
+{
+    const auto end_keep = [](Word token) { return -token; };
+    const auto end_consume = [](Word token) { return -(token + 100); };
+
+    std::vector<Word> t(static_cast<std::size_t>(kNumStates) *
+                            static_cast<std::size_t>(kNumClasses),
+                        0);
+    const auto set = [&](Word state, Word cls, Word value) {
+        t[static_cast<std::size_t>(state * kNumClasses + cls)] = value;
+    };
+
+    // START.
+    set(StStart, ClsLetter, StIdent);
+    set(StStart, ClsDigit, StNum);
+    set(StStart, ClsSpace, StStart);
+    set(StStart, ClsQuote, StString);
+    set(StStart, ClsSlash, StSlash);
+    set(StStart, ClsStar, end_consume(TokPunct));
+    set(StStart, ClsOther, end_consume(TokPunct));
+
+    // IDENT: letters and digits extend; anything else ends.
+    set(StIdent, ClsLetter, StIdent);
+    set(StIdent, ClsDigit, StIdent);
+    for (Word cls : {ClsSpace, ClsQuote, ClsSlash, ClsStar, ClsOther})
+        set(StIdent, cls, end_keep(TokIdent));
+
+    // NUM.
+    set(StNum, ClsDigit, StNum);
+    set(StNum, ClsLetter, StNum); // 0x1f style
+    for (Word cls : {ClsSpace, ClsQuote, ClsSlash, ClsStar, ClsOther})
+        set(StNum, cls, end_keep(TokNum));
+
+    // STRING: closing quote consumes; everything else stays.
+    for (Word cls :
+         {ClsLetter, ClsDigit, ClsSpace, ClsSlash, ClsStar, ClsOther})
+        set(StString, cls, StString);
+    set(StString, ClsQuote, end_consume(TokString));
+
+    // SLASH: '*' opens a comment, anything else was a '/' punct.
+    set(StSlash, ClsStar, StComment);
+    for (Word cls :
+         {ClsLetter, ClsDigit, ClsSpace, ClsQuote, ClsSlash, ClsOther})
+        set(StSlash, cls, end_keep(TokPunct));
+
+    // COMMENT: '*' may close.
+    for (Word cls :
+         {ClsLetter, ClsDigit, ClsSpace, ClsQuote, ClsSlash, ClsOther})
+        set(StComment, cls, StComment);
+    set(StComment, ClsStar, StCommentStar);
+
+    // COMMENT_STAR: '/' closes, '*' stays, else back to comment.
+    set(StCommentStar, ClsSlash, end_consume(TokComment));
+    set(StCommentStar, ClsStar, StCommentStar);
+    for (Word cls :
+         {ClsLetter, ClsDigit, ClsSpace, ClsQuote, ClsOther})
+        set(StCommentStar, cls, StComment);
+    return t;
+}
+
+class LexWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "lex"; }
+
+    std::string
+    inputDescription() const override
+    {
+        return "generated scanners over C sources";
+    }
+
+    // Table 1's Runs column.
+    unsigned defaultRuns() const override { return 4; }
+
+    ir::Program
+    buildProgram() const override
+    {
+        ir::Program prog("lex");
+        const Word cls_tab = prog.addData(buildClassTable());
+        const Word trans_tab = prog.addData(buildTransTable());
+        const Word counts = prog.addZeroData(kNumTokens);
+
+        IrBuilder b(prog);
+
+        // accept(token): bump the per-kind counter.
+        const ir::FuncId accept = b.beginFunction("accept", 1);
+        {
+            const Reg token = b.arg(0);
+            const Reg base = b.ldi(counts);
+            const Reg slot = b.add(base, token);
+            const Reg old = b.ld(slot, 0);
+            const Reg bumped = b.addi(old, 1);
+            b.st(slot, bumped, 0);
+            b.ret();
+        }
+        b.endFunction();
+
+        b.beginFunction("main", 0);
+        {
+            const Reg cls_base = b.ldi(cls_tab);
+            const Reg trans_base = b.ldi(trans_tab);
+            const Reg state = b.newReg();
+            const Reg tokens = b.newReg();
+            const Reg lexeme_hash = b.newReg();
+            const Reg offset = b.newReg();
+            b.ldiTo(state, StStart);
+            b.ldiTo(tokens, 0);
+            b.ldiTo(lexeme_hash, 0);
+            b.ldiTo(offset, 0);
+
+            const Reg c = b.newReg();
+            const Reg cls = b.newReg();
+            const Reg next = b.newReg();
+            b.loopWithExit([&](ir::BlockId exit) {
+                b.movTo(c, b.in(0));
+                b.ifThen([&] { return IrBuilder::cmpEqi(c, -1); },
+                         [&] {
+                             // Flush a pending token at EOF.
+                             b.ifThen(
+                                 [&] {
+                                     return IrBuilder::cmpNei(state,
+                                                              StStart);
+                                 },
+                                 [&] {
+                                     b.emitBinaryImmTo(Opcode::Add,
+                                                       tokens, tokens, 1);
+                                 });
+                             b.jmp(exit);
+                         });
+                // Lexeme hashing and position tracking: generated
+                // scanners maintain yytext/yyleng-style state.
+                const Reg mul = b.muli(lexeme_hash, 31);
+                const Reg sum = b.add(mul, c);
+                b.emitBinaryImmTo(Opcode::And, lexeme_hash, sum,
+                                  0xffffff);
+                b.emitBinaryImmTo(Opcode::Add, offset, offset, 1);
+                b.movTo(cls, b.ld(b.add(cls_base, c), 0));
+                const Reg row = b.muli(state, kNumClasses);
+                const Reg idx = b.add(row, cls);
+                b.movTo(next, b.ld(b.add(trans_base, idx), 0));
+
+                b.ifThenElse(
+                    [&] { return IrBuilder::cmpGei(next, 0); },
+                    [&] { b.movTo(state, next); },
+                    [&] {
+                        const Reg token = b.newReg();
+                        b.ifThenElse(
+                            [&] { return IrBuilder::cmpLei(next, -100); },
+                            [&] {
+                                // Token includes this byte.
+                                const Reg neg = b.neg(next);
+                                b.emitBinaryImmTo(Opcode::Sub, token, neg,
+                                                  100);
+                                b.ldiTo(state, StStart);
+                            },
+                            [&] {
+                                // Token ended before this byte:
+                                // reprocess it from START.
+                                b.movTo(token, b.neg(next));
+                                const Reg re = b.ld(
+                                    b.add(trans_base, cls), 0);
+                                b.ifThenElse(
+                                    [&] {
+                                        return IrBuilder::cmpGei(re, 0);
+                                    },
+                                    [&] { b.movTo(state, re); },
+                                    [&] {
+                                        // START accepts are always
+                                        // consuming single-byte puncts.
+                                        const Reg neg2 = b.neg(re);
+                                        const Reg tok2 =
+                                            b.subi(neg2, 100);
+                                        b.callVoid(accept, {tok2});
+                                        b.emitBinaryImmTo(Opcode::Add,
+                                                          tokens, tokens,
+                                                          1);
+                                        b.ldiTo(state, StStart);
+                                    });
+                            });
+                        b.callVoid(accept, {token});
+                        b.emitBinaryImmTo(Opcode::Add, tokens, tokens, 1);
+                    });
+            });
+
+            b.out(tokens, 1);
+            const Reg base = b.ldi(counts);
+            const Reg i = b.newReg();
+            b.forRangeImm(i, 1, kNumTokens, [&] {
+                const Reg v = b.ld(b.add(base, i), 0);
+                b.out(v, 1);
+            });
+            b.halt();
+        }
+        b.endFunction();
+        return prog;
+    }
+
+    std::vector<WorkloadInput>
+    makeInputs(Rng &rng, unsigned runs) const override
+    {
+        std::vector<WorkloadInput> inputs;
+        for (unsigned r = 0; r < runs; ++r) {
+            WorkloadInput input;
+            // lex dominates Table 1's dynamic counts (the paper ran it
+            // over whole generated lexers); give it by far the largest
+            // inputs of the suite.
+            const int lines = 2500 +
+                              static_cast<int>(rng.nextBelow(3000));
+            input.description =
+                "C source, " + std::to_string(lines) + " lines";
+            input.setChannelBytes(0, generateCSource(rng, lines));
+            inputs.push_back(std::move(input));
+        }
+        return inputs;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLexWorkload()
+{
+    return std::make_unique<LexWorkload>();
+}
+
+} // namespace branchlab::workloads

@@ -1,0 +1,363 @@
+/**
+ * @file
+ * The 'make' benchmark: parse a makefile-shaped dependency
+ * description (rule lines, then a "!times" section of timestamps),
+ * intern names into a symbol table, and decide what to rebuild with a
+ * recursive out-of-date walk. Exercises string interning loops,
+ * pointer-chasing table walks, and call/return-heavy recursion.
+ */
+
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+#include "workloads/corpus.hh"
+
+namespace branchlab::workloads
+{
+
+namespace
+{
+
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::Reg;
+using ir::Word;
+
+constexpr Word kMaxSyms = 96;
+constexpr Word kSymSlot = 16; ///< words per symbol: len + 15 chars
+constexpr Word kDepSlot = 8;  ///< words per target: count + 7 deps
+
+class MakeWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "make"; }
+
+    std::string
+    inputDescription() const override
+    {
+        return "makefiles";
+    }
+
+    // Table 1's Runs column.
+    unsigned defaultRuns() const override { return 20; }
+
+    ir::Program
+    buildProgram() const override
+    {
+        ir::Program prog("make");
+        const Word unget_cell = prog.addData({-2});
+        const Word read_pos = prog.addZeroData(1);
+        const Word sym_count = prog.addZeroData(1);
+        const Word rebuilds = prog.addZeroData(1);
+        const Word word_buf = prog.addZeroData(32);
+        const Word syms = prog.addZeroData(kMaxSyms * kSymSlot);
+        const Word deps = prog.addZeroData(kMaxSyms * kDepSlot);
+        const Word times = prog.addZeroData(kMaxSyms);
+        const Word built = prog.addZeroData(kMaxSyms);
+        const Word new_time = prog.addZeroData(kMaxSyms);
+
+        IrBuilder b(prog);
+
+        // getch(): one-character pushback stream.
+        const ir::FuncId getch = b.beginFunction("getch", 0);
+        {
+            const Reg cell = b.ldi(unget_cell);
+            const Reg u = b.ld(cell, 0);
+            b.ifThen([&] { return IrBuilder::cmpNei(u, -2); },
+                     [&] {
+                         const Reg sentinel = b.ldi(-2);
+                         b.st(cell, sentinel, 0);
+                         b.ret(u);
+                     });
+            // stdio-style buffer bookkeeping on the slow path.
+            const Reg pos_cell = b.ldi(read_pos);
+            const Reg pos = b.ld(pos_cell, 0);
+            const Reg bumped = b.addi(pos, 1);
+            b.st(pos_cell, bumped, 0);
+            b.ret(b.in(0));
+        }
+        b.endFunction();
+
+        const ir::FuncId ungetch = b.beginFunction("ungetch", 1);
+        {
+            const Reg cell = b.ldi(unget_cell);
+            b.st(cell, b.arg(0), 0);
+            b.ret();
+        }
+        b.endFunction();
+
+        // intern(first): read an identifier starting with 'first',
+        // push back the terminator, return its symbol index.
+        const ir::FuncId intern = b.beginFunction("intern", 1);
+        {
+            const Reg c = b.mov(b.arg(0));
+            const Reg buf = b.ldi(word_buf);
+            const Reg len = b.newReg();
+            b.ldiTo(len, 0);
+            // Character loop with the isalnum test and getc() inlined
+            // (mid-identifier there is never a pending pushback).
+            const ir::BlockId head = b.newBlock("read");
+            const ir::BlockId store_b = b.newBlock("store_char");
+            const ir::BlockId done = b.newBlock("word_done");
+            b.jmp(head);
+            b.setBlock(head);
+            b.branch(IrBuilder::cmpLti(c, '0'), done,
+                     b.newBlock("ge0"));
+            b.branch(IrBuilder::cmpLei(c, '9'), store_b,
+                     b.newBlock("gt9"));
+            b.branch(IrBuilder::cmpLti(c, 'a'), done,
+                     b.newBlock("gea"));
+            b.branch(IrBuilder::cmpGti(c, 'z'), done, store_b);
+            // currentBlock_ == store_b.
+            const Reg slot = b.add(buf, len);
+            b.st(slot, c, 0);
+            b.emitBinaryImmTo(Opcode::Add, len, len, 1);
+            b.movTo(c, b.in(0));
+            b.jmp(head);
+            b.setBlock(done);
+            b.callVoid(ungetch, {c});
+
+            // Linear search of the symbol table.
+            const Reg count_cell = b.ldi(sym_count);
+            const Reg count = b.ld(count_cell, 0);
+            const Reg sym_base = b.ldi(syms);
+            const Reg s = b.newReg();
+            const Reg found = b.newReg();
+            b.ldiTo(found, -1);
+            b.forRange(s, 0, count, [&] {
+                const Reg off = b.muli(s, kSymSlot);
+                const Reg slot = b.add(sym_base, off);
+                const Reg slen = b.ld(slot, 0);
+                b.ifThen([&] { return IrBuilder::cmpEq(slen, len); },
+                         [&] {
+                             const Reg same = b.newReg();
+                             const Reg i = b.newReg();
+                             b.ldiTo(same, 1);
+                             b.forRange(i, 0, len, [&] {
+                                 const Reg a =
+                                     b.ld(b.add(slot, i), 1);
+                                 const Reg d = b.ld(b.add(buf, i), 0);
+                                 b.ifThen(
+                                     [&] {
+                                         return IrBuilder::cmpNe(a, d);
+                                     },
+                                     [&] { b.ldiTo(same, 0); });
+                             });
+                             b.ifThen(
+                                 [&] {
+                                     return IrBuilder::cmpEqi(same, 1);
+                                 },
+                                 [&] { b.movTo(found, s); });
+                         });
+            });
+            b.ifThen([&] { return IrBuilder::cmpGei(found, 0); },
+                     [&] { b.ret(found); });
+            // Table full: alias onto symbol 0 rather than spill.
+            b.ifThen([&] { return IrBuilder::cmpGei(count, kMaxSyms); },
+                     [&] { b.ret(b.ldi(0)); });
+
+            // New symbol.
+            const Reg off = b.muli(count, kSymSlot);
+            const Reg new_slot = b.add(sym_base, off);
+            b.st(new_slot, len, 0);
+            const Reg i = b.newReg();
+            b.forRange(i, 0, len, [&] {
+                const Reg d = b.ld(b.add(buf, i), 0);
+                b.st(b.add(new_slot, i), d, 1);
+            });
+            const Reg bumped = b.addi(count, 1);
+            b.st(count_cell, bumped, 0);
+            b.ret(count);
+        }
+        b.endFunction();
+
+        // build(s): recursive out-of-date walk; returns s's new time.
+        const ir::FuncId build = b.declareFunction("build", 1);
+        b.beginDeclared(build);
+        {
+            const Reg s = b.arg(0);
+            const Reg built_base = b.ldi(built);
+            const Reg nt_base = b.ldi(new_time);
+            const Reg t_base = b.ldi(times);
+            const Reg dep_base = b.ldi(deps);
+
+            const Reg done = b.ld(b.add(built_base, s), 0);
+            b.ifThen([&] { return IrBuilder::cmpNei(done, 0); },
+                     [&] { b.ret(b.ld(b.add(nt_base, s), 0)); });
+            const Reg one = b.ldi(1);
+            b.st(b.add(built_base, s), one, 0);
+
+            const Reg my_time = b.ld(b.add(t_base, s), 0);
+            const Reg drow = b.add(dep_base, b.muli(s, kDepSlot));
+            const Reg dcount = b.ld(drow, 0);
+            b.ifThen([&] { return IrBuilder::cmpEqi(dcount, 0); },
+                     [&] {
+                         b.st(b.add(nt_base, s), my_time, 0);
+                         b.ret(my_time);
+                     });
+
+            const Reg tmax = b.newReg();
+            const Reg i = b.newReg();
+            b.ldiTo(tmax, 0);
+            b.forRange(i, 0, dcount, [&] {
+                const Reg dep = b.ld(b.add(drow, i), 1);
+                const Reg dt = b.call(build, {dep});
+                b.ifThen([&] { return IrBuilder::cmpGt(dt, tmax); },
+                         [&] { b.movTo(tmax, dt); });
+            });
+
+            const Reg result = b.newReg();
+            b.ifThenElse(
+                [&] { return IrBuilder::cmpGe(tmax, my_time); },
+                [&] {
+                    // Out of date: rebuild.
+                    b.emitBinaryImmTo(Opcode::Add, result, tmax, 1);
+                    const Reg rb = b.ldi(rebuilds);
+                    const Reg old = b.ld(rb, 0);
+                    const Reg bumped = b.addi(old, 1);
+                    b.st(rb, bumped, 0);
+                    b.out(s, 1);
+                },
+                [&] { b.movTo(result, my_time); });
+            b.st(b.add(nt_base, s), result, 0);
+            b.ret(result);
+        }
+        b.endFunction();
+
+        b.beginFunction("main", 0);
+        {
+            const Reg dep_base = b.ldi(deps);
+            const Reg c = b.newReg();
+
+            // Phase 1: rule lines until the '!' sentinel.
+            b.loopWithExit([&](ir::BlockId rules_done) {
+                b.movTo(c, b.call(getch, {}));
+                b.branch(IrBuilder::cmpEqi(c, -1), rules_done,
+                         b.newBlock("rule_char"));
+                b.ifThen([&] { return IrBuilder::cmpEqi(c, '!'); },
+                         [&] {
+                             // Skip the rest of the "!times" line.
+                             b.loopWithExit([&](ir::BlockId skipped) {
+                                 const Reg d = b.call(getch, {});
+                                 b.branch(IrBuilder::cmpEqi(d, '\n'),
+                                          skipped, b.newBlock("skip1"));
+                                 b.branch(IrBuilder::cmpEqi(d, -1),
+                                          skipped, b.newBlock("skip2"));
+                             });
+                             b.jmp(rules_done);
+                         });
+                // Only identifier starts open a rule; newlines and
+                // stray bytes fall through to the next iteration.
+                b.ifThen(
+                    [&] { return IrBuilder::cmpGei(c, 'a'); },
+                    [&] {
+                        const Reg target = b.call(intern, {c});
+                        // Consume ':'.
+                        b.callVoid(getch, {});
+                        const Reg drow =
+                            b.add(dep_base, b.muli(target, kDepSlot));
+                        const Reg count = b.newReg();
+                        b.ldiTo(count, 0);
+                        b.loopWithExit([&](ir::BlockId line_done) {
+                            const Reg d = b.call(getch, {});
+                            b.branch(IrBuilder::cmpEqi(d, '\n'),
+                                     line_done, b.newBlock("dep1"));
+                            b.branch(IrBuilder::cmpEqi(d, -1),
+                                     line_done, b.newBlock("dep2"));
+                            b.ifThen(
+                                [&] {
+                                    return IrBuilder::cmpNei(d, ' ');
+                                },
+                                [&] {
+                                    const Reg dep = b.call(intern, {d});
+                                    b.ifThen(
+                                        [&] {
+                                            return IrBuilder::cmpLti(
+                                                count, 7);
+                                        },
+                                        [&] {
+                                            const Reg slot =
+                                                b.add(drow, count);
+                                            b.st(slot, dep, 1);
+                                            b.emitBinaryImmTo(
+                                                Opcode::Add, count,
+                                                count, 1);
+                                        });
+                                });
+                        });
+                        b.st(drow, count, 0);
+                    });
+            });
+
+            // Phase 2: timestamp lines.
+            const Reg t_base = b.ldi(times);
+            b.loopWithExit([&](ir::BlockId times_done) {
+                b.movTo(c, b.call(getch, {}));
+                b.branch(IrBuilder::cmpEqi(c, -1), times_done,
+                         b.newBlock("time_char"));
+                b.ifThen(
+                    [&] { return IrBuilder::cmpGei(c, 'a'); },
+                    [&] {
+                        const Reg s = b.call(intern, {c});
+                        // Skip the separating space.
+                        b.callVoid(getch, {});
+                        const Reg n = b.newReg();
+                        b.ldiTo(n, 0);
+                        b.loopWithExit([&](ir::BlockId num_done) {
+                            const Reg d = b.call(getch, {});
+                            b.branch(IrBuilder::cmpLti(d, '0'), num_done,
+                                     b.newBlock("digit1"));
+                            b.branch(IrBuilder::cmpGti(d, '9'), num_done,
+                                     b.newBlock("digit2"));
+                            b.emitBinaryImmTo(Opcode::Mul, n, n, 10);
+                            const Reg v = b.subi(d, '0');
+                            b.emitBinaryTo(Opcode::Add, n, n, v);
+                        });
+                        b.st(b.add(t_base, s), n, 0);
+                    });
+            });
+
+            // Phase 3: build every rule target.
+            const Reg count_cell = b.ldi(sym_count);
+            const Reg count = b.ld(count_cell, 0);
+            const Reg t = b.newReg();
+            b.forRange(t, 0, count, [&] {
+                const Reg drow = b.add(dep_base, b.muli(t, kDepSlot));
+                const Reg dcount = b.ld(drow, 0);
+                b.ifThen([&] { return IrBuilder::cmpGti(dcount, 0); },
+                         [&] { b.callVoid(build, {t}); });
+            });
+
+            const Reg rb = b.ldi(rebuilds);
+            b.out(b.ld(rb, 0), 2);
+            b.halt();
+        }
+        b.endFunction();
+        return prog;
+    }
+
+    std::vector<WorkloadInput>
+    makeInputs(Rng &rng, unsigned runs) const override
+    {
+        std::vector<WorkloadInput> inputs;
+        for (unsigned r = 0; r < runs; ++r) {
+            WorkloadInput input;
+            const int targets = 12 + static_cast<int>(rng.nextBelow(28));
+            input.description =
+                "makefile with " + std::to_string(targets) + " targets";
+            input.setChannelBytes(0, generateMakefile(rng, targets));
+            inputs.push_back(std::move(input));
+        }
+        return inputs;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMakeWorkload()
+{
+    return std::make_unique<MakeWorkload>();
+}
+
+} // namespace branchlab::workloads

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The 'tar' benchmark: archive save and extract. The save pass reads
+ * a member stream (name, size, contents), writes headers with
+ * checksums into an in-memory archive; the extract pass walks the
+ * archive back, re-verifies every checksum and reports each member.
+ * Table 1's "save/extract files" runs both directions, as we do in
+ * one run.
+ */
+
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+#include "workloads/corpus.hh"
+
+namespace branchlab::workloads
+{
+
+namespace
+{
+
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::Reg;
+using ir::Word;
+
+constexpr Word kArchiveWords = 1 << 16;
+constexpr Word kMagic = 0x7457;
+
+class TarWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "tar"; }
+
+    std::string
+    inputDescription() const override
+    {
+        return "save/extract files";
+    }
+
+    // Table 1's Runs column.
+    unsigned defaultRuns() const override { return 14; }
+
+    ir::Program
+    buildProgram() const override
+    {
+        ir::Program prog("tar");
+        const Word archive = prog.addZeroData(kArchiveWords);
+
+        IrBuilder b(prog);
+
+        b.beginFunction("main", 0);
+        {
+            const Reg arch_base = b.ldi(archive);
+            const Reg pos = b.newReg();
+            const Reg members = b.newReg();
+            b.ldiTo(pos, 0);
+            b.ldiTo(members, 0);
+
+            // ---- Save pass: member stream -> archive. ----
+            const Reg namelen = b.newReg();
+            b.loopWithExit([&](ir::BlockId save_done) {
+                b.movTo(namelen, b.in(0));
+                b.branch(IrBuilder::cmpLei(namelen, 0), save_done,
+                         b.newBlock("member"));
+                // Header: magic, namelen.
+                const Reg magic = b.ldi(kMagic);
+                b.st(b.add(arch_base, pos), magic, 0);
+                b.emitBinaryImmTo(Opcode::Add, pos, pos, 1);
+                b.st(b.add(arch_base, pos), namelen, 0);
+                b.emitBinaryImmTo(Opcode::Add, pos, pos, 1);
+                const Reg i = b.newReg();
+                b.forRange(i, 0, namelen, [&] {
+                    const Reg c = b.in(0);
+                    b.st(b.add(arch_base, pos), c, 0);
+                    b.emitBinaryImmTo(Opcode::Add, pos, pos, 1);
+                });
+                const Reg size = b.mov(b.in(0));
+                b.st(b.add(arch_base, pos), size, 0);
+                b.emitBinaryImmTo(Opcode::Add, pos, pos, 1);
+                // Checksum slot is patched after the content scan.
+                const Reg chk_pos = b.mov(pos);
+                b.emitBinaryImmTo(Opcode::Add, pos, pos, 1);
+                const Reg chk = b.newReg();
+                b.ldiTo(chk, 0);
+                // Bottom-tested copy loop (members are never empty):
+                // the back-edge is a taken backward conditional, the
+                // loop shape tar's Table 2 row reflects.
+                const Reg remaining = b.mov(size);
+                b.doWhile(
+                    [&] {
+                        const Reg c = b.in(0);
+                        b.st(b.add(arch_base, pos), c, 0);
+                        b.emitBinaryImmTo(Opcode::Add, pos, pos, 1);
+                        const Reg shifted = b.shli(chk, 1);
+                        const Reg mixed = b.bitXor(shifted, c);
+                        b.emitBinaryImmTo(Opcode::And, chk, mixed,
+                                          0xffffff);
+                        b.emitBinaryImmTo(Opcode::Sub, remaining,
+                                          remaining, 1);
+                    },
+                    [&] { return IrBuilder::cmpGti(remaining, 0); });
+                b.st(b.add(arch_base, chk_pos), chk, 0);
+                b.emitBinaryImmTo(Opcode::Add, members, members, 1);
+            });
+            // End-of-archive marker.
+            const Reg zero = b.ldi(0);
+            b.st(b.add(arch_base, pos), zero, 0);
+
+            // ---- Extract pass: archive -> reports. ----
+            const Reg rpos = b.newReg();
+            const Reg good = b.newReg();
+            const Reg bad = b.newReg();
+            b.ldiTo(rpos, 0);
+            b.ldiTo(good, 0);
+            b.ldiTo(bad, 0);
+            b.loopWithExit([&](ir::BlockId extract_done) {
+                const Reg magic = b.ld(b.add(arch_base, rpos), 0);
+                b.branch(IrBuilder::cmpNei(magic, kMagic), extract_done,
+                         b.newBlock("rmember"));
+                b.emitBinaryImmTo(Opcode::Add, rpos, rpos, 1);
+                const Reg nlen = b.ld(b.add(arch_base, rpos), 0);
+                b.emitBinaryImmTo(Opcode::Add, rpos, rpos, 1);
+                // Hash the name for the report.
+                const Reg name_hash = b.newReg();
+                const Reg i = b.newReg();
+                b.ldiTo(name_hash, 0);
+                b.forRange(i, 0, nlen, [&] {
+                    const Reg c = b.ld(b.add(arch_base, rpos), 0);
+                    b.emitBinaryImmTo(Opcode::Add, rpos, rpos, 1);
+                    const Reg mul = b.muli(name_hash, 31);
+                    const Reg sum = b.add(mul, c);
+                    b.emitBinaryImmTo(Opcode::And, name_hash, sum,
+                                      0xffffff);
+                });
+                const Reg size = b.ld(b.add(arch_base, rpos), 0);
+                b.emitBinaryImmTo(Opcode::Add, rpos, rpos, 1);
+                const Reg want = b.ld(b.add(arch_base, rpos), 0);
+                b.emitBinaryImmTo(Opcode::Add, rpos, rpos, 1);
+                const Reg chk = b.newReg();
+                b.ldiTo(chk, 0);
+                const Reg remaining = b.mov(size);
+                b.doWhile(
+                    [&] {
+                        const Reg c = b.ld(b.add(arch_base, rpos), 0);
+                        b.emitBinaryImmTo(Opcode::Add, rpos, rpos, 1);
+                        const Reg shifted = b.shli(chk, 1);
+                        const Reg mixed = b.bitXor(shifted, c);
+                        b.emitBinaryImmTo(Opcode::And, chk, mixed,
+                                          0xffffff);
+                        b.emitBinaryImmTo(Opcode::Sub, remaining,
+                                          remaining, 1);
+                    },
+                    [&] { return IrBuilder::cmpGti(remaining, 0); });
+                b.ifThenElse(
+                    [&] { return IrBuilder::cmpEq(chk, want); },
+                    [&] {
+                        b.emitBinaryImmTo(Opcode::Add, good, good, 1);
+                    },
+                    [&] {
+                        b.emitBinaryImmTo(Opcode::Add, bad, bad, 1);
+                    });
+                b.out(name_hash, 1);
+                b.out(size, 1);
+            });
+
+            b.out(members, 2);
+            b.out(good, 2);
+            b.out(bad, 2);
+            b.halt();
+        }
+        b.endFunction();
+        return prog;
+    }
+
+    std::vector<WorkloadInput>
+    makeInputs(Rng &rng, unsigned runs) const override
+    {
+        std::vector<WorkloadInput> inputs;
+        for (unsigned r = 0; r < runs; ++r) {
+            WorkloadInput input;
+            const int members = 4 + static_cast<int>(rng.nextBelow(10));
+            input.description =
+                std::to_string(members) + " archive members";
+            const auto files = generateArchiveMembers(rng, members);
+            std::vector<Word> stream;
+            for (const auto &[name, contents] : files) {
+                stream.push_back(static_cast<Word>(name.size()));
+                for (unsigned char c : name)
+                    stream.push_back(c);
+                stream.push_back(static_cast<Word>(contents.size()));
+                for (unsigned char c : contents)
+                    stream.push_back(c);
+            }
+            stream.push_back(0); // terminator
+            input.setChannelWords(0, std::move(stream));
+            inputs.push_back(std::move(input));
+        }
+        return inputs;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeTarWorkload()
+{
+    return std::make_unique<TarWorkload>();
+}
+
+} // namespace branchlab::workloads

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The 'tee' benchmark: copy the input to two output channels while
+ * counting lines and bytes. The tightest scan loop of the suite --
+ * Table 1 reports 40% of its dynamic instructions are branches.
+ */
+
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+#include "workloads/corpus.hh"
+
+namespace branchlab::workloads
+{
+
+namespace
+{
+
+using ir::IrBuilder;
+using ir::Reg;
+
+class TeeWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "tee"; }
+
+    std::string
+    inputDescription() const override
+    {
+        return "text files (100-3000 lines)";
+    }
+
+    // Table 1's Runs column.
+    unsigned defaultRuns() const override { return 18; }
+
+    ir::Program
+    buildProgram() const override
+    {
+        ir::Program prog("tee");
+        IrBuilder b(prog);
+
+        b.beginFunction("main", 0);
+        {
+            const Reg bytes = b.newReg();
+            const Reg lines = b.newReg();
+            const Reg checksum = b.newReg();
+            const Reg c = b.newReg();
+            b.ldiTo(bytes, 0);
+            b.ldiTo(lines, 0);
+            b.ldiTo(checksum, 0);
+
+            // while ((c = getchar()) != EOF) -- see wl_wc.cc.
+            b.whileLoop(
+                [&] {
+                    b.movTo(c, b.in(0));
+                    return IrBuilder::cmpNei(c, -1);
+                },
+                [&] {
+                b.out(c, 1);
+                b.out(c, 2);
+                b.emitBinaryImmTo(ir::Opcode::Add, bytes, bytes, 1);
+                // Stream checksum (tee variants verify their copies).
+                const Reg rotated = b.shli(checksum, 1);
+                const Reg mixed = b.bitXor(rotated, c);
+                b.emitBinaryImmTo(ir::Opcode::And, checksum, mixed,
+                                  0xffffff);
+                b.ifThen([&] { return IrBuilder::cmpEqi(c, '\n'); },
+                         [&] {
+                             b.emitBinaryImmTo(ir::Opcode::Add, lines,
+                                               lines, 1);
+                         });
+            });
+
+            b.out(lines, 3);
+            b.out(bytes, 3);
+            b.out(checksum, 3);
+            b.halt();
+        }
+        b.endFunction();
+        return prog;
+    }
+
+    std::vector<WorkloadInput>
+    makeInputs(Rng &rng, unsigned runs) const override
+    {
+        std::vector<WorkloadInput> inputs;
+        for (unsigned r = 0; r < runs; ++r) {
+            WorkloadInput input;
+            const int lines = 60 + static_cast<int>(rng.nextBelow(240));
+            input.description =
+                "text, " + std::to_string(lines) + " lines";
+            input.setChannelBytes(0, generateText(rng, lines));
+            inputs.push_back(std::move(input));
+        }
+        return inputs;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeTeeWorkload()
+{
+    return std::make_unique<TeeWorkload>();
+}
+
+} // namespace branchlab::workloads

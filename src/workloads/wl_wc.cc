@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The 'wc' benchmark: line / word / character counting, the classic
+ * byte-scan loop with whitespace classification. Table 1 profiles wc
+ * over the same C-source inputs as cccp.
+ */
+
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+#include "workloads/corpus.hh"
+
+namespace branchlab::workloads
+{
+
+namespace
+{
+
+using ir::IrBuilder;
+using ir::Reg;
+
+class WcWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "wc"; }
+
+    std::string
+    inputDescription() const override
+    {
+        return "same input as cccp";
+    }
+
+    // Table 1's Runs column.
+    unsigned defaultRuns() const override { return 20; }
+
+    ir::Program
+    buildProgram() const override
+    {
+        ir::Program prog("wc");
+        // Byte histogram: wc-style utilities track character classes;
+        // it also gives the scan loop its realistic load/store mix.
+        const ir::Word hist = prog.addZeroData(256);
+        IrBuilder b(prog);
+
+        // isspace(c): ctype-style table lookup, called per character.
+        std::vector<ir::Word> space_tab(256, 0);
+        space_tab[' '] = 1;
+        space_tab['\t'] = 1;
+        space_tab['\n'] = 1;
+        space_tab['\r'] = 1;
+        const ir::Word ctype = prog.addData(space_tab);
+        const ir::FuncId is_space = b.beginFunction("isspace", 1);
+        {
+            const Reg c = b.arg(0);
+            const Reg base = b.ldi(ctype);
+            const Reg slot = b.add(base, c);
+            b.ret(b.ld(slot, 0));
+        }
+        b.endFunction();
+
+        b.beginFunction("main", 0);
+        {
+            const Reg lines = b.newReg();
+            const Reg words = b.newReg();
+            const Reg chars = b.newReg();
+            const Reg in_word = b.newReg();
+            const Reg line_len = b.newReg();
+            const Reg max_line = b.newReg();
+            const Reg checksum = b.newReg();
+            const Reg c = b.newReg();
+            const Reg hist_base = b.ldi(hist);
+            b.ldiTo(lines, 0);
+            b.ldiTo(words, 0);
+            b.ldiTo(chars, 0);
+            b.ldiTo(in_word, 0);
+            b.ldiTo(line_len, 0);
+            b.ldiTo(max_line, 0);
+            b.ldiTo(checksum, 0);
+
+            // while ((c = getchar()) != EOF) { ... } -- the condition
+            // reads the stream, so loop inversion duplicates the read
+            // exactly as compiled C does.
+            b.whileLoop(
+                [&] {
+                    b.movTo(c, b.in(0));
+                    return IrBuilder::cmpNei(c, -1);
+                },
+                [&] {
+                b.emitBinaryImmTo(ir::Opcode::Add, chars, chars, 1);
+                // Histogram, checksum, and longest-line tracking
+                // (the wc -L behaviour).
+                const Reg slot = b.add(hist_base, c);
+                const Reg old = b.ld(slot, 0);
+                const Reg bumped = b.addi(old, 1);
+                b.st(slot, bumped, 0);
+                const Reg shifted = b.shli(checksum, 1);
+                const Reg mixed = b.bitXor(shifted, c);
+                b.emitBinaryImmTo(ir::Opcode::And, checksum, mixed,
+                                  0xffffff);
+                b.emitBinaryImmTo(ir::Opcode::Add, line_len, line_len,
+                                  1);
+                b.ifThen([&] { return IrBuilder::cmpEqi(c, '\n'); },
+                         [&] {
+                             b.emitBinaryImmTo(ir::Opcode::Add, lines,
+                                               lines, 1);
+                             b.emitBinaryImmTo(ir::Opcode::Sub,
+                                               line_len, line_len, 1);
+                             b.ifThen(
+                                 [&] {
+                                     return IrBuilder::cmpGt(line_len,
+                                                             max_line);
+                                 },
+                                 [&] { b.movTo(max_line, line_len); });
+                             b.ldiTo(line_len, 0);
+                         });
+                const Reg sp = b.call(is_space, {c});
+                b.ifThenElse(
+                    [&] { return IrBuilder::cmpNei(sp, 0); },
+                    [&] { b.ldiTo(in_word, 0); },
+                    [&] {
+                        b.ifThen(
+                            [&] { return IrBuilder::cmpEqi(in_word, 0); },
+                            [&] {
+                                b.emitBinaryImmTo(ir::Opcode::Add, words,
+                                                  words, 1);
+                                b.ldiTo(in_word, 1);
+                            });
+                    });
+            });
+
+            b.out(lines, 1);
+            b.out(words, 1);
+            b.out(chars, 1);
+            b.out(max_line, 1);
+            b.out(checksum, 1);
+            b.halt();
+        }
+        b.endFunction();
+        return prog;
+    }
+
+    std::vector<WorkloadInput>
+    makeInputs(Rng &rng, unsigned runs) const override
+    {
+        std::vector<WorkloadInput> inputs;
+        for (unsigned r = 0; r < runs; ++r) {
+            WorkloadInput input;
+            const int lines = 80 + static_cast<int>(rng.nextBelow(400));
+            input.description =
+                "C source, " + std::to_string(lines) + " lines";
+            input.setChannelBytes(0, generateCSource(rng, lines));
+            inputs.push_back(std::move(input));
+        }
+        return inputs;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeWcWorkload()
+{
+    return std::make_unique<WcWorkload>();
+}
+
+} // namespace branchlab::workloads

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * The 'yacc' benchmark: the table-driven LR parser loop a
+ * yacc-generated parser spends its time in. The SLR(1) tables for the
+ * classic expression grammar
+ *
+ *   (1) E -> E + T   (2) E -> T
+ *   (3) T -> T * F   (4) T -> F
+ *   (5) F -> ( E )   (6) F -> id
+ *
+ * are built host-side and shipped in the data segment. Action
+ * dispatch (error / shift / reduce / accept) goes through a jump
+ * table, reproducing the indirect switch of generated parsers (an
+ * unknown-target branch class, Table 2).
+ *
+ * Token stream on channel 0: 0=id 1='+' 2='*' 3='(' 4=')' 5=end.
+ */
+
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+#include "workloads/corpus.hh"
+
+namespace branchlab::workloads
+{
+
+namespace
+{
+
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::Reg;
+using ir::Word;
+
+constexpr Word kTerms = 6;    // id + * ( ) $
+constexpr Word kNonTerms = 3; // E T F
+constexpr Word kStates = 12;
+constexpr Word kStackWords = 256;
+
+// Action encoding: 0 error, 100+s shift s, 200+p reduce p, 999 accept.
+std::vector<Word>
+buildActionTable()
+{
+    std::vector<Word> action(kStates * kTerms, 0);
+    const auto set = [&](Word state, Word term, Word value) {
+        action[static_cast<std::size_t>(state * kTerms + term)] = value;
+    };
+    enum : Word { Id = 0, Plus = 1, Star = 2, LPar = 3, RPar = 4, End = 5 };
+
+    set(0, Id, 105), set(0, LPar, 104);
+    set(1, Plus, 106), set(1, End, 999);
+    set(2, Plus, 202), set(2, Star, 107), set(2, RPar, 202),
+        set(2, End, 202);
+    set(3, Plus, 204), set(3, Star, 204), set(3, RPar, 204),
+        set(3, End, 204);
+    set(4, Id, 105), set(4, LPar, 104);
+    set(5, Plus, 206), set(5, Star, 206), set(5, RPar, 206),
+        set(5, End, 206);
+    set(6, Id, 105), set(6, LPar, 104);
+    set(7, Id, 105), set(7, LPar, 104);
+    set(8, Plus, 106), set(8, RPar, 111);
+    set(9, Plus, 201), set(9, Star, 107), set(9, RPar, 201),
+        set(9, End, 201);
+    set(10, Plus, 203), set(10, Star, 203), set(10, RPar, 203),
+        set(10, End, 203);
+    set(11, Plus, 205), set(11, Star, 205), set(11, RPar, 205),
+        set(11, End, 205);
+    return action;
+}
+
+std::vector<Word>
+buildGotoTable()
+{
+    std::vector<Word> go(kStates * kNonTerms, 0);
+    const auto set = [&](Word state, Word nt, Word value) {
+        go[static_cast<std::size_t>(state * kNonTerms + nt)] = value;
+    };
+    enum : Word { E = 0, T = 1, F = 2 };
+    set(0, E, 1), set(0, T, 2), set(0, F, 3);
+    set(4, E, 8), set(4, T, 2), set(4, F, 3);
+    set(6, T, 9), set(6, F, 3);
+    set(7, F, 10);
+    return go;
+}
+
+class YaccWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "yacc"; }
+
+    std::string
+    inputDescription() const override
+    {
+        return "expression grammar token streams";
+    }
+
+    // Table 1's Runs column.
+    unsigned defaultRuns() const override { return 8; }
+
+    ir::Program
+    buildProgram() const override
+    {
+        ir::Program prog("yacc");
+        const Word action_tab = prog.addData(buildActionTable());
+        const Word goto_tab = prog.addData(buildGotoTable());
+        // Production metadata, index 1..6 (0 unused).
+        const Word rlen = prog.addData({0, 3, 1, 3, 1, 3, 1});
+        const Word rlhs = prog.addData({0, 0, 0, 1, 1, 2, 2});
+        const Word stack = prog.addZeroData(kStackWords);
+        const Word vstack = prog.addZeroData(kStackWords);
+
+        IrBuilder b(prog);
+
+        b.beginFunction("main", 0);
+        {
+            const Reg action_base = b.ldi(action_tab);
+            const Reg goto_base = b.ldi(goto_tab);
+            const Reg rlen_base = b.ldi(rlen);
+            const Reg rlhs_base = b.ldi(rlhs);
+            const Reg stack_base = b.ldi(stack);
+            const Reg vstack_base = b.ldi(vstack);
+
+            const Reg sp = b.newReg();
+            const Reg tok = b.newReg();
+            const Reg accepted = b.newReg();
+            const Reg errors = b.newReg();
+            const Reg reductions = b.newReg();
+            const Reg shifts = b.newReg();
+            b.ldiTo(sp, 0);
+            b.ldiTo(accepted, 0);
+            b.ldiTo(errors, 0);
+            b.ldiTo(reductions, 0);
+            b.ldiTo(shifts, 0);
+
+            b.movTo(tok, b.in(0));
+
+            const ir::BlockId head = b.newBlock("parse");
+            const ir::BlockId done = b.newBlock("done");
+            b.jmp(head);
+            b.setBlock(head);
+            b.branch(IrBuilder::cmpEqi(tok, -1), done,
+                     b.newBlock("tok_ok"));
+
+            const Reg state = b.ld(b.add(stack_base, sp), 0);
+            const Reg row = b.muli(state, kTerms);
+            const Reg a = b.ld(b.add(action_base, b.add(row, tok)), 0);
+
+            // Action dispatch as a compare chain (yacc's generated
+            // switch lowers this way for four cases; all targets are
+            // known at decode, matching yacc's Table 2 row).
+            const ir::BlockId err_b = b.newBlock("err");
+            const ir::BlockId shift_b = b.newBlock("shift");
+            const ir::BlockId reduce_b = b.newBlock("reduce");
+            const ir::BlockId accept_b = b.newBlock("accept");
+            b.branch(IrBuilder::cmpEqi(a, 0), err_b,
+                     b.newBlock("not_err"));
+            b.branch(IrBuilder::cmpEqi(a, 999), accept_b,
+                     b.newBlock("not_acc"));
+            b.branch(IrBuilder::cmpLti(a, 200), shift_b, reduce_b);
+
+            // Error: panic-skip to the next expression boundary.
+            b.setBlock(err_b);
+            b.emitBinaryImmTo(Opcode::Add, errors, errors, 1);
+            b.loopWithExit([&](ir::BlockId synced) {
+                b.branch(IrBuilder::cmpEqi(tok, 5), synced,
+                         b.newBlock("sync1"));
+                b.branch(IrBuilder::cmpEqi(tok, -1), synced,
+                         b.newBlock("sync2"));
+                b.movTo(tok, b.in(0));
+            });
+            b.ifThen([&] { return IrBuilder::cmpEqi(tok, 5); },
+                     [&] { b.movTo(tok, b.in(0)); });
+            b.ldiTo(sp, 0);
+            b.jmp(head);
+
+            // Shift: push the state and a semantic value.
+            b.setBlock(shift_b);
+            b.emitBinaryImmTo(Opcode::Add, sp, sp, 1);
+            const Reg new_state = b.subi(a, 100);
+            b.st(b.add(stack_base, sp), new_state, 0);
+            const Reg sval = b.muli(tok, 7);
+            const Reg sval2 = b.addi(sval, 1);
+            b.st(b.add(vstack_base, sp), sval2, 0);
+            b.emitBinaryImmTo(Opcode::Add, shifts, shifts, 1);
+            b.movTo(tok, b.in(0));
+            b.jmp(head);
+
+            // Reduce: pop the handle, combine its semantic values,
+            // push the goto state and the new value.
+            b.setBlock(reduce_b);
+            const Reg prod = b.subi(a, 200);
+            const Reg len = b.ld(b.add(rlen_base, prod), 0);
+            const Reg handle_top = b.ld(b.add(vstack_base, sp), 0);
+            b.emitBinaryTo(Opcode::Sub, sp, sp, len);
+            const Reg handle_bot = b.ld(b.add(vstack_base, sp), 1);
+            const Reg combined = b.add(handle_top, handle_bot);
+            const Reg folded = b.bitAndi(combined, 0xffffff);
+            const Reg top = b.ld(b.add(stack_base, sp), 0);
+            const Reg nt = b.ld(b.add(rlhs_base, prod), 0);
+            const Reg grow = b.muli(top, kNonTerms);
+            const Reg g = b.ld(b.add(goto_base, b.add(grow, nt)), 0);
+            b.emitBinaryImmTo(Opcode::Add, sp, sp, 1);
+            b.st(b.add(stack_base, sp), g, 0);
+            b.st(b.add(vstack_base, sp), folded, 0);
+            b.emitBinaryImmTo(Opcode::Add, reductions, reductions, 1);
+            b.jmp(head);
+
+            // Accept: count, reset for the next expression.
+            b.setBlock(accept_b);
+            b.emitBinaryImmTo(Opcode::Add, accepted, accepted, 1);
+            b.ldiTo(sp, 0);
+            b.movTo(tok, b.in(0));
+            b.jmp(head);
+
+            b.setBlock(done);
+            b.out(accepted, 1);
+            b.out(errors, 1);
+            b.out(reductions, 1);
+            b.out(shifts, 1);
+            b.halt();
+        }
+        b.endFunction();
+        return prog;
+    }
+
+    std::vector<WorkloadInput>
+    makeInputs(Rng &rng, unsigned runs) const override
+    {
+        std::vector<WorkloadInput> inputs;
+        for (unsigned r = 0; r < runs; ++r) {
+            WorkloadInput input;
+            const int exprs = 150 + static_cast<int>(rng.nextBelow(500));
+            input.description =
+                std::to_string(exprs) + " expressions";
+            std::vector<Word> tokens;
+            for (long long t : generateExprTokens(rng, exprs))
+                tokens.push_back(t);
+            // A pinch of noise so the error path executes.
+            for (std::size_t i = 9; i < tokens.size(); i += 97) {
+                if (rng.nextBool(0.2))
+                    tokens[i] = rng.nextBelow(5);
+            }
+            input.setChannelWords(0, std::move(tokens));
+            inputs.push_back(std::move(input));
+        }
+        return inputs;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeYaccWorkload()
+{
+    return std::make_unique<YaccWorkload>();
+}
+
+} // namespace branchlab::workloads

@@ -1,0 +1,66 @@
+#include "workloads/workload.hh"
+
+#include "support/logging.hh"
+
+namespace branchlab::workloads
+{
+
+void
+WorkloadInput::setChannelBytes(std::size_t channel,
+                               const std::string &bytes)
+{
+    if (channels.size() <= channel)
+        channels.resize(channel + 1);
+    std::vector<ir::Word> words;
+    words.reserve(bytes.size());
+    for (unsigned char c : bytes)
+        words.push_back(static_cast<ir::Word>(c));
+    channels[channel] = std::move(words);
+}
+
+void
+WorkloadInput::setChannelWords(std::size_t channel,
+                               std::vector<ir::Word> words)
+{
+    if (channels.size() <= channel)
+        channels.resize(channel + 1);
+    channels[channel] = std::move(words);
+}
+
+const std::vector<const Workload *> &
+allWorkloads()
+{
+    static const std::vector<std::unique_ptr<Workload>> owned = [] {
+        std::vector<std::unique_ptr<Workload>> list;
+        list.push_back(makeCccpWorkload());
+        list.push_back(makeCmpWorkload());
+        list.push_back(makeCompressWorkload());
+        list.push_back(makeGrepWorkload());
+        list.push_back(makeLexWorkload());
+        list.push_back(makeMakeWorkload());
+        list.push_back(makeTarWorkload());
+        list.push_back(makeTeeWorkload());
+        list.push_back(makeWcWorkload());
+        list.push_back(makeYaccWorkload());
+        return list;
+    }();
+    static const std::vector<const Workload *> view = [] {
+        std::vector<const Workload *> list;
+        for (const auto &workload : owned)
+            list.push_back(workload.get());
+        return list;
+    }();
+    return view;
+}
+
+const Workload &
+findWorkload(const std::string &name)
+{
+    for (const Workload *workload : allWorkloads()) {
+        if (workload->name() == name)
+            return *workload;
+    }
+    blab_fatal("unknown workload '", name, "'");
+}
+
+} // namespace branchlab::workloads

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The benchmark-workload interface and registry.
+ *
+ * The paper evaluates ten realistic Unix-domain C programs (Table 1).
+ * We implement each program's algorithm directly in the BranchLab IR
+ * (see DESIGN.md for the substitution argument) and generate synthetic
+ * input suites with the shapes Table 1 describes. Dynamic instruction
+ * counts are scaled down to laptop scale; the scales are recorded in
+ * EXPERIMENTS.md.
+ */
+
+#ifndef BRANCHLAB_WORKLOADS_WORKLOAD_HH
+#define BRANCHLAB_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+#include "support/random.hh"
+
+namespace branchlab::workloads
+{
+
+/** One profiling run's input: word streams per channel. */
+struct WorkloadInput
+{
+    std::string description;
+    /** Input words per channel (index = channel). */
+    std::vector<std::vector<ir::Word>> channels;
+
+    /** Append a byte string as channel @p channel. */
+    void setChannelBytes(std::size_t channel, const std::string &bytes);
+    /** Set raw words on a channel. */
+    void setChannelWords(std::size_t channel, std::vector<ir::Word> words);
+};
+
+/** A benchmark: an IR program plus an input-suite generator. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Benchmark name as in Table 1, e.g. "wc". */
+    virtual std::string name() const = 0;
+
+    /** Table 1's "Input description" column. */
+    virtual std::string inputDescription() const = 0;
+
+    /** Build the benchmark program (verified by the caller). */
+    virtual ir::Program buildProgram() const = 0;
+
+    /**
+     * Generate the input suite. @p runs inputs are produced from the
+     * given (deterministically seeded) generator.
+     */
+    virtual std::vector<WorkloadInput> makeInputs(Rng &rng,
+                                                  unsigned runs) const = 0;
+
+    /** Default number of profiling runs (Table 1's Runs, scaled). */
+    virtual unsigned defaultRuns() const { return 8; }
+};
+
+/** All ten paper benchmarks, in Table 1 order. */
+const std::vector<const Workload *> &allWorkloads();
+
+/** Find a benchmark by name; fatal when unknown. */
+const Workload &findWorkload(const std::string &name);
+
+// Factories (one per benchmark translation unit).
+std::unique_ptr<Workload> makeCccpWorkload();
+std::unique_ptr<Workload> makeCmpWorkload();
+std::unique_ptr<Workload> makeCompressWorkload();
+std::unique_ptr<Workload> makeGrepWorkload();
+std::unique_ptr<Workload> makeLexWorkload();
+std::unique_ptr<Workload> makeMakeWorkload();
+std::unique_ptr<Workload> makeTarWorkload();
+std::unique_ptr<Workload> makeTeeWorkload();
+std::unique_ptr<Workload> makeWcWorkload();
+std::unique_ptr<Workload> makeYaccWorkload();
+
+} // namespace branchlab::workloads
+
+#endif // BRANCHLAB_WORKLOADS_WORKLOAD_HH

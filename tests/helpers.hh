@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared program builders for the BranchLab test suite.
+ */
+
+#ifndef BRANCHLAB_TESTS_HELPERS_HH
+#define BRANCHLAB_TESTS_HELPERS_HH
+
+#include "ir/builder.hh"
+#include "ir/layout.hh"
+#include "ir/verifier.hh"
+#include "trace/record.hh"
+#include "vm/machine.hh"
+
+namespace branchlab::test
+{
+
+/**
+ * Countdown loop: n iterations of a do-while (one taken-backward
+ * conditional per iteration except the last), then halt.
+ * Outputs n on channel 1.
+ */
+inline ir::Program
+buildCountdown(ir::Word n)
+{
+    ir::Program prog("countdown");
+    ir::IrBuilder b(prog);
+    b.beginFunction("main");
+    const ir::Reg i = b.newReg();
+    const ir::Reg total = b.newReg();
+    b.ldiTo(i, n);
+    b.ldiTo(total, 0);
+    b.doWhile(
+        [&] {
+            b.emitBinaryImmTo(ir::Opcode::Add, total, total, 1);
+            b.emitBinaryImmTo(ir::Opcode::Sub, i, i, 1);
+        },
+        [&] { return ir::IrBuilder::cmpGti(i, 0); });
+    b.out(total, 1);
+    b.halt();
+    b.endFunction();
+    return prog;
+}
+
+/** Recursive factorial; outputs fact(n) on channel 1. */
+inline ir::Program
+buildFactorial(ir::Word n)
+{
+    ir::Program prog("factorial");
+    ir::IrBuilder b(prog);
+    const ir::FuncId fact = b.declareFunction("fact", 1);
+    b.beginDeclared(fact);
+    {
+        const ir::Reg x = b.arg(0);
+        b.ifThen([&] { return ir::IrBuilder::cmpLei(x, 1); },
+                 [&] { b.ret(b.ldi(1)); });
+        const ir::Reg x1 = b.subi(x, 1);
+        const ir::Reg rest = b.call(fact, {x1});
+        b.ret(b.mul(x, rest));
+    }
+    b.endFunction();
+    b.beginFunction("main");
+    {
+        const ir::Reg arg = b.ldi(n);
+        const ir::Reg result = b.call(fact, {arg});
+        b.out(result, 1);
+        b.halt();
+    }
+    b.endFunction();
+    return prog;
+}
+
+/** Run a program to completion and return its run result. */
+inline vm::RunResult
+runProgram(const ir::Program &prog, trace::TraceSink *sink = nullptr,
+           std::vector<ir::Word> input = {})
+{
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    vm::Machine machine(prog, layout);
+    if (sink != nullptr)
+        machine.setSink(sink);
+    if (!input.empty())
+        machine.setInput(0, std::move(input));
+    return machine.run();
+}
+
+} // namespace branchlab::test
+
+#endif // BRANCHLAB_TESTS_HELPERS_HH

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the experiment runner, the table formatters, and the
+ * figure generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/figures.hh"
+#include "core/runner.hh"
+#include "core/tables.hh"
+#include "predict/sbtb.hh"
+#include "support/logging.hh"
+
+namespace branchlab::core
+{
+namespace
+{
+
+/** A fast configuration: two runs, no extras. */
+ExperimentConfig
+quickConfig()
+{
+    ExperimentConfig config;
+    config.runsOverride = 2;
+    config.runStaticSchemes = false;
+    config.runCodeSize = false;
+    return config;
+}
+
+/** Run one small benchmark once per test binary. */
+const BenchmarkResult &
+wcResult()
+{
+    static const BenchmarkResult result = [] {
+        ExperimentConfig config = quickConfig();
+        config.runStaticSchemes = true;
+        config.runCodeSize = true;
+        return ExperimentRunner(config).runBenchmark(
+            workloads::findWorkload("wc"));
+    }();
+    return result;
+}
+
+TEST(ExperimentRunner, PopulatesEveryField)
+{
+    const BenchmarkResult &result = wcResult();
+    EXPECT_EQ(result.name, "wc");
+    EXPECT_EQ(result.runs, 2u);
+    EXPECT_GT(result.staticSize, 0u);
+    EXPECT_GT(result.stats.instructions(), 0u);
+    EXPECT_GT(result.stats.branches(), 0u);
+
+    for (const SchemeResult *scheme :
+         {&result.sbtb, &result.cbtb, &result.fs}) {
+        EXPECT_GE(scheme->accuracy, 0.0);
+        EXPECT_LE(scheme->accuracy, 1.0);
+    }
+    EXPECT_TRUE(result.sbtb.hasMissRatio);
+    EXPECT_TRUE(result.cbtb.hasMissRatio);
+    EXPECT_FALSE(result.fs.hasMissRatio);
+    EXPECT_EQ(result.staticSchemes.size(), 4u);
+    EXPECT_EQ(result.codeIncrease.size(), 4u);
+}
+
+TEST(ExperimentRunner, SchemeLookupByName)
+{
+    const BenchmarkResult &result = wcResult();
+    EXPECT_EQ(result.scheme("SBTB").accuracy, result.sbtb.accuracy);
+    EXPECT_EQ(result.scheme("FS").accuracy, result.fs.accuracy);
+    EXPECT_EQ(result.scheme("btfnt").scheme, "btfnt");
+    EXPECT_THROW(result.scheme("nonesuch"), ConfigFailure);
+}
+
+TEST(ExperimentRunner, CodeIncreaseIsLinearInSlots)
+{
+    const BenchmarkResult &result = wcResult();
+    const double per_slot = result.codeIncrease.at(1);
+    for (const auto &[slots, increase] : result.codeIncrease)
+        EXPECT_NEAR(increase, per_slot * slots, 1e-9);
+}
+
+TEST(ExperimentRunner, SameSeedReproducesBitForBit)
+{
+    ExperimentConfig config = quickConfig();
+    const BenchmarkResult a = ExperimentRunner(config).runBenchmark(
+        workloads::findWorkload("cmp"));
+    const BenchmarkResult b = ExperimentRunner(config).runBenchmark(
+        workloads::findWorkload("cmp"));
+    EXPECT_EQ(a.sbtb.accuracy, b.sbtb.accuracy);
+    EXPECT_EQ(a.cbtb.accuracy, b.cbtb.accuracy);
+    EXPECT_EQ(a.fs.accuracy, b.fs.accuracy);
+    EXPECT_EQ(a.stats.instructions(), b.stats.instructions());
+}
+
+TEST(ExperimentRunner, DifferentSeedsChangeTheInputs)
+{
+    ExperimentConfig config = quickConfig();
+    const BenchmarkResult a = ExperimentRunner(config).runBenchmark(
+        workloads::findWorkload("cmp"));
+    config.seed ^= 0x1234;
+    const BenchmarkResult b = ExperimentRunner(config).runBenchmark(
+        workloads::findWorkload("cmp"));
+    EXPECT_NE(a.stats.instructions(), b.stats.instructions());
+}
+
+TEST(ExperimentRunner, RecordAndReplayMatchesTheOnlineRun)
+{
+    ExperimentConfig config = quickConfig();
+    const RecordedWorkload recorded =
+        recordWorkload(workloads::findWorkload("tee"), config);
+    EXPECT_FALSE(recorded.events.empty());
+    EXPECT_EQ(recorded.stats.branches(), recorded.events.size());
+
+    // Replaying the recorded stream through a fresh SBTB must land on
+    // exactly the accuracy the online pass measured.
+    predict::SimpleBtb sbtb(config.btb);
+    const double replayed = replayAccuracy(recorded, sbtb);
+    const BenchmarkResult online = ExperimentRunner(config).runBenchmark(
+        workloads::findWorkload("tee"));
+    EXPECT_EQ(replayed, online.sbtb.accuracy);
+}
+
+TEST(Summaries, MeanAndSampleStddev)
+{
+    const Summary summary = summarize({1.0, 3.0});
+    EXPECT_NEAR(summary.mean, 2.0, 1e-12);
+    EXPECT_NEAR(summary.stddev, std::sqrt(2.0), 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Tables and figures (rendering shape checks over two benchmarks).
+// ---------------------------------------------------------------------
+
+const std::vector<BenchmarkResult> &
+twoResults()
+{
+    static const std::vector<BenchmarkResult> results = [] {
+        ExperimentConfig config = quickConfig();
+        config.runCodeSize = true;
+        config.runStaticSchemes = true;
+        ExperimentRunner runner(config);
+        std::vector<BenchmarkResult> out;
+        out.push_back(
+            runner.runBenchmark(workloads::findWorkload("wc")));
+        out.push_back(
+            runner.runBenchmark(workloads::findWorkload("cmp")));
+        return out;
+    }();
+    return results;
+}
+
+TEST(Tables, EveryTableRendersWithTheRightShape)
+{
+    const auto &results = twoResults();
+    EXPECT_EQ(makeTable1(results).numRows(), 2u);
+    EXPECT_EQ(makeTable2(results).numRows(), 3u);  // + average
+    EXPECT_EQ(makeTable3(results).numRows(), 4u);  // + avg + stddev
+    EXPECT_EQ(makeTable4(results).numRows(), 4u);
+    EXPECT_EQ(makeTable5(results).numRows(), 4u);
+    EXPECT_EQ(makeStaticSchemeTable(results).numRows(), 3u);
+
+    // Sanity: the rendered Table 3 mentions both benchmarks.
+    const std::string text = makeTable3(results).toString();
+    EXPECT_NE(text.find("wc"), std::string::npos);
+    EXPECT_NE(text.find("cmp"), std::string::npos);
+}
+
+TEST(Tables, AverageAccuracyIsTheArithmeticMean)
+{
+    const auto &results = twoResults();
+    const double expected =
+        (results[0].fs.accuracy + results[1].fs.accuracy) / 2.0;
+    EXPECT_NEAR(averageAccuracy(results, "FS"), expected, 1e-12);
+}
+
+TEST(Tables, Table4GrowthHasThreeSchemes)
+{
+    const auto growth = table4GrowthPercents(twoResults());
+    ASSERT_EQ(growth.size(), 3u);
+    for (double g : growth)
+        EXPECT_GT(g, 0.0);
+}
+
+TEST(Figures, PanelHasThreeMonotoneSeries)
+{
+    const FigurePanel panel = makeFigurePanel(twoResults(), 2);
+    ASSERT_EQ(panel.series.size(), 3u);
+    for (const FigureSeries &series : panel.series) {
+        ASSERT_EQ(series.values.size(), 11u);
+        for (std::size_t x = 1; x < series.values.size(); ++x)
+            EXPECT_GT(series.values[x], series.values[x - 1]);
+    }
+    EXPECT_EQ(panel.series[0].label, "SBTB");
+    EXPECT_EQ(panel.series[2].label, "FS");
+}
+
+TEST(Figures, DeeperFetchPipesCostMore)
+{
+    const FigurePanel k1 = makeFigurePanel(twoResults(), 1);
+    const FigurePanel k8 = makeFigurePanel(twoResults(), 8);
+    for (std::size_t s = 0; s < 3; ++s) {
+        for (unsigned x = 0; x <= 10; ++x)
+            EXPECT_GT(k8.series[s].values[x], k1.series[s].values[x]);
+    }
+}
+
+TEST(Figures, PanelTableAndChartRender)
+{
+    const FigurePanel panel = makeFigurePanel(twoResults(), 4);
+    EXPECT_EQ(panelTable(panel).numRows(), 11u);
+    const std::string chart = renderAsciiChart(panel);
+    EXPECT_NE(chart.find("k=4"), std::string::npos);
+    EXPECT_NE(chart.find('#'), std::string::npos);
+    EXPECT_NE(chart.find('.'), std::string::npos);
+}
+
+} // namespace
+} // namespace branchlab::core

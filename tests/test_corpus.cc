@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the synthetic input-corpus generators: determinism,
+ * shape guarantees (sizes, structure), and the properties the
+ * workloads rely on (acyclic makefiles, well-formed expression token
+ * streams, balanced C constructs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/random.hh"
+#include "support/strings.hh"
+#include "workloads/corpus.hh"
+
+namespace branchlab::workloads
+{
+namespace
+{
+
+TEST(Corpus, GeneratorsAreDeterministic)
+{
+    Rng a(5), b(5);
+    EXPECT_EQ(generateCSource(a, 100), generateCSource(b, 100));
+    EXPECT_EQ(generateText(a, 50), generateText(b, 50));
+    EXPECT_EQ(generateMakefile(a, 10), generateMakefile(b, 10));
+    EXPECT_EQ(generatePattern(a), generatePattern(b));
+    EXPECT_EQ(generateExprTokens(a, 5), generateExprTokens(b, 5));
+}
+
+TEST(Corpus, CSourceHasRoughlyTheRequestedLines)
+{
+    Rng rng(9);
+    for (int lines : {100, 500, 1500}) {
+        const std::string source = generateCSource(rng, lines);
+        const auto count = splitLines(source).size();
+        EXPECT_GT(count, static_cast<std::size_t>(lines) * 8 / 10);
+        EXPECT_LT(count, static_cast<std::size_t>(lines) * 13 / 10);
+    }
+}
+
+TEST(Corpus, CSourceDefinesBeforeUse)
+{
+    // Every #define precedes the function bodies (the cccp workload's
+    // macro table is populated before substitution sites).
+    Rng rng(11);
+    const std::string source = generateCSource(rng, 200);
+    const std::size_t last_define = source.rfind("#define");
+    const std::size_t first_body = source.find("{\n");
+    ASSERT_NE(last_define, std::string::npos);
+    ASSERT_NE(first_body, std::string::npos);
+    EXPECT_LT(last_define, first_body);
+}
+
+TEST(Corpus, CSourceBalancesIfdefs)
+{
+    Rng rng(13);
+    const std::string source = generateCSource(rng, 800);
+    int depth = 0;
+    for (const std::string &line : splitLines(source)) {
+        if (startsWith(line, "#ifdef")) {
+            ++depth;
+            EXPECT_LE(depth, 1); // the generator never nests
+        } else if (startsWith(line, "#endif")) {
+            --depth;
+            EXPECT_GE(depth, 0);
+        }
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(Corpus, CSourceCommentsAreClosed)
+{
+    Rng rng(15);
+    const std::string source = generateCSource(rng, 400);
+    std::size_t pos = 0;
+    while ((pos = source.find("/*", pos)) != std::string::npos) {
+        const std::size_t close = source.find("*/", pos + 2);
+        ASSERT_NE(close, std::string::npos);
+        pos = close + 2;
+    }
+}
+
+TEST(Corpus, TextLinesAreNonPathological)
+{
+    Rng rng(17);
+    const std::string text = generateText(rng, 200);
+    for (const std::string &line : splitLines(text)) {
+        // The grep workload's line buffer truncates at 1000.
+        EXPECT_LT(line.size(), 500u);
+    }
+}
+
+TEST(Corpus, FilePairsAgreeOnThePrefix)
+{
+    Rng rng(19);
+    const auto [a, b] = generateFilePair(rng, 50, 0.8);
+    EXPECT_EQ(a.size(), b.size());
+    const auto prefix = static_cast<std::size_t>(0.8 * a.size());
+    EXPECT_EQ(a.substr(0, prefix), b.substr(0, prefix));
+    // Dissimilar pairs actually differ.
+    const auto [c, d] = generateFilePair(rng, 50, 0.1);
+    EXPECT_NE(c, d);
+}
+
+TEST(Corpus, MakefilesAreAcyclicAndTimed)
+{
+    Rng rng(21);
+    const std::string makefile = generateMakefile(rng, 20);
+    const auto lines = splitLines(makefile);
+
+    // Rules precede the "!times" sentinel; a target's dependencies
+    // only name targets declared later (acyclicity by construction).
+    std::vector<std::string> declared;
+    bool in_times = false;
+    std::size_t time_entries = 0;
+    for (const std::string &line : lines) {
+        if (line == "!times") {
+            in_times = true;
+            continue;
+        }
+        if (!in_times) {
+            const auto colon = line.find(':');
+            ASSERT_NE(colon, std::string::npos) << line;
+            const std::string target = line.substr(0, colon);
+            for (const std::string &dep :
+                 splitString(trimString(line.substr(colon + 1)), ' ')) {
+                if (dep.empty())
+                    continue;
+                // A dependency must not already be declared (it comes
+                // later in the file), so the graph is a DAG.
+                for (const std::string &seen : declared)
+                    EXPECT_NE(dep, seen);
+            }
+            declared.push_back(target);
+        } else {
+            ++time_entries;
+        }
+    }
+    EXPECT_EQ(declared.size(), 20u);
+    EXPECT_EQ(time_entries, 20u);
+}
+
+TEST(Corpus, PatternsUseOnlyTheSupportedAlphabet)
+{
+    Rng rng(23);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::string pattern = generatePattern(rng);
+        ASSERT_FALSE(pattern.empty());
+        for (std::size_t i = 0; i < pattern.size(); ++i) {
+            const char c = pattern[i];
+            const bool ok = (c >= 'a' && c <= 'z') || c == '.' ||
+                            c == '*' || (c == '^' && i == 0);
+            EXPECT_TRUE(ok) << pattern;
+        }
+        // '*' never leads and never follows another '*'.
+        EXPECT_NE(pattern[0], '*');
+        EXPECT_EQ(pattern.find("**"), std::string::npos) << pattern;
+    }
+}
+
+TEST(Corpus, ExpressionTokensAreWellFormed)
+{
+    Rng rng(25);
+    const auto tokens = generateExprTokens(rng, 30);
+    // Tokens: 0=id 1=+ 2=* 3=( 4=) 5=end. Balanced parens per
+    // expression; ids and operators alternate.
+    int depth = 0;
+    int expressions = 0;
+    bool expect_operand = true;
+    for (long long token : tokens) {
+        ASSERT_GE(token, 0);
+        ASSERT_LE(token, 5);
+        switch (token) {
+          case 0:
+            EXPECT_TRUE(expect_operand);
+            expect_operand = false;
+            break;
+          case 1:
+          case 2:
+            EXPECT_FALSE(expect_operand);
+            expect_operand = true;
+            break;
+          case 3:
+            EXPECT_TRUE(expect_operand);
+            ++depth;
+            break;
+          case 4:
+            EXPECT_FALSE(expect_operand);
+            --depth;
+            EXPECT_GE(depth, 0);
+            break;
+          case 5:
+            EXPECT_FALSE(expect_operand);
+            EXPECT_EQ(depth, 0);
+            ++expressions;
+            expect_operand = true;
+            break;
+        }
+    }
+    EXPECT_EQ(expressions, 30);
+}
+
+TEST(Corpus, ArchiveMembersHaveNamesAndBodies)
+{
+    Rng rng(27);
+    const auto members = generateArchiveMembers(rng, 8);
+    ASSERT_EQ(members.size(), 8u);
+    for (const auto &[name, contents] : members) {
+        EXPECT_GE(name.size(), 3u);
+        EXPECT_LE(name.size(), 15u); // fits the tar name field
+        EXPECT_FALSE(contents.empty());
+    }
+}
+
+TEST(Corpus, IdentifiersAreLowercaseAndBounded)
+{
+    Rng rng(29);
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::string ident = generateIdentifier(rng);
+        EXPECT_GE(ident.size(), 3u);
+        EXPECT_LE(ident.size(), 10u);
+        for (char c : ident)
+            EXPECT_TRUE(c >= 'a' && c <= 'z');
+    }
+}
+
+} // namespace
+} // namespace branchlab::workloads

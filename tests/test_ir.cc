@@ -1,0 +1,673 @@
+/**
+ * @file
+ * Unit tests for the IR: opcode traits, instructions, blocks,
+ * functions, programs, the builder's structured lowering, the
+ * verifier, the printer, and the layout pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "helpers.hh"
+#include "ir/printer.hh"
+#include "support/logging.hh"
+
+using branchlab::ConfigFailure;
+using branchlab::LogicFailure;
+
+namespace branchlab::ir
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Opcode traits.
+// ---------------------------------------------------------------------
+
+class OpcodeTraits : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OpcodeTraits, TraitPartitionsAreConsistent)
+{
+    const auto op = static_cast<Opcode>(GetParam());
+    // Branches are terminators; Halt is the only non-branch one.
+    if (isBranch(op)) {
+        EXPECT_TRUE(isTerminator(op));
+    }
+    if (isTerminator(op)) {
+        EXPECT_TRUE(isBranch(op) || op == Opcode::Halt);
+    }
+    // Conditional implies branch and excludes unconditional.
+    if (isConditionalBranch(op)) {
+        EXPECT_TRUE(isBranch(op));
+        EXPECT_FALSE(isUnconditionalBranch(op));
+    }
+    if (isUnconditionalBranch(op)) {
+        EXPECT_TRUE(isBranch(op));
+    }
+    // ALU classes are disjoint from terminators.
+    if (isBinaryAlu(op) || isUnaryAlu(op)) {
+        EXPECT_FALSE(isTerminator(op));
+    }
+    // Every opcode has a non-empty printable name.
+    EXPECT_FALSE(opcodeName(op).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, OpcodeTraits,
+                         ::testing::Range(0, kNumOpcodes));
+
+TEST(OpcodeTraits, KnownTargetClassification)
+{
+    EXPECT_TRUE(hasKnownTarget(Opcode::Jmp));
+    EXPECT_TRUE(hasKnownTarget(Opcode::Call));
+    EXPECT_TRUE(hasKnownTarget(Opcode::Ret));
+    EXPECT_TRUE(hasKnownTarget(Opcode::Beq));
+    EXPECT_FALSE(hasKnownTarget(Opcode::JTab));
+    EXPECT_FALSE(hasKnownTarget(Opcode::CallInd));
+}
+
+TEST(OpcodeTraits, EvalConditionTruthTable)
+{
+    EXPECT_TRUE(evalCondition(Opcode::Beq, 3, 3));
+    EXPECT_FALSE(evalCondition(Opcode::Beq, 3, 4));
+    EXPECT_TRUE(evalCondition(Opcode::Bne, 3, 4));
+    EXPECT_TRUE(evalCondition(Opcode::Blt, -5, -4));
+    EXPECT_FALSE(evalCondition(Opcode::Blt, -4, -5));
+    EXPECT_TRUE(evalCondition(Opcode::Ble, 2, 2));
+    EXPECT_TRUE(evalCondition(Opcode::Bgt, 9, 2));
+    EXPECT_TRUE(evalCondition(Opcode::Bge, 2, 2));
+}
+
+TEST(OpcodeTraits, NegateConditionIsAnInvolution)
+{
+    for (Opcode cc : {Opcode::Beq, Opcode::Bne, Opcode::Blt, Opcode::Ble,
+                      Opcode::Bgt, Opcode::Bge}) {
+        EXPECT_EQ(negateCondition(negateCondition(cc)), cc);
+        // Negation flips every outcome.
+        for (Word a : {-1, 0, 1})
+            for (Word c : {-1, 0, 1}) {
+                EXPECT_NE(evalCondition(cc, a, c),
+                          evalCondition(negateCondition(cc), a, c));
+            }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Blocks and successors.
+// ---------------------------------------------------------------------
+
+TEST(BasicBlock, SealingRules)
+{
+    BasicBlock block(0, "b");
+    EXPECT_FALSE(block.isSealed());
+    block.append(makeLdi(0, 5));
+    EXPECT_FALSE(block.isSealed());
+    block.append(makeHalt());
+    EXPECT_TRUE(block.isSealed());
+    EXPECT_THROW(block.append(makeNop()), LogicFailure);
+}
+
+TEST(BasicBlock, SuccessorsPerTerminatorKind)
+{
+    {
+        BasicBlock block(0, "cond");
+        block.append(makeCondBranch(Opcode::Beq, 0, 1, 7, 8));
+        EXPECT_EQ(block.successors(), (std::vector<BlockId>{7, 8}));
+    }
+    {
+        BasicBlock block(0, "cond-same");
+        block.append(makeCondBranch(Opcode::Beq, 0, 1, 7, 7));
+        EXPECT_EQ(block.successors(), (std::vector<BlockId>{7}));
+    }
+    {
+        BasicBlock block(0, "jmp");
+        block.append(makeJmp(3));
+        EXPECT_EQ(block.successors(), (std::vector<BlockId>{3}));
+    }
+    {
+        BasicBlock block(0, "jtab");
+        block.append(makeJTab(0, {2, 5, 2}));
+        EXPECT_EQ(block.successors(), (std::vector<BlockId>{2, 5}));
+    }
+    {
+        BasicBlock block(0, "call");
+        block.append(makeCall(0, {}, kNoReg, 9));
+        EXPECT_EQ(block.successors(), (std::vector<BlockId>{9}));
+    }
+    {
+        BasicBlock block(0, "ret");
+        block.append(makeRet());
+        EXPECT_TRUE(block.successors().empty());
+    }
+    {
+        BasicBlock block(0, "halt");
+        block.append(makeHalt());
+        EXPECT_TRUE(block.successors().empty());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Program structure.
+// ---------------------------------------------------------------------
+
+TEST(Program, FunctionLookupAndMain)
+{
+    Program prog("p");
+    prog.newFunction("helper", 1);
+    prog.newFunction("main", 0);
+    EXPECT_EQ(prog.findFunction("helper"), 0u);
+    EXPECT_EQ(prog.mainFunction(), 1u);
+    EXPECT_THROW(prog.findFunction("nope"), ConfigFailure);
+    EXPECT_THROW(prog.newFunction("main", 0), ConfigFailure);
+}
+
+TEST(Program, DataSegmentAllocation)
+{
+    Program prog("p");
+    const Word a = prog.addData({1, 2, 3});
+    const Word c = prog.addZeroData(5);
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(c, 3);
+    EXPECT_EQ(prog.dataSize(), 8);
+    EXPECT_EQ(prog.heapBase(), 8);
+    EXPECT_EQ(prog.data()[1], 2);
+    EXPECT_EQ(prog.data()[5], 0);
+}
+
+TEST(Program, StaticSizeSumsFunctions)
+{
+    const Program prog = test::buildFactorial(3);
+    std::size_t total = 0;
+    for (FuncId f = 0; f < prog.numFunctions(); ++f)
+        total += prog.function(f).staticSize();
+    EXPECT_EQ(prog.staticSize(), total);
+    EXPECT_GT(total, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Builder structured lowering.
+// ---------------------------------------------------------------------
+
+TEST(Builder, IfThenBranchesToThenClause)
+{
+    Program prog("p");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg x = b.ldi(1);
+    b.ifThen([&] { return IrBuilder::cmpEqi(x, 0); }, [&] { b.nop(); });
+    b.halt();
+    b.endFunction();
+    ASSERT_TRUE(verifyProgram(prog).ok());
+
+    // The entry block ends with a conditional whose *taken* side is
+    // the then-block (naive-compiler shape).
+    const Function &fn = prog.function(0);
+    const Instruction &term = fn.block(0).terminator();
+    ASSERT_TRUE(term.isConditional());
+    EXPECT_EQ(fn.block(term.target).label().find("if.then"), 0u);
+    EXPECT_EQ(fn.block(term.next).label().find("if.skip"), 0u);
+    // The skip block is a single unconditional hop.
+    EXPECT_EQ(fn.block(term.next).size(), 1u);
+    EXPECT_EQ(fn.block(term.next).terminator().op, Opcode::Jmp);
+}
+
+TEST(Builder, WhileLoopIsInverted)
+{
+    Program prog("p");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg i = b.newReg();
+    b.ldiTo(i, 3);
+    b.whileLoop([&] { return IrBuilder::cmpGti(i, 0); },
+                [&] { b.emitBinaryImmTo(Opcode::Sub, i, i, 1); });
+    b.halt();
+    b.endFunction();
+    ASSERT_TRUE(verifyProgram(prog).ok());
+
+    // Inversion: a guard in the entry and a bottom-test conditional
+    // in the body block whose taken target is the body itself.
+    const Function &fn = prog.function(0);
+    const Instruction &guard = fn.block(0).terminator();
+    ASSERT_TRUE(guard.isConditional());
+    const BlockId body = guard.next;
+    const Instruction &bottom = fn.block(body).terminator();
+    ASSERT_TRUE(bottom.isConditional());
+    EXPECT_EQ(bottom.target, body);
+}
+
+TEST(Builder, DoWhileBottomTestTargetsHead)
+{
+    Program prog("p");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg i = b.newReg();
+    b.ldiTo(i, 3);
+    b.doWhile([&] { b.emitBinaryImmTo(Opcode::Sub, i, i, 1); },
+              [&] { return IrBuilder::cmpGti(i, 0); });
+    b.halt();
+    b.endFunction();
+    ASSERT_TRUE(verifyProgram(prog).ok());
+}
+
+TEST(Builder, StructuredProgramsExecuteCorrectly)
+{
+    // Executable semantics of the whole helper set: sum of odd
+    // numbers below 10 via while + ifThenElse.
+    Program prog("p");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg i = b.newReg();
+    const Reg odd_sum = b.newReg();
+    const Reg even_sum = b.newReg();
+    b.ldiTo(odd_sum, 0);
+    b.ldiTo(even_sum, 0);
+    b.forRangeImm(i, 0, 10, [&] {
+        const Reg r = b.remi(i, 2);
+        b.ifThenElse(
+            [&] { return IrBuilder::cmpEqi(r, 1); },
+            [&] { b.emitBinaryTo(Opcode::Add, odd_sum, odd_sum, i); },
+            [&] { b.emitBinaryTo(Opcode::Add, even_sum, even_sum, i); });
+    });
+    b.out(odd_sum, 1);
+    b.out(even_sum, 1);
+    b.halt();
+    b.endFunction();
+
+    ir::verifyProgramOrDie(prog);
+    const Layout layout(prog);
+    vm::Machine machine(prog, layout);
+    machine.run();
+    ASSERT_EQ(machine.output(1).size(), 2u);
+    EXPECT_EQ(machine.output(1)[0], 25); // 1+3+5+7+9
+    EXPECT_EQ(machine.output(1)[1], 20); // 0+2+4+6+8
+}
+
+TEST(Builder, ForRangeHonoursCustomStep)
+{
+    Program prog("p");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg i = b.newReg();
+    const Reg sum = b.newReg();
+    b.ldiTo(sum, 0);
+    b.forRangeImm(i, 0, 10, [&] {
+        b.emitBinaryTo(Opcode::Add, sum, sum, i);
+    }, 3);
+    b.out(sum, 1);
+    b.halt();
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+    const Layout layout(prog);
+    vm::Machine machine(prog, layout);
+    machine.run();
+    EXPECT_EQ(machine.output(1).front(), 0 + 3 + 6 + 9);
+}
+
+TEST(Builder, DoWhileExecutesAtLeastOnce)
+{
+    Program prog("p");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg count = b.newReg();
+    const Reg never = b.newReg();
+    b.ldiTo(count, 0);
+    b.ldiTo(never, 0);
+    b.doWhile([&] { b.emitBinaryImmTo(Opcode::Add, count, count, 1); },
+              [&] { return IrBuilder::cmpNei(never, 0); });
+    b.out(count, 1);
+    b.halt();
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+    const Layout layout(prog);
+    vm::Machine machine(prog, layout);
+    machine.run();
+    EXPECT_EQ(machine.output(1).front(), 1);
+}
+
+TEST(Builder, IfThenElseWhereBothSidesReturn)
+{
+    Program prog("p");
+    IrBuilder b(prog);
+    const FuncId sign = b.beginFunction("sign", 1);
+    {
+        const Reg x = b.arg(0);
+        b.ifThenElse([&] { return IrBuilder::cmpGei(x, 0); },
+                     [&] { b.ret(b.ldi(1)); },
+                     [&] { b.ret(b.ldi(-1)); });
+        // The join block is unreachable but must still be sealed.
+        b.halt();
+    }
+    b.endFunction();
+    b.beginFunction("main");
+    b.out(b.call(sign, {b.ldi(5)}), 1);
+    b.out(b.call(sign, {b.ldi(-5)}), 1);
+    b.halt();
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+    const Layout layout(prog);
+    vm::Machine machine(prog, layout);
+    machine.run();
+    EXPECT_EQ(machine.output(1)[0], 1);
+    EXPECT_EQ(machine.output(1)[1], -1);
+}
+
+TEST(Builder, LoopWithExitBreaks)
+{
+    Program prog("p");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg i = b.newReg();
+    b.ldiTo(i, 0);
+    b.loopWithExit([&](BlockId exit) {
+        b.emitBinaryImmTo(Opcode::Add, i, i, 1);
+        b.branch(IrBuilder::cmpGei(i, 5), exit, b.newBlock("cont"));
+    });
+    b.out(i, 1);
+    b.halt();
+    b.endFunction();
+
+    ir::verifyProgramOrDie(prog);
+    const Layout layout(prog);
+    vm::Machine machine(prog, layout);
+    machine.run();
+    EXPECT_EQ(machine.output(1).front(), 5);
+}
+
+TEST(Builder, EndFunctionRejectsUnsealedBlocks)
+{
+    Program prog("p");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    b.nop(); // entry never sealed
+    EXPECT_THROW(b.endFunction(), LogicFailure);
+}
+
+TEST(Builder, DeclareThenDefineSupportsMutualRecursion)
+{
+    Program prog("p");
+    IrBuilder b(prog);
+    const FuncId even = b.declareFunction("is_even", 1);
+    const FuncId odd = b.declareFunction("is_odd", 1);
+    b.beginDeclared(even);
+    {
+        const Reg x = b.arg(0);
+        b.ifThen([&] { return IrBuilder::cmpEqi(x, 0); },
+                 [&] { b.ret(b.ldi(1)); });
+        b.ret(b.call(odd, {b.subi(x, 1)}));
+    }
+    b.endFunction();
+    b.beginDeclared(odd);
+    {
+        const Reg x = b.arg(0);
+        b.ifThen([&] { return IrBuilder::cmpEqi(x, 0); },
+                 [&] { b.ret(b.ldi(0)); });
+        b.ret(b.call(even, {b.subi(x, 1)}));
+    }
+    b.endFunction();
+    b.beginFunction("main");
+    b.out(b.call(even, {b.ldi(10)}), 1);
+    b.out(b.call(even, {b.ldi(7)}), 1);
+    b.halt();
+    b.endFunction();
+
+    ir::verifyProgramOrDie(prog);
+    const Layout layout(prog);
+    vm::Machine machine(prog, layout);
+    machine.run();
+    EXPECT_EQ(machine.output(1)[0], 1);
+    EXPECT_EQ(machine.output(1)[1], 0);
+}
+
+// ---------------------------------------------------------------------
+// Verifier.
+// ---------------------------------------------------------------------
+
+TEST(Verifier, AcceptsHelperPrograms)
+{
+    EXPECT_TRUE(verifyProgram(test::buildCountdown(3)).ok());
+    EXPECT_TRUE(verifyProgram(test::buildFactorial(4)).ok());
+}
+
+TEST(Verifier, RejectsEmptyProgram)
+{
+    Program prog("empty");
+    const VerifyResult result = verifyProgram(prog);
+    EXPECT_FALSE(result.ok());
+}
+
+TEST(Verifier, RejectsMissingMain)
+{
+    Program prog("nomain");
+    IrBuilder b(prog);
+    b.beginFunction("helper");
+    b.halt();
+    b.endFunction();
+    const VerifyResult result = verifyProgram(prog);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.message().find("main"), std::string::npos);
+}
+
+TEST(Verifier, RejectsMainWithArguments)
+{
+    Program prog("argmain");
+    IrBuilder b(prog);
+    b.beginFunction("main", 2);
+    b.halt();
+    b.endFunction();
+    EXPECT_FALSE(verifyProgram(prog).ok());
+}
+
+TEST(Verifier, RejectsUnsealedBlock)
+{
+    Program prog("p");
+    const FuncId f = prog.newFunction("main", 0);
+    prog.function(f).newBlock("entry");
+    prog.function(f).block(0).append(makeNop());
+    const VerifyResult result = verifyProgram(prog);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.message().find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, RejectsOutOfRangeRegister)
+{
+    Program prog("p");
+    const FuncId f = prog.newFunction("main", 0);
+    prog.function(f).newBlock("entry");
+    // r0 is out of range: main has zero registers.
+    prog.function(f).block(0).append(makeOut(0, 1));
+    prog.function(f).block(0).append(makeHalt());
+    EXPECT_FALSE(verifyProgram(prog).ok());
+}
+
+TEST(Verifier, RejectsBadBlockReference)
+{
+    Program prog("p");
+    const FuncId f = prog.newFunction("main", 0);
+    prog.function(f).newBlock("entry");
+    prog.function(f).block(0).append(makeJmp(42));
+    EXPECT_FALSE(verifyProgram(prog).ok());
+}
+
+TEST(Verifier, RejectsBadChannel)
+{
+    Program prog("p");
+    const FuncId f = prog.newFunction("main", 0);
+    Function &fn = prog.function(f);
+    fn.newBlock("entry");
+    const Reg r = fn.newReg();
+    fn.block(0).append(makeIn(r, 99));
+    fn.block(0).append(makeHalt());
+    const VerifyResult result = verifyProgram(prog);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.message().find("channel"), std::string::npos);
+}
+
+TEST(Verifier, AcceptsHandAssembledJumpChain)
+{
+    Program prog("p");
+    const FuncId f = prog.newFunction("main", 0);
+    Function &fn = prog.function(f);
+    const BlockId entry = fn.newBlock("entry");
+    const BlockId other = fn.newBlock("other");
+    fn.block(other).append(makeHalt());
+    fn.block(entry).append(makeJmp(other));
+    EXPECT_TRUE(verifyProgram(prog).ok());
+}
+
+TEST(Verifier, RejectsCallArityMismatch)
+{
+    Program prog("p");
+    IrBuilder b(prog);
+    const FuncId helper = b.beginFunction("helper", 2);
+    b.ret();
+    b.endFunction();
+    b.beginFunction("main");
+    const Reg x = b.ldi(1);
+    const BlockId cont = b.newBlock("cont");
+    // Wrong arity: helper expects two arguments. Assemble the call by
+    // hand since the builder itself would pass the wrong list through.
+    Function &fn = prog.function(prog.findFunction("main"));
+    fn.block(b.currentBlock()).append(makeCall(helper, {x}, kNoReg,
+                                               cont));
+    b.setBlock(cont);
+    b.halt();
+    const VerifyResult result = verifyProgram(prog);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.message().find("args"), std::string::npos);
+}
+
+TEST(Verifier, RejectsEmptyJumpTableViaFactory)
+{
+    EXPECT_THROW(makeJTab(0, {}), LogicFailure);
+}
+
+// ---------------------------------------------------------------------
+// Printer.
+// ---------------------------------------------------------------------
+
+TEST(Printer, FormatsRepresentativeInstructions)
+{
+    Program prog("p");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg x = b.ldi(5);
+    const Reg y = b.addi(x, 3);
+    b.out(y, 1);
+    b.halt();
+    b.endFunction();
+    const Function &fn = prog.function(0);
+    EXPECT_EQ(formatInstruction(prog, fn, fn.block(0).inst(0)),
+              "ldi r0, #5");
+    EXPECT_EQ(formatInstruction(prog, fn, fn.block(0).inst(1)),
+              "add r1, r0, #3");
+    EXPECT_EQ(formatInstruction(prog, fn, fn.block(0).inst(2)),
+              "out r1, ch1");
+    EXPECT_EQ(formatInstruction(prog, fn, fn.block(0).inst(3)), "halt");
+}
+
+TEST(Printer, FormatsEveryControlTransferKind)
+{
+    Program prog("p");
+    IrBuilder b(prog);
+    const FuncId helper = b.beginFunction("callee", 1);
+    b.ret(b.arg(0));
+    b.endFunction();
+    b.beginFunction("main");
+    const Reg x = b.ldi(2);
+    const Reg f = b.ldf(helper);
+    const BlockId c0 = b.newBlock("case0");
+    const BlockId c1 = b.newBlock("case1");
+    const Reg direct = b.call(helper, {x});
+    const Reg indirect = b.callInd(f, {direct});
+    b.st(b.ldi(0), indirect, 0);
+    b.jumpTable(x, {c0, c1, c0});
+    b.setBlock(c0);
+    b.halt();
+    b.setBlock(c1);
+    b.halt();
+    b.endFunction();
+    ASSERT_TRUE(verifyProgram(prog).ok());
+
+    std::ostringstream os;
+    printProgram(os, prog);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("@callee"), std::string::npos);   // ldf + call
+    EXPECT_NE(text.find("jtab"), std::string::npos);
+    EXPECT_NE(text.find("callind"), std::string::npos);
+    EXPECT_NE(text.find("case0"), std::string::npos);
+    EXPECT_NE(text.find("ret r0"), std::string::npos);
+}
+
+TEST(Printer, AddressedDumpShowsLayoutAddresses)
+{
+    const Program prog = test::buildCountdown(1);
+    const Layout layout(prog);
+    std::ostringstream os;
+    printProgramWithAddrs(os, prog, layout);
+    EXPECT_NE(os.str().find(std::to_string(kCodeBase) + ":"),
+              std::string::npos);
+}
+
+TEST(Printer, WholeProgramDumpMentionsEveryFunction)
+{
+    const Program prog = test::buildFactorial(3);
+    std::ostringstream os;
+    printProgram(os, prog);
+    EXPECT_NE(os.str().find("fact"), std::string::npos);
+    EXPECT_NE(os.str().find("main"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Layout.
+// ---------------------------------------------------------------------
+
+TEST(Layout, AddressesAreDenseAndStartAtCodeBase)
+{
+    const Program prog = test::buildFactorial(3);
+    const Layout layout(prog);
+    EXPECT_EQ(layout.funcEntry(0), kCodeBase);
+    EXPECT_EQ(layout.totalSize(), prog.staticSize());
+    EXPECT_EQ(layout.codeEnd(), kCodeBase + prog.staticSize());
+}
+
+TEST(Layout, LocateRoundTripsEveryInstruction)
+{
+    const Program prog = test::buildFactorial(5);
+    const Layout layout(prog);
+    for (FuncId f = 0; f < prog.numFunctions(); ++f) {
+        const Function &fn = prog.function(f);
+        for (const BasicBlock &block : fn.blocks()) {
+            for (std::size_t i = 0; i < block.size(); ++i) {
+                const Addr addr = layout.instAddr(f, block.id(), i);
+                const CodeLocation loc = layout.locate(addr);
+                EXPECT_EQ(loc.func, f);
+                EXPECT_EQ(loc.block, block.id());
+                EXPECT_EQ(loc.index, i);
+            }
+        }
+    }
+}
+
+TEST(Layout, NonCodeAddressesAreRejected)
+{
+    const Program prog = test::buildCountdown(1);
+    const Layout layout(prog);
+    EXPECT_FALSE(layout.isCodeAddr(0));
+    EXPECT_FALSE(layout.isCodeAddr(layout.codeEnd()));
+    EXPECT_TRUE(layout.isCodeAddr(kCodeBase));
+    EXPECT_THROW(layout.locate(0), LogicFailure);
+}
+
+TEST(Layout, FunctionsAreContiguousInCreationOrder)
+{
+    const Program prog = test::buildFactorial(2);
+    const Layout layout(prog);
+    ASSERT_EQ(prog.numFunctions(), 2u);
+    EXPECT_EQ(layout.funcEntry(1),
+              layout.funcEntry(0) + prog.function(0).staticSize());
+}
+
+} // namespace
+} // namespace branchlab::ir

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the cost model (the paper's section 2.3 equation) and the
+ * cycle-level pipeline simulator, including the property that the
+ * structural simulation reproduces the analytic equation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pipeline/cost_model.hh"
+#include "pipeline/cycle_sim.hh"
+#include "predict/sbtb.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace branchlab::pipeline
+{
+namespace
+{
+
+TEST(CostModel, PerfectPredictionCostsOneCycle)
+{
+    EXPECT_EQ(branchCost(1.0, 10.0), 1.0);
+}
+
+TEST(CostModel, ZeroAccuracyCostsFullFlush)
+{
+    EXPECT_EQ(branchCost(0.0, 7.0), 7.0);
+}
+
+TEST(CostModel, MatchesPaperTable4Arithmetic)
+{
+    // Table 4's cccp row: A_SBTB = 90.7% at k+l-bar = 2, m-bar = 1
+    // (flush depth 3) gives 1.19 cycles/branch.
+    EXPECT_NEAR(branchCost(0.907, 3.0), 1.186, 0.001);
+    // And at depth 4: 1.28.
+    EXPECT_NEAR(branchCost(0.907, 4.0), 1.279, 0.001);
+}
+
+TEST(CostModel, ValidatesInputs)
+{
+    EXPECT_THROW(branchCost(1.5, 3.0), LogicFailure);
+    EXPECT_THROW(branchCost(-0.1, 3.0), LogicFailure);
+    EXPECT_THROW(branchCost(0.5, -1.0), LogicFailure);
+}
+
+TEST(CostModel, CostIsMonotoneInDepthAndAntitoneInAccuracy)
+{
+    for (double a : {0.5, 0.8, 0.95}) {
+        for (double d = 0.0; d < 10.0; d += 1.0)
+            EXPECT_LE(branchCost(a, d), branchCost(a, d + 1.0));
+    }
+    for (double d : {2.0, 5.0, 10.0}) {
+        for (int step = 0; step < 10; ++step) {
+            const double a = 0.1 * step;
+            const double next = 0.1 * (step + 1);
+            EXPECT_GE(branchCost(a, d), branchCost(std::min(next, 1.0),
+                                                   d));
+        }
+    }
+}
+
+TEST(CostModel, PipelineConfigDefaults)
+{
+    PipelineConfig config;
+    config.k = 2;
+    config.ell = 3;
+    config.m = 4;
+    config.fCond = 0.5;
+    // RISC default: l-bar = l; static interlock: m-bar = f_cond * m.
+    EXPECT_EQ(config.effectiveEllBar(), 3.0);
+    EXPECT_EQ(config.effectiveMBar(), 2.0);
+    EXPECT_EQ(config.flushDepth(), 7.0);
+    EXPECT_EQ(config.totalStages(), 1u + 2 + 3 + 4 + 1);
+
+    config.ellBar = 1.5;
+    config.mBar = 0.25;
+    EXPECT_EQ(config.flushDepth(), 2.0 + 1.5 + 0.25);
+}
+
+TEST(CostModel, BarsCannotExceedStageCounts)
+{
+    PipelineConfig config;
+    config.ell = 2;
+    config.ellBar = 3.0;
+    EXPECT_THROW(config.effectiveEllBar(), LogicFailure);
+}
+
+TEST(CostModel, FigureSeriesIsTheExpectedLine)
+{
+    const auto series = figureSeries(0.9, 2, 10);
+    ASSERT_EQ(series.size(), 11u);
+    for (unsigned x = 0; x <= 10; ++x)
+        EXPECT_NEAR(series[x], 0.9 + (2.0 + x) * 0.1, 1e-12);
+}
+
+TEST(CostModel, GrowthPercentMatchesHandComputation)
+{
+    // cost(0.9, 3) = 1.2, cost(0.9, 4) = 1.3: growth = 8.33%.
+    EXPECT_NEAR(costGrowthPercent(0.9, 3.0, 4.0), 100.0 / 12.0, 1e-9);
+    // Higher accuracy grows slower: the Table 4 scaling claim.
+    EXPECT_GT(costGrowthPercent(0.90, 3.0, 4.0),
+              costGrowthPercent(0.95, 3.0, 4.0));
+}
+
+// ---------------------------------------------------------------------
+// Cycle-level simulation.
+// ---------------------------------------------------------------------
+
+TEST(CycleSim, EmptyStream)
+{
+    CyclePipeline sim(PipelineConfig{});
+    const CycleResult result = sim.simulate({});
+    EXPECT_EQ(result.cycles, 0u);
+    EXPECT_EQ(result.avgBranchCost(), 0.0);
+}
+
+TEST(CycleSim, StraightLineCodeTakesOneCyclePerInstruction)
+{
+    PipelineConfig config;
+    CyclePipeline sim(config);
+    std::vector<StreamItem> stream(100);
+    const CycleResult result = sim.simulate(stream);
+    // Fill + drain: n - 1 + total stages.
+    EXPECT_EQ(result.cycles, 99u + config.totalStages());
+    EXPECT_EQ(result.penaltyCycles, 0u);
+}
+
+TEST(CycleSim, CorrectBranchesAreFree)
+{
+    CyclePipeline sim(PipelineConfig{});
+    std::vector<StreamItem> stream(50, StreamItem{true, true, true});
+    const CycleResult result = sim.simulate(stream);
+    EXPECT_EQ(result.penaltyCycles, 0u);
+    EXPECT_EQ(result.avgBranchCost(), 1.0);
+}
+
+TEST(CycleSim, MispredictedConditionalCostsFullDepth)
+{
+    PipelineConfig config;
+    config.k = 2;
+    config.ell = 3;
+    config.m = 4;
+    CyclePipeline sim(config);
+    // Total cost of a mispredict is the resolution depth; the penalty
+    // beyond the branch's own cycle is depth - 1.
+    EXPECT_EQ(sim.penaltyFor(true), 2u + 3u + 4u - 1u);
+    EXPECT_EQ(sim.penaltyFor(false), 2u + 3u - 1u);
+
+    std::vector<StreamItem> stream(10, StreamItem{true, true, false});
+    const CycleResult result = sim.simulate(stream);
+    EXPECT_EQ(result.mispredicts, 10u);
+    EXPECT_EQ(result.penaltyCycles, 10u * 8u);
+    // Every branch mispredicts: avg cost = flush depth (A = 0).
+    EXPECT_NEAR(result.avgBranchCost(), branchCost(0.0, 9.0), 1e-12);
+}
+
+TEST(CycleSim, EmergentCostMatchesAnalyticModel)
+{
+    // Property: for random accuracy/mix, the structural simulation's
+    // cost equals the analytic equation with l-bar = l and m-bar
+    // computed from the *actual* mispredict mix.
+    Rng rng(5);
+    for (int trial = 0; trial < 20; ++trial) {
+        PipelineConfig config;
+        config.k = 1 + static_cast<unsigned>(rng.nextBelow(4));
+        config.ell = 1 + static_cast<unsigned>(rng.nextBelow(3));
+        config.m = 1 + static_cast<unsigned>(rng.nextBelow(3));
+        const double accuracy = 0.5 + rng.nextDouble() * 0.5;
+        const double cond_fraction = rng.nextDouble();
+
+        std::vector<StreamItem> stream;
+        std::uint64_t branches = 0;
+        std::uint64_t correct = 0;
+        std::uint64_t wrong_cond = 0;
+        std::uint64_t wrong_uncond = 0;
+        for (int i = 0; i < 3000; ++i) {
+            StreamItem item;
+            item.isBranch = rng.nextBool(0.3);
+            if (item.isBranch) {
+                ++branches;
+                item.conditional = rng.nextBool(cond_fraction);
+                item.predictedCorrect = rng.nextBool(accuracy);
+                if (item.predictedCorrect)
+                    ++correct;
+                else if (item.conditional)
+                    ++wrong_cond;
+                else
+                    ++wrong_uncond;
+            }
+            stream.push_back(item);
+        }
+        if (branches == 0)
+            continue;
+
+        CyclePipeline sim(config);
+        const CycleResult result = sim.simulate(stream);
+        const double measured = result.avgBranchCost();
+
+        const double a = static_cast<double>(correct) /
+                         static_cast<double>(branches);
+        const std::uint64_t wrong = wrong_cond + wrong_uncond;
+        // m-bar from the actual mispredicted mix (the paper
+        // approximates it with f_cond; here we close the loop).
+        const double m_bar =
+            wrong == 0 ? 0.0
+                       : static_cast<double>(wrong_cond) /
+                             static_cast<double>(wrong) * config.m;
+        const double flush = config.k + config.ell + m_bar;
+        EXPECT_NEAR(measured, branchCost(a, flush), 1e-9);
+    }
+}
+
+TEST(CycleSim, BuildStreamScoresAgainstThePredictor)
+{
+    // A taken-biased stream through an SBTB: the first encounter
+    // mispredicts, later ones predict correctly.
+    predict::SimpleBtb sbtb;
+    std::vector<trace::BranchEvent> events;
+    for (int i = 0; i < 5; ++i) {
+        trace::BranchEvent event;
+        event.pc = 0x100;
+        event.op = ir::Opcode::Beq;
+        event.conditional = true;
+        event.taken = true;
+        event.targetKnown = true;
+        event.targetAddr = 0x200;
+        event.fallthroughAddr = 0x101;
+        event.nextPc = 0x200;
+        events.push_back(event);
+    }
+    const std::vector<StreamItem> stream = buildStream(events, sbtb, 3);
+    ASSERT_EQ(stream.size(), 5u * 4u);
+    int branch_count = 0;
+    int wrong = 0;
+    for (const StreamItem &item : stream) {
+        if (item.isBranch) {
+            ++branch_count;
+            wrong += item.predictedCorrect ? 0 : 1;
+        }
+    }
+    EXPECT_EQ(branch_count, 5);
+    EXPECT_EQ(wrong, 1); // only the cold first encounter
+}
+
+} // namespace
+} // namespace branchlab::pipeline

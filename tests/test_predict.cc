@@ -1,0 +1,559 @@
+/**
+ * @file
+ * Unit tests for the prediction schemes: the associative buffer, the
+ * SBTB/CBTB (exactly the paper's section 2.2 rules), the static
+ * baselines, the Forward Semantic predictor, the context-switch
+ * wrapper, and the correctness scoring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predict/assoc_buffer.hh"
+#include "predict/cbtb.hh"
+#include "predict/flushing.hh"
+#include "predict/profile_predictor.hh"
+#include "predict/sbtb.hh"
+#include "predict/static_predictors.hh"
+#include "support/logging.hh"
+
+namespace branchlab::predict
+{
+namespace
+{
+
+using trace::BranchEvent;
+
+/** A conditional-branch event at @p pc with static target pc+100. */
+BranchEvent
+condEvent(ir::Addr pc, bool taken)
+{
+    BranchEvent event;
+    event.pc = pc;
+    event.op = ir::Opcode::Beq;
+    event.conditional = true;
+    event.taken = taken;
+    event.targetKnown = true;
+    event.targetAddr = pc + 100;
+    event.fallthroughAddr = pc + 1;
+    event.nextPc = taken ? event.targetAddr : event.fallthroughAddr;
+    return event;
+}
+
+/** A backward conditional (loop-style) event. */
+BranchEvent
+backwardEvent(ir::Addr pc, bool taken)
+{
+    BranchEvent event = condEvent(pc, taken);
+    event.targetAddr = pc - 50;
+    event.nextPc = taken ? event.targetAddr : event.fallthroughAddr;
+    return event;
+}
+
+/** A return-style event: unconditional, known, dynamic target. */
+BranchEvent
+retEvent(ir::Addr pc, ir::Addr target)
+{
+    BranchEvent event;
+    event.pc = pc;
+    event.op = ir::Opcode::Ret;
+    event.conditional = false;
+    event.taken = true;
+    event.targetKnown = true;
+    event.targetAddr = target;
+    event.fallthroughAddr = pc + 1;
+    event.nextPc = target;
+    return event;
+}
+
+/** Drive predict+update once; returns the prediction. */
+Prediction
+step(BranchPredictor &predictor, const BranchEvent &event)
+{
+    const BranchQuery query = makeQuery(event);
+    const Prediction prediction = predictor.predict(query);
+    predictor.update(query, event);
+    return prediction;
+}
+
+// ---------------------------------------------------------------------
+// AssociativeBuffer.
+// ---------------------------------------------------------------------
+
+struct Payload
+{
+    int value = 0;
+};
+
+TEST(AssocBuffer, InsertFindErase)
+{
+    AssociativeBuffer<Payload> buffer(BufferConfig{4, 0,
+                                                   ReplacementPolicy::Lru,
+                                                   1});
+    EXPECT_EQ(buffer.find(10), nullptr);
+    buffer.insert(10).value = 7;
+    ASSERT_NE(buffer.find(10), nullptr);
+    EXPECT_EQ(buffer.find(10)->value, 7);
+    buffer.erase(10);
+    EXPECT_EQ(buffer.find(10), nullptr);
+    EXPECT_EQ(buffer.occupancy(), 0u);
+}
+
+TEST(AssocBuffer, LruEvictsLeastRecentlyTouched)
+{
+    AssociativeBuffer<Payload> buffer(BufferConfig{2, 0,
+                                                   ReplacementPolicy::Lru,
+                                                   1});
+    buffer.insert(1).value = 1;
+    buffer.insert(2).value = 2;
+    // Touch 1 so 2 becomes the LRU victim.
+    ASSERT_NE(buffer.find(1), nullptr);
+    buffer.insert(3).value = 3;
+    EXPECT_NE(buffer.find(1), nullptr);
+    EXPECT_EQ(buffer.find(2), nullptr);
+    EXPECT_NE(buffer.find(3), nullptr);
+}
+
+TEST(AssocBuffer, FifoEvictsOldestInsertion)
+{
+    AssociativeBuffer<Payload> buffer(
+        BufferConfig{2, 0, ReplacementPolicy::Fifo, 1});
+    buffer.insert(1);
+    buffer.insert(2);
+    buffer.find(1); // touching must NOT save 1 under FIFO
+    buffer.insert(3);
+    EXPECT_EQ(buffer.find(1), nullptr);
+    EXPECT_NE(buffer.find(2), nullptr);
+}
+
+TEST(AssocBuffer, RandomPolicyStaysWithinSet)
+{
+    AssociativeBuffer<Payload> buffer(
+        BufferConfig{4, 0, ReplacementPolicy::Random, 42});
+    for (ir::Addr tag = 0; tag < 100; ++tag)
+        buffer.insert(tag * 8 + 1);
+    EXPECT_EQ(buffer.occupancy(), 4u);
+}
+
+TEST(AssocBuffer, SetMappingConfinesConflicts)
+{
+    // Direct-mapped, 4 sets: tags 0 and 4 collide, 1 does not.
+    AssociativeBuffer<Payload> buffer(
+        BufferConfig{4, 1, ReplacementPolicy::Lru, 1});
+    buffer.insert(0);
+    buffer.insert(1);
+    buffer.insert(4); // evicts tag 0 (same set), not tag 1
+    EXPECT_EQ(buffer.find(0), nullptr);
+    EXPECT_NE(buffer.find(1), nullptr);
+    EXPECT_NE(buffer.find(4), nullptr);
+}
+
+TEST(AssocBuffer, FlushInvalidatesEverything)
+{
+    AssociativeBuffer<Payload> buffer(BufferConfig{});
+    for (ir::Addr tag = 0; tag < 20; ++tag)
+        buffer.insert(tag);
+    EXPECT_EQ(buffer.occupancy(), 20u);
+    buffer.flush();
+    EXPECT_EQ(buffer.occupancy(), 0u);
+    EXPECT_EQ(buffer.find(5), nullptr);
+}
+
+TEST(AssocBuffer, OccupancyNeverExceedsCapacity)
+{
+    for (std::size_t assoc : {0u, 1u, 2u, 4u}) {
+        AssociativeBuffer<Payload> buffer(
+            BufferConfig{8, assoc, ReplacementPolicy::Lru, 1});
+        for (ir::Addr tag = 0; tag < 1000; ++tag) {
+            buffer.insert(tag);
+            EXPECT_LE(buffer.occupancy(), 8u);
+        }
+    }
+}
+
+TEST(AssocBuffer, DoubleInsertIsRejected)
+{
+    AssociativeBuffer<Payload> buffer(BufferConfig{});
+    buffer.insert(5);
+    EXPECT_THROW(buffer.insert(5), LogicFailure);
+}
+
+TEST(AssocBuffer, GeometryIsValidated)
+{
+    BufferConfig bad;
+    bad.entries = 6;
+    bad.associativity = 4; // 6 % 4 != 0
+    EXPECT_THROW(AssociativeBuffer<Payload>{bad}, LogicFailure);
+}
+
+// ---------------------------------------------------------------------
+// SBTB (paper rules).
+// ---------------------------------------------------------------------
+
+TEST(Sbtb, MissPredictsNotTaken)
+{
+    SimpleBtb sbtb;
+    const Prediction prediction = step(sbtb, condEvent(0x100, true));
+    EXPECT_FALSE(prediction.taken);
+}
+
+TEST(Sbtb, OnlyTakenBranchesAreRemembered)
+{
+    SimpleBtb sbtb;
+    step(sbtb, condEvent(0x100, false)); // not taken: not inserted
+    EXPECT_EQ(sbtb.occupancy(), 0u);
+    step(sbtb, condEvent(0x100, true)); // taken: inserted
+    EXPECT_EQ(sbtb.occupancy(), 1u);
+}
+
+TEST(Sbtb, HitPredictsTakenWithStoredTarget)
+{
+    SimpleBtb sbtb;
+    step(sbtb, condEvent(0x100, true));
+    const Prediction prediction = step(sbtb, condEvent(0x100, true));
+    EXPECT_TRUE(prediction.taken);
+    EXPECT_EQ(prediction.target, condEvent(0x100, true).targetAddr);
+}
+
+TEST(Sbtb, EntryDeletedWhenPredictedTakenFallsThrough)
+{
+    // The paper: "If a branch instruction is predicted taken, but when
+    // executed it does not branch to a new location, the
+    // corresponding entry in the SBTB is deleted."
+    SimpleBtb sbtb;
+    step(sbtb, condEvent(0x100, true));
+    EXPECT_EQ(sbtb.occupancy(), 1u);
+    step(sbtb, condEvent(0x100, false));
+    EXPECT_EQ(sbtb.occupancy(), 0u);
+    EXPECT_FALSE(step(sbtb, condEvent(0x100, true)).taken);
+}
+
+TEST(Sbtb, TracksLatestDynamicTarget)
+{
+    SimpleBtb sbtb;
+    step(sbtb, retEvent(0x200, 0x500));
+    const Prediction first = step(sbtb, retEvent(0x200, 0x600));
+    // Predicted the stale target: direction right, fetch wrong.
+    EXPECT_TRUE(first.taken);
+    EXPECT_EQ(first.target, 0x500u);
+    const Prediction second = step(sbtb, retEvent(0x200, 0x600));
+    EXPECT_EQ(second.target, 0x600u);
+}
+
+TEST(Sbtb, MissRatioCountsLookups)
+{
+    SimpleBtb sbtb;
+    step(sbtb, condEvent(0x100, true));  // miss
+    step(sbtb, condEvent(0x100, true));  // hit
+    step(sbtb, condEvent(0x200, false)); // miss
+    EXPECT_EQ(sbtb.lookups(), 3u);
+    EXPECT_EQ(sbtb.hits(), 1u);
+    EXPECT_NEAR(sbtb.missRatio(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Sbtb, FlushForgetsEverything)
+{
+    SimpleBtb sbtb;
+    step(sbtb, condEvent(0x100, true));
+    sbtb.flush();
+    EXPECT_FALSE(step(sbtb, condEvent(0x100, true)).taken);
+}
+
+// ---------------------------------------------------------------------
+// CBTB (paper rules).
+// ---------------------------------------------------------------------
+
+TEST(Cbtb, NewEntryStartsAtThresholdWhenTaken)
+{
+    CounterBtb cbtb;
+    step(cbtb, condEvent(0x100, true));
+    EXPECT_EQ(cbtb.counterOf(0x100), 2); // T = 2
+    // Counter >= T: predicted taken.
+    EXPECT_TRUE(step(cbtb, condEvent(0x100, true)).taken);
+}
+
+TEST(Cbtb, NewEntryStartsBelowThresholdWhenNotTaken)
+{
+    CounterBtb cbtb;
+    step(cbtb, condEvent(0x100, false));
+    EXPECT_EQ(cbtb.counterOf(0x100), 1); // T - 1
+    EXPECT_FALSE(step(cbtb, condEvent(0x100, false)).taken);
+}
+
+TEST(Cbtb, CounterSaturatesAtBothEnds)
+{
+    CounterBtb cbtb;
+    for (int i = 0; i < 10; ++i)
+        step(cbtb, condEvent(0x100, true));
+    EXPECT_EQ(cbtb.counterOf(0x100), 3); // 2^2 - 1
+    for (int i = 0; i < 10; ++i)
+        step(cbtb, condEvent(0x100, false));
+    EXPECT_EQ(cbtb.counterOf(0x100), 0);
+}
+
+TEST(Cbtb, HysteresisNeedsTwoFlipsFromSaturation)
+{
+    CounterBtb cbtb;
+    for (int i = 0; i < 4; ++i)
+        step(cbtb, condEvent(0x100, true)); // saturate to 3
+    step(cbtb, condEvent(0x100, false));    // 3 -> 2
+    EXPECT_TRUE(step(cbtb, condEvent(0x100, false)).taken); // 2 >= T
+    // Counter now 1: prediction flips.
+    EXPECT_FALSE(step(cbtb, condEvent(0x100, true)).taken);
+}
+
+TEST(Cbtb, AllBranchesAreEligibleUnlikeSbtb)
+{
+    CounterBtb cbtb;
+    step(cbtb, condEvent(0x100, false));
+    EXPECT_EQ(cbtb.occupancy(), 1u);
+}
+
+TEST(Cbtb, WiderCounterAndThresholdAreConfigurable)
+{
+    CounterBtb cbtb(BufferConfig{}, CounterConfig{3, 4});
+    step(cbtb, condEvent(0x100, true)); // counter = 4 = T
+    EXPECT_TRUE(step(cbtb, condEvent(0x100, true)).taken);
+    for (int i = 0; i < 10; ++i)
+        step(cbtb, condEvent(0x100, true));
+    EXPECT_EQ(cbtb.counterOf(0x100), 7);
+}
+
+TEST(Cbtb, InvalidCounterConfigRejected)
+{
+    EXPECT_THROW(CounterBtb(BufferConfig{}, CounterConfig{2, 4}),
+                 LogicFailure);
+    EXPECT_THROW(CounterBtb(BufferConfig{}, CounterConfig{0, 1}),
+                 LogicFailure);
+}
+
+TEST(Cbtb, MissRatioFarBelowSbtbOnNotTakenStream)
+{
+    // Not-taken-dominant stream over few sites: CBTB retains entries,
+    // SBTB keeps missing (the Table 3 rho gap).
+    SimpleBtb sbtb;
+    CounterBtb cbtb;
+    for (int i = 0; i < 100; ++i) {
+        const BranchEvent event = condEvent(0x100 + (i % 4), i % 5 == 0);
+        step(sbtb, event);
+        step(cbtb, event);
+    }
+    EXPECT_GT(sbtb.missRatio(), 10.0 * cbtb.missRatio());
+}
+
+// ---------------------------------------------------------------------
+// Static predictors.
+// ---------------------------------------------------------------------
+
+TEST(StaticPredictors, AlwaysTakenAndNotTaken)
+{
+    AlwaysTaken taken;
+    AlwaysNotTaken not_taken;
+    const BranchEvent event = condEvent(0x100, true);
+    EXPECT_TRUE(step(taken, event).taken);
+    EXPECT_EQ(step(taken, event).target, event.targetAddr);
+    EXPECT_FALSE(step(not_taken, event).taken);
+}
+
+TEST(StaticPredictors, BtfntFollowsDirection)
+{
+    BackwardTaken btfnt;
+    EXPECT_TRUE(step(btfnt, backwardEvent(0x100, true)).taken);
+    EXPECT_FALSE(step(btfnt, condEvent(0x100, true)).taken);
+    // Unconditional with static target: taken.
+    BranchEvent jmp;
+    jmp.pc = 0x100;
+    jmp.op = ir::Opcode::Jmp;
+    jmp.conditional = false;
+    jmp.taken = true;
+    jmp.targetKnown = true;
+    jmp.targetAddr = 0x300;
+    jmp.nextPc = 0x300;
+    EXPECT_TRUE(step(btfnt, jmp).taken);
+    // Unknown-target: falls back to not-taken.
+    BranchEvent jtab = jmp;
+    jtab.op = ir::Opcode::JTab;
+    jtab.targetKnown = false;
+    EXPECT_FALSE(step(btfnt, jtab).taken);
+}
+
+TEST(StaticPredictors, OpcodeBiasUsesTable)
+{
+    OpcodeBias bias(std::map<ir::Opcode, bool>{{ir::Opcode::Beq, true}});
+    BranchEvent beq = condEvent(0x100, true);
+    EXPECT_TRUE(step(bias, beq).taken);
+    BranchEvent bne = beq;
+    bne.op = ir::Opcode::Bne;
+    EXPECT_FALSE(step(bias, bne).taken);
+}
+
+// ---------------------------------------------------------------------
+// ProfilePredictor (Forward Semantic).
+// ---------------------------------------------------------------------
+
+TEST(ProfilePredictor, FollowsLikelyBit)
+{
+    LikelyMap map;
+    map[0x100] = LikelyInfo{true, 0x200};
+    map[0x110] = LikelyInfo{false, 0x111};
+    ProfilePredictor fs(map);
+    EXPECT_TRUE(step(fs, condEvent(0x100, true)).taken);
+    EXPECT_FALSE(step(fs, condEvent(0x110, false)).taken);
+}
+
+TEST(ProfilePredictor, ColdBranchesPredictNotTaken)
+{
+    ProfilePredictor fs(LikelyMap{});
+    EXPECT_FALSE(step(fs, condEvent(0x100, true)).taken);
+    EXPECT_EQ(fs.coldBranches(), 1u);
+}
+
+TEST(ProfilePredictor, DirectUnconditionalsAlwaysCorrect)
+{
+    ProfilePredictor fs(LikelyMap{});
+    BranchEvent jmp;
+    jmp.pc = 0x100;
+    jmp.op = ir::Opcode::Jmp;
+    jmp.conditional = false;
+    jmp.taken = true;
+    jmp.targetKnown = true;
+    jmp.targetAddr = 0x400;
+    jmp.nextPc = 0x400;
+    const Prediction prediction = step(fs, jmp);
+    EXPECT_TRUE(PredictionDriver::isCorrect(prediction, jmp));
+}
+
+TEST(ProfilePredictor, ReturnsUseDominantTarget)
+{
+    LikelyMap map;
+    map[0x200] = LikelyInfo{true, 0x500};
+    ProfilePredictor fs(map);
+    const Prediction prediction = step(fs, retEvent(0x200, 0x500));
+    EXPECT_TRUE(prediction.taken);
+    EXPECT_EQ(prediction.target, 0x500u);
+    EXPECT_TRUE(
+        PredictionDriver::isCorrect(prediction, retEvent(0x200, 0x500)));
+    EXPECT_FALSE(
+        PredictionDriver::isCorrect(prediction, retEvent(0x200, 0x600)));
+}
+
+TEST(ProfilePredictor, FlushChangesNothing)
+{
+    LikelyMap map;
+    map[0x100] = LikelyInfo{true, 0x200};
+    ProfilePredictor fs(map);
+    const Prediction before = step(fs, condEvent(0x100, true));
+    fs.flush();
+    const Prediction after = step(fs, condEvent(0x100, true));
+    EXPECT_EQ(before.taken, after.taken);
+    EXPECT_EQ(before.target, after.target);
+}
+
+// ---------------------------------------------------------------------
+// FlushingPredictor.
+// ---------------------------------------------------------------------
+
+TEST(FlushingPredictor, FlushesEveryInterval)
+{
+    SimpleBtb sbtb;
+    FlushingPredictor flushed(sbtb, 3);
+    for (int i = 0; i < 10; ++i)
+        step(flushed, condEvent(0x100, true));
+    EXPECT_EQ(flushed.flushCount(), 3u);
+}
+
+TEST(FlushingPredictor, DegradesABtbButNotFs)
+{
+    // A perfectly periodic taken branch: the SBTB alone predicts it
+    // after warm-up; flushing every branch keeps it cold.
+    SimpleBtb plain;
+    SimpleBtb wrapped_inner;
+    FlushingPredictor wrapped(wrapped_inner, 1);
+    PredictorStats plain_stats, wrapped_stats;
+    PredictionDriver plain_driver(plain);
+    PredictionDriver wrapped_driver(wrapped);
+    for (int i = 0; i < 50; ++i) {
+        plain_driver.onBranch(condEvent(0x100, true));
+        wrapped_driver.onBranch(condEvent(0x100, true));
+    }
+    EXPECT_GT(plain_driver.stats().accuracy.ratio(),
+              wrapped_driver.stats().accuracy.ratio());
+    EXPECT_EQ(wrapped_driver.stats().accuracy.ratio(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Scoring.
+// ---------------------------------------------------------------------
+
+TEST(Scoring, IsCorrectMatrix)
+{
+    const BranchEvent taken = condEvent(0x100, true);
+    const BranchEvent fell = condEvent(0x100, false);
+
+    // Not-taken prediction.
+    EXPECT_TRUE(PredictionDriver::isCorrect({false, ir::kNoAddr}, fell));
+    EXPECT_FALSE(PredictionDriver::isCorrect({false, ir::kNoAddr},
+                                             taken));
+    // Taken with the right target.
+    EXPECT_TRUE(PredictionDriver::isCorrect({true, taken.targetAddr},
+                                            taken));
+    // Taken with a stale target: misfetch.
+    EXPECT_FALSE(PredictionDriver::isCorrect({true, taken.targetAddr + 4},
+                                             taken));
+    // Taken prediction on a fall-through.
+    EXPECT_FALSE(PredictionDriver::isCorrect({true, taken.targetAddr},
+                                             fell));
+    // Taken prediction without a target never streams correctly.
+    EXPECT_FALSE(PredictionDriver::isCorrect({true, ir::kNoAddr},
+                                             taken));
+}
+
+TEST(Scoring, DriverAccumulatesPerKindStats)
+{
+    AlwaysNotTaken predictor;
+    PredictionDriver driver(predictor);
+    driver.onBranch(condEvent(1, false)); // correct
+    driver.onBranch(condEvent(2, true));  // wrong
+    BranchEvent jmp;
+    jmp.pc = 3;
+    jmp.op = ir::Opcode::Jmp;
+    jmp.conditional = false;
+    jmp.taken = true;
+    jmp.targetKnown = true;
+    jmp.targetAddr = 100;
+    jmp.nextPc = 100;
+    driver.onBranch(jmp); // wrong (unconditional never falls through)
+    const PredictorStats &stats = driver.stats();
+    EXPECT_EQ(stats.accuracy.total(), 3u);
+    EXPECT_EQ(stats.accuracy.hits(), 1u);
+    EXPECT_EQ(stats.conditionalAccuracy.total(), 2u);
+    EXPECT_EQ(stats.unconditionalAccuracy.total(), 1u);
+    EXPECT_EQ(stats.unconditionalAccuracy.hits(), 0u);
+    EXPECT_EQ(stats.predictedTaken.hits(), 0u);
+}
+
+TEST(Scoring, MakeQueryStripsDynamicTargets)
+{
+    // Returns and indirect jumps must not leak their dynamic target
+    // into the static query.
+    const BranchQuery ret_query = makeQuery(retEvent(0x200, 0x500));
+    EXPECT_EQ(ret_query.staticTarget, ir::kNoAddr);
+    EXPECT_TRUE(ret_query.targetKnown);
+
+    BranchEvent jtab;
+    jtab.pc = 0x300;
+    jtab.op = ir::Opcode::JTab;
+    jtab.conditional = false;
+    jtab.taken = true;
+    jtab.targetKnown = false;
+    jtab.targetAddr = 0x999;
+    jtab.nextPc = 0x999;
+    const BranchQuery jtab_query = makeQuery(jtab);
+    EXPECT_EQ(jtab_query.staticTarget, ir::kNoAddr);
+    EXPECT_FALSE(jtab_query.targetKnown);
+
+    const BranchQuery cond_query = makeQuery(condEvent(0x100, false));
+    EXPECT_EQ(cond_query.staticTarget, condEvent(0x100, false).targetAddr);
+}
+
+} // namespace
+} // namespace branchlab::predict

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for trace sinks and statistics (the Table 1/2
+ * machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "trace/stats.hh"
+
+namespace branchlab::trace
+{
+namespace
+{
+
+BranchEvent
+makeEvent(ir::Addr pc, bool conditional, bool taken, bool known = true)
+{
+    BranchEvent event;
+    event.pc = pc;
+    event.conditional = conditional;
+    event.taken = taken;
+    event.targetKnown = known;
+    event.op = conditional ? ir::Opcode::Beq
+                           : (known ? ir::Opcode::Jmp : ir::Opcode::JTab);
+    event.targetAddr = pc + 10;
+    event.fallthroughAddr = pc + 1;
+    event.nextPc = taken ? event.targetAddr : event.fallthroughAddr;
+    return event;
+}
+
+TEST(TraceStats, CountsSplitByKind)
+{
+    TraceStats stats;
+    stats.onBranch(makeEvent(1, true, true));
+    stats.onBranch(makeEvent(2, true, false));
+    stats.onBranch(makeEvent(3, true, false));
+    stats.onBranch(makeEvent(4, false, true, true));
+    stats.onBranch(makeEvent(5, false, true, false));
+    stats.addInstructions(20);
+
+    EXPECT_EQ(stats.branches(), 5u);
+    EXPECT_EQ(stats.conditionalBranches(), 3u);
+    EXPECT_EQ(stats.unconditionalBranches(), 2u);
+    EXPECT_EQ(stats.conditionalTaken(), 1u);
+    EXPECT_EQ(stats.conditionalNotTaken(), 2u);
+    EXPECT_EQ(stats.unconditionalKnown(), 1u);
+    EXPECT_EQ(stats.unconditionalUnknown(), 1u);
+    EXPECT_NEAR(stats.controlFraction(), 0.25, 1e-12);
+    EXPECT_NEAR(stats.conditionalTakenFraction(), 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(stats.unconditionalKnownFraction(), 0.5, 1e-12);
+    EXPECT_NEAR(stats.conditionalFraction(), 0.6, 1e-12);
+    EXPECT_NEAR(stats.instructionsPerBranch(), 4.0, 1e-12);
+}
+
+TEST(TraceStats, EmptyStatsAreZeroNotNan)
+{
+    TraceStats stats;
+    EXPECT_EQ(stats.controlFraction(), 0.0);
+    EXPECT_EQ(stats.conditionalTakenFraction(), 0.0);
+    EXPECT_EQ(stats.unconditionalKnownFraction(), 0.0);
+    EXPECT_EQ(stats.instructionsPerBranch(), 0.0);
+}
+
+TEST(TraceStats, MergeAccumulates)
+{
+    TraceStats a, b;
+    a.onBranch(makeEvent(1, true, true));
+    a.addInstructions(4);
+    b.onBranch(makeEvent(2, false, true));
+    b.addInstructions(6);
+    a.merge(b);
+    EXPECT_EQ(a.branches(), 2u);
+    EXPECT_EQ(a.instructions(), 10u);
+}
+
+TEST(BranchRecorder, RecordsAndReplays)
+{
+    BranchRecorder recorder;
+    recorder.onBranch(makeEvent(1, true, true));
+    recorder.onBranch(makeEvent(2, false, true));
+    ASSERT_EQ(recorder.size(), 2u);
+
+    TraceStats stats;
+    recorder.replayInto(stats);
+    EXPECT_EQ(stats.branches(), 2u);
+
+    recorder.clear();
+    EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST(FanoutSink, ForwardsToAllSinks)
+{
+    TraceStats a, b;
+    FanoutSink fanout;
+    fanout.addSink(&a);
+    fanout.addSink(&b);
+    fanout.onBranch(makeEvent(1, true, false));
+    EXPECT_EQ(a.branches(), 1u);
+    EXPECT_EQ(b.branches(), 1u);
+}
+
+TEST(FanoutSink, WantsInstructionsOrsMembers)
+{
+    FanoutSink fanout;
+    TraceStats stats; // does not want instructions
+    fanout.addSink(&stats);
+    EXPECT_FALSE(fanout.wantsInstructions());
+    InstRecorder recorder;
+    fanout.addSink(&recorder);
+    EXPECT_TRUE(fanout.wantsInstructions());
+    fanout.onInstruction(InstEvent{0x1000, ir::Opcode::Nop});
+    EXPECT_EQ(recorder.addrs().size(), 1u);
+}
+
+TEST(TraceStats, AgreesWithMachineCountsOnRealProgram)
+{
+    const ir::Program prog = test::buildCountdown(7);
+    TraceStats stats;
+    const vm::RunResult result = test::runProgram(prog, &stats);
+    stats.addInstructions(result.instructions);
+    EXPECT_EQ(stats.branches(), result.branches);
+    EXPECT_EQ(stats.instructions(), result.instructions);
+    // Countdown: one jmp + seven conditionals, six of them taken.
+    EXPECT_EQ(stats.conditionalBranches(), 7u);
+    EXPECT_EQ(stats.conditionalTaken(), 6u);
+    EXPECT_EQ(stats.unconditionalKnown(), 1u);
+}
+
+} // namespace
+} // namespace branchlab::trace

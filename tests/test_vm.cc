@@ -1,0 +1,554 @@
+/**
+ * @file
+ * Unit tests for the virtual machine: ALU semantics (including the
+ * signed-overflow and divide edge cases), memory, I/O, calls,
+ * recursion, indirect control flow, run limits, faults, and the
+ * trace events every branch kind emits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+
+namespace branchlab::vm
+{
+namespace
+{
+
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::Reg;
+using ir::Word;
+
+/** Build a one-shot ALU program: out = a <op> b. */
+ir::Program
+aluProgram(Opcode op, Word a, Word b, bool imm_form)
+{
+    ir::Program prog("alu");
+    IrBuilder builder(prog);
+    builder.beginFunction("main");
+    const Reg ra = builder.ldi(a);
+    Reg result;
+    if (imm_form) {
+        result = builder.emitBinaryImm(op, ra, b);
+    } else {
+        const Reg rb = builder.ldi(b);
+        result = builder.emitBinary(op, ra, rb);
+    }
+    builder.out(result, 1);
+    builder.halt();
+    builder.endFunction();
+    return prog;
+}
+
+Word
+runAlu(Opcode op, Word a, Word b, bool imm_form)
+{
+    const ir::Program prog = aluProgram(op, a, b, imm_form);
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    Machine machine(prog, layout);
+    machine.run();
+    return machine.output(1).front();
+}
+
+struct AluCase
+{
+    Opcode op;
+    Word a;
+    Word b;
+    Word expected;
+};
+
+class AluSemantics
+    : public ::testing::TestWithParam<std::tuple<AluCase, bool>>
+{
+};
+
+TEST_P(AluSemantics, RegisterAndImmediateFormsAgree)
+{
+    const auto &[c, imm_form] = GetParam();
+    EXPECT_EQ(runAlu(c.op, c.a, c.b, imm_form), c.expected)
+        << ir::opcodeName(c.op) << " " << c.a << ", " << c.b;
+}
+
+const AluCase alu_cases[] = {
+    {Opcode::Add, 2, 3, 5},
+    {Opcode::Add, INT64_MAX, 1, INT64_MIN}, // wraparound, not UB
+    {Opcode::Sub, 2, 5, -3},
+    {Opcode::Sub, INT64_MIN, 1, INT64_MAX},
+    {Opcode::Mul, -4, 6, -24},
+    {Opcode::Div, 7, 2, 3},
+    {Opcode::Div, -7, 2, -3}, // truncation toward zero
+    {Opcode::Div, INT64_MIN, -1, INT64_MIN}, // defined wrap
+    {Opcode::Rem, 7, 3, 1},
+    {Opcode::Rem, -7, 3, -1},
+    {Opcode::Rem, INT64_MIN, -1, 0},
+    {Opcode::And, 0b1100, 0b1010, 0b1000},
+    {Opcode::Or, 0b1100, 0b1010, 0b1110},
+    {Opcode::Xor, 0b1100, 0b1010, 0b0110},
+    {Opcode::Shl, 1, 8, 256},
+    {Opcode::Shl, 1, 64, 1},      // shift amount masked to 0..63
+    {Opcode::Shr, -8, 1, -4},     // arithmetic right shift
+    {Opcode::Shr, 256, 4, 16},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AluSemantics,
+    ::testing::Combine(::testing::ValuesIn(alu_cases),
+                       ::testing::Bool()));
+
+TEST(VmAlu, UnaryOps)
+{
+    ir::Program prog("unary");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg x = b.ldi(5);
+    b.out(b.bitNot(x), 1);
+    b.out(b.neg(x), 1);
+    b.out(b.mov(x), 1);
+    b.halt();
+    b.endFunction();
+    const vm::RunResult result = test::runProgram(prog);
+    EXPECT_EQ(result.reason, StopReason::Halted);
+    const ir::Layout layout(prog);
+    Machine machine(prog, layout);
+    machine.run();
+    EXPECT_EQ(machine.output(1)[0], ~Word{5});
+    EXPECT_EQ(machine.output(1)[1], -5);
+    EXPECT_EQ(machine.output(1)[2], 5);
+}
+
+TEST(VmFaults, DivideByZeroFaults)
+{
+    const ir::Program prog = aluProgram(Opcode::Div, 1, 0, false);
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    Machine machine(prog, layout);
+    EXPECT_THROW(machine.run(), ExecutionFault);
+}
+
+TEST(VmFaults, RemainderByZeroFaults)
+{
+    const ir::Program prog = aluProgram(Opcode::Rem, 1, 0, true);
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    Machine machine(prog, layout);
+    EXPECT_THROW(machine.run(), ExecutionFault);
+}
+
+// ---------------------------------------------------------------------
+// Memory.
+// ---------------------------------------------------------------------
+
+TEST(VmMemory, DataSegmentIsVisibleAndStoresPersist)
+{
+    ir::Program prog("mem");
+    const Word table = prog.addData({10, 20, 30});
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg base = b.ldi(table);
+    b.out(b.ld(base, 1), 1); // 20
+    const Reg v = b.ldi(77);
+    b.st(base, v, 2);
+    b.out(b.ld(base, 2), 1); // 77
+    b.halt();
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    Machine machine(prog, layout);
+    machine.run();
+    EXPECT_EQ(machine.output(1)[0], 20);
+    EXPECT_EQ(machine.output(1)[1], 77);
+    EXPECT_EQ(machine.memory().read(table + 2), 77);
+}
+
+TEST(VmMemory, UnwrittenHeapReadsAsZero)
+{
+    ir::Program prog("heap");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg base = b.ldi(1000);
+    b.out(b.ld(base, 0), 1);
+    b.halt();
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    Machine machine(prog, layout);
+    machine.run();
+    EXPECT_EQ(machine.output(1).front(), 0);
+}
+
+TEST(VmMemory, NegativeAddressFaults)
+{
+    ir::Program prog("oob");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg base = b.ldi(-5);
+    b.out(b.ld(base, 0), 1);
+    b.halt();
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    Machine machine(prog, layout);
+    EXPECT_THROW(machine.run(), ExecutionFault);
+}
+
+TEST(VmMemory, BeyondCapacityFaults)
+{
+    Memory memory(16);
+    Word value = 0;
+    EXPECT_TRUE(memory.tryRead(15, value));
+    EXPECT_FALSE(memory.tryRead(16, value));
+    EXPECT_FALSE(memory.tryWrite(16, 1));
+    EXPECT_TRUE(memory.tryWrite(15, 9));
+    EXPECT_TRUE(memory.tryRead(15, value));
+    EXPECT_EQ(value, 9);
+}
+
+// ---------------------------------------------------------------------
+// I/O.
+// ---------------------------------------------------------------------
+
+TEST(VmIo, InputExhaustionYieldsMinusOne)
+{
+    ir::Program prog("io");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    b.out(b.in(0), 1);
+    b.out(b.in(0), 1);
+    b.out(b.in(0), 1);
+    b.halt();
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    Machine machine(prog, layout);
+    machine.setInput(0, {42, 43});
+    machine.run();
+    EXPECT_EQ(machine.output(1),
+              (std::vector<Word>{42, 43, -1}));
+}
+
+TEST(VmIo, ChannelsAreIndependent)
+{
+    ir::Program prog("chan");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    b.out(b.in(2), 3);
+    b.out(b.in(0), 3);
+    b.halt();
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    Machine machine(prog, layout);
+    machine.setInput(0, {1});
+    machine.setInput(2, {2});
+    machine.run();
+    EXPECT_EQ(machine.output(3), (std::vector<Word>{2, 1}));
+}
+
+TEST(VmIo, ByteHelpersRoundTrip)
+{
+    ir::Program prog("bytes");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg c = b.newReg();
+    b.whileLoop(
+        [&] {
+            b.movTo(c, b.in(0));
+            return IrBuilder::cmpNei(c, -1);
+        },
+        [&] { b.out(c, 1); });
+    b.halt();
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    Machine machine(prog, layout);
+    machine.setInputBytes(0, "hello");
+    machine.run();
+    EXPECT_EQ(machine.outputBytes(1), "hello");
+}
+
+TEST(VmIo, ResetReplaysInputsAndClearsOutputs)
+{
+    const ir::Program prog = test::buildCountdown(2);
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    Machine machine(prog, layout);
+    machine.run();
+    EXPECT_EQ(machine.output(1).size(), 1u);
+    machine.reset();
+    EXPECT_TRUE(machine.output(1).empty());
+    machine.run();
+    EXPECT_EQ(machine.output(1).size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Calls, recursion, indirect control.
+// ---------------------------------------------------------------------
+
+TEST(VmCalls, FactorialComputes)
+{
+    const ir::Program prog = test::buildFactorial(10);
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    Machine machine(prog, layout);
+    machine.run();
+    EXPECT_EQ(machine.output(1).front(), 3628800);
+}
+
+TEST(VmCalls, ArgumentsArriveInOrderAndReturnValueLands)
+{
+    ir::Program prog("args");
+    IrBuilder b(prog);
+    const ir::FuncId weigh = b.beginFunction("weigh", 3);
+    {
+        const Reg s1 = b.muli(b.arg(1), 10);
+        const Reg s2 = b.muli(b.arg(2), 100);
+        const Reg sum = b.add(b.arg(0), s1);
+        b.ret(b.add(sum, s2));
+    }
+    b.endFunction();
+    b.beginFunction("main");
+    const Reg result =
+        b.call(weigh, {b.ldi(1), b.ldi(2), b.ldi(3)});
+    b.out(result, 1);
+    b.halt();
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    Machine machine(prog, layout);
+    machine.run();
+    EXPECT_EQ(machine.output(1).front(), 321);
+}
+
+TEST(VmCalls, MainReturnEndsTheRun)
+{
+    ir::Program prog("retmain");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    b.ret();
+    b.endFunction();
+    const vm::RunResult result = test::runProgram(prog);
+    EXPECT_EQ(result.reason, StopReason::MainReturned);
+}
+
+TEST(VmCalls, DeepRecursionHitsFrameLimit)
+{
+    ir::Program prog("deep");
+    IrBuilder b(prog);
+    const ir::FuncId self = b.declareFunction("spin", 1);
+    b.beginDeclared(self);
+    {
+        const Reg x = b.arg(0);
+        b.ret(b.call(self, {b.addi(x, 1)}));
+    }
+    b.endFunction();
+    b.beginFunction("main");
+    b.callVoid(self, {b.ldi(0)});
+    b.halt();
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    Machine machine(prog, layout);
+    RunLimits limits;
+    limits.maxFrames = 100;
+    EXPECT_THROW(machine.run(limits), ExecutionFault);
+}
+
+TEST(VmIndirect, JumpTableSelectsBlock)
+{
+    ir::Program prog("jtab");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg selector = b.in(0);
+    const ir::BlockId c0 = b.newBlock("case0");
+    const ir::BlockId c1 = b.newBlock("case1");
+    const ir::BlockId c2 = b.newBlock("case2");
+    b.jumpTable(selector, {c0, c1, c2});
+    for (int i = 0; i < 3; ++i) {
+        b.setBlock(i == 0 ? c0 : i == 1 ? c1 : c2);
+        b.out(b.ldi(100 + i), 1);
+        b.halt();
+    }
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    for (Word sel : {0, 1, 2}) {
+        Machine machine(prog, layout);
+        machine.setInput(0, {sel});
+        machine.run();
+        EXPECT_EQ(machine.output(1).front(), 100 + sel);
+    }
+    Machine machine(prog, layout);
+    machine.setInput(0, {7});
+    EXPECT_THROW(machine.run(), ExecutionFault);
+}
+
+TEST(VmIndirect, IndirectCallDispatches)
+{
+    ir::Program prog("callind");
+    IrBuilder b(prog);
+    const ir::FuncId doubler = b.beginFunction("doubler", 1);
+    b.ret(b.muli(b.arg(0), 2));
+    b.endFunction();
+    const ir::FuncId tripler = b.beginFunction("tripler", 1);
+    b.ret(b.muli(b.arg(0), 3));
+    b.endFunction();
+    b.beginFunction("main");
+    const Reg which = b.in(0);
+    const Reg fd = b.ldf(doubler);
+    const Reg ft = b.ldf(tripler);
+    const Reg fn = b.newReg();
+    b.ifThenElse([&] { return IrBuilder::cmpEqi(which, 0); },
+                 [&] { b.movTo(fn, fd); }, [&] { b.movTo(fn, ft); });
+    b.out(b.callInd(fn, {b.ldi(7)}), 1);
+    b.halt();
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    {
+        Machine machine(prog, layout);
+        machine.setInput(0, {0});
+        machine.run();
+        EXPECT_EQ(machine.output(1).front(), 14);
+    }
+    {
+        Machine machine(prog, layout);
+        machine.setInput(0, {1});
+        machine.run();
+        EXPECT_EQ(machine.output(1).front(), 21);
+    }
+}
+
+TEST(VmIndirect, BadFunctionRefFaults)
+{
+    ir::Program prog("badref");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg fn = b.ldi(99);
+    b.callInd(fn, {});
+    b.halt();
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    Machine machine(prog, layout);
+    EXPECT_THROW(machine.run(), ExecutionFault);
+}
+
+// ---------------------------------------------------------------------
+// Limits and counting.
+// ---------------------------------------------------------------------
+
+TEST(VmLimits, InstructionLimitStopsTheRun)
+{
+    ir::Program prog("spin");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const ir::BlockId head = b.newBlock("head");
+    b.jmp(head);
+    b.setBlock(head);
+    b.nop();
+    b.jmp(head);
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    Machine machine(prog, layout);
+    RunLimits limits;
+    limits.maxInstructions = 1000;
+    const RunResult result = machine.run(limits);
+    EXPECT_EQ(result.reason, StopReason::InstructionLimit);
+    EXPECT_EQ(result.instructions, 1000u);
+}
+
+TEST(VmLimits, CountsMatchExpectedForCountdown)
+{
+    const ir::Program prog = test::buildCountdown(10);
+    const vm::RunResult result = test::runProgram(prog);
+    EXPECT_EQ(result.reason, StopReason::Halted);
+    // Per iteration: add, sub, conditional branch. Plus setup jmp(s),
+    // two ldi, out, halt. The branch count: 1 jmp + 10 conditionals.
+    EXPECT_EQ(result.branches, 11u);
+    EXPECT_EQ(result.instructions, 2 + 1 + 10 * 3 + 2);
+}
+
+// ---------------------------------------------------------------------
+// Trace events.
+// ---------------------------------------------------------------------
+
+TEST(VmTrace, ConditionalEventsCarryOutcomeAndTargets)
+{
+    const ir::Program prog = test::buildCountdown(3);
+    trace::BranchRecorder recorder;
+    test::runProgram(prog, &recorder);
+    // 1 jmp (doWhile entry) + 3 bottom-test conditionals.
+    ASSERT_EQ(recorder.size(), 4u);
+    const auto &events = recorder.events();
+    EXPECT_EQ(events[0].op, ir::Opcode::Jmp);
+    EXPECT_FALSE(events[0].conditional);
+    EXPECT_TRUE(events[0].taken);
+    EXPECT_TRUE(events[0].targetKnown);
+    // Bottom tests: taken twice (i=2,1 left), then not-taken.
+    EXPECT_TRUE(events[1].conditional);
+    EXPECT_TRUE(events[1].taken);
+    EXPECT_TRUE(events[2].taken);
+    EXPECT_FALSE(events[3].taken);
+    // Taken events land on the target; the final one falls through.
+    EXPECT_EQ(events[1].nextPc, events[1].targetAddr);
+    EXPECT_EQ(events[3].nextPc, events[3].fallthroughAddr);
+    // Back edges are backward.
+    EXPECT_TRUE(events[1].isBackward());
+}
+
+TEST(VmTrace, CallAndReturnEvents)
+{
+    const ir::Program prog = test::buildFactorial(2);
+    trace::BranchRecorder recorder;
+    test::runProgram(prog, &recorder);
+    int calls = 0;
+    int rets = 0;
+    for (const trace::BranchEvent &event : recorder.events()) {
+        if (event.op == ir::Opcode::Call) {
+            ++calls;
+            EXPECT_TRUE(event.targetKnown);
+            EXPECT_TRUE(event.taken);
+        }
+        if (event.op == ir::Opcode::Ret) {
+            ++rets;
+            EXPECT_TRUE(event.targetKnown);
+        }
+    }
+    // fact(2) -> fact(1): two calls from main/fact, two returns (the
+    // return from main ends the run without an event).
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(rets, 2);
+}
+
+TEST(VmTrace, InstRecorderSeesEveryInstruction)
+{
+    const ir::Program prog = test::buildCountdown(2);
+    trace::InstRecorder recorder;
+    const vm::RunResult result = test::runProgram(prog, &recorder);
+    EXPECT_EQ(recorder.addrs().size(), result.instructions);
+    // The committed stream is strictly within the code segment.
+    const ir::Layout layout(prog);
+    for (ir::Addr addr : recorder.addrs())
+        EXPECT_TRUE(layout.isCodeAddr(addr));
+}
+
+TEST(VmTrace, RunsAreDeterministic)
+{
+    const ir::Program prog = test::buildFactorial(6);
+    trace::BranchRecorder first, second;
+    test::runProgram(prog, &first);
+    test::runProgram(prog, &second);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first.events()[i].pc, second.events()[i].pc);
+        EXPECT_EQ(first.events()[i].nextPc, second.events()[i].nextPc);
+        EXPECT_EQ(first.events()[i].taken, second.events()[i].taken);
+    }
+}
+
+} // namespace
+} // namespace branchlab::vm

@@ -1,0 +1,726 @@
+/**
+ * @file
+ * End-to-end tests of the ten benchmark programs: every workload
+ * builds, verifies, and runs to completion, and where a host-side
+ * oracle is practical the program's *outputs* are checked against an
+ * independent reimplementation (wc counts, cmp diffs, tee copies, an
+ * LZW decoder for compress, a reference regex matcher for grep, exact
+ * preprocessed text for cccp, archive checksums for tar, and
+ * hand-derived parses for yacc).
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "workloads/corpus.hh"
+#include "workloads/workload.hh"
+
+using branchlab::ConfigFailure;
+
+namespace branchlab::workloads
+{
+namespace
+{
+
+using ir::Word;
+
+/** Run one workload input and return the machine for output checks. */
+std::unique_ptr<vm::Machine>
+runInput(const Workload &workload, const WorkloadInput &input,
+         const ir::Program &prog, const ir::Layout &layout,
+         vm::RunResult *result_out = nullptr)
+{
+    (void)workload;
+    auto machine = std::make_unique<vm::Machine>(prog, layout);
+    for (std::size_t chan = 0; chan < input.channels.size(); ++chan) {
+        machine->setInput(static_cast<int>(chan), input.channels[chan]);
+    }
+    const vm::RunResult result = machine->run();
+    EXPECT_NE(result.reason, vm::StopReason::InstructionLimit);
+    if (result_out != nullptr)
+        *result_out = result;
+    return machine;
+}
+
+/** Feed raw bytes on channel 0 and run. */
+std::unique_ptr<vm::Machine>
+runBytes(const Workload &workload, const std::string &bytes)
+{
+    ir::Program prog = workload.buildProgram();
+    ir::verifyProgramOrDie(prog);
+    auto layout = std::make_unique<ir::Layout>(prog);
+    auto machine_prog = std::make_unique<ir::Program>(std::move(prog));
+    auto machine =
+        std::make_unique<vm::Machine>(*machine_prog, *layout);
+    machine->setInputBytes(0, bytes);
+    machine->run();
+    // Keep program/layout alive for the machine's lifetime.
+    static std::vector<std::unique_ptr<ir::Program>> progs;
+    static std::vector<std::unique_ptr<ir::Layout>> layouts;
+    progs.push_back(std::move(machine_prog));
+    layouts.push_back(std::move(layout));
+    return machine;
+}
+
+// ---------------------------------------------------------------------
+// Generic suite-wide checks.
+// ---------------------------------------------------------------------
+
+class EveryWorkload : public ::testing::TestWithParam<int>
+{
+  protected:
+    const Workload &
+    workload() const
+    {
+        return *allWorkloads()[static_cast<std::size_t>(GetParam())];
+    }
+};
+
+TEST_P(EveryWorkload, ProgramVerifies)
+{
+    const ir::Program prog = workload().buildProgram();
+    const ir::VerifyResult result = ir::verifyProgram(prog);
+    EXPECT_TRUE(result.ok()) << result.message();
+    EXPECT_GT(prog.staticSize(), 10u);
+}
+
+TEST_P(EveryWorkload, RunsToCompletionOnItsSuite)
+{
+    const ir::Program prog = workload().buildProgram();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    Rng rng(4242);
+    const auto inputs = workload().makeInputs(rng, 2);
+    ASSERT_EQ(inputs.size(), 2u);
+    for (const WorkloadInput &input : inputs) {
+        vm::RunResult result;
+        runInput(workload(), input, prog, layout, &result);
+        EXPECT_EQ(result.reason, vm::StopReason::Halted)
+            << workload().name() << ": " << input.description;
+        EXPECT_GT(result.branches, 0u);
+    }
+}
+
+TEST_P(EveryWorkload, InputGenerationIsDeterministic)
+{
+    Rng a(7), b(7);
+    const auto first = workload().makeInputs(a, 2);
+    const auto second = workload().makeInputs(b, 2);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        ASSERT_EQ(first[i].channels.size(), second[i].channels.size());
+        for (std::size_t c = 0; c < first[i].channels.size(); ++c)
+            EXPECT_EQ(first[i].channels[c], second[i].channels[c]);
+    }
+}
+
+TEST_P(EveryWorkload, ExecutionIsDeterministic)
+{
+    const ir::Program prog = workload().buildProgram();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    Rng rng(11);
+    const auto inputs = workload().makeInputs(rng, 1);
+    trace::BranchRecorder first, second;
+    for (trace::BranchRecorder *recorder : {&first, &second}) {
+        vm::Machine machine(prog, layout);
+        for (std::size_t chan = 0; chan < inputs[0].channels.size();
+             ++chan) {
+            machine.setInput(static_cast<int>(chan),
+                             inputs[0].channels[chan]);
+        }
+        machine.setSink(recorder);
+        machine.run();
+    }
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(first.events()[i].pc, second.events()[i].pc);
+}
+
+TEST_P(EveryWorkload, SurvivesEmptyInputs)
+{
+    // Every benchmark must halt cleanly on completely empty streams.
+    const ir::Program prog = workload().buildProgram();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    vm::Machine machine(prog, layout);
+    vm::RunLimits limits;
+    limits.maxInstructions = 1'000'000;
+    const vm::RunResult result = machine.run(limits);
+    EXPECT_EQ(result.reason, vm::StopReason::Halted)
+        << workload().name();
+}
+
+TEST_P(EveryWorkload, SurvivesOneByteInputs)
+{
+    const ir::Program prog = workload().buildProgram();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    vm::Machine machine(prog, layout);
+    for (int chan = 0; chan < 3; ++chan)
+        machine.setInput(chan, {0});
+    vm::RunLimits limits;
+    limits.maxInstructions = 1'000'000;
+    const vm::RunResult result = machine.run(limits);
+    EXPECT_EQ(result.reason, vm::StopReason::Halted)
+        << workload().name();
+}
+
+TEST_P(EveryWorkload, HasNameAndDescription)
+{
+    EXPECT_FALSE(workload().name().empty());
+    EXPECT_FALSE(workload().inputDescription().empty());
+    EXPECT_GE(workload().defaultRuns(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTen, EveryWorkload,
+                         ::testing::Range(0, 10));
+
+TEST(WorkloadRegistry, HasTheTenPaperBenchmarks)
+{
+    const auto &all = allWorkloads();
+    ASSERT_EQ(all.size(), 10u);
+    for (const char *name : {"cccp", "cmp", "compress", "grep", "lex",
+                             "make", "tar", "tee", "wc", "yacc"}) {
+        EXPECT_EQ(findWorkload(name).name(), name);
+    }
+    EXPECT_THROW(findWorkload("fortran"), ConfigFailure);
+}
+
+// ---------------------------------------------------------------------
+// wc: counts match a host recount.
+// ---------------------------------------------------------------------
+
+TEST(WcOracle, CountsMatchHostImplementation)
+{
+    Rng rng(21);
+    const std::string text = generateCSource(rng, 120);
+
+    // Host oracle with identical definitions.
+    Word lines = 0, words = 0, chars = 0, max_line = 0, checksum = 0;
+    Word line_len = 0;
+    bool in_word = false;
+    for (unsigned char c : text) {
+        ++chars;
+        checksum = ((checksum << 1) ^ c) & 0xffffff;
+        ++line_len;
+        if (c == '\n') {
+            ++lines;
+            --line_len;
+            if (line_len > max_line)
+                max_line = line_len;
+            line_len = 0;
+        }
+        const bool space =
+            c == ' ' || c == '\t' || c == '\n' || c == '\r';
+        if (space) {
+            in_word = false;
+        } else if (!in_word) {
+            ++words;
+            in_word = true;
+        }
+    }
+
+    const auto machine = runBytes(findWorkload("wc"), text);
+    const auto &out = machine->output(1);
+    ASSERT_EQ(out.size(), 5u);
+    EXPECT_EQ(out[0], lines);
+    EXPECT_EQ(out[1], words);
+    EXPECT_EQ(out[2], chars);
+    EXPECT_EQ(out[3], max_line);
+    EXPECT_EQ(out[4], checksum);
+}
+
+TEST(WcOracle, EmptyInput)
+{
+    const auto machine = runBytes(findWorkload("wc"), "");
+    const auto &out = machine->output(1);
+    ASSERT_EQ(out.size(), 5u);
+    EXPECT_EQ(out[0], 0);
+    EXPECT_EQ(out[1], 0);
+    EXPECT_EQ(out[2], 0);
+}
+
+// ---------------------------------------------------------------------
+// cmp: first difference and diff count.
+// ---------------------------------------------------------------------
+
+TEST(CmpOracle, ReportsFirstDifferenceAndCount)
+{
+    const std::string a = "hello brave world";
+    const std::string b = "hello crazy world";
+    const Workload &cmp = findWorkload("cmp");
+    ir::Program prog = cmp.buildProgram();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    vm::Machine machine(prog, layout);
+    machine.setInputBytes(0, a);
+    machine.setInputBytes(1, b);
+    machine.run();
+
+    Word first = -1, diffs = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) {
+            ++diffs;
+            if (first < 0)
+                first = static_cast<Word>(i);
+        }
+    }
+    const auto &out = machine.output(1);
+    ASSERT_EQ(out.size(), 5u);
+    EXPECT_EQ(out[0], first);
+    EXPECT_EQ(out[1], diffs);
+    EXPECT_EQ(out[2], static_cast<Word>(a.size()));
+}
+
+TEST(CmpOracle, IdenticalFilesHaveNoDifference)
+{
+    const Workload &cmp = findWorkload("cmp");
+    ir::Program prog = cmp.buildProgram();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    vm::Machine machine(prog, layout);
+    machine.setInputBytes(0, "same");
+    machine.setInputBytes(1, "same");
+    machine.run();
+    EXPECT_EQ(machine.output(1)[0], -1);
+    EXPECT_EQ(machine.output(1)[1], 0);
+}
+
+TEST(CmpOracle, StopsAtShorterFile)
+{
+    const Workload &cmp = findWorkload("cmp");
+    ir::Program prog = cmp.buildProgram();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    vm::Machine machine(prog, layout);
+    machine.setInputBytes(0, "abcdef");
+    machine.setInputBytes(1, "abc");
+    machine.run();
+    EXPECT_EQ(machine.output(1)[2], 3); // common length
+}
+
+// ---------------------------------------------------------------------
+// tee: perfect copies.
+// ---------------------------------------------------------------------
+
+TEST(TeeOracle, BothCopiesMatchTheInput)
+{
+    Rng rng(31);
+    const std::string text = generateText(rng, 40);
+    const auto machine = runBytes(findWorkload("tee"), text);
+    EXPECT_EQ(machine->outputBytes(1), text);
+    EXPECT_EQ(machine->outputBytes(2), text);
+    const auto &stats = machine->output(3);
+    ASSERT_EQ(stats.size(), 3u);
+    EXPECT_EQ(stats[1], static_cast<Word>(text.size()));
+}
+
+// ---------------------------------------------------------------------
+// compress: an LZW decode restores the input.
+// ---------------------------------------------------------------------
+
+std::string
+lzwDecode(const std::vector<Word> &codes)
+{
+    std::vector<std::string> dict(256);
+    for (int c = 0; c < 256; ++c)
+        dict[static_cast<std::size_t>(c)] =
+            std::string(1, static_cast<char>(c));
+    std::string output;
+    std::string previous;
+    for (Word code : codes) {
+        std::string entry;
+        if (code < static_cast<Word>(dict.size())) {
+            entry = dict[static_cast<std::size_t>(code)];
+        } else {
+            // The KwKwK case.
+            entry = previous + previous[0];
+        }
+        output += entry;
+        if (!previous.empty() && dict.size() < 4096)
+            dict.push_back(previous + entry[0]);
+        previous = entry;
+    }
+    return output;
+}
+
+TEST(CompressOracle, DecodedStreamRestoresTheInput)
+{
+    Rng rng(41);
+    const std::string text = generateCSource(rng, 60);
+    const auto machine = runBytes(findWorkload("compress"), text);
+    const std::string decoded = lzwDecode(machine->output(1));
+    EXPECT_EQ(decoded, text);
+    EXPECT_EQ(machine->output(2).front(),
+              static_cast<Word>(machine->output(1).size()));
+    // Compression actually compresses prose-sized inputs.
+    EXPECT_LT(machine->output(1).size(), text.size());
+}
+
+TEST(CompressOracle, SingleByteAndEmptyInputs)
+{
+    {
+        const auto machine = runBytes(findWorkload("compress"), "x");
+        EXPECT_EQ(lzwDecode(machine->output(1)), "x");
+    }
+    {
+        const auto machine = runBytes(findWorkload("compress"), "");
+        EXPECT_TRUE(machine->output(1).empty());
+    }
+    {
+        const auto machine = runBytes(findWorkload("compress"),
+                                      "aaaaaaaaaaaaaaaa");
+        EXPECT_EQ(lzwDecode(machine->output(1)), "aaaaaaaaaaaaaaaa");
+    }
+}
+
+// ---------------------------------------------------------------------
+// grep: a reference matcher agrees on every line.
+// ---------------------------------------------------------------------
+
+bool refMatchHere(const std::string &pat, std::size_t p,
+                  const std::string &text, std::size_t t);
+
+bool
+refMatchStar(char c, const std::string &pat, std::size_t p,
+             const std::string &text, std::size_t t)
+{
+    while (true) {
+        if (refMatchHere(pat, p, text, t))
+            return true;
+        if (t >= text.size())
+            return false;
+        if (c != '.' && text[t] != c)
+            return false;
+        ++t;
+    }
+}
+
+bool
+refMatchHere(const std::string &pat, std::size_t p,
+             const std::string &text, std::size_t t)
+{
+    if (p >= pat.size())
+        return true;
+    if (p + 1 < pat.size() && pat[p + 1] == '*')
+        return refMatchStar(pat[p], pat, p + 2, text, t);
+    if (t >= text.size())
+        return false;
+    if (pat[p] == '.' || pat[p] == text[t])
+        return refMatchHere(pat, p + 1, text, t + 1);
+    return false;
+}
+
+bool
+refMatch(const std::string &pat, const std::string &line)
+{
+    if (!pat.empty() && pat[0] == '^')
+        return refMatchHere(pat, 1, line, 0);
+    for (std::size_t t = 0;; ++t) {
+        if (refMatchHere(pat, 0, line, t))
+            return true;
+        if (t >= line.size())
+            return false;
+    }
+}
+
+TEST(GrepOracle, MatchingLineNumbersAgreeWithReference)
+{
+    Rng rng(51);
+    for (int trial = 0; trial < 4; ++trial) {
+        const std::string pattern = generatePattern(rng);
+        const std::string text = generateText(rng, 60);
+
+        const Workload &grep = findWorkload("grep");
+        ir::Program prog = grep.buildProgram();
+        ir::verifyProgramOrDie(prog);
+        const ir::Layout layout(prog);
+        vm::Machine machine(prog, layout);
+        machine.setInputBytes(0, text);
+        machine.setInputBytes(1, pattern);
+        machine.run();
+
+        std::vector<Word> expected;
+        Word lineno = 0;
+        for (const std::string &line : splitLines(text)) {
+            ++lineno;
+            if (refMatch(pattern, line))
+                expected.push_back(lineno);
+        }
+        EXPECT_EQ(machine.output(1), expected)
+            << "pattern '" << pattern << "'";
+        EXPECT_EQ(machine.output(2).front(),
+                  static_cast<Word>(expected.size()));
+    }
+}
+
+TEST(GrepOracle, AnchorsAndStarsBehave)
+{
+    const Workload &grep = findWorkload("grep");
+    ir::Program prog = grep.buildProgram();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    const auto match_lines = [&](const std::string &pattern,
+                                 const std::string &text) {
+        vm::Machine machine(prog, layout);
+        machine.setInputBytes(0, text);
+        machine.setInputBytes(1, pattern);
+        machine.run();
+        return machine.output(1);
+    };
+    EXPECT_EQ(match_lines("^ab", "abc\nxab\nab\n"),
+              (std::vector<Word>{1, 3}));
+    EXPECT_EQ(match_lines("ab*c", "ac\nabc\nabbbbc\nab\n"),
+              (std::vector<Word>{1, 2, 3}));
+    EXPECT_EQ(match_lines("x.z", "xyz\nxz\nxaz\n"),
+              (std::vector<Word>{1, 3}));
+}
+
+// ---------------------------------------------------------------------
+// cccp: exact preprocessed output on crafted inputs.
+// ---------------------------------------------------------------------
+
+std::string
+preprocess(const std::string &source)
+{
+    const auto machine = runBytes(findWorkload("cccp"), source);
+    return machine->outputBytes(1);
+}
+
+TEST(CccpOracle, ObjectMacroSubstitution)
+{
+    EXPECT_EQ(preprocess("#define a 5\na\n"), "5\n");
+    EXPECT_EQ(preprocess("#define abc 42\nx = abc + abc;\n"),
+              "x = 42 + 42;\n");
+}
+
+TEST(CccpOracle, UnknownIdentifiersPassThrough)
+{
+    EXPECT_EQ(preprocess("foo bar\n"), "foo bar\n");
+}
+
+TEST(CccpOracle, CommentsAreStripped)
+{
+    EXPECT_EQ(preprocess("x /* gone */ y\n"), "x  y\n");
+    EXPECT_EQ(preprocess("a/*1*//*2*/b\n"), "ab\n");
+    // A '/' that opens no comment survives.
+    EXPECT_EQ(preprocess("a / b\n"), "a / b\n");
+}
+
+TEST(CccpOracle, IfdefSkipsUndefinedBlocks)
+{
+    EXPECT_EQ(preprocess("#ifdef nope\nhidden\n#endif\nshown\n"),
+              "shown\n");
+    EXPECT_EQ(
+        preprocess("#define yes 1\n#ifdef yes\nkept\n#endif\n"),
+        "kept\n");
+}
+
+TEST(CccpOracle, DefinesInsideFalseBlocksAreIgnored)
+{
+    EXPECT_EQ(preprocess("#ifdef no\n#define q 9\n#endif\nq\n"), "q\n");
+}
+
+TEST(CccpOracle, MultiDigitValuesRenderFully)
+{
+    EXPECT_EQ(preprocess("#define big 907\nbig\n"), "907\n");
+    EXPECT_EQ(preprocess("#define zero 0\nzero\n"), "0\n");
+}
+
+// ---------------------------------------------------------------------
+// tar: archive checksums verify and reports match.
+// ---------------------------------------------------------------------
+
+TEST(TarOracle, SaveThenExtractVerifiesEveryMember)
+{
+    Rng rng(61);
+    const auto files = generateArchiveMembers(rng, 6);
+    std::vector<Word> stream;
+    for (const auto &[name, contents] : files) {
+        stream.push_back(static_cast<Word>(name.size()));
+        for (unsigned char c : name)
+            stream.push_back(c);
+        stream.push_back(static_cast<Word>(contents.size()));
+        for (unsigned char c : contents)
+            stream.push_back(c);
+    }
+    stream.push_back(0);
+
+    const Workload &tar = findWorkload("tar");
+    ir::Program prog = tar.buildProgram();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    vm::Machine machine(prog, layout);
+    machine.setInput(0, stream);
+    machine.run();
+
+    const auto &summary = machine.output(2);
+    ASSERT_EQ(summary.size(), 3u);
+    EXPECT_EQ(summary[0], 6); // members saved
+    EXPECT_EQ(summary[1], 6); // checksums verified
+    EXPECT_EQ(summary[2], 0); // no corruption
+
+    // Per-member reports: name hash and size.
+    const auto &reports = machine.output(1);
+    ASSERT_EQ(reports.size(), files.size() * 2);
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        Word hash = 0;
+        for (unsigned char c : files[i].first)
+            hash = (hash * 31 + c) & 0xffffff;
+        EXPECT_EQ(reports[i * 2], hash);
+        EXPECT_EQ(reports[i * 2 + 1],
+                  static_cast<Word>(files[i].second.size()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// lex: exact token counts on a crafted input.
+// ---------------------------------------------------------------------
+
+TEST(LexOracle, TokenisesACraftedLine)
+{
+    const auto machine =
+        runBytes(findWorkload("lex"), "ab 12 /*c*/ \"s\"");
+    const auto &out = machine->output(1);
+    // total, then counts for IDENT, NUM, STRING, COMMENT, PUNCT.
+    ASSERT_EQ(out.size(), 6u);
+    EXPECT_EQ(out[0], 4); // four tokens
+    EXPECT_EQ(out[1], 1); // ident 'ab'
+    EXPECT_EQ(out[2], 1); // number '12'
+    EXPECT_EQ(out[3], 1); // string "s"
+    EXPECT_EQ(out[4], 1); // comment
+    EXPECT_EQ(out[5], 0); // no puncts
+}
+
+TEST(LexOracle, PunctsAndAdjacentTokens)
+{
+    const auto machine = runBytes(findWorkload("lex"), "a+b;");
+    const auto &out = machine->output(1);
+    ASSERT_EQ(out.size(), 6u);
+    EXPECT_EQ(out[1], 2); // a, b
+    EXPECT_EQ(out[5], 2); // '+', ';'
+    EXPECT_EQ(out[0], 4);
+}
+
+TEST(LexOracle, TokenCountsAreConsistentOnGeneratedSource)
+{
+    Rng rng(71);
+    const std::string source = generateCSource(rng, 80);
+    const auto machine = runBytes(findWorkload("lex"), source);
+    const auto &out = machine->output(1);
+    ASSERT_EQ(out.size(), 6u);
+    // Total >= sum of per-kind counts (EOF flush may add an untyped
+    // pending token).
+    const Word sum = out[1] + out[2] + out[3] + out[4] + out[5];
+    EXPECT_GE(out[0], sum);
+    EXPECT_LE(out[0], sum + 1);
+    EXPECT_GT(out[1], 0); // identifiers abound in C
+}
+
+// ---------------------------------------------------------------------
+// make: rebuild decisions on a crafted dependency file.
+// ---------------------------------------------------------------------
+
+TEST(MakeOracle, RebuildsOutOfDateTargets)
+{
+    // a depends on b; b is newer than a: a rebuilds, b does not.
+    const std::string makefile = "a: b\nb:\n!times\na 5\nb 9\n";
+    const auto machine = runBytes(findWorkload("make"), makefile);
+    EXPECT_EQ(machine->output(2).front(), 1); // one rebuild
+    ASSERT_EQ(machine->output(1).size(), 1u);
+    EXPECT_EQ(machine->output(1).front(), 0); // symbol 0 == 'a'
+}
+
+TEST(MakeOracle, UpToDateTargetsStayPut)
+{
+    const std::string makefile = "a: b\nb:\n!times\na 9\nb 5\n";
+    const auto machine = runBytes(findWorkload("make"), makefile);
+    EXPECT_EQ(machine->output(2).front(), 0);
+}
+
+TEST(MakeOracle, RebuildsCascadeThroughChains)
+{
+    // c fresh source; b stale; a stale: touching c rebuilds b then a.
+    const std::string makefile =
+        "a: b\nb: c\nc:\n!times\na 3\nb 2\nc 8\n";
+    const auto machine = runBytes(findWorkload("make"), makefile);
+    EXPECT_EQ(machine->output(2).front(), 2);
+    // Rebuild order is dependency-first: b (symbol 1) then a (0).
+    EXPECT_EQ(machine->output(1),
+              (std::vector<Word>{1, 0}));
+}
+
+// ---------------------------------------------------------------------
+// yacc: hand-derived parse of a tiny stream.
+// ---------------------------------------------------------------------
+
+TEST(YaccOracle, ParsesIdPlusId)
+{
+    // Tokens: id + id $  (0, 1, 0, 5)
+    const Workload &yacc = findWorkload("yacc");
+    ir::Program prog = yacc.buildProgram();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    vm::Machine machine(prog, layout);
+    machine.setInput(0, {0, 1, 0, 5});
+    machine.run();
+    const auto &out = machine.output(1);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], 1); // accepted
+    EXPECT_EQ(out[1], 0); // errors
+    EXPECT_EQ(out[2], 6); // F T E F T E->E+T
+    EXPECT_EQ(out[3], 3); // shifts: id + id
+}
+
+TEST(YaccOracle, CleanStreamsParseWithoutErrors)
+{
+    Rng rng(81);
+    const auto tokens = generateExprTokens(rng, 40);
+    const Workload &yacc = findWorkload("yacc");
+    ir::Program prog = yacc.buildProgram();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    vm::Machine machine(prog, layout);
+    std::vector<Word> words(tokens.begin(), tokens.end());
+    machine.setInput(0, words);
+    machine.run();
+    const auto &out = machine.output(1);
+    EXPECT_EQ(out[0], 40); // every expression accepted
+    EXPECT_EQ(out[1], 0);  // no errors
+}
+
+TEST(YaccOracle, GarbageTriggersRecovery)
+{
+    // ") )" is not a valid expression start: error then resync.
+    const Workload &yacc = findWorkload("yacc");
+    ir::Program prog = yacc.buildProgram();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    vm::Machine machine(prog, layout);
+    machine.setInput(0, {4, 4, 5, 0, 5});
+    machine.run();
+    const auto &out = machine.output(1);
+    EXPECT_EQ(out[1], 1); // one error
+    EXPECT_EQ(out[0], 1); // the trailing 'id $' still accepts
+}
+
+TEST(YaccOracle, ParenthesisedExpressions)
+{
+    // ( id + id ) * id $
+    const Workload &yacc = findWorkload("yacc");
+    ir::Program prog = yacc.buildProgram();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    vm::Machine machine(prog, layout);
+    machine.setInput(0, {3, 0, 1, 0, 4, 2, 0, 5});
+    machine.run();
+    const auto &out = machine.output(1);
+    EXPECT_EQ(out[0], 1);
+    EXPECT_EQ(out[1], 0);
+}
+
+} // namespace
+} // namespace branchlab::workloads

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * The BranchLab command-line tool: record benchmark branch traces to
+ * disk, replay them through any scheme, and print the paper's tables
+ * without writing code.
+ *
+ *   branchlab list
+ *   branchlab stats  <benchmark> [--runs N] [--seed S]
+ *   branchlab record <benchmark> -o trace.bin [--runs N] [--seed S]
+ *   branchlab replay <trace.bin> --scheme <name> [--flush-every Q]
+ *   branchlab tables [--runs N] [--seed S]
+ *   branchlab figures [--runs N] [--seed S]
+ *
+ * Scheme names: sbtb, cbtb, gshare, always-taken, always-not-taken,
+ * btfnt, opcode-bias, fs (fs derives its likely bits from the trace
+ * itself, the paper's same-inputs methodology).
+ */
+
+#include <cstring>
+#include <iostream>
+#include <memory>
+
+#include "core/figures.hh"
+#include "core/runner.hh"
+#include "core/tables.hh"
+#include "pipeline/cost_model.hh"
+#include "predict/flushing.hh"
+#include "predict/gshare.hh"
+#include "predict/profile_predictor.hh"
+#include "predict/static_predictors.hh"
+#include "support/logging.hh"
+#include "trace/io.hh"
+
+using namespace branchlab;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  branchlab list\n"
+           "  branchlab stats  <benchmark> [--runs N] [--seed S]\n"
+           "  branchlab record <benchmark> -o FILE [--runs N] "
+           "[--seed S]\n"
+           "  branchlab replay <FILE> --scheme NAME "
+           "[--flush-every Q]\n"
+           "  branchlab tables [--runs N] [--seed S]\n"
+           "  branchlab figures [--runs N] [--seed S]\n"
+           "schemes: sbtb cbtb gshare always-taken always-not-taken "
+           "btfnt opcode-bias fs\n";
+    return 2;
+}
+
+struct Options
+{
+    unsigned runs = 0;
+    std::uint64_t seed = 0;
+    std::string output;
+    std::string scheme;
+    std::uint64_t flushEvery = 0;
+};
+
+Options
+parseOptions(int argc, char **argv, int first)
+{
+    Options options;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto need_value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                blab_fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--runs")
+            options.runs = static_cast<unsigned>(
+                std::stoul(need_value()));
+        else if (arg == "--seed")
+            options.seed = std::stoull(need_value());
+        else if (arg == "-o" || arg == "--output")
+            options.output = need_value();
+        else if (arg == "--scheme")
+            options.scheme = need_value();
+        else if (arg == "--flush-every")
+            options.flushEvery = std::stoull(need_value());
+        else
+            blab_fatal("unknown option '", arg, "'");
+    }
+    return options;
+}
+
+core::ExperimentConfig
+makeConfig(const Options &options)
+{
+    core::ExperimentConfig config;
+    if (options.runs != 0)
+        config.runsOverride = options.runs;
+    if (options.seed != 0)
+        config.seed = options.seed;
+    return config;
+}
+
+/** Derive FS likely bits straight from a recorded event stream. */
+predict::LikelyMap
+likelyMapFromEvents(const std::vector<trace::BranchEvent> &events)
+{
+    struct Counts
+    {
+        std::uint64_t taken = 0;
+        std::uint64_t not_taken = 0;
+        std::map<ir::Addr, std::uint64_t> targets;
+    };
+    std::unordered_map<ir::Addr, Counts> table;
+    for (const trace::BranchEvent &event : events) {
+        Counts &counts = table[event.pc];
+        if (event.taken)
+            ++counts.taken;
+        else
+            ++counts.not_taken;
+        ++counts.targets[event.nextPc];
+    }
+    predict::LikelyMap map;
+    for (const auto &[pc, counts] : table) {
+        predict::LikelyInfo info;
+        info.likelyTaken = counts.taken > counts.not_taken;
+        ir::Addr best = ir::kNoAddr;
+        std::uint64_t best_count = 0;
+        for (const auto &[addr, count] : counts.targets) {
+            if (count > best_count) {
+                best = addr;
+                best_count = count;
+            }
+        }
+        info.dominantTarget = best;
+        map.emplace(pc, info);
+    }
+    return map;
+}
+
+std::unique_ptr<predict::BranchPredictor>
+makeScheme(const std::string &name,
+           const std::vector<trace::BranchEvent> &events)
+{
+    if (name == "sbtb")
+        return std::make_unique<predict::SimpleBtb>();
+    if (name == "cbtb")
+        return std::make_unique<predict::CounterBtb>();
+    if (name == "gshare")
+        return std::make_unique<predict::GsharePredictor>();
+    if (name == "always-taken")
+        return std::make_unique<predict::AlwaysTaken>();
+    if (name == "always-not-taken")
+        return std::make_unique<predict::AlwaysNotTaken>();
+    if (name == "btfnt")
+        return std::make_unique<predict::BackwardTaken>();
+    if (name == "opcode-bias")
+        return std::make_unique<predict::OpcodeBias>();
+    if (name == "fs") {
+        return std::make_unique<predict::ProfilePredictor>(
+            likelyMapFromEvents(events));
+    }
+    blab_fatal("unknown scheme '", name, "'");
+}
+
+int
+cmdList()
+{
+    for (const workloads::Workload *workload : workloads::allWorkloads()) {
+        std::cout << workload->name() << "\t"
+                  << workload->inputDescription() << "\n";
+    }
+    return 0;
+}
+
+int
+cmdStats(const std::string &name, const Options &options)
+{
+    core::ExperimentRunner runner(makeConfig(options));
+    const core::BenchmarkResult result =
+        runner.runBenchmark(workloads::findWorkload(name));
+    TextTable table({"Metric", "Value"});
+    table.addRow({"runs", std::to_string(result.runs)});
+    table.addRow({"static size", std::to_string(result.staticSize)});
+    table.addRow({"dynamic instructions",
+                  std::to_string(result.stats.instructions())});
+    table.addRow({"dynamic branches",
+                  std::to_string(result.stats.branches())});
+    table.addRow({"control fraction",
+                  formatPercent(result.stats.controlFraction(), 1)});
+    table.addRow({"A_SBTB", formatPercent(result.sbtb.accuracy, 2)});
+    table.addRow({"A_CBTB", formatPercent(result.cbtb.accuracy, 2)});
+    table.addRow({"A_FS", formatPercent(result.fs.accuracy, 2)});
+    table.render(std::cout);
+    return 0;
+}
+
+int
+cmdRecord(const std::string &name, const Options &options)
+{
+    if (options.output.empty())
+        blab_fatal("record needs -o FILE");
+    const core::RecordedWorkload recorded = core::recordWorkload(
+        workloads::findWorkload(name), makeConfig(options));
+    trace::writeTraceFile(options.output, recorded.events);
+    std::cout << "wrote " << recorded.events.size() << " events to "
+              << options.output << "\n";
+    return 0;
+}
+
+int
+cmdReplay(const std::string &path, const Options &options)
+{
+    if (options.scheme.empty())
+        blab_fatal("replay needs --scheme NAME");
+    const std::vector<trace::BranchEvent> events =
+        trace::readTraceFile(path);
+    std::unique_ptr<predict::BranchPredictor> scheme =
+        makeScheme(options.scheme, events);
+    predict::BranchPredictor *predictor = scheme.get();
+    std::unique_ptr<predict::FlushingPredictor> flushed;
+    if (options.flushEvery != 0) {
+        flushed = std::make_unique<predict::FlushingPredictor>(
+            *scheme, options.flushEvery);
+        predictor = flushed.get();
+    }
+    predict::PredictionDriver driver(*predictor);
+    for (const trace::BranchEvent &event : events)
+        driver.onBranch(event);
+    const double a = driver.stats().accuracy.ratio();
+    std::cout << predictor->name() << " over " << events.size()
+              << " branches:\n"
+              << "  accuracy          " << formatPercent(a, 2) << "\n"
+              << "  cost @ depth 4    "
+              << formatFixed(pipeline::branchCost(a, 4.0), 3) << "\n"
+              << "  cost @ depth 10   "
+              << formatFixed(pipeline::branchCost(a, 10.0), 3) << "\n";
+    return 0;
+}
+
+int
+cmdTables(const Options &options)
+{
+    core::ExperimentConfig config = makeConfig(options);
+    config.runStaticSchemes = true;
+    core::ExperimentRunner runner(config);
+    std::vector<core::BenchmarkResult> results;
+    for (const workloads::Workload *workload :
+         workloads::allWorkloads()) {
+        std::cerr << "running " << workload->name() << "...\n";
+        results.push_back(runner.runBenchmark(*workload));
+    }
+    const auto print = [](const char *title, const TextTable &table) {
+        std::cout << "\n" << title << "\n";
+        table.render(std::cout);
+    };
+    print("Table 1: benchmark characteristics",
+          core::makeTable1(results));
+    print("Table 2: branch statistics", core::makeTable2(results));
+    print("Table 3: prediction performance",
+          core::makeTable3(results));
+    print("Table 4: branch cost (k+l=2,3; m=1)",
+          core::makeTable4(results));
+    print("Table 5: code-size increase", core::makeTable5(results));
+    print("Static schemes (section 1)",
+          core::makeStaticSchemeTable(results));
+    return 0;
+}
+
+int
+cmdFigures(const Options &options)
+{
+    core::ExperimentConfig config = makeConfig(options);
+    config.runStaticSchemes = false;
+    config.runCodeSize = false;
+    core::ExperimentRunner runner(config);
+    std::vector<core::BenchmarkResult> results;
+    for (const workloads::Workload *workload :
+         workloads::allWorkloads()) {
+        std::cerr << "running " << workload->name() << "...\n";
+        results.push_back(runner.runBenchmark(*workload));
+    }
+    for (unsigned k : {1u, 2u, 4u, 8u}) {
+        const core::FigurePanel panel =
+            core::makeFigurePanel(results, k);
+        std::cout << "\nFigure " << (k <= 2 ? 3 : 4) << " panel, k = "
+                  << k << ":\n";
+        core::panelTable(panel).render(std::cout);
+        std::cout << "\n" << core::renderAsciiChart(panel);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLoggingThrows(false); // CLI: fatal() exits with a message
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    if (command == "list")
+        return cmdList();
+    if (command == "stats" && argc >= 3)
+        return cmdStats(argv[2], parseOptions(argc, argv, 3));
+    if (command == "record" && argc >= 3)
+        return cmdRecord(argv[2], parseOptions(argc, argv, 3));
+    if (command == "replay" && argc >= 3)
+        return cmdReplay(argv[2], parseOptions(argc, argv, 3));
+    if (command == "tables")
+        return cmdTables(parseOptions(argc, argv, 2));
+    if (command == "figures")
+        return cmdFigures(parseOptions(argc, argv, 2));
+    return usage();
+}
