@@ -13,6 +13,9 @@
 #include "core/runner.hh"
 #include "core/tables.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/thread_pool.hh"
+#include "support/timer.hh"
 
 namespace branchlab::bench
 {
@@ -25,17 +28,23 @@ paperConfig()
     return config;
 }
 
-/** Run the whole suite once, with a progress note per benchmark. */
+/** Run the whole suite once (record-once/replay-many, fanned across
+ *  BRANCHLAB_JOBS worker threads), with a timing note. */
 inline std::vector<core::BenchmarkResult>
 runSuite(const core::ExperimentConfig &config = paperConfig(),
          bool verbose = true)
 {
     core::ExperimentRunner runner(config);
-    std::vector<core::BenchmarkResult> results;
-    for (const workloads::Workload *workload : workloads::allWorkloads()) {
-        if (verbose)
-            std::cerr << "  running " << workload->name() << "...\n";
-        results.push_back(runner.runBenchmark(*workload));
+    const unsigned jobs = resolveJobs(config.jobs);
+    if (verbose) {
+        std::cerr << "  running " << workloads::allWorkloads().size()
+                  << " benchmarks on " << jobs << " job(s)...\n";
+    }
+    Stopwatch watch;
+    std::vector<core::BenchmarkResult> results = runner.runAll();
+    if (verbose) {
+        std::cerr << "  suite done in "
+                  << formatFixed(watch.seconds(), 2) << " s\n";
     }
     return results;
 }

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Performance harness for the experiment engine itself.
+ *
+ * Times the full ten-benchmark suite under three engines --
+ *
+ *   1. two-pass serial:   the seed engine (two VM executions per
+ *                         workload, benchmarks strictly serial);
+ *   2. replay serial:     record-once/replay-many, one job;
+ *   3. replay parallel:   record-once/replay-many fanned across
+ *                         BRANCHLAB_JOBS worker threads --
+ *
+ * verifies that all three produce bit-identical scheme accuracies,
+ * miss ratios, and trace statistics, micro-benchmarks the linear-scan
+ * vs hash-indexed AssociativeBuffer lookup on the paper's 256-way
+ * fully-associative geometry, and emits everything machine-readable
+ * to BENCH_engine.json so the perf trajectory is tracked PR over PR.
+ *
+ *   perf_engine [--runs N] [--jobs N] [--repeat N] [--out FILE]
+ *
+ * --runs caps each benchmark's input-run count (0 = the full paper
+ * suite); --repeat times each phase best-of-N (default 3).
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+
+#include "predict/assoc_buffer.hh"
+#include "support/random.hh"
+
+namespace
+{
+
+using namespace branchlab;
+
+struct TimedRun
+{
+    std::string label;
+    double seconds = 0.0;
+    std::vector<core::BenchmarkResult> results;
+};
+
+TimedRun
+timeSuite(const std::string &label, const core::ExperimentConfig &config,
+          unsigned repeat)
+{
+    std::cerr << "  " << label << "...\n";
+    TimedRun run;
+    run.label = label;
+    // Best-of-N: the suite is deterministic, so repeated executions
+    // differ only by scheduler noise and the minimum is the honest
+    // wall-clock cost on a shared host.
+    for (unsigned r = 0; r < repeat; ++r) {
+        double seconds = 0.0;
+        {
+            ScopeTimer timer(&seconds);
+            run.results = core::ExperimentRunner(config).runAll();
+        }
+        if (r == 0 || seconds < run.seconds)
+            run.seconds = seconds;
+        std::cerr << "    " << formatFixed(seconds, 3) << " s\n";
+    }
+    return run;
+}
+
+/** Exact-equality comparison of everything the engines measure. */
+std::size_t
+countMismatches(const std::vector<core::BenchmarkResult> &a,
+                const std::vector<core::BenchmarkResult> &b)
+{
+    std::size_t mismatches = 0;
+    const auto check = [&mismatches](bool same, const std::string &what) {
+        if (!same) {
+            ++mismatches;
+            std::cerr << "  MISMATCH: " << what << "\n";
+        }
+    };
+    check(a.size() == b.size(), "suite size");
+    for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+        const core::BenchmarkResult &x = a[i];
+        const core::BenchmarkResult &y = b[i];
+        check(x.name == y.name, "benchmark order");
+        const auto scheme = [&](const core::SchemeResult &s,
+                                const core::SchemeResult &t) {
+            check(s.accuracy == t.accuracy, x.name + " " + s.scheme +
+                                                " accuracy");
+            check(s.missRatio == t.missRatio, x.name + " " + s.scheme +
+                                                  " miss ratio");
+        };
+        scheme(x.sbtb, y.sbtb);
+        scheme(x.cbtb, y.cbtb);
+        scheme(x.fs, y.fs);
+        check(x.staticSchemes.size() == y.staticSchemes.size(),
+              x.name + " static scheme count");
+        for (std::size_t s = 0; s < std::min(x.staticSchemes.size(),
+                                             y.staticSchemes.size());
+             ++s) {
+            scheme(x.staticSchemes[s], y.staticSchemes[s]);
+        }
+        check(x.stats.instructions() == y.stats.instructions(),
+              x.name + " instruction count");
+        check(x.stats.branches() == y.stats.branches(),
+              x.name + " branch count");
+        check(x.codeIncrease == y.codeIncrease,
+              x.name + " code increase");
+    }
+    return mismatches;
+}
+
+struct LookupBench
+{
+    std::uint64_t ops = 0;
+    double linearMops = 0.0;
+    double indexedMops = 0.0;
+    double speedup = 0.0;
+};
+
+/** Drive one buffer strategy with a BTB-shaped find/insert stream. */
+double
+lookupMops(predict::LookupStrategy strategy, std::uint64_t ops)
+{
+    struct Payload
+    {
+        std::uint64_t target = 0;
+    };
+    predict::BufferConfig config;
+    config.entries = 256;
+    config.associativity = 0; // the paper's fully-associative geometry
+    config.lookup = strategy;
+    predict::AssociativeBuffer<Payload> buffer(config);
+
+    // A working set of 4x capacity keeps hits, misses, and evictions
+    // all on the measured path.
+    Rng rng(20260806);
+    std::vector<ir::Addr> tags(1024);
+    for (ir::Addr &tag : tags)
+        tag = rng.next() & 0xffffff;
+
+    std::uint64_t found = 0;
+    Stopwatch watch;
+    for (std::uint64_t op = 0; op < ops; ++op) {
+        const ir::Addr tag = tags[rng.nextBelow(tags.size())];
+        if (Payload *hit = buffer.find(tag)) {
+            found += hit->target != 0;
+        } else {
+            buffer.insert(tag).target = tag | 1;
+        }
+    }
+    const double seconds = watch.seconds();
+    // Keep the loop observable so it cannot be optimised away.
+    std::cerr << "    "
+              << (strategy == predict::LookupStrategy::Linear
+                      ? "linear "
+                      : "indexed")
+              << ": " << formatFixed(seconds * 1e3, 1) << " ms ("
+              << found << " hits)\n";
+    return static_cast<double>(ops) / 1e6 / seconds;
+}
+
+LookupBench
+benchBufferLookup()
+{
+    LookupBench bench;
+    bench.ops = 4'000'000;
+    bench.linearMops =
+        lookupMops(predict::LookupStrategy::Linear, bench.ops);
+    bench.indexedMops =
+        lookupMops(predict::LookupStrategy::Indexed, bench.ops);
+    bench.speedup = bench.indexedMops / bench.linearMops;
+    return bench;
+}
+
+void
+writeJson(const std::string &path, unsigned jobs, unsigned runs_override,
+          unsigned repeat, const TimedRun &two_pass,
+          const TimedRun &replay_serial, const TimedRun &replay_parallel,
+          const LookupBench &lookup, std::size_t mismatches)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\n"
+       << "  \"bench\": \"perf_engine\",\n"
+       << "  \"benchmarks\": " << two_pass.results.size() << ",\n"
+       << "  \"runs_override\": " << runs_override << ",\n"
+       << "  \"repeat\": " << repeat << ",\n"
+       << "  \"jobs_parallel\": " << jobs << ",\n"
+       << "  \"phases\": {\n"
+       << "    \"two_pass_serial_s\": " << two_pass.seconds << ",\n"
+       << "    \"replay_serial_s\": " << replay_serial.seconds << ",\n"
+       << "    \"replay_parallel_s\": " << replay_parallel.seconds
+       << "\n  },\n"
+       << "  \"speedup\": {\n"
+       << "    \"replay_serial_vs_two_pass\": "
+       << two_pass.seconds / replay_serial.seconds << ",\n"
+       << "    \"replay_parallel_vs_two_pass\": "
+       << two_pass.seconds / replay_parallel.seconds << "\n  },\n"
+       << "  \"btb_lookup\": {\n"
+       << "    \"ops\": " << lookup.ops << ",\n"
+       << "    \"linear_mops\": " << lookup.linearMops << ",\n"
+       << "    \"indexed_mops\": " << lookup.indexedMops << ",\n"
+       << "    \"indexed_speedup\": " << lookup.speedup << "\n  },\n"
+       << "  \"mismatches\": " << mismatches << ",\n"
+       << "  \"accuracy\": {\n";
+    for (std::size_t i = 0; i < two_pass.results.size(); ++i) {
+        const core::BenchmarkResult &r = two_pass.results[i];
+        os << "    \"" << r.name << "\": {\"sbtb\": " << r.sbtb.accuracy
+           << ", \"cbtb\": " << r.cbtb.accuracy
+           << ", \"fs\": " << r.fs.accuracy << "}"
+           << (i + 1 < two_pass.results.size() ? "," : "") << "\n";
+    }
+    os << "  }\n}\n";
+
+    std::ofstream out(path);
+    if (!out)
+        blab_fatal("cannot write ", path);
+    out << os.str();
+    std::cerr << "  wrote " << path << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLoggingThrows(false); // bad arguments exit with a message
+    unsigned runs_override = 0;
+    unsigned jobs = 0;
+    unsigned repeat = 3;
+    std::string out_path = "BENCH_engine.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto need_value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                blab_fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        const auto need_number = [&]() -> unsigned {
+            const std::string text = need_value();
+            try {
+                std::size_t used = 0;
+                const unsigned long value = std::stoul(text, &used);
+                if (used != text.size())
+                    throw std::invalid_argument(text);
+                return static_cast<unsigned>(value);
+            } catch (const std::exception &) {
+                blab_fatal("value for ", arg, " must be a number, got '",
+                           text, "'");
+            }
+        };
+        if (arg == "--runs")
+            runs_override = need_number();
+        else if (arg == "--jobs")
+            jobs = need_number();
+        else if (arg == "--repeat")
+            repeat = need_number();
+        else if (arg == "--out")
+            out_path = need_value();
+        else
+            blab_fatal("unknown option '", arg, "'");
+    }
+    if (repeat == 0)
+        repeat = 1;
+
+    core::ExperimentConfig config = bench::paperConfig();
+    config.runsOverride = runs_override;
+
+    core::ExperimentConfig two_pass_config = config;
+    two_pass_config.engine = core::EngineMode::TwoPass;
+    two_pass_config.jobs = 1;
+    // The seed engine also scanned the BTB ways linearly; pin that
+    // here so the baseline is the true seed cost. Equivalence still
+    // holds: both lookup strategies implement identical semantics.
+    two_pass_config.btb.lookup = predict::LookupStrategy::Linear;
+
+    core::ExperimentConfig replay_serial_config = config;
+    replay_serial_config.engine = core::EngineMode::Replay;
+    replay_serial_config.jobs = 1;
+
+    core::ExperimentConfig replay_parallel_config = config;
+    replay_parallel_config.engine = core::EngineMode::Replay;
+    replay_parallel_config.jobs = jobs; // 0 = BRANCHLAB_JOBS / hardware
+    const unsigned parallel_jobs = resolveJobs(jobs);
+
+    bench::printCaption("Engine perf: record-once/replay-many");
+    std::cerr << "full suite, three engines:\n";
+    const TimedRun two_pass = timeSuite("two-pass serial (seed engine)",
+                                        two_pass_config, repeat);
+    const TimedRun replay_serial =
+        timeSuite("replay serial", replay_serial_config, repeat);
+    const TimedRun replay_parallel = timeSuite(
+        "replay parallel (" + std::to_string(parallel_jobs) + " jobs)",
+        replay_parallel_config, repeat);
+
+    std::cerr << "verifying engine equivalence...\n";
+    std::size_t mismatches =
+        countMismatches(two_pass.results, replay_serial.results);
+    mismatches +=
+        countMismatches(two_pass.results, replay_parallel.results);
+
+    std::cerr << "BTB lookup micro-bench (256-entry fully-assoc):\n";
+    const LookupBench lookup = benchBufferLookup();
+
+    TextTable table({"Engine", "seconds", "speedup"});
+    table.addRow({"two-pass serial (seed)",
+                  formatFixed(two_pass.seconds, 3), "1.00x"});
+    table.addRow(
+        {"replay serial", formatFixed(replay_serial.seconds, 3),
+         formatFixed(two_pass.seconds / replay_serial.seconds, 2) +
+             "x"});
+    table.addRow(
+        {"replay parallel (" + std::to_string(parallel_jobs) + " jobs)",
+         formatFixed(replay_parallel.seconds, 3),
+         formatFixed(two_pass.seconds / replay_parallel.seconds, 2) +
+             "x"});
+    table.render(std::cout);
+    std::cout << "\nBTB lookup: linear "
+              << formatFixed(lookup.linearMops, 1) << " Mops/s, indexed "
+              << formatFixed(lookup.indexedMops, 1) << " Mops/s ("
+              << formatFixed(lookup.speedup, 2) << "x)\n"
+              << "Engine equivalence: "
+              << (mismatches == 0 ? "bit-identical across engines"
+                                  : std::to_string(mismatches) +
+                                        " MISMATCHES")
+              << "\n";
+
+    writeJson(out_path, parallel_jobs, runs_override, repeat, two_pass,
+              replay_serial, replay_parallel, lookup, mismatches);
+    return mismatches == 0 ? 0 : 1;
+}

@@ -1,13 +1,42 @@
 #!/usr/bin/env sh
 # Build everything, run the full test suite, and regenerate every
 # paper table/figure, capturing both logs at the repo root.
+#
+# BRANCHLAB_JOBS controls both the build parallelism and the
+# experiment engine's workload fan-out (the benches read it
+# themselves); it defaults to the machine's processor count. Each
+# phase reports its wall-clock time.
 set -eu
 cd "$(dirname "$0")/.."
 
+BRANCHLAB_JOBS="${BRANCHLAB_JOBS:-$(nproc 2>/dev/null || echo 1)}"
+export BRANCHLAB_JOBS
+
+phase_start() {
+    phase_name="$1"
+    phase_t0=$(date +%s)
+    echo "== ${phase_name} (jobs=${BRANCHLAB_JOBS}) =="
+}
+
+phase_end() {
+    echo "== ${phase_name} took $(($(date +%s) - phase_t0)) s =="
+}
+
+phase_start configure
 cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build 2>&1 | tee test_output.txt
+phase_end
+
+phase_start build
+cmake --build build -j "${BRANCHLAB_JOBS}"
+phase_end
+
+phase_start test
+ctest --test-dir build -j "${BRANCHLAB_JOBS}" 2>&1 | tee test_output.txt
+phase_end
+
+phase_start bench
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     "$b"
 done 2>&1 | tee bench_output.txt
+phase_end

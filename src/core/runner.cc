@@ -6,6 +6,7 @@
 #include "predict/static_predictors.hh"
 #include "profile/profile.hh"
 #include "support/logging.hh"
+#include "support/thread_pool.hh"
 #include "trace/record.hh"
 #include "vm/machine.hh"
 
@@ -14,6 +15,12 @@ namespace branchlab::core
 
 namespace
 {
+
+/** Recorder pre-reservation: large benchmarks emit a few million
+ *  branch events, so skipping the early regrowth copies is cheap
+ *  insurance (a reservation this size is ~50 MB, returned as soon as
+ *  the benchmark's replays finish). */
+constexpr std::size_t kRecorderReserveEvents = 1u << 20;
 
 /** Execute every input of a suite, feeding one sink. */
 void
@@ -42,10 +49,44 @@ runSuite(const ir::Program &program, const ir::Layout &layout,
     }
 }
 
+/** The deterministic per-benchmark input suite. */
+std::vector<workloads::WorkloadInput>
+makeInputSuite(const workloads::Workload &workload,
+               const ExperimentConfig &config, unsigned runs)
+{
+    Rng rng(config.seed ^ hashString(workload.name()));
+    return workload.makeInputs(rng, runs);
+}
+
+/** Table 5: the code-size cost of the Forward Semantic transform. */
+void
+applyCodeSizeTransform(const profile::ProgramProfile &profile,
+                       const ExperimentConfig &config,
+                       BenchmarkResult &result)
+{
+    for (unsigned slots : config.codeSizeSlots) {
+        profile::FsConfig fs_config;
+        fs_config.slotCount = slots;
+        fs_config.trace.minArcProbability = config.traceThreshold;
+        const profile::FsResult image =
+            profile::ForwardSlotFiller(profile, fs_config).build();
+        result.codeIncrease[slots] = image.codeSizeIncrease();
+    }
+}
+
 } // namespace
 
 BenchmarkResult
 ExperimentRunner::runBenchmark(const workloads::Workload &workload) const
+{
+    return config_.engine == EngineMode::Replay
+               ? runBenchmarkReplay(workload)
+               : runBenchmarkTwoPass(workload);
+}
+
+BenchmarkResult
+ExperimentRunner::runBenchmarkReplay(
+    const workloads::Workload &workload) const
 {
     BenchmarkResult result;
     result.name = workload.name();
@@ -59,11 +100,92 @@ ExperimentRunner::runBenchmark(const workloads::Workload &workload) const
                               ? config_.runsOverride
                               : workload.defaultRuns();
     result.runs = runs;
-
-    // Deterministic per-benchmark input stream.
-    Rng rng(config_.seed ^ hashString(workload.name()));
     const std::vector<workloads::WorkloadInput> inputs =
-        workload.makeInputs(rng, runs);
+        makeInputSuite(workload, config_, runs);
+
+    // ---- The single VM pass: record the stream, profile, count. ----
+    trace::BranchRecorder recorder(kRecorderReserveEvents);
+    profile::ProgramProfile profile(program, layout);
+    for (unsigned r = 0; r < runs; ++r)
+        profile.noteRun();
+    trace::FanoutSink fanout;
+    fanout.addSink(&recorder);
+    fanout.addSink(&profile);
+    fanout.addSink(&result.stats);
+    runSuite(program, layout, inputs, fanout, &result.stats,
+             config_.maxInstructionsPerRun);
+    const std::vector<trace::BranchEvent> &events = recorder.events();
+
+    // ---- Replay the recorded stream against every scheme in one
+    // fused pass. The schemes never interact, so the fused replays
+    // observe exactly the stream the seed engine's online fan-out
+    // delivered. The FS is profiled over the recorded runs and
+    // measured over the very same stream
+    // (profile-equals-measurement). ----
+    predict::SimpleBtb sbtb(config_.btb);
+    predict::CounterBtb cbtb(config_.btb, config_.counter);
+    predict::AlwaysTaken always_taken;
+    predict::AlwaysNotTaken always_not_taken;
+    predict::BackwardTaken btfnt;
+    predict::OpcodeBias opcode_bias;
+    predict::ProfilePredictor fs(profile.buildLikelyMap());
+
+    std::vector<std::pair<const char *, predict::BranchPredictor *>>
+        schemes = {{"SBTB", &sbtb}, {"CBTB", &cbtb}};
+    if (config_.runStaticSchemes) {
+        schemes.insert(schemes.end(),
+                       {{"always-taken", &always_taken},
+                        {"always-not-taken", &always_not_taken},
+                        {"btfnt", &btfnt},
+                        {"opcode-bias", &opcode_bias}});
+    }
+    schemes.emplace_back("FS", &fs);
+
+    std::vector<predict::BranchPredictor *> predictors;
+    predictors.reserve(schemes.size());
+    for (const auto &[name, predictor] : schemes)
+        predictors.push_back(predictor);
+    const std::vector<ReplayResult> replays =
+        replayMany(events, predictors);
+
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const SchemeResult scheme{schemes[i].first, replays[i].accuracy,
+                                  replays[i].missRatio,
+                                  replays[i].hasMissRatio};
+        if (schemes[i].second == &sbtb)
+            result.sbtb = scheme;
+        else if (schemes[i].second == &cbtb)
+            result.cbtb = scheme;
+        else if (schemes[i].second == &fs)
+            result.fs = scheme;
+        else
+            result.staticSchemes.push_back(scheme);
+    }
+
+    if (config_.runCodeSize)
+        applyCodeSizeTransform(profile, config_, result);
+
+    return result;
+}
+
+BenchmarkResult
+ExperimentRunner::runBenchmarkTwoPass(
+    const workloads::Workload &workload) const
+{
+    BenchmarkResult result;
+    result.name = workload.name();
+
+    const ir::Program program = workload.buildProgram();
+    ir::verifyProgramOrDie(program);
+    const ir::Layout layout(program);
+    result.staticSize = program.staticSize();
+
+    const unsigned runs = config_.runsOverride != 0
+                              ? config_.runsOverride
+                              : workload.defaultRuns();
+    result.runs = runs;
+    const std::vector<workloads::WorkloadInput> inputs =
+        makeInputSuite(workload, config_, runs);
 
     // ---- Pass 1: hardware schemes, statics, profile, statistics. ----
     predict::SimpleBtb sbtb(config_.btb);
@@ -123,17 +245,8 @@ ExperimentRunner::runBenchmark(const workloads::Workload &workload) const
     result.fs = SchemeResult{"FS", fs_driver.stats().accuracy.ratio(),
                              0.0, false};
 
-    // ---- Code-size transformation (Table 5). ----
-    if (config_.runCodeSize) {
-        for (unsigned slots : config_.codeSizeSlots) {
-            profile::FsConfig fs_config;
-            fs_config.slotCount = slots;
-            fs_config.trace.minArcProbability = config_.traceThreshold;
-            const profile::FsResult image =
-                profile::ForwardSlotFiller(profile, fs_config).build();
-            result.codeIncrease[slots] = image.codeSizeIncrease();
-        }
-    }
+    if (config_.runCodeSize)
+        applyCodeSizeTransform(profile, config_, result);
 
     return result;
 }
@@ -152,11 +265,10 @@ recordWorkload(const workloads::Workload &workload,
     const unsigned runs = config.runsOverride != 0
                               ? config.runsOverride
                               : workload.defaultRuns();
-    Rng rng(config.seed ^ hashString(workload.name()));
     const std::vector<workloads::WorkloadInput> inputs =
-        workload.makeInputs(rng, runs);
+        makeInputSuite(workload, config, runs);
 
-    trace::BranchRecorder recorder;
+    trace::BranchRecorder recorder(kRecorderReserveEvents);
     profile::ProgramProfile profile(*recorded.program, *recorded.layout);
     for (unsigned r = 0; r < runs; ++r)
         profile.noteRun();
@@ -167,27 +279,73 @@ recordWorkload(const workloads::Workload &workload,
     runSuite(*recorded.program, *recorded.layout, inputs, fanout,
              &recorded.stats, config.maxInstructionsPerRun);
 
-    recorded.events = recorder.events();
+    recorded.events = recorder.takeEvents();
     recorded.likelyMap = profile.buildLikelyMap();
     return recorded;
+}
+
+ReplayResult
+replay(const std::vector<trace::BranchEvent> &events,
+       predict::BranchPredictor &predictor)
+{
+    predict::PredictionDriver driver(predictor);
+    for (const trace::BranchEvent &event : events)
+        driver.onBranch(event);
+    ReplayResult result;
+    result.stats = driver.stats();
+    result.accuracy = result.stats.accuracy.ratio();
+    result.hasMissRatio = predictor.hasMissRatio();
+    if (result.hasMissRatio)
+        result.missRatio = predictor.missRatio();
+    return result;
+}
+
+std::vector<ReplayResult>
+replayMany(const std::vector<trace::BranchEvent> &events,
+           const std::vector<predict::BranchPredictor *> &predictors)
+{
+    std::vector<predict::PredictionDriver> drivers;
+    drivers.reserve(predictors.size());
+    for (predict::BranchPredictor *predictor : predictors)
+        drivers.emplace_back(*predictor);
+    for (const trace::BranchEvent &event : events) {
+        for (predict::PredictionDriver &driver : drivers)
+            driver.onBranch(event);
+    }
+    std::vector<ReplayResult> results;
+    results.reserve(predictors.size());
+    for (std::size_t i = 0; i < drivers.size(); ++i) {
+        ReplayResult result;
+        result.stats = drivers[i].stats();
+        result.accuracy = result.stats.accuracy.ratio();
+        result.hasMissRatio = predictors[i]->hasMissRatio();
+        if (result.hasMissRatio)
+            result.missRatio = predictors[i]->missRatio();
+        results.push_back(result);
+    }
+    return results;
 }
 
 double
 replayAccuracy(const RecordedWorkload &recorded,
                predict::BranchPredictor &predictor)
 {
-    predict::PredictionDriver driver(predictor);
-    for (const trace::BranchEvent &event : recorded.events)
-        driver.onBranch(event);
-    return driver.stats().accuracy.ratio();
+    return replay(recorded.events, predictor).accuracy;
 }
 
 std::vector<BenchmarkResult>
 ExperimentRunner::runAll() const
 {
-    std::vector<BenchmarkResult> results;
-    for (const workloads::Workload *workload : workloads::allWorkloads())
-        results.push_back(runBenchmark(*workload));
+    const std::vector<const workloads::Workload *> &all =
+        workloads::allWorkloads();
+    std::vector<BenchmarkResult> results(all.size());
+    // Workload-level fan-out: every benchmark seeds its own RNG
+    // sub-stream and owns all of its state, so any job count produces
+    // bit-identical results in deterministic (Table 1) order.
+    parallelFor(all.size(), resolveJobs(config_.jobs),
+                [&](std::size_t i) {
+                    results[i] = runBenchmark(*all[i]);
+                });
     return results;
 }
 

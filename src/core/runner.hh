@@ -8,8 +8,18 @@
  * drive all schemes; the hardware schemes observe the stream online
  * while the Forward Semantic profiles the full suite first and is
  * then measured over the same runs (the paper's profile-equals-
- * measurement setup). Two passes over deterministic inputs replay
- * identical streams.
+ * measurement setup).
+ *
+ * The default engine records the branch stream in a single VM pass
+ * and replays the in-memory stream against every scheme
+ * (record-once/replay-many). Because the inputs are deterministic,
+ * this is observationally equivalent to the seed engine's two full VM
+ * executions -- the replayed stream is bit-identical to what a second
+ * pass would emit -- at roughly half the wall-clock cost. The legacy
+ * engine is kept behind EngineMode::TwoPass for equivalence tests and
+ * the perf harness. runAll() additionally fans workload-level jobs
+ * across a thread pool; every benchmark derives its own RNG
+ * sub-stream, so results are bit-identical for any job count.
  */
 
 #ifndef BRANCHLAB_CORE_RUNNER_HH
@@ -49,7 +59,40 @@ RecordedWorkload
 recordWorkload(const workloads::Workload &workload,
                const ExperimentConfig &config = ExperimentConfig{});
 
-/** Replay recorded events against a predictor; returns its accuracy. */
+/** Everything one replay of a stream measures for one scheme. */
+struct ReplayResult
+{
+    /** Full accuracy breakdown (the driver's counters). */
+    predict::PredictorStats stats;
+    /** The paper's A: probability a prediction was correct. */
+    double accuracy = 0.0;
+    /** The paper's rho over this replay (BTB schemes only). */
+    double missRatio = 0.0;
+    bool hasMissRatio = false;
+};
+
+/** Replay a recorded stream against a predictor. */
+ReplayResult replay(const std::vector<trace::BranchEvent> &events,
+                    predict::BranchPredictor &predictor);
+
+/** Replay a recorded stream against several independent predictors in
+ *  one pass over the event vector (the schemes never interact, so the
+ *  results are identical to sequential replay() calls; the fused loop
+ *  just reads the multi-megabyte stream once instead of once per
+ *  scheme). Results are in predictor order. */
+std::vector<ReplayResult>
+replayMany(const std::vector<trace::BranchEvent> &events,
+           const std::vector<predict::BranchPredictor *> &predictors);
+
+inline ReplayResult
+replay(const RecordedWorkload &recorded,
+       predict::BranchPredictor &predictor)
+{
+    return replay(recorded.events, predictor);
+}
+
+/** Replay recorded events against a predictor; returns its accuracy.
+ *  Prefer replay() when the miss ratio is also needed. */
 double replayAccuracy(const RecordedWorkload &recorded,
                       predict::BranchPredictor &predictor);
 
@@ -63,12 +106,18 @@ class ExperimentRunner
     /** Run one benchmark end to end. */
     BenchmarkResult runBenchmark(const workloads::Workload &workload) const;
 
-    /** Run the full ten-benchmark suite (Table 1 order). */
+    /** Run the full ten-benchmark suite (Table 1 order), fanning the
+     *  benchmarks across config().jobs worker threads. */
     std::vector<BenchmarkResult> runAll() const;
 
     const ExperimentConfig &config() const { return config_; }
 
   private:
+    BenchmarkResult
+    runBenchmarkReplay(const workloads::Workload &workload) const;
+    BenchmarkResult
+    runBenchmarkTwoPass(const workloads::Workload &workload) const;
+
     ExperimentConfig config_;
 };
 

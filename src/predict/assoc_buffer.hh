@@ -6,12 +6,26 @@
  * The paper's buffers are 256-entry fully associative with LRU
  * replacement; geometry and policy are parameterised here so the
  * ablation benches can sweep them.
+ *
+ * Two lookup strategies are provided. The linear strategy scans the
+ * ways of a set, which models the hardware directly and is fastest
+ * for the small sets the geometry ablation sweeps. The indexed
+ * strategy keeps a tag -> way hash index plus intrusive per-set
+ * recency/FIFO lists, making find/insert/erase O(1) -- essential for
+ * the paper's 256-way fully-associative geometry, where a linear scan
+ * pays up to 256 comparisons for every one of millions of branch
+ * events. Real BTBs resolve a lookup by indexing with (hashed) tag
+ * bits rather than scanning, so the indexed strategy is also the more
+ * faithful model. Both strategies implement identical replacement
+ * semantics; tests replay randomized traces through both and demand
+ * bit-identical behaviour.
  */
 
 #ifndef BRANCHLAB_PREDICT_ASSOC_BUFFER_HH
 #define BRANCHLAB_PREDICT_ASSOC_BUFFER_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "ir/types.hh"
@@ -29,6 +43,14 @@ enum class ReplacementPolicy
     Random, ///< Evict a uniformly random way.
 };
 
+/** How lookups locate a tag within its set. */
+enum class LookupStrategy
+{
+    Auto,    ///< Indexed for wide sets, linear for narrow ones.
+    Linear,  ///< Always scan the ways of the set.
+    Indexed, ///< Always use the tag -> way hash index.
+};
+
 /** Geometry + policy of an associative buffer. */
 struct BufferConfig
 {
@@ -39,6 +61,8 @@ struct BufferConfig
     ReplacementPolicy policy = ReplacementPolicy::Lru;
     /** Seed for the Random policy. */
     std::uint64_t seed = 1;
+    /** Lookup implementation (behaviourally identical either way). */
+    LookupStrategy lookup = LookupStrategy::Auto;
 };
 
 /**
@@ -61,6 +85,16 @@ class AssociativeBuffer
         assoc_ = assoc;
         numSets_ = config.entries / assoc;
         ways_.assign(config.entries, Way{});
+        indexed_ = config.lookup == LookupStrategy::Indexed ||
+                   (config.lookup == LookupStrategy::Auto &&
+                    assoc_ >= kAutoIndexAssociativity);
+        if (indexed_) {
+            index_.reserve(config.entries);
+            validHead_.assign(numSets_, kNullWay);
+            validTail_.assign(numSets_, kNullWay);
+            freeHead_.assign(numSets_, kNullWay);
+            resetFreeLists();
+        }
     }
 
     /**
@@ -70,7 +104,17 @@ class AssociativeBuffer
     Entry *
     find(ir::Addr tag)
     {
-        Way *way = findWay(tag);
+        if (indexed_) {
+            const auto it = index_.find(tag);
+            if (it == index_.end())
+                return nullptr;
+            Way &way = ways_[it->second];
+            way.lastUse = ++tick_;
+            if (config_.policy == ReplacementPolicy::Lru)
+                moveToTail(setOf(tag), it->second);
+            return &way.entry;
+        }
+        Way *way = findWayLinear(tag);
         if (way == nullptr)
             return nullptr;
         way->lastUse = ++tick_;
@@ -81,6 +125,11 @@ class AssociativeBuffer
     const Entry *
     peek(ir::Addr tag) const
     {
+        if (indexed_) {
+            const auto it = index_.find(tag);
+            return it == index_.end() ? nullptr
+                                      : &ways_[it->second].entry;
+        }
         const std::size_t set = setOf(tag);
         for (std::size_t w = 0; w < assoc_; ++w) {
             const Way &way = ways_[set * assoc_ + w];
@@ -98,32 +147,26 @@ class AssociativeBuffer
     Entry &
     insert(ir::Addr tag)
     {
-        blab_assert(findWay(tag) == nullptr,
-                    "insert of already-resident tag");
-        const std::size_t set = setOf(tag);
-        Way *victim = nullptr;
-        for (std::size_t w = 0; w < assoc_; ++w) {
-            Way &way = ways_[set * assoc_ + w];
-            if (!way.valid) {
-                victim = &way;
-                break;
-            }
-        }
-        if (victim == nullptr)
-            victim = pickVictim(set);
-        victim->valid = true;
-        victim->tag = tag;
-        victim->entry = Entry{};
-        victim->lastUse = ++tick_;
-        victim->inserted = tick_;
-        return victim->entry;
+        return indexed_ ? insertIndexed(tag) : insertLinear(tag);
     }
 
     /** Remove a tag if resident (the SBTB's delete-on-fallthrough). */
     void
     erase(ir::Addr tag)
     {
-        Way *way = findWay(tag);
+        if (indexed_) {
+            const auto it = index_.find(tag);
+            if (it == index_.end())
+                return;
+            const std::uint32_t idx = it->second;
+            const std::size_t set = setOf(tag);
+            unlinkValid(set, idx);
+            ways_[idx].valid = false;
+            pushFree(set, idx);
+            index_.erase(it);
+            return;
+        }
+        Way *way = findWayLinear(tag);
         if (way != nullptr)
             way->valid = false;
     }
@@ -134,6 +177,12 @@ class AssociativeBuffer
     {
         for (Way &way : ways_)
             way.valid = false;
+        if (indexed_) {
+            index_.clear();
+            validHead_.assign(numSets_, kNullWay);
+            validTail_.assign(numSets_, kNullWay);
+            resetFreeLists();
+        }
     }
 
     /** Number of valid entries (for tests). */
@@ -146,15 +195,26 @@ class AssociativeBuffer
         return count;
     }
 
+    /** True when the tag -> way hash index is active. */
+    bool indexed() const { return indexed_; }
+
     const BufferConfig &config() const { return config_; }
 
   private:
+    static constexpr std::uint32_t kNullWay = 0xffffffffu;
+    /** Auto mode switches to the index at this set width. */
+    static constexpr std::size_t kAutoIndexAssociativity = 16;
+
     struct Way
     {
         bool valid = false;
         ir::Addr tag = ir::kNoAddr;
         std::uint64_t lastUse = 0;
         std::uint64_t inserted = 0;
+        /** Intrusive links for the indexed strategy: the per-set valid
+         *  list (recency/FIFO order) or the per-set free list. */
+        std::uint32_t prevWay = kNullWay;
+        std::uint32_t nextWay = kNullWay;
         Entry entry{};
     };
 
@@ -165,7 +225,7 @@ class AssociativeBuffer
     }
 
     Way *
-    findWay(ir::Addr tag)
+    findWayLinear(ir::Addr tag)
     {
         const std::size_t set = setOf(tag);
         for (std::size_t w = 0; w < assoc_; ++w) {
@@ -176,8 +236,34 @@ class AssociativeBuffer
         return nullptr;
     }
 
+    // ---- Linear strategy (scan-based, models the hardware). ----
+
+    Entry &
+    insertLinear(ir::Addr tag)
+    {
+        blab_assert(findWayLinear(tag) == nullptr,
+                    "insert of already-resident tag");
+        const std::size_t set = setOf(tag);
+        Way *victim = nullptr;
+        for (std::size_t w = 0; w < assoc_; ++w) {
+            Way &way = ways_[set * assoc_ + w];
+            if (!way.valid) {
+                victim = &way;
+                break;
+            }
+        }
+        if (victim == nullptr)
+            victim = pickVictimLinear(set);
+        victim->valid = true;
+        victim->tag = tag;
+        victim->entry = Entry{};
+        victim->lastUse = ++tick_;
+        victim->inserted = tick_;
+        return victim->entry;
+    }
+
     Way *
-    pickVictim(std::size_t set)
+    pickVictimLinear(std::size_t set)
     {
         Way *base = &ways_[set * assoc_];
         switch (config_.policy) {
@@ -203,11 +289,146 @@ class AssociativeBuffer
         blab_panic("unreachable replacement policy");
     }
 
+    // ---- Indexed strategy (hash index + intrusive lists). ----
+    //
+    // Per set, valid ways form a doubly-linked list ordered oldest to
+    // newest: insertion appends at the tail, an LRU hit moves the way
+    // back to the tail, and FIFO never reorders. The head is therefore
+    // exactly the way the linear strategy's timestamp scan would pick,
+    // and the Random policy draws the identical rng sequence because
+    // the free list is empty precisely when the seed code found no
+    // invalid way.
+
+    Entry &
+    insertIndexed(ir::Addr tag)
+    {
+        blab_assert(index_.find(tag) == index_.end(),
+                    "insert of already-resident tag");
+        const std::size_t set = setOf(tag);
+        std::uint32_t idx = popFree(set);
+        if (idx == kNullWay) {
+            idx = pickVictimIndexed(set);
+            index_.erase(ways_[idx].tag);
+            unlinkValid(set, idx);
+        }
+        Way &way = ways_[idx];
+        way.valid = true;
+        way.tag = tag;
+        way.entry = Entry{};
+        way.lastUse = ++tick_;
+        way.inserted = tick_;
+        appendValid(set, idx);
+        index_.emplace(tag, idx);
+        return way.entry;
+    }
+
+    std::uint32_t
+    pickVictimIndexed(std::size_t set)
+    {
+        if (config_.policy == ReplacementPolicy::Random) {
+            // The set is full, so any way in it is a valid victim.
+            return static_cast<std::uint32_t>(set * assoc_ +
+                                              rng_.nextBelow(assoc_));
+        }
+        return validHead_[set]; // LRU / FIFO: the oldest way
+    }
+
+    void
+    appendValid(std::size_t set, std::uint32_t idx)
+    {
+        Way &way = ways_[idx];
+        way.prevWay = validTail_[set];
+        way.nextWay = kNullWay;
+        if (validTail_[set] != kNullWay)
+            ways_[validTail_[set]].nextWay = idx;
+        else
+            validHead_[set] = idx;
+        validTail_[set] = idx;
+    }
+
+    void
+    unlinkValid(std::size_t set, std::uint32_t idx)
+    {
+        Way &way = ways_[idx];
+        if (way.prevWay != kNullWay)
+            ways_[way.prevWay].nextWay = way.nextWay;
+        else
+            validHead_[set] = way.nextWay;
+        if (way.nextWay != kNullWay)
+            ways_[way.nextWay].prevWay = way.prevWay;
+        else
+            validTail_[set] = way.prevWay;
+        way.prevWay = kNullWay;
+        way.nextWay = kNullWay;
+    }
+
+    void
+    moveToTail(std::size_t set, std::uint32_t idx)
+    {
+        if (validTail_[set] == idx)
+            return;
+        unlinkValid(set, idx);
+        appendValid(set, idx);
+    }
+
+    void
+    pushFree(std::size_t set, std::uint32_t idx)
+    {
+        ways_[idx].prevWay = kNullWay;
+        if (config_.policy != ReplacementPolicy::Random ||
+            freeHead_[set] == kNullWay || idx < freeHead_[set]) {
+            ways_[idx].nextWay = freeHead_[set];
+            freeHead_[set] = idx;
+            return;
+        }
+        // Random victims are drawn by physical slot, so the slot ->
+        // tag mapping must mirror the linear strategy's
+        // first-invalid-slot placement: keep this free list sorted
+        // ascending. (LRU/FIFO pick victims by logical age, so they
+        // keep the O(1) stack above.)
+        std::uint32_t prev = freeHead_[set];
+        while (ways_[prev].nextWay != kNullWay &&
+               ways_[prev].nextWay < idx)
+            prev = ways_[prev].nextWay;
+        ways_[idx].nextWay = ways_[prev].nextWay;
+        ways_[prev].nextWay = idx;
+    }
+
+    std::uint32_t
+    popFree(std::size_t set)
+    {
+        const std::uint32_t idx = freeHead_[set];
+        if (idx != kNullWay) {
+            freeHead_[set] = ways_[idx].nextWay;
+            ways_[idx].nextWay = kNullWay;
+        }
+        return idx;
+    }
+
+    void
+    resetFreeLists()
+    {
+        for (std::size_t set = 0; set < numSets_; ++set) {
+            freeHead_[set] = kNullWay;
+            // Push in reverse so ways pop in ascending slot order,
+            // mirroring the linear strategy's first-invalid scan.
+            for (std::size_t w = assoc_; w-- > 0;) {
+                pushFree(set,
+                         static_cast<std::uint32_t>(set * assoc_ + w));
+            }
+        }
+    }
+
     BufferConfig config_;
     std::size_t assoc_ = 0;
     std::size_t numSets_ = 0;
     std::uint64_t tick_ = 0;
+    bool indexed_ = false;
     std::vector<Way> ways_;
+    std::unordered_map<ir::Addr, std::uint32_t> index_;
+    std::vector<std::uint32_t> validHead_;
+    std::vector<std::uint32_t> validTail_;
+    std::vector<std::uint32_t> freeHead_;
     Rng rng_;
 };
 

@@ -41,7 +41,8 @@ class CounterBtb : public BranchPredictor
     void flush() override;
 
     /** The paper's rho_CBTB: fraction of branch lookups that missed. */
-    double missRatio() const { return lookups_.complement(); }
+    bool hasMissRatio() const override { return true; }
+    double missRatio() const override { return lookups_.complement(); }
     std::uint64_t lookups() const { return lookups_.total(); }
     std::uint64_t hits() const { return lookups_.hits(); }
 

@@ -31,6 +31,10 @@ class FlushingPredictor : public BranchPredictor
 
     std::uint64_t flushCount() const { return flushes_; }
 
+    /** Miss tracking is the wrapped scheme's. */
+    bool hasMissRatio() const override { return inner_.hasMissRatio(); }
+    double missRatio() const override { return inner_.missRatio(); }
+
   private:
     BranchPredictor &inner_;
     std::uint64_t interval_;

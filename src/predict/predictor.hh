@@ -74,6 +74,13 @@ class BranchPredictor
      *  no dynamic state (static, profile-based) ignore this -- the
      *  paper's point in section 3. */
     virtual void flush() {}
+
+    /** True when the scheme tracks a buffer miss ratio (the paper's
+     *  rho); lets replay() surface it without downcasting. */
+    virtual bool hasMissRatio() const { return false; }
+
+    /** The miss ratio so far; meaningful only when hasMissRatio(). */
+    virtual double missRatio() const { return 0.0; }
 };
 
 /** Accuracy accounting for one predictor over one or many runs. */

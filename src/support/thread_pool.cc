@@ -1,0 +1,137 @@
+#include "support/thread_pool.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace branchlab
+{
+
+unsigned
+hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+}
+
+unsigned
+envJobs()
+{
+    const char *raw = std::getenv("BRANCHLAB_JOBS");
+    if (raw == nullptr || *raw == '\0')
+        return 0;
+    char *end = nullptr;
+    const long value = std::strtol(raw, &end, 10);
+    if (end == raw || *end != '\0' || value <= 0) {
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            blab_warn("ignoring unparsable BRANCHLAB_JOBS='", raw, "'");
+        }
+        return 0;
+    }
+    return static_cast<unsigned>(value);
+}
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned env = envJobs();
+    return env > 0 ? env : hardwareJobs();
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    const unsigned count = workers == 0 ? 1u : workers;
+    workers_.reserve(count);
+    for (unsigned w = 0; w < count; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+    }
+    workCv_.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock,
+                 [this] { return queue_.empty() && active_ == 0; });
+    if (firstError_ != nullptr) {
+        std::exception_ptr error = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workCv_.wait(lock,
+                         [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to drain
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        try {
+            job();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (firstError_ == nullptr)
+                firstError_ = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+        }
+        idleCv_.notify_all();
+    }
+}
+
+void
+parallelFor(std::size_t count, unsigned jobs,
+            const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(jobs, count));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    ThreadPool pool(workers);
+    for (std::size_t i = 0; i < count; ++i)
+        pool.submit([&body, i] { body(i); });
+    pool.waitIdle();
+}
+
+} // namespace branchlab

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * A small fixed-size worker pool and a deterministic parallel-for.
+ *
+ * The experiment engine fans independent workload-level jobs across
+ * threads: every benchmark derives its own RNG sub-stream from the
+ * master seed, so results are bit-identical regardless of the worker
+ * count or scheduling order. Callers write results into per-index
+ * slots, which keeps output ordering deterministic by construction.
+ *
+ * Job-count resolution (resolveJobs): an explicit request wins, then
+ * the BRANCHLAB_JOBS environment variable, then the hardware
+ * concurrency.
+ */
+
+#ifndef BRANCHLAB_SUPPORT_THREAD_POOL_HH
+#define BRANCHLAB_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace branchlab
+{
+
+/** max(1, std::thread::hardware_concurrency()). */
+unsigned hardwareJobs();
+
+/** BRANCHLAB_JOBS parsed as a positive integer, or 0 when unset or
+ *  unparsable (a bad value warns once per process). */
+unsigned envJobs();
+
+/**
+ * Resolve an effective job count: @p requested when > 0, else
+ * BRANCHLAB_JOBS when set, else the hardware concurrency.
+ */
+unsigned resolveJobs(unsigned requested);
+
+/**
+ * A fixed set of workers draining a FIFO queue of jobs. Exceptions
+ * thrown by jobs are captured (first one wins) and rethrown from
+ * waitIdle(), so blab_fatal/blab_panic propagate to the caller under
+ * the test harness's throwing mode.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p workers threads (clamped to at least 1). */
+    explicit ThreadPool(unsigned workers);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job. */
+    void submit(std::function<void()> job);
+
+    /**
+     * Block until the queue is empty and no job is running, then
+     * rethrow the first captured job exception, if any.
+     */
+    void waitIdle();
+
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workCv_;
+    std::condition_variable idleCv_;
+    std::size_t active_ = 0;
+    bool stop_ = false;
+    std::exception_ptr firstError_;
+};
+
+/**
+ * Run body(0) .. body(count - 1) across @p jobs workers and wait for
+ * completion. jobs <= 1 (or count <= 1) runs inline on the calling
+ * thread, byte-for-byte the serial loop. Rethrows the first job
+ * exception after all submitted work has drained.
+ */
+void parallelFor(std::size_t count, unsigned jobs,
+                 const std::function<void(std::size_t)> &body);
+
+} // namespace branchlab
+
+#endif // BRANCHLAB_SUPPORT_THREAD_POOL_HH

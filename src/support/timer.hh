@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Wall-clock timing helpers for the benches and the perf harness.
+ *
+ * Stopwatch reads std::chrono::steady_clock; ScopeTimer accumulates a
+ * scope's elapsed seconds into a caller-owned double (and optionally
+ * reports it to stderr), so benches can build per-phase timing tables
+ * without sprinkling chrono boilerplate.
+ */
+
+#ifndef BRANCHLAB_SUPPORT_TIMER_HH
+#define BRANCHLAB_SUPPORT_TIMER_HH
+
+#include <chrono>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace branchlab
+{
+
+/** Monotonic elapsed-time measurement. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        const auto elapsed = Clock::now() - start_;
+        return std::chrono::duration<double>(elapsed).count();
+    }
+
+    double millis() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * Times a scope. On destruction the elapsed seconds are added to the
+ * target double (when given) and, when a label was given, reported as
+ * a status line: "<label>: 1.234 s".
+ */
+class ScopeTimer
+{
+  public:
+    /** Accumulate into @p out_seconds; report when @p label is set. */
+    explicit ScopeTimer(double *out_seconds, std::string label = "")
+        : out_(out_seconds), label_(std::move(label))
+    {}
+
+    /** Report-only form. */
+    explicit ScopeTimer(std::string label)
+        : out_(nullptr), label_(std::move(label))
+    {}
+
+    ScopeTimer(const ScopeTimer &) = delete;
+    ScopeTimer &operator=(const ScopeTimer &) = delete;
+
+    ~ScopeTimer()
+    {
+        const double elapsed = watch_.seconds();
+        if (out_ != nullptr)
+            *out_ += elapsed;
+        if (!label_.empty())
+            blab_inform(label_, ": ", elapsed, " s");
+    }
+
+  private:
+    Stopwatch watch_;
+    double *out_;
+    std::string label_;
+};
+
+} // namespace branchlab
+
+#endif // BRANCHLAB_SUPPORT_TIMER_HH

@@ -17,11 +17,26 @@ namespace branchlab::trace
 class BranchRecorder : public TraceSink
 {
   public:
+    BranchRecorder() = default;
+
+    /** Pre-reserve capacity for @p reserve_hint events, sparing the
+     *  engine's record pass the early geometric regrowth copies. */
+    explicit BranchRecorder(std::size_t reserve_hint)
+    {
+        events_.reserve(reserve_hint);
+    }
+
     void onBranch(const BranchEvent &event) override;
 
     const std::vector<BranchEvent> &events() const { return events_; }
     std::size_t size() const { return events_.size(); }
     void clear() { events_.clear(); }
+
+    /** Grow capacity to at least @p capacity events. */
+    void reserve(std::size_t capacity) { events_.reserve(capacity); }
+
+    /** Move the recorded events out (leaves the recorder empty). */
+    std::vector<BranchEvent> takeEvents() { return std::move(events_); }
 
     /** Replay all recorded events into another sink. */
     void replayInto(TraceSink &sink) const;

@@ -123,6 +123,106 @@ TEST(ExperimentRunner, RecordAndReplayMatchesTheOnlineRun)
     EXPECT_EQ(replayed, online.sbtb.accuracy);
 }
 
+TEST(ExperimentRunner, ReplayReturnsThePerSchemeMissRatio)
+{
+    ExperimentConfig config = quickConfig();
+    const RecordedWorkload recorded =
+        recordWorkload(workloads::findWorkload("tee"), config);
+    const BenchmarkResult online = ExperimentRunner(config).runBenchmark(
+        workloads::findWorkload("tee"));
+
+    predict::SimpleBtb sbtb(config.btb);
+    const ReplayResult sbtb_replay = replay(recorded, sbtb);
+    EXPECT_TRUE(sbtb_replay.hasMissRatio);
+    EXPECT_EQ(sbtb_replay.missRatio, online.sbtb.missRatio);
+    EXPECT_EQ(sbtb_replay.accuracy, online.sbtb.accuracy);
+    EXPECT_EQ(sbtb_replay.stats.accuracy.total(),
+              recorded.events.size());
+
+    // Schemes without a buffer report no miss ratio.
+    predict::ProfilePredictor fs(recorded.likelyMap);
+    const ReplayResult fs_replay = replay(recorded, fs);
+    EXPECT_FALSE(fs_replay.hasMissRatio);
+    EXPECT_EQ(fs_replay.missRatio, 0.0);
+}
+
+/** Compare everything two engine configurations measure. */
+void
+expectIdenticalResults(const std::vector<BenchmarkResult> &a,
+                       const std::vector<BenchmarkResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const BenchmarkResult &x = a[i];
+        const BenchmarkResult &y = b[i];
+        EXPECT_EQ(x.name, y.name);
+        EXPECT_EQ(x.runs, y.runs);
+        EXPECT_EQ(x.staticSize, y.staticSize);
+        EXPECT_EQ(x.sbtb.accuracy, y.sbtb.accuracy) << x.name;
+        EXPECT_EQ(x.sbtb.missRatio, y.sbtb.missRatio) << x.name;
+        EXPECT_EQ(x.cbtb.accuracy, y.cbtb.accuracy) << x.name;
+        EXPECT_EQ(x.cbtb.missRatio, y.cbtb.missRatio) << x.name;
+        EXPECT_EQ(x.fs.accuracy, y.fs.accuracy) << x.name;
+        ASSERT_EQ(x.staticSchemes.size(), y.staticSchemes.size());
+        for (std::size_t s = 0; s < x.staticSchemes.size(); ++s) {
+            EXPECT_EQ(x.staticSchemes[s].scheme,
+                      y.staticSchemes[s].scheme);
+            EXPECT_EQ(x.staticSchemes[s].accuracy,
+                      y.staticSchemes[s].accuracy)
+                << x.name;
+        }
+        EXPECT_EQ(x.stats.instructions(), y.stats.instructions())
+            << x.name;
+        EXPECT_EQ(x.stats.branches(), y.stats.branches()) << x.name;
+        EXPECT_EQ(x.stats.conditionalTaken(), y.stats.conditionalTaken())
+            << x.name;
+        EXPECT_EQ(x.stats.unconditionalKnown(),
+                  y.stats.unconditionalKnown())
+            << x.name;
+        EXPECT_EQ(x.codeIncrease, y.codeIncrease) << x.name;
+    }
+}
+
+TEST(ExperimentRunner, ReplayEngineMatchesTheTwoPassEngine)
+{
+    ExperimentConfig config = quickConfig();
+    config.runStaticSchemes = true;
+    config.runCodeSize = true;
+
+    ExperimentConfig two_pass = config;
+    two_pass.engine = EngineMode::TwoPass;
+    // The seed engine also scanned BTB ways linearly; pin that to
+    // prove the full seed configuration is reproduced bit-for-bit.
+    two_pass.btb.lookup = predict::LookupStrategy::Linear;
+
+    const BenchmarkResult a = ExperimentRunner(config).runBenchmark(
+        workloads::findWorkload("wc"));
+    const BenchmarkResult b = ExperimentRunner(two_pass).runBenchmark(
+        workloads::findWorkload("wc"));
+    expectIdenticalResults({a}, {b});
+}
+
+TEST(ExperimentRunner, ParallelRunAllIsBitIdenticalToSerial)
+{
+    ExperimentConfig config = quickConfig();
+    config.runStaticSchemes = true;
+
+    ExperimentConfig serial = config;
+    serial.jobs = 1;
+    ExperimentConfig parallel = config;
+    parallel.jobs = 4;
+
+    const std::vector<BenchmarkResult> a =
+        ExperimentRunner(serial).runAll();
+    const std::vector<BenchmarkResult> b =
+        ExperimentRunner(parallel).runAll();
+    ASSERT_EQ(a.size(), workloads::allWorkloads().size());
+    // Deterministic Table 1 ordering regardless of scheduling.
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].name, workloads::allWorkloads()[i]->name());
+    expectIdenticalResults(a, b);
+}
+
 TEST(Summaries, MeanAndSampleStddev)
 {
     const Summary summary = summarize({1.0, 3.0});

@@ -185,6 +185,165 @@ TEST(AssocBuffer, GeometryIsValidated)
     EXPECT_THROW(AssociativeBuffer<Payload>{bad}, LogicFailure);
 }
 
+TEST(AssocBuffer, AutoStrategyIndexesWideSetsOnly)
+{
+    AssociativeBuffer<Payload> paper(BufferConfig{});
+    EXPECT_TRUE(paper.indexed()); // 256-way fully associative
+    AssociativeBuffer<Payload> narrow(
+        BufferConfig{8, 4, ReplacementPolicy::Lru, 1});
+    EXPECT_FALSE(narrow.indexed());
+    AssociativeBuffer<Payload> forced(
+        BufferConfig{8, 4, ReplacementPolicy::Lru, 1,
+                     LookupStrategy::Indexed});
+    EXPECT_TRUE(forced.indexed());
+}
+
+/** Victim-selection behaviour must not depend on the lookup
+ *  strategy; run the policy tests over both. */
+class AssocBufferStrategy
+    : public ::testing::TestWithParam<LookupStrategy>
+{
+  protected:
+    BufferConfig
+    makeConfig(std::size_t entries, std::size_t assoc,
+               ReplacementPolicy policy, std::uint64_t seed = 1) const
+    {
+        return BufferConfig{entries, assoc, policy, seed, GetParam()};
+    }
+};
+
+TEST_P(AssocBufferStrategy, FifoVictimIgnoresTouches)
+{
+    AssociativeBuffer<Payload> buffer(
+        makeConfig(3, 0, ReplacementPolicy::Fifo));
+    buffer.insert(1);
+    buffer.insert(2);
+    buffer.insert(3);
+    // Touch the oldest two; FIFO must still evict in insertion order.
+    buffer.find(1);
+    buffer.find(2);
+    buffer.insert(4); // evicts 1
+    EXPECT_EQ(buffer.find(1), nullptr);
+    buffer.insert(5); // evicts 2 despite the recent touch
+    EXPECT_EQ(buffer.find(2), nullptr);
+    EXPECT_NE(buffer.find(3), nullptr);
+    EXPECT_NE(buffer.find(4), nullptr);
+    EXPECT_NE(buffer.find(5), nullptr);
+}
+
+TEST_P(AssocBufferStrategy, FifoEraseThenInsertMovesToNewest)
+{
+    AssociativeBuffer<Payload> buffer(
+        makeConfig(2, 0, ReplacementPolicy::Fifo));
+    buffer.insert(1);
+    buffer.insert(2);
+    buffer.erase(1);
+    buffer.insert(1); // re-inserted: now the NEWEST entry
+    buffer.insert(3); // must evict 2, the oldest surviving insertion
+    EXPECT_EQ(buffer.find(2), nullptr);
+    EXPECT_NE(buffer.find(1), nullptr);
+    EXPECT_NE(buffer.find(3), nullptr);
+}
+
+TEST_P(AssocBufferStrategy, EraseThenInsertReusesTheFreeWay)
+{
+    AssociativeBuffer<Payload> buffer(
+        makeConfig(2, 0, ReplacementPolicy::Lru));
+    buffer.insert(10).value = 1;
+    buffer.insert(20).value = 2;
+    buffer.erase(10);
+    EXPECT_EQ(buffer.occupancy(), 1u);
+    // The freed way must absorb the insert -- no eviction of 20 --
+    // and the payload must come back default-constructed.
+    Payload &fresh = buffer.insert(30);
+    EXPECT_EQ(fresh.value, 0);
+    EXPECT_EQ(buffer.occupancy(), 2u);
+    EXPECT_NE(buffer.find(20), nullptr);
+    EXPECT_NE(buffer.find(30), nullptr);
+    // And the erased tag is re-insertable afterwards (evicting LRU).
+    buffer.find(30);
+    buffer.insert(10);
+    EXPECT_EQ(buffer.find(20), nullptr);
+    EXPECT_NE(buffer.find(10), nullptr);
+}
+
+TEST_P(AssocBufferStrategy, RandomVictimStaysResidentElsewhere)
+{
+    AssociativeBuffer<Payload> buffer(
+        makeConfig(4, 0, ReplacementPolicy::Random, 42));
+    for (ir::Addr tag = 0; tag < 100; ++tag)
+        buffer.insert(tag * 8 + 1);
+    EXPECT_EQ(buffer.occupancy(), 4u);
+    // The four survivors are findable, everything else is gone.
+    std::size_t resident = 0;
+    for (ir::Addr tag = 0; tag < 100; ++tag)
+        resident += buffer.peek(tag * 8 + 1) != nullptr ? 1 : 0;
+    EXPECT_EQ(resident, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStrategies, AssocBufferStrategy,
+                         ::testing::Values(LookupStrategy::Linear,
+                                           LookupStrategy::Indexed),
+                         [](const auto &info) {
+                             return info.param ==
+                                            LookupStrategy::Linear
+                                        ? "Linear"
+                                        : "Indexed";
+                         });
+
+/** The two lookup strategies must agree on a randomized trace of
+ *  find/insert/erase/flush, for every policy and geometry. */
+TEST(AssocBuffer, StrategiesAgreeOnRandomizedTraces)
+{
+    const std::vector<std::pair<std::size_t, std::size_t>> geometries =
+        {{256, 0}, {64, 0}, {64, 16}, {32, 4}};
+    for (const auto &[entries, assoc] : geometries) {
+        for (ReplacementPolicy policy :
+             {ReplacementPolicy::Lru, ReplacementPolicy::Fifo,
+              ReplacementPolicy::Random}) {
+            AssociativeBuffer<Payload> linear(
+                BufferConfig{entries, assoc, policy, 7,
+                             LookupStrategy::Linear});
+            AssociativeBuffer<Payload> indexed(
+                BufferConfig{entries, assoc, policy, 7,
+                             LookupStrategy::Indexed});
+            // A working set of 3x capacity keeps evictions frequent.
+            Rng rng(0xabcdef ^ entries ^ (assoc << 8) ^
+                    static_cast<std::uint64_t>(policy));
+            for (int op = 0; op < 20000; ++op) {
+                const ir::Addr tag = rng.nextBelow(3 * entries);
+                const std::uint64_t kind = rng.nextBelow(100);
+                if (kind < 70) { // find, insert on miss (BTB shape)
+                    Payload *a = linear.find(tag);
+                    Payload *b = indexed.find(tag);
+                    ASSERT_EQ(a == nullptr, b == nullptr)
+                        << "op " << op << " tag " << tag;
+                    if (a == nullptr) {
+                        linear.insert(tag).value = op;
+                        indexed.insert(tag).value = op;
+                    } else {
+                        ASSERT_EQ(a->value, b->value);
+                    }
+                } else if (kind < 95) {
+                    linear.erase(tag);
+                    indexed.erase(tag);
+                } else if (kind < 96) {
+                    linear.flush();
+                    indexed.flush();
+                } else {
+                    const Payload *a = linear.peek(tag);
+                    const Payload *b = indexed.peek(tag);
+                    ASSERT_EQ(a == nullptr, b == nullptr);
+                    if (a != nullptr) {
+                        ASSERT_EQ(a->value, b->value);
+                    }
+                }
+                ASSERT_EQ(linear.occupancy(), indexed.occupancy());
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // SBTB (paper rules).
 // ---------------------------------------------------------------------

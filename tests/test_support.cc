@@ -10,11 +10,17 @@
 #include <set>
 #include <sstream>
 
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+
 #include "support/logging.hh"
 #include "support/random.hh"
 #include "support/stats.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
+#include "support/thread_pool.hh"
+#include "support/timer.hh"
 
 namespace branchlab
 {
@@ -467,6 +473,120 @@ TEST(TextTable, SeparatorRendersRule)
         }
     }
     EXPECT_EQ(rules, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Thread pool and parallel-for.
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedJob)
+{
+    std::atomic<int> count{0};
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { count.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsTheFirstJobError)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw ConfigFailure("job failed"); });
+    EXPECT_THROW(pool.waitIdle(), ConfigFailure);
+    // The pool survives the error and stays usable.
+    std::atomic<int> count{0};
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    for (unsigned jobs : {1u, 2u, 4u, 9u}) {
+        std::vector<int> hits(257, 0);
+        parallelFor(hits.size(), jobs,
+                    [&hits](std::size_t i) { hits[i] += 1; });
+        EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 257)
+            << jobs << " jobs";
+        for (int h : hits)
+            EXPECT_EQ(h, 1);
+    }
+}
+
+TEST(ParallelFor, PropagatesExceptionsFromWorkers)
+{
+    EXPECT_THROW(parallelFor(8, 4,
+                             [](std::size_t i) {
+                                 if (i == 5)
+                                     blab_fatal("worker ", i);
+                             }),
+                 ConfigFailure);
+    // Inline (serial) path throws too.
+    EXPECT_THROW(parallelFor(8, 1,
+                             [](std::size_t i) {
+                                 if (i == 5)
+                                     blab_fatal("worker ", i);
+                             }),
+                 ConfigFailure);
+}
+
+TEST(ParallelFor, HandlesEmptyAndSingleRanges)
+{
+    int calls = 0;
+    parallelFor(0, 4, [&calls](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallelFor(1, 4, [&calls](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Jobs, ResolutionPrefersExplicitThenEnvThenHardware)
+{
+    ASSERT_EQ(unsetenv("BRANCHLAB_JOBS"), 0);
+    EXPECT_EQ(resolveJobs(3), 3u);
+    EXPECT_EQ(resolveJobs(0), hardwareJobs());
+    EXPECT_EQ(envJobs(), 0u);
+
+    ASSERT_EQ(setenv("BRANCHLAB_JOBS", "5", 1), 0);
+    EXPECT_EQ(envJobs(), 5u);
+    EXPECT_EQ(resolveJobs(0), 5u);
+    EXPECT_EQ(resolveJobs(2), 2u); // explicit still wins
+
+    ASSERT_EQ(setenv("BRANCHLAB_JOBS", "zero", 1), 0);
+    EXPECT_EQ(envJobs(), 0u);
+    EXPECT_EQ(resolveJobs(0), hardwareJobs());
+    ASSERT_EQ(unsetenv("BRANCHLAB_JOBS"), 0);
+    EXPECT_GE(hardwareJobs(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Timing.
+// ---------------------------------------------------------------------
+
+TEST(Timer, StopwatchIsMonotoneAndResets)
+{
+    Stopwatch watch;
+    const double first = watch.seconds();
+    EXPECT_GE(first, 0.0);
+    const double second = watch.seconds();
+    EXPECT_GE(second, first);
+    watch.reset();
+    EXPECT_GE(watch.seconds(), 0.0);
+    EXPECT_NEAR(watch.millis(), watch.seconds() * 1e3, 1.0);
+}
+
+TEST(Timer, ScopeTimerAccumulatesIntoTarget)
+{
+    double total = 0.0;
+    {
+        ScopeTimer timer(&total);
+    }
+    const double once = total;
+    EXPECT_GE(once, 0.0);
+    {
+        ScopeTimer timer(&total);
+    }
+    EXPECT_GE(total, once); // accumulates, not overwrites
 }
 
 } // namespace

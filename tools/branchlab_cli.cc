@@ -47,10 +47,12 @@ usage()
            "[--seed S]\n"
            "  branchlab replay <FILE> --scheme NAME "
            "[--flush-every Q]\n"
-           "  branchlab tables [--runs N] [--seed S]\n"
-           "  branchlab figures [--runs N] [--seed S]\n"
+           "  branchlab tables [--runs N] [--seed S] [--jobs N]\n"
+           "  branchlab figures [--runs N] [--seed S] [--jobs N]\n"
            "schemes: sbtb cbtb gshare always-taken always-not-taken "
-           "btfnt opcode-bias fs\n";
+           "btfnt opcode-bias fs\n"
+           "--jobs defaults to BRANCHLAB_JOBS, then the hardware "
+           "concurrency\n";
     return 2;
 }
 
@@ -58,6 +60,7 @@ struct Options
 {
     unsigned runs = 0;
     std::uint64_t seed = 0;
+    unsigned jobs = 0;
     std::string output;
     std::string scheme;
     std::uint64_t flushEvery = 0;
@@ -74,17 +77,31 @@ parseOptions(int argc, char **argv, int first)
                 blab_fatal("missing value for ", arg);
             return argv[++i];
         };
+        const auto need_number = [&]() -> std::uint64_t {
+            const std::string text = need_value();
+            try {
+                std::size_t used = 0;
+                const std::uint64_t value = std::stoull(text, &used);
+                if (used != text.size())
+                    throw std::invalid_argument(text);
+                return value;
+            } catch (const std::exception &) {
+                blab_fatal("value for ", arg, " must be a number, got '",
+                           text, "'");
+            }
+        };
         if (arg == "--runs")
-            options.runs = static_cast<unsigned>(
-                std::stoul(need_value()));
+            options.runs = static_cast<unsigned>(need_number());
         else if (arg == "--seed")
-            options.seed = std::stoull(need_value());
+            options.seed = need_number();
+        else if (arg == "--jobs")
+            options.jobs = static_cast<unsigned>(need_number());
         else if (arg == "-o" || arg == "--output")
             options.output = need_value();
         else if (arg == "--scheme")
             options.scheme = need_value();
         else if (arg == "--flush-every")
-            options.flushEvery = std::stoull(need_value());
+            options.flushEvery = need_number();
         else
             blab_fatal("unknown option '", arg, "'");
     }
@@ -99,6 +116,7 @@ makeConfig(const Options &options)
         config.runsOverride = options.runs;
     if (options.seed != 0)
         config.seed = options.seed;
+    config.jobs = options.jobs;
     return config;
 }
 
@@ -245,12 +263,8 @@ cmdTables(const Options &options)
     core::ExperimentConfig config = makeConfig(options);
     config.runStaticSchemes = true;
     core::ExperimentRunner runner(config);
-    std::vector<core::BenchmarkResult> results;
-    for (const workloads::Workload *workload :
-         workloads::allWorkloads()) {
-        std::cerr << "running " << workload->name() << "...\n";
-        results.push_back(runner.runBenchmark(*workload));
-    }
+    std::cerr << "running the suite...\n";
+    const std::vector<core::BenchmarkResult> results = runner.runAll();
     const auto print = [](const char *title, const TextTable &table) {
         std::cout << "\n" << title << "\n";
         table.render(std::cout);
@@ -275,12 +289,8 @@ cmdFigures(const Options &options)
     config.runStaticSchemes = false;
     config.runCodeSize = false;
     core::ExperimentRunner runner(config);
-    std::vector<core::BenchmarkResult> results;
-    for (const workloads::Workload *workload :
-         workloads::allWorkloads()) {
-        std::cerr << "running " << workload->name() << "...\n";
-        results.push_back(runner.runBenchmark(*workload));
-    }
+    std::cerr << "running the suite...\n";
+    const std::vector<core::BenchmarkResult> results = runner.runAll();
     for (unsigned k : {1u, 2u, 4u, 8u}) {
         const core::FigurePanel panel =
             core::makeFigurePanel(results, k);
