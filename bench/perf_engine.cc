@@ -10,11 +10,17 @@
  *   3. replay parallel:   record-once/replay-many fanned across
  *                         BRANCHLAB_JOBS worker threads --
  *
- * verifies that all three produce bit-identical scheme accuracies,
- * miss ratios, and trace statistics, micro-benchmarks the linear-scan
- * vs hash-indexed AssociativeBuffer lookup on the paper's 256-way
- * fully-associative geometry, and emits everything machine-readable
- * to BENCH_engine.json so the perf trajectory is tracked PR over PR.
+ * then splits the replay engine into its two component phases (the VM
+ * record pass and the predictor replay pass, timed separately) and
+ * times a warm-cache suite run against a throwaway persistent trace
+ * cache, where the record pass is skipped entirely.
+ *
+ * Verifies that every engine and the warm-cache run produce
+ * bit-identical scheme accuracies, miss ratios, and trace statistics,
+ * micro-benchmarks the linear-scan vs hash-indexed AssociativeBuffer
+ * lookup on the paper's 256-way fully-associative geometry, and emits
+ * everything machine-readable to BENCH_engine.json so the perf
+ * trajectory is tracked PR over PR.
  *
  *   perf_engine [--runs N] [--jobs N] [--repeat N] [--out FILE]
  *
@@ -22,16 +28,24 @@
  * suite); --repeat times each phase best-of-N (default 3).
  */
 
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "bench_common.hh"
 
 #include "predict/assoc_buffer.hh"
+#include "predict/profile_predictor.hh"
+#include "predict/static_predictors.hh"
 #include "support/random.hh"
+#include "trace/cache.hh"
 
 namespace
 {
@@ -112,6 +126,70 @@ countMismatches(const std::vector<core::BenchmarkResult> &a,
     return mismatches;
 }
 
+/** Serial record pass over the whole suite (the VM phase alone). */
+double
+timeRecordPass(const core::ExperimentConfig &config, unsigned repeat,
+               std::vector<core::RecordedWorkload> &out)
+{
+    std::cerr << "  record pass (VM only)...\n";
+    double best = 0.0;
+    for (unsigned r = 0; r < repeat; ++r) {
+        std::vector<core::RecordedWorkload> recorded;
+        double seconds = 0.0;
+        {
+            ScopeTimer timer(&seconds);
+            for (const workloads::Workload *workload :
+                 workloads::allWorkloads())
+                recorded.push_back(
+                    core::recordWorkload(*workload, config));
+        }
+        if (r == 0 || seconds < best) {
+            best = seconds;
+            out = std::move(recorded);
+        }
+        std::cerr << "    " << formatFixed(seconds, 3) << " s\n";
+    }
+    return best;
+}
+
+/** Serial replay pass over pre-recorded streams (no VM execution):
+ *  the same seven schemes the replay engine fuses per workload. */
+double
+timeReplayPass(const std::vector<core::RecordedWorkload> &recorded,
+               const core::ExperimentConfig &config, unsigned repeat)
+{
+    std::cerr << "  replay pass (streams only)...\n";
+    double best = 0.0;
+    for (unsigned r = 0; r < repeat; ++r) {
+        double seconds = 0.0;
+        double checksum = 0.0;
+        {
+            ScopeTimer timer(&seconds);
+            for (const core::RecordedWorkload &workload : recorded) {
+                predict::SimpleBtb sbtb(config.btb);
+                predict::CounterBtb cbtb(config.btb, config.counter);
+                predict::AlwaysTaken always_taken;
+                predict::AlwaysNotTaken always_not_taken;
+                predict::BackwardTaken btfnt;
+                predict::OpcodeBias opcode_bias;
+                predict::ProfilePredictor fs(workload.likelyMap);
+                const std::vector<core::ReplayResult> replays =
+                    core::replayMany(workload.events,
+                                     {&sbtb, &cbtb, &always_taken,
+                                      &always_not_taken, &btfnt,
+                                      &opcode_bias, &fs});
+                for (const core::ReplayResult &replay : replays)
+                    checksum += replay.accuracy;
+            }
+        }
+        if (r == 0 || seconds < best)
+            best = seconds;
+        std::cerr << "    " << formatFixed(seconds, 3) << " s (acc sum "
+                  << formatFixed(checksum, 3) << ")\n";
+    }
+    return best;
+}
+
 struct LookupBench
 {
     std::uint64_t ops = 0;
@@ -179,6 +257,8 @@ void
 writeJson(const std::string &path, unsigned jobs, unsigned runs_override,
           unsigned repeat, const TimedRun &two_pass,
           const TimedRun &replay_serial, const TimedRun &replay_parallel,
+          double record_s, double replay_only_s, double warm_cache_s,
+          const trace::TraceCacheCounters &cache_counters,
           const LookupBench &lookup, std::size_t mismatches)
 {
     std::ostringstream os;
@@ -189,16 +269,27 @@ writeJson(const std::string &path, unsigned jobs, unsigned runs_override,
        << "  \"runs_override\": " << runs_override << ",\n"
        << "  \"repeat\": " << repeat << ",\n"
        << "  \"jobs_parallel\": " << jobs << ",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
        << "  \"phases\": {\n"
        << "    \"two_pass_serial_s\": " << two_pass.seconds << ",\n"
        << "    \"replay_serial_s\": " << replay_serial.seconds << ",\n"
        << "    \"replay_parallel_s\": " << replay_parallel.seconds
-       << "\n  },\n"
+       << ",\n"
+       << "    \"record_s\": " << record_s << ",\n"
+       << "    \"replay_only_s\": " << replay_only_s << ",\n"
+       << "    \"warm_cache_s\": " << warm_cache_s << "\n  },\n"
        << "  \"speedup\": {\n"
        << "    \"replay_serial_vs_two_pass\": "
        << two_pass.seconds / replay_serial.seconds << ",\n"
        << "    \"replay_parallel_vs_two_pass\": "
-       << two_pass.seconds / replay_parallel.seconds << "\n  },\n"
+       << two_pass.seconds / replay_parallel.seconds << ",\n"
+       << "    \"warm_cache_vs_record\": "
+       << record_s / warm_cache_s << "\n  },\n"
+       << "  \"trace_cache\": {\n"
+       << "    \"hits\": " << cache_counters.hits << ",\n"
+       << "    \"misses\": " << cache_counters.misses << ",\n"
+       << "    \"stores\": " << cache_counters.stores << "\n  },\n"
        << "  \"btb_lookup\": {\n"
        << "    \"ops\": " << lookup.ops << ",\n"
        << "    \"linear_mops\": " << lookup.linearMops << ",\n"
@@ -266,6 +357,15 @@ main(int argc, char **argv)
     if (repeat == 0)
         repeat = 1;
 
+    // An ambient trace cache would let the "cold" phases skip their
+    // VM passes; the only cache this bench may use is its own
+    // throwaway directory below.
+    if (std::getenv("BRANCHLAB_TRACE_CACHE") != nullptr) {
+        std::cerr << "ignoring BRANCHLAB_TRACE_CACHE for the cold "
+                     "phases\n";
+        unsetenv("BRANCHLAB_TRACE_CACHE");
+    }
+
     core::ExperimentConfig config = bench::paperConfig();
     config.runsOverride = runs_override;
 
@@ -302,6 +402,38 @@ main(int argc, char **argv)
     mismatches +=
         countMismatches(two_pass.results, replay_parallel.results);
 
+    std::cerr << "replay engine phase split:\n";
+    std::vector<core::RecordedWorkload> recorded;
+    const double record_s =
+        timeRecordPass(replay_serial_config, repeat, recorded);
+    const double replay_only_s =
+        timeReplayPass(recorded, replay_serial_config, repeat);
+    recorded.clear();
+
+    // Warm-cache phase: prime a throwaway cache with one suite run,
+    // then time runs whose record pass is a pure cache hit.
+    const std::string cache_dir =
+        ".perf-engine-cache-" + std::to_string(getpid());
+    core::ExperimentConfig warm_config = replay_serial_config;
+    warm_config.traceCacheDir = cache_dir;
+    std::cerr << "warm trace cache (dir " << cache_dir << "):\n";
+    std::cerr << "  priming...\n";
+    core::ExperimentRunner(warm_config).runAll();
+    trace::resetTraceCacheCounters();
+    const TimedRun warm_cache =
+        timeSuite("warm-cache serial", warm_config, repeat);
+    const trace::TraceCacheCounters cache_counters =
+        trace::traceCacheCounters();
+    if (cache_counters.misses != 0 || cache_counters.stores != 0) {
+        std::cerr << "  MISMATCH: warm runs recorded ("
+                  << cache_counters.misses << " misses, "
+                  << cache_counters.stores << " stores)\n";
+        ++mismatches;
+    }
+    mismatches += countMismatches(two_pass.results, warm_cache.results);
+    std::error_code cleanup_ec;
+    std::filesystem::remove_all(cache_dir, cleanup_ec);
+
     std::cerr << "BTB lookup micro-bench (256-entry fully-assoc):\n";
     const LookupBench lookup = benchBufferLookup();
 
@@ -317,7 +449,22 @@ main(int argc, char **argv)
          formatFixed(replay_parallel.seconds, 3),
          formatFixed(two_pass.seconds / replay_parallel.seconds, 2) +
              "x"});
+    table.addRow({"record phase (VM)", formatFixed(record_s, 3),
+                  formatFixed(two_pass.seconds / record_s, 2) + "x"});
+    table.addRow({"replay phase (streams)",
+                  formatFixed(replay_only_s, 3),
+                  formatFixed(two_pass.seconds / replay_only_s, 2) +
+                      "x"});
+    table.addRow({"warm-cache serial",
+                  formatFixed(warm_cache.seconds, 3),
+                  formatFixed(two_pass.seconds / warm_cache.seconds, 2) +
+                      "x"});
     table.render(std::cout);
+    std::cout << "\nWarm cache vs record pass: "
+              << formatFixed(record_s / warm_cache.seconds, 2)
+              << "x (hits " << cache_counters.hits << ", misses "
+              << cache_counters.misses << ", stores "
+              << cache_counters.stores << ")\n";
     std::cout << "\nBTB lookup: linear "
               << formatFixed(lookup.linearMops, 1) << " Mops/s, indexed "
               << formatFixed(lookup.indexedMops, 1) << " Mops/s ("
@@ -329,6 +476,7 @@ main(int argc, char **argv)
               << "\n";
 
     writeJson(out_path, parallel_jobs, runs_override, repeat, two_pass,
-              replay_serial, replay_parallel, lookup, mismatches);
+              replay_serial, replay_parallel, record_s, replay_only_s,
+              warm_cache.seconds, cache_counters, lookup, mismatches);
     return mismatches == 0 ? 0 : 1;
 }

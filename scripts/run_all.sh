@@ -6,11 +6,21 @@
 # experiment engine's workload fan-out (the benches read it
 # themselves); it defaults to the machine's processor count. Each
 # phase reports its wall-clock time.
+#
+# BRANCHLAB_TRACE_CACHE, when set, points the experiment engine at a
+# persistent trace-cache directory: the first bench run records every
+# workload's branch stream there and later runs skip the VM record
+# pass entirely. The summary reports the run's cache hit/miss counts.
 set -eu
 cd "$(dirname "$0")/.."
 
 BRANCHLAB_JOBS="${BRANCHLAB_JOBS:-$(nproc 2>/dev/null || echo 1)}"
 export BRANCHLAB_JOBS
+
+if [ -n "${BRANCHLAB_TRACE_CACHE:-}" ]; then
+    export BRANCHLAB_TRACE_CACHE
+    echo "trace cache: ${BRANCHLAB_TRACE_CACHE}"
+fi
 
 phase_start() {
     phase_name="$1"
@@ -40,3 +50,11 @@ for b in build/bench/*; do
     "$b"
 done 2>&1 | tee bench_output.txt
 phase_end
+
+if [ -n "${BRANCHLAB_TRACE_CACHE:-}" ]; then
+    hits=$(grep -c "trace cache hit:" bench_output.txt || true)
+    misses=$(grep -c "trace cache miss:" bench_output.txt || true)
+    stores=$(grep -c "trace cache store:" bench_output.txt || true)
+    echo "== trace cache: ${hits} hits, ${misses} misses," \
+         "${stores} stores (${BRANCHLAB_TRACE_CACHE}) =="
+fi

@@ -71,6 +71,11 @@ struct ExperimentConfig
 
     /** Per-run safety valve. */
     std::uint64_t maxInstructionsPerRun = 400'000'000ULL;
+
+    /** Persistent trace-cache directory. Empty defers to the
+     *  BRANCHLAB_TRACE_CACHE environment variable; when both are
+     *  empty the cache is disabled and every workload records. */
+    std::string traceCacheDir;
 };
 
 /** Accuracy of one scheme over one benchmark. */

@@ -1,5 +1,9 @@
 #include "core/runner.hh"
 
+#include <algorithm>
+#include <sstream>
+
+#include "ir/printer.hh"
 #include "ir/verifier.hh"
 #include "predict/flushing.hh"
 #include "predict/profile_predictor.hh"
@@ -7,6 +11,7 @@
 #include "profile/profile.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
+#include "trace/cache.hh"
 #include "trace/record.hh"
 #include "vm/machine.hh"
 
@@ -22,15 +27,17 @@ namespace
  *  the benchmark's replays finish). */
 constexpr std::size_t kRecorderReserveEvents = 1u << 20;
 
-/** Execute every input of a suite, feeding one sink. */
+/** Execute every input of a suite, feeding one sink. The program is
+ *  predecoded once and shared by every per-input machine. */
 void
 runSuite(const ir::Program &program, const ir::Layout &layout,
          const std::vector<workloads::WorkloadInput> &inputs,
          trace::TraceSink &sink, trace::TraceStats *stats,
          std::uint64_t max_instructions)
 {
+    const vm::PredecodedProgram code(program, layout);
     for (const workloads::WorkloadInput &input : inputs) {
-        vm::Machine machine(program, layout);
+        vm::Machine machine(code);
         for (std::size_t chan = 0; chan < input.channels.size(); ++chan) {
             machine.setInput(static_cast<int>(chan),
                              input.channels[chan]);
@@ -56,6 +63,93 @@ makeInputSuite(const workloads::Workload &workload,
 {
     Rng rng(config.seed ^ hashString(workload.name()));
     return workload.makeInputs(rng, runs);
+}
+
+unsigned
+runsFor(const workloads::Workload &workload,
+        const ExperimentConfig &config)
+{
+    return config.runsOverride != 0 ? config.runsOverride
+                                    : workload.defaultRuns();
+}
+
+/** Bumped whenever the branch-event semantics change, invalidating
+ *  every cached trace in one stroke. */
+constexpr std::uint64_t kTraceSchemaVersion = 1;
+
+std::uint64_t
+computeContentHash(const ir::Program &program, const ir::Layout &layout,
+                   const std::vector<workloads::WorkloadInput> &inputs,
+                   const ExperimentConfig &config, unsigned runs)
+{
+    trace::ContentHasher hasher;
+    hasher.u64(kTraceSchemaVersion);
+    std::ostringstream text;
+    ir::printProgramWithAddrs(text, program, layout);
+    hasher.str(text.str());
+    hasher.u64(program.data().size());
+    for (const ir::Word word : program.data())
+        hasher.u64(static_cast<std::uint64_t>(word));
+    hasher.u64(layout.totalSize());
+    hasher.u64(inputs.size());
+    for (const workloads::WorkloadInput &input : inputs) {
+        hasher.str(input.description);
+        hasher.u64(input.channels.size());
+        for (const std::vector<ir::Word> &channel : input.channels) {
+            hasher.u64(channel.size());
+            for (const ir::Word word : channel)
+                hasher.u64(static_cast<std::uint64_t>(word));
+        }
+    }
+    hasher.u64(config.seed);
+    hasher.u64(runs);
+    hasher.u64(config.maxInstructionsPerRun);
+    return hasher.digest();
+}
+
+/** LikelyMap -> persistable entries, sorted by pc so the cache file
+ *  is byte-stable across unordered_map iteration orders. */
+std::vector<trace::CachedLikely>
+likelyToCached(const predict::LikelyMap &map)
+{
+    std::vector<trace::CachedLikely> entries;
+    entries.reserve(map.size());
+    for (const auto &[pc, info] : map)
+        entries.push_back({pc, info.dominantTarget, info.likelyTaken});
+    std::sort(entries.begin(), entries.end(),
+              [](const trace::CachedLikely &a,
+                 const trace::CachedLikely &b) { return a.pc < b.pc; });
+    return entries;
+}
+
+predict::LikelyMap
+cachedToLikely(const std::vector<trace::CachedLikely> &entries)
+{
+    predict::LikelyMap map;
+    map.reserve(entries.size());
+    for (const trace::CachedLikely &entry : entries)
+        map.emplace(entry.pc, predict::LikelyInfo{entry.likelyTaken,
+                                                  entry.dominantTarget});
+    return map;
+}
+
+/**
+ * Rebuild the Forward Semantic's profile from a recorded stream.
+ * ProgramProfile is a pure fold over branch events plus noteRun()
+ * calls, so replaying the stream reproduces the online profile
+ * bit-identically -- on warm cache paths this recovers everything
+ * the Table 5 transform needs without a VM pass.
+ */
+profile::ProgramProfile
+rebuildProfile(const RecordedWorkload &recorded)
+{
+    profile::ProgramProfile profile(*recorded.program,
+                                    *recorded.layout);
+    for (unsigned r = 0; r < recorded.runs; ++r)
+        profile.noteRun();
+    for (const trace::BranchEvent &event : recorded.events)
+        profile.onBranch(event);
+    return profile;
 }
 
 /** Table 5: the code-size cost of the Forward Semantic transform. */
@@ -91,30 +185,12 @@ ExperimentRunner::runBenchmarkReplay(
     BenchmarkResult result;
     result.name = workload.name();
 
-    const ir::Program program = workload.buildProgram();
-    ir::verifyProgramOrDie(program);
-    const ir::Layout layout(program);
-    result.staticSize = program.staticSize();
-
-    const unsigned runs = config_.runsOverride != 0
-                              ? config_.runsOverride
-                              : workload.defaultRuns();
-    result.runs = runs;
-    const std::vector<workloads::WorkloadInput> inputs =
-        makeInputSuite(workload, config_, runs);
-
-    // ---- The single VM pass: record the stream, profile, count. ----
-    trace::BranchRecorder recorder(kRecorderReserveEvents);
-    profile::ProgramProfile profile(program, layout);
-    for (unsigned r = 0; r < runs; ++r)
-        profile.noteRun();
-    trace::FanoutSink fanout;
-    fanout.addSink(&recorder);
-    fanout.addSink(&profile);
-    fanout.addSink(&result.stats);
-    runSuite(program, layout, inputs, fanout, &result.stats,
-             config_.maxInstructionsPerRun);
-    const std::vector<trace::BranchEvent> &events = recorder.events();
+    // ---- The record pass (or a trace-cache hit in its place). ----
+    RecordedWorkload recorded = recordWorkload(workload, config_);
+    result.staticSize = recorded.program->staticSize();
+    result.runs = recorded.runs;
+    result.stats = recorded.stats;
+    const std::vector<trace::BranchEvent> &events = recorded.events;
 
     // ---- Replay the recorded stream against every scheme in one
     // fused pass. The schemes never interact, so the fused replays
@@ -128,7 +204,7 @@ ExperimentRunner::runBenchmarkReplay(
     predict::AlwaysNotTaken always_not_taken;
     predict::BackwardTaken btfnt;
     predict::OpcodeBias opcode_bias;
-    predict::ProfilePredictor fs(profile.buildLikelyMap());
+    predict::ProfilePredictor fs(recorded.likelyMap);
 
     std::vector<std::pair<const char *, predict::BranchPredictor *>>
         schemes = {{"SBTB", &sbtb}, {"CBTB", &cbtb}};
@@ -162,8 +238,17 @@ ExperimentRunner::runBenchmarkReplay(
             result.staticSchemes.push_back(scheme);
     }
 
-    if (config_.runCodeSize)
-        applyCodeSizeTransform(profile, config_, result);
+    if (config_.runCodeSize) {
+        if (recorded.profile != nullptr) {
+            applyCodeSizeTransform(*recorded.profile, config_, result);
+        } else {
+            // Cache hit: the record pass (and its online profile)
+            // never ran, so fold the cached stream back into one.
+            const profile::ProgramProfile profile =
+                rebuildProfile(recorded);
+            applyCodeSizeTransform(profile, config_, result);
+        }
+    }
 
     return result;
 }
@@ -251,6 +336,18 @@ ExperimentRunner::runBenchmarkTwoPass(
     return result;
 }
 
+std::uint64_t
+workloadContentHash(const workloads::Workload &workload,
+                    const ExperimentConfig &config)
+{
+    ir::Program program = workload.buildProgram();
+    const ir::Layout layout(program);
+    const unsigned runs = runsFor(workload, config);
+    return computeContentHash(program, layout,
+                              makeInputSuite(workload, config, runs),
+                              config, runs);
+}
+
 RecordedWorkload
 recordWorkload(const workloads::Workload &workload,
                const ExperimentConfig &config)
@@ -262,25 +359,52 @@ recordWorkload(const workloads::Workload &workload,
     ir::verifyProgramOrDie(*recorded.program);
     recorded.layout = std::make_unique<ir::Layout>(*recorded.program);
 
-    const unsigned runs = config.runsOverride != 0
-                              ? config.runsOverride
-                              : workload.defaultRuns();
+    const unsigned runs = runsFor(workload, config);
+    recorded.runs = runs;
     const std::vector<workloads::WorkloadInput> inputs =
         makeInputSuite(workload, config, runs);
 
+    const trace::TraceCache cache(
+        trace::TraceCache::resolveDir(config.traceCacheDir));
+    recorded.contentHash = computeContentHash(
+        *recorded.program, *recorded.layout, inputs, config, runs);
+
+    if (cache.enabled()) {
+        trace::CachedWorkload cached;
+        if (cache.load(recorded.name, recorded.contentHash, cached)) {
+            recorded.events = std::move(cached.events);
+            recorded.stats = trace::TraceStats::fromCounters(cached.stats);
+            recorded.likelyMap = cachedToLikely(cached.likely);
+            recorded.runs = cached.runs;
+            recorded.cacheHit = true;
+            return recorded;
+        }
+    }
+
     trace::BranchRecorder recorder(kRecorderReserveEvents);
-    profile::ProgramProfile profile(*recorded.program, *recorded.layout);
+    recorded.profile = std::make_unique<profile::ProgramProfile>(
+        *recorded.program, *recorded.layout);
     for (unsigned r = 0; r < runs; ++r)
-        profile.noteRun();
+        recorded.profile->noteRun();
     trace::FanoutSink fanout;
     fanout.addSink(&recorder);
-    fanout.addSink(&profile);
+    fanout.addSink(recorded.profile.get());
     fanout.addSink(&recorded.stats);
     runSuite(*recorded.program, *recorded.layout, inputs, fanout,
              &recorded.stats, config.maxInstructionsPerRun);
 
     recorded.events = recorder.takeEvents();
-    recorded.likelyMap = profile.buildLikelyMap();
+    recorded.likelyMap = recorded.profile->buildLikelyMap();
+
+    if (cache.enabled()) {
+        trace::CachedWorkload entry;
+        entry.contentHash = recorded.contentHash;
+        entry.runs = runs;
+        entry.stats = recorded.stats.counters();
+        entry.likely = likelyToCached(recorded.likelyMap);
+        entry.events = recorded.events;
+        cache.store(recorded.name, entry);
+    }
     return recorded;
 }
 

@@ -30,6 +30,7 @@
 #include "core/experiment.hh"
 #include "ir/layout.hh"
 #include "predict/profile_predictor.hh"
+#include "profile/profile.hh"
 #include "trace/event.hh"
 #include "workloads/workload.hh"
 
@@ -52,9 +53,38 @@ struct RecordedWorkload
     /** The Forward Semantic's compiled-in predictions, profiled over
      *  exactly these events. */
     predict::LikelyMap likelyMap;
+    /** The record pass's full block/arc profile. Null on a cache hit;
+     *  the profile is a pure fold over the events, so consumers can
+     *  rebuild it from the stream bit-identically when absent. */
+    std::unique_ptr<profile::ProgramProfile> profile;
+    /** Profiling runs the stream covers. */
+    unsigned runs = 0;
+    /** Content hash of everything that determines the stream. */
+    std::uint64_t contentHash = 0;
+    /** True when the stream came from the persistent trace cache
+     *  instead of a VM record pass. */
+    bool cacheHit = false;
 };
 
-/** Execute a workload's input suite once, recording the stream. */
+/**
+ * Content hash of everything that determines a workload's recorded
+ * stream: the program IR (printed with layout addresses), the data
+ * segment, the layout footprint, the generated input suite, and the
+ * VM configuration (seed, run count, instruction limit), plus a
+ * schema version covering the event semantics themselves.
+ */
+std::uint64_t
+workloadContentHash(const workloads::Workload &workload,
+                    const ExperimentConfig &config = ExperimentConfig{});
+
+/**
+ * Execute a workload's input suite once, recording the stream.
+ *
+ * When a trace cache is configured (config.traceCacheDir or the
+ * BRANCHLAB_TRACE_CACHE environment variable) the cache is consulted
+ * first: a hit reconstructs the RecordedWorkload bit-identically
+ * without running the VM; a miss records and then persists the entry.
+ */
 RecordedWorkload
 recordWorkload(const workloads::Workload &workload,
                const ExperimentConfig &config = ExperimentConfig{});

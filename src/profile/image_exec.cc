@@ -19,20 +19,92 @@ using ir::Opcode;
 using ir::Reg;
 using ir::Word;
 
+std::size_t
+ImageExecutor::homeOf(Addr addr) const
+{
+    const auto it = image_.homeIndex.find(addr);
+    blab_assert(it != image_.homeIndex.end(),
+                "image is missing a home slot");
+    return it->second;
+}
+
 ImageExecutor::ImageExecutor(const ProgramProfile &profile,
                              const FsResult &image)
     : prog_(profile.program()), layout_(profile.layout()), image_(image)
 {
+    std::unordered_map<std::size_t, const SlotSite *> site_at;
     for (const SlotSite &site : image_.sites)
-        siteAt_[site.branchImageIndex] = &site;
+        site_at[site.branchImageIndex] = &site;
+
+    funcEntryHome_.reserve(prog_.numFunctions());
+    for (FuncId f = 0; f < prog_.numFunctions(); ++f) {
+        funcEntryHome_.push_back(
+            homeOf(layout_.blockAddr(f, prog_.function(f).entry())));
+    }
+
+    decoded_.resize(image_.slots.size());
+    for (std::size_t i = 0; i < image_.slots.size(); ++i) {
+        const ImageSlot &slot = image_.slots[i];
+        DecodedSlot &d = decoded_[i];
+        if (slot.kind == ImageSlot::Kind::Pad)
+            continue; // inst stays null: executing it is a fault
+        const CodeLocation loc = slot.orig;
+        const Instruction &inst =
+            prog_.function(loc.func).block(loc.block).inst(loc.index);
+        d.inst = &inst;
+        d.addr = layout_.instAddr(loc.func, loc.block, loc.index);
+        d.func = loc.func;
+        switch (inst.op) {
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Ble:
+          case Opcode::Bgt:
+          case Opcode::Bge:
+            d.takenAddr = layout_.blockAddr(loc.func, inst.target);
+            d.takenHome = homeOf(d.takenAddr);
+            d.fallAddr = layout_.blockAddr(loc.func, inst.next);
+            d.fallHome = homeOf(d.fallAddr);
+            break;
+          case Opcode::Jmp:
+            d.takenAddr = layout_.blockAddr(loc.func, inst.target);
+            d.takenHome = homeOf(d.takenAddr);
+            break;
+          case Opcode::Call:
+          case Opcode::CallInd:
+            d.contHome =
+                homeOf(layout_.blockAddr(loc.func, inst.next));
+            break;
+          default:
+            break;
+        }
+        const auto site_it = site_at.find(i);
+        if (site_it != site_at.end()) {
+            const SlotSite &site = *site_it->second;
+            d.site = &site;
+            d.siteTargetBlock = layout_.locate(site.origTargetAddr).block;
+            d.regionEnd = i + 1 + site.copied;
+            d.regionResume =
+                site.resume.has_value()
+                    ? homeOf(layout_.instAddr(site.resume->func,
+                                              site.resume->block,
+                                              site.resume->index))
+                    : std::numeric_limits<std::size_t>::max();
+        }
+    }
 }
 
 ImageRunResult
 ImageExecutor::run(const std::vector<std::vector<Word>> &inputs,
-                   std::uint64_t max_instructions) const
+                   std::uint64_t max_instructions,
+                   trace::TraceSink *sink) const
 {
     ImageRunResult result;
     result.outputs.resize(8);
+
+    const bool want_committed =
+        sink == nullptr || sink->wantsInstructions();
+    const bool want_insts = sink != nullptr && sink->wantsInstructions();
 
     vm::Memory memory;
     memory.reset(prog_.data());
@@ -52,15 +124,6 @@ ImageExecutor::run(const std::vector<std::vector<Word>> &inputs,
         std::ostringstream os;
         os << "image execution fault at slot " << at << ": " << what;
         throw vm::ExecutionFault(os.str());
-    };
-
-    const auto home_of = [&](FuncId func, BlockId block,
-                             std::uint32_t index) {
-        const Addr addr = layout_.instAddr(func, block, index);
-        const auto it = image_.homeIndex.find(addr);
-        blab_assert(it != image_.homeIndex.end(),
-                    "image is missing a home slot");
-        return it->second;
     };
 
     const auto push_frame = [&](FuncId callee,
@@ -83,8 +146,7 @@ ImageExecutor::run(const std::vector<std::vector<Word>> &inputs,
     const FuncId main_id = prog_.mainFunction();
     push_frame(main_id, {}, kNoReg,
                std::numeric_limits<std::size_t>::max());
-    std::size_t pc =
-        home_of(main_id, prog_.function(main_id).entry(), 0);
+    std::size_t pc = funcEntryHome_[main_id];
 
     // Active slot region (entered through a predicted-taken site).
     std::size_t region_end = 0;
@@ -100,17 +162,16 @@ ImageExecutor::run(const std::vector<std::vector<Word>> &inputs,
             result.reason = vm::StopReason::InstructionLimit;
             return result;
         }
-        blab_assert(pc < image_.slots.size(), "image PC out of range");
-        const ImageSlot &slot = image_.slots[pc];
-        if (slot.kind == ImageSlot::Kind::Pad)
+        blab_assert(pc < decoded_.size(), "image PC out of range");
+        const DecodedSlot &d = decoded_[pc];
+        if (d.inst == nullptr)
             fault("executed a NO-OP pad (transform bug)", pc);
-
-        const CodeLocation loc = slot.orig;
-        const Instruction &inst =
-            prog_.function(loc.func).block(loc.block).inst(loc.index);
+        const Instruction &inst = *d.inst;
         ++result.instructions;
-        result.committed.push_back(
-            layout_.instAddr(loc.func, loc.block, loc.index));
+        if (want_committed)
+            result.committed.push_back(d.addr);
+        if (want_insts)
+            sink->onInstruction(trace::InstEvent{d.addr, inst.op});
 
         const auto rhs = [&]() -> Word {
             return inst.useImm ? inst.imm : reg(inst.src2);
@@ -125,9 +186,9 @@ ImageExecutor::run(const std::vector<std::vector<Word>> &inputs,
             }
         };
 
-        // Redirect control to an original location's home.
-        const auto go_block = [&](FuncId func, BlockId block) {
-            pc = home_of(func, block, 0);
+        // Redirect control to a home slot, leaving any region.
+        const auto go_home = [&](std::size_t home) {
+            pc = home;
             in_region = false;
         };
 
@@ -259,47 +320,53 @@ ImageExecutor::run(const std::vector<std::vector<Word>> &inputs,
           case Opcode::Bge: {
             const bool taken =
                 ir::evalCondition(inst.op, reg(inst.src1), rhs());
-            const BlockId dest = taken ? inst.target : inst.next;
-            const auto site_it = siteAt_.find(pc);
-            if (site_it != siteAt_.end()) {
-                const SlotSite &site = *site_it->second;
-                const CodeLocation target =
-                    layout_.locate(site.origTargetAddr);
-                if (dest == target.block && site.copied > 0) {
-                    // The likely direction: fall into the forward
-                    // slots, resume at the advanced target.
-                    in_region = true;
-                    region_end = pc + 1 + site.copied;
-                    region_resume =
-                        site.resume.has_value()
-                            ? home_of(site.resume->func,
-                                      site.resume->block,
-                                      site.resume->index)
-                            : std::numeric_limits<std::size_t>::max();
-                    ++pc;
-                    break;
-                }
+            if (sink != nullptr) {
+                trace::BranchEvent ev;
+                ev.pc = d.addr;
+                ev.op = inst.op;
+                ev.conditional = true;
+                ev.taken = taken;
+                ev.targetKnown = true;
+                ev.targetAddr = d.takenAddr;
+                ev.fallthroughAddr = d.fallAddr;
+                ev.nextPc = taken ? d.takenAddr : d.fallAddr;
+                sink->onBranch(ev);
             }
-            go_block(loc.func, dest);
+            const BlockId dest = taken ? inst.target : inst.next;
+            if (d.site != nullptr && dest == d.siteTargetBlock &&
+                d.site->copied > 0) {
+                // The likely direction: fall into the forward
+                // slots, resume at the advanced target.
+                in_region = true;
+                region_end = d.regionEnd;
+                region_resume = d.regionResume;
+                ++pc;
+                break;
+            }
+            go_home(taken ? d.takenHome : d.fallHome);
             break;
           }
 
           case Opcode::Jmp: {
-            const auto site_it = siteAt_.find(pc);
-            if (site_it != siteAt_.end() &&
-                site_it->second->copied > 0) {
-                const SlotSite &site = *site_it->second;
+            if (sink != nullptr) {
+                trace::BranchEvent ev;
+                ev.pc = d.addr;
+                ev.op = inst.op;
+                ev.taken = true;
+                ev.targetKnown = true;
+                ev.targetAddr = d.takenAddr;
+                ev.fallthroughAddr = d.addr + 1;
+                ev.nextPc = d.takenAddr;
+                sink->onBranch(ev);
+            }
+            if (d.site != nullptr && d.site->copied > 0) {
                 in_region = true;
-                region_end = pc + 1 + site.copied;
-                region_resume =
-                    site.resume.has_value()
-                        ? home_of(site.resume->func, site.resume->block,
-                                  site.resume->index)
-                        : std::numeric_limits<std::size_t>::max();
+                region_end = d.regionEnd;
+                region_resume = d.regionResume;
                 ++pc;
                 break;
             }
-            go_block(loc.func, inst.target);
+            go_home(d.takenHome);
             break;
           }
 
@@ -309,8 +376,21 @@ ImageExecutor::run(const std::vector<std::vector<Word>> &inputs,
                 index >= static_cast<Word>(inst.table.size())) {
                 fault("jump-table index out of range", pc);
             }
-            go_block(loc.func,
-                     inst.table[static_cast<std::size_t>(index)]);
+            const Addr target_addr = layout_.blockAddr(
+                d.func,
+                inst.table[static_cast<std::size_t>(index)]);
+            if (sink != nullptr) {
+                trace::BranchEvent ev;
+                ev.pc = d.addr;
+                ev.op = inst.op;
+                ev.taken = true;
+                ev.targetKnown = false;
+                ev.targetAddr = target_addr;
+                ev.fallthroughAddr = d.addr + 1;
+                ev.nextPc = target_addr;
+                sink->onBranch(ev);
+            }
+            go_home(homeOf(target_addr));
             break;
           }
 
@@ -331,10 +411,19 @@ ImageExecutor::run(const std::vector<std::vector<Word>> &inputs,
                 args.push_back(reg(a));
             if (args.size() != prog_.function(callee).numArgs())
                 fault("argument count mismatch", pc);
-            const std::size_t return_index =
-                home_of(loc.func, inst.next, 0);
-            push_frame(callee, args, inst.dst, return_index);
-            pc = home_of(callee, prog_.function(callee).entry(), 0);
+            if (sink != nullptr) {
+                trace::BranchEvent ev;
+                ev.pc = d.addr;
+                ev.op = inst.op;
+                ev.taken = true;
+                ev.targetKnown = inst.op == Opcode::Call;
+                ev.targetAddr = layout_.funcEntry(callee);
+                ev.fallthroughAddr = d.addr + 1;
+                ev.nextPc = ev.targetAddr;
+                sink->onBranch(ev);
+            }
+            push_frame(callee, args, inst.dst, d.contHome);
+            pc = funcEntryHome_[callee];
             in_region = false;
             break;
           }
@@ -353,6 +442,17 @@ ImageExecutor::run(const std::vector<std::vector<Word>> &inputs,
                 reg(finished.retDst) = value;
             pc = finished.returnIndex;
             in_region = false;
+            if (sink != nullptr) {
+                trace::BranchEvent ev;
+                ev.pc = d.addr;
+                ev.op = Opcode::Ret;
+                ev.taken = true;
+                ev.targetKnown = true;
+                ev.targetAddr = decoded_[pc].addr;
+                ev.fallthroughAddr = d.addr + 1;
+                ev.nextPc = decoded_[pc].addr;
+                sink->onBranch(ev);
+            }
             break;
           }
 

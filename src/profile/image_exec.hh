@@ -21,6 +21,12 @@
  *    destinations (the absorbed unlikely branch of Figure 2);
  *  - NO-OP pads sit after a copied trace tail that ends in a
  *    terminator, so they never commit.
+ *
+ * The executor predecodes the image once at construction: every slot
+ * resolves its original instruction, layout address, branch-target
+ * homes, and slot-site bookkeeping up front, so the run loop touches
+ * one flat array instead of chasing the function/block/instruction
+ * triple per executed instruction.
  */
 
 #ifndef BRANCHLAB_PROFILE_IMAGE_EXEC_HH
@@ -38,7 +44,11 @@ struct ImageRunResult
     vm::StopReason reason = vm::StopReason::Halted;
     /** Committed instructions (pads excluded). */
     std::uint64_t instructions = 0;
-    /** Original-layout addresses of the committed stream. */
+    /**
+     * Original-layout addresses of the committed stream. Only
+     * materialised when run() has no sink or the sink wants
+     * instructions; empty for pure branch-recording runs.
+     */
     std::vector<ir::Addr> committed;
     /** Per-channel outputs. */
     std::vector<std::vector<ir::Word>> outputs;
@@ -53,17 +63,55 @@ class ImageExecutor
   public:
     ImageExecutor(const ProgramProfile &profile, const FsResult &image);
 
-    /** Run from main's entry with the given channel inputs. */
+    /**
+     * Run from main's entry with the given channel inputs.
+     *
+     * When a sink is attached it receives the *transformed* program's
+     * trace with original-identity addresses: a BranchEvent per
+     * executed branch and, when the sink wants them, an InstEvent per
+     * committed instruction. The committed vector is only filled when
+     * sink is null or sink->wantsInstructions() -- a pure
+     * branch-recording run never materialises it.
+     */
     ImageRunResult
     run(const std::vector<std::vector<ir::Word>> &inputs,
-        std::uint64_t max_instructions = 100'000'000ULL) const;
+        std::uint64_t max_instructions = 100'000'000ULL,
+        trace::TraceSink *sink = nullptr) const;
 
   private:
+    /** Per-image-slot predecoded facts. */
+    struct DecodedSlot
+    {
+        /** Original instruction; nullptr for NO-OP pads. */
+        const ir::Instruction *inst = nullptr;
+        /** Original-layout address of the slot's instruction. */
+        ir::Addr addr = ir::kNoAddr;
+        /** Owning function of the original instruction. */
+        ir::FuncId func = ir::kNoFunc;
+        /** Conditional/Jmp taken-target address and home slot. */
+        ir::Addr takenAddr = ir::kNoAddr;
+        std::size_t takenHome = 0;
+        /** Conditional fallthrough block address and home slot. */
+        ir::Addr fallAddr = ir::kNoAddr;
+        std::size_t fallHome = 0;
+        /** Call continuation home slot. */
+        std::size_t contHome = 0;
+        /** Slot-site bookkeeping (nullptr when not a site). */
+        const SlotSite *site = nullptr;
+        ir::BlockId siteTargetBlock = ir::kNoBlock;
+        std::size_t regionEnd = 0;
+        std::size_t regionResume = 0;
+    };
+
+    std::size_t homeOf(ir::Addr addr) const;
+
     const ir::Program &prog_;
     const ir::Layout &layout_;
     const FsResult &image_;
-    /** Slot-site lookup by branch image index. */
-    std::unordered_map<std::size_t, const SlotSite *> siteAt_;
+    /** Predecoded image, parallel to image_.slots. */
+    std::vector<DecodedSlot> decoded_;
+    /** Home slot of each function's entry instruction. */
+    std::vector<std::size_t> funcEntryHome_;
 };
 
 /**

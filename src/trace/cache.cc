@@ -1,0 +1,276 @@
+#include "trace/cache.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "trace/io.hh"
+
+namespace branchlab::trace
+{
+
+namespace
+{
+
+constexpr char kCacheMagic[4] = {'B', 'L', 'T', 'C'};
+constexpr std::uint32_t kCacheVersion = 1;
+
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<std::uint64_t> g_misses{0};
+std::atomic<std::uint64_t> g_stores{0};
+
+void
+putU32(std::string &out, std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+bool
+getU32(const std::string &in, std::size_t &pos, std::uint32_t &value)
+{
+    if (pos + 4 > in.size())
+        return false;
+    value = 0;
+    for (int i = 0; i < 4; ++i) {
+        value |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(in[pos + i]))
+                 << (8 * i);
+    }
+    pos += 4;
+    return true;
+}
+
+bool
+getU64(const std::string &in, std::size_t &pos, std::uint64_t &value)
+{
+    if (pos + 8 > in.size())
+        return false;
+    value = 0;
+    for (int i = 0; i < 8; ++i) {
+        value |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(in[pos + i]))
+                 << (8 * i);
+    }
+    pos += 8;
+    return true;
+}
+
+std::string
+encodeEntry(const CachedWorkload &workload)
+{
+    std::string out;
+    out.append(kCacheMagic, sizeof(kCacheMagic));
+    putU32(out, kCacheVersion);
+    putU64(out, workload.contentHash);
+    putU32(out, workload.runs);
+    putU64(out, workload.stats.instructions);
+    putU64(out, workload.stats.branches);
+    putU64(out, workload.stats.conditional);
+    putU64(out, workload.stats.condTaken);
+    putU64(out, workload.stats.uncondKnown);
+    putU64(out, workload.likely.size());
+    for (const CachedLikely &entry : workload.likely) {
+        putU64(out, entry.pc);
+        putU64(out, entry.dominantTarget);
+        out.push_back(entry.likelyTaken ? 1 : 0);
+    }
+    const std::string payload = encodeEventsV2(workload.events);
+    putU64(out, workload.events.size());
+    putU64(out, payload.size());
+    out += payload;
+    return out;
+}
+
+/** @return empty string on success, else a diagnostic. */
+std::string
+decodeEntry(const std::string &in, CachedWorkload &out)
+{
+    if (in.size() < sizeof(kCacheMagic) ||
+        in.compare(0, sizeof(kCacheMagic), kCacheMagic,
+                   sizeof(kCacheMagic)) != 0)
+        return "bad magic";
+    std::size_t pos = sizeof(kCacheMagic);
+    std::uint32_t version = 0;
+    if (!getU32(in, pos, version))
+        return "truncated header";
+    if (version != kCacheVersion)
+        return "unsupported cache version " + std::to_string(version);
+    if (!getU64(in, pos, out.contentHash) ||
+        !getU32(in, pos, out.runs) ||
+        !getU64(in, pos, out.stats.instructions) ||
+        !getU64(in, pos, out.stats.branches) ||
+        !getU64(in, pos, out.stats.conditional) ||
+        !getU64(in, pos, out.stats.condTaken) ||
+        !getU64(in, pos, out.stats.uncondKnown))
+        return "truncated header";
+    std::uint64_t likely_count = 0;
+    if (!getU64(in, pos, likely_count))
+        return "truncated likely map";
+    if (likely_count > (in.size() - pos) / 17)
+        return "implausible likely-map count";
+    out.likely.clear();
+    out.likely.reserve(static_cast<std::size_t>(likely_count));
+    for (std::uint64_t i = 0; i < likely_count; ++i) {
+        CachedLikely entry;
+        if (!getU64(in, pos, entry.pc) ||
+            !getU64(in, pos, entry.dominantTarget) || pos >= in.size())
+            return "truncated likely map";
+        entry.likelyTaken = in[pos++] != 0;
+        out.likely.push_back(entry);
+    }
+    std::uint64_t event_count = 0;
+    std::uint64_t payload_size = 0;
+    if (!getU64(in, pos, event_count) ||
+        !getU64(in, pos, payload_size))
+        return "truncated event header";
+    if (payload_size != in.size() - pos)
+        return "event payload size mismatch";
+    std::string error;
+    if (!decodeEventsV2(std::string_view(in).substr(pos), event_count,
+                        out.events, error))
+        return error;
+    return "";
+}
+
+} // namespace
+
+TraceCacheCounters
+traceCacheCounters()
+{
+    return {g_hits.load(), g_misses.load(), g_stores.load()};
+}
+
+void
+resetTraceCacheCounters()
+{
+    g_hits.store(0);
+    g_misses.store(0);
+    g_stores.store(0);
+}
+
+std::string
+TraceCache::resolveDir(const std::string &configured)
+{
+    if (!configured.empty())
+        return configured;
+    if (const char *env = std::getenv("BRANCHLAB_TRACE_CACHE"))
+        return env;
+    return "";
+}
+
+std::string
+TraceCache::entryPath(const std::string &name,
+                      std::uint64_t content_hash) const
+{
+    std::ostringstream os;
+    os << name << '-' << std::hex << std::setw(16) << std::setfill('0')
+       << content_hash << ".bltc";
+    return (std::filesystem::path(dir_) / os.str()).string();
+}
+
+bool
+TraceCache::load(const std::string &name, std::uint64_t content_hash,
+                 CachedWorkload &out) const
+{
+    if (!enabled())
+        return false;
+    const std::string path = entryPath(name, content_hash);
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+        ++g_misses;
+        blab_inform("trace cache miss: ", name);
+        return false;
+    }
+    file.seekg(0, std::ios::end);
+    const std::streamoff size = file.tellg();
+    file.seekg(0, std::ios::beg);
+    std::string contents(size > 0 ? static_cast<std::size_t>(size) : 0,
+                         '\0');
+    file.read(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    if (!file) {
+        ++g_misses;
+        blab_warn("trace cache entry '", path,
+                  "' is unreadable; re-recording");
+        return false;
+    }
+    const std::string error = decodeEntry(contents, out);
+    if (!error.empty()) {
+        ++g_misses;
+        blab_warn("trace cache entry '", path, "' is corrupt (", error,
+                  "); re-recording");
+        return false;
+    }
+    if (out.contentHash != content_hash) {
+        ++g_misses;
+        blab_warn("trace cache entry '", path,
+                  "' has mismatched content hash; re-recording");
+        return false;
+    }
+    ++g_hits;
+    blab_inform("trace cache hit: ", name, " (", out.events.size(),
+                " events)");
+    return true;
+}
+
+void
+TraceCache::store(const std::string &name,
+                  const CachedWorkload &workload) const
+{
+    if (!enabled())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        blab_warn("cannot create trace cache directory '", dir_, "': ",
+                  ec.message());
+        return;
+    }
+    const std::string path = entryPath(name, workload.contentHash);
+    // Unique temp name per workload entry keeps concurrent processes
+    // from clobbering each other mid-write; the rename is atomic.
+    const std::string tmp =
+        path + ".tmp-" + std::to_string(static_cast<unsigned long>(
+                             reinterpret_cast<std::uintptr_t>(&workload) ^
+                             workload.contentHash));
+    {
+        std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+        if (!file) {
+            blab_warn("cannot write trace cache entry '", tmp, "'");
+            return;
+        }
+        const std::string entry = encodeEntry(workload);
+        file.write(entry.data(),
+                   static_cast<std::streamsize>(entry.size()));
+        if (!file) {
+            blab_warn("trace cache write failed for '", tmp, "'");
+            file.close();
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        blab_warn("cannot publish trace cache entry '", path, "': ",
+                  ec.message());
+        std::filesystem::remove(tmp, ec);
+        return;
+    }
+    ++g_stores;
+    blab_inform("trace cache store: ", name, " (",
+                workload.events.size(), " events)");
+}
+
+} // namespace branchlab::trace

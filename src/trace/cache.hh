@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Persistent trace cache: record a workload's branch stream once,
+ * store it on disk keyed by a content hash of everything that
+ * determines it, and skip the VM record pass entirely on later runs.
+ *
+ * The cache holds one file per workload
+ * (`<dir>/<name>-<hash16>.bltc`) containing the v2 columnar event
+ * stream plus the profile data derived alongside it (run count, the
+ * TraceStats counters, and the per-branch likely map used by the
+ * profiled-static scheme and the Forward Semantic transform), so a
+ * warm run reconstructs a RecordedWorkload bit-identically without
+ * executing the VM.
+ *
+ * Invalidation is purely content-addressed: the key hashes the
+ * program IR (printed with addresses), the data segment, the layout
+ * footprint, the input suite, and the VM configuration (seed, runs,
+ * instruction limit, format schema). Any change produces a different
+ * hash, so a stale entry can never be served -- it is simply never
+ * looked up again, and `load` additionally verifies the hash stored
+ * inside the file. Corrupt or unreadable entries soft-fail (warn and
+ * re-record); they never abort a run.
+ *
+ * Writes are atomic: the entry is written to a temp file in the cache
+ * directory and renamed into place, so concurrent runs and crashes
+ * leave either the old file or the complete new one.
+ */
+
+#ifndef BRANCHLAB_TRACE_CACHE_HH
+#define BRANCHLAB_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/event.hh"
+#include "trace/stats.hh"
+
+namespace branchlab::trace
+{
+
+/** Streaming FNV-1a 64-bit hasher for cache keys. */
+class ContentHasher
+{
+  public:
+    ContentHasher &u64(std::uint64_t value)
+    {
+        for (int i = 0; i < 8; ++i)
+            byte(static_cast<unsigned char>((value >> (8 * i)) & 0xff));
+        return *this;
+    }
+
+    ContentHasher &bytes(const void *data, std::size_t size)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < size; ++i)
+            byte(p[i]);
+        return *this;
+    }
+
+    ContentHasher &str(std::string_view s)
+    {
+        u64(s.size());
+        return bytes(s.data(), s.size());
+    }
+
+    std::uint64_t digest() const { return hash_; }
+
+  private:
+    void byte(unsigned char b)
+    {
+        hash_ ^= b;
+        hash_ *= 0x100000001b3ULL;
+    }
+
+    std::uint64_t hash_ = 0xcbf29ce484222325ULL; // FNV offset basis
+};
+
+/** One profiled branch site, as persisted (predict-layer agnostic). */
+struct CachedLikely
+{
+    ir::Addr pc = ir::kNoAddr;
+    ir::Addr dominantTarget = ir::kNoAddr;
+    bool likelyTaken = false;
+
+    bool operator==(const CachedLikely &) const = default;
+};
+
+/** Everything a warm run needs in place of the VM record pass. */
+struct CachedWorkload
+{
+    std::uint64_t contentHash = 0;
+    /** Number of profiling runs the stream covers. */
+    std::uint32_t runs = 0;
+    TraceCounters stats;
+    std::vector<CachedLikely> likely;
+    std::vector<BranchEvent> events;
+};
+
+/** Hit/miss/store totals across all caches in the process. */
+struct TraceCacheCounters
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+};
+
+TraceCacheCounters traceCacheCounters();
+void resetTraceCacheCounters();
+
+/**
+ * A cache directory. Default-constructed (or empty-dir) caches are
+ * disabled: load always misses and store is a no-op, so callers can
+ * consult one unconditionally.
+ */
+class TraceCache
+{
+  public:
+    TraceCache() = default;
+    explicit TraceCache(std::string dir) : dir_(std::move(dir)) {}
+
+    /**
+     * Pick the cache directory: @p configured if non-empty, else the
+     * BRANCHLAB_TRACE_CACHE environment variable, else "" (disabled).
+     */
+    static std::string resolveDir(const std::string &configured);
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    /** Path of the entry for @p name under @p content_hash. */
+    std::string entryPath(const std::string &name,
+                          std::uint64_t content_hash) const;
+
+    /**
+     * Look up @p name / @p content_hash. On a hit, fill @p out and
+     * return true. Misses, corrupt entries, and hash mismatches
+     * return false (corruption warns; a mismatch is treated as
+     * corruption -- the filename already encodes the hash).
+     */
+    bool load(const std::string &name, std::uint64_t content_hash,
+              CachedWorkload &out) const;
+
+    /**
+     * Persist @p workload as the entry for @p name. Creates the
+     * cache directory if needed; writes a temp file and renames it
+     * into place. Failures warn and leave the cache unchanged.
+     */
+    void store(const std::string &name,
+               const CachedWorkload &workload) const;
+
+  private:
+    std::string dir_;
+};
+
+} // namespace branchlab::trace
+
+#endif // BRANCHLAB_TRACE_CACHE_HH

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "support/logging.hh"
 
@@ -13,7 +14,7 @@ namespace
 {
 
 constexpr char kMagic[4] = {'B', 'L', 'T', 'R'};
-constexpr std::size_t kEventBytes = 4 * 8 + 2;
+constexpr std::size_t kEventBytesV1 = 4 * 8 + 2;
 
 void
 putU32(std::ostream &os, std::uint32_t value)
@@ -70,7 +71,7 @@ getU64(std::istream &is)
 }
 
 void
-putEvent(std::ostream &os, const BranchEvent &event)
+putEventV1(std::ostream &os, const BranchEvent &event)
 {
     putU64(os, event.pc);
     putU64(os, event.nextPc);
@@ -85,7 +86,7 @@ putEvent(std::ostream &os, const BranchEvent &event)
 }
 
 BranchEvent
-getEvent(std::istream &is)
+getEventV1(std::istream &is)
 {
     BranchEvent event;
     event.pc = getU64(is);
@@ -105,55 +106,310 @@ getEvent(std::istream &is)
     return event;
 }
 
+/** Zig-zag map a two's-complement difference into a small unsigned. */
 std::uint64_t
-readHeader(std::istream &is)
+zigzag(std::uint64_t diff)
+{
+    const auto s = static_cast<std::int64_t>(diff);
+    return (static_cast<std::uint64_t>(s) << 1) ^
+           static_cast<std::uint64_t>(s >> 63);
+}
+
+std::uint64_t
+unzigzag(std::uint64_t z)
+{
+    return (z >> 1) ^ (~(z & 1) + 1);
+}
+
+/** LEB128: 7 payload bits per byte, high bit = continuation. */
+void
+putVarint(std::string &out, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+        value >>= 7;
+    }
+    out.push_back(static_cast<char>(value));
+}
+
+bool
+getVarint(const std::string &in, std::size_t &pos, std::uint64_t &value)
+{
+    value = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+        if (pos >= in.size())
+            return false;
+        const auto byte =
+            static_cast<unsigned char>(in[pos++]);
+        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return true;
+    }
+    return false; // > 10 continuation bytes: corrupt
+}
+
+/**
+ * Pointer cursor for the hot decode loops. Equivalent to getVarint()
+ * but skips the per-byte bounds arithmetic on the dominant case
+ * (real traces are almost entirely one-byte deltas).
+ */
+struct VarintCursor
+{
+    const unsigned char *p;
+    const unsigned char *end;
+
+    bool get(std::uint64_t &value)
+    {
+        if (p != end && *p < 0x80) {
+            value = *p++;
+            return true;
+        }
+        value = 0;
+        for (int shift = 0; shift < 64; shift += 7) {
+            if (p == end)
+                return false;
+            const unsigned char byte = *p++;
+            value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+            if ((byte & 0x80) == 0)
+                return true;
+        }
+        return false; // > 10 continuation bytes: corrupt
+    }
+};
+
+bool
+getBit(std::string_view plane, std::size_t base, std::uint64_t i)
+{
+    return (static_cast<unsigned char>(plane[base + (i >> 3)]) >>
+            (i & 7)) &
+           1u;
+}
+
+struct HeaderV2
+{
+    std::uint64_t contentHash = 0;
+    std::uint64_t count = 0;
+    std::uint64_t payloadSize = 0;
+};
+
+/**
+ * Read the common magic+version prefix; fill @p v2 when the stream is
+ * version 2. @return the version (1 or 2); for v1 @p count_v1 holds
+ * the event count.
+ */
+std::uint32_t
+readHeader(std::istream &is, std::uint64_t &count_v1, HeaderV2 &v2)
 {
     char magic[4];
     is.read(magic, sizeof(magic));
     if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
         blab_fatal("not a BranchLab trace (bad magic)");
     const std::uint32_t version = getU32(is);
-    if (version != kTraceFormatVersion) {
-        blab_fatal("unsupported trace version ", version, " (expected ",
-                   kTraceFormatVersion, ")");
+    if (version == kTraceFormatVersionV1) {
+        count_v1 = getU64(is);
+        return version;
     }
-    return getU64(is);
+    if (version == kTraceFormatVersion) {
+        v2.contentHash = getU64(is);
+        v2.count = getU64(is);
+        v2.payloadSize = getU64(is);
+        return version;
+    }
+    blab_fatal("unsupported trace version ", version, " (expected ",
+               kTraceFormatVersionV1, " or ", kTraceFormatVersion, ")");
+}
+
+std::vector<BranchEvent>
+readBodyV2(std::istream &is, const HeaderV2 &header)
+{
+    std::string payload(header.payloadSize, '\0');
+    is.read(payload.data(),
+            static_cast<std::streamsize>(payload.size()));
+    if (!is)
+        blab_fatal("truncated trace stream");
+    std::vector<BranchEvent> events;
+    std::string error;
+    if (!decodeEventsV2(payload, header.count, events, error))
+        blab_fatal("corrupt trace stream: ", error);
+    return events;
 }
 
 } // namespace
 
-std::size_t
-writeTrace(std::ostream &os, const std::vector<BranchEvent> &events)
+std::string
+encodeEventsV2(const std::vector<BranchEvent> &events)
 {
+    const std::size_t n = events.size();
+    const std::size_t plane_bytes = (n + 7) / 8;
+
+    std::string ops;
+    ops.reserve(n);
+    std::string planes(4 * plane_bytes, '\0');
+    const auto set_bit = [&](std::size_t plane, std::size_t i) {
+        planes[plane * plane_bytes + (i >> 3)] = static_cast<char>(
+            static_cast<unsigned char>(
+                planes[plane * plane_bytes + (i >> 3)]) |
+            (1u << (i & 7)));
+    };
+
+    // One delta triple per event, interleaved so the decoder fills
+    // each BranchEvent in a single sequential pass (three separate
+    // columns would make it re-walk the multi-hundred-megabyte event
+    // array once per column).
+    std::string deltas;
+    deltas.reserve(6 * n); // small deltas dominate real traces
+    std::string anomalies;
+
+    ir::Addr prev_pc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const BranchEvent &e = events[i];
+        ops.push_back(static_cast<char>(e.op));
+        if (e.conditional)
+            set_bit(0, i);
+        if (e.taken)
+            set_bit(1, i);
+        if (e.targetKnown)
+            set_bit(2, i);
+        const ir::Addr implied =
+            e.taken ? e.targetAddr : e.fallthroughAddr;
+        if (e.nextPc != implied) {
+            set_bit(3, i);
+            putVarint(anomalies, zigzag(e.nextPc - e.pc));
+        }
+        putVarint(deltas, zigzag(e.pc - prev_pc));
+        putVarint(deltas, zigzag(e.targetAddr - e.pc));
+        putVarint(deltas, zigzag(e.fallthroughAddr - e.pc));
+        prev_pc = e.pc;
+    }
+
+    std::string payload;
+    payload.reserve(ops.size() + planes.size() + deltas.size() +
+                    anomalies.size());
+    payload += ops;
+    payload += planes;
+    payload += deltas;
+    payload += anomalies;
+    return payload;
+}
+
+bool
+decodeEventsV2(std::string_view payload, std::uint64_t count,
+               std::vector<BranchEvent> &out, std::string &error)
+{
+    out.clear();
+    const std::size_t n = static_cast<std::size_t>(count);
+    const std::size_t plane_bytes = (n + 7) / 8;
+    if (payload.size() < n + 4 * plane_bytes) {
+        error = "payload shorter than its fixed columns";
+        return false;
+    }
+    const std::size_t planes = n; // plane base offset
+    const auto *base =
+        reinterpret_cast<const unsigned char *>(payload.data());
+    VarintCursor cur{base + n + 4 * plane_bytes,
+                     base + payload.size()};
+
+    out.resize(n);
+    ir::Addr prev_pc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const unsigned char op = base[i];
+        if (op >= ir::kNumOpcodes) {
+            error = "bad opcode " + std::to_string(op);
+            out.clear();
+            return false;
+        }
+        BranchEvent &e = out[i];
+        e.op = static_cast<ir::Opcode>(op);
+        e.conditional = getBit(payload, planes + 0 * plane_bytes, i);
+        e.taken = getBit(payload, planes + 1 * plane_bytes, i);
+        e.targetKnown = getBit(payload, planes + 2 * plane_bytes, i);
+        std::uint64_t zpc = 0;
+        std::uint64_t ztarget = 0;
+        std::uint64_t zfall = 0;
+        if (!cur.get(zpc) || !cur.get(ztarget) || !cur.get(zfall)) {
+            error = "truncated delta column";
+            out.clear();
+            return false;
+        }
+        e.pc = prev_pc + unzigzag(zpc);
+        prev_pc = e.pc;
+        e.targetAddr = e.pc + unzigzag(ztarget);
+        e.fallthroughAddr = e.pc + unzigzag(zfall);
+        e.nextPc = e.taken ? e.targetAddr : e.fallthroughAddr;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!getBit(payload, planes + 3 * plane_bytes, i))
+            continue;
+        std::uint64_t z = 0;
+        if (!cur.get(z)) {
+            error = "truncated anomalous-next column";
+            out.clear();
+            return false;
+        }
+        out[i].nextPc = out[i].pc + unzigzag(z);
+    }
+    if (cur.p != cur.end) {
+        error = "trailing bytes after event columns";
+        out.clear();
+        return false;
+    }
+    return true;
+}
+
+std::size_t
+writeTrace(std::ostream &os, const std::vector<BranchEvent> &events,
+           std::uint64_t content_hash)
+{
+    const std::string payload = encodeEventsV2(events);
     os.write(kMagic, sizeof(kMagic));
     putU32(os, kTraceFormatVersion);
+    putU64(os, content_hash);
     putU64(os, events.size());
-    for (const BranchEvent &event : events)
-        putEvent(os, event);
+    putU64(os, payload.size());
+    os.write(payload.data(),
+             static_cast<std::streamsize>(payload.size()));
     if (!os)
         blab_fatal("trace write failed");
-    return sizeof(kMagic) + 4 + 8 + events.size() * kEventBytes;
+    return sizeof(kMagic) + 4 + 3 * 8 + payload.size();
+}
+
+std::size_t
+writeTraceV1(std::ostream &os, const std::vector<BranchEvent> &events)
+{
+    os.write(kMagic, sizeof(kMagic));
+    putU32(os, kTraceFormatVersionV1);
+    putU64(os, events.size());
+    for (const BranchEvent &event : events)
+        putEventV1(os, event);
+    if (!os)
+        blab_fatal("trace write failed");
+    return sizeof(kMagic) + 4 + 8 + events.size() * kEventBytesV1;
 }
 
 void
 writeTraceFile(const std::string &path,
-               const std::vector<BranchEvent> &events)
+               const std::vector<BranchEvent> &events,
+               std::uint64_t content_hash)
 {
     std::ofstream file(path, std::ios::binary);
     if (!file)
         blab_fatal("cannot open '", path, "' for writing");
-    writeTrace(file, events);
+    writeTrace(file, events, content_hash);
 }
 
 std::vector<BranchEvent>
 readTrace(std::istream &is)
 {
-    const std::uint64_t count = readHeader(is);
-    std::vector<BranchEvent> events;
-    events.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i)
-        events.push_back(getEvent(is));
-    return events;
+    std::uint64_t count_v1 = 0;
+    HeaderV2 v2;
+    if (readHeader(is, count_v1, v2) == kTraceFormatVersionV1) {
+        std::vector<BranchEvent> events;
+        events.reserve(count_v1);
+        for (std::uint64_t i = 0; i < count_v1; ++i)
+            events.push_back(getEventV1(is));
+        return events;
+    }
+    return readBodyV2(is, v2);
 }
 
 std::vector<BranchEvent>
@@ -168,10 +424,17 @@ readTraceFile(const std::string &path)
 std::size_t
 replayTrace(std::istream &is, TraceSink &sink)
 {
-    const std::uint64_t count = readHeader(is);
-    for (std::uint64_t i = 0; i < count; ++i)
-        sink.onBranch(getEvent(is));
-    return count;
+    std::uint64_t count_v1 = 0;
+    HeaderV2 v2;
+    if (readHeader(is, count_v1, v2) == kTraceFormatVersionV1) {
+        for (std::uint64_t i = 0; i < count_v1; ++i)
+            sink.onBranch(getEventV1(is));
+        return count_v1;
+    }
+    const std::vector<BranchEvent> events = readBodyV2(is, v2);
+    for (const BranchEvent &event : events)
+        sink.onBranch(event);
+    return events.size();
 }
 
 } // namespace branchlab::trace

@@ -5,11 +5,34 @@
  * trace-driven studies like the paper's (profile once, evaluate every
  * scheme over the same stream).
  *
- * Format (little-endian, fixed-width):
- *   header:  magic "BLTR", u32 version, u64 event count
+ * Two on-disk versions are readable:
+ *
+ *  v1 (legacy, fixed-width records):
+ *   header:  magic "BLTR", u32 version = 1, u64 event count
  *   events:  u64 pc, u64 nextPc, u64 targetAddr, u64 fallthroughAddr,
  *            u8 opcode, u8 flags (bit0 conditional, bit1 taken,
  *            bit2 targetKnown)
+ *
+ *  v2 (current, columnar, ~6-10x smaller):
+ *   header:  magic "BLTR", u32 version = 2, u64 content hash,
+ *            u64 event count, u64 payload byte count
+ *   payload: column-wise --
+ *            opcode bytes (count);
+ *            four bit-planes, ceil(count/8) bytes each: conditional,
+ *            taken, targetKnown, and "anomalous next" (set when
+ *            nextPc != (taken ? targetAddr : fallthroughAddr), which
+ *            never happens for VM-emitted events);
+ *            one delta triple per event, interleaved so decode fills
+ *            each event in a single pass: pc delta (zig-zag varint vs
+ *            the previous pc), target delta (vs the event's own pc),
+ *            fallthrough delta (vs the event's pc);
+ *            anomalous nextPc deltas (one zig-zag varint per set
+ *            anomaly bit, vs the event's pc).
+ *
+ * The v2 content hash identifies what produced the trace (program IR +
+ * layout + input suite + VM configuration); 0 means "unknown". Readers
+ * fail fatally on bad magic, unsupported versions, truncation, or
+ * corrupt columns -- never silently.
  */
 
 #ifndef BRANCHLAB_TRACE_IO_HH
@@ -18,6 +41,7 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/event.hh"
@@ -25,20 +49,30 @@
 namespace branchlab::trace
 {
 
-/** Current on-disk format version. */
-inline constexpr std::uint32_t kTraceFormatVersion = 1;
+/** Current on-disk format version (columnar). */
+inline constexpr std::uint32_t kTraceFormatVersion = 2;
 
-/** Serialize events to a stream. @return bytes written. */
+/** The legacy fixed-record format, still readable. */
+inline constexpr std::uint32_t kTraceFormatVersionV1 = 1;
+
+/** Serialize events to a stream (v2). @return bytes written. */
 std::size_t writeTrace(std::ostream &os,
-                       const std::vector<BranchEvent> &events);
+                       const std::vector<BranchEvent> &events,
+                       std::uint64_t content_hash = 0);
 
-/** Serialize to a file; fatal on I/O failure. */
+/** Serialize in the legacy v1 fixed-record format (compatibility and
+ *  format tests). @return bytes written. */
+std::size_t writeTraceV1(std::ostream &os,
+                         const std::vector<BranchEvent> &events);
+
+/** Serialize to a file (v2); fatal on I/O failure. */
 void writeTraceFile(const std::string &path,
-                    const std::vector<BranchEvent> &events);
+                    const std::vector<BranchEvent> &events,
+                    std::uint64_t content_hash = 0);
 
 /**
- * Deserialize a stream written by writeTrace. Fatal on bad magic,
- * version mismatch, or truncation.
+ * Deserialize a stream written by writeTrace or writeTraceV1. Fatal
+ * on bad magic, unsupported version, truncation, or corruption.
  */
 std::vector<BranchEvent> readTrace(std::istream &is);
 
@@ -46,11 +80,22 @@ std::vector<BranchEvent> readTrace(std::istream &is);
 std::vector<BranchEvent> readTraceFile(const std::string &path);
 
 /**
- * Stream events from a serialized trace directly into a sink without
- * materialising the vector (for traces larger than memory).
+ * Stream events from a serialized trace directly into a sink.
+ * v1 streams decode record by record without materialising the
+ * vector; v2 decodes its (much smaller) columns first.
  * @return events delivered.
  */
 std::size_t replayTrace(std::istream &is, TraceSink &sink);
+
+/**
+ * The v2 column codec, shared with the trace cache. encode returns
+ * the payload bytes for the given events; decode parses a payload of
+ * @p count events, returning false (with a diagnostic in @p error)
+ * on truncation or corruption instead of failing fatally.
+ */
+std::string encodeEventsV2(const std::vector<BranchEvent> &events);
+bool decodeEventsV2(std::string_view payload, std::uint64_t count,
+                    std::vector<BranchEvent> &out, std::string &error);
 
 } // namespace branchlab::trace
 

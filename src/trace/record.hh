@@ -35,8 +35,15 @@ class BranchRecorder : public TraceSink
     /** Grow capacity to at least @p capacity events. */
     void reserve(std::size_t capacity) { events_.reserve(capacity); }
 
-    /** Move the recorded events out (leaves the recorder empty). */
-    std::vector<BranchEvent> takeEvents() { return std::move(events_); }
+    /** Move the recorded events out, leaving the recorder in a
+     *  defined empty state (a moved-from vector is only guaranteed
+     *  "valid but unspecified", so clear it before reuse). */
+    std::vector<BranchEvent> takeEvents()
+    {
+        std::vector<BranchEvent> taken = std::move(events_);
+        events_.clear();
+        return taken;
+    }
 
     /** Replay all recorded events into another sink. */
     void replayInto(TraceSink &sink) const;

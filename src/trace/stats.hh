@@ -16,6 +16,24 @@
 namespace branchlab::trace
 {
 
+class TraceStats;
+
+/**
+ * Plain-data snapshot of a TraceStats -- the five raw counters every
+ * derived fraction is computed from. Serializable (the trace cache
+ * persists one per workload) and convertible back losslessly.
+ */
+struct TraceCounters
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t conditional = 0;
+    std::uint64_t condTaken = 0;
+    std::uint64_t uncondKnown = 0;
+
+    bool operator==(const TraceCounters &) const = default;
+};
+
 /**
  * Accumulates branch statistics over one or many runs. Instruction
  * totals are fed from the machine's run result (cheaper than
@@ -31,6 +49,25 @@ class TraceStats : public TraceSink
 
     /** Merge another collector's totals into this one. */
     void merge(const TraceStats &other);
+
+    /** Snapshot the raw counters (for serialization). */
+    TraceCounters counters() const
+    {
+        return {instructions_, branches_, conditional_, condTaken_,
+                uncondKnown_};
+    }
+
+    /** Rebuild a collector from a counter snapshot. */
+    static TraceStats fromCounters(const TraceCounters &c)
+    {
+        TraceStats stats;
+        stats.instructions_ = c.instructions;
+        stats.branches_ = c.branches;
+        stats.conditional_ = c.conditional;
+        stats.condTaken_ = c.condTaken;
+        stats.uncondKnown_ = c.uncondKnown;
+        return stats;
+    }
 
     std::uint64_t instructions() const { return instructions_; }
     std::uint64_t branches() const { return branches_; }

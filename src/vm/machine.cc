@@ -18,7 +18,14 @@ using ir::Reg;
 using ir::Word;
 
 Machine::Machine(const ir::Program &program, const ir::Layout &layout)
-    : prog_(program), layout_(layout)
+    : ownedCode_(std::make_unique<PredecodedProgram>(program, layout)),
+      code_(*ownedCode_), prog_(program), layout_(layout)
+{
+    reset();
+}
+
+Machine::Machine(const PredecodedProgram &code)
+    : code_(code), prog_(code.program()), layout_(code.layout())
 {
     reset();
 }
@@ -71,12 +78,6 @@ Machine::reset()
     }
 }
 
-Word &
-Machine::reg(const Frame &frame, Reg r)
-{
-    return regStack_[frame.regBase + r];
-}
-
 void
 Machine::fault(const std::string &what, Addr pc)
 {
@@ -88,18 +89,17 @@ Machine::fault(const std::string &what, Addr pc)
 
 void
 Machine::pushFrame(FuncId func, const std::vector<Word> &args, Reg ret_dst,
-                   const RunLimits &limits, Addr pc)
+                   const RunLimits &limits, Addr pc,
+                   std::uint32_t resume_slot)
 {
     if (frames_.size() >= limits.maxFrames)
         fault("call stack overflow", pc);
-    const ir::Function &callee = prog_.function(func);
+    const DecodedFunction &callee = code_.func(func);
     Frame frame;
-    frame.func = func;
-    frame.block = callee.entry();
-    frame.index = 0;
     frame.regBase = regStack_.size();
     frame.retDst = ret_dst;
-    regStack_.resize(regStack_.size() + callee.numRegs(), 0);
+    frame.resumeSlot = resume_slot;
+    regStack_.resize(regStack_.size() + callee.numRegs, 0);
     for (std::size_t i = 0; i < args.size(); ++i)
         regStack_[frame.regBase + i] = args[i];
     frames_.push_back(frame);
@@ -113,18 +113,20 @@ Machine::run(const RunLimits &limits)
 
     frames_.clear();
     regStack_.clear();
-    pushFrame(prog_.mainFunction(), {}, kNoReg, lim, 0);
+    const FuncId main_func = code_.mainFunction();
+    pushFrame(main_func, {}, kNoReg, lim, 0, 0);
 
     const bool want_insts = sink_ != nullptr && sink_->wantsInstructions();
+
+    const DecodedInst *code = code_.slots();
+    std::uint32_t ip = code_.func(main_func).entrySlot;
+    std::size_t reg_base = frames_.back().regBase;
 
     // Scratch buffer for call arguments, reused across calls.
     std::vector<Word> arg_values;
 
     while (true) {
-        Frame &fr = frames_.back();
-        const ir::Function &fn = prog_.function(fr.func);
-        const ir::BasicBlock &bb = fn.block(fr.block);
-        const Instruction &inst = bb.inst(fr.index);
+        const DecodedInst &d = code[ip];
 
         if (result.instructions >= lim.maxInstructions) {
             result.reason = StopReason::InstructionLimit;
@@ -132,114 +134,120 @@ Machine::run(const RunLimits &limits)
         }
         ++result.instructions;
 
-        const Addr pc = layout_.blockAddr(fr.func, fr.block) + fr.index;
-
         if (want_insts)
-            sink_->onInstruction(trace::InstEvent{pc, inst.op});
+            sink_->onInstruction(trace::InstEvent{d.pc, d.op});
 
+        // Frame-local register access.
+        const auto reg = [&](Reg r) -> Word & {
+            return regStack_[reg_base + r];
+        };
         // Right-hand side of ALU/compare ops.
         const auto rhs = [&]() -> Word {
-            return inst.useImm ? inst.imm : reg(fr, inst.src2);
+            return d.useImm ? d.imm : reg(d.src2);
         };
 
-        switch (inst.op) {
+        switch (d.op) {
           case Opcode::Add:
-            reg(fr, inst.dst) = static_cast<Word>(
-                static_cast<std::uint64_t>(reg(fr, inst.src1)) +
+            reg(d.dst) = static_cast<Word>(
+                static_cast<std::uint64_t>(reg(d.src1)) +
                 static_cast<std::uint64_t>(rhs()));
             break;
           case Opcode::Sub:
-            reg(fr, inst.dst) = static_cast<Word>(
-                static_cast<std::uint64_t>(reg(fr, inst.src1)) -
+            reg(d.dst) = static_cast<Word>(
+                static_cast<std::uint64_t>(reg(d.src1)) -
                 static_cast<std::uint64_t>(rhs()));
             break;
           case Opcode::Mul:
-            reg(fr, inst.dst) = static_cast<Word>(
-                static_cast<std::uint64_t>(reg(fr, inst.src1)) *
+            reg(d.dst) = static_cast<Word>(
+                static_cast<std::uint64_t>(reg(d.src1)) *
                 static_cast<std::uint64_t>(rhs()));
             break;
           case Opcode::Div: {
             const Word divisor = rhs();
             if (divisor == 0)
-                fault("division by zero", pc);
-            const Word dividend = reg(fr, inst.src1);
+                fault("division by zero", d.pc);
+            const Word dividend = reg(d.src1);
             if (dividend == INT64_MIN && divisor == -1)
-                reg(fr, inst.dst) = INT64_MIN; // wrap, avoid UB
+                reg(d.dst) = INT64_MIN; // wrap, avoid UB
             else
-                reg(fr, inst.dst) = dividend / divisor;
+                reg(d.dst) = dividend / divisor;
             break;
           }
           case Opcode::Rem: {
             const Word divisor = rhs();
             if (divisor == 0)
-                fault("remainder by zero", pc);
-            const Word dividend = reg(fr, inst.src1);
+                fault("remainder by zero", d.pc);
+            const Word dividend = reg(d.src1);
             if (dividend == INT64_MIN && divisor == -1)
-                reg(fr, inst.dst) = 0;
+                reg(d.dst) = 0;
             else
-                reg(fr, inst.dst) = dividend % divisor;
+                reg(d.dst) = dividend % divisor;
             break;
           }
           case Opcode::And:
-            reg(fr, inst.dst) = reg(fr, inst.src1) & rhs();
+            reg(d.dst) = reg(d.src1) & rhs();
             break;
           case Opcode::Or:
-            reg(fr, inst.dst) = reg(fr, inst.src1) | rhs();
+            reg(d.dst) = reg(d.src1) | rhs();
             break;
           case Opcode::Xor:
-            reg(fr, inst.dst) = reg(fr, inst.src1) ^ rhs();
+            reg(d.dst) = reg(d.src1) ^ rhs();
             break;
           case Opcode::Shl:
-            reg(fr, inst.dst) = static_cast<Word>(
-                static_cast<std::uint64_t>(reg(fr, inst.src1))
+            reg(d.dst) = static_cast<Word>(
+                static_cast<std::uint64_t>(reg(d.src1))
                 << (rhs() & 63));
             break;
           case Opcode::Shr:
             // C++20 defines signed right shift as arithmetic.
-            reg(fr, inst.dst) = reg(fr, inst.src1) >> (rhs() & 63);
+            reg(d.dst) = reg(d.src1) >> (rhs() & 63);
             break;
           case Opcode::Not:
-            reg(fr, inst.dst) = ~reg(fr, inst.src1);
+            reg(d.dst) = ~reg(d.src1);
             break;
           case Opcode::Neg:
-            reg(fr, inst.dst) = static_cast<Word>(
-                0 - static_cast<std::uint64_t>(reg(fr, inst.src1)));
+            reg(d.dst) = static_cast<Word>(
+                0 - static_cast<std::uint64_t>(reg(d.src1)));
             break;
           case Opcode::Mov:
-            reg(fr, inst.dst) = reg(fr, inst.src1);
+            reg(d.dst) = reg(d.src1);
             break;
           case Opcode::Ldi:
-            reg(fr, inst.dst) = inst.imm;
+            reg(d.dst) = d.imm;
             break;
           case Opcode::Ld: {
-            const Word addr = reg(fr, inst.src1) + inst.imm;
+            const Word addr = reg(d.src1) + d.imm;
             Word value = 0;
-            if (!memory_.tryRead(addr, value))
-                fault("load from bad address " + std::to_string(addr), pc);
-            reg(fr, inst.dst) = value;
+            if (!memory_.tryRead(addr, value)) {
+                fault("load from bad address " + std::to_string(addr),
+                      d.pc);
+            }
+            reg(d.dst) = value;
             break;
           }
           case Opcode::St: {
-            const Word addr = reg(fr, inst.src1) + inst.imm;
-            if (!memory_.tryWrite(addr, reg(fr, inst.src2)))
-                fault("store to bad address " + std::to_string(addr), pc);
+            const Word addr = reg(d.src1) + d.imm;
+            if (!memory_.tryWrite(addr, reg(d.src2))) {
+                fault("store to bad address " + std::to_string(addr),
+                      d.pc);
+            }
             break;
           }
           case Opcode::Ldf:
-            reg(fr, inst.dst) = static_cast<Word>(inst.func);
+            reg(d.dst) = static_cast<Word>(d.func);
             break;
           case Opcode::In: {
-            const auto chan = static_cast<std::size_t>(inst.imm);
+            const auto chan = static_cast<std::size_t>(d.imm);
             std::size_t &cursor = inputCursor_[chan];
             if (cursor < inputs_[chan].size())
-                reg(fr, inst.dst) = inputs_[chan][cursor++];
+                reg(d.dst) = inputs_[chan][cursor++];
             else
-                reg(fr, inst.dst) = -1;
+                reg(d.dst) = -1;
             break;
           }
           case Opcode::Out:
-            outputs_[static_cast<std::size_t>(inst.imm)].push_back(
-                reg(fr, inst.src1));
+            outputs_[static_cast<std::size_t>(d.imm)].push_back(
+                reg(d.src1));
             break;
           case Opcode::Nop:
             break;
@@ -251,111 +259,107 @@ Machine::run(const RunLimits &limits)
           case Opcode::Bgt:
           case Opcode::Bge: {
             const bool taken =
-                ir::evalCondition(inst.op, reg(fr, inst.src1), rhs());
+                ir::evalCondition(d.op, reg(d.src1), rhs());
             ++result.branches;
-            const Addr taken_addr =
-                layout_.blockAddr(fr.func, inst.target);
-            const Addr fall_addr = layout_.blockAddr(fr.func, inst.next);
             if (sink_ != nullptr) {
                 trace::BranchEvent ev;
-                ev.pc = pc;
-                ev.op = inst.op;
+                ev.pc = d.pc;
+                ev.op = d.op;
                 ev.conditional = true;
                 ev.taken = taken;
                 ev.targetKnown = true;
-                ev.targetAddr = taken_addr;
-                ev.fallthroughAddr = fall_addr;
-                ev.nextPc = taken ? taken_addr : fall_addr;
+                ev.targetAddr = d.takenAddr;
+                ev.fallthroughAddr = d.fallAddr;
+                ev.nextPc = taken ? d.takenAddr : d.fallAddr;
                 sink_->onBranch(ev);
             }
-            fr.block = taken ? inst.target : inst.next;
-            fr.index = 0;
+            ip = taken ? d.takenSlot : d.nextSlot;
             continue;
           }
 
           case Opcode::Jmp: {
             ++result.branches;
-            const Addr target = layout_.blockAddr(fr.func, inst.target);
             if (sink_ != nullptr) {
                 trace::BranchEvent ev;
-                ev.pc = pc;
-                ev.op = inst.op;
+                ev.pc = d.pc;
+                ev.op = d.op;
                 ev.taken = true;
                 ev.targetKnown = true;
-                ev.targetAddr = target;
-                ev.fallthroughAddr = pc + 1;
-                ev.nextPc = target;
+                ev.targetAddr = d.takenAddr;
+                ev.fallthroughAddr = d.pc + 1;
+                ev.nextPc = d.takenAddr;
                 sink_->onBranch(ev);
             }
-            fr.block = inst.target;
-            fr.index = 0;
+            ip = d.takenSlot;
             continue;
           }
 
           case Opcode::JTab: {
             ++result.branches;
-            const Word index = reg(fr, inst.src1);
+            const Word index = reg(d.src1);
             if (index < 0 ||
-                index >= static_cast<Word>(inst.table.size())) {
+                index >= static_cast<Word>(d.inst->table.size())) {
                 fault("jump-table index " + std::to_string(index) +
                           " out of range",
-                      pc);
+                      d.pc);
             }
             const BlockId target_block =
-                inst.table[static_cast<std::size_t>(index)];
-            const Addr target = layout_.blockAddr(fr.func, target_block);
+                d.inst->table[static_cast<std::size_t>(index)];
+            const std::uint32_t target_slot =
+                code_.blockSlot(d.func, target_block);
             if (sink_ != nullptr) {
                 trace::BranchEvent ev;
-                ev.pc = pc;
-                ev.op = inst.op;
+                ev.pc = d.pc;
+                ev.op = d.op;
                 ev.taken = true;
                 ev.targetKnown = false;
-                ev.targetAddr = target;
-                ev.fallthroughAddr = pc + 1;
-                ev.nextPc = target;
+                ev.targetAddr = code[target_slot].pc;
+                ev.fallthroughAddr = d.pc + 1;
+                ev.nextPc = ev.targetAddr;
                 sink_->onBranch(ev);
             }
-            fr.block = target_block;
-            fr.index = 0;
+            ip = target_slot;
             continue;
           }
 
           case Opcode::Call:
           case Opcode::CallInd: {
             ++result.branches;
-            FuncId callee = inst.func;
-            if (inst.op == Opcode::CallInd) {
-                const Word ref = reg(fr, inst.src1);
+            FuncId callee = d.func;
+            std::uint32_t callee_slot = d.takenSlot;
+            if (d.op == Opcode::CallInd) {
+                const Word ref = reg(d.src1);
                 if (ref < 0 ||
                     ref >= static_cast<Word>(prog_.numFunctions())) {
                     fault("indirect call to bad function ref " +
                               std::to_string(ref),
-                          pc);
+                          d.pc);
                 }
                 callee = static_cast<FuncId>(ref);
+                callee_slot = code_.func(callee).entrySlot;
             }
-            if (inst.args.size() != prog_.function(callee).numArgs())
-                fault("argument count mismatch in indirect call", pc);
-            const Addr target = layout_.funcEntry(callee);
+            const DecodedFunction &callee_info = code_.func(callee);
+            if (d.inst->args.size() != callee_info.numArgs)
+                fault("argument count mismatch in indirect call", d.pc);
             if (sink_ != nullptr) {
                 trace::BranchEvent ev;
-                ev.pc = pc;
-                ev.op = inst.op;
+                ev.pc = d.pc;
+                ev.op = d.op;
                 ev.taken = true;
-                ev.targetKnown = inst.op == Opcode::Call;
-                ev.targetAddr = target;
-                ev.fallthroughAddr = pc + 1;
-                ev.nextPc = target;
+                ev.targetKnown = d.op == Opcode::Call;
+                ev.targetAddr = callee_info.entryAddr;
+                ev.fallthroughAddr = d.pc + 1;
+                ev.nextPc = callee_info.entryAddr;
                 sink_->onBranch(ev);
             }
-            // Resume the caller at the continuation when the callee
-            // returns.
-            fr.block = inst.next;
-            fr.index = 0;
             arg_values.clear();
-            for (Reg a : inst.args)
-                arg_values.push_back(reg(fr, a));
-            pushFrame(callee, arg_values, inst.dst, lim, pc);
+            for (Reg a : d.inst->args)
+                arg_values.push_back(reg(a));
+            // The caller resumes at the continuation block when the
+            // callee returns.
+            pushFrame(callee, arg_values, d.dst, lim, d.pc, d.nextSlot);
+            reg_base = frames_.back().regBase;
+            ip = callee_slot;
             continue;
           }
 
@@ -367,29 +371,25 @@ Machine::run(const RunLimits &limits)
                 return result;
             }
             ++result.branches;
-            const Word value =
-                inst.src1 != kNoReg ? reg(fr, inst.src1) : 0;
-            const Reg ret_dst = fr.retDst;
-            const std::size_t reg_base = fr.regBase;
+            const Word value = d.src1 != kNoReg ? reg(d.src1) : 0;
+            const Frame finished = frames_.back();
             frames_.pop_back();
-            regStack_.resize(reg_base);
-            Frame &caller = frames_.back();
-            if (ret_dst != kNoReg)
-                reg(caller, ret_dst) = value;
-            const Addr target =
-                layout_.blockAddr(caller.func, caller.block) +
-                caller.index;
+            regStack_.resize(finished.regBase);
+            reg_base = frames_.back().regBase;
+            if (finished.retDst != kNoReg)
+                regStack_[reg_base + finished.retDst] = value;
+            ip = finished.resumeSlot;
             if (sink_ != nullptr) {
                 trace::BranchEvent ev;
-                ev.pc = pc;
+                ev.pc = d.pc;
                 ev.op = Opcode::Ret;
                 ev.taken = true;
                 // The return address is register-resident and readable
                 // at decode: a known target (see DESIGN.md).
                 ev.targetKnown = true;
-                ev.targetAddr = target;
-                ev.fallthroughAddr = pc + 1;
-                ev.nextPc = target;
+                ev.targetAddr = code[ip].pc;
+                ev.fallthroughAddr = d.pc + 1;
+                ev.nextPc = code[ip].pc;
                 sink_->onBranch(ev);
             }
             continue;
@@ -400,7 +400,7 @@ Machine::run(const RunLimits &limits)
             return result;
         }
 
-        ++fr.index;
+        ++ip;
     }
 }
 

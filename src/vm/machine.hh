@@ -12,6 +12,7 @@
 #ifndef BRANCHLAB_VM_MACHINE_HH
 #define BRANCHLAB_VM_MACHINE_HH
 
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "ir/program.hh"
 #include "trace/event.hh"
 #include "vm/memory.hh"
+#include "vm/predecode.hh"
 
 namespace branchlab::vm
 {
@@ -63,6 +65,11 @@ struct RunResult
  * The virtual machine. One machine executes one program; reset state
  * between runs with reset(). Inputs are word streams on channels
  * 0..kMaxChannels-1; outputs accumulate per channel.
+ *
+ * The interpreter runs over a PredecodedProgram (a flat array of
+ * pre-resolved instruction slots). Construct from a shared
+ * PredecodedProgram when executing many inputs of the same program so
+ * the decode cost is paid once per program, not once per machine.
  */
 class Machine
 {
@@ -70,8 +77,15 @@ class Machine
     /**
      * @param program verified program (caller must run the verifier)
      * @param layout  address map built over @p program
+     *
+     * Predecodes the program privately; prefer the PredecodedProgram
+     * constructor when several machines share one program.
      */
     Machine(const ir::Program &program, const ir::Layout &layout);
+
+    /** Execute over an existing decoding (not owned; must outlive
+     *  the machine). */
+    explicit Machine(const PredecodedProgram &code);
 
     /** Replace the input stream of a channel (resets its cursor). */
     void setInput(int channel, std::vector<ir::Word> words);
@@ -103,20 +117,22 @@ class Machine
   private:
     struct Frame
     {
-        ir::FuncId func;
-        ir::BlockId block;
-        std::uint32_t index;
         /** Base of this frame's registers in regStack_. */
         std::size_t regBase;
         /** Caller register receiving the return value (kNoReg: none).*/
         ir::Reg retDst;
+        /** Flat slot the caller resumes at when this frame returns. */
+        std::uint32_t resumeSlot;
     };
 
-    ir::Word &reg(const Frame &frame, ir::Reg r);
     [[noreturn]] void fault(const std::string &what, ir::Addr pc);
     void pushFrame(ir::FuncId func, const std::vector<ir::Word> &args,
-                   ir::Reg ret_dst, const RunLimits &limits, ir::Addr pc);
+                   ir::Reg ret_dst, const RunLimits &limits, ir::Addr pc,
+                   std::uint32_t resume_slot);
 
+    /** Owned decoding for the (program, layout) constructor. */
+    std::unique_ptr<PredecodedProgram> ownedCode_;
+    const PredecodedProgram &code_;
     const ir::Program &prog_;
     const ir::Layout &layout_;
     Memory memory_;

@@ -1,0 +1,95 @@
+#include "vm/predecode.hh"
+
+#include "support/logging.hh"
+
+namespace branchlab::vm
+{
+
+using ir::Addr;
+using ir::BlockId;
+using ir::FuncId;
+using ir::Instruction;
+using ir::kCodeBase;
+using ir::Opcode;
+
+PredecodedProgram::PredecodedProgram(const ir::Program &program,
+                                     const ir::Layout &layout)
+    : prog_(program), layout_(layout)
+{
+    slots_.reserve(layout.totalSize());
+    funcs_.reserve(program.numFunctions());
+    main_ = program.mainFunction();
+
+    for (FuncId f = 0; f < program.numFunctions(); ++f) {
+        const ir::Function &fn = program.function(f);
+        DecodedFunction df;
+        df.entrySlot = blockSlot(f, fn.entry());
+        df.entryAddr = layout.funcEntry(f);
+        df.numRegs = fn.numRegs();
+        df.numArgs = fn.numArgs();
+        funcs_.push_back(df);
+
+        for (const ir::BasicBlock &bb : fn.blocks()) {
+            // blockAddr + index rather than instAddr: the latter
+            // cross-checks against the layout's own program reference,
+            // which callers may have moved the program out of.
+            const Addr bb_addr = layout.blockAddr(f, bb.id());
+            for (std::size_t i = 0; i < bb.size(); ++i) {
+                const Instruction &inst = bb.inst(i);
+                DecodedInst d;
+                d.op = inst.op;
+                d.useImm = inst.useImm;
+                d.dst = inst.dst;
+                d.src1 = inst.src1;
+                d.src2 = inst.src2;
+                d.imm = inst.imm;
+                d.func = inst.func;
+                d.pc = bb_addr + i;
+                d.fallAddr = d.pc + 1;
+                d.inst = &inst;
+                switch (inst.op) {
+                  case Opcode::Beq:
+                  case Opcode::Bne:
+                  case Opcode::Blt:
+                  case Opcode::Ble:
+                  case Opcode::Bgt:
+                  case Opcode::Bge:
+                    d.takenAddr = layout.blockAddr(f, inst.target);
+                    d.fallAddr = layout.blockAddr(f, inst.next);
+                    d.takenSlot = blockSlot(f, inst.target);
+                    d.nextSlot = blockSlot(f, inst.next);
+                    break;
+                  case Opcode::Jmp:
+                    d.takenAddr = layout.blockAddr(f, inst.target);
+                    d.takenSlot = blockSlot(f, inst.target);
+                    break;
+                  case Opcode::JTab:
+                    // Targets are data-dependent; remember the owning
+                    // function so the run-time lookup can resolve
+                    // table entries to their block slots.
+                    d.func = f;
+                    break;
+                  case Opcode::Call:
+                    d.takenAddr = layout.funcEntry(inst.func);
+                    d.takenSlot = blockSlot(
+                        inst.func,
+                        program.function(inst.func).entry());
+                    d.nextSlot = blockSlot(f, inst.next);
+                    break;
+                  case Opcode::CallInd:
+                    // The callee resolves at run time; only the
+                    // continuation is static.
+                    d.nextSlot = blockSlot(f, inst.next);
+                    break;
+                  default:
+                    break;
+                }
+                slots_.push_back(d);
+            }
+        }
+    }
+    blab_assert(slots_.size() == layout.totalSize(),
+                "predecode slot count disagrees with the layout");
+}
+
+} // namespace branchlab::vm

@@ -420,5 +420,38 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Range(0, 10),
                        ::testing::Values(2u, 8u)));
 
+TEST(ImageExecution, BranchSinkSkipsTheCommittedStream)
+{
+    Built built = profileOver(buildFigure2Like());
+    FsConfig config;
+    config.slotCount = 2;
+    const FsResult image =
+        ForwardSlotFiller(*built.profile, config).build();
+    const ImageExecutor executor(*built.profile, image);
+
+    // No sink: the committed stream is materialised (equivalence
+    // checks depend on it).
+    const ImageRunResult plain = executor.run({});
+    EXPECT_EQ(plain.committed.size(), plain.instructions);
+
+    // A branches-only sink: the committed vector stays empty -- the
+    // pure recording path never builds it -- while the instruction
+    // count and the branch stream are unchanged.
+    trace::BranchRecorder recorder;
+    const ImageRunResult recording =
+        executor.run({}, 100'000'000ULL, &recorder);
+    EXPECT_EQ(recording.instructions, plain.instructions);
+    EXPECT_TRUE(recording.committed.empty());
+    EXPECT_GT(recorder.size(), 0u);
+    EXPECT_EQ(recording.outputs, plain.outputs);
+
+    // A sink that wants instructions still gets the committed stream.
+    trace::InstRecorder insts;
+    const ImageRunResult full =
+        executor.run({}, 100'000'000ULL, &insts);
+    EXPECT_EQ(full.committed.size(), plain.committed.size());
+    EXPECT_EQ(insts.addrs().size(), plain.instructions);
+}
+
 } // namespace
 } // namespace branchlab::profile

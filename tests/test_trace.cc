@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "helpers.hh"
+#include "support/logging.hh"
+#include "trace/io.hh"
 #include "trace/stats.hh"
 
 namespace branchlab::trace
@@ -112,6 +116,181 @@ TEST(FanoutSink, WantsInstructionsOrsMembers)
     EXPECT_TRUE(fanout.wantsInstructions());
     fanout.onInstruction(InstEvent{0x1000, ir::Opcode::Nop});
     EXPECT_EQ(recorder.addrs().size(), 1u);
+}
+
+TEST(BranchRecorder, TakeEventsLeavesRecorderReusable)
+{
+    BranchRecorder recorder;
+    recorder.onBranch(makeEvent(1, true, true));
+    recorder.onBranch(makeEvent(2, false, true));
+
+    const std::vector<BranchEvent> taken = recorder.takeEvents();
+    EXPECT_EQ(taken.size(), 2u);
+    // The recorder must be in a defined empty state, not merely
+    // "valid but unspecified": size is 0 and recording restarts
+    // cleanly.
+    EXPECT_EQ(recorder.size(), 0u);
+    EXPECT_TRUE(recorder.events().empty());
+
+    recorder.onBranch(makeEvent(3, true, false));
+    ASSERT_EQ(recorder.size(), 1u);
+    EXPECT_EQ(recorder.events()[0].pc, 3u);
+}
+
+TEST(TraceStats, CountersRoundTripLosslessly)
+{
+    TraceStats stats;
+    stats.onBranch(makeEvent(1, true, true));
+    stats.onBranch(makeEvent(2, false, true, false));
+    stats.addInstructions(11);
+
+    const TraceCounters counters = stats.counters();
+    const TraceStats rebuilt = TraceStats::fromCounters(counters);
+    EXPECT_EQ(rebuilt.counters(), counters);
+    EXPECT_EQ(rebuilt.instructions(), stats.instructions());
+    EXPECT_EQ(rebuilt.branches(), stats.branches());
+    EXPECT_EQ(rebuilt.conditionalBranches(),
+              stats.conditionalBranches());
+    EXPECT_EQ(rebuilt.conditionalTaken(), stats.conditionalTaken());
+    EXPECT_EQ(rebuilt.unconditionalKnown(),
+              stats.unconditionalKnown());
+}
+
+// ---------------------------------------------------------------------
+// Trace formats: the v2 columnar codec and v1 compatibility.
+// ---------------------------------------------------------------------
+
+void
+expectSameEvents(const std::vector<BranchEvent> &a,
+                 const std::vector<BranchEvent> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pc, b[i].pc) << "event " << i;
+        EXPECT_EQ(a[i].nextPc, b[i].nextPc) << "event " << i;
+        EXPECT_EQ(a[i].targetAddr, b[i].targetAddr) << "event " << i;
+        EXPECT_EQ(a[i].fallthroughAddr, b[i].fallthroughAddr)
+            << "event " << i;
+        EXPECT_EQ(a[i].op, b[i].op) << "event " << i;
+        EXPECT_EQ(a[i].conditional, b[i].conditional) << "event " << i;
+        EXPECT_EQ(a[i].taken, b[i].taken) << "event " << i;
+        EXPECT_EQ(a[i].targetKnown, b[i].targetKnown) << "event " << i;
+    }
+}
+
+std::vector<BranchEvent>
+recordFactorialTrace()
+{
+    const ir::Program prog = test::buildFactorial(6);
+    BranchRecorder recorder;
+    test::runProgram(prog, &recorder);
+    return recorder.takeEvents();
+}
+
+TEST(TraceIoV2, V1AndV2ReadBackBitEquivalently)
+{
+    const std::vector<BranchEvent> events = recordFactorialTrace();
+    ASSERT_FALSE(events.empty());
+
+    std::stringstream v1, v2;
+    const std::size_t v1_bytes = writeTraceV1(v1, events);
+    const std::size_t v2_bytes = writeTrace(v2, events, 0xfeedu);
+    EXPECT_EQ(v1_bytes, v1.str().size());
+    EXPECT_EQ(v2_bytes, v2.str().size());
+    // The columnar layout is the point: several times smaller than
+    // the 34-byte fixed records.
+    EXPECT_LT(v2_bytes, v1_bytes / 4);
+
+    const std::vector<BranchEvent> from_v1 = readTrace(v1);
+    const std::vector<BranchEvent> from_v2 = readTrace(v2);
+    expectSameEvents(from_v1, events);
+    expectSameEvents(from_v2, events);
+}
+
+TEST(TraceIoV2, AnomalousNextPcRoundTrips)
+{
+    // Synthetic events may violate the VM invariant
+    // nextPc == (taken ? target : fallthrough); the anomaly side
+    // channel must preserve them bit-exactly.
+    std::vector<BranchEvent> events;
+    events.push_back(makeEvent(0x1000, true, true));
+    BranchEvent odd = makeEvent(0x1004, true, false);
+    odd.nextPc = 0x9999; // neither target nor fallthrough
+    events.push_back(odd);
+    BranchEvent far = makeEvent(0x2000, false, true);
+    far.nextPc = ir::kNoAddr; // extreme delta
+    events.push_back(far);
+
+    std::stringstream buffer;
+    writeTrace(buffer, events);
+    expectSameEvents(readTrace(buffer), events);
+}
+
+TEST(TraceIoV2, EncodeDecodePayloadRoundTrips)
+{
+    const std::vector<BranchEvent> events = recordFactorialTrace();
+    const std::string payload = encodeEventsV2(events);
+    std::vector<BranchEvent> decoded;
+    std::string error;
+    ASSERT_TRUE(decodeEventsV2(payload, events.size(), decoded, error))
+        << error;
+    expectSameEvents(decoded, events);
+}
+
+TEST(TraceIoV2, DecodeRejectsCorruptPayloadSoftly)
+{
+    const std::vector<BranchEvent> events = recordFactorialTrace();
+    const std::string payload = encodeEventsV2(events);
+
+    std::vector<BranchEvent> decoded;
+    std::string error;
+    // Truncation at any depth is a clean failure, never a crash.
+    EXPECT_FALSE(decodeEventsV2(payload.substr(0, payload.size() - 2),
+                                events.size(), decoded, error));
+    EXPECT_FALSE(error.empty());
+    // Wrong count: either short columns or trailing bytes.
+    EXPECT_FALSE(
+        decodeEventsV2(payload, events.size() + 1, decoded, error));
+    // A corrupt opcode byte is diagnosed.
+    std::string bad_op = payload;
+    bad_op[0] = '\x7f';
+    EXPECT_FALSE(
+        decodeEventsV2(bad_op, events.size(), decoded, error));
+}
+
+TEST(TraceIoV2, RejectsUnsupportedVersion)
+{
+    // A v2 header whose version field says 99.
+    std::string raw = "BLTR";
+    raw += '\x63'; // 99, little-endian u32
+    raw += std::string(3, '\0');
+    raw += std::string(24, '\0');
+    std::stringstream buffer(raw);
+    EXPECT_THROW(readTrace(buffer), ConfigFailure);
+}
+
+TEST(TraceIoV2, RejectsTruncatedV2Stream)
+{
+    const std::vector<BranchEvent> events = recordFactorialTrace();
+    std::stringstream buffer;
+    writeTrace(buffer, events);
+    const std::string whole = buffer.str();
+    std::stringstream truncated(whole.substr(0, whole.size() - 5));
+    EXPECT_THROW(readTrace(truncated), ConfigFailure);
+}
+
+TEST(TraceIoV2, ReplayHandlesBothVersions)
+{
+    const std::vector<BranchEvent> events = recordFactorialTrace();
+    std::stringstream v1, v2;
+    writeTraceV1(v1, events);
+    writeTrace(v2, events);
+
+    TraceStats from_v1, from_v2;
+    EXPECT_EQ(replayTrace(v1, from_v1), events.size());
+    EXPECT_EQ(replayTrace(v2, from_v2), events.size());
+    EXPECT_EQ(from_v1.branches(), from_v2.branches());
+    EXPECT_EQ(from_v1.conditionalTaken(), from_v2.conditionalTaken());
 }
 
 TEST(TraceStats, AgreesWithMachineCountsOnRealProgram)

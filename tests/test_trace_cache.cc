@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for the persistent trace cache: round trips, corruption and
+ * hash-mismatch handling (no crash, no silent stale reuse), directory
+ * resolution, and warm-path bit-identity through recordWorkload and
+ * the experiment runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "core/runner.hh"
+#include "helpers.hh"
+#include "trace/cache.hh"
+#include "workloads/corpus.hh"
+
+namespace branchlab::trace
+{
+namespace
+{
+
+/** Fresh throwaway cache directory per test. */
+std::string
+makeCacheDir(const std::string &tag)
+{
+    const std::string dir = ::testing::TempDir() + "blab_cache_" + tag;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+CachedWorkload
+makeWorkload()
+{
+    const ir::Program prog = test::buildFactorial(5);
+    BranchRecorder recorder;
+    test::runProgram(prog, &recorder);
+
+    CachedWorkload workload;
+    workload.contentHash = 0x1234abcd5678ef01ULL;
+    workload.runs = 3;
+    workload.stats = {1000, 200, 150, 90, 40};
+    workload.likely = {{0x1000, 0x1010, true}, {0x1004, ir::kNoAddr, false}};
+    workload.events = recorder.takeEvents();
+    return workload;
+}
+
+TEST(TraceCache, DisabledCacheNeverHitsAndStoresNothing)
+{
+    const TraceCache cache;
+    EXPECT_FALSE(cache.enabled());
+    CachedWorkload out;
+    EXPECT_FALSE(cache.load("anything", 42, out));
+    cache.store("anything", makeWorkload()); // must be a no-op
+}
+
+TEST(TraceCache, StoreThenLoadRoundTripsBitExactly)
+{
+    const std::string dir = makeCacheDir("roundtrip");
+    const TraceCache cache(dir);
+    const CachedWorkload stored = makeWorkload();
+    cache.store("fact", stored);
+
+    CachedWorkload loaded;
+    ASSERT_TRUE(cache.load("fact", stored.contentHash, loaded));
+    EXPECT_EQ(loaded.contentHash, stored.contentHash);
+    EXPECT_EQ(loaded.runs, stored.runs);
+    EXPECT_EQ(loaded.stats, stored.stats);
+    EXPECT_EQ(loaded.likely, stored.likely);
+    ASSERT_EQ(loaded.events.size(), stored.events.size());
+    for (std::size_t i = 0; i < loaded.events.size(); ++i) {
+        EXPECT_EQ(loaded.events[i].pc, stored.events[i].pc);
+        EXPECT_EQ(loaded.events[i].nextPc, stored.events[i].nextPc);
+        EXPECT_EQ(loaded.events[i].taken, stored.events[i].taken);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCache, CountersTrackHitsMissesAndStores)
+{
+    const std::string dir = makeCacheDir("counters");
+    const TraceCache cache(dir);
+    resetTraceCacheCounters();
+
+    const CachedWorkload stored = makeWorkload();
+    CachedWorkload out;
+    EXPECT_FALSE(cache.load("fact", stored.contentHash, out));
+    cache.store("fact", stored);
+    EXPECT_TRUE(cache.load("fact", stored.contentHash, out));
+
+    const TraceCacheCounters counters = traceCacheCounters();
+    EXPECT_EQ(counters.misses, 1u);
+    EXPECT_EQ(counters.stores, 1u);
+    EXPECT_EQ(counters.hits, 1u);
+    resetTraceCacheCounters();
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCache, CorruptEntryIsRejectedWithoutCrashing)
+{
+    const std::string dir = makeCacheDir("corrupt");
+    const TraceCache cache(dir);
+    const CachedWorkload stored = makeWorkload();
+    cache.store("fact", stored);
+
+    // Overwrite the entry with garbage: load must warn and miss, so
+    // the caller re-records instead of crashing or using stale data.
+    const std::string path = cache.entryPath("fact", stored.contentHash);
+    {
+        std::ofstream file(path, std::ios::binary | std::ios::trunc);
+        file << "BLTC this is not a cache entry";
+    }
+    resetWarningCount();
+    CachedWorkload out;
+    EXPECT_FALSE(cache.load("fact", stored.contentHash, out));
+    EXPECT_GE(warningCount(), 1u);
+
+    // Truncation mid-payload is also a soft miss.
+    const CachedWorkload fresh = makeWorkload();
+    cache.store("fact", fresh);
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) - 7);
+    EXPECT_FALSE(cache.load("fact", fresh.contentHash, out));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCache, MismatchedContentHashIsNeverServed)
+{
+    const std::string dir = makeCacheDir("mismatch");
+    const TraceCache cache(dir);
+    const CachedWorkload stored = makeWorkload();
+    cache.store("fact", stored);
+
+    // Plant the entry under a different hash's filename (a stale or
+    // tampered file): the embedded hash disagrees and the load must
+    // miss rather than silently serve the stale stream.
+    const std::uint64_t other_hash = stored.contentHash ^ 0xff;
+    std::filesystem::copy_file(
+        cache.entryPath("fact", stored.contentHash),
+        cache.entryPath("fact", other_hash));
+    resetWarningCount();
+    CachedWorkload out;
+    EXPECT_FALSE(cache.load("fact", other_hash, out));
+    EXPECT_GE(warningCount(), 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCache, ResolveDirPrefersConfigThenEnvironment)
+{
+    unsetenv("BRANCHLAB_TRACE_CACHE");
+    EXPECT_EQ(TraceCache::resolveDir("/configured"), "/configured");
+    EXPECT_EQ(TraceCache::resolveDir(""), "");
+    setenv("BRANCHLAB_TRACE_CACHE", "/from-env", 1);
+    EXPECT_EQ(TraceCache::resolveDir(""), "/from-env");
+    EXPECT_EQ(TraceCache::resolveDir("/configured"), "/configured");
+    unsetenv("BRANCHLAB_TRACE_CACHE");
+}
+
+TEST(TraceCache, ContentHasherIsOrderSensitive)
+{
+    const auto digest = [](auto feed) {
+        ContentHasher hasher;
+        feed(hasher);
+        return hasher.digest();
+    };
+    const std::uint64_t a =
+        digest([](ContentHasher &h) { h.u64(1).u64(2); });
+    const std::uint64_t b =
+        digest([](ContentHasher &h) { h.u64(2).u64(1); });
+    EXPECT_NE(a, b);
+    // str() is length-prefixed: ("ab","c") != ("a","bc").
+    const std::uint64_t c =
+        digest([](ContentHasher &h) { h.str("ab").str("c"); });
+    const std::uint64_t d =
+        digest([](ContentHasher &h) { h.str("a").str("bc"); });
+    EXPECT_NE(c, d);
+}
+
+// ---------------------------------------------------------------------
+// Warm-path integration through recordWorkload and the runner.
+// ---------------------------------------------------------------------
+
+core::ExperimentConfig
+cachedConfig(const std::string &dir)
+{
+    core::ExperimentConfig config;
+    config.runsOverride = 2;
+    config.runStaticSchemes = false;
+    config.traceCacheDir = dir;
+    return config;
+}
+
+TEST(TraceCacheIntegration, WarmRecordWorkloadIsBitIdentical)
+{
+    const std::string dir = makeCacheDir("record");
+    const core::ExperimentConfig config = cachedConfig(dir);
+    const workloads::Workload &workload =
+        workloads::findWorkload("tee");
+
+    const core::RecordedWorkload cold =
+        core::recordWorkload(workload, config);
+    EXPECT_FALSE(cold.cacheHit);
+    const core::RecordedWorkload warm =
+        core::recordWorkload(workload, config);
+    EXPECT_TRUE(warm.cacheHit);
+
+    EXPECT_EQ(warm.contentHash, cold.contentHash);
+    EXPECT_EQ(warm.runs, cold.runs);
+    EXPECT_EQ(warm.stats.counters(), cold.stats.counters());
+    ASSERT_EQ(warm.events.size(), cold.events.size());
+    for (std::size_t i = 0; i < warm.events.size(); ++i) {
+        EXPECT_EQ(warm.events[i].pc, cold.events[i].pc);
+        EXPECT_EQ(warm.events[i].nextPc, cold.events[i].nextPc);
+        EXPECT_EQ(warm.events[i].targetAddr,
+                  cold.events[i].targetAddr);
+        EXPECT_EQ(warm.events[i].fallthroughAddr,
+                  cold.events[i].fallthroughAddr);
+        EXPECT_EQ(warm.events[i].op, cold.events[i].op);
+        EXPECT_EQ(warm.events[i].conditional,
+                  cold.events[i].conditional);
+        EXPECT_EQ(warm.events[i].taken, cold.events[i].taken);
+        EXPECT_EQ(warm.events[i].targetKnown,
+                  cold.events[i].targetKnown);
+    }
+    EXPECT_EQ(warm.likelyMap.size(), cold.likelyMap.size());
+    for (const auto &[pc, info] : cold.likelyMap) {
+        const auto it = warm.likelyMap.find(pc);
+        ASSERT_NE(it, warm.likelyMap.end());
+        EXPECT_EQ(it->second.likelyTaken, info.likelyTaken);
+        EXPECT_EQ(it->second.dominantTarget, info.dominantTarget);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCacheIntegration, WarmBenchmarkResultsAreBitIdentical)
+{
+    const std::string dir = makeCacheDir("bench");
+    core::ExperimentConfig config = cachedConfig(dir);
+    config.runCodeSize = true; // Table 5 must work from cached events
+    const workloads::Workload &workload =
+        workloads::findWorkload("cmp");
+
+    const core::BenchmarkResult cold =
+        core::ExperimentRunner(config).runBenchmark(workload);
+    resetTraceCacheCounters();
+    const core::BenchmarkResult warm =
+        core::ExperimentRunner(config).runBenchmark(workload);
+    EXPECT_EQ(traceCacheCounters().hits, 1u);
+    EXPECT_EQ(traceCacheCounters().misses, 0u);
+
+    EXPECT_EQ(warm.sbtb.accuracy, cold.sbtb.accuracy);
+    EXPECT_EQ(warm.sbtb.missRatio, cold.sbtb.missRatio);
+    EXPECT_EQ(warm.cbtb.accuracy, cold.cbtb.accuracy);
+    EXPECT_EQ(warm.cbtb.missRatio, cold.cbtb.missRatio);
+    EXPECT_EQ(warm.fs.accuracy, cold.fs.accuracy);
+    EXPECT_EQ(warm.stats.instructions(), cold.stats.instructions());
+    EXPECT_EQ(warm.stats.branches(), cold.stats.branches());
+    EXPECT_EQ(warm.codeIncrease, cold.codeIncrease);
+    EXPECT_EQ(warm.runs, cold.runs);
+    EXPECT_EQ(warm.staticSize, cold.staticSize);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCacheIntegration, DifferentConfigsUseDifferentEntries)
+{
+    core::ExperimentConfig config;
+    config.runsOverride = 2;
+    const workloads::Workload &workload =
+        workloads::findWorkload("tee");
+    const std::uint64_t base =
+        core::workloadContentHash(workload, config);
+
+    core::ExperimentConfig other_seed = config;
+    other_seed.seed ^= 0x5a5a;
+    EXPECT_NE(core::workloadContentHash(workload, other_seed), base);
+
+    core::ExperimentConfig other_runs = config;
+    other_runs.runsOverride = 3;
+    EXPECT_NE(core::workloadContentHash(workload, other_runs), base);
+
+    core::ExperimentConfig other_limit = config;
+    other_limit.maxInstructionsPerRun /= 2;
+    EXPECT_NE(core::workloadContentHash(workload, other_limit), base);
+
+    // The hash is stable for an identical configuration.
+    EXPECT_EQ(core::workloadContentHash(workload, config), base);
+}
+
+} // namespace
+} // namespace branchlab::trace

@@ -550,5 +550,56 @@ TEST(VmTrace, RunsAreDeterministic)
     }
 }
 
+TEST(VmPredecode, SharedDecodingMatchesOwnedDecoding)
+{
+    // One PredecodedProgram may serve many machines; the shared path
+    // must trace and compute exactly like the per-machine decode.
+    const ir::Program prog = test::buildFactorial(7);
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    const PredecodedProgram code(prog, layout);
+
+    trace::BranchRecorder owned_events, shared_events;
+    Machine owned(prog, layout);
+    owned.setSink(&owned_events);
+    const RunResult owned_result = owned.run();
+
+    Machine shared(code);
+    shared.setSink(&shared_events);
+    const RunResult shared_result = shared.run();
+
+    EXPECT_EQ(shared_result.instructions, owned_result.instructions);
+    EXPECT_EQ(shared_result.branches, owned_result.branches);
+    EXPECT_EQ(shared.output(1), owned.output(1));
+    ASSERT_EQ(shared_events.size(), owned_events.size());
+    for (std::size_t i = 0; i < shared_events.size(); ++i) {
+        EXPECT_EQ(shared_events.events()[i].pc,
+                  owned_events.events()[i].pc);
+        EXPECT_EQ(shared_events.events()[i].nextPc,
+                  owned_events.events()[i].nextPc);
+        EXPECT_EQ(shared_events.events()[i].targetAddr,
+                  owned_events.events()[i].targetAddr);
+        EXPECT_EQ(shared_events.events()[i].fallthroughAddr,
+                  owned_events.events()[i].fallthroughAddr);
+        EXPECT_EQ(shared_events.events()[i].taken,
+                  owned_events.events()[i].taken);
+    }
+
+    // Two machines over the same decoding are fully independent.
+    Machine again(code);
+    EXPECT_EQ(again.run().instructions, owned_result.instructions);
+}
+
+TEST(VmPredecode, SlotsParallelTheLayout)
+{
+    const ir::Program prog = test::buildFactorial(3);
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    const PredecodedProgram code(prog, layout);
+    ASSERT_EQ(code.numSlots(), layout.totalSize());
+    for (std::uint32_t i = 0; i < code.numSlots(); ++i)
+        EXPECT_EQ(code.slots()[i].pc, ir::kCodeBase + i);
+}
+
 } // namespace
 } // namespace branchlab::vm

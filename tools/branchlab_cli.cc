@@ -52,7 +52,9 @@ usage()
            "schemes: sbtb cbtb gshare always-taken always-not-taken "
            "btfnt opcode-bias fs\n"
            "--jobs defaults to BRANCHLAB_JOBS, then the hardware "
-           "concurrency\n";
+           "concurrency\n"
+           "--trace-cache DIR caches recorded streams on disk "
+           "(default: BRANCHLAB_TRACE_CACHE)\n";
     return 2;
 }
 
@@ -64,6 +66,7 @@ struct Options
     std::string output;
     std::string scheme;
     std::uint64_t flushEvery = 0;
+    std::string traceCache;
 };
 
 Options
@@ -102,6 +105,8 @@ parseOptions(int argc, char **argv, int first)
             options.scheme = need_value();
         else if (arg == "--flush-every")
             options.flushEvery = need_number();
+        else if (arg == "--trace-cache")
+            options.traceCache = need_value();
         else
             blab_fatal("unknown option '", arg, "'");
     }
@@ -117,6 +122,7 @@ makeConfig(const Options &options)
     if (options.seed != 0)
         config.seed = options.seed;
     config.jobs = options.jobs;
+    config.traceCacheDir = options.traceCache;
     return config;
 }
 
@@ -221,7 +227,8 @@ cmdRecord(const std::string &name, const Options &options)
         blab_fatal("record needs -o FILE");
     const core::RecordedWorkload recorded = core::recordWorkload(
         workloads::findWorkload(name), makeConfig(options));
-    trace::writeTraceFile(options.output, recorded.events);
+    trace::writeTraceFile(options.output, recorded.events,
+                          recorded.contentHash);
     std::cout << "wrote " << recorded.events.size() << " events to "
               << options.output << "\n";
     return 0;
