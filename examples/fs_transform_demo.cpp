@@ -97,9 +97,9 @@ main()
               << image.expandedSize() << " (+"
               << formatPercent(image.codeSizeIncrease(), 2) << ")\n";
 
-    const std::string verdict =
+    const profile::FsVerifyResult verdict =
         profile::verifyFsImage(profile, image, config.slotCount);
     std::cout << "Invariant check: "
-              << (verdict.empty() ? "OK" : verdict) << "\n";
-    return verdict.empty() ? 0 : 1;
+              << (verdict.ok() ? "OK" : verdict.message()) << "\n";
+    return verdict.ok() ? 0 : 1;
 }

@@ -1,0 +1,212 @@
+#include "analysis/constprop.hh"
+
+#include <climits>
+
+#include "analysis/dataflow.hh"
+#include "analysis/operands.hh"
+
+namespace branchlab::analysis
+{
+
+using ir::BlockId;
+using ir::Opcode;
+using ir::Reg;
+using ir::Word;
+
+namespace
+{
+
+ConstVal
+meetVals(const ConstVal &a, const ConstVal &b)
+{
+    if (a.kind == ConstVal::Kind::Unknown)
+        return b;
+    if (b.kind == ConstVal::Kind::Unknown)
+        return a;
+    if (a.isConst() && b.isConst() && a.value == b.value)
+        return a;
+    return ConstVal::varying();
+}
+
+/** VM-exact binary ALU evaluation; nullopt when the VM would fault. */
+std::optional<Word>
+evalBinary(Opcode op, Word lhs, Word rhs)
+{
+    const auto u = [](Word w) { return static_cast<std::uint64_t>(w); };
+    switch (op) {
+      case Opcode::Add:
+        return static_cast<Word>(u(lhs) + u(rhs));
+      case Opcode::Sub:
+        return static_cast<Word>(u(lhs) - u(rhs));
+      case Opcode::Mul:
+        return static_cast<Word>(u(lhs) * u(rhs));
+      case Opcode::Div:
+        if (rhs == 0)
+            return std::nullopt;
+        if (lhs == INT64_MIN && rhs == -1)
+            return INT64_MIN;
+        return lhs / rhs;
+      case Opcode::Rem:
+        if (rhs == 0)
+            return std::nullopt;
+        if (lhs == INT64_MIN && rhs == -1)
+            return Word{0};
+        return lhs % rhs;
+      case Opcode::And:
+        return lhs & rhs;
+      case Opcode::Or:
+        return lhs | rhs;
+      case Opcode::Xor:
+        return lhs ^ rhs;
+      case Opcode::Shl:
+        return static_cast<Word>(u(lhs) << (rhs & 63));
+      case Opcode::Shr:
+        return lhs >> (rhs & 63); // arithmetic in C++20
+      default:
+        return std::nullopt;
+    }
+}
+
+struct ConstProblem
+{
+    using Domain = std::vector<ConstVal>;
+
+    const ir::Function &fn;
+
+    Domain top() const
+    {
+        return Domain(fn.numRegs(), ConstVal::unknown());
+    }
+
+    /** Entry facts: nothing provable, including the zero fill. */
+    Domain boundary() const
+    {
+        return Domain(fn.numRegs(), ConstVal::varying());
+    }
+
+    void
+    meetInto(Domain &into, const Domain &from) const
+    {
+        for (std::size_t i = 0; i < into.size(); ++i)
+            into[i] = meetVals(into[i], from[i]);
+    }
+
+    Domain
+    transfer(BlockId block, const Domain &in) const
+    {
+        Domain regs = in;
+        for (const ir::Instruction &inst :
+             fn.block(block).instructions())
+            applyConstTransfer(inst, regs);
+        return regs;
+    }
+};
+
+ConstVal
+valueOf(const std::vector<ConstVal> &regs, Reg reg)
+{
+    if (reg == ir::kNoReg || reg >= regs.size())
+        return ConstVal::varying();
+    return regs[reg];
+}
+
+/** Right-hand operand of an ALU/compare instruction. */
+ConstVal
+rhsValue(const ir::Instruction &inst,
+         const std::vector<ConstVal> &regs)
+{
+    return inst.useImm ? ConstVal::constant(inst.imm)
+                       : valueOf(regs, inst.src2);
+}
+
+} // namespace
+
+void
+applyConstTransfer(const ir::Instruction &inst,
+                   std::vector<ConstVal> &regs)
+{
+    const Reg def = definedReg(inst);
+    if (def == ir::kNoReg || def >= regs.size())
+        return;
+
+    ConstVal result = ConstVal::varying();
+    if (ir::isBinaryAlu(inst.op)) {
+        const ConstVal lhs = valueOf(regs, inst.src1);
+        const ConstVal rhs = rhsValue(inst, regs);
+        if (lhs.isConst() && rhs.isConst()) {
+            const std::optional<Word> value =
+                evalBinary(inst.op, lhs.value, rhs.value);
+            if (value.has_value())
+                result = ConstVal::constant(*value);
+        }
+    } else {
+        switch (inst.op) {
+          case Opcode::Ldi:
+            result = ConstVal::constant(inst.imm);
+            break;
+          case Opcode::Mov:
+            result = valueOf(regs, inst.src1);
+            break;
+          case Opcode::Not: {
+            const ConstVal src = valueOf(regs, inst.src1);
+            if (src.isConst())
+                result = ConstVal::constant(~src.value);
+            break;
+          }
+          case Opcode::Neg: {
+            const ConstVal src = valueOf(regs, inst.src1);
+            if (src.isConst()) {
+                result = ConstVal::constant(static_cast<Word>(
+                    0 - static_cast<std::uint64_t>(src.value)));
+            }
+            break;
+          }
+          default:
+            // Ld, Ldf, In, call results: unprovable.
+            break;
+        }
+    }
+    regs[def] = result;
+}
+
+ConstProp::ConstProp(const Cfg &cfg) : cfg_(cfg)
+{
+    const ConstProblem problem{cfg.function()};
+    auto result = solveDataflow(cfg, problem, Direction::Forward);
+    in_ = std::move(result.in);
+}
+
+std::vector<ConstVal>
+ConstProp::atInstruction(BlockId block, std::size_t index) const
+{
+    std::vector<ConstVal> regs = in_[block];
+    const ir::BasicBlock &bb = cfg_.function().block(block);
+    for (std::size_t i = 0; i < index; ++i)
+        applyConstTransfer(bb.inst(i), regs);
+    return regs;
+}
+
+std::optional<Word>
+ConstProp::constantConditionValue(BlockId block, std::size_t index) const
+{
+    const ir::Instruction &inst =
+        cfg_.function().block(block).inst(index);
+    const std::vector<ConstVal> regs = atInstruction(block, index);
+
+    if (inst.isConditional()) {
+        const ConstVal lhs = valueOf(regs, inst.src1);
+        const ConstVal rhs = rhsValue(inst, regs);
+        if (!lhs.isConst() || !rhs.isConst())
+            return std::nullopt;
+        return ir::evalCondition(inst.op, lhs.value, rhs.value) ? 1 : 0;
+    }
+    if (inst.op == Opcode::JTab) {
+        const ConstVal index_val = valueOf(regs, inst.src1);
+        if (!index_val.isConst())
+            return std::nullopt;
+        return index_val.value;
+    }
+    return std::nullopt;
+}
+
+} // namespace branchlab::analysis

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Generic forward/backward worklist dataflow engine over a Cfg.
+ *
+ * A Problem supplies the lattice and the per-block transfer:
+ *
+ *   struct Problem {
+ *       using Domain = ...;            // copyable, operator== usable
+ *       Domain top() const;            // meet identity / initial value
+ *       Domain boundary() const;       // entry IN (forward) or
+ *                                      // exit OUT (backward)
+ *       void meetInto(Domain &into, const Domain &from) const;
+ *       Domain transfer(ir::BlockId block, const Domain &in) const;
+ *   };
+ *
+ * solveDataflow() seeds every block with top(), applies boundary() at
+ * the entry block (forward) or at every exit block — one with no
+ * successors — (backward), and iterates a worklist in reverse
+ * postorder (forward) or its reverse (backward) until a fixed point.
+ * Blocks unreachable from the entry are still processed so analyses
+ * report on code the unreachable-block lint is about to flag.
+ */
+
+#ifndef BRANCHLAB_ANALYSIS_DATAFLOW_HH
+#define BRANCHLAB_ANALYSIS_DATAFLOW_HH
+
+#include <algorithm>
+#include <deque>
+
+#include "analysis/cfg.hh"
+
+namespace branchlab::analysis
+{
+
+enum class Direction
+{
+    Forward,
+    Backward,
+};
+
+/** Per-block fixed-point values, in program order (IN before the
+ *  transfer, OUT after it, regardless of direction). */
+template <typename Domain> struct DataflowResult
+{
+    std::vector<Domain> in;
+    std::vector<Domain> out;
+};
+
+template <typename Problem>
+DataflowResult<typename Problem::Domain>
+solveDataflow(const Cfg &cfg, const Problem &problem, Direction dir)
+{
+    using Domain = typename Problem::Domain;
+    const std::size_t n = cfg.numBlocks();
+
+    DataflowResult<Domain> result;
+    result.in.assign(n, problem.top());
+    result.out.assign(n, problem.top());
+
+    // "source" is where values meet from; "sink" is what transfer
+    // produces. Forward: source = IN, sink = OUT; backward: swapped.
+    std::vector<Domain> &source =
+        dir == Direction::Forward ? result.in : result.out;
+    std::vector<Domain> &sink =
+        dir == Direction::Forward ? result.out : result.in;
+
+    // Iteration order: reverse postorder propagates forward facts in
+    // one pass over acyclic regions; backward problems use its
+    // reverse. Unreachable blocks are appended in id order.
+    std::vector<ir::BlockId> order = cfg.reversePostOrder();
+    if (dir == Direction::Backward)
+        std::reverse(order.begin(), order.end());
+    for (ir::BlockId b = 0; b < n; ++b) {
+        if (!cfg.isReachable(b))
+            order.push_back(b);
+    }
+
+    std::deque<ir::BlockId> worklist(order.begin(), order.end());
+    std::vector<bool> queued(n, true);
+
+    while (!worklist.empty()) {
+        const ir::BlockId b = worklist.front();
+        worklist.pop_front();
+        queued[b] = false;
+
+        const std::vector<ir::BlockId> &inputs =
+            dir == Direction::Forward ? cfg.predecessors(b)
+                                      : cfg.successors(b);
+        const bool is_boundary =
+            dir == Direction::Forward
+                ? b == cfg.function().entry()
+                : cfg.successors(b).empty();
+
+        Domain met = is_boundary ? problem.boundary() : problem.top();
+        for (ir::BlockId other : inputs)
+            problem.meetInto(met, sink[other]);
+        source[b] = met;
+
+        Domain produced = problem.transfer(b, source[b]);
+        if (produced == sink[b])
+            continue;
+        sink[b] = std::move(produced);
+
+        const std::vector<ir::BlockId> &outputs =
+            dir == Direction::Forward ? cfg.successors(b)
+                                      : cfg.predecessors(b);
+        for (ir::BlockId other : outputs) {
+            if (!queued[other]) {
+                queued[other] = true;
+                worklist.push_back(other);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace branchlab::analysis
+
+#endif // BRANCHLAB_ANALYSIS_DATAFLOW_HH

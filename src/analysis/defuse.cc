@@ -1,0 +1,127 @@
+#include "analysis/defuse.hh"
+
+#include "analysis/dataflow.hh"
+#include "analysis/operands.hh"
+
+namespace branchlab::analysis
+{
+
+using ir::BlockId;
+using ir::Reg;
+
+namespace
+{
+
+/** Forward may-analysis over definition-site bitsets: a block kills
+ *  every earlier definition of the registers it writes and generates
+ *  its own last definition of each. */
+struct ReachingProblem
+{
+    using Domain = std::vector<bool>;
+
+    const ir::Function &fn;
+    const std::vector<DefSite> &sites;
+    const std::vector<std::vector<std::size_t>> &blockSites;
+
+    Domain top() const { return Domain(sites.size(), false); }
+    Domain boundary() const { return top(); }
+
+    void
+    meetInto(Domain &into, const Domain &from) const
+    {
+        for (std::size_t i = 0; i < into.size(); ++i)
+            into[i] = into[i] || from[i];
+    }
+
+    Domain
+    transfer(BlockId block, const Domain &in) const
+    {
+        Domain out = in;
+        for (std::size_t site_id : blockSites[block]) {
+            const Reg reg = sites[site_id].reg;
+            // Kill every other definition of this register.
+            for (std::size_t other = 0; other < sites.size(); ++other) {
+                if (sites[other].reg == reg)
+                    out[other] = false;
+            }
+            out[site_id] = true;
+        }
+        return out;
+    }
+};
+
+} // namespace
+
+ReachingDefs::ReachingDefs(const Cfg &cfg) : cfg_(cfg)
+{
+    const ir::Function &fn = cfg.function();
+    blockSites_.resize(fn.numBlocks());
+    for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+        const ir::BasicBlock &bb = fn.block(b);
+        for (std::size_t i = 0; i < bb.size(); ++i) {
+            const Reg def = definedReg(bb.inst(i));
+            if (def == ir::kNoReg)
+                continue;
+            blockSites_[b].push_back(sites_.size());
+            sites_.push_back(
+                DefSite{b, static_cast<std::uint32_t>(i), def});
+        }
+    }
+
+    const ReachingProblem problem{fn, sites_, blockSites_};
+    auto result = solveDataflow(cfg, problem, Direction::Forward);
+    in_ = std::move(result.in);
+}
+
+std::vector<std::size_t>
+ReachingDefs::reachingAt(BlockId block, std::size_t index, Reg reg) const
+{
+    // Within the block, the last earlier definition of the register
+    // (if any) supersedes everything flowing in from predecessors.
+    const ir::BasicBlock &bb = cfg_.function().block(block);
+    for (std::size_t site_id : blockSites_[block]) {
+        const DefSite &site = sites_[site_id];
+        if (site.index >= index)
+            break;
+        if (site.reg != reg)
+            continue;
+        bool superseded = false;
+        for (std::size_t later : blockSites_[block]) {
+            const DefSite &other = sites_[later];
+            if (other.reg == reg && other.index > site.index &&
+                other.index < index) {
+                superseded = true;
+                break;
+            }
+        }
+        if (!superseded)
+            return {site_id};
+    }
+    (void)bb;
+
+    std::vector<std::size_t> reaching;
+    for (std::size_t site_id = 0; site_id < sites_.size(); ++site_id) {
+        if (sites_[site_id].reg == reg && in_[block][site_id])
+            reaching.push_back(site_id);
+    }
+    return reaching;
+}
+
+DefUseChains::DefUseChains(const Cfg &cfg) : defs_(cfg)
+{
+    const ir::Function &fn = cfg.function();
+    uses_.resize(defs_.sites().size());
+    for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+        const ir::BasicBlock &bb = fn.block(b);
+        for (std::size_t i = 0; i < bb.size(); ++i) {
+            for (Reg reg : usedRegs(bb.inst(i))) {
+                const UseSite use{b, static_cast<std::uint32_t>(i),
+                                  reg};
+                for (std::size_t def_id : defs_.reachingAt(b, i, reg))
+                    uses_[def_id].push_back(use);
+            }
+        }
+    }
+}
+
+} // namespace branchlab::analysis

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reaching definitions and register def-use chains.
+ *
+ * Every register-writing instruction is a numbered definition site;
+ * the forward may-analysis computes which sites reach each block, and
+ * DefUseChains walks the blocks once more to attach every register
+ * read to the definitions that may feed it (and each definition to
+ * the uses it may feed). A definition with no uses is a dead store; a
+ * use with no reaching definition reads the VM's implicit zero.
+ */
+
+#ifndef BRANCHLAB_ANALYSIS_DEFUSE_HH
+#define BRANCHLAB_ANALYSIS_DEFUSE_HH
+
+#include "analysis/cfg.hh"
+
+namespace branchlab::analysis
+{
+
+/** One register-writing instruction. */
+struct DefSite
+{
+    ir::BlockId block = ir::kNoBlock;
+    std::uint32_t index = 0; ///< Instruction index within the block.
+    ir::Reg reg = ir::kNoReg;
+};
+
+/** One register-reading operand position. */
+struct UseSite
+{
+    ir::BlockId block = ir::kNoBlock;
+    std::uint32_t index = 0;
+    ir::Reg reg = ir::kNoReg;
+
+    bool operator==(const UseSite &) const = default;
+};
+
+class ReachingDefs
+{
+  public:
+    explicit ReachingDefs(const Cfg &cfg);
+
+    /** All definition sites, in (block, index) program order. */
+    const std::vector<DefSite> &sites() const { return sites_; }
+
+    /** Site ids (indices into sites()) reaching the top of @p block. */
+    const std::vector<bool> &reachingIn(ir::BlockId block) const
+    {
+        return in_[block];
+    }
+
+    /** Site ids of @p reg reaching instruction @p index of @p block
+     *  (walks the block from its top). */
+    std::vector<std::size_t> reachingAt(ir::BlockId block,
+                                        std::size_t index,
+                                        ir::Reg reg) const;
+
+  private:
+    const Cfg &cfg_;
+    std::vector<DefSite> sites_;
+    /** Definition sites of each block, in order. */
+    std::vector<std::vector<std::size_t>> blockSites_;
+    std::vector<std::vector<bool>> in_;
+};
+
+class DefUseChains
+{
+  public:
+    explicit DefUseChains(const Cfg &cfg);
+
+    const std::vector<DefSite> &defs() const { return defs_.sites(); }
+
+    /** Uses possibly reading definition site @p def_id. */
+    const std::vector<UseSite> &usesOf(std::size_t def_id) const
+    {
+        return uses_[def_id];
+    }
+
+    /** Definition site ids possibly feeding @p use. */
+    std::vector<std::size_t> defsFeeding(const UseSite &use) const
+    {
+        return defs_.reachingAt(use.block, use.index, use.reg);
+    }
+
+  private:
+    ReachingDefs defs_;
+    std::vector<std::vector<UseSite>> uses_;
+};
+
+} // namespace branchlab::analysis
+
+#endif // BRANCHLAB_ANALYSIS_DEFUSE_HH

@@ -1,0 +1,81 @@
+#include "analysis/dominators.hh"
+
+namespace branchlab::analysis
+{
+
+using ir::BlockId;
+using ir::kNoBlock;
+
+DominatorTree::DominatorTree(const Cfg &cfg) : cfg_(cfg)
+{
+    const std::size_t n = cfg.numBlocks();
+    idom_.assign(n, kNoBlock);
+    depth_.assign(n, 0);
+    if (n == 0)
+        return;
+
+    const std::vector<BlockId> &rpo = cfg.reversePostOrder();
+    std::vector<std::size_t> rpo_index(n, 0);
+    for (std::size_t i = 0; i < rpo.size(); ++i)
+        rpo_index[rpo[i]] = i;
+
+    const BlockId entry = cfg.function().entry();
+    // CHK runs with the entry as its own dominator; the public idom()
+    // reports kNoBlock for it (fixed up below).
+    idom_[entry] = entry;
+
+    const auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (rpo_index[a] > rpo_index[b])
+                a = idom_[a];
+            while (rpo_index[b] > rpo_index[a])
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b : rpo) {
+            if (b == entry)
+                continue;
+            BlockId new_idom = kNoBlock;
+            for (BlockId p : cfg.predecessors(b)) {
+                if (idom_[p] == kNoBlock)
+                    continue; // not yet processed, or unreachable
+                new_idom = new_idom == kNoBlock ? p
+                                                : intersect(p, new_idom);
+            }
+            if (new_idom != kNoBlock && idom_[b] != new_idom) {
+                idom_[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    idom_[entry] = kNoBlock;
+    for (BlockId b : rpo) {
+        if (idom_[b] != kNoBlock)
+            depth_[b] = depth_[idom_[b]] + 1;
+    }
+}
+
+bool
+DominatorTree::dominates(BlockId a, BlockId b) const
+{
+    if (a == b)
+        return true;
+    if (!cfg_.isReachable(a) || !cfg_.isReachable(b))
+        return false;
+    // Walk b's dominator chain upward; depths bound the walk.
+    BlockId cur = b;
+    while (idom_[cur] != kNoBlock && depth_[cur] > depth_[a]) {
+        cur = idom_[cur];
+        if (cur == a)
+            return true;
+    }
+    return false;
+}
+
+} // namespace branchlab::analysis

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm
+ * ("A Simple, Fast Dominance Algorithm"): intersect predecessor
+ * dominators walking reverse postorder until a fixed point. For the
+ * shallow CFGs the workloads produce this beats Lengauer–Tarjan on
+ * both code size and constant factors.
+ */
+
+#ifndef BRANCHLAB_ANALYSIS_DOMINATORS_HH
+#define BRANCHLAB_ANALYSIS_DOMINATORS_HH
+
+#include "analysis/cfg.hh"
+
+namespace branchlab::analysis
+{
+
+class DominatorTree
+{
+  public:
+    explicit DominatorTree(const Cfg &cfg);
+
+    /**
+     * Immediate dominator of @p block; kNoBlock for the entry block
+     * and for blocks unreachable from the entry.
+     */
+    ir::BlockId idom(ir::BlockId block) const { return idom_[block]; }
+
+    /**
+     * True when @p a dominates @p b (reflexively). Unreachable blocks
+     * dominate nothing and are dominated only by themselves.
+     */
+    bool dominates(ir::BlockId a, ir::BlockId b) const;
+
+    /** Dominator-tree depth of @p block (entry = 0; unreachable = 0). */
+    unsigned depth(ir::BlockId block) const { return depth_[block]; }
+
+  private:
+    const Cfg &cfg_;
+    std::vector<ir::BlockId> idom_;
+    std::vector<unsigned> depth_;
+};
+
+} // namespace branchlab::analysis
+
+#endif // BRANCHLAB_ANALYSIS_DOMINATORS_HH

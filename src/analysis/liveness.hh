@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Register bit-vector dataflow analyses:
+ *
+ *  - Liveness (backward, may): which virtual registers hold a value
+ *    some future use may read. Drives the dead-store lint and the
+ *    Forward Semantic clobber check.
+ *  - DefiniteAssignment (forward, must): which registers have been
+ *    written on *every* path from the entry. A use outside the set is
+ *    a use-before-def (the VM zero-fills registers, so such code
+ *    silently reads 0).
+ */
+
+#ifndef BRANCHLAB_ANALYSIS_LIVENESS_HH
+#define BRANCHLAB_ANALYSIS_LIVENESS_HH
+
+#include "analysis/cfg.hh"
+
+namespace branchlab::analysis
+{
+
+/** Dense register set, indexed by ir::Reg. */
+using RegSet = std::vector<bool>;
+
+class Liveness
+{
+  public:
+    explicit Liveness(const Cfg &cfg);
+
+    const RegSet &liveIn(ir::BlockId block) const { return in_[block]; }
+    const RegSet &liveOut(ir::BlockId block) const { return out_[block]; }
+
+    /** Registers live just before instruction @p index of @p block. */
+    RegSet liveBefore(ir::BlockId block, std::size_t index) const;
+
+  private:
+    const Cfg &cfg_;
+    std::vector<RegSet> in_;
+    std::vector<RegSet> out_;
+};
+
+class DefiniteAssignment
+{
+  public:
+    explicit DefiniteAssignment(const Cfg &cfg);
+
+    /** Registers definitely assigned at entry to @p block. Function
+     *  arguments count as assigned from the function entry. */
+    const RegSet &assignedIn(ir::BlockId block) const
+    {
+        return in_[block];
+    }
+
+    const RegSet &assignedOut(ir::BlockId block) const
+    {
+        return out_[block];
+    }
+
+  private:
+    const Cfg &cfg_;
+    std::vector<RegSet> in_;
+    std::vector<RegSet> out_;
+};
+
+} // namespace branchlab::analysis
+
+#endif // BRANCHLAB_ANALYSIS_LIVENESS_HH

@@ -1,0 +1,178 @@
+#include "analysis/operands.hh"
+
+namespace branchlab::analysis
+{
+
+using ir::Instruction;
+using ir::kNoReg;
+using ir::Opcode;
+using ir::Reg;
+
+std::vector<RegOperand>
+regOperands(const Instruction &inst)
+{
+    std::vector<RegOperand> ops;
+    const auto def = [&](Reg r, const char *role) {
+        ops.push_back(RegOperand{r, true, role});
+    };
+    const auto use = [&](Reg r, const char *role) {
+        ops.push_back(RegOperand{r, false, role});
+    };
+
+    switch (inst.op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+        def(inst.dst, "destination");
+        use(inst.src1, "first source");
+        if (!inst.useImm)
+            use(inst.src2, "second source");
+        break;
+      case Opcode::Not:
+      case Opcode::Neg:
+      case Opcode::Mov:
+        def(inst.dst, "destination");
+        use(inst.src1, "source");
+        break;
+      case Opcode::Ldi:
+        def(inst.dst, "destination");
+        break;
+      case Opcode::Ld:
+        def(inst.dst, "destination");
+        use(inst.src1, "base");
+        break;
+      case Opcode::St:
+        use(inst.src1, "base");
+        use(inst.src2, "value");
+        break;
+      case Opcode::Ldf:
+        def(inst.dst, "destination");
+        break;
+      case Opcode::In:
+        def(inst.dst, "destination");
+        break;
+      case Opcode::Out:
+        use(inst.src1, "source");
+        break;
+      case Opcode::Nop:
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Ble:
+      case Opcode::Bgt:
+      case Opcode::Bge:
+        use(inst.src1, "first compare");
+        if (!inst.useImm)
+            use(inst.src2, "second compare");
+        break;
+      case Opcode::Jmp:
+        break;
+      case Opcode::JTab:
+        use(inst.src1, "index");
+        break;
+      case Opcode::Call:
+      case Opcode::CallInd:
+        if (inst.op == Opcode::CallInd)
+            use(inst.src1, "callee");
+        for (Reg a : inst.args)
+            use(a, "argument");
+        if (inst.dst != kNoReg)
+            def(inst.dst, "result");
+        break;
+      case Opcode::Ret:
+        if (inst.src1 != kNoReg)
+            use(inst.src1, "return value");
+        break;
+      case Opcode::Halt:
+        break;
+    }
+    return ops;
+}
+
+std::vector<BlockRef>
+blockRefs(const Instruction &inst)
+{
+    std::vector<BlockRef> refs;
+    switch (inst.op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Ble:
+      case Opcode::Bgt:
+      case Opcode::Bge:
+        refs.push_back(BlockRef{inst.target, "taken"});
+        refs.push_back(BlockRef{inst.next, "fallthrough"});
+        break;
+      case Opcode::Jmp:
+        refs.push_back(BlockRef{inst.target, "jump"});
+        break;
+      case Opcode::JTab:
+        for (ir::BlockId b : inst.table)
+            refs.push_back(BlockRef{b, "table"});
+        break;
+      case Opcode::Call:
+      case Opcode::CallInd:
+        refs.push_back(BlockRef{inst.next, "continuation"});
+        break;
+      default:
+        break;
+    }
+    return refs;
+}
+
+std::vector<Reg>
+usedRegs(const Instruction &inst)
+{
+    std::vector<Reg> uses;
+    for (const RegOperand &op : regOperands(inst)) {
+        if (!op.isDef && op.reg != kNoReg)
+            uses.push_back(op.reg);
+    }
+    return uses;
+}
+
+Reg
+definedReg(const Instruction &inst)
+{
+    for (const RegOperand &op : regOperands(inst)) {
+        if (op.isDef)
+            return op.reg;
+    }
+    return kNoReg;
+}
+
+bool
+isPureRegWrite(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Not:
+      case Opcode::Neg:
+      case Opcode::Mov:
+      case Opcode::Ldi:
+      case Opcode::Ld:
+      case Opcode::Ldf:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace branchlab::analysis

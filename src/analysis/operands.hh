@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Canonical operand enumeration for IR instructions.
+ *
+ * One place knows which fields of an Instruction are register reads,
+ * register writes, and block references. The structural verifier, the
+ * CFG builder, and every dataflow analysis (liveness, reaching
+ * definitions, definite assignment, constant propagation) iterate
+ * operands through this module, so adding an opcode or an operand
+ * touches exactly one switch.
+ *
+ * Role strings match the verifier's historical diagnostics ("first
+ * source", "taken", ...) so refactoring onto this module keeps error
+ * messages byte-identical.
+ */
+
+#ifndef BRANCHLAB_ANALYSIS_OPERANDS_HH
+#define BRANCHLAB_ANALYSIS_OPERANDS_HH
+
+#include <vector>
+
+#include "ir/instruction.hh"
+
+namespace branchlab::analysis
+{
+
+/** One register operand of an instruction. */
+struct RegOperand
+{
+    ir::Reg reg = ir::kNoReg;
+    /** True when the instruction writes the register. */
+    bool isDef = false;
+    /** Diagnostic role, e.g. "destination" or "first compare". */
+    const char *role = "";
+};
+
+/**
+ * All register operands of @p inst in the verifier's historical check
+ * order (defs and uses interleaved as the opcode dictates). Required
+ * operands appear even when they are kNoReg (so the verifier can
+ * report them missing); optional operands (a call's result, a return
+ * value) appear only when present.
+ */
+std::vector<RegOperand> regOperands(const ir::Instruction &inst);
+
+/** One block reference of a terminator. */
+struct BlockRef
+{
+    ir::BlockId block = ir::kNoBlock;
+    /** Diagnostic role, e.g. "taken" or "continuation". */
+    const char *role = "";
+};
+
+/**
+ * All block references of @p inst in terminator-field order:
+ * conditional -> taken, fallthrough; Jmp -> target; JTab -> every
+ * table entry; Call/CallInd -> continuation; others -> none. Entries
+ * are *not* deduplicated (jump tables may repeat arms).
+ */
+std::vector<BlockRef> blockRefs(const ir::Instruction &inst);
+
+/** Convenience: the registers @p inst reads (kNoReg entries dropped). */
+std::vector<ir::Reg> usedRegs(const ir::Instruction &inst);
+
+/** Convenience: the register @p inst writes, or kNoReg. The IR has at
+ *  most one register def per instruction. */
+ir::Reg definedReg(const ir::Instruction &inst);
+
+/**
+ * True when the instruction's only architectural effect is writing its
+ * destination register: ALU ops, register moves, constant and
+ * function-reference loads, and memory loads. Stores, I/O, calls, and
+ * terminators are effectful; a pure instruction whose result is never
+ * read is a dead store.
+ */
+bool isPureRegWrite(const ir::Instruction &inst);
+
+} // namespace branchlab::analysis
+
+#endif // BRANCHLAB_ANALYSIS_OPERANDS_HH

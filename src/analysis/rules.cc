@@ -1,0 +1,494 @@
+/**
+ * @file
+ * The built-in lint rules. Program rules catch suspicious but
+ * structurally valid IR; image rules check hazards specific to the
+ * Forward Semantic transformation that the slot-invariant verifier
+ * (profile/fs_verify) does not model.
+ */
+
+#include <functional>
+#include <set>
+#include <sstream>
+
+#include "analysis/diagnostics.hh"
+#include "analysis/operands.hh"
+#include "ir/layout.hh"
+
+namespace branchlab::analysis
+{
+
+namespace
+{
+
+using ir::BlockId;
+using ir::FuncId;
+using ir::Opcode;
+using ir::Reg;
+
+std::string
+locText(const ir::Function &fn, BlockId block, std::size_t index)
+{
+    std::ostringstream os;
+    os << fn.name() << "." << fn.block(block).label() << "[" << index
+       << "]";
+    return os.str();
+}
+
+std::string
+blockText(const ir::Function &fn, BlockId block)
+{
+    return fn.name() + "." + fn.block(block).label();
+}
+
+void
+forEachFunction(const ProgramContext &context,
+                const std::function<void(const ir::Function &)> &fn)
+{
+    for (FuncId f = 0; f < context.program.numFunctions(); ++f)
+        fn(context.program.function(f));
+}
+
+// ---------------------------------------------------------------------
+// unreachable-block
+// ---------------------------------------------------------------------
+
+class UnreachableBlockRule final : public LintRule
+{
+  public:
+    std::string_view name() const override { return "unreachable-block"; }
+    std::string_view
+    description() const override
+    {
+        return "blocks no path from the function entry can execute";
+    }
+
+    void
+    checkProgram(ProgramContext &context,
+                 std::vector<Diagnostic> &out) const override
+    {
+        forEachFunction(context, [&](const ir::Function &fn) {
+            const Cfg &cfg = context.analyses.cfg(fn.id());
+            for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+                if (cfg.isReachable(b))
+                    continue;
+                out.push_back(Diagnostic{
+                    Severity::Warning, std::string(name()),
+                    "block '" + fn.block(b).label() +
+                        "' is unreachable from the entry",
+                    blockText(fn, b)});
+            }
+        });
+    }
+};
+
+// ---------------------------------------------------------------------
+// use-before-def
+// ---------------------------------------------------------------------
+
+class UseBeforeDefRule final : public LintRule
+{
+  public:
+    std::string_view name() const override { return "use-before-def"; }
+    std::string_view
+    description() const override
+    {
+        return "register reads not preceded by a write on every path "
+               "(the VM's zero fill hides them)";
+    }
+
+    void
+    checkProgram(ProgramContext &context,
+                 std::vector<Diagnostic> &out) const override
+    {
+        forEachFunction(context, [&](const ir::Function &fn) {
+            const DefiniteAssignment &da =
+                context.analyses.assignment(fn.id());
+            for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+                RegSet assigned = da.assignedIn(b);
+                const ir::BasicBlock &bb = fn.block(b);
+                for (std::size_t i = 0; i < bb.size(); ++i) {
+                    const ir::Instruction &inst = bb.inst(i);
+                    for (Reg use : usedRegs(inst)) {
+                        if (use >= assigned.size() || assigned[use])
+                            continue;
+                        out.push_back(Diagnostic{
+                            Severity::Warning, std::string(name()),
+                            "register r" + std::to_string(use) +
+                                " may be read before any assignment",
+                            locText(fn, b, i)});
+                        assigned[use] = true; // one report per path
+                    }
+                    const Reg def = definedReg(inst);
+                    if (def != ir::kNoReg && def < assigned.size())
+                        assigned[def] = true;
+                }
+            }
+        });
+    }
+};
+
+// ---------------------------------------------------------------------
+// dead-store
+// ---------------------------------------------------------------------
+
+class DeadStoreRule final : public LintRule
+{
+  public:
+    std::string_view name() const override { return "dead-store"; }
+    std::string_view
+    description() const override
+    {
+        return "side-effect-free register writes whose value is "
+               "never read";
+    }
+
+    void
+    checkProgram(ProgramContext &context,
+                 std::vector<Diagnostic> &out) const override
+    {
+        forEachFunction(context, [&](const ir::Function &fn) {
+            const Liveness &liveness =
+                context.analyses.liveness(fn.id());
+            for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+                const ir::BasicBlock &bb = fn.block(b);
+                RegSet live = liveness.liveOut(b);
+                for (std::size_t i = bb.size(); i-- > 0;) {
+                    const ir::Instruction &inst = bb.inst(i);
+                    const Reg def = definedReg(inst);
+                    if (def != ir::kNoReg && def < live.size()) {
+                        if (!live[def] && isPureRegWrite(inst)) {
+                            out.push_back(Diagnostic{
+                                Severity::Warning, std::string(name()),
+                                "value written to r" +
+                                    std::to_string(def) + " by '" +
+                                    ir::opcodeName(inst.op) +
+                                    "' is never read",
+                                locText(fn, b, i)});
+                        }
+                        live[def] = false;
+                    }
+                    for (Reg use : usedRegs(inst)) {
+                        if (use < live.size())
+                            live[use] = true;
+                    }
+                }
+            }
+        });
+    }
+};
+
+// ---------------------------------------------------------------------
+// constant-condition
+// ---------------------------------------------------------------------
+
+class ConstantConditionRule final : public LintRule
+{
+  public:
+    std::string_view
+    name() const override
+    {
+        return "constant-condition";
+    }
+    std::string_view
+    description() const override
+    {
+        return "conditional branches whose outcome is statically "
+               "known";
+    }
+
+    void
+    checkProgram(ProgramContext &context,
+                 std::vector<Diagnostic> &out) const override
+    {
+        forEachFunction(context, [&](const ir::Function &fn) {
+            const ConstProp &constants =
+                context.analyses.constants(fn.id());
+            for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+                const ir::BasicBlock &bb = fn.block(b);
+                if (!bb.isSealed() || !bb.terminator().isConditional())
+                    continue;
+                const std::size_t index = bb.size() - 1;
+                const auto outcome =
+                    constants.constantConditionValue(b, index);
+                if (!outcome.has_value())
+                    continue;
+                out.push_back(Diagnostic{
+                    Severity::Warning, std::string(name()),
+                    std::string("branch condition is always ") +
+                        (*outcome != 0 ? "true (taken)"
+                                       : "false (fallthrough)"),
+                    locText(fn, b, index)});
+            }
+        });
+    }
+};
+
+// ---------------------------------------------------------------------
+// jump-table
+// ---------------------------------------------------------------------
+
+class JumpTableRule final : public LintRule
+{
+  public:
+    std::string_view name() const override { return "jump-table"; }
+    std::string_view
+    description() const override
+    {
+        return "degenerate, duplicate-arm, or statically-indexed "
+               "jump tables";
+    }
+
+    void
+    checkProgram(ProgramContext &context,
+                 std::vector<Diagnostic> &out) const override
+    {
+        forEachFunction(context, [&](const ir::Function &fn) {
+            const ConstProp &constants =
+                context.analyses.constants(fn.id());
+            for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+                const ir::BasicBlock &bb = fn.block(b);
+                if (!bb.isSealed() ||
+                    bb.terminator().op != Opcode::JTab)
+                    continue;
+                const std::size_t index = bb.size() - 1;
+                const ir::Instruction &jtab = bb.terminator();
+                check(fn, b, index, jtab, constants, out);
+            }
+        });
+    }
+
+  private:
+    void
+    check(const ir::Function &fn, BlockId b, std::size_t index,
+          const ir::Instruction &jtab, const ConstProp &constants,
+          std::vector<Diagnostic> &out) const
+    {
+        const std::set<BlockId> distinct(jtab.table.begin(),
+                                         jtab.table.end());
+        if (distinct.size() == 1) {
+            out.push_back(Diagnostic{
+                Severity::Warning, std::string(name()),
+                "jump table has a single distinct target; a direct "
+                "jump would do",
+                locText(fn, b, index)});
+        } else if (distinct.size() < jtab.table.size()) {
+            out.push_back(Diagnostic{
+                Severity::Note, std::string(name()),
+                "jump table repeats " +
+                    std::to_string(jtab.table.size() -
+                                   distinct.size()) +
+                    " arm(s)",
+                locText(fn, b, index)});
+        }
+
+        const auto value = constants.constantConditionValue(b, index);
+        if (!value.has_value())
+            return;
+        if (*value < 0 ||
+            *value >= static_cast<ir::Word>(jtab.table.size())) {
+            out.push_back(Diagnostic{
+                Severity::Error, std::string(name()),
+                "jump-table index is always " + std::to_string(*value) +
+                    ", outside the table of " +
+                    std::to_string(jtab.table.size()) +
+                    " arms (the VM faults here)",
+                locText(fn, b, index)});
+        } else {
+            out.push_back(Diagnostic{
+                Severity::Warning, std::string(name()),
+                "jump-table index is always " + std::to_string(*value) +
+                    "; every other arm is unreachable through this "
+                    "table",
+                locText(fn, b, index)});
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// fs-slot-region-target
+// ---------------------------------------------------------------------
+
+/** Marks of the image positions covered by some site's slot group. */
+std::vector<bool>
+slotRegionMarks(const profile::FsResult &image, unsigned slot_count)
+{
+    std::vector<bool> in_region(image.slots.size(), false);
+    for (const profile::SlotSite &site : image.sites) {
+        for (unsigned s = 1; s <= slot_count; ++s) {
+            const std::size_t pos = site.branchImageIndex + s;
+            if (pos < in_region.size())
+                in_region[pos] = true;
+        }
+    }
+    return in_region;
+}
+
+class FsSlotRegionTargetRule final : public LintRule
+{
+  public:
+    std::string_view
+    name() const override
+    {
+        return "fs-slot-region-target";
+    }
+    std::string_view
+    description() const override
+    {
+        return "branch targets resolving into the middle of a "
+               "forward-slot region";
+    }
+
+    void
+    checkFsImage(FsImageContext &context,
+                 std::vector<Diagnostic> &out) const override
+    {
+        const profile::FsResult &image = context.image;
+        const ir::Layout &layout = context.profile.layout();
+        const std::vector<bool> in_region =
+            slotRegionMarks(image, context.slotCount);
+
+        // Every branch redirect resolves through homeIndex (the
+        // destination block's home position), so a homeIndex entry
+        // inside a slot region is a branch target into the region.
+        for (const auto &[addr, index] : image.homeIndex) {
+            const ir::CodeLocation loc = layout.locate(addr);
+            const ir::Function &fn =
+                context.profile.program().function(loc.func);
+            if (index >= image.slots.size()) {
+                out.push_back(Diagnostic{
+                    Severity::Error, std::string(name()),
+                    "home index of " +
+                        locText(fn, loc.block, loc.index) +
+                        " points past the image end",
+                    "image slot " + std::to_string(index)});
+                continue;
+            }
+            if (in_region[index] ||
+                image.slots[index].kind !=
+                    profile::ImageSlot::Kind::Home) {
+                out.push_back(Diagnostic{
+                    Severity::Error, std::string(name()),
+                    "branch target " +
+                        locText(fn, loc.block, loc.index) +
+                        " resolves into a forward-slot region",
+                    "image slot " + std::to_string(index)});
+            }
+        }
+
+        // Site resume points must land on homes, too.
+        for (const profile::SlotSite &site : image.sites) {
+            if (!site.resume.has_value())
+                continue;
+            const ir::CodeLocation &resume = *site.resume;
+            const ir::Addr addr =
+                layout.instAddr(resume.func, resume.block,
+                                resume.index);
+            const auto it = image.homeIndex.find(addr);
+            if (it == image.homeIndex.end()) {
+                const ir::Function &fn =
+                    context.profile.program().function(resume.func);
+                out.push_back(Diagnostic{
+                    Severity::Error, std::string(name()),
+                    "slot-site resume point " +
+                        locText(fn, resume.block, resume.index) +
+                        " has no home in the image",
+                    "image slot " +
+                        std::to_string(site.branchImageIndex)});
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// fs-clobbered-live-register
+// ---------------------------------------------------------------------
+
+class FsClobberedLiveRegisterRule final : public LintRule
+{
+  public:
+    std::string_view
+    name() const override
+    {
+        return "fs-clobbered-live-register";
+    }
+    std::string_view
+    description() const override
+    {
+        return "forward-slot copies writing registers live on the "
+               "branch's untaken path (benign under squashing, fatal "
+               "without it)";
+    }
+
+    void
+    checkFsImage(FsImageContext &context,
+                 std::vector<Diagnostic> &out) const override
+    {
+        const ir::Program &prog = context.profile.program();
+        const ir::Layout &layout = context.profile.layout();
+
+        for (const profile::SlotSite &site : context.image.sites) {
+            if (site.viaCall)
+                continue; // copies live in the callee's register file
+            const ir::CodeLocation &branch = site.branchOrig;
+            const ir::Function &fn = prog.function(branch.func);
+            const ir::Instruction &inst =
+                fn.block(branch.block).inst(branch.index);
+            if (!inst.isConditional())
+                continue; // no untaken path to protect
+
+            // The likely side got the slots; the other side is the
+            // untaken path the copies must not poison.
+            const BlockId untaken =
+                layout.blockAddr(branch.func, inst.target) ==
+                        site.origTargetAddr
+                    ? inst.next
+                    : inst.target;
+
+            RegSet clobbered(fn.numRegs(), false);
+            for (unsigned c = 0; c < site.copied; ++c) {
+                const profile::ImageSlot &slot =
+                    context.image.slots[site.branchImageIndex + 1 + c];
+                if (slot.kind != profile::ImageSlot::Kind::Copy ||
+                    slot.orig.func != branch.func)
+                    continue;
+                const Reg def = definedReg(
+                    prog.function(slot.orig.func)
+                        .block(slot.orig.block)
+                        .inst(slot.orig.index));
+                if (def != ir::kNoReg && def < clobbered.size())
+                    clobbered[def] = true;
+            }
+
+            const RegSet &live =
+                context.analyses.liveness(branch.func).liveIn(untaken);
+            for (Reg r = 0; r < clobbered.size(); ++r) {
+                if (!clobbered[r] || !live[r])
+                    continue;
+                out.push_back(Diagnostic{
+                    Severity::Note, std::string(name()),
+                    "forward-slot copies clobber r" +
+                        std::to_string(r) +
+                        ", live on the untaken path to '" +
+                        fn.block(untaken).label() +
+                        "' (safe only with slot squashing)",
+                    locText(fn, branch.block, branch.index)});
+            }
+        }
+    }
+};
+
+} // namespace
+
+void
+registerBuiltinRules(DiagnosticEngine &engine)
+{
+    engine.registerRule(std::make_unique<UnreachableBlockRule>());
+    engine.registerRule(std::make_unique<UseBeforeDefRule>());
+    engine.registerRule(std::make_unique<DeadStoreRule>());
+    engine.registerRule(std::make_unique<ConstantConditionRule>());
+    engine.registerRule(std::make_unique<JumpTableRule>());
+    engine.registerRule(std::make_unique<FsSlotRegionTargetRule>());
+    engine.registerRule(std::make_unique<FsClobberedLiveRegisterRule>());
+}
+
+} // namespace branchlab::analysis

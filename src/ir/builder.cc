@@ -493,11 +493,17 @@ IrBuilder::forRangeImm(Reg counter, Word lo, Word hi, const CodeFn &body,
                        Word step)
 {
     ldiTo(counter, lo);
-    whileLoop([&] { return cmpLti(counter, hi); },
-              [&] {
-                  body();
-                  emitBinaryImmTo(Opcode::Add, counter, counter, step);
-              });
+    if (lo >= hi)
+        return; // statically empty range: set the counter, no loop
+    // Both bounds are compile-time constants, so a pre-tested while
+    // would open with a branch whose first outcome is statically
+    // decided. Rotate into a do-while; lo < hi makes it equivalent.
+    doWhile(
+        [&] {
+            body();
+            emitBinaryImmTo(Opcode::Add, counter, counter, step);
+        },
+        [&] { return cmpLti(counter, hi); });
 }
 
 void

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/operands.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 
@@ -114,6 +115,13 @@ class Checker
         }
     }
 
+    /**
+     * Per-instruction checks, driven by the canonical operand
+     * enumeration (analysis/operands.hh). Opcode-specific facts the
+     * enumeration cannot express — function references, call arity,
+     * table emptiness, I/O channels — are checked here at their
+     * historical positions so diagnostics stay byte-identical.
+     */
     void
     checkInst(const Function &func, const BasicBlock &block,
               std::size_t index)
@@ -127,104 +135,33 @@ class Checker
             return;
         }
 
-        switch (inst.op) {
-          case Opcode::Add:
-          case Opcode::Sub:
-          case Opcode::Mul:
-          case Opcode::Div:
-          case Opcode::Rem:
-          case Opcode::And:
-          case Opcode::Or:
-          case Opcode::Xor:
-          case Opcode::Shl:
-          case Opcode::Shr:
-            checkReg(func, inst.dst, "destination");
-            checkReg(func, inst.src1, "first source");
-            if (!inst.useImm)
-                checkReg(func, inst.src2, "second source");
-            break;
-          case Opcode::Not:
-          case Opcode::Neg:
-          case Opcode::Mov:
-            checkReg(func, inst.dst, "destination");
-            checkReg(func, inst.src1, "source");
-            break;
-          case Opcode::Ldi:
-            checkReg(func, inst.dst, "destination");
-            break;
-          case Opcode::Ld:
-            checkReg(func, inst.dst, "destination");
-            checkReg(func, inst.src1, "base");
-            break;
-          case Opcode::St:
-            checkReg(func, inst.src1, "base");
-            checkReg(func, inst.src2, "value");
-            break;
-          case Opcode::Ldf:
-            checkReg(func, inst.dst, "destination");
-            checkFuncRef(inst.func, "referenced");
-            break;
-          case Opcode::In:
-            checkReg(func, inst.dst, "destination");
-            checkChannel(inst.imm);
-            break;
-          case Opcode::Out:
-            checkReg(func, inst.src1, "source");
-            checkChannel(inst.imm);
-            break;
-          case Opcode::Nop:
-            break;
-          case Opcode::Beq:
-          case Opcode::Bne:
-          case Opcode::Blt:
-          case Opcode::Ble:
-          case Opcode::Bgt:
-          case Opcode::Bge:
-            checkReg(func, inst.src1, "first compare");
-            if (!inst.useImm)
-                checkReg(func, inst.src2, "second compare");
-            checkBlockRef(func, inst.target, "taken");
-            checkBlockRef(func, inst.next, "fallthrough");
-            break;
-          case Opcode::Jmp:
-            checkBlockRef(func, inst.target, "jump");
-            break;
-          case Opcode::JTab:
-            checkReg(func, inst.src1, "index");
-            if (inst.table.empty())
-                addError("empty jump table");
-            for (BlockId b : inst.table)
-                checkBlockRef(func, b, "table");
-            break;
-          case Opcode::Call:
-          case Opcode::CallInd:
-            if (inst.op == Opcode::Call) {
-                checkFuncRef(inst.func, "callee");
-                if (inst.func < prog_.numFunctions() &&
-                    inst.args.size() !=
-                        prog_.function(inst.func).numArgs()) {
-                    addError("call passes " +
-                             std::to_string(inst.args.size()) +
-                             " args, callee expects " +
-                             std::to_string(
-                                 prog_.function(inst.func).numArgs()));
-                }
-            } else {
-                checkReg(func, inst.src1, "callee");
+        if (inst.op == Opcode::Call) {
+            checkFuncRef(inst.func, "callee");
+            if (inst.func < prog_.numFunctions() &&
+                inst.args.size() !=
+                    prog_.function(inst.func).numArgs()) {
+                addError("call passes " +
+                         std::to_string(inst.args.size()) +
+                         " args, callee expects " +
+                         std::to_string(
+                             prog_.function(inst.func).numArgs()));
             }
-            for (Reg a : inst.args)
-                checkReg(func, a, "argument");
-            if (inst.dst != kNoReg)
-                checkReg(func, inst.dst, "result");
-            checkBlockRef(func, inst.next, "continuation");
-            break;
-          case Opcode::Ret:
-            if (inst.src1 != kNoReg)
-                checkReg(func, inst.src1, "return value");
-            break;
-          case Opcode::Halt:
-            break;
         }
+
+        for (const analysis::RegOperand &op :
+             analysis::regOperands(inst))
+            checkReg(func, op.reg, op.role);
+
+        if (inst.op == Opcode::Ldf)
+            checkFuncRef(inst.func, "referenced");
+        if (inst.op == Opcode::JTab && inst.table.empty())
+            addError("empty jump table");
+
+        for (const analysis::BlockRef &ref : analysis::blockRefs(inst))
+            checkBlockRef(func, ref.block, ref.role);
+
+        if (inst.op == Opcode::In || inst.op == Opcode::Out)
+            checkChannel(inst.imm);
     }
 
     const Program &prog_;

@@ -1,11 +1,14 @@
 #include "profile/fs_verify.hh"
 
-#include <algorithm>
 #include <map>
+#include <memory>
 #include <sstream>
+#include <unordered_map>
 
+#include "analysis/cfg.hh"
 #include "ir/printer.hh"
 #include "support/logging.hh"
+#include "support/strings.hh"
 
 namespace branchlab::profile
 {
@@ -48,12 +51,21 @@ describeLoc(const ir::Program &prog, const CodeLocation &loc)
 } // namespace
 
 std::string
+FsVerifyResult::message() const
+{
+    return joinStrings(errors, "\n");
+}
+
+FsVerifyResult
 verifyFsImage(const ProgramProfile &profile, const FsResult &image,
               unsigned slot_count)
 {
     const ir::Program &prog = profile.program();
     const ir::Layout &layout = profile.layout();
-    std::ostringstream os;
+    FsVerifyResult result;
+    const auto fail = [&result](const std::ostringstream &os) {
+        result.errors.push_back(os.str());
+    };
 
     const auto base = rebuildBase(prog, image.traces);
 
@@ -68,33 +80,43 @@ verifyFsImage(const ProgramProfile &profile, const FsResult &image,
         }
     }
 
-    // V1 + V2 + V3: per-site shape, copy contents, resume point.
+    // V1 + V2 + V3: per-site shape, copy contents, resume point. A
+    // structurally broken site is abandoned after its first error (its
+    // slot indices cannot be trusted); the scan still continues with
+    // the remaining sites.
     for (const SlotSite &site : image.sites) {
         if (site.copied + site.padded != slot_count) {
+            std::ostringstream os;
             os << "V1: site at " << describeLoc(prog, site.branchOrig)
                << " has " << site.copied << "+" << site.padded
                << " slots, expected " << slot_count;
-            return os.str();
+            fail(os);
+            continue;
         }
         // The group occupies [branch+1, branch+slot_count].
         if (site.branchImageIndex + slot_count >= image.slots.size()) {
+            std::ostringstream os;
             os << "V1: site slot group overruns the image";
-            return os.str();
+            fail(os);
+            continue;
         }
         const ImageSlot &branch_slot = image.slots[site.branchImageIndex];
         if (branch_slot.kind != ImageSlot::Kind::Home ||
             !(branch_slot.orig == site.branchOrig)) {
+            std::ostringstream os;
             os << "V1: site branch slot mismatch at "
                << describeLoc(prog, site.branchOrig);
-            return os.str();
+            fail(os);
         }
 
         const CodeLocation target = layout.locate(site.origTargetAddr);
         const auto home_it = home.find({target.func, target.block});
         if (home_it == home.end()) {
+            std::ostringstream os;
             os << "V2: site target " << describeLoc(prog, target)
                << " not in any trace";
-            return os.str();
+            fail(os);
+            continue;
         }
         const std::size_t ut = home_it->second.first;
         const std::size_t uoff = home_it->second.second + target.index;
@@ -103,49 +125,65 @@ verifyFsImage(const ProgramProfile &profile, const FsResult &image,
             const ImageSlot &slot =
                 image.slots[site.branchImageIndex + 1 + c];
             if (slot.kind != ImageSlot::Kind::Copy) {
+                std::ostringstream os;
                 os << "V1: expected Copy slot " << c << " after "
                    << describeLoc(prog, site.branchOrig);
-                return os.str();
+                fail(os);
+                continue;
             }
             if (uoff + c >= base[ut].size() ||
                 !(slot.orig == base[ut][uoff + c])) {
+                std::ostringstream os;
                 os << "V2: copy slot " << c << " after "
                    << describeLoc(prog, site.branchOrig)
                    << " does not match the target path";
-                return os.str();
+                fail(os);
             }
         }
         for (unsigned p = 0; p < site.padded; ++p) {
             const ImageSlot &slot =
                 image.slots[site.branchImageIndex + 1 + site.copied + p];
             if (slot.kind != ImageSlot::Kind::Pad) {
+                std::ostringstream os;
                 os << "V1: expected Pad slot after copies at "
                    << describeLoc(prog, site.branchOrig);
-                return os.str();
+                fail(os);
             }
         }
         if (site.padded > 0 && uoff + site.copied != base[ut].size()) {
+            std::ostringstream os;
             os << "V3: pads at " << describeLoc(prog, site.branchOrig)
                << " although the target trace was not exhausted";
-            return os.str();
+            fail(os);
         }
         if (site.resume.has_value()) {
             if (uoff + site.copied >= base[ut].size() ||
                 !(*site.resume == base[ut][uoff + site.copied])) {
+                std::ostringstream os;
                 os << "V3: resume point after "
                    << describeLoc(prog, site.branchOrig)
                    << " is not the target path advanced by "
                    << site.copied;
-                return os.str();
+                fail(os);
             }
         } else if (uoff + site.copied < base[ut].size()) {
+            std::ostringstream os;
             os << "V3: missing resume point at "
                << describeLoc(prog, site.branchOrig);
-            return os.str();
+            fail(os);
         }
     }
 
-    // V4: consecutive trace blocks follow the effective likely path.
+    // V4: consecutive trace blocks follow the effective likely path —
+    // the terminator's sequential successor (analysis/cfg.hh), or for
+    // a jump table any CFG edge out of the block.
+    std::unordered_map<FuncId, std::unique_ptr<analysis::Cfg>> cfgs;
+    const auto cfgOf = [&](FuncId f) -> const analysis::Cfg & {
+        auto &slot = cfgs[f];
+        if (!slot)
+            slot = std::make_unique<analysis::Cfg>(prog.function(f));
+        return *slot;
+    };
     for (const Trace &trace : image.traces) {
         const ir::Function &fn = prog.function(trace.func);
         for (std::size_t j = 0; j + 1 < trace.blocks.size(); ++j) {
@@ -156,25 +194,20 @@ verifyFsImage(const ProgramProfile &profile, const FsResult &image,
                 layout.blockAddr(trace.func, trace.blocks[j]) +
                 bb.size() - 1;
             const bool reversed = image.reversed.count(term_addr) != 0;
-            bool ok = false;
-            if (term.isConditional()) {
-                const BlockId fallthrough =
-                    reversed ? term.target : term.next;
-                ok = fallthrough == next;
-            } else if (term.op == Opcode::Jmp) {
-                ok = term.target == next;
-            } else if (term.op == Opcode::Call ||
-                       term.op == Opcode::CallInd) {
-                ok = term.next == next;
-            } else if (term.op == Opcode::JTab) {
-                ok = std::find(term.table.begin(), term.table.end(),
-                               next) != term.table.end();
-            }
+            const BlockId seq =
+                analysis::sequentialSuccessor(term, reversed);
+            const bool ok =
+                seq != ir::kNoBlock
+                    ? seq == next
+                    : term.op == Opcode::JTab &&
+                          cfgOf(trace.func).hasEdge(trace.blocks[j],
+                                                    next);
             if (!ok) {
+                std::ostringstream os;
                 os << "V4: trace in " << fn.name() << " connects block "
                    << trace.blocks[j] << " to " << next
                    << " without a likely fallthrough path";
-                return os.str();
+                fail(os);
             }
         }
     }
@@ -186,22 +219,25 @@ verifyFsImage(const ProgramProfile &profile, const FsResult &image,
             ++home_count;
     }
     if (home_count != image.originalSize) {
+        std::ostringstream os;
         os << "V5: " << home_count << " home slots for "
            << image.originalSize << " original instructions";
-        return os.str();
+        fail(os);
     }
     if (image.homeIndex.size() != image.originalSize) {
+        std::ostringstream os;
         os << "V5: homeIndex has " << image.homeIndex.size()
            << " entries, expected " << image.originalSize;
-        return os.str();
+        fail(os);
     }
     const std::size_t expected =
         image.originalSize + image.sites.size() * slot_count;
     if (image.expandedSize() != expected) {
+        std::ostringstream os;
         os << "V5: expanded size " << image.expandedSize()
            << " != original " << image.originalSize << " + "
            << image.sites.size() << " sites * " << slot_count;
-        return os.str();
+        fail(os);
     }
 
     // V6: reversals only mark conditional terminators.
@@ -210,13 +246,14 @@ verifyFsImage(const ProgramProfile &profile, const FsResult &image,
         const ir::Instruction &inst =
             prog.function(loc.func).block(loc.block).inst(loc.index);
         if (!inst.isConditional()) {
+            std::ostringstream os;
             os << "V6: reversed mark on non-conditional at "
                << describeLoc(prog, loc);
-            return os.str();
+            fail(os);
         }
     }
 
-    return std::string();
+    return result;
 }
 
 void

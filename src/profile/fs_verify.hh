@@ -27,18 +27,30 @@
 
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "profile/forward_slots.hh"
 
 namespace branchlab::profile
 {
 
+/** Every violated invariant of one image, in V1..V6 order. */
+struct FsVerifyResult
+{
+    std::vector<std::string> errors;
+
+    bool ok() const { return errors.empty(); }
+
+    /** All diagnostics joined with newlines (empty when ok). */
+    std::string message() const;
+};
+
 /**
- * Check all invariants. @return empty string when the image is
- * well-formed, else the first violated invariant's diagnostic.
+ * Check all invariants, collecting every violation (not just the
+ * first) so a broken transform reports its full damage at once.
  */
-std::string verifyFsImage(const ProgramProfile &profile,
-                          const FsResult &image, unsigned slot_count);
+FsVerifyResult verifyFsImage(const ProgramProfile &profile,
+                             const FsResult &image, unsigned slot_count);
 
 /** Print the transformed image as an addressed listing (Figure 2). */
 void printFsImage(std::ostream &os, const ProgramProfile &profile,

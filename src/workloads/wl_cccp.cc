@@ -216,7 +216,7 @@ class CccpWorkload : public Workload
                                 return IrBuilder::cmpGei(count,
                                                          kMaxSyms);
                             },
-                            [&] { b.ret(b.ldi(3)); });
+                            [&] { b.jmp(give_up); });
                         const Reg slot = b.add(
                             sym_base, b.muli(count, kSymSlot));
                         b.st(slot, len, 0);
@@ -252,10 +252,8 @@ class CccpWorkload : public Workload
                     });
                 b.emitBinaryImmTo(Opcode::Add, h, h, 1);
                 b.emitBinaryImmTo(Opcode::And, h, h, kHashMask);
-                (void)give_up;
             });
-            // Unreachable: the probe loop always returns (the table
-            // never fills past kMaxSyms < kHashSize).
+            // Reached only via give_up when the table is full.
             b.ret(b.ldi(3));
         }
         b.endFunction();

@@ -104,7 +104,9 @@ TEST(ForwardSlots, LikelyTakenLoopBranchGetsSlots)
         EXPECT_EQ(site.copied + site.padded, config.slotCount);
     }
     EXPECT_TRUE(found_conditional_site);
-    EXPECT_EQ(verifyFsImage(*built.profile, image, config.slotCount), "");
+    EXPECT_EQ(verifyFsImage(*built.profile, image, config.slotCount)
+                  .message(),
+              "");
 }
 
 TEST(ForwardSlots, CopiesReplicateTargetPathVerbatim)
@@ -130,7 +132,9 @@ TEST(ForwardSlots, CopiesReplicateTargetPathVerbatim)
             EXPECT_EQ(site.padded, 0u);
         }
     }
-    EXPECT_EQ(verifyFsImage(*built.profile, image, config.slotCount), "");
+    EXPECT_EQ(verifyFsImage(*built.profile, image, config.slotCount)
+                  .message(),
+              "");
 }
 
 TEST(ForwardSlots, PadsAppearOnlyWhenTargetTraceExhausted)
@@ -153,7 +157,9 @@ TEST(ForwardSlots, PadsAppearOnlyWhenTargetTraceExhausted)
     config.slotCount = 8;
     const FsResult image = ForwardSlotFiller(*built.profile, config)
                                .build();
-    EXPECT_EQ(verifyFsImage(*built.profile, image, config.slotCount), "");
+    EXPECT_EQ(verifyFsImage(*built.profile, image, config.slotCount)
+                  .message(),
+              "");
     bool saw_pad = false;
     for (const ImageSlot &slot : image.slots)
         saw_pad |= slot.kind == ImageSlot::Kind::Pad;
@@ -213,7 +219,9 @@ TEST(ForwardSlots, ReversalMakesLikelyPathFallThrough)
     // The 90%-taken if-test must be reversed somewhere (its then
     // block joins the trace as fallthrough).
     EXPECT_FALSE(image.reversed.empty());
-    EXPECT_EQ(verifyFsImage(*built.profile, image, config.slotCount), "");
+    EXPECT_EQ(verifyFsImage(*built.profile, image, config.slotCount)
+                  .message(),
+              "");
 }
 
 TEST(ForwardSlots, HomeIndexCoversEveryInstruction)
@@ -242,7 +250,8 @@ TEST(ForwardSlots, UnconditionalSlotsAreOptIn)
         ForwardSlotFiller(*built.profile, with_jumps).build();
     EXPECT_GE(with.sites.size(), without.sites.size());
     EXPECT_EQ(verifyFsImage(*built.profile, with,
-                            with_jumps.slotCount),
+                            with_jumps.slotCount)
+                  .message(),
               "");
 }
 
@@ -259,6 +268,29 @@ TEST(ForwardSlots, PrinterRendersTheImage)
         EXPECT_NE(os.str().find("forward-slot copy"),
                   std::string::npos);
     }
+}
+
+TEST(ForwardSlots, VerifierCollectsEveryViolation)
+{
+    // Damage one site's shape (V1) AND the global size accounting
+    // (V5): the report must list both families, not stop at the
+    // first failure.
+    Built built = profileOver(buildFigure2Like());
+    FsConfig config;
+    config.slotCount = 2;
+    FsResult image = ForwardSlotFiller(*built.profile, config).build();
+    ASSERT_FALSE(image.sites.empty());
+    ASSERT_TRUE(
+        verifyFsImage(*built.profile, image, config.slotCount).ok());
+
+    image.sites.front().copied += 1;
+    image.originalSize += 1;
+    const FsVerifyResult result =
+        verifyFsImage(*built.profile, image, config.slotCount);
+    ASSERT_FALSE(result.ok());
+    EXPECT_GE(result.errors.size(), 3u);
+    EXPECT_NE(result.message().find("V1"), std::string::npos);
+    EXPECT_NE(result.message().find("V5"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------
@@ -293,7 +325,7 @@ TEST_P(FsInvariantSweep, WorkloadImageIsWellFormed)
     FsConfig config;
     config.slotCount = slot_count;
     const FsResult image = ForwardSlotFiller(profile, config).build();
-    EXPECT_EQ(verifyFsImage(profile, image, slot_count), "")
+    EXPECT_EQ(verifyFsImage(profile, image, slot_count).message(), "")
         << workload->name() << " at k+l=" << slot_count;
 }
 

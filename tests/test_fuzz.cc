@@ -287,7 +287,8 @@ TEST_P(FuzzPrograms, VerifyRunProfileAndTransform)
         config.slotCount = slots;
         const profile::FsResult image =
             profile::ForwardSlotFiller(profile, config).build();
-        EXPECT_EQ(profile::verifyFsImage(profile, image, slots), "")
+        EXPECT_EQ(
+            profile::verifyFsImage(profile, image, slots).message(), "")
             << "seed " << seed << " slots " << slots;
 
         // 6. The transformed image executes identically: same

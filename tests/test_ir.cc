@@ -543,6 +543,61 @@ TEST(Verifier, RejectsEmptyJumpTableViaFactory)
     EXPECT_THROW(makeJTab(0, {}), LogicFailure);
 }
 
+TEST(Verifier, RejectsOutOfRangeFunctionRefInLdf)
+{
+    Program prog("p");
+    const FuncId f = prog.newFunction("main", 0);
+    Function &fn = prog.function(f);
+    fn.newBlock("entry");
+    const Reg r = fn.newReg();
+    fn.block(0).append(makeLdf(r, 7)); // only function 0 exists
+    fn.block(0).append(makeHalt());
+    const VerifyResult result = verifyProgram(prog);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.message().find("function"), std::string::npos);
+}
+
+TEST(Verifier, RejectsOutOfRangeCallee)
+{
+    Program prog("p");
+    const FuncId f = prog.newFunction("main", 0);
+    Function &fn = prog.function(f);
+    const BlockId entry = fn.newBlock("entry");
+    const BlockId cont = fn.newBlock("cont");
+    fn.block(entry).append(makeCall(9, {}, kNoReg, cont));
+    fn.block(cont).append(makeHalt());
+    const VerifyResult result = verifyProgram(prog);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.message().find("function"), std::string::npos);
+}
+
+TEST(Verifier, CollectsEveryViolationNotJustTheFirst)
+{
+    // Three independent defects in one block: the report must list
+    // them all, not stop at the first.
+    Program prog("p");
+    const FuncId f = prog.newFunction("main", 0);
+    Function &fn = prog.function(f);
+    fn.newBlock("entry");
+    fn.block(0).append(makeOut(3, 1));  // r3 out of range
+    fn.block(0).append(makeIn(4, 99));  // r4 out of range + channel
+    fn.block(0).append(makeJmp(42));    // no such block
+    const VerifyResult result = verifyProgram(prog);
+    ASSERT_FALSE(result.ok());
+    EXPECT_GE(result.errors.size(), 4u);
+    EXPECT_NE(result.message().find("channel"), std::string::npos);
+    EXPECT_NE(result.message().find("block"), std::string::npos);
+}
+
+TEST(Verifier, OrDieThrowsWithTheFullReport)
+{
+    Program prog("p");
+    const FuncId f = prog.newFunction("main", 0);
+    prog.function(f).newBlock("entry");
+    prog.function(f).block(0).append(makeJmp(42));
+    EXPECT_THROW(verifyProgramOrDie(prog), ConfigFailure);
+}
+
 // ---------------------------------------------------------------------
 // Printer.
 // ---------------------------------------------------------------------

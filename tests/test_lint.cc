@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Diagnostics-engine tests: every built-in rule firing on a crafted
+ * bad program (or a corrupted Forward Semantic image), plus the
+ * engine's severity post-processing and renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/diagnostics.hh"
+#include "helpers.hh"
+#include "support/logging.hh"
+#include "ir/builder.hh"
+#include "ir/layout.hh"
+#include "ir/verifier.hh"
+#include "profile/forward_slots.hh"
+#include "profile/fs_verify.hh"
+#include "profile/profile.hh"
+#include "vm/machine.hh"
+
+using namespace branchlab;
+using namespace branchlab::analysis;
+using ir::BlockId;
+using ir::FuncId;
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::Reg;
+
+namespace
+{
+
+DiagnosticEngine
+builtinEngine(LintOptions options = LintOptions{})
+{
+    DiagnosticEngine engine(options);
+    registerBuiltinRules(engine);
+    return engine;
+}
+
+std::vector<Diagnostic>
+lintWith(const std::string &rule, const ir::Program &prog)
+{
+    DiagnosticEngine engine = builtinEngine();
+    engine.enableOnly({rule});
+    return engine.lintProgram(prog);
+}
+
+/** Count diagnostics from @p rule. */
+std::size_t
+countOf(const std::vector<Diagnostic> &diags, const std::string &rule)
+{
+    return static_cast<std::size_t>(
+        std::count_if(diags.begin(), diags.end(), [&](const auto &d) {
+            return d.rule == rule;
+        }));
+}
+
+/** Profile a single-run program and build its FS image. */
+struct Imaged
+{
+    ir::Program program;
+    std::unique_ptr<ir::Layout> layout;
+    std::unique_ptr<profile::ProgramProfile> profile;
+    profile::FsResult image;
+    unsigned slotCount = 2;
+};
+
+Imaged
+imageOf(ir::Program prog, unsigned slot_count)
+{
+    ir::verifyProgramOrDie(prog);
+    Imaged built{std::move(prog), nullptr, nullptr, {}, slot_count};
+    built.layout = std::make_unique<ir::Layout>(built.program);
+    built.profile = std::make_unique<profile::ProgramProfile>(
+        built.program, *built.layout);
+    built.profile->noteRun();
+    vm::Machine machine(built.program, *built.layout);
+    machine.setSink(built.profile.get());
+    machine.run();
+    profile::FsConfig config;
+    config.slotCount = slot_count;
+    built.image =
+        profile::ForwardSlotFiller(*built.profile, config).build();
+    EXPECT_TRUE(
+        profile::verifyFsImage(*built.profile, built.image, slot_count)
+            .ok());
+    return built;
+}
+
+/**
+ * A hot loop whose likely-taken back-branch copies the loop head's
+ * accumulator update into its slots; the accumulator is still read
+ * after the loop exits, so the copies clobber the untaken path
+ * (benign only under squashing).
+ */
+ir::Program
+buildClobberProne()
+{
+    ir::Program prog("clobber");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg i = b.newReg();
+    const Reg t = b.newReg();
+    b.ldiTo(t, 0);
+    b.ldiTo(i, 20);
+    b.doWhile(
+        [&] {
+            b.emitBinaryTo(Opcode::Add, t, t, i);
+            b.emitBinaryImmTo(Opcode::Sub, i, i, 1);
+        },
+        [&] { return IrBuilder::cmpGti(i, 0); });
+    b.out(t, 1);
+    b.halt();
+    b.endFunction();
+    return prog;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Program rules on crafted bad programs
+// ---------------------------------------------------------------------
+
+TEST(LintRules, UnreachableBlockFires)
+{
+    ir::Program prog = test::buildCountdown(2);
+    ir::Function &fn = prog.function(0);
+    const BlockId island = fn.newBlock("island");
+    fn.block(island).append(ir::makeHalt());
+    ir::verifyProgramOrDie(prog);
+
+    const auto diags = lintWith("unreachable-block", prog);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].severity, Severity::Warning);
+    EXPECT_NE(diags[0].message.find("island"), std::string::npos);
+    EXPECT_NE(diags[0].where.find("main.island"), std::string::npos);
+}
+
+TEST(LintRules, UseBeforeDefFires)
+{
+    // Branch on a register no path has written: the VM reads 0, the
+    // lint objects.
+    ir::Program prog("uninit");
+    const FuncId f = prog.newFunction("main", 0);
+    ir::Function &fn = prog.function(f);
+    const Reg x = fn.newReg();
+    const BlockId entry = fn.newBlock("entry");
+    const BlockId a = fn.newBlock("a");
+    const BlockId c = fn.newBlock("c");
+    fn.block(entry).append(
+        ir::makeCondBranchImm(Opcode::Beq, x, 0, a, c));
+    fn.block(a).append(ir::makeHalt());
+    fn.block(c).append(ir::makeHalt());
+    ir::verifyProgramOrDie(prog);
+
+    const auto diags = lintWith("use-before-def", prog);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].severity, Severity::Warning);
+    EXPECT_NE(diags[0].message.find("r0"), std::string::npos);
+}
+
+TEST(LintRules, UseBeforeDefSilentWhenOneArmAssignsFirst)
+{
+    // Definite assignment is a must-analysis: a register written on
+    // only one arm still trips the rule at the join...
+    ir::Program prog("half");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg x = b.ldi(1);
+    const Reg y = b.newReg();
+    b.ifThen([&] { return IrBuilder::cmpGti(x, 0); },
+             [&] { b.ldiTo(y, 5); });
+    b.out(y, 1);
+    b.halt();
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+    EXPECT_EQ(countOf(lintWith("use-before-def", prog),
+                      "use-before-def"),
+              1u);
+
+    // ...but straight-line def-then-use stays silent.
+    EXPECT_TRUE(
+        lintWith("use-before-def", test::buildCountdown(2)).empty());
+}
+
+TEST(LintRules, DeadStoreFires)
+{
+    ir::Program prog("dead");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg x = b.ldi(1); // dead: overwritten before any read
+    b.ldiTo(x, 2);
+    b.out(x, 1);
+    b.halt();
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+
+    const auto diags = lintWith("dead-store", prog);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].severity, Severity::Warning);
+    EXPECT_NE(diags[0].where.find("main.entry[0]"), std::string::npos);
+}
+
+TEST(LintRules, DeadStoreIgnoresEffectfulWrites)
+{
+    // An In consumes input even when its destination dies; the rule
+    // must not flag it.
+    ir::Program prog("effect");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg x = b.in(0);
+    b.ldiTo(x, 2);
+    b.out(x, 1);
+    b.halt();
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+    EXPECT_TRUE(lintWith("dead-store", prog).empty());
+}
+
+TEST(LintRules, ConstantConditionFires)
+{
+    ir::Program prog("cc");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg x = b.ldi(3);
+    b.ifThen([&] { return IrBuilder::cmpGti(x, 0); },
+             [&] { b.out(x, 1); });
+    b.halt();
+    b.endFunction();
+    ir::verifyProgramOrDie(prog);
+
+    const auto diags = lintWith("constant-condition", prog);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].severity, Severity::Warning);
+    EXPECT_NE(diags[0].message.find("always true"), std::string::npos);
+}
+
+TEST(LintRules, JumpTableDegenerateDuplicateAndConstantIndex)
+{
+    ir::Program prog("jt");
+    const FuncId f = prog.newFunction("main", 0);
+    ir::Function &fn = prog.function(f);
+    const Reg idx = fn.newReg();
+    const BlockId entry = fn.newBlock("entry");
+    const BlockId a = fn.newBlock("a");
+    const BlockId c = fn.newBlock("c");
+    const BlockId d = fn.newBlock("d");
+    fn.block(entry).append(ir::makeLdi(idx, 0));
+    fn.block(entry).append(ir::makeJTab(idx, {a, a}));
+    fn.block(a).append(ir::makeJTab(idx, {c, d, c}));
+    fn.block(c).append(ir::makeHalt());
+    fn.block(d).append(ir::makeHalt());
+    ir::verifyProgramOrDie(prog);
+
+    const auto diags = lintWith("jump-table", prog);
+    // entry: single distinct target (warning) + constant index 0
+    // (warning). a: duplicate arm (note) + constant index (warning).
+    EXPECT_EQ(countOf(diags, "jump-table"), 4u);
+    const auto degenerate =
+        std::count_if(diags.begin(), diags.end(), [](const auto &d) {
+            return d.message.find("single distinct") !=
+                   std::string::npos;
+        });
+    EXPECT_EQ(degenerate, 1);
+    const auto dup =
+        std::count_if(diags.begin(), diags.end(), [](const auto &d) {
+            return d.severity == Severity::Note;
+        });
+    EXPECT_EQ(dup, 1);
+}
+
+TEST(LintRules, JumpTableConstantOutOfRangeIndexIsAnError)
+{
+    ir::Program prog("jtoob");
+    const FuncId f = prog.newFunction("main", 0);
+    ir::Function &fn = prog.function(f);
+    const Reg idx = fn.newReg();
+    const BlockId entry = fn.newBlock("entry");
+    const BlockId a = fn.newBlock("a");
+    const BlockId c = fn.newBlock("c");
+    fn.block(entry).append(ir::makeLdi(idx, 5));
+    fn.block(entry).append(ir::makeJTab(idx, {a, c}));
+    fn.block(a).append(ir::makeHalt());
+    fn.block(c).append(ir::makeHalt());
+    ir::verifyProgramOrDie(prog);
+
+    const auto diags = lintWith("jump-table", prog);
+    ASSERT_FALSE(diags.empty());
+    EXPECT_TRUE(DiagnosticEngine::hasErrors(diags));
+    EXPECT_NE(diags[0].message.find("outside the table"),
+              std::string::npos);
+}
+
+TEST(LintRules, CleanProgramsLintClean)
+{
+    for (const auto &prog :
+         {test::buildCountdown(5), test::buildFactorial(4)}) {
+        const DiagnosticEngine engine = builtinEngine();
+        EXPECT_TRUE(engine.lintProgram(prog).empty()) << prog.name();
+    }
+}
+
+// ---------------------------------------------------------------------
+// FS-image rules
+// ---------------------------------------------------------------------
+
+TEST(LintRules, FsSlotRegionTargetFiresOnACorruptedImage)
+{
+    Imaged built = imageOf(buildClobberProne(), 2);
+    ASSERT_FALSE(built.image.sites.empty());
+
+    DiagnosticEngine engine = builtinEngine();
+    engine.enableOnly({"fs-slot-region-target"});
+    // The intact image passes.
+    EXPECT_TRUE(engine
+                    .lintFsImage(*built.profile, built.image,
+                                 built.slotCount)
+                    .empty());
+
+    // Redirect one home into the middle of a slot group.
+    const profile::SlotSite &site = built.image.sites.front();
+    ASSERT_FALSE(built.image.homeIndex.empty());
+    built.image.homeIndex.begin()->second = site.branchImageIndex + 1;
+    const auto diags = engine.lintFsImage(*built.profile, built.image,
+                                          built.slotCount);
+    ASSERT_FALSE(diags.empty());
+    EXPECT_EQ(diags[0].severity, Severity::Error);
+    EXPECT_EQ(diags[0].rule, "fs-slot-region-target");
+}
+
+TEST(LintRules, FsClobberedLiveRegisterFires)
+{
+    Imaged built = imageOf(buildClobberProne(), 2);
+    DiagnosticEngine engine = builtinEngine();
+    engine.enableOnly({"fs-clobbered-live-register"});
+    const auto diags = engine.lintFsImage(*built.profile, built.image,
+                                          built.slotCount);
+    ASSERT_FALSE(diags.empty());
+    EXPECT_EQ(diags[0].severity, Severity::Note);
+    EXPECT_NE(diags[0].message.find("clobber"), std::string::npos);
+    // A loop whose copied head instructions define nothing that is
+    // read after the exit stays silent.
+    ir::Program quiet("quiet");
+    IrBuilder qb(quiet);
+    qb.beginFunction("main");
+    const Reg i = qb.newReg();
+    qb.ldiTo(i, 20);
+    qb.doWhile(
+        [&] {
+            qb.out(i, 1);
+            qb.emitBinaryImmTo(Opcode::Sub, i, i, 1);
+        },
+        [&] { return IrBuilder::cmpGti(i, 0); });
+    qb.halt();
+    qb.endFunction();
+    Imaged clean = imageOf(std::move(quiet), 2);
+    EXPECT_TRUE(engine
+                    .lintFsImage(*clean.profile, clean.image,
+                                 clean.slotCount)
+                    .empty());
+}
+
+// ---------------------------------------------------------------------
+// Engine post-processing and rendering
+// ---------------------------------------------------------------------
+
+TEST(LintEngine, WerrorPromotesWarningsToErrors)
+{
+    ir::Program prog = test::buildCountdown(2);
+    ir::Function &fn = prog.function(0);
+    const BlockId island = fn.newBlock("island");
+    fn.block(island).append(ir::makeHalt());
+    ir::verifyProgramOrDie(prog);
+
+    LintOptions options;
+    options.warningsAsErrors = true;
+    DiagnosticEngine engine = builtinEngine(options);
+    const auto diags = engine.lintProgram(prog);
+    ASSERT_FALSE(diags.empty());
+    EXPECT_TRUE(DiagnosticEngine::hasErrors(diags));
+    for (const Diagnostic &d : diags)
+        EXPECT_NE(d.severity, Severity::Warning);
+}
+
+TEST(LintEngine, MinSeverityDropsNotes)
+{
+    Imaged built = imageOf(buildClobberProne(), 2);
+    LintOptions options;
+    options.minSeverity = Severity::Warning;
+    DiagnosticEngine engine = builtinEngine(options);
+    for (const Diagnostic &d :
+         engine.lintFsImage(*built.profile, built.image,
+                            built.slotCount))
+        EXPECT_NE(d.severity, Severity::Note);
+}
+
+TEST(LintEngine, EnableOnlyRestrictsAndRejectsUnknownNames)
+{
+    DiagnosticEngine engine = builtinEngine();
+    EXPECT_EQ(engine.rules().size(), 7u);
+    engine.enableOnly({"dead-store"});
+    ir::Program prog = test::buildCountdown(2);
+    ir::Function &fn = prog.function(0);
+    const BlockId island = fn.newBlock("island");
+    fn.block(island).append(ir::makeHalt());
+    ir::verifyProgramOrDie(prog);
+    // Only dead-store runs, so the island goes unreported.
+    EXPECT_TRUE(engine.lintProgram(prog).empty());
+
+    DiagnosticEngine other = builtinEngine();
+    EXPECT_THROW(other.enableOnly({"no-such-rule"}), ConfigFailure);
+}
+
+TEST(LintEngine, RenderersFormatDiagnostics)
+{
+    const std::vector<Diagnostic> diags{
+        {Severity::Error, "demo-rule", "something \"quoted\"\nbroke",
+         "main.entry[0]"},
+        {Severity::Note, "demo-rule", "fine", ""},
+    };
+    const std::string text = renderDiagnosticsText(diags);
+    EXPECT_NE(text.find("error: [demo-rule]"), std::string::npos);
+    EXPECT_NE(text.find("(at main.entry[0])"), std::string::npos);
+
+    const std::string json = renderDiagnosticsJson(diags);
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+    EXPECT_NE(json.find("\"severity\": \"note\""), std::string::npos);
+    EXPECT_EQ(renderDiagnosticsJson({}), "[]");
+}
