@@ -18,9 +18,11 @@
  * Verifies that every engine and the warm-cache run produce
  * bit-identical scheme accuracies, miss ratios, and trace statistics,
  * micro-benchmarks the linear-scan vs hash-indexed AssociativeBuffer
- * lookup on the paper's 256-way fully-associative geometry, and emits
- * everything machine-readable to BENCH_engine.json so the perf
- * trajectory is tracked PR over PR.
+ * lookup on the paper's 256-way fully-assoc geometry, measures the
+ * telemetry layer's replay overhead (collection enabled vs compiled in
+ * but disabled), and emits everything machine-readable -- including
+ * the engine phase spans the run accumulated -- to BENCH_engine.json
+ * so the perf trajectory is tracked PR over PR.
  *
  *   perf_engine [--runs N] [--jobs N] [--repeat N] [--out FILE]
  *
@@ -41,6 +43,7 @@
 
 #include "bench_common.hh"
 
+#include "obs/metrics.hh"
 #include "predict/assoc_buffer.hh"
 #include "predict/profile_predictor.hh"
 #include "predict/static_predictors.hh"
@@ -152,8 +155,39 @@ timeRecordPass(const core::ExperimentConfig &config, unsigned repeat,
     return best;
 }
 
-/** Serial replay pass over pre-recorded streams (no VM execution):
- *  the same seven schemes the replay engine fuses per workload. */
+/** One serial replay pass over pre-recorded streams (no VM
+ *  execution): the same seven schemes the replay engine fuses per
+ *  workload. @return wall-clock seconds; prints it with @p tag. */
+double
+replayPassOnce(const std::vector<core::RecordedWorkload> &recorded,
+               const core::ExperimentConfig &config, const char *tag)
+{
+    double seconds = 0.0;
+    double checksum = 0.0;
+    {
+        ScopeTimer timer(&seconds);
+        for (const core::RecordedWorkload &workload : recorded) {
+            predict::SimpleBtb sbtb(config.btb);
+            predict::CounterBtb cbtb(config.btb, config.counter);
+            predict::AlwaysTaken always_taken;
+            predict::AlwaysNotTaken always_not_taken;
+            predict::BackwardTaken btfnt;
+            predict::OpcodeBias opcode_bias;
+            predict::ProfilePredictor fs(workload.likelyMap);
+            const std::vector<core::ReplayResult> replays =
+                core::replayMany(workload.events,
+                                 {&sbtb, &cbtb, &always_taken,
+                                  &always_not_taken, &btfnt,
+                                  &opcode_bias, &fs});
+            for (const core::ReplayResult &replay : replays)
+                checksum += replay.accuracy;
+        }
+    }
+    std::cerr << "    " << formatFixed(seconds, 3) << " s" << tag
+              << " (acc sum " << formatFixed(checksum, 3) << ")\n";
+    return seconds;
+}
+
 double
 timeReplayPass(const std::vector<core::RecordedWorkload> &recorded,
                const core::ExperimentConfig &config, unsigned repeat)
@@ -161,33 +195,40 @@ timeReplayPass(const std::vector<core::RecordedWorkload> &recorded,
     std::cerr << "  replay pass (streams only)...\n";
     double best = 0.0;
     for (unsigned r = 0; r < repeat; ++r) {
-        double seconds = 0.0;
-        double checksum = 0.0;
-        {
-            ScopeTimer timer(&seconds);
-            for (const core::RecordedWorkload &workload : recorded) {
-                predict::SimpleBtb sbtb(config.btb);
-                predict::CounterBtb cbtb(config.btb, config.counter);
-                predict::AlwaysTaken always_taken;
-                predict::AlwaysNotTaken always_not_taken;
-                predict::BackwardTaken btfnt;
-                predict::OpcodeBias opcode_bias;
-                predict::ProfilePredictor fs(workload.likelyMap);
-                const std::vector<core::ReplayResult> replays =
-                    core::replayMany(workload.events,
-                                     {&sbtb, &cbtb, &always_taken,
-                                      &always_not_taken, &btfnt,
-                                      &opcode_bias, &fs});
-                for (const core::ReplayResult &replay : replays)
-                    checksum += replay.accuracy;
-            }
-        }
+        const double seconds = replayPassOnce(recorded, config, "");
         if (r == 0 || seconds < best)
             best = seconds;
-        std::cerr << "    " << formatFixed(seconds, 3) << " s (acc sum "
-                  << formatFixed(checksum, 3) << ")\n";
     }
     return best;
+}
+
+/**
+ * The telemetry overhead probe: the replay pass with collection
+ * enabled vs compiled in but disabled. The two variants are
+ * interleaved within every repeat (on, off, on, off, ...) so clock
+ * drift, frequency scaling, and cache warmth hit both equally -- run
+ * sequentially, a few percent of drift between the blocks dwarfs the
+ * real delta. Best-of-N for each variant, like every other phase.
+ */
+void
+timeTelemetryOverhead(
+    const std::vector<core::RecordedWorkload> &recorded,
+    const core::ExperimentConfig &config, unsigned repeat,
+    double &enabled_s, double &disabled_s)
+{
+    std::cerr << "  replay pass, telemetry on vs off (interleaved)"
+                 "...\n";
+    for (unsigned r = 0; r < repeat; ++r) {
+        obs::setEnabled(true);
+        const double on = replayPassOnce(recorded, config, " [on]");
+        obs::setEnabled(false);
+        const double off = replayPassOnce(recorded, config, " [off]");
+        obs::setEnabled(true);
+        if (r == 0 || on < enabled_s)
+            enabled_s = on;
+        if (r == 0 || off < disabled_s)
+            disabled_s = off;
+    }
 }
 
 struct LookupBench
@@ -258,9 +299,12 @@ writeJson(const std::string &path, unsigned jobs, unsigned runs_override,
           unsigned repeat, const TimedRun &two_pass,
           const TimedRun &replay_serial, const TimedRun &replay_parallel,
           double record_s, double replay_only_s, double warm_cache_s,
+          double replay_enabled_s, double replay_disabled_s,
+          double telemetry_overhead_pct,
           const trace::TraceCacheCounters &cache_counters,
           const LookupBench &lookup, std::size_t mismatches)
 {
+    const obs::Snapshot snapshot = obs::Registry::global().snapshot();
     std::ostringstream os;
     os.precision(17);
     os << "{\n"
@@ -290,6 +334,20 @@ writeJson(const std::string &path, unsigned jobs, unsigned runs_override,
        << "    \"hits\": " << cache_counters.hits << ",\n"
        << "    \"misses\": " << cache_counters.misses << ",\n"
        << "    \"stores\": " << cache_counters.stores << "\n  },\n"
+       << "  \"telemetry\": {\n"
+       << "    \"replay_enabled_s\": " << replay_enabled_s << ",\n"
+       << "    \"replay_disabled_s\": " << replay_disabled_s << ",\n"
+       << "    \"overhead_pct\": " << telemetry_overhead_pct
+       << "\n  },\n"
+       << "  \"spans\": {\n";
+    for (std::size_t i = 0; i < snapshot.spans.size(); ++i) {
+        const obs::Snapshot::SpanRow &row = snapshot.spans[i];
+        os << "    \"" << row.name << "\": {\"count\": " << row.count
+           << ", \"total_ns\": " << row.totalNs
+           << ", \"max_ns\": " << row.maxNs << "}"
+           << (i + 1 < snapshot.spans.size() ? "," : "") << "\n";
+    }
+    os << "  },\n"
        << "  \"btb_lookup\": {\n"
        << "    \"ops\": " << lookup.ops << ",\n"
        << "    \"linear_mops\": " << lookup.linearMops << ",\n"
@@ -408,6 +466,18 @@ main(int argc, char **argv)
         timeRecordPass(replay_serial_config, repeat, recorded);
     const double replay_only_s =
         timeReplayPass(recorded, replay_serial_config, repeat);
+
+    // Telemetry overhead: the same replay pass, collection enabled vs
+    // compiled in but switched off. The delta is what the always-on
+    // counters cost on the hottest path; CI fails the build if it
+    // exceeds 2%.
+    double replay_enabled_s = 0.0;
+    double replay_disabled_s = 0.0;
+    timeTelemetryOverhead(recorded, replay_serial_config, repeat,
+                          replay_enabled_s, replay_disabled_s);
+    const double telemetry_overhead_pct =
+        (replay_enabled_s - replay_disabled_s) / replay_disabled_s *
+        100.0;
     recorded.clear();
 
     // Warm-cache phase: prime a throwaway cache with one suite run,
@@ -469,6 +539,10 @@ main(int argc, char **argv)
               << formatFixed(lookup.linearMops, 1) << " Mops/s, indexed "
               << formatFixed(lookup.indexedMops, 1) << " Mops/s ("
               << formatFixed(lookup.speedup, 2) << "x)\n"
+              << "Telemetry replay overhead: "
+              << formatFixed(telemetry_overhead_pct, 2) << "% (on "
+              << formatFixed(replay_enabled_s, 3) << " s, off "
+              << formatFixed(replay_disabled_s, 3) << " s)\n"
               << "Engine equivalence: "
               << (mismatches == 0 ? "bit-identical across engines"
                                   : std::to_string(mismatches) +
@@ -477,6 +551,8 @@ main(int argc, char **argv)
 
     writeJson(out_path, parallel_jobs, runs_override, repeat, two_pass,
               replay_serial, replay_parallel, record_s, replay_only_s,
-              warm_cache.seconds, cache_counters, lookup, mismatches);
+              warm_cache.seconds, replay_enabled_s, replay_disabled_s,
+              telemetry_overhead_pct, cache_counters, lookup,
+              mismatches);
     return mismatches == 0 ? 0 : 1;
 }

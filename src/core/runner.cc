@@ -5,6 +5,8 @@
 
 #include "ir/printer.hh"
 #include "ir/verifier.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "predict/flushing.hh"
 #include "predict/profile_predictor.hh"
 #include "predict/static_predictors.hh"
@@ -158,6 +160,7 @@ applyCodeSizeTransform(const profile::ProgramProfile &profile,
                        const ExperimentConfig &config,
                        BenchmarkResult &result)
 {
+    const obs::ScopedSpan span("engine.codesize");
     for (unsigned slots : config.codeSizeSlots) {
         profile::FsConfig fs_config;
         fs_config.slotCount = slots;
@@ -352,6 +355,7 @@ RecordedWorkload
 recordWorkload(const workloads::Workload &workload,
                const ExperimentConfig &config)
 {
+    const obs::ScopedSpan span("engine.record");
     RecordedWorkload recorded;
     recorded.name = workload.name();
     recorded.program =
@@ -412,6 +416,11 @@ ReplayResult
 replay(const std::vector<trace::BranchEvent> &events,
        predict::BranchPredictor &predictor)
 {
+    const obs::ScopedSpan span("engine.replay");
+    obs::Registry::global().counter("engine.replays").add(1);
+    obs::Registry::global()
+        .counter("engine.replay.events")
+        .add(events.size());
     predict::PredictionDriver driver(predictor);
     for (const trace::BranchEvent &event : events)
         driver.onBranch(event);
@@ -428,6 +437,14 @@ std::vector<ReplayResult>
 replayMany(const std::vector<trace::BranchEvent> &events,
            const std::vector<predict::BranchPredictor *> &predictors)
 {
+    const obs::ScopedSpan span("engine.replay");
+    obs::Registry::global().counter("engine.replays").add(1);
+    obs::Registry::global()
+        .counter("engine.replay.events")
+        .add(events.size());
+    obs::Registry::global()
+        .counter("engine.replay.schemes")
+        .add(predictors.size());
     std::vector<predict::PredictionDriver> drivers;
     drivers.reserve(predictors.size());
     for (predict::BranchPredictor *predictor : predictors)
@@ -460,16 +477,20 @@ replayAccuracy(const RecordedWorkload &recorded,
 std::vector<BenchmarkResult>
 ExperimentRunner::runAll() const
 {
+    const obs::ScopedSpan span("engine.suite");
     const std::vector<const workloads::Workload *> &all =
         workloads::allWorkloads();
     std::vector<BenchmarkResult> results(all.size());
+    const unsigned jobs = resolveJobs(config_.jobs);
+    obs::Registry::global()
+        .gauge("engine.jobs")
+        .set(static_cast<std::int64_t>(jobs));
     // Workload-level fan-out: every benchmark seeds its own RNG
     // sub-stream and owns all of its state, so any job count produces
     // bit-identical results in deterministic (Table 1) order.
-    parallelFor(all.size(), resolveJobs(config_.jobs),
-                [&](std::size_t i) {
-                    results[i] = runBenchmark(*all[i]);
-                });
+    parallelFor(all.size(), jobs, [&](std::size_t i) {
+        results[i] = runBenchmark(*all[i]);
+    });
     return results;
 }
 

@@ -1,0 +1,408 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace branchlab::obs
+{
+
+namespace
+{
+
+std::atomic<bool> g_enabled{true};
+
+std::string g_exportPath;      // guarded by g_exportMutex
+std::mutex g_exportMutex;
+
+} // namespace
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1)
+{
+    blab_assert(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bounds must be ascending");
+}
+
+void
+Histogram::observe(std::uint64_t value)
+{
+    if (!enabled())
+        return;
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    const std::size_t bucket =
+        static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::bucketCount(std::size_t i) const
+{
+    blab_assert(i < buckets_.size(), "histogram bucket out of range");
+    return buckets_[i].load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    return count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::sum() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+void
+Histogram::reset()
+{
+    for (std::atomic<std::uint64_t> &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// SpanStat
+// ---------------------------------------------------------------------
+
+void
+SpanStat::record(std::uint64_t elapsed_ns)
+{
+    count_.fetch_add(1, std::memory_order_relaxed);
+    totalNs_.fetch_add(elapsed_ns, std::memory_order_relaxed);
+    std::uint64_t seen = maxNs_.load(std::memory_order_relaxed);
+    while (elapsed_ns > seen &&
+           !maxNs_.compare_exchange_weak(seen, elapsed_ns,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+void
+SpanStat::reset()
+{
+    count_.store(0, std::memory_order_relaxed);
+    totalNs_.store(0, std::memory_order_relaxed);
+    maxNs_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+/** std::map keeps snapshots name-sorted; unique_ptr keeps references
+ *  stable across registrations. */
+struct Registry::Impl
+{
+    mutable std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+        histograms;
+    std::map<std::string, std::unique_ptr<SpanStat>, std::less<>> spans;
+};
+
+Registry::Impl &
+Registry::impl() const
+{
+    // Leaked on purpose: metrics are flushed from destructors of
+    // objects with unknowable static destruction order.
+    static Impl *instance = new Impl;
+    return *instance;
+}
+
+Registry &
+Registry::global()
+{
+    static Registry *instance = new Registry;
+    return *instance;
+}
+
+Counter &
+Registry::counter(std::string_view name)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    const auto it = i.counters.find(name);
+    if (it != i.counters.end())
+        return *it->second;
+    return *i.counters
+                .emplace(std::string(name), std::make_unique<Counter>())
+                .first->second;
+}
+
+Gauge &
+Registry::gauge(std::string_view name)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    const auto it = i.gauges.find(name);
+    if (it != i.gauges.end())
+        return *it->second;
+    return *i.gauges
+                .emplace(std::string(name), std::make_unique<Gauge>())
+                .first->second;
+}
+
+Histogram &
+Registry::histogram(std::string_view name,
+                    std::vector<std::uint64_t> bounds)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    const auto it = i.histograms.find(name);
+    if (it != i.histograms.end())
+        return *it->second;
+    return *i.histograms
+                .emplace(std::string(name),
+                         std::make_unique<Histogram>(std::move(bounds)))
+                .first->second;
+}
+
+SpanStat &
+Registry::span(std::string_view name)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    const auto it = i.spans.find(name);
+    if (it != i.spans.end())
+        return *it->second;
+    return *i.spans
+                .emplace(std::string(name), std::make_unique<SpanStat>())
+                .first->second;
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    Snapshot snap;
+    snap.counters.reserve(i.counters.size());
+    for (const auto &[name, counter] : i.counters)
+        snap.counters.emplace_back(name, counter->value());
+    snap.gauges.reserve(i.gauges.size());
+    for (const auto &[name, gauge] : i.gauges)
+        snap.gauges.emplace_back(name, gauge->value());
+    snap.histograms.reserve(i.histograms.size());
+    for (const auto &[name, hist] : i.histograms) {
+        Snapshot::HistogramRow row;
+        row.name = name;
+        row.bounds = hist->bounds();
+        row.buckets.reserve(row.bounds.size() + 1);
+        for (std::size_t b = 0; b <= row.bounds.size(); ++b)
+            row.buckets.push_back(hist->bucketCount(b));
+        row.count = hist->count();
+        row.sum = hist->sum();
+        snap.histograms.push_back(std::move(row));
+    }
+    snap.spans.reserve(i.spans.size());
+    for (const auto &[name, span] : i.spans) {
+        snap.spans.push_back(Snapshot::SpanRow{
+            name, span->count(), span->totalNs(), span->maxNs()});
+    }
+    return snap;
+}
+
+void
+Registry::reset()
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    for (const auto &[name, counter] : i.counters)
+        counter->reset();
+    for (const auto &[name, gauge] : i.gauges)
+        gauge->reset();
+    for (const auto &[name, hist] : i.histograms)
+        hist->reset();
+    for (const auto &[name, span] : i.spans)
+        span->reset();
+}
+
+// ---------------------------------------------------------------------
+// Serialisation
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Metric names are dotted identifiers; escape defensively anyway. */
+std::string
+jsonEscape(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20) {
+            out += "\\u00";
+            const char *hex = "0123456789abcdef";
+            out.push_back(hex[(c >> 4) & 0xf]);
+            out.push_back(hex[c & 0xf]);
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+Snapshot::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"counters\": {";
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        os << (i == 0 ? "\n" : ",\n") << "    \""
+           << jsonEscape(counters[i].first)
+           << "\": " << counters[i].second;
+    }
+    os << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+        os << (i == 0 ? "\n" : ",\n") << "    \""
+           << jsonEscape(gauges[i].first) << "\": " << gauges[i].second;
+    }
+    os << (gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+        const HistogramRow &row = histograms[i];
+        os << (i == 0 ? "\n" : ",\n") << "    \""
+           << jsonEscape(row.name) << "\": {\"count\": " << row.count
+           << ", \"sum\": " << row.sum << ", \"buckets\": [";
+        for (std::size_t b = 0; b < row.buckets.size(); ++b) {
+            os << (b == 0 ? "" : ", ") << "{\"le\": ";
+            if (b < row.bounds.size())
+                os << row.bounds[b];
+            else
+                os << "\"inf\"";
+            os << ", \"count\": " << row.buckets[b] << "}";
+        }
+        os << "]}";
+    }
+    os << (histograms.empty() ? "" : "\n  ") << "},\n  \"spans\": {";
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        const SpanRow &row = spans[i];
+        os << (i == 0 ? "\n" : ",\n") << "    \"" << jsonEscape(row.name)
+           << "\": {\"count\": " << row.count
+           << ", \"total_ns\": " << row.totalNs
+           << ", \"max_ns\": " << row.maxNs << "}";
+    }
+    os << (spans.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string
+Snapshot::toJson() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+TextTable
+Snapshot::toTable() const
+{
+    TextTable table({"Metric", "Kind", "Value"});
+    for (const auto &[name, value] : counters)
+        table.addRow({name, "counter", std::to_string(value)});
+    for (const auto &[name, value] : gauges)
+        table.addRow({name, "gauge", std::to_string(value)});
+    for (const HistogramRow &row : histograms) {
+        table.addRow({row.name, "histogram",
+                      std::to_string(row.count) + " obs, sum " +
+                          std::to_string(row.sum)});
+    }
+    for (const SpanRow &row : spans) {
+        std::ostringstream value;
+        value << row.count << " x, total "
+              << static_cast<double>(row.totalNs) / 1e9 << " s";
+        table.addRow({row.name, "span", value.str()});
+    }
+    return table;
+}
+
+// ---------------------------------------------------------------------
+// Environment / export plumbing
+// ---------------------------------------------------------------------
+
+void
+initFromEnv()
+{
+    const char *raw = std::getenv("BRANCHLAB_TELEMETRY");
+    if (raw == nullptr || *raw == '\0')
+        return;
+    const std::string value = raw;
+    if (value == "0" || value == "off") {
+        setEnabled(false);
+        return;
+    }
+    setEnabled(true);
+    setExportPath(value);
+}
+
+std::string
+exportPath()
+{
+    std::lock_guard<std::mutex> lock(g_exportMutex);
+    return g_exportPath;
+}
+
+void
+setExportPath(std::string path)
+{
+    std::lock_guard<std::mutex> lock(g_exportMutex);
+    g_exportPath = std::move(path);
+}
+
+bool
+exportIfConfigured()
+{
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(g_exportMutex);
+        path = g_exportPath;
+    }
+    if (path.empty())
+        return false;
+    writeJsonFile(path);
+    return true;
+}
+
+void
+writeJsonFile(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        blab_fatal("cannot write telemetry snapshot to '", path, "'");
+    Registry::global().snapshot().writeJson(out);
+    if (!out)
+        blab_fatal("telemetry snapshot write failed for '", path, "'");
+}
+
+} // namespace branchlab::obs

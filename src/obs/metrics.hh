@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Lightweight process-wide telemetry: monotonic counters, gauges,
+ * fixed-bucket histograms, and span accumulators, all built on
+ * std::atomic with relaxed ordering so hot paths pay one uncontended
+ * RMW per update and never take a lock.
+ *
+ * Metric names follow a dotted lowercase scheme,
+ * `<subsystem>.<detail>`: `vm.instructions`, `engine.replay.events`,
+ * `trace_cache.corrupt_entries`, `threadpool.queue_wait_ns`,
+ * `predict.buffer.indexed.evictions`. Names are registered on first
+ * use via Registry::global() and live for the rest of the process;
+ * callers are expected to look a metric up once (function-local
+ * static or member) and keep the reference.
+ *
+ * Telemetry is observational only: nothing in this layer feeds back
+ * into experiment results, and the differential test in
+ * tests/test_obs.cc holds every paper table bit-identical with
+ * telemetry enabled and disabled. A process-wide enabled flag
+ * (default on, see setEnabled / BRANCHLAB_TELEMETRY=off) turns every
+ * update into a relaxed load + not-taken branch, which is the
+ * "compiled in but disabled" baseline the CI overhead guard compares
+ * against.
+ *
+ * Snapshots serialise to JSON (stable, name-sorted key order) and to
+ * the support/table human format.
+ */
+
+#ifndef BRANCHLAB_OBS_METRICS_HH
+#define BRANCHLAB_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/table.hh"
+
+namespace branchlab::obs
+{
+
+/** Process-wide telemetry switch (relaxed load; default enabled). */
+bool enabled();
+
+/** Flip the process-wide switch (tests, CLI, perf harness). */
+void setEnabled(bool on);
+
+/** A monotonically increasing counter. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        if (enabled())
+            value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** A signed instantaneous value (worker counts, occupancy, ...). */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t v)
+    {
+        if (enabled())
+            value_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(std::int64_t delta)
+    {
+        if (enabled())
+            value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/**
+ * A fixed-bucket histogram: bucket i counts observations <= bounds[i],
+ * with one implicit overflow bucket. Bounds are fixed at registration
+ * and never reallocated, so observe() is lock-free.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<std::uint64_t> bounds);
+
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    void observe(std::uint64_t value);
+
+    const std::vector<std::uint64_t> &bounds() const { return bounds_; }
+    /** Count in bucket @p i (bounds().size() + 1 buckets). */
+    std::uint64_t bucketCount(std::size_t i) const;
+    std::uint64_t count() const;
+    std::uint64_t sum() const;
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> bounds_;
+    std::vector<std::atomic<std::uint64_t>> buckets_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+};
+
+/** Accumulated timing of one named span (see obs/span.hh). */
+class SpanStat
+{
+  public:
+    void record(std::uint64_t elapsed_ns);
+
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t totalNs() const
+    {
+        return totalNs_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t maxNs() const
+    {
+        return maxNs_.load(std::memory_order_relaxed);
+    }
+    void reset();
+
+  private:
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> totalNs_{0};
+    std::atomic<std::uint64_t> maxNs_{0};
+};
+
+/** A point-in-time copy of every registered metric, name-sorted. */
+struct Snapshot
+{
+    struct HistogramRow
+    {
+        std::string name;
+        std::vector<std::uint64_t> bounds;
+        /** bounds.size() + 1 entries; last is the overflow bucket. */
+        std::vector<std::uint64_t> buckets;
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+    };
+
+    struct SpanRow
+    {
+        std::string name;
+        std::uint64_t count = 0;
+        std::uint64_t totalNs = 0;
+        std::uint64_t maxNs = 0;
+    };
+
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<HistogramRow> histograms;
+    std::vector<SpanRow> spans;
+
+    /** Stable JSON document (sorted keys, integer nanoseconds). */
+    std::string toJson() const;
+    void writeJson(std::ostream &os) const;
+
+    /** Human-readable rendering via support/table. */
+    TextTable toTable() const;
+};
+
+/**
+ * The process-wide metric registry. Registration (first lookup of a
+ * name) takes a mutex; the returned references are stable for the
+ * process lifetime, so hot paths cache them and update lock-free.
+ */
+class Registry
+{
+  public:
+    static Registry &global();
+
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    /** @p bounds is consulted only on first registration. */
+    Histogram &histogram(std::string_view name,
+                         std::vector<std::uint64_t> bounds);
+    SpanStat &span(std::string_view name);
+
+    Snapshot snapshot() const;
+
+    /** Zero every registered metric (tests and the perf harness). */
+    void reset();
+
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+  private:
+    struct Impl;
+    Impl &impl() const;
+};
+
+/**
+ * Apply the BRANCHLAB_TELEMETRY environment variable: unset or empty
+ * leaves telemetry enabled with no export; "0" / "off" disables the
+ * process-wide switch; any other value enables telemetry and names
+ * the JSON file exportIfConfigured() writes.
+ */
+void initFromEnv();
+
+/** The configured snapshot export path ("" = no export). */
+std::string exportPath();
+void setExportPath(std::string path);
+
+/**
+ * Write Registry::global().snapshot() as JSON to exportPath().
+ * @return true when a file was written.
+ */
+bool exportIfConfigured();
+
+/** Write the global snapshot as JSON to @p path (fatal on I/O error). */
+void writeJsonFile(const std::string &path);
+
+} // namespace branchlab::obs
+
+#endif // BRANCHLAB_OBS_METRICS_HH

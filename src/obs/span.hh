@@ -1,0 +1,57 @@
+/**
+ * @file
+ * RAII scoped spans for phase timing: construct with a span name,
+ * and the destructor folds the elapsed wall-clock nanoseconds into
+ * the global registry's SpanStat of that name.
+ *
+ * Spans are meant for coarse phases (a record pass, a replay pass, a
+ * whole suite) -- construction does one registry lookup under a
+ * mutex, so do not put one inside a per-event loop. When telemetry is
+ * disabled the constructor skips both the lookup and the clock read,
+ * making a span a handful of instructions.
+ */
+
+#ifndef BRANCHLAB_OBS_SPAN_HH
+#define BRANCHLAB_OBS_SPAN_HH
+
+#include <chrono>
+#include <string_view>
+
+#include "obs/metrics.hh"
+
+namespace branchlab::obs
+{
+
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(std::string_view name)
+    {
+        if (enabled()) {
+            stat_ = &Registry::global().span(name);
+            start_ = Clock::now();
+        }
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    ~ScopedSpan()
+    {
+        if (stat_ == nullptr)
+            return;
+        const auto elapsed = Clock::now() - start_;
+        stat_->record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    SpanStat *stat_ = nullptr;
+    Clock::time_point start_{};
+};
+
+} // namespace branchlab::obs
+
+#endif // BRANCHLAB_OBS_SPAN_HH

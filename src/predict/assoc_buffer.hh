@@ -19,16 +19,24 @@
  * faithful model. Both strategies implement identical replacement
  * semantics; tests replay randomized traces through both and demand
  * bit-identical behaviour.
+ *
+ * Telemetry: each buffer tallies finds/hits/LRU-touches/inserts/
+ * evictions/erases/flushes in plain per-instance integers (zero cost
+ * on the per-event path) and folds them into the global registry on
+ * destruction under `predict.buffer.<linear|indexed>.<metric>`, so
+ * the two lookup strategies are accounted separately.
  */
 
 #ifndef BRANCHLAB_PREDICT_ASSOC_BUFFER_HH
 #define BRANCHLAB_PREDICT_ASSOC_BUFFER_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "ir/types.hh"
+#include "obs/metrics.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
 
@@ -97,6 +105,8 @@ class AssociativeBuffer
         }
     }
 
+    ~AssociativeBuffer() { flushTelemetry(); }
+
     /**
      * Look up a tag; touches LRU state on hit.
      * @return pointer to the payload, or nullptr on miss.
@@ -104,11 +114,14 @@ class AssociativeBuffer
     Entry *
     find(ir::Addr tag)
     {
+        ++counts_.finds;
         if (indexed_) {
             const auto it = index_.find(tag);
             if (it == index_.end())
                 return nullptr;
             Way &way = ways_[it->second];
+            ++counts_.hits;
+            ++counts_.touches;
             way.lastUse = ++tick_;
             if (config_.policy == ReplacementPolicy::Lru)
                 moveToTail(setOf(tag), it->second);
@@ -117,6 +130,8 @@ class AssociativeBuffer
         Way *way = findWayLinear(tag);
         if (way == nullptr)
             return nullptr;
+        ++counts_.hits;
+        ++counts_.touches;
         way->lastUse = ++tick_;
         return &way->entry;
     }
@@ -158,6 +173,7 @@ class AssociativeBuffer
             const auto it = index_.find(tag);
             if (it == index_.end())
                 return;
+            ++counts_.erases;
             const std::uint32_t idx = it->second;
             const std::size_t set = setOf(tag);
             unlinkValid(set, idx);
@@ -167,14 +183,17 @@ class AssociativeBuffer
             return;
         }
         Way *way = findWayLinear(tag);
-        if (way != nullptr)
+        if (way != nullptr) {
+            ++counts_.erases;
             way->valid = false;
+        }
     }
 
     /** Invalidate everything (context switch). */
     void
     flush()
     {
+        ++counts_.flushes;
         for (Way &way : ways_)
             way.valid = false;
         if (indexed_) {
@@ -243,6 +262,7 @@ class AssociativeBuffer
     {
         blab_assert(findWayLinear(tag) == nullptr,
                     "insert of already-resident tag");
+        ++counts_.inserts;
         const std::size_t set = setOf(tag);
         Way *victim = nullptr;
         for (std::size_t w = 0; w < assoc_; ++w) {
@@ -252,8 +272,10 @@ class AssociativeBuffer
                 break;
             }
         }
-        if (victim == nullptr)
+        if (victim == nullptr) {
             victim = pickVictimLinear(set);
+            ++counts_.evictions;
+        }
         victim->valid = true;
         victim->tag = tag;
         victim->entry = Entry{};
@@ -304,12 +326,14 @@ class AssociativeBuffer
     {
         blab_assert(index_.find(tag) == index_.end(),
                     "insert of already-resident tag");
+        ++counts_.inserts;
         const std::size_t set = setOf(tag);
         std::uint32_t idx = popFree(set);
         if (idx == kNullWay) {
             idx = pickVictimIndexed(set);
             index_.erase(ways_[idx].tag);
             unlinkValid(set, idx);
+            ++counts_.evictions;
         }
         Way &way = ways_[idx];
         way.valid = true;
@@ -419,7 +443,46 @@ class AssociativeBuffer
         }
     }
 
+    /**
+     * Per-instance event tallies, plain integers so the hot path never
+     * touches a shared atomic; folded into the registry once, on
+     * destruction. Buffers are owned by a single replay worker, so no
+     * synchronisation is needed until the flush.
+     */
+    struct LocalCounts
+    {
+        std::uint64_t finds = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t touches = 0;
+        std::uint64_t inserts = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t erases = 0;
+        std::uint64_t flushes = 0;
+    };
+
+    void
+    flushTelemetry()
+    {
+        if (!obs::enabled()) {
+            counts_ = LocalCounts{};
+            return;
+        }
+        auto &reg = obs::Registry::global();
+        const std::string prefix = indexed_
+                                       ? "predict.buffer.indexed."
+                                       : "predict.buffer.linear.";
+        reg.counter(prefix + "finds").add(counts_.finds);
+        reg.counter(prefix + "hits").add(counts_.hits);
+        reg.counter(prefix + "lru_touches").add(counts_.touches);
+        reg.counter(prefix + "inserts").add(counts_.inserts);
+        reg.counter(prefix + "evictions").add(counts_.evictions);
+        reg.counter(prefix + "erases").add(counts_.erases);
+        reg.counter(prefix + "flushes").add(counts_.flushes);
+        counts_ = LocalCounts{};
+    }
+
     BufferConfig config_;
+    LocalCounts counts_;
     std::size_t assoc_ = 0;
     std::size_t numSets_ = 0;
     std::uint64_t tick_ = 0;

@@ -1,5 +1,7 @@
 #include "predict/cbtb.hh"
 
+#include "obs/metrics.hh"
+
 namespace branchlab::predict
 {
 
@@ -13,6 +15,15 @@ CounterBtb::CounterBtb(const BufferConfig &buffer,
     blab_assert(counter_.threshold >= 1 &&
                     counter_.threshold <= maxCount_,
                 "threshold must lie within the counter range");
+}
+
+CounterBtb::~CounterBtb()
+{
+    if (!obs::enabled())
+        return;
+    auto &reg = obs::Registry::global();
+    reg.counter("predict.cbtb.lookups").add(lookups_.total());
+    reg.counter("predict.cbtb.hits").add(lookups_.hits());
 }
 
 std::string

@@ -32,6 +32,8 @@ class CounterBtb : public BranchPredictor
   public:
     explicit CounterBtb(const BufferConfig &buffer = BufferConfig{},
                         const CounterConfig &counter = CounterConfig{});
+    /** Folds predict.cbtb.lookups/.hits into the global registry. */
+    ~CounterBtb() override;
 
     std::string name() const override;
 

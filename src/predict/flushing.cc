@@ -1,5 +1,6 @@
 #include "predict/flushing.hh"
 
+#include "obs/metrics.hh"
 #include "support/logging.hh"
 
 namespace branchlab::predict
@@ -10,6 +11,15 @@ FlushingPredictor::FlushingPredictor(BranchPredictor &inner,
     : inner_(inner), interval_(interval)
 {
     blab_assert(interval_ > 0, "flush interval must be positive");
+}
+
+FlushingPredictor::~FlushingPredictor()
+{
+    if (flushes_ != 0) {
+        obs::Registry::global()
+            .counter("predict.context_flushes")
+            .add(flushes_);
+    }
 }
 
 std::string

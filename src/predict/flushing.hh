@@ -22,6 +22,8 @@ class FlushingPredictor : public BranchPredictor
      * @param interval flush inner every this many branches (> 0)
      */
     FlushingPredictor(BranchPredictor &inner, std::uint64_t interval);
+    /** Folds predict.context_flushes into the global registry. */
+    ~FlushingPredictor() override;
 
     std::string name() const override;
     Prediction predict(const BranchQuery &query) override;

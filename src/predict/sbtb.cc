@@ -1,9 +1,20 @@
 #include "predict/sbtb.hh"
 
+#include "obs/metrics.hh"
+
 namespace branchlab::predict
 {
 
 SimpleBtb::SimpleBtb(const BufferConfig &config) : buffer_(config) {}
+
+SimpleBtb::~SimpleBtb()
+{
+    if (!obs::enabled())
+        return;
+    auto &reg = obs::Registry::global();
+    reg.counter("predict.sbtb.lookups").add(lookups_.total());
+    reg.counter("predict.sbtb.hits").add(lookups_.hits());
+}
 
 std::string
 SimpleBtb::name() const

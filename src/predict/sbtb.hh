@@ -21,6 +21,8 @@ class SimpleBtb : public BranchPredictor
 {
   public:
     explicit SimpleBtb(const BufferConfig &config = BufferConfig{});
+    /** Folds predict.sbtb.lookups/.hits into the global registry. */
+    ~SimpleBtb() override;
 
     std::string name() const override;
 

@@ -1,12 +1,43 @@
 #include "support/thread_pool.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <string>
 
+#include "obs/metrics.hh"
 #include "support/logging.hh"
 
 namespace branchlab
 {
+
+namespace
+{
+
+/** Registry handles resolved once; hot-path updates are lock-free. */
+struct PoolTelemetry
+{
+    obs::Counter &pools =
+        obs::Registry::global().counter("threadpool.pools");
+    obs::Counter &jobs =
+        obs::Registry::global().counter("threadpool.jobs");
+    obs::Counter &discarded =
+        obs::Registry::global().counter("threadpool.jobs_discarded");
+    obs::Counter &queueWaitNs =
+        obs::Registry::global().counter("threadpool.queue_wait_ns_total");
+    obs::Histogram &queueWait = obs::Registry::global().histogram(
+        "threadpool.queue_wait_ns",
+        {1'000, 10'000, 100'000, 1'000'000, 10'000'000, 100'000'000,
+         1'000'000'000});
+};
+
+PoolTelemetry &
+poolTelemetry()
+{
+    static PoolTelemetry *telemetry = new PoolTelemetry;
+    return *telemetry;
+}
+
+} // namespace
 
 unsigned
 hardwareJobs()
@@ -24,11 +55,13 @@ envJobs()
     char *end = nullptr;
     const long value = std::strtol(raw, &end, 10);
     if (end == raw || *end != '\0' || value <= 0) {
-        static bool warned = false;
-        if (!warned) {
-            warned = true;
+        // Warn-once latch. Pools are constructed from multiple threads
+        // (nested parallelFor, concurrent tests), so a plain bool here
+        // would be a data race; exchange makes exactly one caller the
+        // warner with no torn reads.
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true, std::memory_order_relaxed))
             blab_warn("ignoring unparsable BRANCHLAB_JOBS='", raw, "'");
-        }
         return 0;
     }
     return static_cast<unsigned>(value);
@@ -49,6 +82,7 @@ ThreadPool::ThreadPool(unsigned workers)
     workers_.reserve(count);
     for (unsigned w = 0; w < count; ++w)
         workers_.emplace_back([this] { workerLoop(); });
+    poolTelemetry().pools.add(1);
 }
 
 ThreadPool::~ThreadPool()
@@ -65,9 +99,15 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> job)
 {
+    QueuedJob item;
+    item.fn = std::move(job);
+    if (obs::enabled()) {
+        item.enqueued = std::chrono::steady_clock::now();
+        item.stamped = true;
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(std::move(job));
+        queue_.push_back(std::move(item));
     }
     workCv_.notify_one();
 }
@@ -89,23 +129,42 @@ void
 ThreadPool::workerLoop()
 {
     for (;;) {
-        std::function<void()> job;
+        QueuedJob item;
+        bool discard = false;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             workCv_.wait(lock,
                          [this] { return stop_ || !queue_.empty(); });
             if (queue_.empty())
                 return; // stop_ set and nothing left to drain
-            job = std::move(queue_.front());
+            item = std::move(queue_.front());
             queue_.pop_front();
+            // Fail-fast: once a job has thrown, the rest of the queue
+            // is drained without running (see waitIdle()).
+            discard = firstError_ != nullptr;
             ++active_;
         }
-        try {
-            job();
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (firstError_ == nullptr)
-                firstError_ = std::current_exception();
+        if (item.stamped && obs::enabled()) {
+            const auto waited =
+                std::chrono::steady_clock::now() - item.enqueued;
+            const auto ns = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    waited)
+                    .count());
+            poolTelemetry().queueWait.observe(ns);
+            poolTelemetry().queueWaitNs.add(ns);
+        }
+        if (discard) {
+            poolTelemetry().discarded.add(1);
+        } else {
+            poolTelemetry().jobs.add(1);
+            try {
+                item.fn();
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (firstError_ == nullptr)
+                    firstError_ = std::current_exception();
+            }
         }
         {
             std::lock_guard<std::mutex> lock(mutex_);

@@ -11,11 +11,22 @@
  * Job-count resolution (resolveJobs): an explicit request wins, then
  * the BRANCHLAB_JOBS environment variable, then the hardware
  * concurrency.
+ *
+ * Error semantics are fail-fast: the first exception a job throws is
+ * captured, every job still queued at that point is drained and
+ * DISCARDED (popped without running), and waitIdle() rethrows the
+ * captured exception exactly once. See waitIdle() for the contract.
+ *
+ * The pool reports telemetry to obs::Registry::global():
+ * `threadpool.pools`, `threadpool.jobs`, `threadpool.jobs_discarded`,
+ * and the `threadpool.queue_wait_ns` histogram (submit-to-dequeue
+ * latency, stamped only while telemetry is enabled).
  */
 
 #ifndef BRANCHLAB_SUPPORT_THREAD_POOL_HH
 #define BRANCHLAB_SUPPORT_THREAD_POOL_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -31,7 +42,8 @@ namespace branchlab
 unsigned hardwareJobs();
 
 /** BRANCHLAB_JOBS parsed as a positive integer, or 0 when unset or
- *  unparsable (a bad value warns once per process). */
+ *  unparsable (a bad value warns once per process; the once-latch is
+ *  atomic, so concurrent pool construction is race-free). */
 unsigned envJobs();
 
 /**
@@ -64,6 +76,15 @@ class ThreadPool
     /**
      * Block until the queue is empty and no job is running, then
      * rethrow the first captured job exception, if any.
+     *
+     * Post-error behaviour is explicit and fail-fast:
+     *  - once a job has thrown, every job still queued is popped and
+     *    discarded without running (their side effects never happen);
+     *  - the first exception is rethrown exactly once -- rethrowing
+     *    clears it, so a second waitIdle() with no intervening
+     *    failure returns success;
+     *  - after the rethrow the pool is reusable: newly submitted jobs
+     *    run normally.
      */
     void waitIdle();
 
@@ -73,10 +94,19 @@ class ThreadPool
     }
 
   private:
+    struct QueuedJob
+    {
+        std::function<void()> fn;
+        /** Submit time for the queue-wait histogram; only stamped
+         *  (and only read) while telemetry is enabled. */
+        std::chrono::steady_clock::time_point enqueued{};
+        bool stamped = false;
+    };
+
     void workerLoop();
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<QueuedJob> queue_;
     std::mutex mutex_;
     std::condition_variable workCv_;
     std::condition_variable idleCv_;
@@ -89,7 +119,9 @@ class ThreadPool
  * Run body(0) .. body(count - 1) across @p jobs workers and wait for
  * completion. jobs <= 1 (or count <= 1) runs inline on the calling
  * thread, byte-for-byte the serial loop. Rethrows the first job
- * exception after all submitted work has drained.
+ * exception; iterations still queued when it was thrown are discarded
+ * (the pool's fail-fast contract), and the serial path likewise stops
+ * at the throwing iteration.
  */
 void parallelFor(std::size_t count, unsigned jobs,
                  const std::function<void(std::size_t)> &body);

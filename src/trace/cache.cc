@@ -7,6 +7,9 @@
 #include <iomanip>
 #include <sstream>
 
+#include <unistd.h>
+
+#include "obs/metrics.hh"
 #include "support/logging.hh"
 #include "trace/io.hh"
 
@@ -19,9 +22,43 @@ namespace
 constexpr char kCacheMagic[4] = {'B', 'L', 'T', 'C'};
 constexpr std::uint32_t kCacheVersion = 1;
 
+// Functional counters (traceCacheCounters(): perf_engine's warm-run
+// check and the CI determinism step depend on them), kept separate
+// from telemetry so disabling telemetry cannot break them.
 std::atomic<std::uint64_t> g_hits{0};
 std::atomic<std::uint64_t> g_misses{0};
 std::atomic<std::uint64_t> g_stores{0};
+
+// Distinguishes concurrent stores of the same entry within one
+// process: the temp suffix is <pid>-<sequence>, so no two in-flight
+// writers -- threads or processes -- ever share a temp file.
+std::atomic<std::uint64_t> g_tmpSequence{0};
+
+/** Telemetry handles (see obs/metrics.hh for the naming scheme). */
+struct CacheTelemetry
+{
+    obs::Counter &hits =
+        obs::Registry::global().counter("trace_cache.hits");
+    obs::Counter &misses =
+        obs::Registry::global().counter("trace_cache.misses");
+    obs::Counter &stores =
+        obs::Registry::global().counter("trace_cache.stores");
+    obs::Counter &corrupt =
+        obs::Registry::global().counter("trace_cache.corrupt_entries");
+    obs::Counter &bytesRead =
+        obs::Registry::global().counter("trace_cache.bytes_read");
+    obs::Counter &bytesWritten =
+        obs::Registry::global().counter("trace_cache.bytes_written");
+    obs::Counter &tmpEvicted =
+        obs::Registry::global().counter("trace_cache.tmp_evicted");
+};
+
+CacheTelemetry &
+cacheTelemetry()
+{
+    static CacheTelemetry *telemetry = new CacheTelemetry;
+    return *telemetry;
+}
 
 void
 putU32(std::string &out, std::uint32_t value)
@@ -190,6 +227,7 @@ TraceCache::load(const std::string &name, std::uint64_t content_hash,
     std::ifstream file(path, std::ios::binary);
     if (!file) {
         ++g_misses;
+        cacheTelemetry().misses.add(1);
         blab_inform("trace cache miss: ", name);
         return false;
     }
@@ -202,24 +240,32 @@ TraceCache::load(const std::string &name, std::uint64_t content_hash,
               static_cast<std::streamsize>(contents.size()));
     if (!file) {
         ++g_misses;
+        cacheTelemetry().misses.add(1);
+        cacheTelemetry().corrupt.add(1);
         blab_warn("trace cache entry '", path,
                   "' is unreadable; re-recording");
         return false;
     }
+    cacheTelemetry().bytesRead.add(contents.size());
     const std::string error = decodeEntry(contents, out);
     if (!error.empty()) {
         ++g_misses;
+        cacheTelemetry().misses.add(1);
+        cacheTelemetry().corrupt.add(1);
         blab_warn("trace cache entry '", path, "' is corrupt (", error,
                   "); re-recording");
         return false;
     }
     if (out.contentHash != content_hash) {
         ++g_misses;
+        cacheTelemetry().misses.add(1);
+        cacheTelemetry().corrupt.add(1);
         blab_warn("trace cache entry '", path,
                   "' has mismatched content hash; re-recording");
         return false;
     }
     ++g_hits;
+    cacheTelemetry().hits.add(1);
     blab_inform("trace cache hit: ", name, " (", out.events.size(),
                 " events)");
     return true;
@@ -239,12 +285,18 @@ TraceCache::store(const std::string &name,
         return;
     }
     const std::string path = entryPath(name, workload.contentHash);
-    // Unique temp name per workload entry keeps concurrent processes
-    // from clobbering each other mid-write; the rename is atomic.
+    // Unique temp name per in-flight store: the pid separates
+    // processes and the process-wide atomic sequence separates
+    // threads, so two threads storing the same entry concurrently can
+    // never clobber each other's temp file mid-write. The rename into
+    // place is atomic either way (last writer wins with a complete
+    // entry).
     const std::string tmp =
-        path + ".tmp-" + std::to_string(static_cast<unsigned long>(
-                             reinterpret_cast<std::uintptr_t>(&workload) ^
-                             workload.contentHash));
+        path + ".tmp-" + std::to_string(static_cast<long>(::getpid())) +
+        "-" +
+        std::to_string(
+            g_tmpSequence.fetch_add(1, std::memory_order_relaxed));
+    std::size_t entry_size = 0;
     {
         std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
         if (!file) {
@@ -252,12 +304,14 @@ TraceCache::store(const std::string &name,
             return;
         }
         const std::string entry = encodeEntry(workload);
+        entry_size = entry.size();
         file.write(entry.data(),
                    static_cast<std::streamsize>(entry.size()));
         if (!file) {
             blab_warn("trace cache write failed for '", tmp, "'");
             file.close();
             std::filesystem::remove(tmp, ec);
+            cacheTelemetry().tmpEvicted.add(1);
             return;
         }
     }
@@ -266,9 +320,12 @@ TraceCache::store(const std::string &name,
         blab_warn("cannot publish trace cache entry '", path, "': ",
                   ec.message());
         std::filesystem::remove(tmp, ec);
+        cacheTelemetry().tmpEvicted.add(1);
         return;
     }
     ++g_stores;
+    cacheTelemetry().stores.add(1);
+    cacheTelemetry().bytesWritten.add(entry_size);
     blab_inform("trace cache store: ", name, " (",
                 workload.events.size(), " events)");
 }

@@ -23,7 +23,16 @@
  *
  * Writes are atomic: the entry is written to a temp file in the cache
  * directory and renamed into place, so concurrent runs and crashes
- * leave either the old file or the complete new one.
+ * leave either the old file or the complete new one. Temp names carry
+ * a `<pid>-<sequence>` suffix (the sequence is a process-wide atomic
+ * counter), so concurrent stores of the same entry -- across threads
+ * or processes -- never share a temp file.
+ *
+ * Besides the functional TraceCacheCounters below, the cache reports
+ * telemetry to obs::Registry::global(): `trace_cache.hits`,
+ * `.misses`, `.stores`, `.corrupt_entries` (unreadable, undecodable,
+ * or hash-mismatched entries), `.bytes_read`, `.bytes_written`, and
+ * `.tmp_evicted` (temp files removed after failed writes/renames).
  */
 
 #ifndef BRANCHLAB_TRACE_CACHE_HH

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/metrics.hh"
 #include "support/logging.hh"
 
 namespace branchlab::vm
@@ -27,6 +28,9 @@ Machine::Machine(const ir::Program &program, const ir::Layout &layout)
 Machine::Machine(const PredecodedProgram &code)
     : code_(code), prog_(code.program()), layout_(code.layout())
 {
+    // A machine sharing an existing predecoded image is the fast
+    // path; the per-image decode itself is counted in predecode.cc.
+    obs::Registry::global().counter("vm.predecode.reuses").add(1);
     reset();
 }
 
@@ -110,6 +114,25 @@ Machine::run(const RunLimits &limits)
 {
     RunResult result;
     const RunLimits lim = limits;
+
+    // Telemetry is batched in `result` and flushed once per run --
+    // on every return path and on faults -- never per instruction.
+    struct TelemetryFlush
+    {
+        const RunResult &result;
+        ~TelemetryFlush()
+        {
+            static obs::Counter &runs =
+                obs::Registry::global().counter("vm.runs");
+            static obs::Counter &instructions =
+                obs::Registry::global().counter("vm.instructions");
+            static obs::Counter &branches =
+                obs::Registry::global().counter("vm.branches");
+            runs.add(1);
+            instructions.add(result.instructions);
+            branches.add(result.branches);
+        }
+    } telemetry_flush{result};
 
     frames_.clear();
     regStack_.clear();

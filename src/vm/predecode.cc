@@ -1,5 +1,6 @@
 #include "vm/predecode.hh"
 
+#include "obs/metrics.hh"
 #include "support/logging.hh"
 
 namespace branchlab::vm
@@ -16,6 +17,7 @@ PredecodedProgram::PredecodedProgram(const ir::Program &program,
                                      const ir::Layout &layout)
     : prog_(program), layout_(layout)
 {
+    obs::Registry::global().counter("vm.predecode.decodes").add(1);
     slots_.reserve(layout.totalSize());
     funcs_.reserve(program.numFunctions());
     main_ = program.mainFunction();

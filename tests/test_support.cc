@@ -11,8 +11,10 @@
 #include <sstream>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <numeric>
+#include <thread>
 
 #include "support/logging.hh"
 #include "support/random.hh"
@@ -499,6 +501,59 @@ TEST(ThreadPool, WaitIdleRethrowsTheFirstJobError)
     pool.submit([&count] { count.fetch_add(1); });
     pool.waitIdle();
     EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ErrorDiscardsQueuedJobsAndFailsFast)
+{
+    // One worker drains the queue in FIFO order, so the throwing job
+    // is guaranteed to record its error before any of the jobs queued
+    // behind it are popped -- every one of them must be discarded, not
+    // run.
+    ThreadPool pool(1);
+    std::atomic<int> count{0};
+    pool.submit([] { throw ConfigFailure("fail fast"); });
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&count] { count.fetch_add(1); });
+    EXPECT_THROW(pool.waitIdle(), ConfigFailure);
+    EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ThreadPool, SecondWaitIdleAfterAnErrorSucceeds)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw ConfigFailure("once"); });
+    EXPECT_THROW(pool.waitIdle(), ConfigFailure);
+    // The error is consumed by the first rethrow: a second waitIdle
+    // on the (now idle) pool returns cleanly.
+    EXPECT_NO_THROW(pool.waitIdle());
+    // And jobs submitted after the error run normally again.
+    std::atomic<int> count{0};
+    pool.submit([&count] { count.fetch_add(1); });
+    EXPECT_NO_THROW(pool.waitIdle());
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentConstructionWithBadEnvJobsIsSafe)
+{
+    // Regression: the warn-once latch inside envJobs() was a plain
+    // static bool, racing when two pools were built from two threads.
+    // Now an atomic exchange; TSan (which runs this suite in CI)
+    // verifies the fix. The warning itself may already have been
+    // consumed by an earlier test -- only the safety is asserted.
+    ASSERT_EQ(setenv("BRANCHLAB_JOBS", "not-a-number", 1), 0);
+    std::atomic<int> total{0};
+    const auto build_pool = [&total] {
+        ThreadPool pool(resolveJobs(0));
+        for (int i = 0; i < 8; ++i)
+            pool.submit([&total] { total.fetch_add(1); });
+        pool.waitIdle();
+    };
+    std::thread a(build_pool);
+    std::thread b(build_pool);
+    a.join();
+    b.join();
+    ASSERT_EQ(unsetenv("BRANCHLAB_JOBS"), 0);
+    EXPECT_EQ(total.load(), 16);
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce)

@@ -11,9 +11,12 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include "core/runner.hh"
 #include "helpers.hh"
+#include "obs/metrics.hh"
 #include "trace/cache.hh"
 #include "workloads/corpus.hh"
 
@@ -123,6 +126,113 @@ TEST(TraceCache, CorruptEntryIsRejectedWithoutCrashing)
     std::filesystem::resize_file(
         path, std::filesystem::file_size(path) - 7);
     EXPECT_FALSE(cache.load("fact", fresh.contentHash, out));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCache, ConcurrentStoresOfOneKeyLeaveOneDecodableEntry)
+{
+    // Regression: temp files were named "<entry>.tmp", so two threads
+    // storing the same key concurrently interleaved writes into one
+    // file and could publish a torn entry. Temp names now carry a
+    // <pid>-<sequence> suffix; hammer one key from many threads and
+    // demand the surviving entry decodes cleanly.
+    const std::string dir = makeCacheDir("hammer");
+    const TraceCache cache(dir);
+    const CachedWorkload stored = makeWorkload();
+
+    constexpr int kThreads = 8;
+    constexpr int kStoresPerThread = 16;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, &stored] {
+            for (int i = 0; i < kStoresPerThread; ++i)
+                cache.store("fact", stored);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    CachedWorkload loaded;
+    ASSERT_TRUE(cache.load("fact", stored.contentHash, loaded));
+    EXPECT_EQ(loaded.contentHash, stored.contentHash);
+    EXPECT_EQ(loaded.stats, stored.stats);
+    EXPECT_EQ(loaded.likely, stored.likely);
+    ASSERT_EQ(loaded.events.size(), stored.events.size());
+
+    // Every rename succeeded, so no temp files may survive: the
+    // directory holds exactly the one published entry.
+    std::size_t files = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        ++files;
+        EXPECT_EQ(entry.path().extension(), ".bltc")
+            << entry.path() << " left behind";
+    }
+    EXPECT_EQ(files, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCache, TruncatedEntryCountsAsCorruptTelemetry)
+{
+    const std::string dir = makeCacheDir("trunc_telemetry");
+    const TraceCache cache(dir);
+    const CachedWorkload stored = makeWorkload();
+    cache.store("fact", stored);
+    const std::string path =
+        cache.entryPath("fact", stored.contentHash);
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) / 2);
+
+    obs::Counter &corrupt =
+        obs::Registry::global().counter("trace_cache.corrupt_entries");
+    const std::uint64_t before = corrupt.value();
+    resetWarningCount();
+    CachedWorkload out;
+    EXPECT_FALSE(cache.load("fact", stored.contentHash, out));
+    EXPECT_EQ(corrupt.value(), before + 1);
+    EXPECT_GE(warningCount(), 1u);
+
+    // A fresh store overwrites the corpse and the entry serves again
+    // without bumping the corruption count.
+    cache.store("fact", stored);
+    EXPECT_TRUE(cache.load("fact", stored.contentHash, out));
+    EXPECT_EQ(corrupt.value(), before + 1);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCache, BitFlippedEntryCountsAsCorruptTelemetry)
+{
+    const std::string dir = makeCacheDir("flip_telemetry");
+    const TraceCache cache(dir);
+    const CachedWorkload stored = makeWorkload();
+    cache.store("fact", stored);
+    const std::string path =
+        cache.entryPath("fact", stored.contentHash);
+
+    // Flip one bit of the embedded content hash (bytes 8..15, right
+    // after the magic + version): the file still parses but the hash
+    // check must reject it as corrupt.
+    {
+        std::fstream file(
+            path, std::ios::binary | std::ios::in | std::ios::out);
+        ASSERT_TRUE(file.good());
+        file.seekg(8);
+        char byte = 0;
+        file.get(byte);
+        byte = static_cast<char>(byte ^ 0x40);
+        file.seekp(8);
+        file.put(byte);
+    }
+
+    obs::Counter &corrupt =
+        obs::Registry::global().counter("trace_cache.corrupt_entries");
+    const std::uint64_t before = corrupt.value();
+    resetWarningCount();
+    CachedWorkload out;
+    EXPECT_FALSE(cache.load("fact", stored.contentHash, out));
+    EXPECT_EQ(corrupt.value(), before + 1);
+    EXPECT_GE(warningCount(), 1u);
     std::filesystem::remove_all(dir);
 }
 
@@ -260,6 +370,39 @@ TEST(TraceCacheIntegration, WarmBenchmarkResultsAreBitIdentical)
     EXPECT_EQ(warm.codeIncrease, cold.codeIncrease);
     EXPECT_EQ(warm.runs, cold.runs);
     EXPECT_EQ(warm.staticSize, cold.staticSize);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCacheIntegration, CorruptEntryIsReRecordedAndOverwritten)
+{
+    const std::string dir = makeCacheDir("rerecord");
+    const core::ExperimentConfig config = cachedConfig(dir);
+    const workloads::Workload &workload =
+        workloads::findWorkload("tee");
+
+    const core::RecordedWorkload cold =
+        core::recordWorkload(workload, config);
+    EXPECT_FALSE(cold.cacheHit);
+
+    // Truncate the published entry: the next record must treat it as
+    // a miss, re-record, and overwrite it with a good entry.
+    const trace::TraceCache cache(dir);
+    const std::string path =
+        cache.entryPath(cold.name, cold.contentHash);
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) / 3);
+
+    resetWarningCount();
+    const core::RecordedWorkload rerecorded =
+        core::recordWorkload(workload, config);
+    EXPECT_FALSE(rerecorded.cacheHit);
+    EXPECT_GE(warningCount(), 1u);
+    EXPECT_EQ(rerecorded.events.size(), cold.events.size());
+
+    const core::RecordedWorkload warm =
+        core::recordWorkload(workload, config);
+    EXPECT_TRUE(warm.cacheHit);
+    EXPECT_EQ(warm.events.size(), cold.events.size());
     std::filesystem::remove_all(dir);
 }
 

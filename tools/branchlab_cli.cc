@@ -23,6 +23,7 @@
 #include "core/figures.hh"
 #include "core/runner.hh"
 #include "core/tables.hh"
+#include "obs/metrics.hh"
 #include "pipeline/cost_model.hh"
 #include "predict/flushing.hh"
 #include "predict/gshare.hh"
@@ -54,7 +55,10 @@ usage()
            "--jobs defaults to BRANCHLAB_JOBS, then the hardware "
            "concurrency\n"
            "--trace-cache DIR caches recorded streams on disk "
-           "(default: BRANCHLAB_TRACE_CACHE)\n";
+           "(default: BRANCHLAB_TRACE_CACHE)\n"
+           "--telemetry FILE writes the metrics snapshot as JSON on "
+           "exit (also: BRANCHLAB_TELEMETRY=FILE; set it to 0/off to "
+           "disable collection)\n";
     return 2;
 }
 
@@ -67,6 +71,7 @@ struct Options
     std::string scheme;
     std::uint64_t flushEvery = 0;
     std::string traceCache;
+    std::string telemetry;
 };
 
 Options
@@ -107,6 +112,8 @@ parseOptions(int argc, char **argv, int first)
             options.flushEvery = need_number();
         else if (arg == "--trace-cache")
             options.traceCache = need_value();
+        else if (arg == "--telemetry")
+            options.telemetry = need_value();
         else
             blab_fatal("unknown option '", arg, "'");
     }
@@ -315,20 +322,36 @@ int
 main(int argc, char **argv)
 {
     setLoggingThrows(false); // CLI: fatal() exits with a message
+    obs::initFromEnv();      // BRANCHLAB_TELEMETRY
     if (argc < 2)
         return usage();
     const std::string command = argv[1];
-    if (command == "list")
-        return cmdList();
-    if (command == "stats" && argc >= 3)
-        return cmdStats(argv[2], parseOptions(argc, argv, 3));
-    if (command == "record" && argc >= 3)
-        return cmdRecord(argv[2], parseOptions(argc, argv, 3));
-    if (command == "replay" && argc >= 3)
-        return cmdReplay(argv[2], parseOptions(argc, argv, 3));
-    if (command == "tables")
-        return cmdTables(parseOptions(argc, argv, 2));
-    if (command == "figures")
-        return cmdFigures(parseOptions(argc, argv, 2));
-    return usage();
+    Options options;
+    int rc = 2;
+    if (command == "list") {
+        rc = cmdList();
+    } else if (command == "stats" && argc >= 3) {
+        options = parseOptions(argc, argv, 3);
+        rc = cmdStats(argv[2], options);
+    } else if (command == "record" && argc >= 3) {
+        options = parseOptions(argc, argv, 3);
+        rc = cmdRecord(argv[2], options);
+    } else if (command == "replay" && argc >= 3) {
+        options = parseOptions(argc, argv, 3);
+        rc = cmdReplay(argv[2], options);
+    } else if (command == "tables") {
+        options = parseOptions(argc, argv, 2);
+        rc = cmdTables(options);
+    } else if (command == "figures") {
+        options = parseOptions(argc, argv, 2);
+        rc = cmdFigures(options);
+    } else {
+        return usage();
+    }
+    // --telemetry wins over the environment; either exports the final
+    // snapshot once the command has fully run.
+    if (!options.telemetry.empty())
+        obs::setExportPath(options.telemetry);
+    obs::exportIfConfigured();
+    return rc;
 }
