@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Performance harness for the design-space sweep engine.
+ *
+ * Runs a 180-point grid (BTB entries x associativity x replacement
+ * policy x counter threshold x FS slots) over a three-workload subset
+ * in three phases --
+ *
+ *   1. cold:    empty journal and trace cache; every point replays
+ *               and every workload records exactly once;
+ *   2. resume:  the same sweep against the populated journal; every
+ *               point must load, nothing may replay or record;
+ *   3. partial: a fresh journal capped at half the grid, then the
+ *               uncapped rerun that finishes it -- the rerun must
+ *               resume exactly the capped half and evaluate the rest,
+ *               and its grid must be bit-identical to the cold run's
+ *
+ * -- asserting the record-once invariant with the vm.runs telemetry
+ * counter and the trace-cache hit/miss counters, and checking the
+ * resumed grids cell-for-cell against the cold run. Everything is
+ * emitted machine-readable to BENCH_sweep.json (points/s per phase,
+ * resume-hit statistics, record/cache counters) so the sweep's perf
+ * trajectory is tracked PR over PR.
+ *
+ *   sweep_perf [--runs N] [--jobs N] [--out FILE]
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "bench_common.hh"
+
+#include "core/sweep.hh"
+#include "obs/metrics.hh"
+#include "trace/cache.hh"
+
+namespace
+{
+
+using namespace branchlab;
+
+std::string
+makeTempDir(const std::string &stem)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         (stem + "-" + std::to_string(static_cast<long>(::getpid()))))
+            .string();
+    std::filesystem::create_directories(path);
+    return path;
+}
+
+core::SweepConfig
+benchSweep(unsigned runs, unsigned jobs)
+{
+    core::SweepConfig config;
+    config.axes.btbEntries = {16, 32, 64, 128, 256};
+    config.axes.btbAssociativity = {0, 2, 4};
+    config.axes.btbPolicies = {predict::ReplacementPolicy::Lru,
+                               predict::ReplacementPolicy::Fifo,
+                               predict::ReplacementPolicy::Random};
+    config.axes.counterThresholds = {1, 2};
+    config.axes.fsSlots = {1, 2};
+    config.workloads = {"tee", "wc", "cmp"};
+    config.base.runsOverride = runs;
+    config.base.jobs = jobs;
+    return config;
+}
+
+std::size_t
+countGridMismatches(const core::SweepResult &a,
+                    const core::SweepResult &b)
+{
+    std::size_t mismatches = 0;
+    if (a.points.size() != b.points.size()) {
+        std::cerr << "  MISMATCH: point count " << a.points.size()
+                  << " vs " << b.points.size() << "\n";
+        return 1;
+    }
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        if (a.points[i].point.index != b.points[i].point.index ||
+            a.points[i].cells != b.points[i].cells) {
+            ++mismatches;
+            std::cerr << "  MISMATCH: point "
+                      << a.points[i].point.label() << "\n";
+        }
+    }
+    return mismatches;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned runs = 2;
+    unsigned jobs = 0;
+    std::string out = "BENCH_sweep.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto need_value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--runs")
+            runs = static_cast<unsigned>(std::stoul(need_value()));
+        else if (arg == "--jobs")
+            jobs = static_cast<unsigned>(std::stoul(need_value()));
+        else if (arg == "--out")
+            out = need_value();
+        else {
+            std::cerr << "usage: sweep_perf [--runs N] [--jobs N] "
+                         "[--out FILE]\n";
+            return 2;
+        }
+    }
+
+    const std::string journal_dir = makeTempDir("blab-sweep-journal");
+    const std::string cache_dir = makeTempDir("blab-sweep-cache");
+    core::SweepConfig config = benchSweep(runs, jobs);
+    config.journalDir = journal_dir;
+    config.base.traceCacheDir = cache_dir;
+
+    obs::Counter &vm_runs = obs::Registry::global().counter("vm.runs");
+    std::size_t failures = 0;
+    const auto expect = [&failures](bool ok, const std::string &what) {
+        if (!ok) {
+            ++failures;
+            std::cerr << "  FAIL: " << what << "\n";
+        }
+    };
+
+    // ---- Phase 1: cold (records once, evaluates every point). ----
+    std::cerr << "cold sweep...\n";
+    const std::uint64_t vm_runs_before = vm_runs.value();
+    const trace::TraceCacheCounters cache_before =
+        trace::traceCacheCounters();
+    const core::SweepResult cold = core::runSweep(config);
+    const std::uint64_t cold_vm_runs =
+        vm_runs.value() - vm_runs_before;
+    const trace::TraceCacheCounters cache_cold =
+        trace::traceCacheCounters();
+
+    expect(cold.stats.resumed == 0, "cold sweep resumed points");
+    expect(cold.stats.evaluated == cold.points.size(),
+           "cold sweep evaluated every point");
+    expect(cold.points.size() >= 100, "grid has at least 100 points");
+    expect(cold.stats.recordPasses == config.workloads.size(),
+           "cold sweep records each workload exactly once");
+    // The record-once invariant at the VM level: one record pass per
+    // workload, each executing that workload's run count -- no matter
+    // how many grid points replayed the stream.
+    expect(cold_vm_runs ==
+               static_cast<std::uint64_t>(runs) *
+                   config.workloads.size(),
+           "vm.runs shows one record pass per workload");
+    expect(cache_cold.stores - cache_before.stores ==
+               config.workloads.size(),
+           "cold sweep stored each workload's trace");
+
+    // ---- Phase 2: full resume (no replays, no records). ----
+    std::cerr << "resumed sweep...\n";
+    const core::SweepResult resumed = core::runSweep(config);
+    expect(resumed.stats.evaluated == 0,
+           "resumed sweep re-evaluated points");
+    expect(resumed.stats.resumed == cold.points.size(),
+           "resumed sweep loaded every point from the journal");
+    expect(resumed.stats.traceCacheHits == config.workloads.size(),
+           "resumed sweep hit the trace cache for every workload");
+    expect(countGridMismatches(cold, resumed) == 0,
+           "resumed grid bit-identical to cold grid");
+
+    // ---- Phase 3: capped run + finishing rerun. ----
+    std::cerr << "partial sweep (kill-and-resume)...\n";
+    const std::string partial_dir =
+        makeTempDir("blab-sweep-journal-partial");
+    core::SweepConfig partial_config = config;
+    partial_config.journalDir = partial_dir;
+    partial_config.maxPoints = cold.points.size() / 2;
+    const core::SweepResult partial = core::runSweep(partial_config);
+    expect(partial.stats.evaluated == partial_config.maxPoints,
+           "capped sweep stopped at the cap");
+
+    partial_config.maxPoints = 0;
+    const core::SweepResult finished = core::runSweep(partial_config);
+    expect(finished.stats.resumed == partial.stats.evaluated,
+           "finishing rerun resumed exactly the capped half");
+    expect(finished.stats.evaluated ==
+               cold.points.size() - partial.stats.evaluated,
+           "finishing rerun evaluated exactly the remainder");
+    expect(countGridMismatches(cold, finished) == 0,
+           "finished grid bit-identical to cold grid");
+
+    const double cold_pps =
+        static_cast<double>(cold.stats.evaluated) /
+        cold.stats.elapsedSeconds;
+    std::cerr << "cold: " << cold.stats.evaluated << " points in "
+              << formatFixed(cold.stats.elapsedSeconds, 3) << " s ("
+              << formatFixed(cold_pps, 1) << " points/s), resume in "
+              << formatFixed(resumed.stats.elapsedSeconds, 3)
+              << " s\n";
+
+    std::ostringstream json;
+    json.precision(17);
+    json << "{\n";
+    json << "  \"schema\": \"branchlab-sweep-perf-v1\",\n";
+    json << "  \"grid_points\": " << cold.points.size() << ",\n";
+    json << "  \"workloads\": " << config.workloads.size() << ",\n";
+    json << "  \"runs_per_workload\": " << runs << ",\n";
+    json << "  \"jobs\": " << resolveJobs(jobs) << ",\n";
+    json << "  \"cold\": {\"seconds\": "
+         << cold.stats.elapsedSeconds
+         << ", \"points_per_second\": " << cold_pps
+         << ", \"record_passes\": " << cold.stats.recordPasses
+         << ", \"vm_runs\": " << cold_vm_runs << "},\n";
+    json << "  \"resume\": {\"seconds\": "
+         << resumed.stats.elapsedSeconds
+         << ", \"points_resumed\": " << resumed.stats.resumed
+         << ", \"points_evaluated\": " << resumed.stats.evaluated
+         << ", \"trace_cache_hits\": "
+         << resumed.stats.traceCacheHits << "},\n";
+    json << "  \"partial\": {\"capped_evaluated\": "
+         << partial.stats.evaluated
+         << ", \"rerun_resumed\": " << finished.stats.resumed
+         << ", \"rerun_evaluated\": " << finished.stats.evaluated
+         << "},\n";
+    json << "  \"failures\": " << failures << "\n";
+    json << "}\n";
+    std::ofstream file(out, std::ios::trunc);
+    file << json.str();
+    std::cerr << "wrote " << out << "\n";
+
+    std::error_code ec;
+    std::filesystem::remove_all(journal_dir, ec);
+    std::filesystem::remove_all(partial_dir, ec);
+    std::filesystem::remove_all(cache_dir, ec);
+
+    if (failures != 0) {
+        std::cerr << failures << " check(s) failed\n";
+        return 1;
+    }
+    return 0;
+}

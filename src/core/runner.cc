@@ -162,12 +162,8 @@ applyCodeSizeTransform(const profile::ProgramProfile &profile,
 {
     const obs::ScopedSpan span("engine.codesize");
     for (unsigned slots : config.codeSizeSlots) {
-        profile::FsConfig fs_config;
-        fs_config.slotCount = slots;
-        fs_config.trace.minArcProbability = config.traceThreshold;
-        const profile::FsResult image =
-            profile::ForwardSlotFiller(profile, fs_config).build();
-        result.codeIncrease[slots] = image.codeSizeIncrease();
+        result.codeIncrease[slots] = profile::codeIncreaseFor(
+            profile, slots, config.traceThreshold);
     }
 }
 

@@ -1,0 +1,907 @@
+#include "core/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iomanip>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/thread_pool.hh"
+#include "trace/cache.hh"
+
+namespace branchlab::core
+{
+
+namespace
+{
+
+/** Bump when the journal encoding or cell semantics change; old
+ *  entries then simply never match their key again. */
+constexpr std::uint64_t kJournalSchemaVersion = 1;
+
+constexpr char kJournalMagic[4] = {'B', 'L', 'S', 'J'};
+
+std::atomic<std::uint64_t> g_journalTmpSequence{0};
+
+struct SweepTelemetry
+{
+    obs::Counter &evaluated =
+        obs::Registry::global().counter("sweep.points.evaluated");
+    obs::Counter &resumed =
+        obs::Registry::global().counter("sweep.points.resumed");
+    obs::Counter &replays =
+        obs::Registry::global().counter("sweep.replays");
+    obs::Counter &journalStores =
+        obs::Registry::global().counter("sweep.journal.stores");
+};
+
+SweepTelemetry &
+sweepTelemetry()
+{
+    static SweepTelemetry telemetry;
+    return telemetry;
+}
+
+void
+hashPipeline(trace::ContentHasher &hasher,
+             const pipeline::PipelineConfig &pipe)
+{
+    hasher.u64(pipe.k).u64(pipe.ell).u64(pipe.m);
+    hasher.u64(std::bit_cast<std::uint64_t>(pipe.ellBar));
+    hasher.u64(std::bit_cast<std::uint64_t>(pipe.mBar));
+    hasher.u64(std::bit_cast<std::uint64_t>(pipe.fCond));
+}
+
+std::string
+pipeLabel(const pipeline::PipelineConfig &pipe)
+{
+    std::ostringstream os;
+    os << 'k' << pipe.k << 'l' << pipe.ell << 'm' << pipe.m;
+    return os.str();
+}
+
+void
+putU64(std::string &out, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(
+            static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+void
+putF64(std::string &out, double value)
+{
+    putU64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+bool
+getU64(const std::string &in, std::size_t &pos, std::uint64_t &value)
+{
+    if (pos + 8 > in.size())
+        return false;
+    value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(in[pos + i]))
+                 << (8 * i);
+    pos += 8;
+    return true;
+}
+
+bool
+getF64(const std::string &in, std::size_t &pos, double &value)
+{
+    std::uint64_t bits = 0;
+    if (!getU64(in, pos, bits))
+        return false;
+    value = std::bit_cast<double>(bits);
+    return true;
+}
+
+/** JSON numbers with round-trip precision (matches the perf
+ *  harness's writer). */
+std::string
+jsonNumber(double value)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    return os.str();
+}
+
+/** CSV doubles at full precision so byte-comparisons of resumed vs
+ *  uninterrupted grids are meaningful. */
+std::string
+csvNumber(double value)
+{
+    return jsonNumber(value);
+}
+
+double
+cellAccuracy(const SweepCell &cell, const std::string &scheme)
+{
+    if (scheme == "SBTB")
+        return cell.sbtbAccuracy;
+    if (scheme == "CBTB")
+        return cell.cbtbAccuracy;
+    if (scheme == "FS")
+        return cell.fsAccuracy;
+    blab_fatal("unknown sweep scheme '", scheme, "'");
+}
+
+const char *const kSchemes[] = {"SBTB", "CBTB", "FS"};
+
+} // namespace
+
+std::string
+SweepPoint::label() const
+{
+    std::ostringstream os;
+    os << pipeLabel(pipe) << "-e" << btb.entries << 'w'
+       << btb.associativity << '-' << predict::policyName(btb.policy)
+       << "-b" << counter.bits << 't' << counter.threshold << "-s"
+       << fsSlots << "-p" << formatFixed(traceThreshold, 2);
+    return os.str();
+}
+
+bool
+SweepPoint::isPaperDesign() const
+{
+    return btb.entries == 256 && btb.associativity == 0 &&
+           btb.policy == predict::ReplacementPolicy::Lru &&
+           counter.bits == 2 && counter.threshold == 2 &&
+           fsSlots == 2 && traceThreshold == 0.7;
+}
+
+double
+SweepPointResult::meanAccuracy(const std::string &scheme) const
+{
+    blab_assert(!cells.empty(), "sweep point has no cells");
+    double sum = 0.0;
+    for (const SweepCell &cell : cells)
+        sum += cellAccuracy(cell, scheme);
+    return sum / static_cast<double>(cells.size());
+}
+
+double
+SweepPointResult::meanCost(const std::string &scheme) const
+{
+    blab_assert(!cells.empty(), "sweep point has no cells");
+    double sum = 0.0;
+    for (const SweepCell &cell : cells)
+        sum += pipeline::branchCost(cellAccuracy(cell, scheme), point.pipe);
+    return sum / static_cast<double>(cells.size());
+}
+
+double
+SweepPointResult::meanCodeIncrease() const
+{
+    blab_assert(!cells.empty(), "sweep point has no cells");
+    double sum = 0.0;
+    for (const SweepCell &cell : cells)
+        sum += cell.codeIncrease;
+    return sum / static_cast<double>(cells.size());
+}
+
+std::vector<SweepPoint>
+expandGrid(const SweepAxes &axes)
+{
+    blab_assert(!axes.pipelines.empty() && !axes.btbEntries.empty() &&
+                    !axes.btbAssociativity.empty() &&
+                    !axes.btbPolicies.empty() &&
+                    !axes.counterBits.empty() &&
+                    !axes.counterThresholds.empty() &&
+                    !axes.fsSlots.empty() &&
+                    !axes.traceThresholds.empty(),
+                "every sweep axis needs at least one value");
+    for (const pipeline::PipelineConfig &pipe : axes.pipelines)
+        pipe.validate();
+
+    std::vector<SweepPoint> grid;
+    std::size_t skipped = 0;
+    for (const pipeline::PipelineConfig &pipe : axes.pipelines) {
+        for (const std::size_t entries : axes.btbEntries) {
+            for (const std::size_t assoc : axes.btbAssociativity) {
+                if (entries == 0 ||
+                    (assoc != 0 &&
+                     (assoc > entries || entries % assoc != 0))) {
+                    skipped += axes.btbPolicies.size() *
+                               axes.counterBits.size() *
+                               axes.counterThresholds.size() *
+                               axes.fsSlots.size() *
+                               axes.traceThresholds.size();
+                    continue;
+                }
+                for (const predict::ReplacementPolicy policy :
+                     axes.btbPolicies) {
+                    for (const unsigned bits : axes.counterBits) {
+                        for (const unsigned threshold :
+                             axes.counterThresholds) {
+                            const bool bits_ok =
+                                bits >= 1 && bits <= 16;
+                            if (!bits_ok || threshold < 1 ||
+                                threshold > ((1u << bits) - 1)) {
+                                skipped += axes.fsSlots.size() *
+                                           axes.traceThresholds.size();
+                                continue;
+                            }
+                            for (const unsigned slots : axes.fsSlots) {
+                                for (const double trace_threshold :
+                                     axes.traceThresholds) {
+                                    SweepPoint point;
+                                    point.index = grid.size();
+                                    point.pipe = pipe;
+                                    point.btb.entries = entries;
+                                    point.btb.associativity = assoc;
+                                    point.btb.policy = policy;
+                                    point.counter.bits = bits;
+                                    point.counter.threshold = threshold;
+                                    point.fsSlots = slots;
+                                    point.traceThreshold =
+                                        trace_threshold;
+                                    grid.push_back(point);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if (skipped > 0) {
+        blab_warn("sweep grid dropped ", skipped,
+                  " point(s) outside the hardware domain "
+                  "(entries/associativity mismatch or counter "
+                  "threshold outside [1, 2^bits - 1])");
+    }
+    return grid;
+}
+
+std::uint64_t
+sweepPointKey(const SweepPoint &point,
+              const std::vector<std::string> &workloads,
+              const std::vector<std::uint64_t> &streamHashes)
+{
+    blab_assert(workloads.size() == streamHashes.size(),
+                "one stream hash per swept workload");
+    trace::ContentHasher hasher;
+    hasher.u64(kJournalSchemaVersion);
+    hashPipeline(hasher, point.pipe);
+    hasher.u64(point.btb.entries).u64(point.btb.associativity);
+    hasher.str(predict::policyName(point.btb.policy));
+    hasher.u64(point.btb.seed);
+    hasher.u64(point.counter.bits).u64(point.counter.threshold);
+    hasher.u64(point.fsSlots);
+    hasher.u64(std::bit_cast<std::uint64_t>(point.traceThreshold));
+    hasher.u64(workloads.size());
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        hasher.str(workloads[i]);
+        hasher.u64(streamHashes[i]);
+    }
+    return hasher.digest();
+}
+
+std::string
+SweepJournal::entryPath(std::uint64_t key) const
+{
+    blab_assert(enabled(), "journal is disabled");
+    std::ostringstream os;
+    os << "point-" << std::hex << std::setw(16) << std::setfill('0')
+       << key << ".blsj";
+    return (std::filesystem::path(dir_) / os.str()).string();
+}
+
+bool
+SweepJournal::load(std::uint64_t key,
+                   std::vector<SweepCell> &cells) const
+{
+    if (!enabled())
+        return false;
+    const std::string path = entryPath(key);
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        return false;
+    std::ostringstream content;
+    content << file.rdbuf();
+    const std::string data = content.str();
+
+    std::size_t pos = 0;
+    if (data.size() < 4 ||
+        std::string_view(data.data(), 4) !=
+            std::string_view(kJournalMagic, 4)) {
+        blab_warn("corrupt sweep journal entry '", path,
+                  "' (bad magic); re-evaluating point");
+        return false;
+    }
+    pos = 4;
+    std::uint64_t version = 0;
+    std::uint64_t stored_key = 0;
+    std::uint64_t count = 0;
+    if (!getU64(data, pos, version) ||
+        version != kJournalSchemaVersion ||
+        !getU64(data, pos, stored_key) || stored_key != key ||
+        !getU64(data, pos, count)) {
+        blab_warn("corrupt sweep journal entry '", path,
+                  "' (bad header); re-evaluating point");
+        return false;
+    }
+    std::vector<SweepCell> loaded(count);
+    for (SweepCell &cell : loaded) {
+        if (!getF64(data, pos, cell.sbtbAccuracy) ||
+            !getF64(data, pos, cell.sbtbMissRatio) ||
+            !getF64(data, pos, cell.cbtbAccuracy) ||
+            !getF64(data, pos, cell.cbtbMissRatio) ||
+            !getF64(data, pos, cell.fsAccuracy) ||
+            !getF64(data, pos, cell.codeIncrease)) {
+            blab_warn("corrupt sweep journal entry '", path,
+                      "' (truncated cells); re-evaluating point");
+            return false;
+        }
+    }
+    if (pos != data.size()) {
+        blab_warn("corrupt sweep journal entry '", path,
+                  "' (trailing bytes); re-evaluating point");
+        return false;
+    }
+    cells = std::move(loaded);
+    return true;
+}
+
+void
+SweepJournal::store(std::uint64_t key,
+                    const std::vector<SweepCell> &cells) const
+{
+    if (!enabled())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+
+    std::string data(kJournalMagic, 4);
+    putU64(data, kJournalSchemaVersion);
+    putU64(data, key);
+    putU64(data, cells.size());
+    for (const SweepCell &cell : cells) {
+        putF64(data, cell.sbtbAccuracy);
+        putF64(data, cell.sbtbMissRatio);
+        putF64(data, cell.cbtbAccuracy);
+        putF64(data, cell.cbtbMissRatio);
+        putF64(data, cell.fsAccuracy);
+        putF64(data, cell.codeIncrease);
+    }
+
+    // The trace cache's atomic-store discipline: write a uniquely
+    // named temp file, then rename into place, so an interrupted
+    // sweep leaves either nothing or a complete entry and concurrent
+    // stores never clobber each other mid-write.
+    const std::string path = entryPath(key);
+    const std::string tmp =
+        path + ".tmp-" +
+        std::to_string(static_cast<long>(::getpid())) + "-" +
+        std::to_string(
+            g_journalTmpSequence.fetch_add(1,
+                                           std::memory_order_relaxed));
+    {
+        std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+        if (!file) {
+            blab_warn("cannot write sweep journal entry '", tmp, "'");
+            return;
+        }
+        file.write(data.data(),
+                   static_cast<std::streamsize>(data.size()));
+        if (!file) {
+            blab_warn("sweep journal write failed for '", tmp, "'");
+            file.close();
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        blab_warn("sweep journal rename failed for '", path, "': ",
+                  ec.message());
+        std::filesystem::remove(tmp, ec);
+        return;
+    }
+    sweepTelemetry().journalStores.add(1);
+}
+
+namespace
+{
+
+/** Everything per-workload the per-point replays share. */
+struct PreparedWorkload
+{
+    RecordedWorkload recorded;
+    /** FS accuracy is point-independent (the likely map and the
+     *  stream are fixed); measured once, shared by every point. */
+    double fsAccuracy = 0.0;
+    /** Code increase per distinct (fsSlots, traceThreshold) pair. */
+    std::map<std::pair<unsigned, double>, double> codeIncrease;
+};
+
+SweepCell
+evaluateCell(const SweepPoint &point, const PreparedWorkload &prepared)
+{
+    predict::SimpleBtb sbtb(point.btb);
+    predict::CounterBtb cbtb(point.btb, point.counter);
+    const std::vector<ReplayResult> replays =
+        replayMany(prepared.recorded.events, {&sbtb, &cbtb});
+    sweepTelemetry().replays.add(2);
+
+    SweepCell cell;
+    cell.sbtbAccuracy = replays[0].accuracy;
+    cell.sbtbMissRatio = replays[0].missRatio;
+    cell.cbtbAccuracy = replays[1].accuracy;
+    cell.cbtbMissRatio = replays[1].missRatio;
+    cell.fsAccuracy = prepared.fsAccuracy;
+    const auto it = prepared.codeIncrease.find(
+        {point.fsSlots, point.traceThreshold});
+    blab_assert(it != prepared.codeIncrease.end(),
+                "code increase missing for sweep point");
+    cell.codeIncrease = it->second;
+    return cell;
+}
+
+} // namespace
+
+SweepResult
+runSweep(const SweepConfig &config)
+{
+    const obs::ScopedSpan suite_span("sweep.suite");
+    const auto start = std::chrono::steady_clock::now();
+
+    SweepResult result;
+
+    // ---- Resolve the workload set (Table 1 order by default). ----
+    std::vector<const workloads::Workload *> suite;
+    if (config.workloads.empty()) {
+        for (const workloads::Workload *workload :
+             workloads::allWorkloads()) {
+            suite.push_back(workload);
+        }
+    } else {
+        for (const std::string &name : config.workloads)
+            suite.push_back(&workloads::findWorkload(name));
+    }
+    blab_assert(!suite.empty(), "sweep needs at least one workload");
+    for (const workloads::Workload *workload : suite)
+        result.workloads.push_back(workload->name());
+
+    const std::vector<SweepPoint> grid = expandGrid(config.axes);
+    blab_assert(!grid.empty(), "sweep grid is empty");
+
+    // The distinct (slots, threshold) pairs the grid touches; the
+    // code-size transform is point-independent beyond this pair, so
+    // each is built once per workload rather than once per point.
+    std::vector<std::pair<unsigned, double>> code_pairs;
+    for (const SweepPoint &point : grid) {
+        const std::pair<unsigned, double> pair{point.fsSlots,
+                                               point.traceThreshold};
+        if (std::find(code_pairs.begin(), code_pairs.end(), pair) ==
+            code_pairs.end()) {
+            code_pairs.push_back(pair);
+        }
+    }
+
+    const unsigned jobs = resolveJobs(config.base.jobs);
+
+    // ---- Record each workload exactly once (or hit the persistent
+    // trace cache), then precompute every point-independent result.
+    // ----
+    std::vector<PreparedWorkload> prepared(suite.size());
+    {
+        const obs::ScopedSpan record_span("sweep.record");
+        parallelFor(suite.size(), jobs, [&](std::size_t i) {
+            const obs::ScopedSpan prepare_span("sweep.prepare");
+            PreparedWorkload &slot = prepared[i];
+            slot.recorded = recordWorkload(*suite[i], config.base);
+
+            predict::ProfilePredictor fs(slot.recorded.likelyMap);
+            slot.fsAccuracy =
+                replay(slot.recorded.events, fs).accuracy;
+
+            const profile::ProgramProfile *profile =
+                slot.recorded.profile.get();
+            std::optional<profile::ProgramProfile> rebuilt;
+            if (profile == nullptr) {
+                // Cache hit: fold the cached stream back into a
+                // profile (bit-identical to the online one).
+                rebuilt.emplace(*slot.recorded.program,
+                                *slot.recorded.layout);
+                for (unsigned r = 0; r < slot.recorded.runs; ++r)
+                    rebuilt->noteRun();
+                for (const trace::BranchEvent &event :
+                     slot.recorded.events)
+                    rebuilt->onBranch(event);
+                profile = &*rebuilt;
+            }
+            for (const auto &[slots, threshold] : code_pairs) {
+                slot.codeIncrease[{slots, threshold}] =
+                    profile::codeIncreaseFor(*profile, slots,
+                                             threshold);
+            }
+        });
+    }
+    for (const PreparedWorkload &slot : prepared) {
+        if (slot.recorded.cacheHit)
+            ++result.stats.traceCacheHits;
+        else
+            ++result.stats.recordPasses;
+    }
+
+    // ---- Resume: load every journalled point up front (grid order),
+    // then evaluate only the remainder. ----
+    const SweepJournal journal(config.journalDir);
+    std::vector<std::uint64_t> stream_hashes;
+    stream_hashes.reserve(prepared.size());
+    for (const PreparedWorkload &slot : prepared)
+        stream_hashes.push_back(slot.recorded.contentHash);
+
+    std::vector<std::uint64_t> keys(grid.size());
+    std::vector<SweepPointResult> resolved(grid.size());
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        keys[i] = sweepPointKey(grid[i], result.workloads,
+                                stream_hashes);
+        resolved[i].point = grid[i];
+        std::vector<SweepCell> cells;
+        if (journal.load(keys[i], cells) &&
+            cells.size() == prepared.size()) {
+            resolved[i].cells = std::move(cells);
+            resolved[i].resumed = true;
+            ++result.stats.resumed;
+            sweepTelemetry().resumed.add(1);
+        } else {
+            pending.push_back(i);
+        }
+    }
+
+    // The evaluation cap interrupts a sweep deterministically (the CI
+    // resume smoke test); resumed points never count against it, so a
+    // capped rerun always makes forward progress.
+    if (config.maxPoints != 0 && pending.size() > config.maxPoints)
+        pending.resize(config.maxPoints);
+
+    parallelFor(pending.size(), jobs, [&](std::size_t i) {
+        const obs::ScopedSpan point_span("sweep.point");
+        const std::size_t g = pending[i];
+        SweepPointResult &out = resolved[g];
+        out.cells.reserve(prepared.size());
+        for (const PreparedWorkload &slot : prepared)
+            out.cells.push_back(evaluateCell(grid[g], slot));
+        journal.store(keys[g], out.cells);
+        sweepTelemetry().evaluated.add(1);
+    });
+    result.stats.evaluated = pending.size();
+
+    // Emit resolved points in grid order; points beyond the cap have
+    // no cells and are omitted (a resumed rerun picks them up).
+    for (SweepPointResult &point : resolved) {
+        if (!point.cells.empty())
+            result.points.push_back(std::move(point));
+    }
+
+    result.stats.elapsedSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return result;
+}
+
+// ---- Reporting ----
+
+TextTable
+makeSweepGridTable(const SweepResult &result)
+{
+    TextTable table({"#", "Point", "A_SBTB", "A_CBTB", "A_FS",
+                     "C_SBTB", "C_CBTB", "C_FS", "Code+", "Src"});
+    for (const SweepPointResult &point : result.points) {
+        table.addRow({std::to_string(point.point.index),
+                      point.point.label(),
+                      formatPercent(point.meanAccuracy("SBTB")),
+                      formatPercent(point.meanAccuracy("CBTB")),
+                      formatPercent(point.meanAccuracy("FS")),
+                      formatFixed(point.meanCost("SBTB")),
+                      formatFixed(point.meanCost("CBTB")),
+                      formatFixed(point.meanCost("FS")),
+                      formatPercent(point.meanCodeIncrease()),
+                      point.resumed ? "journal" : "replay"});
+    }
+    return table;
+}
+
+TextTable
+makeSweepExtremesTable(const SweepResult &result)
+{
+    TextTable table(
+        {"Scheme", "Best point", "Best cost", "Worst point",
+         "Worst cost"});
+    if (result.points.empty())
+        return table;
+    for (const char *scheme : kSchemes) {
+        const SweepPointResult *best = &result.points.front();
+        const SweepPointResult *worst = &result.points.front();
+        for (const SweepPointResult &point : result.points) {
+            if (point.meanCost(scheme) < best->meanCost(scheme))
+                best = &point;
+            if (point.meanCost(scheme) > worst->meanCost(scheme))
+                worst = &point;
+        }
+        table.addRow({scheme, best->point.label(),
+                      formatFixed(best->meanCost(scheme)),
+                      worst->point.label(),
+                      formatFixed(worst->meanCost(scheme))});
+    }
+    return table;
+}
+
+namespace
+{
+
+/** An axis projection: a stable key for one coordinate of a point
+ *  plus the point's full coordinate tuple with that axis blanked. */
+struct AxisView
+{
+    const char *name;
+    std::function<std::string(const SweepPoint &)> coordinate;
+};
+
+const std::vector<AxisView> &
+axisViews()
+{
+    static const std::vector<AxisView> views = {
+        {"pipeline (k,l,m)",
+         [](const SweepPoint &p) { return pipeLabel(p.pipe); }},
+        {"btb entries",
+         [](const SweepPoint &p) {
+             return std::to_string(p.btb.entries);
+         }},
+        {"btb associativity",
+         [](const SweepPoint &p) {
+             return std::to_string(p.btb.associativity);
+         }},
+        {"btb policy",
+         [](const SweepPoint &p) {
+             return std::string(predict::policyName(p.btb.policy));
+         }},
+        {"counter bits",
+         [](const SweepPoint &p) {
+             return std::to_string(p.counter.bits);
+         }},
+        {"counter threshold",
+         [](const SweepPoint &p) {
+             return std::to_string(p.counter.threshold);
+         }},
+        {"fs slots",
+         [](const SweepPoint &p) {
+             return std::to_string(p.fsSlots);
+         }},
+        {"trace threshold",
+         [](const SweepPoint &p) {
+             return formatFixed(p.traceThreshold, 4);
+         }},
+    };
+    return views;
+}
+
+/** Full coordinate tuple of a point with axis @p blank blanked out,
+ *  used to pair points that differ only along one axis. */
+std::string
+residualKey(const SweepPoint &point, std::size_t blank)
+{
+    const std::vector<AxisView> &views = axisViews();
+    std::string key;
+    for (std::size_t a = 0; a < views.size(); ++a) {
+        key += a == blank ? "*" : views[a].coordinate(point);
+        key += '|';
+    }
+    return key;
+}
+
+} // namespace
+
+TextTable
+makeSweepSensitivityTable(const SweepResult &result)
+{
+    TextTable table({"Axis", "Range", "dC_SBTB%", "dC_CBTB%",
+                     "dC_FS%", "dCode+%"});
+    const std::vector<AxisView> &views = axisViews();
+    for (std::size_t a = 0; a < views.size(); ++a) {
+        // Distinct swept values, in grid (= axis declaration) order.
+        std::vector<std::string> values;
+        for (const SweepPointResult &point : result.points) {
+            const std::string v = views[a].coordinate(point.point);
+            if (std::find(values.begin(), values.end(), v) ==
+                values.end()) {
+                values.push_back(v);
+            }
+        }
+        if (values.size() < 2)
+            continue;
+        const std::string &lo = values.front();
+        const std::string &hi = values.back();
+
+        // Pair first-value and last-value points that share every
+        // other coordinate; the sensitivity is the mean relative cost
+        // growth over all such pairs (a Table-4-style "what does
+        // moving this axis alone cost" number).
+        std::map<std::string, const SweepPointResult *> lo_points;
+        for (const SweepPointResult &point : result.points) {
+            if (views[a].coordinate(point.point) == lo)
+                lo_points[residualKey(point.point, a)] = &point;
+        }
+        double growth[3] = {0.0, 0.0, 0.0};
+        double code_growth = 0.0;
+        std::size_t pairs = 0;
+        bool code_defined = true;
+        for (const SweepPointResult &point : result.points) {
+            if (views[a].coordinate(point.point) != hi)
+                continue;
+            const auto it =
+                lo_points.find(residualKey(point.point, a));
+            if (it == lo_points.end())
+                continue;
+            const SweepPointResult &base = *it->second;
+            for (std::size_t s = 0; s < 3; ++s) {
+                const double c1 = base.meanCost(kSchemes[s]);
+                const double c2 = point.meanCost(kSchemes[s]);
+                growth[s] += (c2 - c1) / c1 * 100.0;
+            }
+            const double k1 = base.meanCodeIncrease();
+            if (k1 > 0.0) {
+                code_growth += (point.meanCodeIncrease() - k1) /
+                               k1 * 100.0;
+            } else {
+                code_defined = false;
+            }
+            ++pairs;
+        }
+        if (pairs == 0)
+            continue;
+        const auto mean = [pairs](double sum) {
+            return formatFixed(sum / static_cast<double>(pairs), 1);
+        };
+        table.addRow({views[a].name, lo + " -> " + hi,
+                      mean(growth[0]), mean(growth[1]),
+                      mean(growth[2]),
+                      code_defined ? mean(code_growth) : "n/a"});
+    }
+    return table;
+}
+
+std::string
+sweepToJson(const SweepResult &result)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"branchlab-sweep-v1\",\n";
+    os << "  \"workloads\": [";
+    for (std::size_t i = 0; i < result.workloads.size(); ++i) {
+        os << (i ? ", " : "") << '"' << result.workloads[i] << '"';
+    }
+    os << "],\n";
+    os << "  \"stats\": {\n";
+    os << "    \"points_evaluated\": " << result.stats.evaluated
+       << ",\n";
+    os << "    \"points_resumed\": " << result.stats.resumed << ",\n";
+    os << "    \"record_passes\": " << result.stats.recordPasses
+       << ",\n";
+    os << "    \"trace_cache_hits\": " << result.stats.traceCacheHits
+       << ",\n";
+    os << "    \"elapsed_seconds\": "
+       << jsonNumber(result.stats.elapsedSeconds) << "\n";
+    os << "  },\n";
+    os << "  \"points\": [\n";
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+        const SweepPointResult &point = result.points[i];
+        const SweepPoint &p = point.point;
+        os << "    {\n";
+        os << "      \"index\": " << p.index << ",\n";
+        os << "      \"label\": \"" << p.label() << "\",\n";
+        os << "      \"resumed\": "
+           << (point.resumed ? "true" : "false") << ",\n";
+        os << "      \"config\": {\"k\": " << p.pipe.k
+           << ", \"ell\": " << p.pipe.ell << ", \"m\": " << p.pipe.m
+           << ", \"btb_entries\": " << p.btb.entries
+           << ", \"btb_associativity\": " << p.btb.associativity
+           << ", \"btb_policy\": \""
+           << predict::policyName(p.btb.policy)
+           << "\", \"counter_bits\": " << p.counter.bits
+           << ", \"counter_threshold\": " << p.counter.threshold
+           << ", \"fs_slots\": " << p.fsSlots
+           << ", \"trace_threshold\": "
+           << jsonNumber(p.traceThreshold) << "},\n";
+        os << "      \"means\": {\"sbtb_accuracy\": "
+           << jsonNumber(point.meanAccuracy("SBTB"))
+           << ", \"cbtb_accuracy\": "
+           << jsonNumber(point.meanAccuracy("CBTB"))
+           << ", \"fs_accuracy\": "
+           << jsonNumber(point.meanAccuracy("FS"))
+           << ", \"sbtb_cost\": "
+           << jsonNumber(point.meanCost("SBTB"))
+           << ", \"cbtb_cost\": "
+           << jsonNumber(point.meanCost("CBTB"))
+           << ", \"fs_cost\": " << jsonNumber(point.meanCost("FS"))
+           << ", \"code_increase\": "
+           << jsonNumber(point.meanCodeIncrease()) << "},\n";
+        os << "      \"cells\": [\n";
+        for (std::size_t w = 0; w < point.cells.size(); ++w) {
+            const SweepCell &cell = point.cells[w];
+            os << "        {\"workload\": \"" << result.workloads[w]
+               << "\", \"sbtb_accuracy\": "
+               << jsonNumber(cell.sbtbAccuracy)
+               << ", \"sbtb_miss_ratio\": "
+               << jsonNumber(cell.sbtbMissRatio)
+               << ", \"cbtb_accuracy\": "
+               << jsonNumber(cell.cbtbAccuracy)
+               << ", \"cbtb_miss_ratio\": "
+               << jsonNumber(cell.cbtbMissRatio)
+               << ", \"fs_accuracy\": "
+               << jsonNumber(cell.fsAccuracy)
+               << ", \"code_increase\": "
+               << jsonNumber(cell.codeIncrease) << "}"
+               << (w + 1 < point.cells.size() ? "," : "") << "\n";
+        }
+        os << "      ]\n";
+        os << "    }" << (i + 1 < result.points.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+sweepToCsv(const SweepResult &result)
+{
+    std::ostringstream os;
+    os << "point,label,k,ell,m,btb_entries,btb_associativity,"
+          "btb_policy,counter_bits,counter_threshold,fs_slots,"
+          "trace_threshold,workload,sbtb_accuracy,sbtb_miss_ratio,"
+          "cbtb_accuracy,cbtb_miss_ratio,fs_accuracy,code_increase,"
+          "sbtb_cost,cbtb_cost,fs_cost\n";
+    for (const SweepPointResult &point : result.points) {
+        const SweepPoint &p = point.point;
+        for (std::size_t w = 0; w < point.cells.size(); ++w) {
+            const SweepCell &cell = point.cells[w];
+            os << p.index << ',' << csvQuote(p.label()) << ','
+               << p.pipe.k << ',' << p.pipe.ell << ',' << p.pipe.m
+               << ',' << p.btb.entries << ',' << p.btb.associativity
+               << ',' << predict::policyName(p.btb.policy) << ','
+               << p.counter.bits << ',' << p.counter.threshold << ','
+               << p.fsSlots << ',' << csvNumber(p.traceThreshold)
+               << ',' << csvQuote(result.workloads[w]) << ','
+               << csvNumber(cell.sbtbAccuracy) << ','
+               << csvNumber(cell.sbtbMissRatio) << ','
+               << csvNumber(cell.cbtbAccuracy) << ','
+               << csvNumber(cell.cbtbMissRatio) << ','
+               << csvNumber(cell.fsAccuracy) << ','
+               << csvNumber(cell.codeIncrease) << ','
+               << csvNumber(
+                      pipeline::branchCost(cell.sbtbAccuracy, p.pipe))
+               << ','
+               << csvNumber(
+                      pipeline::branchCost(cell.cbtbAccuracy, p.pipe))
+               << ','
+               << csvNumber(
+                      pipeline::branchCost(cell.fsAccuracy, p.pipe))
+               << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace branchlab::core

@@ -8,7 +8,11 @@
  * Metric names follow a dotted lowercase scheme,
  * `<subsystem>.<detail>`: `vm.instructions`, `engine.replay.events`,
  * `trace_cache.corrupt_entries`, `threadpool.queue_wait_ns`,
- * `predict.buffer.indexed.evictions`. Names are registered on first
+ * `predict.buffer.indexed.evictions`, and the sweep engine's
+ * `sweep.points.evaluated` / `sweep.points.resumed` /
+ * `sweep.replays` / `sweep.journal.stores` counters and
+ * `sweep.suite` / `sweep.record` / `sweep.prepare` / `sweep.point`
+ * spans. Names are registered on first
  * use via Registry::global() and live for the rest of the process;
  * callers are expected to look a metric up once (function-local
  * static or member) and keep the reference.

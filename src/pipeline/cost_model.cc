@@ -19,8 +19,28 @@ PipelineConfig::effectiveMBar() const
 {
     const double value =
         mBar < 0.0 ? fCond * static_cast<double>(m) : mBar;
-    blab_assert(value <= static_cast<double>(m), "m-bar cannot exceed m");
+    blab_assert(value >= 0.0 && value <= static_cast<double>(m),
+                "m-bar must lie in [0, m]");
     return value;
+}
+
+void
+PipelineConfig::validate() const
+{
+    // The paper's Figure 1 pipeline has at least one instruction-memory
+    // access stage, one decode stage, and one execute stage; a
+    // zero-stage unit is outside the model's domain.
+    blab_assert(k >= 1, "pipeline needs k >= 1 fetch stages");
+    blab_assert(ell >= 1, "pipeline needs l >= 1 decode stages");
+    blab_assert(m >= 1, "pipeline needs m >= 1 execute stages");
+    blab_assert(fCond >= 0.0 && fCond <= 1.0,
+                "fCond must lie in [0, 1]");
+    // Explicit overrides must stay within their unit's depth; negative
+    // values mean "use the default" and are always valid.
+    blab_assert(ellBar < 0.0 || ellBar <= static_cast<double>(ell),
+                "l-bar must lie in [0, l]");
+    blab_assert(mBar < 0.0 || mBar <= static_cast<double>(m),
+                "m-bar must lie in [0, m]");
 }
 
 double
@@ -41,6 +61,7 @@ branchCost(double accuracy, double flush_depth)
 double
 branchCost(double accuracy, const PipelineConfig &config)
 {
+    config.validate();
     return branchCost(accuracy, config.flushDepth());
 }
 
@@ -66,6 +87,13 @@ costGrowthPercent(double accuracy, double flush1, double flush2)
 {
     const double c1 = branchCost(accuracy, flush1);
     const double c2 = branchCost(accuracy, flush2);
+    // cost(a, d) = a + d(1 - a) is zero only at a == 0 && d == 0, where
+    // relative growth is undefined; fail loudly instead of emitting
+    // inf/NaN into a table. (figureCost/refinedBranchCost never
+    // divide, so only this ratio needs the guard.)
+    blab_assert(c1 > 0.0,
+                "cost growth undefined from a zero-cost base point "
+                "(accuracy == 0 and flush1 == 0)");
     return (c2 - c1) / c1 * 100.0;
 }
 

@@ -46,6 +46,16 @@ struct PipelineConfig
     double flushDepth() const;
     /** Total pipeline stages (select + k + l + m + state update). */
     unsigned totalStages() const { return 1 + k + ell + m + 1; }
+
+    /**
+     * Assert every field lies in the domain the paper's model defines:
+     * at least one stage per unit (a zero-stage fetch/decode/execute
+     * unit has no meaning in Figure 1), fCond in [0, 1], and explicit
+     * flush overrides within [0, l] / [0, m]. A malformed sweep point
+     * fails loudly here instead of producing a plausible-looking
+     * table.
+     */
+    void validate() const;
 };
 
 /** The paper's cost equation. @p accuracy must lie in [0, 1]. */
@@ -68,6 +78,10 @@ std::vector<double> figureSeries(double accuracy, unsigned k,
  * Percentage increase from cost(a) at flush depth d1 to depth d2 --
  * the Table 4 scaling metric (paper: 7.7% / 6.9% / 5.3% for
  * SBTB / CBTB / FS going from k + l-bar = 2 to 3 at m-bar = 1).
+ *
+ * The degenerate base point accuracy == 0 && flush1 == 0 has zero
+ * cost, so relative growth is undefined there; it asserts rather than
+ * returning inf/NaN.
  */
 double costGrowthPercent(double accuracy, double flush1, double flush2);
 

@@ -51,6 +51,35 @@ enum class ReplacementPolicy
     Random, ///< Evict a uniformly random way.
 };
 
+/** Lowercase policy name ("lru" / "fifo" / "random"). */
+inline const char *
+policyName(ReplacementPolicy policy)
+{
+    switch (policy) {
+      case ReplacementPolicy::Lru:
+        return "lru";
+      case ReplacementPolicy::Fifo:
+        return "fifo";
+      case ReplacementPolicy::Random:
+        return "random";
+    }
+    blab_panic("unreachable replacement policy");
+}
+
+/** Parse a policy name as printed by policyName(); fatal on others. */
+inline ReplacementPolicy
+parsePolicy(const std::string &name)
+{
+    if (name == "lru")
+        return ReplacementPolicy::Lru;
+    if (name == "fifo")
+        return ReplacementPolicy::Fifo;
+    if (name == "random")
+        return ReplacementPolicy::Random;
+    blab_fatal("unknown replacement policy '", name,
+               "' (expected lru, fifo, or random)");
+}
+
 /** How lookups locate a tag within its set. */
 enum class LookupStrategy
 {

@@ -27,6 +27,16 @@ ForwardSlotFiller::ForwardSlotFiller(const ProgramProfile &profile,
     : profile_(profile), config_(config)
 {}
 
+double
+codeIncreaseFor(const ProgramProfile &profile, unsigned slot_count,
+                double trace_threshold)
+{
+    FsConfig config;
+    config.slotCount = slot_count;
+    config.trace.minArcProbability = trace_threshold;
+    return ForwardSlotFiller(profile, config).build().codeSizeIncrease();
+}
+
 namespace
 {
 

@@ -128,6 +128,15 @@ class ForwardSlotFiller
     FsConfig config_;
 };
 
+/**
+ * Table 5's metric for one (slot count, trace threshold) design point:
+ * build the FS image and return its relative code-size increase. The
+ * sweep engine calls this once per distinct pair and shares the result
+ * across every grid point that uses it.
+ */
+double codeIncreaseFor(const ProgramProfile &profile, unsigned slot_count,
+                       double trace_threshold);
+
 } // namespace branchlab::profile
 
 #endif // BRANCHLAB_PROFILE_FORWARD_SLOTS_HH

@@ -202,6 +202,56 @@ TEST(ExperimentRunner, ReplayEngineMatchesTheTwoPassEngine)
     expectIdenticalResults({a}, {b});
 }
 
+TEST(ExperimentRunner, EnginesAgreeUnderNonDefaultConfigs)
+{
+    // The equivalence claim is config-independent; exercise it away
+    // from the paper point: set-associative geometry, a 3-bit
+    // counter, and the FIFO/Random replacement policies.
+    struct Variant
+    {
+        predict::BufferConfig btb;
+        predict::CounterConfig counter;
+    };
+    std::vector<Variant> variants;
+    {
+        Variant set_assoc;
+        set_assoc.btb.entries = 64;
+        set_assoc.btb.associativity = 4;
+        set_assoc.counter = {3, 4};
+        variants.push_back(set_assoc);
+
+        Variant fifo;
+        fifo.btb.entries = 32;
+        fifo.btb.policy = predict::ReplacementPolicy::Fifo;
+        variants.push_back(fifo);
+
+        Variant random;
+        random.btb.entries = 32;
+        random.btb.associativity = 8;
+        random.btb.policy = predict::ReplacementPolicy::Random;
+        random.counter = {1, 1};
+        variants.push_back(random);
+    }
+
+    for (const Variant &variant : variants) {
+        ExperimentConfig config = quickConfig();
+        config.runCodeSize = true;
+        config.btb = variant.btb;
+        config.counter = variant.counter;
+
+        ExperimentConfig two_pass = config;
+        two_pass.engine = EngineMode::TwoPass;
+
+        const BenchmarkResult a =
+            ExperimentRunner(config).runBenchmark(
+                workloads::findWorkload("tee"));
+        const BenchmarkResult b =
+            ExperimentRunner(two_pass).runBenchmark(
+                workloads::findWorkload("tee"));
+        expectIdenticalResults({a}, {b});
+    }
+}
+
 TEST(ExperimentRunner, ParallelRunAllIsBitIdenticalToSerial)
 {
     ExperimentConfig config = quickConfig();

@@ -105,6 +105,63 @@ TEST(CostModel, GrowthPercentMatchesHandComputation)
               costGrowthPercent(0.95, 3.0, 4.0));
 }
 
+TEST(CostModel, GrowthPercentRejectsTheZeroCostBasePoint)
+{
+    // accuracy == 0 at flush depth 0 makes cost(a, d1) zero; relative
+    // growth is undefined there and must assert, not return inf/NaN.
+    EXPECT_THROW(costGrowthPercent(0.0, 0.0, 4.0), LogicFailure);
+    // Any positive base cost is fine, including tiny ones.
+    EXPECT_GT(costGrowthPercent(0.0, 0.5, 4.0), 0.0);
+    EXPECT_GT(costGrowthPercent(1e-9, 0.0, 4.0), 0.0);
+}
+
+TEST(CostModel, ValidateRejectsMalformedConfigs)
+{
+    PipelineConfig good;
+    good.validate(); // the default point is the paper's; must pass
+
+    PipelineConfig zero_fetch;
+    zero_fetch.k = 0;
+    EXPECT_THROW(zero_fetch.validate(), LogicFailure);
+
+    PipelineConfig zero_decode;
+    zero_decode.ell = 0;
+    EXPECT_THROW(zero_decode.validate(), LogicFailure);
+
+    PipelineConfig zero_execute;
+    zero_execute.m = 0;
+    EXPECT_THROW(zero_execute.validate(), LogicFailure);
+
+    PipelineConfig bad_fcond;
+    bad_fcond.fCond = 1.5;
+    EXPECT_THROW(bad_fcond.validate(), LogicFailure);
+    bad_fcond.fCond = -0.1;
+    EXPECT_THROW(bad_fcond.validate(), LogicFailure);
+
+    PipelineConfig bad_ell_bar;
+    bad_ell_bar.ell = 2;
+    bad_ell_bar.ellBar = 2.5;
+    EXPECT_THROW(bad_ell_bar.validate(), LogicFailure);
+
+    PipelineConfig bad_m_bar;
+    bad_m_bar.m = 1;
+    bad_m_bar.mBar = 1.5;
+    EXPECT_THROW(bad_m_bar.validate(), LogicFailure);
+
+    // Negative bars mean "use the default" and are always valid.
+    PipelineConfig defaulted;
+    defaulted.ellBar = -1.0;
+    defaulted.mBar = -2.0;
+    defaulted.validate();
+}
+
+TEST(CostModel, ConfigOverloadValidatesBeforeEvaluating)
+{
+    PipelineConfig bad;
+    bad.fCond = 2.0;
+    EXPECT_THROW(branchCost(0.9, bad), LogicFailure);
+}
+
 // ---------------------------------------------------------------------
 // Cycle-level simulation.
 // ---------------------------------------------------------------------

@@ -344,6 +344,97 @@ TEST(AssocBuffer, StrategiesAgreeOnRandomizedTraces)
     }
 }
 
+TEST(AssocBuffer, StrategiesPickIdenticalVictimsExhaustively)
+{
+    // The header claims both strategies draw identical rng sequences
+    // under the Random policy (and identical victims under all
+    // policies). Occupancy equality alone would not catch a divergent
+    // victim choice, so this test audits the full resident content --
+    // every tag in the working-set domain, presence and payload --
+    // across every policy x geometry combination, including the
+    // degenerate ones (direct-mapped, two-way, tiny fully-assoc).
+    const std::vector<std::pair<std::size_t, std::size_t>> geometries =
+        {{2, 1}, {4, 1}, {4, 2}, {4, 0}, {8, 2},  {8, 4},
+         {8, 0}, {16, 1}, {16, 4}, {16, 8}, {16, 0}, {32, 8}};
+    for (const auto &[entries, assoc] : geometries) {
+        for (ReplacementPolicy policy :
+             {ReplacementPolicy::Lru, ReplacementPolicy::Fifo,
+              ReplacementPolicy::Random}) {
+            {
+                AssociativeBuffer<Payload> linear(
+                    BufferConfig{entries, assoc, policy, 11,
+                                 LookupStrategy::Linear});
+                AssociativeBuffer<Payload> indexed(
+                    BufferConfig{entries, assoc, policy, 11,
+                                 LookupStrategy::Indexed});
+
+                const std::size_t domain = 4 * entries;
+                Rng rng(0x5eed ^ (entries << 16) ^ (assoc << 8) ^
+                        static_cast<std::uint64_t>(policy));
+                for (int op = 0; op < 4000; ++op) {
+                    const ir::Addr tag = rng.nextBelow(domain);
+                    const std::uint64_t kind = rng.nextBelow(100);
+                    if (kind < 60) { // insert-on-miss (BTB shape)
+                        Payload *a = linear.find(tag);
+                        Payload *b = indexed.find(tag);
+                        ASSERT_EQ(a == nullptr, b == nullptr)
+                            << entries << "/" << assoc << " op "
+                            << op;
+                        if (a == nullptr) {
+                            linear.insert(tag).value = op;
+                            indexed.insert(tag).value = op;
+                        }
+                    } else if (kind < 90) {
+                        // Erase-heavy: punches holes so the Random
+                        // policy's free-slot bookkeeping (sorted free
+                        // list vs first-invalid scan) is exercised
+                        // constantly, not just at warm-up.
+                        linear.erase(tag);
+                        indexed.erase(tag);
+                    } else if (kind < 92) {
+                        linear.flush();
+                        indexed.flush();
+                    } else {
+                        // Overwrite-or-insert: refreshes recency on
+                        // hits, forces an eviction decision on
+                        // misses into full sets.
+                        Payload *a = linear.find(tag);
+                        Payload *b = indexed.find(tag);
+                        ASSERT_EQ(a == nullptr, b == nullptr)
+                            << entries << "/" << assoc << " op "
+                            << op;
+                        if (a == nullptr) {
+                            linear.insert(tag).value = -op;
+                            indexed.insert(tag).value = -op;
+                        } else {
+                            a->value = -op;
+                            b->value = -op;
+                        }
+                    }
+
+                    // Full-content audit every 256 ops and at the
+                    // end: identical victims leave identical
+                    // residents.
+                    if (op % 256 == 255 || op == 3999) {
+                        for (ir::Addr probe = 0; probe < domain;
+                             ++probe) {
+                            const Payload *a = linear.peek(probe);
+                            const Payload *b = indexed.peek(probe);
+                            ASSERT_EQ(a == nullptr, b == nullptr)
+                                << entries << "/" << assoc
+                                << " policy "
+                                << policyName(policy) << " op " << op
+                                << " tag " << probe;
+                            if (a != nullptr)
+                                ASSERT_EQ(a->value, b->value);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // SBTB (paper rules).
 // ---------------------------------------------------------------------

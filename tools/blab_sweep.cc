@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Design-space sweep driver: evaluate the paper's schemes over a grid
+ * of pipeline / BTB / counter / Forward-Semantic configurations.
+ *
+ *   blab_sweep [axis flags] [run flags] [output flags]
+ *
+ * Axis flags (comma-separated value lists; defaults are the paper's
+ * design point):
+ *   --k LIST --ell LIST --m LIST      pipeline geometry (crossed)
+ *   --btb-entries LIST --btb-assoc LIST --btb-policy LIST
+ *   --counter-bits LIST --counter-threshold LIST
+ *   --fs-slots LIST --trace-threshold LIST
+ *
+ * Run flags:
+ *   --workloads LIST   benchmark names (default: the Table 1 suite)
+ *   --runs N --seed S --jobs N --trace-cache DIR
+ *   --journal DIR      persist per-point results; an interrupted
+ *                      sweep rerun with the same journal resumes
+ *                      without re-evaluating completed points
+ *   --max-points N     stop after evaluating N points this run
+ *                      (journalled points do not count); the CI
+ *                      resume test uses this to interrupt a sweep
+ *
+ * Output flags:
+ *   --json FILE --csv FILE --telemetry FILE
+ *   --list             print the expanded grid and exit without
+ *                      running anything
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/sweep.hh"
+#include "obs/metrics.hh"
+#include "support/logging.hh"
+#include "support/stats.hh"
+
+using namespace branchlab;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage: blab_sweep [options]\n"
+           "axes (comma-separated lists):\n"
+           "  --k LIST --ell LIST --m LIST\n"
+           "  --btb-entries LIST --btb-assoc LIST --btb-policy LIST\n"
+           "  --counter-bits LIST --counter-threshold LIST\n"
+           "  --fs-slots LIST --trace-threshold LIST\n"
+           "run control:\n"
+           "  --workloads LIST --runs N --seed S --jobs N\n"
+           "  --trace-cache DIR --journal DIR --max-points N\n"
+           "output:\n"
+           "  --json FILE --csv FILE --telemetry FILE --list\n";
+    return 2;
+}
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> items;
+    std::istringstream stream(text);
+    std::string item;
+    while (std::getline(stream, item, ',')) {
+        if (!item.empty())
+            items.push_back(item);
+    }
+    if (items.empty())
+        blab_fatal("empty value list '", text, "'");
+    return items;
+}
+
+std::vector<std::uint64_t>
+parseNumberList(const std::string &flag, const std::string &text)
+{
+    std::vector<std::uint64_t> values;
+    for (const std::string &item : splitList(text)) {
+        try {
+            std::size_t used = 0;
+            const std::uint64_t value = std::stoull(item, &used);
+            if (used != item.size())
+                throw std::invalid_argument(item);
+            values.push_back(value);
+        } catch (const std::exception &) {
+            blab_fatal("value for ", flag, " must be a number, got '",
+                       item, "'");
+        }
+    }
+    return values;
+}
+
+std::vector<double>
+parseDoubleList(const std::string &flag, const std::string &text)
+{
+    std::vector<double> values;
+    for (const std::string &item : splitList(text)) {
+        try {
+            std::size_t used = 0;
+            const double value = std::stod(item, &used);
+            if (used != item.size())
+                throw std::invalid_argument(item);
+            values.push_back(value);
+        } catch (const std::exception &) {
+            blab_fatal("value for ", flag,
+                       " must be a real number, got '", item, "'");
+        }
+    }
+    return values;
+}
+
+struct Options
+{
+    std::vector<std::uint64_t> k = {1};
+    std::vector<std::uint64_t> ell = {1};
+    std::vector<std::uint64_t> m = {1};
+    core::SweepAxes axes;
+    core::SweepConfig sweep;
+    std::string jsonPath;
+    std::string csvPath;
+    std::string telemetry;
+    bool listOnly = false;
+};
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto need_value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                blab_fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        const auto need_numbers = [&]() {
+            return parseNumberList(arg, need_value());
+        };
+        if (arg == "--k")
+            options.k = need_numbers();
+        else if (arg == "--ell")
+            options.ell = need_numbers();
+        else if (arg == "--m")
+            options.m = need_numbers();
+        else if (arg == "--btb-entries") {
+            options.axes.btbEntries.clear();
+            for (const std::uint64_t value : need_numbers())
+                options.axes.btbEntries.push_back(value);
+        } else if (arg == "--btb-assoc") {
+            options.axes.btbAssociativity.clear();
+            for (const std::uint64_t value : need_numbers())
+                options.axes.btbAssociativity.push_back(value);
+        } else if (arg == "--btb-policy") {
+            options.axes.btbPolicies.clear();
+            for (const std::string &name : splitList(need_value()))
+                options.axes.btbPolicies.push_back(
+                    predict::parsePolicy(name));
+        } else if (arg == "--counter-bits") {
+            options.axes.counterBits.clear();
+            for (const std::uint64_t value : need_numbers())
+                options.axes.counterBits.push_back(
+                    static_cast<unsigned>(value));
+        } else if (arg == "--counter-threshold") {
+            options.axes.counterThresholds.clear();
+            for (const std::uint64_t value : need_numbers())
+                options.axes.counterThresholds.push_back(
+                    static_cast<unsigned>(value));
+        } else if (arg == "--fs-slots") {
+            options.axes.fsSlots.clear();
+            for (const std::uint64_t value : need_numbers())
+                options.axes.fsSlots.push_back(
+                    static_cast<unsigned>(value));
+        } else if (arg == "--trace-threshold") {
+            options.axes.traceThresholds =
+                parseDoubleList(arg, need_value());
+        } else if (arg == "--workloads") {
+            options.sweep.workloads = splitList(need_value());
+        } else if (arg == "--runs") {
+            options.sweep.base.runsOverride = static_cast<unsigned>(
+                parseNumberList(arg, need_value()).front());
+        } else if (arg == "--seed") {
+            options.sweep.base.seed =
+                parseNumberList(arg, need_value()).front();
+        } else if (arg == "--jobs") {
+            options.sweep.base.jobs = static_cast<unsigned>(
+                parseNumberList(arg, need_value()).front());
+        } else if (arg == "--trace-cache") {
+            options.sweep.base.traceCacheDir = need_value();
+        } else if (arg == "--journal") {
+            options.sweep.journalDir = need_value();
+        } else if (arg == "--max-points") {
+            options.sweep.maxPoints =
+                parseNumberList(arg, need_value()).front();
+        } else if (arg == "--json") {
+            options.jsonPath = need_value();
+        } else if (arg == "--csv") {
+            options.csvPath = need_value();
+        } else if (arg == "--telemetry") {
+            options.telemetry = need_value();
+        } else if (arg == "--list") {
+            options.listOnly = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::exit(usage());
+        } else {
+            blab_fatal("unknown option '", arg, "'");
+        }
+    }
+
+    // Cross the k/ell/m lists into the pipeline axis.
+    options.axes.pipelines.clear();
+    for (const std::uint64_t k : options.k) {
+        for (const std::uint64_t ell : options.ell) {
+            for (const std::uint64_t m : options.m) {
+                pipeline::PipelineConfig pipe;
+                pipe.k = static_cast<unsigned>(k);
+                pipe.ell = static_cast<unsigned>(ell);
+                pipe.m = static_cast<unsigned>(m);
+                options.axes.pipelines.push_back(pipe);
+            }
+        }
+    }
+    options.sweep.axes = options.axes;
+    return options;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream file(path, std::ios::trunc);
+    if (!file)
+        blab_fatal("cannot write '", path, "'");
+    file << content;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLoggingThrows(false); // CLI: fatal() exits with a message
+    const Options options = parseOptions(argc, argv);
+    if (!options.telemetry.empty())
+        obs::setExportPath(options.telemetry);
+
+    if (options.listOnly) {
+        const std::vector<core::SweepPoint> grid =
+            core::expandGrid(options.sweep.axes);
+        for (const core::SweepPoint &point : grid)
+            std::cout << point.index << "  " << point.label() << "\n";
+        std::cout << grid.size() << " point(s)\n";
+        return 0;
+    }
+
+    const core::SweepResult result = core::runSweep(options.sweep);
+
+    std::cout << "== Sweep grid ==\n";
+    core::makeSweepGridTable(result).render(std::cout);
+    std::cout << "\n== Best/worst per scheme (mean cost) ==\n";
+    core::makeSweepExtremesTable(result).render(std::cout);
+    const TextTable sensitivity =
+        core::makeSweepSensitivityTable(result);
+    if (sensitivity.numRows() > 0) {
+        std::cout << "\n== Axis sensitivity (Table 4 style) ==\n";
+        sensitivity.render(std::cout);
+    }
+    std::cout << "\n"
+              << result.points.size() << " point(s): "
+              << result.stats.evaluated << " evaluated, "
+              << result.stats.resumed << " resumed from journal; "
+              << result.stats.recordPasses << " record pass(es), "
+              << result.stats.traceCacheHits
+              << " trace-cache hit(s); "
+              << formatFixed(result.stats.elapsedSeconds, 2)
+              << " s\n";
+
+    if (!options.jsonPath.empty())
+        writeFile(options.jsonPath, core::sweepToJson(result));
+    if (!options.csvPath.empty())
+        writeFile(options.csvPath, core::sweepToCsv(result));
+    return 0;
+}
