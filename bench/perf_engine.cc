@@ -43,6 +43,7 @@
 
 #include "bench_common.hh"
 
+#include "core/replay_kernel.hh"
 #include "obs/metrics.hh"
 #include "predict/assoc_buffer.hh"
 #include "predict/profile_predictor.hh"
@@ -155,32 +156,69 @@ timeRecordPass(const core::ExperimentConfig &config, unsigned repeat,
     return best;
 }
 
+/** Whether a replay pass goes through the specialized kernels (the
+ *  engine's real path) or the virtual-dispatch reference path. */
+enum class ReplayPath
+{
+    Kernel,
+    Fallback,
+};
+
 /** One serial replay pass over pre-recorded streams (no VM
  *  execution): the same seven schemes the replay engine fuses per
  *  workload. @return wall-clock seconds; prints it with @p tag. */
 double
 replayPassOnce(const std::vector<core::RecordedWorkload> &recorded,
-               const core::ExperimentConfig &config, const char *tag)
+               const core::ExperimentConfig &config, const char *tag,
+               ReplayPath path)
 {
     double seconds = 0.0;
     double checksum = 0.0;
     {
         ScopeTimer timer(&seconds);
         for (const core::RecordedWorkload &workload : recorded) {
-            predict::SimpleBtb sbtb(config.btb);
-            predict::CounterBtb cbtb(config.btb, config.counter);
-            predict::AlwaysTaken always_taken;
-            predict::AlwaysNotTaken always_not_taken;
-            predict::BackwardTaken btfnt;
-            predict::OpcodeBias opcode_bias;
-            predict::ProfilePredictor fs(workload.likelyMap);
-            const std::vector<core::ReplayResult> replays =
-                core::replayMany(workload.events,
-                                 {&sbtb, &cbtb, &always_taken,
-                                  &always_not_taken, &btfnt,
-                                  &opcode_bias, &fs});
-            for (const core::ReplayResult &replay : replays)
-                checksum += replay.accuracy;
+            if (path == ReplayPath::Kernel) {
+                std::vector<core::KernelSpec> specs;
+                core::KernelSpec spec;
+                spec.kind = core::SchemeKind::Sbtb;
+                spec.btb = config.btb;
+                specs.push_back(spec);
+                spec.kind = core::SchemeKind::Cbtb;
+                spec.counter = config.counter;
+                specs.push_back(spec);
+                for (const core::SchemeKind kind :
+                     {core::SchemeKind::AlwaysTaken,
+                      core::SchemeKind::AlwaysNotTaken,
+                      core::SchemeKind::BackwardTaken,
+                      core::SchemeKind::OpcodeBias}) {
+                    core::KernelSpec s;
+                    s.kind = kind;
+                    specs.push_back(s);
+                }
+                core::KernelSpec fs_spec;
+                fs_spec.kind = core::SchemeKind::ForwardSemantic;
+                fs_spec.likely = &workload.likelyMap;
+                specs.push_back(fs_spec);
+                const std::vector<core::ReplayResult> replays =
+                    core::replayManyKernel(workload.stream, specs);
+                for (const core::ReplayResult &replay : replays)
+                    checksum += replay.accuracy;
+            } else {
+                predict::SimpleBtb sbtb(config.btb);
+                predict::CounterBtb cbtb(config.btb, config.counter);
+                predict::AlwaysTaken always_taken;
+                predict::AlwaysNotTaken always_not_taken;
+                predict::BackwardTaken btfnt;
+                predict::OpcodeBias opcode_bias;
+                predict::ProfilePredictor fs(workload.likelyMap);
+                const std::vector<core::ReplayResult> replays =
+                    core::replayMany(workload.stream,
+                                     {&sbtb, &cbtb, &always_taken,
+                                      &always_not_taken, &btfnt,
+                                      &opcode_bias, &fs});
+                for (const core::ReplayResult &replay : replays)
+                    checksum += replay.accuracy;
+            }
         }
     }
     std::cerr << "    " << formatFixed(seconds, 3) << " s" << tag
@@ -190,12 +228,16 @@ replayPassOnce(const std::vector<core::RecordedWorkload> &recorded,
 
 double
 timeReplayPass(const std::vector<core::RecordedWorkload> &recorded,
-               const core::ExperimentConfig &config, unsigned repeat)
+               const core::ExperimentConfig &config, unsigned repeat,
+               ReplayPath path)
 {
-    std::cerr << "  replay pass (streams only)...\n";
+    std::cerr << (path == ReplayPath::Kernel
+                      ? "  replay pass (specialized kernels)...\n"
+                      : "  replay pass (virtual fallback)...\n");
     double best = 0.0;
     for (unsigned r = 0; r < repeat; ++r) {
-        const double seconds = replayPassOnce(recorded, config, "");
+        const double seconds =
+            replayPassOnce(recorded, config, "", path);
         if (r == 0 || seconds < best)
             best = seconds;
     }
@@ -220,9 +262,11 @@ timeTelemetryOverhead(
                  "...\n";
     for (unsigned r = 0; r < repeat; ++r) {
         obs::setEnabled(true);
-        const double on = replayPassOnce(recorded, config, " [on]");
+        const double on = replayPassOnce(recorded, config, " [on]",
+                                         ReplayPath::Kernel);
         obs::setEnabled(false);
-        const double off = replayPassOnce(recorded, config, " [off]");
+        const double off = replayPassOnce(recorded, config, " [off]",
+                                          ReplayPath::Kernel);
         obs::setEnabled(true);
         if (r == 0 || on < enabled_s)
             enabled_s = on;
@@ -298,7 +342,8 @@ void
 writeJson(const std::string &path, unsigned jobs, unsigned runs_override,
           unsigned repeat, const TimedRun &two_pass,
           const TimedRun &replay_serial, const TimedRun &replay_parallel,
-          double record_s, double replay_only_s, double warm_cache_s,
+          double record_s, double replay_only_s,
+          double replay_fallback_s, double warm_cache_s,
           double replay_enabled_s, double replay_disabled_s,
           double telemetry_overhead_pct,
           const trace::TraceCacheCounters &cache_counters,
@@ -322,12 +367,16 @@ writeJson(const std::string &path, unsigned jobs, unsigned runs_override,
        << ",\n"
        << "    \"record_s\": " << record_s << ",\n"
        << "    \"replay_only_s\": " << replay_only_s << ",\n"
+       << "    \"replay_kernel_s\": " << replay_only_s << ",\n"
+       << "    \"replay_fallback_s\": " << replay_fallback_s << ",\n"
        << "    \"warm_cache_s\": " << warm_cache_s << "\n  },\n"
        << "  \"speedup\": {\n"
        << "    \"replay_serial_vs_two_pass\": "
        << two_pass.seconds / replay_serial.seconds << ",\n"
        << "    \"replay_parallel_vs_two_pass\": "
        << two_pass.seconds / replay_parallel.seconds << ",\n"
+       << "    \"kernel_vs_fallback\": "
+       << replay_fallback_s / replay_only_s << ",\n"
        << "    \"warm_cache_vs_record\": "
        << record_s / warm_cache_s << "\n  },\n"
        << "  \"trace_cache\": {\n"
@@ -464,8 +513,14 @@ main(int argc, char **argv)
     std::vector<core::RecordedWorkload> recorded;
     const double record_s =
         timeRecordPass(replay_serial_config, repeat, recorded);
-    const double replay_only_s =
-        timeReplayPass(recorded, replay_serial_config, repeat);
+    // replay_only_s is the engine's actual replay path (kernels);
+    // the fallback pass times the virtual-dispatch reference the
+    // kernels replaced, so kernel_vs_fallback is the PR-over-PR
+    // specialization win.
+    const double replay_only_s = timeReplayPass(
+        recorded, replay_serial_config, repeat, ReplayPath::Kernel);
+    const double replay_fallback_s = timeReplayPass(
+        recorded, replay_serial_config, repeat, ReplayPath::Fallback);
 
     // Telemetry overhead: the same replay pass, collection enabled vs
     // compiled in but switched off. The delta is what the always-on
@@ -521,9 +576,13 @@ main(int argc, char **argv)
              "x"});
     table.addRow({"record phase (VM)", formatFixed(record_s, 3),
                   formatFixed(two_pass.seconds / record_s, 2) + "x"});
-    table.addRow({"replay phase (streams)",
+    table.addRow({"replay phase (kernels)",
                   formatFixed(replay_only_s, 3),
                   formatFixed(two_pass.seconds / replay_only_s, 2) +
+                      "x"});
+    table.addRow({"replay phase (virtual fallback)",
+                  formatFixed(replay_fallback_s, 3),
+                  formatFixed(two_pass.seconds / replay_fallback_s, 2) +
                       "x"});
     table.addRow({"warm-cache serial",
                   formatFixed(warm_cache.seconds, 3),
@@ -549,10 +608,14 @@ main(int argc, char **argv)
                                         " MISMATCHES")
               << "\n";
 
+    std::cout << "Kernel vs fallback replay: "
+              << formatFixed(replay_fallback_s / replay_only_s, 2)
+              << "x\n";
+
     writeJson(out_path, parallel_jobs, runs_override, repeat, two_pass,
               replay_serial, replay_parallel, record_s, replay_only_s,
-              warm_cache.seconds, replay_enabled_s, replay_disabled_s,
-              telemetry_overhead_pct, cache_counters, lookup,
-              mismatches);
+              replay_fallback_s, warm_cache.seconds, replay_enabled_s,
+              replay_disabled_s, telemetry_overhead_pct, cache_counters,
+              lookup, mismatches);
     return mismatches == 0 ? 0 : 1;
 }

@@ -122,7 +122,7 @@ main()
                       formatFixed(pipeline::branchCost(a, 10.0), 3)});
     }
     std::cout << "\nScheme comparison on 'compress' ("
-              << recorded.events.size() << " dynamic branches):\n\n";
+              << recorded.stream.size() << " dynamic branches):\n\n";
     table.render(std::cout);
     std::cout << "\nAny BranchPredictor subclass slots into the same "
                  "harness; see README.md.\n";

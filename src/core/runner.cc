@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/replay_kernel.hh"
 #include "ir/printer.hh"
 #include "ir/verifier.hh"
 #include "obs/metrics.hh"
@@ -149,8 +150,9 @@ rebuildProfile(const RecordedWorkload &recorded)
                                     *recorded.layout);
     for (unsigned r = 0; r < recorded.runs; ++r)
         profile.noteRun();
-    for (const trace::BranchEvent &event : recorded.events)
-        profile.onBranch(event);
+    const std::size_t n = recorded.stream.size();
+    for (std::size_t i = 0; i < n; ++i)
+        profile.onBranch(recorded.stream.event(i));
     return profile;
 }
 
@@ -189,52 +191,66 @@ ExperimentRunner::runBenchmarkReplay(
     result.staticSize = recorded.program->staticSize();
     result.runs = recorded.runs;
     result.stats = recorded.stats;
-    const std::vector<trace::BranchEvent> &events = recorded.events;
 
-    // ---- Replay the recorded stream against every scheme in one
-    // fused pass. The schemes never interact, so the fused replays
-    // observe exactly the stream the seed engine's online fan-out
-    // delivered. The FS is profiled over the recorded runs and
-    // measured over the very same stream
+    // ---- Replay the recorded stream against every scheme through
+    // the kernel dispatch layer (one monomorphized pass per scheme,
+    // virtual fallback for anything unregistered). The schemes never
+    // interact, so the replays observe exactly the stream the seed
+    // engine's online fan-out delivered. The FS is profiled over the
+    // recorded runs and measured over the very same stream
     // (profile-equals-measurement). ----
-    predict::SimpleBtb sbtb(config_.btb);
-    predict::CounterBtb cbtb(config_.btb, config_.counter);
-    predict::AlwaysTaken always_taken;
-    predict::AlwaysNotTaken always_not_taken;
-    predict::BackwardTaken btfnt;
-    predict::OpcodeBias opcode_bias;
-    predict::ProfilePredictor fs(recorded.likelyMap);
-
-    std::vector<std::pair<const char *, predict::BranchPredictor *>>
-        schemes = {{"SBTB", &sbtb}, {"CBTB", &cbtb}};
+    std::vector<std::pair<const char *, KernelSpec>> schemes;
+    KernelSpec sbtb_spec;
+    sbtb_spec.kind = SchemeKind::Sbtb;
+    sbtb_spec.btb = config_.btb;
+    schemes.emplace_back("SBTB", sbtb_spec);
+    KernelSpec cbtb_spec;
+    cbtb_spec.kind = SchemeKind::Cbtb;
+    cbtb_spec.btb = config_.btb;
+    cbtb_spec.counter = config_.counter;
+    schemes.emplace_back("CBTB", cbtb_spec);
     if (config_.runStaticSchemes) {
-        schemes.insert(schemes.end(),
-                       {{"always-taken", &always_taken},
-                        {"always-not-taken", &always_not_taken},
-                        {"btfnt", &btfnt},
-                        {"opcode-bias", &opcode_bias}});
+        const std::pair<const char *, SchemeKind> statics[] = {
+            {"always-taken", SchemeKind::AlwaysTaken},
+            {"always-not-taken", SchemeKind::AlwaysNotTaken},
+            {"btfnt", SchemeKind::BackwardTaken},
+            {"opcode-bias", SchemeKind::OpcodeBias}};
+        for (const auto &[name, kind] : statics) {
+            KernelSpec spec;
+            spec.kind = kind;
+            schemes.emplace_back(name, spec);
+        }
     }
-    schemes.emplace_back("FS", &fs);
+    KernelSpec fs_spec;
+    fs_spec.kind = SchemeKind::ForwardSemantic;
+    fs_spec.likely = &recorded.likelyMap;
+    schemes.emplace_back("FS", fs_spec);
 
-    std::vector<predict::BranchPredictor *> predictors;
-    predictors.reserve(schemes.size());
-    for (const auto &[name, predictor] : schemes)
-        predictors.push_back(predictor);
+    std::vector<KernelSpec> specs;
+    specs.reserve(schemes.size());
+    for (const auto &[name, spec] : schemes)
+        specs.push_back(spec);
     const std::vector<ReplayResult> replays =
-        replayMany(events, predictors);
+        replayManyKernel(recorded.stream, specs);
 
     for (std::size_t i = 0; i < schemes.size(); ++i) {
         const SchemeResult scheme{schemes[i].first, replays[i].accuracy,
                                   replays[i].missRatio,
                                   replays[i].hasMissRatio};
-        if (schemes[i].second == &sbtb)
+        switch (schemes[i].second.kind) {
+          case SchemeKind::Sbtb:
             result.sbtb = scheme;
-        else if (schemes[i].second == &cbtb)
+            break;
+          case SchemeKind::Cbtb:
             result.cbtb = scheme;
-        else if (schemes[i].second == &fs)
+            break;
+          case SchemeKind::ForwardSemantic:
             result.fs = scheme;
-        else
+            break;
+          default:
             result.staticSchemes.push_back(scheme);
+            break;
+        }
     }
 
     if (config_.runCodeSize) {
@@ -372,7 +388,7 @@ recordWorkload(const workloads::Workload &workload,
     if (cache.enabled()) {
         trace::CachedWorkload cached;
         if (cache.load(recorded.name, recorded.contentHash, cached)) {
-            recorded.events = std::move(cached.events);
+            recorded.stream = std::move(cached.stream);
             recorded.stats = trace::TraceStats::fromCounters(cached.stats);
             recorded.likelyMap = cachedToLikely(cached.likely);
             recorded.runs = cached.runs;
@@ -381,7 +397,7 @@ recordWorkload(const workloads::Workload &workload,
         }
     }
 
-    trace::BranchRecorder recorder(kRecorderReserveEvents);
+    trace::SoaRecorder recorder(kRecorderReserveEvents);
     recorded.profile = std::make_unique<profile::ProgramProfile>(
         *recorded.program, *recorded.layout);
     for (unsigned r = 0; r < runs; ++r)
@@ -393,7 +409,7 @@ recordWorkload(const workloads::Workload &workload,
     runSuite(*recorded.program, *recorded.layout, inputs, fanout,
              &recorded.stats, config.maxInstructionsPerRun);
 
-    recorded.events = recorder.takeEvents();
+    recorded.stream = recorder.take();
     recorded.likelyMap = recorded.profile->buildLikelyMap();
 
     if (cache.enabled()) {
@@ -402,24 +418,30 @@ recordWorkload(const workloads::Workload &workload,
         entry.runs = runs;
         entry.stats = recorded.stats.counters();
         entry.likely = likelyToCached(recorded.likelyMap);
-        entry.events = recorded.events;
+        entry.stream = recorded.stream;
         cache.store(recorded.name, entry);
     }
     return recorded;
 }
 
-ReplayResult
-replay(const std::vector<trace::BranchEvent> &events,
-       predict::BranchPredictor &predictor)
+void
+noteReplayTelemetry(std::size_t event_count, std::size_t scheme_count)
 {
-    const obs::ScopedSpan span("engine.replay");
-    obs::Registry::global().counter("engine.replays").add(1);
-    obs::Registry::global()
-        .counter("engine.replay.events")
-        .add(events.size());
-    predict::PredictionDriver driver(predictor);
-    for (const trace::BranchEvent &event : events)
-        driver.onBranch(event);
+    auto &registry = obs::Registry::global();
+    registry.counter("engine.replays").add(1);
+    registry.counter("engine.replay.events").add(event_count);
+    if (scheme_count != 0)
+        registry.counter("engine.replay.schemes").add(scheme_count);
+}
+
+namespace
+{
+
+/** Fold one finished driver's measurements into a ReplayResult. */
+ReplayResult
+driverResult(const predict::PredictionDriver &driver,
+             const predict::BranchPredictor &predictor)
+{
     ReplayResult result;
     result.stats = driver.stats();
     result.accuracy = result.stats.accuracy.ratio();
@@ -429,18 +451,39 @@ replay(const std::vector<trace::BranchEvent> &events,
     return result;
 }
 
+} // namespace
+
+ReplayResult
+replay(const std::vector<trace::BranchEvent> &events,
+       predict::BranchPredictor &predictor)
+{
+    const obs::ScopedSpan span("engine.replay");
+    noteReplayTelemetry(events.size(), 0);
+    predict::PredictionDriver driver(predictor);
+    for (const trace::BranchEvent &event : events)
+        driver.onBranch(event);
+    return driverResult(driver, predictor);
+}
+
+ReplayResult
+replay(const trace::SoaTrace &stream,
+       predict::BranchPredictor &predictor)
+{
+    const obs::ScopedSpan span("engine.replay");
+    noteReplayTelemetry(stream.size(), 0);
+    predict::PredictionDriver driver(predictor);
+    const std::size_t n = stream.size();
+    for (std::size_t i = 0; i < n; ++i)
+        driver.onBranch(stream.event(i));
+    return driverResult(driver, predictor);
+}
+
 std::vector<ReplayResult>
 replayMany(const std::vector<trace::BranchEvent> &events,
            const std::vector<predict::BranchPredictor *> &predictors)
 {
     const obs::ScopedSpan span("engine.replay");
-    obs::Registry::global().counter("engine.replays").add(1);
-    obs::Registry::global()
-        .counter("engine.replay.events")
-        .add(events.size());
-    obs::Registry::global()
-        .counter("engine.replay.schemes")
-        .add(predictors.size());
+    noteReplayTelemetry(events.size(), predictors.size());
     std::vector<predict::PredictionDriver> drivers;
     drivers.reserve(predictors.size());
     for (predict::BranchPredictor *predictor : predictors)
@@ -451,15 +494,31 @@ replayMany(const std::vector<trace::BranchEvent> &events,
     }
     std::vector<ReplayResult> results;
     results.reserve(predictors.size());
-    for (std::size_t i = 0; i < drivers.size(); ++i) {
-        ReplayResult result;
-        result.stats = drivers[i].stats();
-        result.accuracy = result.stats.accuracy.ratio();
-        result.hasMissRatio = predictors[i]->hasMissRatio();
-        if (result.hasMissRatio)
-            result.missRatio = predictors[i]->missRatio();
-        results.push_back(result);
+    for (std::size_t i = 0; i < drivers.size(); ++i)
+        results.push_back(driverResult(drivers[i], *predictors[i]));
+    return results;
+}
+
+std::vector<ReplayResult>
+replayMany(const trace::SoaTrace &stream,
+           const std::vector<predict::BranchPredictor *> &predictors)
+{
+    const obs::ScopedSpan span("engine.replay");
+    noteReplayTelemetry(stream.size(), predictors.size());
+    std::vector<predict::PredictionDriver> drivers;
+    drivers.reserve(predictors.size());
+    for (predict::BranchPredictor *predictor : predictors)
+        drivers.emplace_back(*predictor);
+    const std::size_t n = stream.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const trace::BranchEvent event = stream.event(i);
+        for (predict::PredictionDriver &driver : drivers)
+            driver.onBranch(event);
     }
+    std::vector<ReplayResult> results;
+    results.reserve(predictors.size());
+    for (std::size_t i = 0; i < drivers.size(); ++i)
+        results.push_back(driverResult(drivers[i], *predictors[i]));
     return results;
 }
 
@@ -467,7 +526,7 @@ double
 replayAccuracy(const RecordedWorkload &recorded,
                predict::BranchPredictor &predictor)
 {
-    return replay(recorded.events, predictor).accuracy;
+    return replay(recorded.stream, predictor).accuracy;
 }
 
 std::vector<BenchmarkResult>

@@ -32,6 +32,7 @@
 #include "predict/profile_predictor.hh"
 #include "profile/profile.hh"
 #include "trace/event.hh"
+#include "trace/soa.hh"
 #include "workloads/workload.hh"
 
 namespace branchlab::core
@@ -48,7 +49,10 @@ struct RecordedWorkload
     std::string name;
     std::unique_ptr<ir::Program> program;
     std::unique_ptr<ir::Layout> layout;
-    std::vector<trace::BranchEvent> events;
+    /** The recorded stream in the engine's native SoA columns
+     *  (trace/soa.hh). Consumers that need whole events materialise
+     *  them via stream.event(i) or stream.toEvents(). */
+    trace::SoaTrace stream;
     trace::TraceStats stats;
     /** The Forward Semantic's compiled-in predictions, profiled over
      *  exactly these events. */
@@ -101,8 +105,22 @@ struct ReplayResult
     bool hasMissRatio = false;
 };
 
-/** Replay a recorded stream against a predictor. */
+/** Bump the shared replay telemetry counters (engine.replays,
+ *  engine.replay.events, and -- when @p scheme_count is nonzero --
+ *  engine.replay.schemes). Every replay entry point funnels through
+ *  this one helper so the counter set cannot drift between paths. */
+void noteReplayTelemetry(std::size_t event_count,
+                         std::size_t scheme_count);
+
+/** Replay a recorded stream against a predictor. This is the
+ *  virtual-dispatch reference path; the kernel dispatch layer
+ *  (core/replay_kernel.hh) is bound to it by differential tests. */
 ReplayResult replay(const std::vector<trace::BranchEvent> &events,
+                    predict::BranchPredictor &predictor);
+
+/** Virtual-dispatch replay straight off the SoA columns (events are
+ *  materialised one at a time; no event vector is built). */
+ReplayResult replay(const trace::SoaTrace &stream,
                     predict::BranchPredictor &predictor);
 
 /** Replay a recorded stream against several independent predictors in
@@ -114,11 +132,16 @@ std::vector<ReplayResult>
 replayMany(const std::vector<trace::BranchEvent> &events,
            const std::vector<predict::BranchPredictor *> &predictors);
 
+/** The SoA-column variant of the fused multi-predictor replay. */
+std::vector<ReplayResult>
+replayMany(const trace::SoaTrace &stream,
+           const std::vector<predict::BranchPredictor *> &predictors);
+
 inline ReplayResult
 replay(const RecordedWorkload &recorded,
        predict::BranchPredictor &predictor)
 {
-    return replay(recorded.events, predictor);
+    return replay(recorded.stream, predictor);
 }
 
 /** Replay recorded events against a predictor; returns its accuracy.

@@ -12,9 +12,11 @@
 #include <map>
 #include <optional>
 #include <sstream>
+#include <tuple>
 
 #include <unistd.h>
 
+#include "core/replay_kernel.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "support/logging.hh"
@@ -432,20 +434,24 @@ struct PreparedWorkload
     std::map<std::pair<unsigned, double>, double> codeIncrease;
 };
 
-SweepCell
-evaluateCell(const SweepPoint &point, const PreparedWorkload &prepared)
-{
-    predict::SimpleBtb sbtb(point.btb);
-    predict::CounterBtb cbtb(point.btb, point.counter);
-    const std::vector<ReplayResult> replays =
-        replayMany(prepared.recorded.events, {&sbtb, &cbtb});
-    sweepTelemetry().replays.add(2);
+/** Grid points per batch-replay pass. Large enough to amortise one
+ *  walk of a multi-megabyte stream over many points, small enough
+ *  that every point's (tiny) predictor tables stay cache-resident in
+ *  the inner loop and parallel groups still load-balance. */
+constexpr std::size_t kBatchPoints = 16;
 
+/** Assemble one journal cell from a batch-replayed pair of hardware
+ *  schemes plus the workload's point-independent measurements. */
+SweepCell
+cellFromBatch(const predict::BtbBatchCell &batch,
+              const SweepPoint &point,
+              const PreparedWorkload &prepared)
+{
     SweepCell cell;
-    cell.sbtbAccuracy = replays[0].accuracy;
-    cell.sbtbMissRatio = replays[0].missRatio;
-    cell.cbtbAccuracy = replays[1].accuracy;
-    cell.cbtbMissRatio = replays[1].missRatio;
+    cell.sbtbAccuracy = batch.sbtb.stats.accuracy.ratio();
+    cell.sbtbMissRatio = batch.sbtb.missRatio;
+    cell.cbtbAccuracy = batch.cbtb.stats.accuracy.ratio();
+    cell.cbtbMissRatio = batch.cbtb.missRatio;
     cell.fsAccuracy = prepared.fsAccuracy;
     const auto it = prepared.codeIncrease.find(
         {point.fsSlots, point.traceThreshold});
@@ -509,9 +515,11 @@ runSweep(const SweepConfig &config)
             PreparedWorkload &slot = prepared[i];
             slot.recorded = recordWorkload(*suite[i], config.base);
 
-            predict::ProfilePredictor fs(slot.recorded.likelyMap);
+            KernelSpec fs_spec;
+            fs_spec.kind = SchemeKind::ForwardSemantic;
+            fs_spec.likely = &slot.recorded.likelyMap;
             slot.fsAccuracy =
-                replay(slot.recorded.events, fs).accuracy;
+                replayKernel(slot.recorded.stream, fs_spec).accuracy;
 
             const profile::ProgramProfile *profile =
                 slot.recorded.profile.get();
@@ -523,9 +531,9 @@ runSweep(const SweepConfig &config)
                                 *slot.recorded.layout);
                 for (unsigned r = 0; r < slot.recorded.runs; ++r)
                     rebuilt->noteRun();
-                for (const trace::BranchEvent &event :
-                     slot.recorded.events)
-                    rebuilt->onBranch(event);
+                const std::size_t n = slot.recorded.stream.size();
+                for (std::size_t e = 0; e < n; ++e)
+                    rebuilt->onBranch(slot.recorded.stream.event(e));
                 profile = &*rebuilt;
             }
             for (const auto &[slots, threshold] : code_pairs) {
@@ -575,15 +583,68 @@ runSweep(const SweepConfig &config)
     if (config.maxPoints != 0 && pending.size() > config.maxPoints)
         pending.resize(config.maxPoints);
 
-    parallelFor(pending.size(), jobs, [&](std::size_t i) {
+    // The BTB replay depends only on a point's (btb, counter) pair;
+    // the FS axes (slots, trace threshold) feed the point-independent
+    // code-size transform alone. Dedup the pending points into
+    // classes sharing a pair and replay each distinct pair once,
+    // fanning its cells out to every point in the class -- a grid
+    // that sweeps the FS axes cuts its replay volume by their width.
+    std::vector<std::vector<std::size_t>> classes;
+    {
+        std::map<std::tuple<std::size_t, std::size_t, int,
+                            std::uint64_t, int, unsigned, unsigned>,
+                 std::size_t>
+            by_pair;
+        for (const std::size_t g : pending) {
+            const SweepPoint &point = grid[g];
+            const auto key = std::make_tuple(
+                point.btb.entries, point.btb.associativity,
+                static_cast<int>(point.btb.policy), point.btb.seed,
+                static_cast<int>(point.btb.lookup),
+                point.counter.bits, point.counter.threshold);
+            const auto [slot, fresh] =
+                by_pair.try_emplace(key, classes.size());
+            if (fresh)
+                classes.emplace_back();
+            classes[slot->second].push_back(g);
+        }
+    }
+
+    // Batch evaluation: chunk the distinct pairs into groups and
+    // replay each workload's stream ONCE per group against every
+    // pair in it (events outer, predictor state inner), instead of
+    // once per point. Journal granularity stays per point, so a
+    // capped or interrupted run resumes exactly as before.
+    const std::size_t num_groups =
+        (classes.size() + kBatchPoints - 1) / kBatchPoints;
+    parallelFor(num_groups, jobs, [&](std::size_t group) {
         const obs::ScopedSpan point_span("sweep.point");
-        const std::size_t g = pending[i];
-        SweepPointResult &out = resolved[g];
-        out.cells.reserve(prepared.size());
-        for (const PreparedWorkload &slot : prepared)
-            out.cells.push_back(evaluateCell(grid[g], slot));
-        journal.store(keys[g], out.cells);
-        sweepTelemetry().evaluated.add(1);
+        const std::size_t begin = group * kBatchPoints;
+        const std::size_t end =
+            std::min(begin + kBatchPoints, classes.size());
+        std::vector<predict::BtbBatchPoint> batch;
+        batch.reserve(end - begin);
+        for (std::size_t c = begin; c < end; ++c) {
+            const SweepPoint &point = grid[classes[c].front()];
+            batch.push_back({point.btb, point.counter});
+        }
+        for (const PreparedWorkload &slot : prepared) {
+            const std::vector<predict::BtbBatchCell> cells =
+                replayBatch(slot.recorded.stream, batch);
+            sweepTelemetry().replays.add(2 * batch.size());
+            for (std::size_t c = begin; c < end; ++c) {
+                for (const std::size_t g : classes[c]) {
+                    resolved[g].cells.push_back(cellFromBatch(
+                        cells[c - begin], grid[g], slot));
+                }
+            }
+        }
+        for (std::size_t c = begin; c < end; ++c) {
+            for (const std::size_t g : classes[c]) {
+                journal.store(keys[g], resolved[g].cells);
+                sweepTelemetry().evaluated.add(1);
+            }
+        }
     });
     result.stats.evaluated = pending.size();
 

@@ -30,6 +30,7 @@
 #ifndef BRANCHLAB_PREDICT_ASSOC_BUFFER_HH
 #define BRANCHLAB_PREDICT_ASSOC_BUFFER_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -102,11 +103,108 @@ struct BufferConfig
     LookupStrategy lookup = LookupStrategy::Auto;
 };
 
+/** "No way" sentinel shared by the buffer and its index policies. */
+inline constexpr std::uint32_t kInvalidWay = 0xffffffffu;
+
+/**
+ * Tag -> way index backed by a hash map: works for any 64-bit address
+ * space. The default policy, and the one the `indexed` lookup
+ * strategy's telemetry has always been accounted under.
+ */
+class HashTagIndex
+{
+  public:
+    static constexpr const char *kTelemetryName = "indexed";
+    /** Keep the intrusive recency lists (O(1) eviction). */
+    static constexpr bool kTimestampReplacement = false;
+
+    void reserve(std::size_t n) { map_.reserve(n); }
+
+    std::uint32_t
+    lookup(ir::Addr tag) const
+    {
+        const auto it = map_.find(tag);
+        return it == map_.end() ? kInvalidWay : it->second;
+    }
+
+    void set(ir::Addr tag, std::uint32_t way) { map_[tag] = way; }
+    void erase(ir::Addr tag) { map_.erase(tag); }
+    void clear() { map_.clear(); }
+
+  private:
+    std::unordered_map<ir::Addr, std::uint32_t> map_;
+};
+
+/**
+ * Tag -> way index backed by a flat vector keyed directly by the tag:
+ * one load per lookup, no hashing. Only sensible when tags live in a
+ * small dense address space (the replay kernels guarantee this by
+ * checking the trace's maxPc before choosing it); memory is
+ * proportional to the largest tag ever inserted.
+ *
+ * Both policies are pure point-lookup structures -- never iterated,
+ * never consulted for victim choice -- so swapping them cannot change
+ * replacement behaviour.
+ */
+class FlatTagIndex
+{
+  public:
+    static constexpr const char *kTelemetryName = "flat";
+    /**
+     * Replacement state is the per-way timestamps alone: an LRU touch
+     * is one store (no list splice on the per-event path), and the
+     * victim on a full set is found by scanning the set for the
+     * minimum stamp -- the same rule the linear strategy uses, and
+     * provably the same way the recency list's head would name
+     * (timestamps are unique and monotonic). Eviction goes from O(1)
+     * to O(assoc), but evictions are rare while finds are the replay
+     * kernels' hottest operation.
+     */
+    static constexpr bool kTimestampReplacement = true;
+
+    void reserve(std::size_t n) { slots_.reserve(n); }
+
+    std::uint32_t
+    lookup(ir::Addr tag) const
+    {
+        return tag < slots_.size() ? slots_[static_cast<std::size_t>(
+                                         tag)]
+                                   : kInvalidWay;
+    }
+
+    void
+    set(ir::Addr tag, std::uint32_t way)
+    {
+        if (tag >= slots_.size())
+            slots_.resize(static_cast<std::size_t>(tag) + 1,
+                          kInvalidWay);
+        slots_[static_cast<std::size_t>(tag)] = way;
+    }
+
+    void
+    erase(ir::Addr tag)
+    {
+        if (tag < slots_.size())
+            slots_[static_cast<std::size_t>(tag)] = kInvalidWay;
+    }
+
+    void
+    clear()
+    {
+        std::fill(slots_.begin(), slots_.end(), kInvalidWay);
+    }
+
+  private:
+    std::vector<std::uint32_t> slots_;
+};
+
 /**
  * The buffer. @tparam Entry is the payload stored per tag (e.g. a
- * target address, or target + counter for the CBTB).
+ * target address, or target + counter for the CBTB). @tparam
+ * IndexPolicy is the tag -> way structure the indexed lookup strategy
+ * uses; see HashTagIndex / FlatTagIndex.
  */
-template <typename Entry>
+template <typename Entry, typename IndexPolicy = HashTagIndex>
 class AssociativeBuffer
 {
   public:
@@ -121,14 +219,18 @@ class AssociativeBuffer
                     "entries must be a multiple of associativity");
         assoc_ = assoc;
         numSets_ = config.entries / assoc;
+        setsPow2_ = (numSets_ & (numSets_ - 1)) == 0;
+        setMask_ = numSets_ - 1;
         ways_.assign(config.entries, Way{});
         indexed_ = config.lookup == LookupStrategy::Indexed ||
                    (config.lookup == LookupStrategy::Auto &&
                     assoc_ >= kAutoIndexAssociativity);
         if (indexed_) {
             index_.reserve(config.entries);
-            validHead_.assign(numSets_, kNullWay);
-            validTail_.assign(numSets_, kNullWay);
+            if constexpr (!IndexPolicy::kTimestampReplacement) {
+                validHead_.assign(numSets_, kNullWay);
+                validTail_.assign(numSets_, kNullWay);
+            }
             freeHead_.assign(numSets_, kNullWay);
             resetFreeLists();
         }
@@ -145,15 +247,17 @@ class AssociativeBuffer
     {
         ++counts_.finds;
         if (indexed_) {
-            const auto it = index_.find(tag);
-            if (it == index_.end())
+            const std::uint32_t idx = index_.lookup(tag);
+            if (idx == kNullWay)
                 return nullptr;
-            Way &way = ways_[it->second];
+            Way &way = ways_[idx];
             ++counts_.hits;
             ++counts_.touches;
             way.lastUse = ++tick_;
-            if (config_.policy == ReplacementPolicy::Lru)
-                moveToTail(setOf(tag), it->second);
+            if constexpr (!IndexPolicy::kTimestampReplacement) {
+                if (config_.policy == ReplacementPolicy::Lru)
+                    moveToTail(setOf(tag), idx);
+            }
             return &way.entry;
         }
         Way *way = findWayLinear(tag);
@@ -170,9 +274,8 @@ class AssociativeBuffer
     peek(ir::Addr tag) const
     {
         if (indexed_) {
-            const auto it = index_.find(tag);
-            return it == index_.end() ? nullptr
-                                      : &ways_[it->second].entry;
+            const std::uint32_t idx = index_.lookup(tag);
+            return idx == kNullWay ? nullptr : &ways_[idx].entry;
         }
         const std::size_t set = setOf(tag);
         for (std::size_t w = 0; w < assoc_; ++w) {
@@ -199,16 +302,16 @@ class AssociativeBuffer
     erase(ir::Addr tag)
     {
         if (indexed_) {
-            const auto it = index_.find(tag);
-            if (it == index_.end())
+            const std::uint32_t idx = index_.lookup(tag);
+            if (idx == kNullWay)
                 return;
             ++counts_.erases;
-            const std::uint32_t idx = it->second;
             const std::size_t set = setOf(tag);
-            unlinkValid(set, idx);
+            if constexpr (!IndexPolicy::kTimestampReplacement)
+                unlinkValid(set, idx);
             ways_[idx].valid = false;
             pushFree(set, idx);
-            index_.erase(it);
+            index_.erase(tag);
             return;
         }
         Way *way = findWayLinear(tag);
@@ -227,8 +330,10 @@ class AssociativeBuffer
             way.valid = false;
         if (indexed_) {
             index_.clear();
-            validHead_.assign(numSets_, kNullWay);
-            validTail_.assign(numSets_, kNullWay);
+            if constexpr (!IndexPolicy::kTimestampReplacement) {
+                validHead_.assign(numSets_, kNullWay);
+                validTail_.assign(numSets_, kNullWay);
+            }
             resetFreeLists();
         }
     }
@@ -249,7 +354,7 @@ class AssociativeBuffer
     const BufferConfig &config() const { return config_; }
 
   private:
-    static constexpr std::uint32_t kNullWay = 0xffffffffu;
+    static constexpr std::uint32_t kNullWay = kInvalidWay;
     /** Auto mode switches to the index at this set width. */
     static constexpr std::size_t kAutoIndexAssociativity = 16;
 
@@ -269,7 +374,12 @@ class AssociativeBuffer
     std::size_t
     setOf(ir::Addr tag) const
     {
-        return static_cast<std::size_t>(tag) % numSets_;
+        // Power-of-two set counts (every geometry the paper and the
+        // benches sweep, including the fully-associative single set)
+        // reduce the modulo to a mask; the division only survives for
+        // exotic set counts.
+        return setsPow2_ ? static_cast<std::size_t>(tag) & setMask_
+                         : static_cast<std::size_t>(tag) % numSets_;
     }
 
     Way *
@@ -353,15 +463,18 @@ class AssociativeBuffer
     Entry &
     insertIndexed(ir::Addr tag)
     {
-        blab_assert(index_.find(tag) == index_.end(),
+        blab_assert(index_.lookup(tag) == kNullWay,
                     "insert of already-resident tag");
         ++counts_.inserts;
         const std::size_t set = setOf(tag);
         std::uint32_t idx = popFree(set);
         if (idx == kNullWay) {
-            idx = pickVictimIndexed(set);
+            idx = IndexPolicy::kTimestampReplacement
+                      ? pickVictimTimestamp(set)
+                      : pickVictimIndexed(set);
             index_.erase(ways_[idx].tag);
-            unlinkValid(set, idx);
+            if constexpr (!IndexPolicy::kTimestampReplacement)
+                unlinkValid(set, idx);
             ++counts_.evictions;
         }
         Way &way = ways_[idx];
@@ -370,8 +483,9 @@ class AssociativeBuffer
         way.entry = Entry{};
         way.lastUse = ++tick_;
         way.inserted = tick_;
-        appendValid(set, idx);
-        index_.emplace(tag, idx);
+        if constexpr (!IndexPolicy::kTimestampReplacement)
+            appendValid(set, idx);
+        index_.set(tag, idx);
         return way.entry;
     }
 
@@ -384,6 +498,29 @@ class AssociativeBuffer
                                               rng_.nextBelow(assoc_));
         }
         return validHead_[set]; // LRU / FIFO: the oldest way
+    }
+
+    /** Victim by timestamp scan (timestamp-replacement policies):
+     *  the unique minimum stamp names exactly the way the recency
+     *  list's head would. */
+    std::uint32_t
+    pickVictimTimestamp(std::size_t set)
+    {
+        const std::size_t base = set * assoc_;
+        if (config_.policy == ReplacementPolicy::Random) {
+            return static_cast<std::uint32_t>(base +
+                                              rng_.nextBelow(assoc_));
+        }
+        const bool lru = config_.policy == ReplacementPolicy::Lru;
+        std::size_t victim = base;
+        for (std::size_t w = 1; w < assoc_; ++w) {
+            const Way &way = ways_[base + w];
+            const Way &best = ways_[victim];
+            if (lru ? way.lastUse < best.lastUse
+                    : way.inserted < best.inserted)
+                victim = base + w;
+        }
+        return static_cast<std::uint32_t>(victim);
     }
 
     void
@@ -497,9 +634,10 @@ class AssociativeBuffer
             return;
         }
         auto &reg = obs::Registry::global();
-        const std::string prefix = indexed_
-                                       ? "predict.buffer.indexed."
-                                       : "predict.buffer.linear.";
+        const std::string prefix =
+            indexed_ ? std::string("predict.buffer.") +
+                           IndexPolicy::kTelemetryName + "."
+                     : "predict.buffer.linear.";
         reg.counter(prefix + "finds").add(counts_.finds);
         reg.counter(prefix + "hits").add(counts_.hits);
         reg.counter(prefix + "lru_touches").add(counts_.touches);
@@ -514,10 +652,12 @@ class AssociativeBuffer
     LocalCounts counts_;
     std::size_t assoc_ = 0;
     std::size_t numSets_ = 0;
+    std::size_t setMask_ = 0;
+    bool setsPow2_ = false;
     std::uint64_t tick_ = 0;
     bool indexed_ = false;
     std::vector<Way> ways_;
-    std::unordered_map<ir::Addr, std::uint32_t> index_;
+    IndexPolicy index_;
     std::vector<std::uint32_t> validHead_;
     std::vector<std::uint32_t> validTail_;
     std::vector<std::uint32_t> freeHead_;

@@ -53,6 +53,14 @@ class CounterBtb : public BranchPredictor
     /** Counter value for a resident branch, or -1 (tests). */
     int counterOf(ir::Addr pc) const;
 
+    /** Stored target for a resident branch, or kNoAddr (tests). */
+    ir::Addr
+    targetOf(ir::Addr pc) const
+    {
+        const Entry *entry = buffer_.peek(pc);
+        return entry == nullptr ? ir::kNoAddr : entry->target;
+    }
+
   private:
     struct Entry
     {

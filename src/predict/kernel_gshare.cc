@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The gshare replay kernel.
+ */
+
+#include "predict/replay_kernels.hh"
+
+namespace branchlab::predict
+{
+
+GshareKernel::GshareKernel(const GshareConfig &config)
+    : config_(config),
+      targets_(kernelIndexedConfig(config.targets))
+{
+    blab_assert(config_.historyBits >= 1 && config_.historyBits <= 24,
+                "history bits out of range");
+    mask_ = (1ull << config_.historyBits) - 1;
+    // Weakly not-taken start, like the reference.
+    counters_.assign(1ull << config_.historyBits, 1);
+}
+
+KernelReplayResult
+GshareKernel::run(const trace::SoaTrace &stream)
+{
+    const std::size_t n = stream.size();
+    for (std::size_t i = 0; i < n; ++i)
+        step(kernelEventAt(stream, i));
+    return result();
+}
+
+KernelReplayResult
+GshareKernel::result() const
+{
+    KernelReplayResult out;
+    out.stats = acc_.toStats();
+    return out;
+}
+
+} // namespace branchlab::predict

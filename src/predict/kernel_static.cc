@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Stateless replay kernels: the four static predictors and the
+ * Forward Semantic (profile) scheme.
+ */
+
+#include <algorithm>
+
+#include "predict/replay_kernels.hh"
+
+namespace branchlab::predict
+{
+
+StaticKernel::StaticKernel(StaticKind kind) : kind_(kind)
+{
+    // The default OpcodeBias table (static_predictors.cc): equality
+    // tests skip, ordered tests that guard back-edges retake.
+    // Unmapped opcodes read false, matching the reference's map miss.
+    bias_[static_cast<std::size_t>(ir::Opcode::Bne)] = true;
+    bias_[static_cast<std::size_t>(ir::Opcode::Blt)] = true;
+    bias_[static_cast<std::size_t>(ir::Opcode::Ble)] = true;
+}
+
+template <StaticKind Kind>
+KernelReplayResult
+StaticKernel::runImpl(const trace::SoaTrace &stream)
+{
+    const std::size_t n = stream.size();
+    for (std::size_t i = 0; i < n; ++i)
+        stepImpl<Kind>(kernelEventAt(stream, i));
+    return result();
+}
+
+KernelReplayResult
+StaticKernel::run(const trace::SoaTrace &stream)
+{
+    switch (kind_) {
+      case StaticKind::AlwaysTaken:
+        return runImpl<StaticKind::AlwaysTaken>(stream);
+      case StaticKind::AlwaysNotTaken:
+        return runImpl<StaticKind::AlwaysNotTaken>(stream);
+      case StaticKind::BackwardTaken:
+        return runImpl<StaticKind::BackwardTaken>(stream);
+      case StaticKind::OpcodeBias:
+        return runImpl<StaticKind::OpcodeBias>(stream);
+    }
+    blab_panic("unreachable static kernel kind");
+}
+
+KernelReplayResult
+StaticKernel::result() const
+{
+    KernelReplayResult out;
+    out.stats = acc_.toStats();
+    return out;
+}
+
+FsKernel::FsKernel(const LikelyMap &map, ir::Addr max_pc)
+{
+    // Size the flat tables to cover both the stream's pcs and every
+    // profiled branch (the profile normally comes from the same
+    // program, but don't assume it).
+    ir::Addr limit = max_pc;
+    for (const auto &[pc, info] : map) {
+        (void)info;
+        if (pc != ir::kNoAddr && pc > limit)
+            limit = pc;
+    }
+    const std::size_t size = static_cast<std::size_t>(limit) + 1;
+    table_.assign(size, Slot{});
+    for (const auto &[pc, info] : map) {
+        if (pc == ir::kNoAddr)
+            continue;
+        Slot &slot = table_[static_cast<std::size_t>(pc)];
+        slot.present = 1;
+        slot.likelyTaken = info.likelyTaken ? 1 : 0;
+        slot.dominantTarget = info.dominantTarget;
+    }
+}
+
+KernelReplayResult
+FsKernel::run(const trace::SoaTrace &stream)
+{
+    const std::size_t n = stream.size();
+    for (std::size_t i = 0; i < n; ++i)
+        step(kernelEventAt(stream, i));
+    return result();
+}
+
+KernelReplayResult
+FsKernel::result() const
+{
+    KernelReplayResult out;
+    out.stats = acc_.toStats();
+    return out;
+}
+
+} // namespace branchlab::predict

@@ -40,6 +40,14 @@ class SimpleBtb : public BranchPredictor
     /** Valid entries currently resident (tests). */
     std::size_t occupancy() const { return buffer_.occupancy(); }
 
+    /** Stored target for a resident branch, or kNoAddr (tests). */
+    ir::Addr
+    targetOf(ir::Addr pc) const
+    {
+        const Entry *entry = buffer_.peek(pc);
+        return entry == nullptr ? ir::kNoAddr : entry->target;
+    }
+
   private:
     struct Entry
     {

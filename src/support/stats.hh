@@ -44,6 +44,15 @@ class Ratio
     void record(bool hit);
     void reset();
 
+    /** Merge raw hit/total counts accumulated elsewhere (e.g. a
+     *  replay kernel's plain-integer tallies). */
+    void
+    add(std::uint64_t hits, std::uint64_t total)
+    {
+        hits_ += hits;
+        total_ += total;
+    }
+
     std::uint64_t hits() const { return hits_; }
     std::uint64_t total() const { return total_; }
     /** hits / total, or 0 when no events were recorded. */

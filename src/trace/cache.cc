@@ -123,8 +123,8 @@ encodeEntry(const CachedWorkload &workload)
         putU64(out, entry.dominantTarget);
         out.push_back(entry.likelyTaken ? 1 : 0);
     }
-    const std::string payload = encodeEventsV2(workload.events);
-    putU64(out, workload.events.size());
+    const std::string payload = encodeEventsV2(workload.stream);
+    putU64(out, workload.stream.size());
     putU64(out, payload.size());
     out += payload;
     return out;
@@ -175,8 +175,8 @@ decodeEntry(const std::string &in, CachedWorkload &out)
     if (payload_size != in.size() - pos)
         return "event payload size mismatch";
     std::string error;
-    if (!decodeEventsV2(std::string_view(in).substr(pos), event_count,
-                        out.events, error))
+    if (!decodeEventsV2Soa(std::string_view(in).substr(pos),
+                           event_count, out.stream, error))
         return error;
     return "";
 }
@@ -266,7 +266,7 @@ TraceCache::load(const std::string &name, std::uint64_t content_hash,
     }
     ++g_hits;
     cacheTelemetry().hits.add(1);
-    blab_inform("trace cache hit: ", name, " (", out.events.size(),
+    blab_inform("trace cache hit: ", name, " (", out.stream.size(),
                 " events)");
     return true;
 }
@@ -327,7 +327,7 @@ TraceCache::store(const std::string &name,
     cacheTelemetry().stores.add(1);
     cacheTelemetry().bytesWritten.add(entry_size);
     blab_inform("trace cache store: ", name, " (",
-                workload.events.size(), " events)");
+                workload.stream.size(), " events)");
 }
 
 } // namespace branchlab::trace

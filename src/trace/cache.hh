@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "trace/event.hh"
+#include "trace/soa.hh"
 #include "trace/stats.hh"
 
 namespace branchlab::trace
@@ -104,7 +105,9 @@ struct CachedWorkload
     std::uint32_t runs = 0;
     TraceCounters stats;
     std::vector<CachedLikely> likely;
-    std::vector<BranchEvent> events;
+    /** The recorded stream, decoded straight into SoA columns (the
+     *  replay engine's native representation). */
+    SoaTrace stream;
 };
 
 /** Hit/miss/store totals across all caches in the process. */

@@ -237,64 +237,72 @@ readBodyV2(std::istream &is, const HeaderV2 &header)
 } // namespace
 
 std::string
-encodeEventsV2(const std::vector<BranchEvent> &events)
+encodeEventsV2(const SoaTrace &events)
 {
     const std::size_t n = events.size();
     const std::size_t plane_bytes = (n + 7) / 8;
+    const std::vector<ir::Addr> &pc = events.pc();
+    const std::vector<ir::Addr> &next_pc = events.nextPc();
+    const std::vector<ir::Addr> &target = events.targetAddr();
+    const std::vector<ir::Addr> &fall = events.fallthroughAddr();
 
-    std::string ops;
-    ops.reserve(n);
-    std::string planes(4 * plane_bytes, '\0');
-    const auto set_bit = [&](std::size_t plane, std::size_t i) {
-        planes[plane * plane_bytes + (i >> 3)] = static_cast<char>(
-            static_cast<unsigned char>(
-                planes[plane * plane_bytes + (i >> 3)]) |
-            (1u << (i & 7)));
-    };
+    // The first three bit-planes share the SoaTrace's LSB-first
+    // layout, so they serialize as straight byte copies. Only the
+    // anomalous-next plane has to be derived here.
+    std::string anomaly_plane(plane_bytes, '\0');
 
     // One delta triple per event, interleaved so the decoder fills
-    // each BranchEvent in a single sequential pass (three separate
-    // columns would make it re-walk the multi-hundred-megabyte event
-    // array once per column).
+    // each event in a single sequential pass (three separate columns
+    // would make it re-walk the multi-hundred-megabyte trace once
+    // per column).
     std::string deltas;
     deltas.reserve(6 * n); // small deltas dominate real traces
     std::string anomalies;
 
     ir::Addr prev_pc = 0;
     for (std::size_t i = 0; i < n; ++i) {
-        const BranchEvent &e = events[i];
-        ops.push_back(static_cast<char>(e.op));
-        if (e.conditional)
-            set_bit(0, i);
-        if (e.taken)
-            set_bit(1, i);
-        if (e.targetKnown)
-            set_bit(2, i);
-        const ir::Addr implied =
-            e.taken ? e.targetAddr : e.fallthroughAddr;
-        if (e.nextPc != implied) {
-            set_bit(3, i);
-            putVarint(anomalies, zigzag(e.nextPc - e.pc));
+        const ir::Addr implied = events.taken(i) ? target[i] : fall[i];
+        if (next_pc[i] != implied) {
+            anomaly_plane[i >> 3] = static_cast<char>(
+                static_cast<unsigned char>(anomaly_plane[i >> 3]) |
+                (1u << (i & 7)));
+            putVarint(anomalies, zigzag(next_pc[i] - pc[i]));
         }
-        putVarint(deltas, zigzag(e.pc - prev_pc));
-        putVarint(deltas, zigzag(e.targetAddr - e.pc));
-        putVarint(deltas, zigzag(e.fallthroughAddr - e.pc));
-        prev_pc = e.pc;
+        putVarint(deltas, zigzag(pc[i] - prev_pc));
+        putVarint(deltas, zigzag(target[i] - pc[i]));
+        putVarint(deltas, zigzag(fall[i] - pc[i]));
+        prev_pc = pc[i];
     }
 
     std::string payload;
-    payload.reserve(ops.size() + planes.size() + deltas.size() +
+    payload.reserve(n + 4 * plane_bytes + deltas.size() +
                     anomalies.size());
-    payload += ops;
-    payload += planes;
+    payload.append(
+        reinterpret_cast<const char *>(events.ops().data()), n);
+    payload.append(reinterpret_cast<const char *>(
+                       events.conditionalPlane().data()),
+                   plane_bytes);
+    payload.append(
+        reinterpret_cast<const char *>(events.takenPlane().data()),
+        plane_bytes);
+    payload.append(reinterpret_cast<const char *>(
+                       events.targetKnownPlane().data()),
+                   plane_bytes);
+    payload += anomaly_plane;
     payload += deltas;
     payload += anomalies;
     return payload;
 }
 
+std::string
+encodeEventsV2(const std::vector<BranchEvent> &events)
+{
+    return encodeEventsV2(SoaTrace::fromEvents(events));
+}
+
 bool
-decodeEventsV2(std::string_view payload, std::uint64_t count,
-               std::vector<BranchEvent> &out, std::string &error)
+decodeEventsV2Soa(std::string_view payload, std::uint64_t count,
+                  SoaTrace &out, std::string &error)
 {
     out.clear();
     const std::size_t n = static_cast<std::size_t>(count);
@@ -309,33 +317,43 @@ decodeEventsV2(std::string_view payload, std::uint64_t count,
     VarintCursor cur{base + n + 4 * plane_bytes,
                      base + payload.size()};
 
-    out.resize(n);
-    ir::Addr prev_pc = 0;
+    std::vector<std::uint8_t> ops(base, base + n);
     for (std::size_t i = 0; i < n; ++i) {
-        const unsigned char op = base[i];
-        if (op >= ir::kNumOpcodes) {
-            error = "bad opcode " + std::to_string(op);
-            out.clear();
+        if (ops[i] >= ir::kNumOpcodes) {
+            error = "bad opcode " + std::to_string(ops[i]);
             return false;
         }
-        BranchEvent &e = out[i];
-        e.op = static_cast<ir::Opcode>(op);
-        e.conditional = getBit(payload, planes + 0 * plane_bytes, i);
-        e.taken = getBit(payload, planes + 1 * plane_bytes, i);
-        e.targetKnown = getBit(payload, planes + 2 * plane_bytes, i);
+    }
+    // The outcome planes keep their on-disk layout in memory: copy.
+    std::vector<std::uint8_t> conditional_plane(
+        base + planes, base + planes + plane_bytes);
+    std::vector<std::uint8_t> taken_plane(
+        base + planes + plane_bytes,
+        base + planes + 2 * plane_bytes);
+    std::vector<std::uint8_t> target_known_plane(
+        base + planes + 2 * plane_bytes,
+        base + planes + 3 * plane_bytes);
+
+    std::vector<ir::Addr> pc(n);
+    std::vector<ir::Addr> next_pc(n);
+    std::vector<ir::Addr> target(n);
+    std::vector<ir::Addr> fall(n);
+    ir::Addr prev_pc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
         std::uint64_t zpc = 0;
         std::uint64_t ztarget = 0;
         std::uint64_t zfall = 0;
         if (!cur.get(zpc) || !cur.get(ztarget) || !cur.get(zfall)) {
             error = "truncated delta column";
-            out.clear();
             return false;
         }
-        e.pc = prev_pc + unzigzag(zpc);
-        prev_pc = e.pc;
-        e.targetAddr = e.pc + unzigzag(ztarget);
-        e.fallthroughAddr = e.pc + unzigzag(zfall);
-        e.nextPc = e.taken ? e.targetAddr : e.fallthroughAddr;
+        pc[i] = prev_pc + unzigzag(zpc);
+        prev_pc = pc[i];
+        target[i] = pc[i] + unzigzag(ztarget);
+        fall[i] = pc[i] + unzigzag(zfall);
+        const bool taken =
+            (taken_plane[i >> 3] >> (i & 7)) & 1u;
+        next_pc[i] = taken ? target[i] : fall[i];
     }
     for (std::size_t i = 0; i < n; ++i) {
         if (!getBit(payload, planes + 3 * plane_bytes, i))
@@ -343,21 +361,53 @@ decodeEventsV2(std::string_view payload, std::uint64_t count,
         std::uint64_t z = 0;
         if (!cur.get(z)) {
             error = "truncated anomalous-next column";
-            out.clear();
             return false;
         }
-        out[i].nextPc = out[i].pc + unzigzag(z);
+        next_pc[i] = pc[i] + unzigzag(z);
     }
     if (cur.p != cur.end) {
         error = "trailing bytes after event columns";
-        out.clear();
         return false;
     }
+    out.adoptColumns(std::move(ops), std::move(conditional_plane),
+                     std::move(taken_plane),
+                     std::move(target_known_plane), std::move(pc),
+                     std::move(next_pc), std::move(target),
+                     std::move(fall));
+    return true;
+}
+
+bool
+decodeEventsV2(std::string_view payload, std::uint64_t count,
+               std::vector<BranchEvent> &out, std::string &error)
+{
+    out.clear();
+    SoaTrace soa;
+    if (!decodeEventsV2Soa(payload, count, soa, error))
+        return false;
+    out = soa.toEvents();
     return true;
 }
 
 std::size_t
 writeTrace(std::ostream &os, const std::vector<BranchEvent> &events,
+           std::uint64_t content_hash)
+{
+    const std::string payload = encodeEventsV2(events);
+    os.write(kMagic, sizeof(kMagic));
+    putU32(os, kTraceFormatVersion);
+    putU64(os, content_hash);
+    putU64(os, events.size());
+    putU64(os, payload.size());
+    os.write(payload.data(),
+             static_cast<std::streamsize>(payload.size()));
+    if (!os)
+        blab_fatal("trace write failed");
+    return sizeof(kMagic) + 4 + 3 * 8 + payload.size();
+}
+
+std::size_t
+writeTrace(std::ostream &os, const SoaTrace &events,
            std::uint64_t content_hash)
 {
     const std::string payload = encodeEventsV2(events);
@@ -395,6 +445,16 @@ writeTraceFile(const std::string &path,
     if (!file)
         blab_fatal("cannot open '", path, "' for writing");
     writeTrace(file, events, content_hash);
+}
+
+void
+writeTraceFile(const std::string &path, const SoaTrace &stream,
+               std::uint64_t content_hash)
+{
+    std::ofstream file(path, std::ios::binary);
+    if (!file)
+        blab_fatal("cannot open '", path, "' for writing");
+    writeTrace(file, stream, content_hash);
 }
 
 std::vector<BranchEvent>

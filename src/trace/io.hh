@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "trace/event.hh"
+#include "trace/soa.hh"
 
 namespace branchlab::trace
 {
@@ -60,6 +61,11 @@ std::size_t writeTrace(std::ostream &os,
                        const std::vector<BranchEvent> &events,
                        std::uint64_t content_hash = 0);
 
+/** Serialize an SoA stream (v2) without materialising an event
+ *  vector. @return bytes written. */
+std::size_t writeTrace(std::ostream &os, const SoaTrace &events,
+                       std::uint64_t content_hash = 0);
+
 /** Serialize in the legacy v1 fixed-record format (compatibility and
  *  format tests). @return bytes written. */
 std::size_t writeTraceV1(std::ostream &os,
@@ -68,6 +74,10 @@ std::size_t writeTraceV1(std::ostream &os,
 /** Serialize to a file (v2); fatal on I/O failure. */
 void writeTraceFile(const std::string &path,
                     const std::vector<BranchEvent> &events,
+                    std::uint64_t content_hash = 0);
+
+/** SoA-column variant of writeTraceFile (no event vector built). */
+void writeTraceFile(const std::string &path, const SoaTrace &stream,
                     std::uint64_t content_hash = 0);
 
 /**
@@ -92,7 +102,18 @@ std::size_t replayTrace(std::istream &is, TraceSink &sink);
  * the payload bytes for the given events; decode parses a payload of
  * @p count events, returning false (with a diagnostic in @p error)
  * on truncation or corruption instead of failing fatally.
+ *
+ * The SoA pair is the primary implementation: the payload's three
+ * outcome bit-planes are copied verbatim into the SoaTrace (they
+ * share the LSB-first layout) and the delta columns decode straight
+ * into the address arrays, so no std::vector<BranchEvent> is ever
+ * materialised on the replay path. The event-vector decode is a thin
+ * adapter over it (decode-into-SoA, then toEvents()).
  */
+std::string encodeEventsV2(const SoaTrace &events);
+bool decodeEventsV2Soa(std::string_view payload, std::uint64_t count,
+                       SoaTrace &out, std::string &error);
+
 std::string encodeEventsV2(const std::vector<BranchEvent> &events);
 bool decodeEventsV2(std::string_view payload, std::uint64_t count,
                     std::vector<BranchEvent> &out, std::string &error);

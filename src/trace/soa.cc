@@ -1,0 +1,111 @@
+/**
+ * @file
+ * SoaTrace out-of-line members.
+ */
+
+#include "trace/soa.hh"
+
+#include <cassert>
+
+namespace branchlab::trace
+{
+
+void
+SoaTrace::append(const BranchEvent &event)
+{
+    const std::size_t i = op_.size();
+    op_.push_back(static_cast<std::uint8_t>(event.op));
+    const std::size_t plane_bytes = (i >> 3) + 1;
+    if (conditionalPlane_.size() < plane_bytes)
+    {
+        conditionalPlane_.push_back(0);
+        takenPlane_.push_back(0);
+        targetKnownPlane_.push_back(0);
+    }
+    if (event.conditional)
+        setBit(conditionalPlane_, i);
+    if (event.taken)
+        setBit(takenPlane_, i);
+    if (event.targetKnown)
+        setBit(targetKnownPlane_, i);
+    pc_.push_back(event.pc);
+    nextPc_.push_back(event.nextPc);
+    targetAddr_.push_back(event.targetAddr);
+    fallthroughAddr_.push_back(event.fallthroughAddr);
+    if (event.pc != ir::kNoAddr && event.pc > maxPc_)
+        maxPc_ = event.pc;
+}
+
+BranchEvent
+SoaTrace::event(std::size_t i) const
+{
+    assert(i < size());
+    BranchEvent out;
+    out.pc = pc_[i];
+    out.nextPc = nextPc_[i];
+    out.targetAddr = targetAddr_[i];
+    out.fallthroughAddr = fallthroughAddr_[i];
+    out.op = opcode(i);
+    out.conditional = conditional(i);
+    out.taken = taken(i);
+    out.targetKnown = targetKnown(i);
+    return out;
+}
+
+SoaTrace
+SoaTrace::fromEvents(const std::vector<BranchEvent> &events)
+{
+    SoaTrace out;
+    out.reserve(events.size());
+    for (const BranchEvent &event : events)
+        out.append(event);
+    return out;
+}
+
+std::vector<BranchEvent>
+SoaTrace::toEvents() const
+{
+    std::vector<BranchEvent> out;
+    out.reserve(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        out.push_back(event(i));
+    return out;
+}
+
+void
+SoaTrace::adoptColumns(std::vector<std::uint8_t> ops,
+                       std::vector<std::uint8_t> conditional_plane,
+                       std::vector<std::uint8_t> taken_plane,
+                       std::vector<std::uint8_t> target_known_plane,
+                       std::vector<ir::Addr> pc,
+                       std::vector<ir::Addr> next_pc,
+                       std::vector<ir::Addr> target_addr,
+                       std::vector<ir::Addr> fallthrough_addr)
+{
+    const std::size_t n = ops.size();
+    const std::size_t plane_bytes = (n + 7) / 8;
+    assert(conditional_plane.size() == plane_bytes);
+    assert(taken_plane.size() == plane_bytes);
+    assert(target_known_plane.size() == plane_bytes);
+    assert(pc.size() == n);
+    assert(next_pc.size() == n);
+    assert(target_addr.size() == n);
+    assert(fallthrough_addr.size() == n);
+    (void)plane_bytes;
+
+    op_ = std::move(ops);
+    conditionalPlane_ = std::move(conditional_plane);
+    takenPlane_ = std::move(taken_plane);
+    targetKnownPlane_ = std::move(target_known_plane);
+    pc_ = std::move(pc);
+    nextPc_ = std::move(next_pc);
+    targetAddr_ = std::move(target_addr);
+    fallthroughAddr_ = std::move(fallthrough_addr);
+
+    maxPc_ = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (pc_[i] != ir::kNoAddr && pc_[i] > maxPc_)
+            maxPc_ = pc_[i];
+}
+
+} // namespace branchlab::trace

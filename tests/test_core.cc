@@ -111,8 +111,8 @@ TEST(ExperimentRunner, RecordAndReplayMatchesTheOnlineRun)
     ExperimentConfig config = quickConfig();
     const RecordedWorkload recorded =
         recordWorkload(workloads::findWorkload("tee"), config);
-    EXPECT_FALSE(recorded.events.empty());
-    EXPECT_EQ(recorded.stats.branches(), recorded.events.size());
+    EXPECT_FALSE(recorded.stream.empty());
+    EXPECT_EQ(recorded.stats.branches(), recorded.stream.size());
 
     // Replaying the recorded stream through a fresh SBTB must land on
     // exactly the accuracy the online pass measured.
@@ -137,7 +137,7 @@ TEST(ExperimentRunner, ReplayReturnsThePerSchemeMissRatio)
     EXPECT_EQ(sbtb_replay.missRatio, online.sbtb.missRatio);
     EXPECT_EQ(sbtb_replay.accuracy, online.sbtb.accuracy);
     EXPECT_EQ(sbtb_replay.stats.accuracy.total(),
-              recorded.events.size());
+              recorded.stream.size());
 
     // Schemes without a buffer report no miss ratio.
     predict::ProfilePredictor fs(recorded.likelyMap);

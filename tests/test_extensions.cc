@@ -365,7 +365,7 @@ TEST(TraceIo, RoundTripsARealTrace)
 TEST(TraceIo, EmptyTraceRoundTrips)
 {
     std::stringstream buffer;
-    trace::writeTrace(buffer, {});
+    trace::writeTrace(buffer, std::vector<trace::BranchEvent>{});
     EXPECT_TRUE(trace::readTrace(buffer).empty());
 }
 

@@ -6,11 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "helpers.hh"
 #include "support/logging.hh"
 #include "trace/io.hh"
+#include "trace/soa.hh"
 #include "trace/stats.hh"
 
 namespace branchlab::trace
@@ -291,6 +293,69 @@ TEST(TraceIoV2, ReplayHandlesBothVersions)
     EXPECT_EQ(replayTrace(v2, from_v2), events.size());
     EXPECT_EQ(from_v1.branches(), from_v2.branches());
     EXPECT_EQ(from_v1.conditionalTaken(), from_v2.conditionalTaken());
+}
+
+// ---------------------------------------------------------------------
+// The SoA trace buffer and the streaming column-wise v2 decoder.
+// ---------------------------------------------------------------------
+
+TEST(SoaTrace, FromEventsToEventsRoundTripsBitExactly)
+{
+    std::vector<BranchEvent> events = recordFactorialTrace();
+    // Include anomalies the v2 side channel must carry.
+    BranchEvent odd = makeEvent(0x1004, true, false);
+    odd.nextPc = 0x9999;
+    events.push_back(odd);
+
+    const SoaTrace stream = SoaTrace::fromEvents(events);
+    ASSERT_EQ(stream.size(), events.size());
+    expectSameEvents(stream.toEvents(), events);
+
+    // The per-event AoS view is exact too.
+    ir::Addr max_pc = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        expectSameEvents({stream.event(i)}, {events[i]});
+        max_pc = std::max(max_pc, events[i].pc);
+    }
+    EXPECT_EQ(stream.maxPc(), max_pc);
+}
+
+TEST(SoaTrace, StreamingDecodeMatchesEventDecode)
+{
+    const std::vector<BranchEvent> events = recordFactorialTrace();
+    const std::string payload = encodeEventsV2(events);
+
+    // Decoding straight into columns must agree with the event-vector
+    // decoder, and re-encoding the SoA form must be byte-identical.
+    SoaTrace decoded;
+    std::string error;
+    ASSERT_TRUE(
+        decodeEventsV2Soa(payload, events.size(), decoded, error))
+        << error;
+    expectSameEvents(decoded.toEvents(), events);
+    EXPECT_EQ(encodeEventsV2(decoded), payload);
+
+    // Corruption fails softly on the SoA path as well.
+    SoaTrace scratch;
+    EXPECT_FALSE(decodeEventsV2Soa(payload.substr(0, payload.size() - 2),
+                                   events.size(), scratch, error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(SoaTrace, AdoptColumnsRecomputesMaxPc)
+{
+    const std::vector<BranchEvent> events = recordFactorialTrace();
+    const SoaTrace stream = SoaTrace::fromEvents(events);
+
+    SoaTrace adopted;
+    adopted.adoptColumns(stream.ops(), stream.conditionalPlane(),
+                         stream.takenPlane(),
+                         stream.targetKnownPlane(), stream.pc(),
+                         stream.nextPc(), stream.targetAddr(),
+                         stream.fallthroughAddr());
+    ASSERT_EQ(adopted.size(), stream.size());
+    EXPECT_EQ(adopted.maxPc(), stream.maxPc());
+    expectSameEvents(adopted.toEvents(), events);
 }
 
 TEST(TraceStats, AgreesWithMachineCountsOnRealProgram)

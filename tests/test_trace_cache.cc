@@ -46,7 +46,7 @@ makeWorkload()
     workload.runs = 3;
     workload.stats = {1000, 200, 150, 90, 40};
     workload.likely = {{0x1000, 0x1010, true}, {0x1004, ir::kNoAddr, false}};
-    workload.events = recorder.takeEvents();
+    workload.stream = SoaTrace::fromEvents(recorder.takeEvents());
     return workload;
 }
 
@@ -72,11 +72,13 @@ TEST(TraceCache, StoreThenLoadRoundTripsBitExactly)
     EXPECT_EQ(loaded.runs, stored.runs);
     EXPECT_EQ(loaded.stats, stored.stats);
     EXPECT_EQ(loaded.likely, stored.likely);
-    ASSERT_EQ(loaded.events.size(), stored.events.size());
-    for (std::size_t i = 0; i < loaded.events.size(); ++i) {
-        EXPECT_EQ(loaded.events[i].pc, stored.events[i].pc);
-        EXPECT_EQ(loaded.events[i].nextPc, stored.events[i].nextPc);
-        EXPECT_EQ(loaded.events[i].taken, stored.events[i].taken);
+    ASSERT_EQ(loaded.stream.size(), stored.stream.size());
+    for (std::size_t i = 0; i < loaded.stream.size(); ++i) {
+        const BranchEvent a = loaded.stream.event(i);
+        const BranchEvent b = stored.stream.event(i);
+        EXPECT_EQ(a.pc, b.pc);
+        EXPECT_EQ(a.nextPc, b.nextPc);
+        EXPECT_EQ(a.taken, b.taken);
     }
     std::filesystem::remove_all(dir);
 }
@@ -158,7 +160,7 @@ TEST(TraceCache, ConcurrentStoresOfOneKeyLeaveOneDecodableEntry)
     EXPECT_EQ(loaded.contentHash, stored.contentHash);
     EXPECT_EQ(loaded.stats, stored.stats);
     EXPECT_EQ(loaded.likely, stored.likely);
-    ASSERT_EQ(loaded.events.size(), stored.events.size());
+    ASSERT_EQ(loaded.stream.size(), stored.stream.size());
 
     // Every rename succeeded, so no temp files may survive: the
     // directory holds exactly the one published entry.
@@ -319,20 +321,18 @@ TEST(TraceCacheIntegration, WarmRecordWorkloadIsBitIdentical)
     EXPECT_EQ(warm.contentHash, cold.contentHash);
     EXPECT_EQ(warm.runs, cold.runs);
     EXPECT_EQ(warm.stats.counters(), cold.stats.counters());
-    ASSERT_EQ(warm.events.size(), cold.events.size());
-    for (std::size_t i = 0; i < warm.events.size(); ++i) {
-        EXPECT_EQ(warm.events[i].pc, cold.events[i].pc);
-        EXPECT_EQ(warm.events[i].nextPc, cold.events[i].nextPc);
-        EXPECT_EQ(warm.events[i].targetAddr,
-                  cold.events[i].targetAddr);
-        EXPECT_EQ(warm.events[i].fallthroughAddr,
-                  cold.events[i].fallthroughAddr);
-        EXPECT_EQ(warm.events[i].op, cold.events[i].op);
-        EXPECT_EQ(warm.events[i].conditional,
-                  cold.events[i].conditional);
-        EXPECT_EQ(warm.events[i].taken, cold.events[i].taken);
-        EXPECT_EQ(warm.events[i].targetKnown,
-                  cold.events[i].targetKnown);
+    ASSERT_EQ(warm.stream.size(), cold.stream.size());
+    for (std::size_t i = 0; i < warm.stream.size(); ++i) {
+        const trace::BranchEvent w = warm.stream.event(i);
+        const trace::BranchEvent c = cold.stream.event(i);
+        EXPECT_EQ(w.pc, c.pc);
+        EXPECT_EQ(w.nextPc, c.nextPc);
+        EXPECT_EQ(w.targetAddr, c.targetAddr);
+        EXPECT_EQ(w.fallthroughAddr, c.fallthroughAddr);
+        EXPECT_EQ(w.op, c.op);
+        EXPECT_EQ(w.conditional, c.conditional);
+        EXPECT_EQ(w.taken, c.taken);
+        EXPECT_EQ(w.targetKnown, c.targetKnown);
     }
     EXPECT_EQ(warm.likelyMap.size(), cold.likelyMap.size());
     for (const auto &[pc, info] : cold.likelyMap) {
@@ -397,12 +397,12 @@ TEST(TraceCacheIntegration, CorruptEntryIsReRecordedAndOverwritten)
         core::recordWorkload(workload, config);
     EXPECT_FALSE(rerecorded.cacheHit);
     EXPECT_GE(warningCount(), 1u);
-    EXPECT_EQ(rerecorded.events.size(), cold.events.size());
+    EXPECT_EQ(rerecorded.stream.size(), cold.stream.size());
 
     const core::RecordedWorkload warm =
         core::recordWorkload(workload, config);
     EXPECT_TRUE(warm.cacheHit);
-    EXPECT_EQ(warm.events.size(), cold.events.size());
+    EXPECT_EQ(warm.stream.size(), cold.stream.size());
     std::filesystem::remove_all(dir);
 }
 

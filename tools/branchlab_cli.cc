@@ -234,9 +234,9 @@ cmdRecord(const std::string &name, const Options &options)
         blab_fatal("record needs -o FILE");
     const core::RecordedWorkload recorded = core::recordWorkload(
         workloads::findWorkload(name), makeConfig(options));
-    trace::writeTraceFile(options.output, recorded.events,
+    trace::writeTraceFile(options.output, recorded.stream,
                           recorded.contentHash);
-    std::cout << "wrote " << recorded.events.size() << " events to "
+    std::cout << "wrote " << recorded.stream.size() << " events to "
               << options.output << "\n";
     return 0;
 }
