@@ -111,10 +111,8 @@ main()
     for (const auto &[ia, ib] : pairs) {
         const core::RecordedWorkload &a = cache[ia];
         const core::RecordedWorkload &b = cache[ib];
-        const std::vector<trace::BranchEvent> a_events =
-            a.stream.toEvents();
-        const std::vector<trace::BranchEvent> b_events =
-            b.stream.toEvents();
+        const std::vector<trace::BranchEvent> a_events = a.events();
+        const std::vector<trace::BranchEvent> b_events = b.events();
         const auto merged = interleave(a_events, b_events, 2000);
 
         const auto alone = [&](auto make_predictor) {
@@ -122,8 +120,8 @@ main()
             auto pb = make_predictor();
             const double acc_a = core::replayAccuracy(a, *pa);
             const double acc_b = core::replayAccuracy(b, *pb);
-            const double wa = static_cast<double>(a.stream.size());
-            const double wb = static_cast<double>(b.stream.size());
+            const double wa = static_cast<double>(a.eventCount());
+            const double wb = static_cast<double>(b.eventCount());
             return (acc_a * wa + acc_b * wb) / (wa + wb);
         };
         const auto shared = [&](auto make_predictor) {
@@ -142,8 +140,8 @@ main()
             predict::ProfilePredictor fb(b.likelyMap);
             const double acc_a = core::replayAccuracy(a, fa);
             const double acc_b = core::replayAccuracy(b, fb);
-            const double wa = static_cast<double>(a.stream.size());
-            const double wb = static_cast<double>(b.stream.size());
+            const double wa = static_cast<double>(a.eventCount());
+            const double wb = static_cast<double>(b.eventCount());
             return (acc_a * wa + acc_b * wb) / (wa + wb);
         }();
 

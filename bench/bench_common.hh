@@ -8,7 +8,10 @@
 #ifndef BRANCHLAB_BENCH_COMMON_HH
 #define BRANCHLAB_BENCH_COMMON_HH
 
+#include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "core/runner.hh"
 #include "core/tables.hh"
@@ -19,6 +22,33 @@
 
 namespace branchlab::bench
 {
+
+/**
+ * The process's peak resident set size in bytes (Linux VmHWM), 0 when
+ * the platform does not expose it. Monotonic: the kernel never lowers
+ * the high-water mark, so per-phase samples report the running
+ * maximum up to that phase, not the phase's own footprint.
+ */
+inline std::uint64_t
+peakRssBytes()
+{
+#ifdef __linux__
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) != 0)
+            continue;
+        std::uint64_t kb = 0;
+        std::size_t i = 6;
+        while (i < line.size() && (line[i] == ' ' || line[i] == '\t'))
+            ++i;
+        while (i < line.size() && line[i] >= '0' && line[i] <= '9')
+            kb = kb * 10 + static_cast<std::uint64_t>(line[i++] - '0');
+        return kb * 1024;
+    }
+#endif
+    return 0;
+}
 
 /** The paper's configuration (256-entry fully-assoc LRU, 2-bit T=2). */
 inline core::ExperimentConfig

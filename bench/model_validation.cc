@@ -40,8 +40,8 @@ main()
                                   predict::BranchPredictor &predictor) {
             // Build the committed stream and measure structurally.
             const std::vector<pipeline::StreamItem> stream =
-                pipeline::buildStream(recorded.stream.toEvents(),
-                                      predictor, 3);
+                pipeline::buildStream(recorded.events(), predictor,
+                                      3);
             const pipeline::CyclePipeline sim(pipe);
             const pipeline::CycleResult measured = sim.simulate(stream);
 

@@ -30,6 +30,7 @@
  * suite); --repeat times each phase best-of-N (default 3).
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -37,6 +38,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <unistd.h>
@@ -62,6 +64,10 @@ struct TimedRun
     double seconds = 0.0;
     std::vector<core::BenchmarkResult> results;
 };
+
+/** Peak-RSS high-water marks sampled after each phase (bytes; see
+ *  bench::peakRssBytes for the monotonicity caveat). */
+using RssSamples = std::vector<std::pair<std::string, std::uint64_t>>;
 
 TimedRun
 timeSuite(const std::string &label, const core::ExperimentConfig &config,
@@ -130,12 +136,15 @@ countMismatches(const std::vector<core::BenchmarkResult> &a,
     return mismatches;
 }
 
-/** Serial record pass over the whole suite (the VM phase alone). */
+/** Serial acquisition pass over the whole suite: the VM record
+ *  phase cold, or -- against a primed cache -- the pure warm path
+ *  (hash + mmap + validate, no VM, no decode). */
 double
 timeRecordPass(const core::ExperimentConfig &config, unsigned repeat,
-               std::vector<core::RecordedWorkload> &out)
+               std::vector<core::RecordedWorkload> &out,
+               const char *label = "record pass (VM only)")
 {
-    std::cerr << "  record pass (VM only)...\n";
+    std::cerr << "  " << label << "...\n";
     double best = 0.0;
     for (unsigned r = 0; r < repeat; ++r) {
         std::vector<core::RecordedWorkload> recorded;
@@ -200,7 +209,8 @@ replayPassOnce(const std::vector<core::RecordedWorkload> &recorded,
                 fs_spec.likely = &workload.likelyMap;
                 specs.push_back(fs_spec);
                 const std::vector<core::ReplayResult> replays =
-                    core::replayManyKernel(workload.stream, specs);
+                    core::replayManyKernel(workload.traceView(),
+                                           specs);
                 for (const core::ReplayResult &replay : replays)
                     checksum += replay.accuracy;
             } else {
@@ -212,7 +222,7 @@ replayPassOnce(const std::vector<core::RecordedWorkload> &recorded,
                 predict::OpcodeBias opcode_bias;
                 predict::ProfilePredictor fs(workload.likelyMap);
                 const std::vector<core::ReplayResult> replays =
-                    core::replayMany(workload.stream,
+                    core::replayMany(workload.traceView(),
                                      {&sbtb, &cbtb, &always_taken,
                                       &always_not_taken, &btfnt,
                                       &opcode_bias, &fs});
@@ -344,10 +354,11 @@ writeJson(const std::string &path, unsigned jobs, unsigned runs_override,
           const TimedRun &replay_serial, const TimedRun &replay_parallel,
           double record_s, double replay_only_s,
           double replay_fallback_s, double warm_cache_s,
-          double replay_enabled_s, double replay_disabled_s,
-          double telemetry_overhead_pct,
+          double warm_decode_s, double replay_enabled_s,
+          double replay_disabled_s, double telemetry_overhead_pct,
           const trace::TraceCacheCounters &cache_counters,
-          const LookupBench &lookup, std::size_t mismatches)
+          const RssSamples &rss, const LookupBench &lookup,
+          std::size_t mismatches)
 {
     const obs::Snapshot snapshot = obs::Registry::global().snapshot();
     std::ostringstream os;
@@ -358,6 +369,7 @@ writeJson(const std::string &path, unsigned jobs, unsigned runs_override,
        << "  \"runs_override\": " << runs_override << ",\n"
        << "  \"repeat\": " << repeat << ",\n"
        << "  \"jobs_parallel\": " << jobs << ",\n"
+       << "  \"replay_parallel_threads\": " << jobs << ",\n"
        << "  \"hardware_concurrency\": "
        << std::thread::hardware_concurrency() << ",\n"
        << "  \"phases\": {\n"
@@ -369,7 +381,8 @@ writeJson(const std::string &path, unsigned jobs, unsigned runs_override,
        << "    \"replay_only_s\": " << replay_only_s << ",\n"
        << "    \"replay_kernel_s\": " << replay_only_s << ",\n"
        << "    \"replay_fallback_s\": " << replay_fallback_s << ",\n"
-       << "    \"warm_cache_s\": " << warm_cache_s << "\n  },\n"
+       << "    \"warm_cache_s\": " << warm_cache_s << ",\n"
+       << "    \"warm_decode_s\": " << warm_decode_s << "\n  },\n"
        << "  \"speedup\": {\n"
        << "    \"replay_serial_vs_two_pass\": "
        << two_pass.seconds / replay_serial.seconds << ",\n"
@@ -377,12 +390,24 @@ writeJson(const std::string &path, unsigned jobs, unsigned runs_override,
        << two_pass.seconds / replay_parallel.seconds << ",\n"
        << "    \"kernel_vs_fallback\": "
        << replay_fallback_s / replay_only_s << ",\n"
+       // warm_cache_vs_record compares like with like: record_s
+       // times acquisition alone (the VM record pass), so its warm
+       // counterpart is warm_decode_s (cache load alone), not the
+       // whole warm suite (which also replays every scheme).
        << "    \"warm_cache_vs_record\": "
+       << record_s / warm_decode_s << ",\n"
+       << "    \"warm_suite_vs_record\": "
        << record_s / warm_cache_s << "\n  },\n"
        << "  \"trace_cache\": {\n"
        << "    \"hits\": " << cache_counters.hits << ",\n"
        << "    \"misses\": " << cache_counters.misses << ",\n"
        << "    \"stores\": " << cache_counters.stores << "\n  },\n"
+       << "  \"peak_rss_bytes\": {\n";
+    for (std::size_t i = 0; i < rss.size(); ++i) {
+        os << "    \"" << rss[i].first << "\": " << rss[i].second
+           << (i + 1 < rss.size() ? "," : "") << "\n";
+    }
+    os << "  },\n"
        << "  \"telemetry\": {\n"
        << "    \"replay_enabled_s\": " << replay_enabled_s << ",\n"
        << "    \"replay_disabled_s\": " << replay_disabled_s << ",\n"
@@ -494,14 +519,21 @@ main(int argc, char **argv)
     const unsigned parallel_jobs = resolveJobs(jobs);
 
     bench::printCaption("Engine perf: record-once/replay-many");
+    RssSamples rss;
+    const auto sample_rss = [&rss](const char *phase) {
+        rss.emplace_back(phase, bench::peakRssBytes());
+    };
     std::cerr << "full suite, three engines:\n";
     const TimedRun two_pass = timeSuite("two-pass serial (seed engine)",
                                         two_pass_config, repeat);
+    sample_rss("two_pass_serial");
     const TimedRun replay_serial =
         timeSuite("replay serial", replay_serial_config, repeat);
+    sample_rss("replay_serial");
     const TimedRun replay_parallel = timeSuite(
         "replay parallel (" + std::to_string(parallel_jobs) + " jobs)",
         replay_parallel_config, repeat);
+    sample_rss("replay_parallel");
 
     std::cerr << "verifying engine equivalence...\n";
     std::size_t mismatches =
@@ -521,6 +553,7 @@ main(int argc, char **argv)
         recorded, replay_serial_config, repeat, ReplayPath::Kernel);
     const double replay_fallback_s = timeReplayPass(
         recorded, replay_serial_config, repeat, ReplayPath::Fallback);
+    sample_rss("replay_phase_split");
 
     // Telemetry overhead: the same replay pass, collection enabled vs
     // compiled in but switched off. The delta is what the always-on
@@ -545,10 +578,30 @@ main(int argc, char **argv)
     std::cerr << "  priming...\n";
     core::ExperimentRunner(warm_config).runAll();
     trace::resetTraceCacheCounters();
+    // The warm acquisition phase alone: hash the workload, mmap the
+    // entry, validate it -- no VM, no decode, no replay. This is
+    // record_s's like-for-like warm counterpart.
+    std::vector<core::RecordedWorkload> warm_loaded;
+    const double warm_decode_s =
+        timeRecordPass(warm_config, repeat, warm_loaded,
+                       "warm load (mmap + validate only)");
+    const bool warm_loads_mapped =
+        !warm_loaded.empty() &&
+        std::all_of(warm_loaded.begin(), warm_loaded.end(),
+                    [](const core::RecordedWorkload &w) {
+                        return w.cacheHit && w.mapped != nullptr;
+                    });
+    warm_loaded.clear();
     const TimedRun warm_cache =
         timeSuite("warm-cache serial", warm_config, repeat);
+    sample_rss("warm_cache");
     const trace::TraceCacheCounters cache_counters =
         trace::traceCacheCounters();
+    if (!warm_loads_mapped) {
+        std::cerr << "  MISMATCH: warm loads were not zero-copy "
+                     "mapped entries\n";
+        ++mismatches;
+    }
     if (cache_counters.misses != 0 || cache_counters.stores != 0) {
         std::cerr << "  MISMATCH: warm runs recorded ("
                   << cache_counters.misses << " misses, "
@@ -590,8 +643,10 @@ main(int argc, char **argv)
                       "x"});
     table.render(std::cout);
     std::cout << "\nWarm cache vs record pass: "
-              << formatFixed(record_s / warm_cache.seconds, 2)
-              << "x (hits " << cache_counters.hits << ", misses "
+              << formatFixed(record_s / warm_decode_s, 2)
+              << "x (record " << formatFixed(record_s, 3)
+              << " s vs warm load " << formatFixed(warm_decode_s, 3)
+              << " s; hits " << cache_counters.hits << ", misses "
               << cache_counters.misses << ", stores "
               << cache_counters.stores << ")\n";
     std::cout << "\nBTB lookup: linear "
@@ -614,8 +669,9 @@ main(int argc, char **argv)
 
     writeJson(out_path, parallel_jobs, runs_override, repeat, two_pass,
               replay_serial, replay_parallel, record_s, replay_only_s,
-              replay_fallback_s, warm_cache.seconds, replay_enabled_s,
-              replay_disabled_s, telemetry_overhead_pct, cache_counters,
-              lookup, mismatches);
+              replay_fallback_s, warm_cache.seconds, warm_decode_s,
+              replay_enabled_s, replay_disabled_s,
+              telemetry_overhead_pct, cache_counters, rss, lookup,
+              mismatches);
     return mismatches == 0 ? 0 : 1;
 }

@@ -76,6 +76,12 @@ struct ExperimentConfig
      *  BRANCHLAB_TRACE_CACHE environment variable; when both are
      *  empty the cache is disabled and every workload records. */
     std::string traceCacheDir;
+
+    /** Trace-cache byte cap: after each store, least-recently-used
+     *  entries are evicted until the cache fits. 0 defers to the
+     *  BRANCHLAB_TRACE_CACHE_MAX_BYTES environment variable; when
+     *  both are zero the cache is unbounded. */
+    std::uint64_t traceCacheMaxBytes = 0;
 };
 
 /** Accuracy of one scheme over one benchmark. */

@@ -27,9 +27,9 @@ namespace
 /** The pc-indexed kernels size flat tables by the stream's largest
  *  pc, so they only engage when that stays reasonable. */
 bool
-flatEligible(const trace::SoaTrace &stream)
+flatEligible(const trace::TraceView &view)
 {
-    return stream.maxPc() < predict::kMaxKernelPc;
+    return view.maxPc() < predict::kMaxKernelPc;
 }
 
 ReplayResult
@@ -77,14 +77,14 @@ isStaticKind(SchemeKind kind)
 /** Run a spec through the registry if anything matches, else the
  *  virtual-dispatch fallback. Telemetry counters record which. */
 ReplayResult
-dispatchSpec(const trace::SoaTrace &stream, const KernelSpec &spec)
+dispatchSpec(const trace::TraceView &view, const KernelSpec &spec)
 {
     auto &registry = obs::Registry::global();
     for (const KernelRegistration &entry : kernelRegistry()) {
-        if (!entry.matches(spec, stream))
+        if (!entry.matches(spec, view))
             continue;
         registry.counter("engine.replay.kernel.specialized").add(1);
-        return toReplayResult(entry.run(spec, stream));
+        return toReplayResult(entry.run(spec, view));
     }
 
     // Reference path: a PredictionDriver over the materialised
@@ -94,9 +94,11 @@ dispatchSpec(const trace::SoaTrace &stream, const KernelSpec &spec)
     const std::unique_ptr<predict::BranchPredictor> predictor =
         makePredictor(spec);
     predict::PredictionDriver driver(*predictor);
-    const std::size_t n = stream.size();
-    for (std::size_t i = 0; i < n; ++i)
-        driver.onBranch(stream.event(i));
+    trace::TraceView::Cursor cursor = view.cursor();
+    trace::TraceBlock block;
+    while (cursor.next(block))
+        for (std::size_t i = 0; i < block.count; ++i)
+            driver.onBranch(block.event(i));
     ReplayResult result;
     result.stats = driver.stats();
     result.accuracy = result.stats.accuracy.ratio();
@@ -114,49 +116,49 @@ kernelRegistry()
     static const std::vector<KernelRegistration> *registry =
         new std::vector<KernelRegistration>{
             {"sbtb",
-             [](const KernelSpec &spec, const trace::SoaTrace &stream) {
+             [](const KernelSpec &spec, const trace::TraceView &view) {
                  return spec.kind == SchemeKind::Sbtb &&
-                        flatEligible(stream);
+                        flatEligible(view);
              },
-             [](const KernelSpec &spec, const trace::SoaTrace &stream) {
+             [](const KernelSpec &spec, const trace::TraceView &view) {
                  predict::SbtbKernel kernel(spec.btb);
-                 return kernel.run(stream);
+                 return kernel.run(view);
              }},
             {"cbtb",
-             [](const KernelSpec &spec, const trace::SoaTrace &stream) {
+             [](const KernelSpec &spec, const trace::TraceView &view) {
                  return spec.kind == SchemeKind::Cbtb &&
-                        flatEligible(stream);
+                        flatEligible(view);
              },
-             [](const KernelSpec &spec, const trace::SoaTrace &stream) {
+             [](const KernelSpec &spec, const trace::TraceView &view) {
                  predict::CbtbKernel kernel(spec.btb, spec.counter);
-                 return kernel.run(stream);
+                 return kernel.run(view);
              }},
             {"static",
-             [](const KernelSpec &spec, const trace::SoaTrace &) {
+             [](const KernelSpec &spec, const trace::TraceView &) {
                  // Stateless: eligible for any stream.
                  return isStaticKind(spec.kind);
              },
-             [](const KernelSpec &spec, const trace::SoaTrace &stream) {
+             [](const KernelSpec &spec, const trace::TraceView &view) {
                  predict::StaticKernel kernel(staticKindOf(spec.kind));
-                 return kernel.run(stream);
+                 return kernel.run(view);
              }},
             {"fs",
-             [](const KernelSpec &spec, const trace::SoaTrace &stream) {
+             [](const KernelSpec &spec, const trace::TraceView &view) {
                  return spec.kind == SchemeKind::ForwardSemantic &&
-                        spec.likely != nullptr && flatEligible(stream);
+                        spec.likely != nullptr && flatEligible(view);
              },
-             [](const KernelSpec &spec, const trace::SoaTrace &stream) {
-                 predict::FsKernel kernel(*spec.likely, stream.maxPc());
-                 return kernel.run(stream);
+             [](const KernelSpec &spec, const trace::TraceView &view) {
+                 predict::FsKernel kernel(*spec.likely, view.maxPc());
+                 return kernel.run(view);
              }},
             {"gshare",
-             [](const KernelSpec &spec, const trace::SoaTrace &stream) {
+             [](const KernelSpec &spec, const trace::TraceView &view) {
                  return spec.kind == SchemeKind::Gshare &&
-                        flatEligible(stream);
+                        flatEligible(view);
              },
-             [](const KernelSpec &spec, const trace::SoaTrace &stream) {
+             [](const KernelSpec &spec, const trace::TraceView &view) {
                  predict::GshareKernel kernel(spec.gshare);
-                 return kernel.run(stream);
+                 return kernel.run(view);
              }},
         };
     return *registry;
@@ -190,19 +192,19 @@ makePredictor(const KernelSpec &spec)
 }
 
 ReplayResult
-replayKernel(const trace::SoaTrace &stream, const KernelSpec &spec)
+replayKernel(const trace::TraceView &view, const KernelSpec &spec)
 {
     const obs::ScopedSpan span("engine.replay");
-    noteReplayTelemetry(stream.size(), 0);
-    return dispatchSpec(stream, spec);
+    noteReplayTelemetry(view.size(), 0);
+    return dispatchSpec(view, spec);
 }
 
 std::vector<ReplayResult>
-replayManyKernel(const trace::SoaTrace &stream,
+replayManyKernel(const trace::TraceView &view,
                  const std::vector<KernelSpec> &specs)
 {
     const obs::ScopedSpan span("engine.replay");
-    noteReplayTelemetry(stream.size(), specs.size());
+    noteReplayTelemetry(view.size(), specs.size());
     auto &registry = obs::Registry::global();
 
     // Fused path: instantiate a kernel for every spec the registry
@@ -212,7 +214,7 @@ replayManyKernel(const trace::SoaTrace &stream,
     // each materialised event. Seven schemes cost one stream
     // traversal instead of seven. Specs without a kernel take the
     // per-spec dispatch -- and its virtual fallback -- afterwards.
-    const bool flat = flatEligible(stream);
+    const bool flat = flatEligible(view);
     std::vector<ReplayResult> results(specs.size());
     std::vector<std::size_t> unmatched;
     std::vector<std::size_t> sbtbAt, cbtbAt, staticAt, fsAt, gshareAt;
@@ -239,7 +241,7 @@ replayManyKernel(const trace::SoaTrace &stream,
                    spec.likely != nullptr && flat) {
             fsAt.push_back(i);
             fss.push_back(std::make_unique<predict::FsKernel>(
-                *spec.likely, stream.maxPc()));
+                *spec.likely, view.maxPc()));
         } else if (spec.kind == SchemeKind::Gshare && flat) {
             gshareAt.push_back(i);
             gshares.push_back(std::make_unique<predict::GshareKernel>(
@@ -257,25 +259,22 @@ replayManyKernel(const trace::SoaTrace &stream,
         // let each kernel run its monomorphized loop over it. The
         // kernels are independent state machines, so block-major
         // order yields the same per-kernel event sequence.
-        const std::size_t n = stream.size();
-        std::vector<predict::KernelEvent> block(
+        std::vector<predict::KernelEvent> events(
             predict::kKernelBlockEvents);
-        for (std::size_t base = 0; base < n;
-             base += predict::kKernelBlockEvents) {
-            const std::size_t count =
-                std::min(predict::kKernelBlockEvents, n - base);
-            predict::fillKernelBlock(stream, base, count,
-                                     block.data());
+        trace::TraceView::Cursor cursor = view.cursor();
+        trace::TraceBlock block;
+        while (cursor.next(block)) {
+            predict::fillKernelBlock(block, events.data());
             for (auto &kernel : sbtbs)
-                kernel->stepBlock(block.data(), count);
+                kernel->stepBlock(events.data(), block.count);
             for (auto &kernel : cbtbs)
-                kernel->stepBlock(block.data(), count);
+                kernel->stepBlock(events.data(), block.count);
             for (auto &kernel : statics)
-                kernel->stepBlock(block.data(), count);
+                kernel->stepBlock(events.data(), block.count);
             for (auto &kernel : fss)
-                kernel->stepBlock(block.data(), count);
+                kernel->stepBlock(events.data(), block.count);
             for (auto &kernel : gshares)
-                kernel->stepBlock(block.data(), count);
+                kernel->stepBlock(events.data(), block.count);
         }
         for (std::size_t j = 0; j < sbtbs.size(); ++j)
             results[sbtbAt[j]] = toReplayResult(sbtbs[j]->result());
@@ -292,23 +291,23 @@ replayManyKernel(const trace::SoaTrace &stream,
     }
 
     for (const std::size_t i : unmatched)
-        results[i] = dispatchSpec(stream, specs[i]);
+        results[i] = dispatchSpec(view, specs[i]);
     return results;
 }
 
 std::vector<predict::BtbBatchCell>
-replayBatch(const trace::SoaTrace &stream,
+replayBatch(const trace::TraceView &view,
             const std::vector<predict::BtbBatchPoint> &points)
 {
     const obs::ScopedSpan span("engine.replay");
-    noteReplayTelemetry(stream.size(), 2 * points.size());
+    noteReplayTelemetry(view.size(), 2 * points.size());
     auto &registry = obs::Registry::global();
 
-    if (flatEligible(stream)) {
+    if (flatEligible(view)) {
         registry.counter("engine.replay.kernel.batch").add(1);
         registry.counter("engine.replay.kernel.specialized")
             .add(2 * points.size());
-        return predict::runBtbBatch(stream, points);
+        return predict::runBtbBatch(view, points);
     }
 
     // Ineligible stream: evaluate every point through the virtual
@@ -316,16 +315,19 @@ replayBatch(const trace::SoaTrace &stream,
     registry.counter("engine.replay.kernel.fallback")
         .add(2 * points.size());
     std::vector<predict::BtbBatchCell> cells(points.size());
-    const std::size_t n = stream.size();
     for (std::size_t p = 0; p < points.size(); ++p) {
         predict::SimpleBtb sbtb(points[p].btb);
         predict::CounterBtb cbtb(points[p].btb, points[p].counter);
         predict::PredictionDriver sbtb_driver(sbtb);
         predict::PredictionDriver cbtb_driver(cbtb);
-        for (std::size_t i = 0; i < n; ++i) {
-            const trace::BranchEvent event = stream.event(i);
-            sbtb_driver.onBranch(event);
-            cbtb_driver.onBranch(event);
+        trace::TraceView::Cursor cursor = view.cursor();
+        trace::TraceBlock block;
+        while (cursor.next(block)) {
+            for (std::size_t i = 0; i < block.count; ++i) {
+                const trace::BranchEvent event = block.event(i);
+                sbtb_driver.onBranch(event);
+                cbtb_driver.onBranch(event);
+            }
         }
         cells[p].sbtb.stats = sbtb_driver.stats();
         cells[p].sbtb.missRatio = sbtb.missRatio();

@@ -55,14 +55,15 @@ struct KernelSpec
 };
 
 /** One registry row: can this spec run as a kernel on this stream,
- *  and if so, run it. */
+ *  and if so, run it. Streams arrive as views, so one row serves both
+ *  decoded SoA traces and mmap'd cache entries. */
 struct KernelRegistration
 {
     const char *name;
     bool (*matches)(const KernelSpec &spec,
-                    const trace::SoaTrace &stream);
+                    const trace::TraceView &view);
     predict::KernelReplayResult (*run)(const KernelSpec &spec,
-                                       const trace::SoaTrace &stream);
+                                       const trace::TraceView &view);
 };
 
 /** The ordered kernel registry (first match wins). */
@@ -79,15 +80,27 @@ makePredictor(const KernelSpec &spec);
  * otherwise (engine.replay.kernel.fallback). Results are bit-
  * identical either way.
  */
-ReplayResult replayKernel(const trace::SoaTrace &stream,
+ReplayResult replayKernel(const trace::TraceView &view,
                           const KernelSpec &spec);
 
-/** Replay a stream against several specs (one kernel pass per spec;
- *  the SoA columns stay cache-resident across passes). Results are in
- *  spec order. */
+inline ReplayResult
+replayKernel(const trace::SoaTrace &stream, const KernelSpec &spec)
+{
+    return replayKernel(trace::TraceView::of(stream), spec);
+}
+
+/** Replay a stream against several specs in one fused trace walk.
+ *  Results are in spec order. */
 std::vector<ReplayResult>
-replayManyKernel(const trace::SoaTrace &stream,
+replayManyKernel(const trace::TraceView &view,
                  const std::vector<KernelSpec> &specs);
+
+inline std::vector<ReplayResult>
+replayManyKernel(const trace::SoaTrace &stream,
+                 const std::vector<KernelSpec> &specs)
+{
+    return replayManyKernel(trace::TraceView::of(stream), specs);
+}
 
 /**
  * Batch-replay both hardware schemes at N sweep grid points in one
@@ -96,8 +109,15 @@ replayManyKernel(const trace::SoaTrace &stream,
  * bit-identical to a standalone replay of its point.
  */
 std::vector<predict::BtbBatchCell>
-replayBatch(const trace::SoaTrace &stream,
+replayBatch(const trace::TraceView &view,
             const std::vector<predict::BtbBatchPoint> &points);
+
+inline std::vector<predict::BtbBatchCell>
+replayBatch(const trace::SoaTrace &stream,
+            const std::vector<predict::BtbBatchPoint> &points)
+{
+    return replayBatch(trace::TraceView::of(stream), points);
+}
 
 } // namespace branchlab::core
 

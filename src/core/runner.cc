@@ -150,9 +150,12 @@ rebuildProfile(const RecordedWorkload &recorded)
                                     *recorded.layout);
     for (unsigned r = 0; r < recorded.runs; ++r)
         profile.noteRun();
-    const std::size_t n = recorded.stream.size();
-    for (std::size_t i = 0; i < n; ++i)
-        profile.onBranch(recorded.stream.event(i));
+    const trace::TraceView view = recorded.traceView();
+    trace::TraceView::Cursor cursor = view.cursor();
+    trace::TraceBlock block;
+    while (cursor.next(block))
+        for (std::size_t i = 0; i < block.count; ++i)
+            profile.onBranch(block.event(i));
     return profile;
 }
 
@@ -231,7 +234,7 @@ ExperimentRunner::runBenchmarkReplay(
     for (const auto &[name, spec] : schemes)
         specs.push_back(spec);
     const std::vector<ReplayResult> replays =
-        replayManyKernel(recorded.stream, specs);
+        replayManyKernel(recorded.traceView(), specs);
 
     for (std::size_t i = 0; i < schemes.size(); ++i) {
         const SchemeResult scheme{schemes[i].first, replays[i].accuracy,
@@ -381,14 +384,18 @@ recordWorkload(const workloads::Workload &workload,
         makeInputSuite(workload, config, runs);
 
     const trace::TraceCache cache(
-        trace::TraceCache::resolveDir(config.traceCacheDir));
+        trace::TraceCache::resolveDir(config.traceCacheDir),
+        trace::TraceCache::resolveMaxBytes(config.traceCacheMaxBytes));
     recorded.contentHash = computeContentHash(
         *recorded.program, *recorded.layout, inputs, config, runs);
 
     if (cache.enabled()) {
         trace::CachedWorkload cached;
         if (cache.load(recorded.name, recorded.contentHash, cached)) {
+            // v2 hits stay mmap'd (stream empty); legacy v1 hits
+            // arrive as an owning stream.
             recorded.stream = std::move(cached.stream);
+            recorded.mapped = std::move(cached.mapped);
             recorded.stats = trace::TraceStats::fromCounters(cached.stats);
             recorded.likelyMap = cachedToLikely(cached.likely);
             recorded.runs = cached.runs;
@@ -466,15 +473,17 @@ replay(const std::vector<trace::BranchEvent> &events,
 }
 
 ReplayResult
-replay(const trace::SoaTrace &stream,
+replay(const trace::TraceView &view,
        predict::BranchPredictor &predictor)
 {
     const obs::ScopedSpan span("engine.replay");
-    noteReplayTelemetry(stream.size(), 0);
+    noteReplayTelemetry(view.size(), 0);
     predict::PredictionDriver driver(predictor);
-    const std::size_t n = stream.size();
-    for (std::size_t i = 0; i < n; ++i)
-        driver.onBranch(stream.event(i));
+    trace::TraceView::Cursor cursor = view.cursor();
+    trace::TraceBlock block;
+    while (cursor.next(block))
+        for (std::size_t i = 0; i < block.count; ++i)
+            driver.onBranch(block.event(i));
     return driverResult(driver, predictor);
 }
 
@@ -500,20 +509,23 @@ replayMany(const std::vector<trace::BranchEvent> &events,
 }
 
 std::vector<ReplayResult>
-replayMany(const trace::SoaTrace &stream,
+replayMany(const trace::TraceView &view,
            const std::vector<predict::BranchPredictor *> &predictors)
 {
     const obs::ScopedSpan span("engine.replay");
-    noteReplayTelemetry(stream.size(), predictors.size());
+    noteReplayTelemetry(view.size(), predictors.size());
     std::vector<predict::PredictionDriver> drivers;
     drivers.reserve(predictors.size());
     for (predict::BranchPredictor *predictor : predictors)
         drivers.emplace_back(*predictor);
-    const std::size_t n = stream.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        const trace::BranchEvent event = stream.event(i);
-        for (predict::PredictionDriver &driver : drivers)
-            driver.onBranch(event);
+    trace::TraceView::Cursor cursor = view.cursor();
+    trace::TraceBlock block;
+    while (cursor.next(block)) {
+        for (std::size_t i = 0; i < block.count; ++i) {
+            const trace::BranchEvent event = block.event(i);
+            for (predict::PredictionDriver &driver : drivers)
+                driver.onBranch(event);
+        }
     }
     std::vector<ReplayResult> results;
     results.reserve(predictors.size());
@@ -526,7 +538,7 @@ double
 replayAccuracy(const RecordedWorkload &recorded,
                predict::BranchPredictor &predictor)
 {
-    return replay(recorded.stream, predictor).accuracy;
+    return replay(recorded.traceView(), predictor).accuracy;
 }
 
 std::vector<BenchmarkResult>

@@ -31,8 +31,10 @@
 #include "ir/layout.hh"
 #include "predict/profile_predictor.hh"
 #include "profile/profile.hh"
+#include "trace/cache.hh"
 #include "trace/event.hh"
 #include "trace/soa.hh"
+#include "trace/view.hh"
 #include "workloads/workload.hh"
 
 namespace branchlab::core
@@ -43,16 +45,24 @@ namespace branchlab::core
  * replay it against arbitrary predictors (ablation benches, tests).
  * The program and layout are owned here because events reference
  * their addresses.
+ *
+ * The stream arrives in one of two forms: an owning SoaTrace in
+ * `stream` (cold records, legacy cache entries), or a zero-copy
+ * mmap'd cache entry in `mapped` with `stream` empty (v2 warm hits).
+ * Replay consumers should use traceView(), which papers over the
+ * difference; whole-stream consumers can force an owning copy with
+ * materializedStream().
  */
 struct RecordedWorkload
 {
     std::string name;
     std::unique_ptr<ir::Program> program;
     std::unique_ptr<ir::Layout> layout;
-    /** The recorded stream in the engine's native SoA columns
-     *  (trace/soa.hh). Consumers that need whole events materialise
-     *  them via stream.event(i) or stream.toEvents(). */
+    /** The owning stream in the engine's native SoA columns
+     *  (trace/soa.hh). Empty when `mapped` is set. */
     trace::SoaTrace stream;
+    /** The zero-copy mapped cache entry (v2 warm hits), else null. */
+    std::shared_ptr<const trace::MappedEntry> mapped;
     trace::TraceStats stats;
     /** The Forward Semantic's compiled-in predictions, profiled over
      *  exactly these events. */
@@ -68,6 +78,51 @@ struct RecordedWorkload
     /** True when the stream came from the persistent trace cache
      *  instead of a VM record pass. */
     bool cacheHit = false;
+
+    /** A non-owning view of the stream, whichever form it is in. */
+    trace::TraceView
+    traceView() const
+    {
+        return mapped ? mapped->view() : trace::TraceView::of(stream);
+    }
+
+    std::uint64_t
+    eventCount() const
+    {
+        return mapped ? mapped->eventCount : stream.size();
+    }
+
+    /**
+     * The stream as an owning SoaTrace, decoding a mapped entry into
+     * `stream` on first use (one full-stream copy -- replay paths
+     * should stay on traceView() instead). Idempotent.
+     */
+    const trace::SoaTrace &
+    materializedStream()
+    {
+        if (mapped != nullptr && stream.size() == 0 &&
+            mapped->eventCount != 0) {
+            stream = trace::materializeView(mapped->view());
+            mapped.reset();
+        }
+        return stream;
+    }
+
+    /** The whole stream as materialised events (tests, small
+     *  fixtures; costs a full copy). */
+    std::vector<trace::BranchEvent>
+    events() const
+    {
+        std::vector<trace::BranchEvent> out;
+        out.reserve(static_cast<std::size_t>(eventCount()));
+        trace::TraceView view = traceView();
+        trace::TraceView::Cursor cursor = view.cursor();
+        trace::TraceBlock block;
+        while (cursor.next(block))
+            for (std::size_t i = 0; i < block.count; ++i)
+                out.push_back(block.event(i));
+        return out;
+    }
 };
 
 /**
@@ -118,10 +173,18 @@ void noteReplayTelemetry(std::size_t event_count,
 ReplayResult replay(const std::vector<trace::BranchEvent> &events,
                     predict::BranchPredictor &predictor);
 
-/** Virtual-dispatch replay straight off the SoA columns (events are
- *  materialised one at a time; no event vector is built). */
-ReplayResult replay(const trace::SoaTrace &stream,
+/** Virtual-dispatch replay straight off a stream view (events are
+ *  materialised one block at a time; no event vector is built, and a
+ *  mapped view is consumed zero-copy). */
+ReplayResult replay(const trace::TraceView &view,
                     predict::BranchPredictor &predictor);
+
+inline ReplayResult
+replay(const trace::SoaTrace &stream,
+       predict::BranchPredictor &predictor)
+{
+    return replay(trace::TraceView::of(stream), predictor);
+}
 
 /** Replay a recorded stream against several independent predictors in
  *  one pass over the event vector (the schemes never interact, so the
@@ -132,16 +195,23 @@ std::vector<ReplayResult>
 replayMany(const std::vector<trace::BranchEvent> &events,
            const std::vector<predict::BranchPredictor *> &predictors);
 
-/** The SoA-column variant of the fused multi-predictor replay. */
+/** The stream-view variant of the fused multi-predictor replay. */
 std::vector<ReplayResult>
-replayMany(const trace::SoaTrace &stream,
+replayMany(const trace::TraceView &view,
            const std::vector<predict::BranchPredictor *> &predictors);
+
+inline std::vector<ReplayResult>
+replayMany(const trace::SoaTrace &stream,
+           const std::vector<predict::BranchPredictor *> &predictors)
+{
+    return replayMany(trace::TraceView::of(stream), predictors);
+}
 
 inline ReplayResult
 replay(const RecordedWorkload &recorded,
        predict::BranchPredictor &predictor)
 {
-    return replay(recorded.stream, predictor);
+    return replay(recorded.traceView(), predictor);
 }
 
 /** Replay recorded events against a predictor; returns its accuracy.

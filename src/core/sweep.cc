@@ -519,7 +519,8 @@ runSweep(const SweepConfig &config)
             fs_spec.kind = SchemeKind::ForwardSemantic;
             fs_spec.likely = &slot.recorded.likelyMap;
             slot.fsAccuracy =
-                replayKernel(slot.recorded.stream, fs_spec).accuracy;
+                replayKernel(slot.recorded.traceView(), fs_spec)
+                    .accuracy;
 
             const profile::ProgramProfile *profile =
                 slot.recorded.profile.get();
@@ -531,9 +532,13 @@ runSweep(const SweepConfig &config)
                                 *slot.recorded.layout);
                 for (unsigned r = 0; r < slot.recorded.runs; ++r)
                     rebuilt->noteRun();
-                const std::size_t n = slot.recorded.stream.size();
-                for (std::size_t e = 0; e < n; ++e)
-                    rebuilt->onBranch(slot.recorded.stream.event(e));
+                const trace::TraceView view =
+                    slot.recorded.traceView();
+                trace::TraceView::Cursor cursor = view.cursor();
+                trace::TraceBlock block;
+                while (cursor.next(block))
+                    for (std::size_t e = 0; e < block.count; ++e)
+                        rebuilt->onBranch(block.event(e));
                 profile = &*rebuilt;
             }
             for (const auto &[slots, threshold] : code_pairs) {
@@ -630,7 +635,7 @@ runSweep(const SweepConfig &config)
         }
         for (const PreparedWorkload &slot : prepared) {
             const std::vector<predict::BtbBatchCell> cells =
-                replayBatch(slot.recorded.stream, batch);
+                replayBatch(slot.recorded.traceView(), batch);
             sweepTelemetry().replays.add(2 * batch.size());
             for (std::size_t c = begin; c < end; ++c) {
                 for (const std::size_t g : classes[c]) {

@@ -27,12 +27,9 @@ SbtbKernel::~SbtbKernel()
 }
 
 KernelReplayResult
-SbtbKernel::run(const trace::SoaTrace &stream)
+SbtbKernel::run(const trace::TraceView &view)
 {
-    const std::size_t n = stream.size();
-    for (std::size_t i = 0; i < n; ++i)
-        step(kernelEventAt(stream, i));
-    return result();
+    return runKernelOverView(*this, view);
 }
 
 KernelReplayResult
@@ -68,33 +65,12 @@ CbtbKernel::~CbtbKernel()
     reg.counter("predict.cbtb.hits").add(lookupHits_);
 }
 
-template <unsigned MaxCount>
 KernelReplayResult
-CbtbKernel::runImpl(const trace::SoaTrace &stream)
+CbtbKernel::run(const trace::TraceView &view)
 {
-    const std::size_t n = stream.size();
-    for (std::size_t i = 0; i < n; ++i)
-        stepImpl<MaxCount>(kernelEventAt(stream, i));
-    return result();
-}
-
-KernelReplayResult
-CbtbKernel::run(const trace::SoaTrace &stream)
-{
-    // Monomorphize the common counter widths so the saturation
-    // ceiling is a compile-time constant in the inner loop.
-    switch (counter_.bits) {
-      case 1:
-        return runImpl<1>(stream);
-      case 2:
-        return runImpl<3>(stream);
-      case 3:
-        return runImpl<7>(stream);
-      case 4:
-        return runImpl<15>(stream);
-      default:
-        return runImpl<0>(stream);
-    }
+    // stepBlock monomorphizes the common counter widths so the
+    // saturation ceiling is a compile-time constant per block.
+    return runKernelOverView(*this, view);
 }
 
 KernelReplayResult
@@ -110,7 +86,7 @@ CbtbKernel::result() const
 }
 
 std::vector<BtbBatchCell>
-runBtbBatch(const trace::SoaTrace &stream,
+runBtbBatch(const trace::TraceView &view,
             const std::vector<BtbBatchPoint> &points)
 {
     // Kernels are non-movable (their destructors fold telemetry), so
@@ -131,17 +107,15 @@ runBtbBatch(const trace::SoaTrace &stream,
     // tight per-kernel loop. Each kernel still sees the events in
     // stream order, so the cells match a point-at-a-time replay
     // bit-for-bit.
-    const std::size_t n = stream.size();
     const std::size_t num_points = points.size();
-    std::vector<KernelEvent> block(kKernelBlockEvents);
-    for (std::size_t base = 0; base < n;
-         base += kKernelBlockEvents) {
-        const std::size_t count =
-            std::min(kKernelBlockEvents, n - base);
-        fillKernelBlock(stream, base, count, block.data());
+    std::vector<KernelEvent> events(kKernelBlockEvents);
+    trace::TraceView::Cursor cursor = view.cursor();
+    trace::TraceBlock block;
+    while (cursor.next(block)) {
+        fillKernelBlock(block, events.data());
         for (std::size_t p = 0; p < num_points; ++p) {
-            sbtbs[p]->stepBlock(block.data(), count);
-            cbtbs[p]->stepBlock(block.data(), count);
+            sbtbs[p]->stepBlock(events.data(), block.count);
+            cbtbs[p]->stepBlock(events.data(), block.count);
         }
     }
 

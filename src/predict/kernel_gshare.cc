@@ -20,12 +20,9 @@ GshareKernel::GshareKernel(const GshareConfig &config)
 }
 
 KernelReplayResult
-GshareKernel::run(const trace::SoaTrace &stream)
+GshareKernel::run(const trace::TraceView &view)
 {
-    const std::size_t n = stream.size();
-    for (std::size_t i = 0; i < n; ++i)
-        step(kernelEventAt(stream, i));
-    return result();
+    return runKernelOverView(*this, view);
 }
 
 KernelReplayResult

@@ -21,30 +21,11 @@ StaticKernel::StaticKernel(StaticKind kind) : kind_(kind)
     bias_[static_cast<std::size_t>(ir::Opcode::Ble)] = true;
 }
 
-template <StaticKind Kind>
 KernelReplayResult
-StaticKernel::runImpl(const trace::SoaTrace &stream)
+StaticKernel::run(const trace::TraceView &view)
 {
-    const std::size_t n = stream.size();
-    for (std::size_t i = 0; i < n; ++i)
-        stepImpl<Kind>(kernelEventAt(stream, i));
-    return result();
-}
-
-KernelReplayResult
-StaticKernel::run(const trace::SoaTrace &stream)
-{
-    switch (kind_) {
-      case StaticKind::AlwaysTaken:
-        return runImpl<StaticKind::AlwaysTaken>(stream);
-      case StaticKind::AlwaysNotTaken:
-        return runImpl<StaticKind::AlwaysNotTaken>(stream);
-      case StaticKind::BackwardTaken:
-        return runImpl<StaticKind::BackwardTaken>(stream);
-      case StaticKind::OpcodeBias:
-        return runImpl<StaticKind::OpcodeBias>(stream);
-    }
-    blab_panic("unreachable static kernel kind");
+    // stepBlock monomorphizes per kind.
+    return runKernelOverView(*this, view);
 }
 
 KernelReplayResult
@@ -79,12 +60,9 @@ FsKernel::FsKernel(const LikelyMap &map, ir::Addr max_pc)
 }
 
 KernelReplayResult
-FsKernel::run(const trace::SoaTrace &stream)
+FsKernel::run(const trace::TraceView &view)
 {
-    const std::size_t n = stream.size();
-    for (std::size_t i = 0; i < n; ++i)
-        step(kernelEventAt(stream, i));
-    return result();
+    return runKernelOverView(*this, view);
 }
 
 KernelReplayResult

@@ -1,8 +1,11 @@
 /**
  * @file
  * Monomorphized replay kernels: one class per scheme family, each
- * replaying an SoA trace (trace/soa.hh) with zero virtual dispatch in
- * the inner loop.
+ * replaying a recorded stream with zero virtual dispatch in the inner
+ * loop. Kernels consume a trace::TraceView (trace/view.hh), so one
+ * code path serves both decoded SoA streams and mmap'd cache entries
+ * -- the latter zero-copy: the view's cursor hands each kernel block
+ * pointers straight into the mapping's bit-plane and opcode sections.
  *
  * The virtual-dispatch path (PredictionDriver over BranchPredictor)
  * stays the authoritative reference; every kernel here replicates
@@ -40,6 +43,7 @@
 #include "predict/predictor.hh"
 #include "predict/profile_predictor.hh"
 #include "trace/soa.hh"
+#include "trace/view.hh"
 
 namespace branchlab::predict
 {
@@ -100,6 +104,24 @@ kernelEventAt(const trace::SoaTrace &stream, std::size_t i)
     return e;
 }
 
+/** Materialise the kernel view of block element @p i. */
+inline KernelEvent
+kernelEventFrom(const trace::TraceBlock &block, std::size_t i)
+{
+    KernelEvent e;
+    e.pc = block.pc[i];
+    e.nextPc = block.nextPc[i];
+    e.targetAddr = block.targetAddr[i];
+    e.op = block.opcode(i);
+    e.conditional = block.conditional(i);
+    e.taken = block.taken(i);
+    const bool has_static = e.conditional ||
+                            e.op == ir::Opcode::Jmp ||
+                            e.op == ir::Opcode::Call;
+    e.staticTarget = has_static ? e.targetAddr : ir::kNoAddr;
+    return e;
+}
+
 /**
  * Strip-mine width for the fused multi-kernel replays: events are
  * materialised into a block this long, then each kernel runs a tight
@@ -109,6 +131,10 @@ kernelEventAt(const trace::SoaTrace &stream, std::size_t i)
  */
 inline constexpr std::size_t kKernelBlockEvents = 512;
 
+// Kernel strip-mining and the view cursor share one block width, so a
+// cursor block maps 1:1 onto a kernel block.
+static_assert(kKernelBlockEvents == trace::kTraceBlockEvents);
+
 /** Materialise events [base, base+count) of @p stream into @p block. */
 inline void
 fillKernelBlock(const trace::SoaTrace &stream, std::size_t base,
@@ -116,6 +142,14 @@ fillKernelBlock(const trace::SoaTrace &stream, std::size_t base,
 {
     for (std::size_t i = 0; i < count; ++i)
         block[i] = kernelEventAt(stream, base + i);
+}
+
+/** Materialise a cursor block into kernel events. */
+inline void
+fillKernelBlock(const trace::TraceBlock &block, KernelEvent *events)
+{
+    for (std::size_t i = 0; i < block.count; ++i)
+        events[i] = kernelEventFrom(block, i);
 }
 
 /** PredictionDriver::isCorrect over the kernel view. */
@@ -162,6 +196,28 @@ struct KernelStats
     }
 };
 
+/**
+ * The shared single-kernel replay loop: walk @p view block-by-block
+ * (zero-copy when the view is mapped), materialise each block into
+ * kernel events while it is L1-resident, and fold it through
+ * @p kernel's stepBlock -- which every kernel monomorphizes
+ * internally (counter width, static kind). Every kernel's
+ * run(TraceView) delegates here.
+ */
+template <typename Kernel>
+KernelReplayResult
+runKernelOverView(Kernel &kernel, const trace::TraceView &view)
+{
+    std::array<KernelEvent, kKernelBlockEvents> events;
+    trace::TraceView::Cursor cursor = view.cursor();
+    trace::TraceBlock block;
+    while (cursor.next(block)) {
+        fillKernelBlock(block, events.data());
+        kernel.stepBlock(events.data(), block.count);
+    }
+    return kernel.result();
+}
+
 /** The SBTB (SimpleBtb) as a monomorphized kernel. */
 class SbtbKernel
 {
@@ -174,7 +230,12 @@ class SbtbKernel
     SbtbKernel &operator=(const SbtbKernel &) = delete;
 
     /** Replay the full stream through this kernel's state. */
-    KernelReplayResult run(const trace::SoaTrace &stream);
+    KernelReplayResult run(const trace::TraceView &view);
+    KernelReplayResult
+    run(const trace::SoaTrace &stream)
+    {
+        return run(trace::TraceView::of(stream));
+    }
 
     /** One event; the batch driver interleaves many kernels. */
     void
@@ -250,7 +311,12 @@ class CbtbKernel
     CbtbKernel(const CbtbKernel &) = delete;
     CbtbKernel &operator=(const CbtbKernel &) = delete;
 
-    KernelReplayResult run(const trace::SoaTrace &stream);
+    KernelReplayResult run(const trace::TraceView &view);
+    KernelReplayResult
+    run(const trace::SoaTrace &stream)
+    {
+        return run(trace::TraceView::of(stream));
+    }
 
     void step(const KernelEvent &e) { stepImpl<0>(e); }
 
@@ -351,9 +417,6 @@ class CbtbKernel
             stepImpl<MaxCount>(events[i]);
     }
 
-    template <unsigned MaxCount>
-    KernelReplayResult runImpl(const trace::SoaTrace &stream);
-
     AssociativeBuffer<Entry, FlatTagIndex> buffer_;
     CounterConfig counter_;
     unsigned maxCount_;
@@ -379,7 +442,12 @@ class StaticKernel
   public:
     explicit StaticKernel(StaticKind kind);
 
-    KernelReplayResult run(const trace::SoaTrace &stream);
+    KernelReplayResult run(const trace::TraceView &view);
+    KernelReplayResult
+    run(const trace::SoaTrace &stream)
+    {
+        return run(trace::TraceView::of(stream));
+    }
 
     void
     step(const KernelEvent &e)
@@ -463,9 +531,6 @@ class StaticKernel
                     kernelCorrect(predicted_taken, target, e));
     }
 
-    template <StaticKind Kind>
-    KernelReplayResult runImpl(const trace::SoaTrace &stream);
-
     StaticKind kind_;
     /** Default OpcodeBias table; false for unmapped opcodes, exactly
      *  like the reference's map miss. */
@@ -482,7 +547,12 @@ class FsKernel
     /** @p max_pc bounds the flat tables (the stream's maxPc). */
     FsKernel(const LikelyMap &map, ir::Addr max_pc);
 
-    KernelReplayResult run(const trace::SoaTrace &stream);
+    KernelReplayResult run(const trace::TraceView &view);
+    KernelReplayResult
+    run(const trace::SoaTrace &stream)
+    {
+        return run(trace::TraceView::of(stream));
+    }
 
     void
     step(const KernelEvent &e)
@@ -541,7 +611,12 @@ class GshareKernel
     GshareKernel(const GshareKernel &) = delete;
     GshareKernel &operator=(const GshareKernel &) = delete;
 
-    KernelReplayResult run(const trace::SoaTrace &stream);
+    KernelReplayResult run(const trace::TraceView &view);
+    KernelReplayResult
+    run(const trace::SoaTrace &stream)
+    {
+        return run(trace::TraceView::of(stream));
+    }
 
     void
     step(const KernelEvent &e)
@@ -645,14 +720,21 @@ struct BtbBatchCell
 };
 
 /**
- * Replay one decoded stream against every grid point in a single
+ * Replay one recorded stream against every grid point in a single
  * trace walk: events in the outer loop, per-point predictor state in
  * the inner loop, so N points cost one trace traversal instead of N.
  * Each point's result is bit-identical to replaying it alone.
  */
 std::vector<BtbBatchCell>
-runBtbBatch(const trace::SoaTrace &stream,
+runBtbBatch(const trace::TraceView &view,
             const std::vector<BtbBatchPoint> &points);
+
+inline std::vector<BtbBatchCell>
+runBtbBatch(const trace::SoaTrace &stream,
+            const std::vector<BtbBatchPoint> &points)
+{
+    return runBtbBatch(trace::TraceView::of(stream), points);
+}
 
 } // namespace branchlab::predict
 

@@ -1,16 +1,19 @@
 #include "trace/cache.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <iomanip>
 #include <sstream>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "obs/metrics.hh"
 #include "support/logging.hh"
+#include "trace/format.hh"
 #include "trace/io.hh"
 
 namespace branchlab::trace
@@ -18,9 +21,6 @@ namespace branchlab::trace
 
 namespace
 {
-
-constexpr char kCacheMagic[4] = {'B', 'L', 'T', 'C'};
-constexpr std::uint32_t kCacheVersion = 1;
 
 // Functional counters (traceCacheCounters(): perf_engine's warm-run
 // check and the CI determinism step depend on them), kept separate
@@ -45,12 +45,20 @@ struct CacheTelemetry
         obs::Registry::global().counter("trace_cache.stores");
     obs::Counter &corrupt =
         obs::Registry::global().counter("trace_cache.corrupt_entries");
+    obs::Counter &mapFailures =
+        obs::Registry::global().counter("trace_cache.map_failures");
     obs::Counter &bytesRead =
         obs::Registry::global().counter("trace_cache.bytes_read");
+    obs::Counter &bytesMapped =
+        obs::Registry::global().counter("trace_cache.bytes_mapped");
     obs::Counter &bytesWritten =
         obs::Registry::global().counter("trace_cache.bytes_written");
     obs::Counter &tmpEvicted =
         obs::Registry::global().counter("trace_cache.tmp_evicted");
+    obs::Counter &evictions =
+        obs::Registry::global().counter("trace_cache.evictions");
+    obs::Counter &bytesEvicted =
+        obs::Registry::global().counter("trace_cache.bytes_evicted");
 };
 
 CacheTelemetry &
@@ -75,7 +83,7 @@ putU64(std::string &out, std::uint64_t value)
 }
 
 bool
-getU32(const std::string &in, std::size_t &pos, std::uint32_t &value)
+getU32(std::string_view in, std::size_t &pos, std::uint32_t &value)
 {
     if (pos + 4 > in.size())
         return false;
@@ -90,7 +98,7 @@ getU32(const std::string &in, std::size_t &pos, std::uint32_t &value)
 }
 
 bool
-getU64(const std::string &in, std::size_t &pos, std::uint64_t &value)
+getU64(std::string_view in, std::size_t &pos, std::uint64_t &value)
 {
     if (pos + 8 > in.size())
         return false;
@@ -104,12 +112,130 @@ getU64(const std::string &in, std::size_t &pos, std::uint64_t &value)
     return true;
 }
 
+std::uint64_t
+loadU64Le(const std::uint8_t *p)
+{
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return value;
+}
+
+std::uint32_t
+loadU32Le(const std::uint8_t *p)
+{
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return value;
+}
+
 std::string
-encodeEntry(const CachedWorkload &workload)
+hash16(std::uint64_t content_hash)
+{
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0')
+       << content_hash;
+    return os.str();
+}
+
+std::string
+entryFileName(const std::string &name, std::uint64_t content_hash)
+{
+    return name + '-' + hash16(content_hash) + ".bltc";
+}
+
+/** The pre-shard flat location, still consulted on load. */
+std::string
+flatEntryPath(const std::string &dir, const std::string &name,
+              std::uint64_t content_hash)
+{
+    return (std::filesystem::path(dir) /
+            entryFileName(name, content_hash))
+        .string();
+}
+
+/** @return empty string on success, else a diagnostic (v1 only). */
+std::string
+decodeLegacyEntry(std::string_view in, CachedWorkload &out)
+{
+    if (in.size() < sizeof(kEntryMagic) ||
+        in.compare(0, sizeof(kEntryMagic), kEntryMagic,
+                   sizeof(kEntryMagic)) != 0)
+        return "bad magic";
+    std::size_t pos = sizeof(kEntryMagic);
+    std::uint32_t version = 0;
+    if (!getU32(in, pos, version))
+        return "truncated header";
+    if (version != kEntryVersionV1)
+        return "unsupported cache version " + std::to_string(version);
+    if (!getU64(in, pos, out.contentHash) ||
+        !getU32(in, pos, out.runs) ||
+        !getU64(in, pos, out.stats.instructions) ||
+        !getU64(in, pos, out.stats.branches) ||
+        !getU64(in, pos, out.stats.conditional) ||
+        !getU64(in, pos, out.stats.condTaken) ||
+        !getU64(in, pos, out.stats.uncondKnown))
+        return "truncated header";
+    std::uint64_t likely_count = 0;
+    if (!getU64(in, pos, likely_count))
+        return "truncated likely map";
+    if (likely_count > (in.size() - pos) / kLikelyRecordBytes)
+        return "implausible likely-map count";
+    out.likely.clear();
+    out.likely.reserve(static_cast<std::size_t>(likely_count));
+    for (std::uint64_t i = 0; i < likely_count; ++i) {
+        CachedLikely entry;
+        if (!getU64(in, pos, entry.pc) ||
+            !getU64(in, pos, entry.dominantTarget) || pos >= in.size())
+            return "truncated likely map";
+        entry.likelyTaken = in[pos++] != 0;
+        out.likely.push_back(entry);
+    }
+    std::uint64_t event_count = 0;
+    std::uint64_t payload_size = 0;
+    if (!getU64(in, pos, event_count) ||
+        !getU64(in, pos, payload_size))
+        return "truncated event header";
+    if (payload_size != in.size() - pos)
+        return "event payload size mismatch";
+    std::string error;
+    if (!decodeEventsV2Soa(in.substr(pos), event_count, out.stream,
+                           error))
+        return error;
+    out.mapped.reset();
+    return "";
+}
+
+const char *
+sectionName(std::size_t s)
+{
+    static const char *const kNames[kEntrySectionCount] = {
+        "likely",        "ops",          "cond-plane",
+        "taken-plane",   "tknown-plane", "anomaly-plane",
+        "deltas",        "anomaly-deltas"};
+    return kNames[s];
+}
+
+bool
+syncFd(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+} // namespace
+
+std::string
+encodeLegacyEntryV1(const CachedWorkload &workload)
 {
     std::string out;
-    out.append(kCacheMagic, sizeof(kCacheMagic));
-    putU32(out, kCacheVersion);
+    out.append(kEntryMagic, sizeof(kEntryMagic));
+    putU32(out, kEntryVersionV1);
     putU64(out, workload.contentHash);
     putU32(out, workload.runs);
     putU64(out, workload.stats.instructions);
@@ -130,58 +256,165 @@ encodeEntry(const CachedWorkload &workload)
     return out;
 }
 
-/** @return empty string on success, else a diagnostic. */
-std::string
-decodeEntry(const std::string &in, CachedWorkload &out)
+bool
+mapEntryFile(const std::string &path, std::uint64_t expected_hash,
+             CachedWorkload &out, std::string &error,
+             MapFailure &failure)
 {
-    if (in.size() < sizeof(kCacheMagic) ||
-        in.compare(0, sizeof(kCacheMagic), kCacheMagic,
-                   sizeof(kCacheMagic)) != 0)
-        return "bad magic";
-    std::size_t pos = sizeof(kCacheMagic);
-    std::uint32_t version = 0;
-    if (!getU32(in, pos, version))
-        return "truncated header";
-    if (version != kCacheVersion)
-        return "unsupported cache version " + std::to_string(version);
-    if (!getU64(in, pos, out.contentHash) ||
-        !getU32(in, pos, out.runs) ||
-        !getU64(in, pos, out.stats.instructions) ||
-        !getU64(in, pos, out.stats.branches) ||
-        !getU64(in, pos, out.stats.conditional) ||
-        !getU64(in, pos, out.stats.condTaken) ||
-        !getU64(in, pos, out.stats.uncondKnown))
-        return "truncated header";
-    std::uint64_t likely_count = 0;
-    if (!getU64(in, pos, likely_count))
-        return "truncated likely map";
-    if (likely_count > (in.size() - pos) / 17)
-        return "implausible likely-map count";
-    out.likely.clear();
-    out.likely.reserve(static_cast<std::size_t>(likely_count));
-    for (std::uint64_t i = 0; i < likely_count; ++i) {
-        CachedLikely entry;
-        if (!getU64(in, pos, entry.pc) ||
-            !getU64(in, pos, entry.dominantTarget) || pos >= in.size())
-            return "truncated likely map";
-        entry.likelyTaken = in[pos++] != 0;
-        out.likely.push_back(entry);
+    failure = MapFailure::Corrupt;
+    std::unique_ptr<MappedFile> file = MappedFile::open(path, error);
+    if (!file)
+        return false;
+    const std::uint8_t *data = file->data();
+    const std::size_t size = file->size();
+    if (size < sizeof(kEntryMagic) + 4 ||
+        std::memcmp(data, kEntryMagic, sizeof(kEntryMagic)) != 0) {
+        error = "bad magic";
+        return false;
     }
-    std::uint64_t event_count = 0;
-    std::uint64_t payload_size = 0;
-    if (!getU64(in, pos, event_count) ||
-        !getU64(in, pos, payload_size))
-        return "truncated event header";
-    if (payload_size != in.size() - pos)
-        return "event payload size mismatch";
-    std::string error;
-    if (!decodeEventsV2Soa(std::string_view(in).substr(pos),
-                           event_count, out.stream, error))
-        return error;
-    return "";
-}
+    const std::uint32_t version = loadU32Le(data + sizeof(kEntryMagic));
+    if (version == kEntryVersionV1) {
+        // Legacy inline entry: owning decode straight off the mapping
+        // (the mapping is released afterwards -- nothing borrows it).
+        error = decodeLegacyEntry(
+            std::string_view(reinterpret_cast<const char *>(data),
+                             size),
+            out);
+        if (!error.empty())
+            return false;
+        if (out.contentHash != expected_hash) {
+            error = "mismatched content hash";
+            return false;
+        }
+        failure = MapFailure::None;
+        return true;
+    }
+    if (version != kEntryVersion) {
+        error = "unsupported cache version " + std::to_string(version);
+        return false;
+    }
 
-} // namespace
+    EntryHeader header;
+    error = decodeEntryHeader(data, size, header);
+    if (!error.empty())
+        return false;
+    if ((header.featureBits & ~kKnownFeatureBits) != 0) {
+        failure = MapFailure::Foreign;
+        std::ostringstream os;
+        os << "unknown feature bits 0x" << std::hex
+           << (header.featureBits & ~kKnownFeatureBits);
+        error = os.str();
+        return false;
+    }
+    if (header.eventCount > size) {
+        error = "implausible event count";
+        return false;
+    }
+    if (header.likelyCount > size / kLikelyRecordBytes) {
+        error = "implausible likely-map count";
+        return false;
+    }
+
+    const std::uint64_t plane_bytes = (header.eventCount + 7) / 8;
+    const std::uint64_t expected_length[kEntrySectionCount] = {
+        header.likelyCount * kLikelyRecordBytes, // likely
+        header.eventCount,                       // ops
+        plane_bytes,                             // cond plane
+        plane_bytes,                             // taken plane
+        plane_bytes,                             // target-known plane
+        plane_bytes,                             // anomaly plane
+        0,                                       // deltas: any
+        0,                                       // anomaly deltas: any
+    };
+    for (std::size_t s = 0; s < kEntrySectionCount; ++s) {
+        const SectionRecord &section = header.sections[s];
+        if (section.offset % kSectionAlign != 0) {
+            error = std::string("misaligned section ") +
+                    sectionName(s);
+            return false;
+        }
+        if (section.offset > size ||
+            section.length > size - section.offset) {
+            error =
+                std::string("section ") + sectionName(s) +
+                " out of bounds";
+            return false;
+        }
+        if (s < static_cast<std::size_t>(EntrySection::Deltas) &&
+            section.length != expected_length[s]) {
+            error = std::string("section ") + sectionName(s) +
+                    " has wrong length (" +
+                    std::to_string(section.length) + ", expected " +
+                    std::to_string(expected_length[s]) + ")";
+            return false;
+        }
+        // Every section is verified up front, so the mapped replay
+        // path can never hit torn bytes (or SIGBUS on a truncation)
+        // later.
+        if (checksum64(data + section.offset, section.length) !=
+            section.checksum) {
+            error = std::string("checksum mismatch in section ") +
+                    sectionName(s);
+            return false;
+        }
+    }
+    if (header.contentHash != expected_hash) {
+        error = "mismatched content hash";
+        return false;
+    }
+
+    const std::uint8_t *ops =
+        data + header.section(EntrySection::Ops).offset;
+    for (std::uint64_t i = 0; i < header.eventCount; ++i) {
+        if (ops[i] >= ir::kNumOpcodes) {
+            error = "bad opcode " + std::to_string(ops[i]);
+            return false;
+        }
+    }
+
+    out.contentHash = header.contentHash;
+    out.runs = header.runs;
+    out.stats = header.stats;
+    out.likely.clear();
+    out.likely.reserve(static_cast<std::size_t>(header.likelyCount));
+    const std::uint8_t *likely =
+        data + header.section(EntrySection::Likely).offset;
+    for (std::uint64_t i = 0; i < header.likelyCount; ++i) {
+        CachedLikely entry;
+        entry.pc = loadU64Le(likely);
+        entry.dominantTarget = loadU64Le(likely + 8);
+        entry.likelyTaken = likely[16] != 0;
+        out.likely.push_back(entry);
+        likely += kLikelyRecordBytes;
+    }
+    out.stream.clear();
+
+    auto mapped = std::make_shared<MappedEntry>();
+    mapped->featureBits = header.featureBits;
+    mapped->eventCount = header.eventCount;
+    mapped->maxPc = header.maxPc;
+    mapped->ops = ops;
+    mapped->condPlane =
+        data + header.section(EntrySection::CondPlane).offset;
+    mapped->takenPlane =
+        data + header.section(EntrySection::TakenPlane).offset;
+    mapped->targetKnownPlane =
+        data + header.section(EntrySection::TargetKnownPlane).offset;
+    mapped->anomalyPlane =
+        data + header.section(EntrySection::AnomalyPlane).offset;
+    mapped->deltas =
+        data + header.section(EntrySection::Deltas).offset;
+    mapped->deltasLen = static_cast<std::size_t>(
+        header.section(EntrySection::Deltas).length);
+    mapped->anomalyDeltas =
+        data + header.section(EntrySection::AnomalyDeltas).offset;
+    mapped->anomalyDeltasLen = static_cast<std::size_t>(
+        header.section(EntrySection::AnomalyDeltas).length);
+    mapped->file = std::move(file);
+    out.mapped = std::move(mapped);
+    failure = MapFailure::None;
+    return true;
+}
 
 TraceCacheCounters
 traceCacheCounters()
@@ -207,14 +440,33 @@ TraceCache::resolveDir(const std::string &configured)
     return "";
 }
 
+std::uint64_t
+TraceCache::resolveMaxBytes(std::uint64_t configured)
+{
+    if (configured != 0)
+        return configured;
+    if (const char *env =
+            std::getenv("BRANCHLAB_TRACE_CACHE_MAX_BYTES")) {
+        char *end = nullptr;
+        const unsigned long long parsed = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0')
+            return parsed;
+        blab_warn("ignoring unparsable "
+                  "BRANCHLAB_TRACE_CACHE_MAX_BYTES='",
+                  env, "'");
+    }
+    return 0;
+}
+
 std::string
 TraceCache::entryPath(const std::string &name,
                       std::uint64_t content_hash) const
 {
-    std::ostringstream os;
-    os << name << '-' << std::hex << std::setw(16) << std::setfill('0')
-       << content_hash << ".bltc";
-    return (std::filesystem::path(dir_) / os.str()).string();
+    const std::string file = entryFileName(name, content_hash);
+    return (std::filesystem::path(dir_) / file.substr(file.size() - 21,
+                                                      2) /
+            file)
+        .string();
 }
 
 bool
@@ -223,51 +475,55 @@ TraceCache::load(const std::string &name, std::uint64_t content_hash,
 {
     if (!enabled())
         return false;
-    const std::string path = entryPath(name, content_hash);
-    std::ifstream file(path, std::ios::binary);
-    if (!file) {
+    std::string path = entryPath(name, content_hash);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+        // Pre-shard caches kept entries flat in the top directory.
+        const std::string flat =
+            flatEntryPath(dir_, name, content_hash);
+        if (!std::filesystem::exists(flat, ec)) {
+            ++g_misses;
+            cacheTelemetry().misses.add(1);
+            blab_inform("trace cache miss: ", name);
+            return false;
+        }
+        path = flat;
+    }
+    CachedWorkload loaded;
+    std::string error;
+    MapFailure failure = MapFailure::None;
+    if (!mapEntryFile(path, content_hash, loaded, error, failure)) {
         ++g_misses;
         cacheTelemetry().misses.add(1);
-        blab_inform("trace cache miss: ", name);
+        cacheTelemetry().mapFailures.add(1);
+        if (failure == MapFailure::Foreign) {
+            // Foreign, not broken: refuse quietly and re-record.
+            blab_inform("trace cache entry '", path,
+                        "' needs features this reader lacks (", error,
+                        "); re-recording");
+        } else {
+            cacheTelemetry().corrupt.add(1);
+            blab_warn("trace cache entry '", path, "' is corrupt (",
+                      error, "); re-recording");
+        }
         return false;
     }
-    file.seekg(0, std::ios::end);
-    const std::streamoff size = file.tellg();
-    file.seekg(0, std::ios::beg);
-    std::string contents(size > 0 ? static_cast<std::size_t>(size) : 0,
-                         '\0');
-    file.read(contents.data(),
-              static_cast<std::streamsize>(contents.size()));
-    if (!file) {
-        ++g_misses;
-        cacheTelemetry().misses.add(1);
-        cacheTelemetry().corrupt.add(1);
-        blab_warn("trace cache entry '", path,
-                  "' is unreadable; re-recording");
-        return false;
+    out = std::move(loaded);
+    if (out.mapped) {
+        cacheTelemetry().bytesMapped.add(out.mapped->file->size());
+    } else {
+        const std::uintmax_t bytes =
+            std::filesystem::file_size(path, ec);
+        if (!ec)
+            cacheTelemetry().bytesRead.add(bytes);
     }
-    cacheTelemetry().bytesRead.add(contents.size());
-    const std::string error = decodeEntry(contents, out);
-    if (!error.empty()) {
-        ++g_misses;
-        cacheTelemetry().misses.add(1);
-        cacheTelemetry().corrupt.add(1);
-        blab_warn("trace cache entry '", path, "' is corrupt (", error,
-                  "); re-recording");
-        return false;
-    }
-    if (out.contentHash != content_hash) {
-        ++g_misses;
-        cacheTelemetry().misses.add(1);
-        cacheTelemetry().corrupt.add(1);
-        blab_warn("trace cache entry '", path,
-                  "' has mismatched content hash; re-recording");
-        return false;
-    }
+    // LRU touch: a hit makes the entry recently used.
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now(), ec);
     ++g_hits;
     cacheTelemetry().hits.add(1);
-    blab_inform("trace cache hit: ", name, " (", out.stream.size(),
-                " events)");
+    blab_inform("trace cache hit: ", name, " (", out.eventCount(),
+                " events", out.mapped ? ", mapped)" : ")");
     return true;
 }
 
@@ -277,14 +533,18 @@ TraceCache::store(const std::string &name,
 {
     if (!enabled())
         return;
+    blab_assert(!workload.mapped,
+                "store() expects an owning stream, not a mapped hit");
+    const std::string path = entryPath(name, workload.contentHash);
+    const std::filesystem::path shard_dir =
+        std::filesystem::path(path).parent_path();
     std::error_code ec;
-    std::filesystem::create_directories(dir_, ec);
+    std::filesystem::create_directories(shard_dir, ec);
     if (ec) {
-        blab_warn("cannot create trace cache directory '", dir_, "': ",
-                  ec.message());
+        blab_warn("cannot create trace cache directory '",
+                  shard_dir.string(), "': ", ec.message());
         return;
     }
-    const std::string path = entryPath(name, workload.contentHash);
     // Unique temp name per in-flight store: the pid separates
     // processes and the process-wide atomic sequence separates
     // threads, so two threads storing the same entry concurrently can
@@ -296,24 +556,73 @@ TraceCache::store(const std::string &name,
         "-" +
         std::to_string(
             g_tmpSequence.fetch_add(1, std::memory_order_relaxed));
-    std::size_t entry_size = 0;
+    const SoaTrace &stream = workload.stream;
+    const std::size_t n = stream.size();
+    const std::size_t plane_bytes = (n + 7) / 8;
+    std::uint64_t entry_size = 0;
+    bool written = false;
     {
-        std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-        if (!file) {
+        EntryWriter writer(tmp);
+        if (!writer.ok()) {
             blab_warn("cannot write trace cache entry '", tmp, "'");
             return;
         }
-        const std::string entry = encodeEntry(workload);
-        entry_size = entry.size();
-        file.write(entry.data(),
-                   static_cast<std::streamsize>(entry.size()));
-        if (!file) {
-            blab_warn("trace cache write failed for '", tmp, "'");
-            file.close();
-            std::filesystem::remove(tmp, ec);
-            cacheTelemetry().tmpEvicted.add(1);
-            return;
+        writer.setMeta(workload.contentHash, workload.runs,
+                       workload.stats, n, stream.maxPc(),
+                       workload.likely.size());
+        std::string likely_bytes;
+        likely_bytes.reserve(kLikelyRecordBytes *
+                             workload.likely.size());
+        for (const CachedLikely &entry : workload.likely) {
+            putU64(likely_bytes, entry.pc);
+            putU64(likely_bytes, entry.dominantTarget);
+            likely_bytes.push_back(entry.likelyTaken ? 1 : 0);
         }
+        writer.writeSection(EntrySection::Likely, likely_bytes.data(),
+                            likely_bytes.size());
+        // The stream's columns go to disk verbatim; only the anomaly
+        // plane and the delta columns are derived here.
+        writer.writeSection(EntrySection::Ops, stream.ops().data(), n);
+        writer.writeSection(EntrySection::CondPlane,
+                            stream.conditionalPlane().data(),
+                            plane_bytes);
+        writer.writeSection(EntrySection::TakenPlane,
+                            stream.takenPlane().data(), plane_bytes);
+        writer.writeSection(EntrySection::TargetKnownPlane,
+                            stream.targetKnownPlane().data(),
+                            plane_bytes);
+        std::string anomaly_plane;
+        std::string deltas;
+        std::string anomalies;
+        encodeDeltaColumnsV2(stream, anomaly_plane, deltas, anomalies);
+        writer.writeSection(EntrySection::AnomalyPlane,
+                            anomaly_plane.data(),
+                            anomaly_plane.size());
+        writer.writeSection(EntrySection::Deltas, deltas.data(),
+                            deltas.size());
+        writer.writeSection(EntrySection::AnomalyDeltas,
+                            anomalies.data(), anomalies.size());
+        std::string werror;
+        if (writer.finish(werror)) {
+            entry_size = writer.bytesWritten();
+            written = true;
+        } else {
+            blab_warn("trace cache write failed for '", tmp, "' (",
+                      werror, ")");
+        }
+    }
+    // Durability before visibility: the entry's bytes reach the disk
+    // before the rename can publish its name, and the directory entry
+    // itself is synced after. A crash leaves either the old entry or
+    // the complete new one.
+    if (written && !syncFd(tmp)) {
+        blab_warn("cannot sync trace cache entry '", tmp, "'");
+        written = false;
+    }
+    if (!written) {
+        std::filesystem::remove(tmp, ec);
+        cacheTelemetry().tmpEvicted.add(1);
+        return;
     }
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
@@ -323,11 +632,76 @@ TraceCache::store(const std::string &name,
         cacheTelemetry().tmpEvicted.add(1);
         return;
     }
+    syncFd(shard_dir.string()); // best-effort
     ++g_stores;
     cacheTelemetry().stores.add(1);
     cacheTelemetry().bytesWritten.add(entry_size);
-    blab_inform("trace cache store: ", name, " (",
-                workload.stream.size(), " events)");
+    blab_inform("trace cache store: ", name, " (", n, " events)");
+    enforceByteCap(path);
+}
+
+void
+TraceCache::enforceByteCap(const std::string &just_stored) const
+{
+    if (maxBytes_ == 0)
+        return;
+    struct Row
+    {
+        std::filesystem::path path;
+        std::uint64_t size = 0;
+        std::filesystem::file_time_type mtime;
+    };
+    std::vector<Row> rows;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    const std::filesystem::path stored =
+        std::filesystem::path(just_stored).lexically_normal();
+    for (std::filesystem::recursive_directory_iterator
+             it(dir_,
+                std::filesystem::directory_options::
+                    skip_permission_denied,
+                ec),
+         end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->path().extension() != ".bltc")
+            continue;
+        std::error_code file_ec;
+        if (!it->is_regular_file(file_ec) || file_ec)
+            continue;
+        Row row;
+        row.path = it->path();
+        row.size = it->file_size(file_ec);
+        if (file_ec)
+            continue;
+        row.mtime = it->last_write_time(file_ec);
+        if (file_ec)
+            continue;
+        total += row.size;
+        rows.push_back(std::move(row));
+    }
+    if (total <= maxBytes_)
+        return;
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &a, const Row &b) {
+                  return a.mtime < b.mtime;
+              });
+    for (const Row &row : rows) {
+        if (total <= maxBytes_)
+            break;
+        // Never evict what this store just published -- even a cap
+        // smaller than one entry must leave the newest usable.
+        if (row.path.lexically_normal() == stored)
+            continue;
+        std::error_code remove_ec;
+        if (std::filesystem::remove(row.path, remove_ec) &&
+            !remove_ec) {
+            total -= row.size;
+            cacheTelemetry().evictions.add(1);
+            cacheTelemetry().bytesEvicted.add(row.size);
+            blab_inform("trace cache evicted '", row.path.string(),
+                        "' (", row.size, " bytes)");
+        }
+    }
 }
 
 } // namespace branchlab::trace

@@ -4,13 +4,19 @@
  * store it on disk keyed by a content hash of everything that
  * determines it, and skip the VM record pass entirely on later runs.
  *
- * The cache holds one file per workload
- * (`<dir>/<name>-<hash16>.bltc`) containing the v2 columnar event
- * stream plus the profile data derived alongside it (run count, the
+ * Entries are sharded two hex digits deep
+ * (`<dir>/<hh>/<name>-<hash16>.bltc`, where `hh` is the leading byte
+ * of the hash) so a large cache never piles thousands of files into
+ * one directory; pre-shard flat entries are still found. Each file is
+ * a BLTC v2 sectioned entry (trace/format.hh): the recorded stream's
+ * columns plus the profile data derived alongside it (run count, the
  * TraceStats counters, and the per-branch likely map used by the
- * profiled-static scheme and the Forward Semantic transform), so a
- * warm run reconstructs a RecordedWorkload bit-identically without
- * executing the VM.
+ * profiled-static scheme and the Forward Semantic transform), laid
+ * out for mmap. A warm load does not decode the stream at all -- it
+ * maps the file, validates it (section bounds, checksums, opcode
+ * range, content hash, feature bits), and hands replay a zero-copy
+ * TraceView over the mapping (trace/view.hh). Legacy v1 entries
+ * (inline columnar payload) still load, via the owning decode path.
  *
  * Invalidation is purely content-addressed: the key hashes the
  * program IR (printed with addresses), the data segment, the layout
@@ -19,33 +25,53 @@
  * hash, so a stale entry can never be served -- it is simply never
  * looked up again, and `load` additionally verifies the hash stored
  * inside the file. Corrupt or unreadable entries soft-fail (warn and
- * re-record); they never abort a run.
+ * re-record); entries carrying feature bits this reader does not
+ * implement are refused the same way (without the corruption warning
+ * -- they are foreign, not broken). Nothing in the load path can
+ * abort a run.
  *
- * Writes are atomic: the entry is written to a temp file in the cache
- * directory and renamed into place, so concurrent runs and crashes
- * leave either the old file or the complete new one. Temp names carry
- * a `<pid>-<sequence>` suffix (the sequence is a process-wide atomic
- * counter), so concurrent stores of the same entry -- across threads
- * or processes -- never share a temp file.
+ * Writes are atomic and durable: the entry streams through an
+ * EntryWriter into a temp file in the shard directory, is fsync'd,
+ * and renamed into place (followed by a directory fsync), so
+ * concurrent runs, crashes, and power loss leave either the old file
+ * or the complete new one -- never a torn entry under the published
+ * name. Temp names carry a `<pid>-<sequence>` suffix (the sequence is
+ * a process-wide atomic counter), so concurrent stores of the same
+ * entry -- across threads or processes -- never share a temp file,
+ * and every failed write unlinks its temp file.
+ *
+ * Lifecycle: an optional byte cap (constructor argument,
+ * `--trace-cache-max-bytes`, or BRANCHLAB_TRACE_CACHE_MAX_BYTES)
+ * bounds the cache directory. After each store the cache evicts
+ * least-recently-used entries (by mtime; loads touch their entry)
+ * until the total is back under the cap, never evicting the entry
+ * just stored. 0 means unbounded.
  *
  * Besides the functional TraceCacheCounters below, the cache reports
  * telemetry to obs::Registry::global(): `trace_cache.hits`,
  * `.misses`, `.stores`, `.corrupt_entries` (unreadable, undecodable,
- * or hash-mismatched entries), `.bytes_read`, `.bytes_written`, and
- * `.tmp_evicted` (temp files removed after failed writes/renames).
+ * or hash-mismatched entries), `.map_failures` (v2 entries that could
+ * not be mapped and validated -- a superset of the corrupt ones plus
+ * foreign-feature refusals), `.bytes_read` (legacy whole-file loads),
+ * `.bytes_mapped`, `.bytes_written`, `.tmp_evicted` (temp files
+ * removed after failed writes/renames), `.evictions`, and
+ * `.bytes_evicted`.
  */
 
 #ifndef BRANCHLAB_TRACE_CACHE_HH
 #define BRANCHLAB_TRACE_CACHE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "trace/event.hh"
+#include "trace/mmap.hh"
 #include "trace/soa.hh"
 #include "trace/stats.hh"
+#include "trace/view.hh"
 
 namespace branchlab::trace
 {
@@ -97,7 +123,51 @@ struct CachedLikely
     bool operator==(const CachedLikely &) const = default;
 };
 
-/** Everything a warm run needs in place of the VM record pass. */
+/**
+ * A validated, mapped v2 entry: the mapping plus resolved section
+ * pointers. Immutable and self-contained -- consumers share it by
+ * shared_ptr, and the stream stays readable even if the cache file is
+ * evicted (the mapping pins the pages). All validation (bounds,
+ * checksums, opcode range, hash, feature bits) happened before this
+ * object existed, so views over it may treat decode errors as fatal.
+ */
+struct MappedEntry
+{
+    std::unique_ptr<MappedFile> file;
+    std::uint64_t featureBits = 0;
+    std::uint64_t eventCount = 0;
+    ir::Addr maxPc = 0;
+    const std::uint8_t *ops = nullptr;
+    const std::uint8_t *condPlane = nullptr;
+    const std::uint8_t *takenPlane = nullptr;
+    const std::uint8_t *targetKnownPlane = nullptr;
+    const std::uint8_t *anomalyPlane = nullptr;
+    const std::uint8_t *deltas = nullptr;
+    std::size_t deltasLen = 0;
+    const std::uint8_t *anomalyDeltas = nullptr;
+    std::size_t anomalyDeltasLen = 0;
+
+    /** A zero-copy view of the mapped stream. */
+    TraceView
+    view() const
+    {
+        return TraceView::mapped(
+            ops, condPlane, takenPlane, targetKnownPlane, anomalyPlane,
+            deltas, deltasLen, anomalyDeltas, anomalyDeltasLen,
+            static_cast<std::size_t>(eventCount), maxPc);
+    }
+};
+
+/**
+ * Everything a warm run needs in place of the VM record pass. The
+ * stream arrives in exactly one of two forms:
+ *
+ *  - `mapped` non-null (v2 hit): zero-copy, `stream` empty;
+ *  - `mapped` null: an owning SoaTrace in `stream` (cold records,
+ *    legacy v1 hits).
+ *
+ * traceView() papers over the difference for replay consumers.
+ */
 struct CachedWorkload
 {
     std::uint64_t contentHash = 0;
@@ -105,10 +175,52 @@ struct CachedWorkload
     std::uint32_t runs = 0;
     TraceCounters stats;
     std::vector<CachedLikely> likely;
-    /** The recorded stream, decoded straight into SoA columns (the
-     *  replay engine's native representation). */
+    /** The owning stream (empty when `mapped` is set). */
     SoaTrace stream;
+    /** The zero-copy mapped stream (v2 warm hits). */
+    std::shared_ptr<const MappedEntry> mapped;
+
+    TraceView
+    traceView() const
+    {
+        return mapped ? mapped->view() : TraceView::of(stream);
+    }
+
+    std::uint64_t
+    eventCount() const
+    {
+        return mapped ? mapped->eventCount : stream.size();
+    }
 };
+
+/** Why mapEntryFile refused an entry. */
+enum class MapFailure
+{
+    None,
+    /** Unreadable, malformed, checksum- or hash-mismatched. */
+    Corrupt,
+    /** Valid but carries feature bits this reader does not
+     *  implement. */
+    Foreign,
+};
+
+/**
+ * Map and fully validate one entry file (v2 zero-copy; legacy v1
+ * entries decode into an owning stream). On success fills @p out and
+ * returns true. On failure returns false with a diagnostic in
+ * @p error and the classification in @p failure; never warns, never
+ * aborts, and never leaves a mapping behind. @p expected_hash must
+ * match the embedded content hash. Exposed for the streaming bench
+ * (bench/stream_smoke.cc) and the validation tests; cache consumers
+ * go through TraceCache::load.
+ */
+bool mapEntryFile(const std::string &path, std::uint64_t expected_hash,
+                  CachedWorkload &out, std::string &error,
+                  MapFailure &failure);
+
+/** Serialize @p workload in the legacy v1 inline format
+ *  (compatibility tests: v1 entries must keep loading). */
+std::string encodeLegacyEntryV1(const CachedWorkload &workload);
 
 /** Hit/miss/store totals across all caches in the process. */
 struct TraceCacheCounters
@@ -130,7 +242,9 @@ class TraceCache
 {
   public:
     TraceCache() = default;
-    explicit TraceCache(std::string dir) : dir_(std::move(dir)) {}
+    explicit TraceCache(std::string dir, std::uint64_t max_bytes = 0)
+        : dir_(std::move(dir)), maxBytes_(max_bytes)
+    {}
 
     /**
      * Pick the cache directory: @p configured if non-empty, else the
@@ -138,16 +252,26 @@ class TraceCache
      */
     static std::string resolveDir(const std::string &configured);
 
+    /**
+     * Pick the byte cap: @p configured if non-zero, else the
+     * BRANCHLAB_TRACE_CACHE_MAX_BYTES environment variable, else 0
+     * (unbounded).
+     */
+    static std::uint64_t resolveMaxBytes(std::uint64_t configured);
+
     bool enabled() const { return !dir_.empty(); }
     const std::string &dir() const { return dir_; }
+    std::uint64_t maxBytes() const { return maxBytes_; }
 
-    /** Path of the entry for @p name under @p content_hash. */
+    /** Path of the entry for @p name under @p content_hash (sharded;
+     *  see the file comment). */
     std::string entryPath(const std::string &name,
                           std::uint64_t content_hash) const;
 
     /**
      * Look up @p name / @p content_hash. On a hit, fill @p out and
-     * return true. Misses, corrupt entries, and hash mismatches
+     * return true (v2 entries arrive mapped, zero-copy). Misses,
+     * corrupt entries, hash mismatches, and foreign-feature entries
      * return false (corruption warns; a mismatch is treated as
      * corruption -- the filename already encodes the hash).
      */
@@ -155,15 +279,20 @@ class TraceCache
               CachedWorkload &out) const;
 
     /**
-     * Persist @p workload as the entry for @p name. Creates the
-     * cache directory if needed; writes a temp file and renames it
-     * into place. Failures warn and leave the cache unchanged.
+     * Persist @p workload (its owning `stream`) as the entry for
+     * @p name. Creates the shard directory if needed; streams a temp
+     * file, fsyncs, and renames it into place. Failures warn, unlink
+     * the temp file, and leave the cache unchanged. A successful
+     * store then evicts LRU entries until the cache fits maxBytes().
      */
     void store(const std::string &name,
                const CachedWorkload &workload) const;
 
   private:
+    void enforceByteCap(const std::string &just_stored) const;
+
     std::string dir_;
+    std::uint64_t maxBytes_ = 0;
 };
 
 } // namespace branchlab::trace

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "support/logging.hh"
+#include "trace/varint.hh"
 
 namespace branchlab::trace
 {
@@ -106,77 +107,6 @@ getEventV1(std::istream &is)
     return event;
 }
 
-/** Zig-zag map a two's-complement difference into a small unsigned. */
-std::uint64_t
-zigzag(std::uint64_t diff)
-{
-    const auto s = static_cast<std::int64_t>(diff);
-    return (static_cast<std::uint64_t>(s) << 1) ^
-           static_cast<std::uint64_t>(s >> 63);
-}
-
-std::uint64_t
-unzigzag(std::uint64_t z)
-{
-    return (z >> 1) ^ (~(z & 1) + 1);
-}
-
-/** LEB128: 7 payload bits per byte, high bit = continuation. */
-void
-putVarint(std::string &out, std::uint64_t value)
-{
-    while (value >= 0x80) {
-        out.push_back(static_cast<char>((value & 0x7f) | 0x80));
-        value >>= 7;
-    }
-    out.push_back(static_cast<char>(value));
-}
-
-bool
-getVarint(const std::string &in, std::size_t &pos, std::uint64_t &value)
-{
-    value = 0;
-    for (int shift = 0; shift < 64; shift += 7) {
-        if (pos >= in.size())
-            return false;
-        const auto byte =
-            static_cast<unsigned char>(in[pos++]);
-        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-        if ((byte & 0x80) == 0)
-            return true;
-    }
-    return false; // > 10 continuation bytes: corrupt
-}
-
-/**
- * Pointer cursor for the hot decode loops. Equivalent to getVarint()
- * but skips the per-byte bounds arithmetic on the dominant case
- * (real traces are almost entirely one-byte deltas).
- */
-struct VarintCursor
-{
-    const unsigned char *p;
-    const unsigned char *end;
-
-    bool get(std::uint64_t &value)
-    {
-        if (p != end && *p < 0x80) {
-            value = *p++;
-            return true;
-        }
-        value = 0;
-        for (int shift = 0; shift < 64; shift += 7) {
-            if (p == end)
-                return false;
-            const unsigned char byte = *p++;
-            value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-            if ((byte & 0x80) == 0)
-                return true;
-        }
-        return false; // > 10 continuation bytes: corrupt
-    }
-};
-
 bool
 getBit(std::string_view plane, std::size_t base, std::uint64_t i)
 {
@@ -236,8 +166,9 @@ readBodyV2(std::istream &is, const HeaderV2 &header)
 
 } // namespace
 
-std::string
-encodeEventsV2(const SoaTrace &events)
+void
+encodeDeltaColumnsV2(const SoaTrace &events, std::string &anomaly_plane,
+                     std::string &deltas, std::string &anomalies)
 {
     const std::size_t n = events.size();
     const std::size_t plane_bytes = (n + 7) / 8;
@@ -246,18 +177,14 @@ encodeEventsV2(const SoaTrace &events)
     const std::vector<ir::Addr> &target = events.targetAddr();
     const std::vector<ir::Addr> &fall = events.fallthroughAddr();
 
-    // The first three bit-planes share the SoaTrace's LSB-first
-    // layout, so they serialize as straight byte copies. Only the
-    // anomalous-next plane has to be derived here.
-    std::string anomaly_plane(plane_bytes, '\0');
-
+    anomaly_plane.assign(plane_bytes, '\0');
     // One delta triple per event, interleaved so the decoder fills
     // each event in a single sequential pass (three separate columns
     // would make it re-walk the multi-hundred-megabyte trace once
     // per column).
-    std::string deltas;
+    deltas.clear();
     deltas.reserve(6 * n); // small deltas dominate real traces
-    std::string anomalies;
+    anomalies.clear();
 
     ir::Addr prev_pc = 0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -273,6 +200,21 @@ encodeEventsV2(const SoaTrace &events)
         putVarint(deltas, zigzag(fall[i] - pc[i]));
         prev_pc = pc[i];
     }
+}
+
+std::string
+encodeEventsV2(const SoaTrace &events)
+{
+    const std::size_t n = events.size();
+    const std::size_t plane_bytes = (n + 7) / 8;
+
+    // The first three bit-planes share the SoaTrace's LSB-first
+    // layout, so they serialize as straight byte copies. Only the
+    // anomalous-next plane has to be derived here.
+    std::string anomaly_plane;
+    std::string deltas;
+    std::string anomalies;
+    encodeDeltaColumnsV2(events, anomaly_plane, deltas, anomalies);
 
     std::string payload;
     payload.reserve(n + 4 * plane_bytes + deltas.size() +

@@ -114,6 +114,16 @@ std::string encodeEventsV2(const SoaTrace &events);
 bool decodeEventsV2Soa(std::string_view payload, std::uint64_t count,
                        SoaTrace &out, std::string &error);
 
+/**
+ * The derived v2 columns on their own: the anomalous-next bit-plane
+ * and the two varint delta columns. The sectioned cache-entry writer
+ * (trace/cache.cc) stores the remaining columns as verbatim copies of
+ * the SoaTrace planes and only needs these three computed.
+ */
+void encodeDeltaColumnsV2(const SoaTrace &events,
+                          std::string &anomaly_plane,
+                          std::string &deltas, std::string &anomalies);
+
 std::string encodeEventsV2(const std::vector<BranchEvent> &events);
 bool decodeEventsV2(std::string_view payload, std::uint64_t count,
                     std::vector<BranchEvent> &out, std::string &error);

@@ -1,0 +1,58 @@
+#include "trace/mmap.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace branchlab::trace
+{
+
+std::unique_ptr<MappedFile>
+MappedFile::open(const std::string &path, std::string &error)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        error = std::string("open: ") + std::strerror(errno);
+        return nullptr;
+    }
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0) {
+        error = std::string("fstat: ") + std::strerror(errno);
+        ::close(fd);
+        return nullptr;
+    }
+    if (st.st_size <= 0) {
+        error = "empty file";
+        ::close(fd);
+        return nullptr;
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    void *addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    // The fd is not needed once the mapping exists; the pages stay
+    // valid until munmap.
+    ::close(fd);
+    if (addr == MAP_FAILED) {
+        error = std::string("mmap: ") + std::strerror(errno);
+        return nullptr;
+    }
+#ifdef POSIX_MADV_SEQUENTIAL
+    // Replay walks every column front to back exactly once per pass;
+    // sequential readahead is the right prefetch policy. Advisory
+    // only -- failure is not an error.
+    ::posix_madvise(addr, size, POSIX_MADV_SEQUENTIAL);
+#endif
+    return std::unique_ptr<MappedFile>(new MappedFile(
+        static_cast<const std::uint8_t *>(addr), size));
+}
+
+MappedFile::~MappedFile()
+{
+    if (data_ != nullptr)
+        ::munmap(const_cast<std::uint8_t *>(data_), size_);
+}
+
+} // namespace branchlab::trace

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Read-only memory-mapped file, the substrate of zero-copy trace
+ * replay: a mapped cache entry's bit-planes and opcode bytes are
+ * consumed straight out of the page cache, so warm-path memory stays
+ * constant no matter how large the trace is.
+ *
+ * Failure discipline: open() never throws and never aborts -- a
+ * cache entry that cannot be mapped must soft-fail into a re-record,
+ * not kill the run. The mapping is advised for sequential access
+ * (replay walks the columns front to back exactly once per pass).
+ */
+
+#ifndef BRANCHLAB_TRACE_MMAP_HH
+#define BRANCHLAB_TRACE_MMAP_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace branchlab::trace
+{
+
+/** An open read-only mapping; unmapped on destruction. */
+class MappedFile
+{
+  public:
+    /**
+     * Map @p path read-only. @return nullptr with a diagnostic in
+     * @p error on any failure (missing file, empty file, mmap
+     * refusal). A non-null result owns the whole mapping.
+     */
+    static std::unique_ptr<MappedFile> open(const std::string &path,
+                                            std::string &error);
+
+    ~MappedFile();
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    const std::uint8_t *data() const { return data_; }
+    std::size_t size() const { return size_; }
+
+  private:
+    MappedFile(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    const std::uint8_t *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+} // namespace branchlab::trace
+
+#endif // BRANCHLAB_TRACE_MMAP_HH

@@ -1,0 +1,191 @@
+#include "trace/view.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace branchlab::trace
+{
+
+TraceView
+TraceView::of(const SoaTrace &stream)
+{
+    TraceView view;
+    view.size_ = stream.size();
+    view.maxPc_ = stream.maxPc();
+    view.ops_ = stream.ops().data();
+    view.condPlane_ = stream.conditionalPlane().data();
+    view.takenPlane_ = stream.takenPlane().data();
+    view.targetKnownPlane_ = stream.targetKnownPlane().data();
+    view.pc_ = stream.pc().data();
+    view.nextPc_ = stream.nextPc().data();
+    view.targetAddr_ = stream.targetAddr().data();
+    view.fallthroughAddr_ = stream.fallthroughAddr().data();
+    return view;
+}
+
+TraceView
+TraceView::mapped(const std::uint8_t *ops,
+                  const std::uint8_t *cond_plane,
+                  const std::uint8_t *taken_plane,
+                  const std::uint8_t *target_known_plane,
+                  const std::uint8_t *anomaly_plane,
+                  const std::uint8_t *deltas, std::size_t deltas_len,
+                  const std::uint8_t *anomaly_deltas,
+                  std::size_t anomaly_deltas_len, std::size_t count,
+                  ir::Addr max_pc)
+{
+    TraceView view;
+    view.size_ = count;
+    view.maxPc_ = max_pc;
+    view.ops_ = ops;
+    view.condPlane_ = cond_plane;
+    view.takenPlane_ = taken_plane;
+    view.targetKnownPlane_ = target_known_plane;
+    view.anomalyPlane_ = anomaly_plane;
+    view.deltas_ = deltas;
+    view.deltasLen_ = deltas_len;
+    view.anomalyDeltas_ = anomaly_deltas;
+    view.anomalyDeltasLen_ = anomaly_deltas_len;
+    return view;
+}
+
+TraceView::Cursor
+TraceView::cursor() const
+{
+    return Cursor(*this);
+}
+
+void
+TraceView::Cursor::decodeMapped(TraceBlock &block, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        std::uint64_t zpc = 0;
+        std::uint64_t ztarget = 0;
+        std::uint64_t zfall = 0;
+        if (!deltas_.get(zpc) || !deltas_.get(ztarget) ||
+            !deltas_.get(zfall)) {
+            // Sections were checksum-validated at map time, so a
+            // short column here is an internal inconsistency (writer
+            // bug), not media corruption to soft-fail on.
+            blab_fatal("mapped trace: delta column ended at event ",
+                       block.base + i, " of ", view_->size());
+        }
+        const ir::Addr pc = prevPc_ + unzigzag(zpc);
+        prevPc_ = pc;
+        if (pc > view_->maxPc_) {
+            // Backs the replay kernels' pc-indexed flat tables: no
+            // decoded event may exceed the header's declared bound.
+            blab_fatal("mapped trace: pc ", pc, " at event ",
+                       block.base + i, " exceeds declared max pc ",
+                       view_->maxPc_);
+        }
+        pcScratch_[i] = pc;
+        targetScratch_[i] = pc + unzigzag(ztarget);
+        fallScratch_[i] = pc + unzigzag(zfall);
+        nextScratch_[i] = block.taken(i) ? targetScratch_[i]
+                                         : fallScratch_[i];
+    }
+    // "Anomalous next" events (never VM-emitted, but the format
+    // allows them): one trailing varint per set bit.
+    const std::uint8_t *anomaly =
+        view_->anomalyPlane_ + (block.base >> 3);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (((anomaly[i >> 3] >> (i & 7)) & 1u) == 0)
+            continue;
+        std::uint64_t z = 0;
+        if (!anomalies_.get(z)) {
+            blab_fatal("mapped trace: anomalous-next column ended at "
+                       "event ",
+                       block.base + i, " of ", view_->size());
+        }
+        nextScratch_[i] = pcScratch_[i] + unzigzag(z);
+    }
+}
+
+bool
+TraceView::Cursor::next(TraceBlock &block)
+{
+    if (base_ >= view_->size())
+        return false;
+    if (!started_) {
+        started_ = true;
+        deltas_ = VarintCursor{view_->deltas_,
+                               view_->deltas_ + view_->deltasLen_};
+        anomalies_ = VarintCursor{
+            view_->anomalyDeltas_,
+            view_->anomalyDeltas_ + view_->anomalyDeltasLen_};
+    }
+    const std::size_t count =
+        std::min(kTraceBlockEvents, view_->size() - base_);
+    block.base = base_;
+    block.count = count;
+    // base_ is always a multiple of kTraceBlockEvents (itself a
+    // multiple of 8), so block-local plane pointers are byte-exact.
+    block.ops = view_->ops_ + base_;
+    block.condPlane = view_->condPlane_ + (base_ >> 3);
+    block.takenPlane = view_->takenPlane_ + (base_ >> 3);
+    block.targetKnownPlane = view_->targetKnownPlane_ + (base_ >> 3);
+    if (view_->isMapped()) {
+        decodeMapped(block, count);
+        block.pc = pcScratch_.data();
+        block.nextPc = nextScratch_.data();
+        block.targetAddr = targetScratch_.data();
+        block.fallthroughAddr = fallScratch_.data();
+    } else {
+        block.pc = view_->pc_ + base_;
+        block.nextPc = view_->nextPc_ + base_;
+        block.targetAddr = view_->targetAddr_ + base_;
+        block.fallthroughAddr = view_->fallthroughAddr_ + base_;
+    }
+    base_ += count;
+    return true;
+}
+
+SoaTrace
+materializeView(const TraceView &view)
+{
+    const std::size_t n = view.size();
+    const std::size_t plane_bytes = (n + 7) / 8;
+    std::vector<std::uint8_t> ops;
+    ops.reserve(n);
+    std::vector<std::uint8_t> cond(plane_bytes, 0);
+    std::vector<std::uint8_t> taken(plane_bytes, 0);
+    std::vector<std::uint8_t> tknown(plane_bytes, 0);
+    std::vector<ir::Addr> pc;
+    std::vector<ir::Addr> next;
+    std::vector<ir::Addr> target;
+    std::vector<ir::Addr> fall;
+    pc.reserve(n);
+    next.reserve(n);
+    target.reserve(n);
+    fall.reserve(n);
+
+    TraceView::Cursor cursor = view.cursor();
+    TraceBlock block;
+    while (cursor.next(block)) {
+        ops.insert(ops.end(), block.ops, block.ops + block.count);
+        const std::size_t block_plane = (block.count + 7) / 8;
+        std::memcpy(cond.data() + (block.base >> 3), block.condPlane,
+                    block_plane);
+        std::memcpy(taken.data() + (block.base >> 3),
+                    block.takenPlane, block_plane);
+        std::memcpy(tknown.data() + (block.base >> 3),
+                    block.targetKnownPlane, block_plane);
+        pc.insert(pc.end(), block.pc, block.pc + block.count);
+        next.insert(next.end(), block.nextPc,
+                    block.nextPc + block.count);
+        target.insert(target.end(), block.targetAddr,
+                      block.targetAddr + block.count);
+        fall.insert(fall.end(), block.fallthroughAddr,
+                    block.fallthroughAddr + block.count);
+    }
+
+    SoaTrace out;
+    out.adoptColumns(std::move(ops), std::move(cond), std::move(taken),
+                     std::move(tknown), std::move(pc), std::move(next),
+                     std::move(target), std::move(fall));
+    return out;
+}
+
+} // namespace branchlab::trace

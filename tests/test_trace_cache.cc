@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -18,6 +19,7 @@
 #include "helpers.hh"
 #include "obs/metrics.hh"
 #include "trace/cache.hh"
+#include "trace/format.hh"
 #include "workloads/corpus.hh"
 
 namespace branchlab::trace
@@ -72,13 +74,23 @@ TEST(TraceCache, StoreThenLoadRoundTripsBitExactly)
     EXPECT_EQ(loaded.runs, stored.runs);
     EXPECT_EQ(loaded.stats, stored.stats);
     EXPECT_EQ(loaded.likely, stored.likely);
-    ASSERT_EQ(loaded.stream.size(), stored.stream.size());
-    for (std::size_t i = 0; i < loaded.stream.size(); ++i) {
-        const BranchEvent a = loaded.stream.event(i);
+    // A v2 hit arrives zero-copy mapped, the owning stream empty.
+    ASSERT_NE(loaded.mapped, nullptr);
+    EXPECT_EQ(loaded.stream.size(), 0u);
+    ASSERT_EQ(loaded.eventCount(), stored.stream.size());
+    const SoaTrace decoded = materializeView(loaded.traceView());
+    ASSERT_EQ(decoded.size(), stored.stream.size());
+    for (std::size_t i = 0; i < decoded.size(); ++i) {
+        const BranchEvent a = decoded.event(i);
         const BranchEvent b = stored.stream.event(i);
         EXPECT_EQ(a.pc, b.pc);
         EXPECT_EQ(a.nextPc, b.nextPc);
+        EXPECT_EQ(a.targetAddr, b.targetAddr);
+        EXPECT_EQ(a.fallthroughAddr, b.fallthroughAddr);
+        EXPECT_EQ(a.op, b.op);
+        EXPECT_EQ(a.conditional, b.conditional);
         EXPECT_EQ(a.taken, b.taken);
+        EXPECT_EQ(a.targetKnown, b.targetKnown);
     }
     std::filesystem::remove_all(dir);
 }
@@ -160,13 +172,16 @@ TEST(TraceCache, ConcurrentStoresOfOneKeyLeaveOneDecodableEntry)
     EXPECT_EQ(loaded.contentHash, stored.contentHash);
     EXPECT_EQ(loaded.stats, stored.stats);
     EXPECT_EQ(loaded.likely, stored.likely);
-    ASSERT_EQ(loaded.stream.size(), stored.stream.size());
+    ASSERT_EQ(loaded.eventCount(), stored.stream.size());
 
-    // Every rename succeeded, so no temp files may survive: the
-    // directory holds exactly the one published entry.
+    // Every rename succeeded, so no temp files may survive: the tree
+    // (entries live in shard subdirectories) holds exactly the one
+    // published entry.
     std::size_t files = 0;
     for (const auto &entry :
-         std::filesystem::directory_iterator(dir)) {
+         std::filesystem::recursive_directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
         ++files;
         EXPECT_EQ(entry.path().extension(), ".bltc")
             << entry.path() << " left behind";
@@ -188,11 +203,15 @@ TEST(TraceCache, TruncatedEntryCountsAsCorruptTelemetry)
 
     obs::Counter &corrupt =
         obs::Registry::global().counter("trace_cache.corrupt_entries");
+    obs::Counter &map_failures =
+        obs::Registry::global().counter("trace_cache.map_failures");
     const std::uint64_t before = corrupt.value();
+    const std::uint64_t failures_before = map_failures.value();
     resetWarningCount();
     CachedWorkload out;
     EXPECT_FALSE(cache.load("fact", stored.contentHash, out));
     EXPECT_EQ(corrupt.value(), before + 1);
+    EXPECT_EQ(map_failures.value(), failures_before + 1);
     EXPECT_GE(warningCount(), 1u);
 
     // A fresh store overwrites the corpse and the entry serves again
@@ -212,18 +231,18 @@ TEST(TraceCache, BitFlippedEntryCountsAsCorruptTelemetry)
     const std::string path =
         cache.entryPath("fact", stored.contentHash);
 
-    // Flip one bit of the embedded content hash (bytes 8..15, right
-    // after the magic + version): the file still parses but the hash
-    // check must reject it as corrupt.
+    // Flip one bit of the embedded content hash (bytes 16..23 of the
+    // v2 header, after magic + version + feature bits): the file
+    // still parses but the hash check must reject it as corrupt.
     {
         std::fstream file(
             path, std::ios::binary | std::ios::in | std::ios::out);
         ASSERT_TRUE(file.good());
-        file.seekg(8);
+        file.seekg(16);
         char byte = 0;
         file.get(byte);
         byte = static_cast<char>(byte ^ 0x40);
-        file.seekp(8);
+        file.seekp(16);
         file.put(byte);
     }
 
@@ -236,6 +255,247 @@ TEST(TraceCache, BitFlippedEntryCountsAsCorruptTelemetry)
     EXPECT_EQ(corrupt.value(), before + 1);
     EXPECT_GE(warningCount(), 1u);
     std::filesystem::remove_all(dir);
+}
+
+/** Flip file byte @p offset through XOR @p mask. */
+void
+patchByte(const std::string &path, std::streamoff offset,
+          unsigned char mask)
+{
+    std::fstream file(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.good());
+    file.seekg(offset);
+    char byte = 0;
+    file.get(byte);
+    byte = static_cast<char>(byte ^ mask);
+    file.seekp(offset);
+    file.put(byte);
+}
+
+TEST(TraceCache, UnknownFeatureBitsRefuseWithoutCorruptionWarning)
+{
+    const std::string dir = makeCacheDir("foreign");
+    const TraceCache cache(dir);
+    const CachedWorkload stored = makeWorkload();
+    cache.store("fact", stored);
+    const std::string path =
+        cache.entryPath("fact", stored.contentHash);
+
+    // Set an undefined feature bit (header bytes 8..15): the entry is
+    // structurally valid but written by a future writer, so the load
+    // must refuse it -- as a foreign entry, not a corrupt one.
+    patchByte(path, 8, 0x10);
+
+    obs::Counter &corrupt =
+        obs::Registry::global().counter("trace_cache.corrupt_entries");
+    obs::Counter &map_failures =
+        obs::Registry::global().counter("trace_cache.map_failures");
+    const std::uint64_t corrupt_before = corrupt.value();
+    const std::uint64_t failures_before = map_failures.value();
+    resetWarningCount();
+    CachedWorkload out;
+    EXPECT_FALSE(cache.load("fact", stored.contentHash, out));
+    EXPECT_EQ(map_failures.value(), failures_before + 1);
+    EXPECT_EQ(corrupt.value(), corrupt_before);
+    EXPECT_EQ(warningCount(), 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCache, BadSectionLengthIsRejectedAsCorrupt)
+{
+    const std::string dir = makeCacheDir("badlen");
+    const TraceCache cache(dir);
+    const CachedWorkload stored = makeWorkload();
+    cache.store("fact", stored);
+    const std::string path =
+        cache.entryPath("fact", stored.contentHash);
+
+    // Blow up the Ops section's recorded length (section-table row 1,
+    // 8 bytes into the {offset, length, checksum} record): the
+    // section no longer fits the file, so mapping must reject the
+    // entry instead of reading out of bounds.
+    const std::streamoff ops_length_at =
+        static_cast<std::streamoff>(kEntryHeaderBytes) + 24 + 8;
+    patchByte(path, ops_length_at + 6, 0x7f);
+
+    obs::Counter &corrupt =
+        obs::Registry::global().counter("trace_cache.corrupt_entries");
+    obs::Counter &map_failures =
+        obs::Registry::global().counter("trace_cache.map_failures");
+    const std::uint64_t corrupt_before = corrupt.value();
+    const std::uint64_t failures_before = map_failures.value();
+    resetWarningCount();
+    CachedWorkload out;
+    EXPECT_FALSE(cache.load("fact", stored.contentHash, out));
+    EXPECT_EQ(corrupt.value(), corrupt_before + 1);
+    EXPECT_EQ(map_failures.value(), failures_before + 1);
+    EXPECT_GE(warningCount(), 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCache, SectionChecksumMismatchIsRejectedAsCorrupt)
+{
+    const std::string dir = makeCacheDir("badsum");
+    const TraceCache cache(dir);
+    const CachedWorkload stored = makeWorkload();
+    cache.store("fact", stored);
+    const std::string path =
+        cache.entryPath("fact", stored.contentHash);
+
+    // Flip a payload byte inside the first section (sections start on
+    // kSectionAlign boundaries right after the header): the section
+    // table still parses, but the checksum sweep must catch the flip.
+    patchByte(path, static_cast<std::streamoff>(kSectionAlign) + 1,
+              0x01);
+
+    obs::Counter &corrupt =
+        obs::Registry::global().counter("trace_cache.corrupt_entries");
+    obs::Counter &map_failures =
+        obs::Registry::global().counter("trace_cache.map_failures");
+    const std::uint64_t corrupt_before = corrupt.value();
+    const std::uint64_t failures_before = map_failures.value();
+    resetWarningCount();
+    CachedWorkload out;
+    EXPECT_FALSE(cache.load("fact", stored.contentHash, out));
+    EXPECT_EQ(corrupt.value(), corrupt_before + 1);
+    EXPECT_EQ(map_failures.value(), failures_before + 1);
+    EXPECT_GE(warningCount(), 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCache, MapEntryFileClassifiesCorruptVersusForeign)
+{
+    const std::string dir = makeCacheDir("classify");
+    const TraceCache cache(dir);
+    const CachedWorkload stored = makeWorkload();
+    cache.store("fact", stored);
+    const std::string path =
+        cache.entryPath("fact", stored.contentHash);
+
+    CachedWorkload out;
+    std::string error;
+    MapFailure failure = MapFailure::None;
+    ASSERT_TRUE(
+        mapEntryFile(path, stored.contentHash, out, error, failure));
+    EXPECT_EQ(failure, MapFailure::None);
+    ASSERT_NE(out.mapped, nullptr);
+    EXPECT_EQ(out.eventCount(), stored.stream.size());
+
+    // Foreign: valid entry, undefined feature bit.
+    patchByte(path, 8, 0x01);
+    out = CachedWorkload{};
+    EXPECT_FALSE(
+        mapEntryFile(path, stored.contentHash, out, error, failure));
+    EXPECT_EQ(failure, MapFailure::Foreign);
+    patchByte(path, 8, 0x01); // restore
+
+    // Corrupt: the file ends mid-section.
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) - 9);
+    out = CachedWorkload{};
+    EXPECT_FALSE(
+        mapEntryFile(path, stored.contentHash, out, error, failure));
+    EXPECT_EQ(failure, MapFailure::Corrupt);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCache, LegacyV1EntriesStillLoad)
+{
+    const std::string dir = makeCacheDir("legacy");
+    const TraceCache cache(dir);
+    const CachedWorkload stored = makeWorkload();
+
+    // Plant a v1 entry by hand (nothing writes v1 anymore).
+    const std::string path =
+        cache.entryPath("fact", stored.contentHash);
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path());
+    {
+        std::ofstream file(path, std::ios::binary | std::ios::trunc);
+        file << encodeLegacyEntryV1(stored);
+    }
+
+    CachedWorkload loaded;
+    ASSERT_TRUE(cache.load("fact", stored.contentHash, loaded));
+    // v1 entries take the owning decode path, not the mapping.
+    EXPECT_EQ(loaded.mapped, nullptr);
+    EXPECT_EQ(loaded.runs, stored.runs);
+    EXPECT_EQ(loaded.stats, stored.stats);
+    EXPECT_EQ(loaded.likely, stored.likely);
+    ASSERT_EQ(loaded.stream.size(), stored.stream.size());
+    for (std::size_t i = 0; i < loaded.stream.size(); ++i) {
+        const BranchEvent a = loaded.stream.event(i);
+        const BranchEvent b = stored.stream.event(i);
+        EXPECT_EQ(a.pc, b.pc);
+        EXPECT_EQ(a.nextPc, b.nextPc);
+        EXPECT_EQ(a.taken, b.taken);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCache, ByteCapEvictsLeastRecentlyUsedEntries)
+{
+    const std::string dir = makeCacheDir("evict");
+    const CachedWorkload workload = makeWorkload();
+    const TraceCache probe(dir);
+    probe.store("aa", workload);
+    const std::string path_a =
+        probe.entryPath("aa", workload.contentHash);
+    const std::uint64_t entry_bytes =
+        std::filesystem::file_size(path_a);
+
+    // Cap admits two entries but not three.
+    const TraceCache cache(dir, 2 * entry_bytes + entry_bytes / 2);
+    cache.store("bb", workload);
+    const std::string path_b =
+        cache.entryPath("bb", workload.contentHash);
+
+    // Age "aa" well behind "bb" so the LRU order is unambiguous.
+    const auto now = std::filesystem::file_time_type::clock::now();
+    std::filesystem::last_write_time(path_a,
+                                     now - std::chrono::hours(2));
+    std::filesystem::last_write_time(path_b,
+                                     now - std::chrono::hours(1));
+
+    obs::Counter &evictions =
+        obs::Registry::global().counter("trace_cache.evictions");
+    obs::Counter &bytes_evicted =
+        obs::Registry::global().counter("trace_cache.bytes_evicted");
+    const std::uint64_t evictions_before = evictions.value();
+    const std::uint64_t bytes_before = bytes_evicted.value();
+
+    cache.store("cc", workload);
+    EXPECT_FALSE(std::filesystem::exists(path_a));
+    EXPECT_TRUE(std::filesystem::exists(path_b));
+    EXPECT_TRUE(std::filesystem::exists(
+        cache.entryPath("cc", workload.contentHash)));
+    EXPECT_EQ(evictions.value(), evictions_before + 1);
+    EXPECT_EQ(bytes_evicted.value(), bytes_before + entry_bytes);
+
+    // The survivors still serve, and the tree is back under the cap.
+    CachedWorkload out;
+    EXPECT_TRUE(cache.load("cc", workload.contentHash, out));
+    EXPECT_TRUE(cache.load("bb", workload.contentHash, out));
+    std::uint64_t total = 0;
+    for (const auto &entry :
+         std::filesystem::recursive_directory_iterator(dir)) {
+        if (entry.is_regular_file())
+            total += entry.file_size();
+    }
+    EXPECT_LE(total, cache.maxBytes());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCache, ResolveMaxBytesPrefersConfigThenEnvironment)
+{
+    unsetenv("BRANCHLAB_TRACE_CACHE_MAX_BYTES");
+    EXPECT_EQ(TraceCache::resolveMaxBytes(123), 123u);
+    EXPECT_EQ(TraceCache::resolveMaxBytes(0), 0u);
+    setenv("BRANCHLAB_TRACE_CACHE_MAX_BYTES", "4096", 1);
+    EXPECT_EQ(TraceCache::resolveMaxBytes(0), 4096u);
+    EXPECT_EQ(TraceCache::resolveMaxBytes(123), 123u);
+    unsetenv("BRANCHLAB_TRACE_CACHE_MAX_BYTES");
 }
 
 TEST(TraceCache, MismatchedContentHashIsNeverServed)
@@ -317,14 +577,20 @@ TEST(TraceCacheIntegration, WarmRecordWorkloadIsBitIdentical)
     const core::RecordedWorkload warm =
         core::recordWorkload(workload, config);
     EXPECT_TRUE(warm.cacheHit);
+    // Warm hits arrive zero-copy mapped; replay consumers see the
+    // same stream through traceView().
+    EXPECT_NE(warm.mapped, nullptr);
 
     EXPECT_EQ(warm.contentHash, cold.contentHash);
     EXPECT_EQ(warm.runs, cold.runs);
     EXPECT_EQ(warm.stats.counters(), cold.stats.counters());
-    ASSERT_EQ(warm.stream.size(), cold.stream.size());
-    for (std::size_t i = 0; i < warm.stream.size(); ++i) {
-        const trace::BranchEvent w = warm.stream.event(i);
-        const trace::BranchEvent c = cold.stream.event(i);
+    ASSERT_EQ(warm.eventCount(), cold.eventCount());
+    const std::vector<trace::BranchEvent> warm_events = warm.events();
+    const std::vector<trace::BranchEvent> cold_events = cold.events();
+    ASSERT_EQ(warm_events.size(), cold_events.size());
+    for (std::size_t i = 0; i < warm_events.size(); ++i) {
+        const trace::BranchEvent w = warm_events[i];
+        const trace::BranchEvent c = cold_events[i];
         EXPECT_EQ(w.pc, c.pc);
         EXPECT_EQ(w.nextPc, c.nextPc);
         EXPECT_EQ(w.targetAddr, c.targetAddr);
@@ -397,12 +663,12 @@ TEST(TraceCacheIntegration, CorruptEntryIsReRecordedAndOverwritten)
         core::recordWorkload(workload, config);
     EXPECT_FALSE(rerecorded.cacheHit);
     EXPECT_GE(warningCount(), 1u);
-    EXPECT_EQ(rerecorded.stream.size(), cold.stream.size());
+    EXPECT_EQ(rerecorded.eventCount(), cold.eventCount());
 
     const core::RecordedWorkload warm =
         core::recordWorkload(workload, config);
     EXPECT_TRUE(warm.cacheHit);
-    EXPECT_EQ(warm.stream.size(), cold.stream.size());
+    EXPECT_EQ(warm.eventCount(), cold.eventCount());
     std::filesystem::remove_all(dir);
 }
 

@@ -54,7 +54,8 @@ usage()
            "  --fs-slots LIST --trace-threshold LIST\n"
            "run control:\n"
            "  --workloads LIST --runs N --seed S --jobs N\n"
-           "  --trace-cache DIR --journal DIR --max-points N\n"
+           "  --trace-cache DIR --trace-cache-max-bytes N\n"
+           "  --journal DIR --max-points N\n"
            "output:\n"
            "  --json FILE --csv FILE --telemetry FILE --list\n";
     return 2;
@@ -190,6 +191,9 @@ parseOptions(int argc, char **argv)
                 parseNumberList(arg, need_value()).front());
         } else if (arg == "--trace-cache") {
             options.sweep.base.traceCacheDir = need_value();
+        } else if (arg == "--trace-cache-max-bytes") {
+            options.sweep.base.traceCacheMaxBytes =
+                parseNumberList(arg, need_value()).front();
         } else if (arg == "--journal") {
             options.sweep.journalDir = need_value();
         } else if (arg == "--max-points") {

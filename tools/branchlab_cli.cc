@@ -56,6 +56,9 @@ usage()
            "concurrency\n"
            "--trace-cache DIR caches recorded streams on disk "
            "(default: BRANCHLAB_TRACE_CACHE)\n"
+           "--trace-cache-max-bytes N evicts LRU cache entries past N "
+           "bytes (default: BRANCHLAB_TRACE_CACHE_MAX_BYTES; 0 = "
+           "unbounded)\n"
            "--telemetry FILE writes the metrics snapshot as JSON on "
            "exit (also: BRANCHLAB_TELEMETRY=FILE; set it to 0/off to "
            "disable collection)\n";
@@ -71,6 +74,7 @@ struct Options
     std::string scheme;
     std::uint64_t flushEvery = 0;
     std::string traceCache;
+    std::uint64_t traceCacheMaxBytes = 0;
     std::string telemetry;
 };
 
@@ -112,6 +116,8 @@ parseOptions(int argc, char **argv, int first)
             options.flushEvery = need_number();
         else if (arg == "--trace-cache")
             options.traceCache = need_value();
+        else if (arg == "--trace-cache-max-bytes")
+            options.traceCacheMaxBytes = need_number();
         else if (arg == "--telemetry")
             options.telemetry = need_value();
         else
@@ -130,6 +136,7 @@ makeConfig(const Options &options)
         config.seed = options.seed;
     config.jobs = options.jobs;
     config.traceCacheDir = options.traceCache;
+    config.traceCacheMaxBytes = options.traceCacheMaxBytes;
     return config;
 }
 
@@ -232,11 +239,14 @@ cmdRecord(const std::string &name, const Options &options)
 {
     if (options.output.empty())
         blab_fatal("record needs -o FILE");
-    const core::RecordedWorkload recorded = core::recordWorkload(
+    core::RecordedWorkload recorded = core::recordWorkload(
         workloads::findWorkload(name), makeConfig(options));
-    trace::writeTraceFile(options.output, recorded.stream,
+    // writeTraceFile wants the whole stream; decode a mapped warm
+    // hit into an owning copy first.
+    const trace::SoaTrace &stream = recorded.materializedStream();
+    trace::writeTraceFile(options.output, stream,
                           recorded.contentHash);
-    std::cout << "wrote " << recorded.stream.size() << " events to "
+    std::cout << "wrote " << stream.size() << " events to "
               << options.output << "\n";
     return 0;
 }
