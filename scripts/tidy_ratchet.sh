@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# clang-tidy ratchet over the dataflow and optimizer layers.
+#
+# Runs exactly two checks -- misc-const-correctness and
+# bugprone-unchecked-optional-access -- over src/analysis/ and
+# src/profile/ and compares the warning count against the committed
+# baseline (scripts/tidy_ratchet_baseline.txt). The count may only go
+# down: a run above the baseline fails; a run below it passes and
+# prints the tighter number so the baseline can be ratcheted in the
+# same PR.
+#
+# These two checks are held out of .clang-tidy's repo-wide gate
+# because they need per-layer adoption: const-correctness is a style
+# migration, and unchecked-optional-access is driven by the optional
+# resume/likely fields threaded through the optimizer records.
+#
+# usage: scripts/tidy_ratchet.sh [build-dir] [--update]
+#   build-dir  directory holding compile_commands.json
+#              (default: build-tidy, then build)
+#   --update   rewrite the baseline with the measured count
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+update=0
+build_dir=""
+for arg in "$@"; do
+    case "$arg" in
+      --update) update=1 ;;
+      *) build_dir="$arg" ;;
+    esac
+done
+if [[ -z "$build_dir" ]]; then
+    for candidate in build-tidy build; do
+        if [[ -f "$candidate/compile_commands.json" ]]; then
+            build_dir="$candidate"
+            break
+        fi
+    done
+fi
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "tidy-ratchet: clang-tidy not installed; skipping" >&2
+    exit 0
+fi
+if [[ -z "$build_dir" || ! -f "$build_dir/compile_commands.json" ]]; then
+    echo "tidy-ratchet: no compile_commands.json (configure with" \
+         "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
+    exit 1
+fi
+
+baseline_file=scripts/tidy_ratchet_baseline.txt
+checks='-*,misc-const-correctness,bugprone-unchecked-optional-access'
+
+log=$(mktemp)
+trap 'rm -f "$log"' EXIT
+for source in src/analysis/*.cc src/profile/*.cc; do
+    clang-tidy -p "$build_dir" -quiet \
+        "-checks=$checks" \
+        "-header-filter=(src/analysis|src/profile)/.*\\.hh$" \
+        "$source" 2> /dev/null || true
+done > "$log"
+
+count=$(grep -c "warning:" "$log" || true)
+baseline=$(grep -v '^#' "$baseline_file" | head -n 1)
+
+echo "tidy-ratchet: $count warnings (baseline $baseline)"
+if [[ "$update" == 1 ]]; then
+    sed -i "s/^[0-9][0-9]*$/$count/" "$baseline_file"
+    echo "tidy-ratchet: baseline updated to $count"
+    exit 0
+fi
+if (( count > baseline )); then
+    grep "warning:" "$log" | sed 's/^/  /' | head -n 40
+    echo "tidy-ratchet: count rose above the baseline -- fix the new" \
+         "warnings (or run with --update only when deliberately" \
+         "accepting them)"
+    exit 1
+fi
+if (( count < baseline )); then
+    echo "tidy-ratchet: count dropped -- tighten the baseline to" \
+         "$count (scripts/tidy_ratchet.sh $build_dir --update)"
+fi

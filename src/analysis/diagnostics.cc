@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "profile/fs_opt.hh"
 #include "support/logging.hh"
 
 namespace branchlab::analysis
@@ -169,6 +170,21 @@ DiagnosticEngine::lintFsImage(const profile::ProgramProfile &profile,
 }
 
 std::vector<Diagnostic>
+DiagnosticEngine::lintFsImage(const profile::ProgramProfile &profile,
+                              const profile::FsOptResult &opt) const
+{
+    AnalysisCache cache(profile.program());
+    FsImageContext context{profile, opt.image,
+                           opt.config.fs.slotCount, cache, &opt};
+    std::vector<Diagnostic> diags;
+    for (const auto &rule : rules_) {
+        if (ruleEnabled(*rule))
+            rule->checkFsImage(context, diags);
+    }
+    return postProcess(std::move(diags));
+}
+
+std::vector<Diagnostic>
 DiagnosticEngine::postProcess(std::vector<Diagnostic> diags) const
 {
     std::vector<Diagnostic> kept;
@@ -256,6 +272,36 @@ renderDiagnosticsJson(const std::vector<Diagnostic> &diags)
         appendJsonString(os, diag.message);
         os << ", \"where\": ";
         appendJsonString(os, diag.where);
+        os << "}";
+    }
+    os << (diags.empty() ? "]" : "\n]");
+    return os.str();
+}
+
+std::string
+renderFixPreviewJson(const std::vector<Diagnostic> &diags)
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        const Diagnostic &diag = diags[i];
+        os << (i == 0 ? "\n" : ",\n") << "  {\"severity\": ";
+        appendJsonString(os, severityName(diag.severity));
+        os << ", \"rule\": ";
+        appendJsonString(os, diag.rule);
+        os << ", \"message\": ";
+        appendJsonString(os, diag.message);
+        os << ", \"where\": ";
+        appendJsonString(os, diag.where);
+        os << ", \"span\": ";
+        if (diag.hasSpan) {
+            os << "{\"unit\": ";
+            appendJsonString(os, diag.spanUnit);
+            os << ", \"begin\": " << diag.spanBegin
+               << ", \"end\": " << diag.spanEnd << "}";
+        } else {
+            os << "null";
+        }
         os << "}";
     }
     os << (diags.empty() ? "]" : "\n]");

@@ -29,6 +29,11 @@
 #include "analysis/liveness.hh"
 #include "profile/forward_slots.hh"
 
+namespace branchlab::profile
+{
+struct FsOptResult;
+}
+
 namespace branchlab::analysis
 {
 
@@ -51,6 +56,16 @@ struct Diagnostic
     std::string message;
     /** Source position, e.g. "main.loop[3]" or "image slot 17". */
     std::string where;
+    /**
+     * Machine-readable offending span for --fix-preview, half-open
+     * [spanBegin, spanEnd). spanUnit is "image-slot" (indices into
+     * the FS image) or "inst" (instruction indices within the block
+     * named by 'where').
+     */
+    bool hasSpan = false;
+    const char *spanUnit = "";
+    std::size_t spanBegin = 0;
+    std::size_t spanEnd = 0;
 
     /** "severity: [rule] message (at where)". */
     std::string text() const;
@@ -98,6 +113,10 @@ struct FsImageContext
     const profile::FsResult &image;
     unsigned slotCount;
     AnalysisCache &analyses;
+    /** The optimizer's evidence records when the image came from
+     *  fs_opt (null for seed images; rules that need fill/dup/elision
+     *  provenance skip their checks without it). */
+    const profile::FsOptResult *opt = nullptr;
 };
 
 /**
@@ -163,6 +182,13 @@ class DiagnosticEngine
                 const profile::FsResult &image,
                 unsigned slot_count) const;
 
+    /** Run every enabled rule's FS-image check over an *optimized*
+     *  image, making the optimizer's evidence records available to
+     *  provenance-aware rules. */
+    std::vector<Diagnostic>
+    lintFsImage(const profile::ProgramProfile &profile,
+                const profile::FsOptResult &opt) const;
+
     /** True when any diagnostic is an Error. */
     static bool hasErrors(const std::vector<Diagnostic> &diags);
 
@@ -184,6 +210,14 @@ std::string renderDiagnosticsText(const std::vector<Diagnostic> &diags);
 
 /** Render diagnostics as a JSON array. */
 std::string renderDiagnosticsJson(const std::vector<Diagnostic> &diags);
+
+/**
+ * Render diagnostics as the --fix-preview JSON document: every entry
+ * carries a "span" object ({"unit", "begin", "end"}, half-open) naming
+ * the offending instruction range, or null when the rule reported no
+ * span.
+ */
+std::string renderFixPreviewJson(const std::vector<Diagnostic> &diags);
 
 } // namespace branchlab::analysis
 

@@ -104,6 +104,26 @@ Liveness::Liveness(const Cfg &cfg) : cfg_(cfg)
     auto result = solveDataflow(cfg, problem, Direction::Backward);
     in_ = std::move(result.in);
     out_ = std::move(result.out);
+
+    const ir::Function &fn = cfg.function();
+    perInst_.resize(fn.numBlocks());
+    for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+        const ir::BasicBlock &bb = fn.block(b);
+        std::vector<RegSet> &rows = perInst_[b];
+        rows.assign(bb.size() + 1, RegSet());
+        rows[bb.size()] = out_[b];
+        for (std::size_t i = bb.size(); i-- > 0;) {
+            RegSet live = rows[i + 1];
+            const Reg def = definedReg(bb.inst(i));
+            if (def != ir::kNoReg && def < live.size())
+                live[def] = false;
+            for (Reg use : usedRegs(bb.inst(i))) {
+                if (use < live.size())
+                    live[use] = true;
+            }
+            rows[i] = std::move(live);
+        }
+    }
 }
 
 RegSet

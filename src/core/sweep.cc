@@ -31,8 +31,9 @@ namespace
 {
 
 /** Bump when the journal encoding or cell semantics change; old
- *  entries then simply never match their key again. */
-constexpr std::uint64_t kJournalSchemaVersion = 1;
+ *  entries then simply never match their key again. v2 added the FS
+ *  optimizer level to the point key. */
+constexpr std::uint64_t kJournalSchemaVersion = 2;
 
 constexpr char kJournalMagic[4] = {'B', 'L', 'S', 'J'};
 
@@ -156,6 +157,10 @@ SweepPoint::label() const
        << btb.associativity << '-' << predict::policyName(btb.policy)
        << "-b" << counter.bits << 't' << counter.threshold << "-s"
        << fsSlots << "-p" << formatFixed(traceThreshold, 2);
+    // Seed-transform points keep the pre-optimizer label so existing
+    // sweep journals resume instead of re-evaluating.
+    if (fsOpt != profile::FsOptLevel::None)
+        os << "-o" << profile::fsOptLevelName(fsOpt);
     return os.str();
 }
 
@@ -165,7 +170,8 @@ SweepPoint::isPaperDesign() const
     return btb.entries == 256 && btb.associativity == 0 &&
            btb.policy == predict::ReplacementPolicy::Lru &&
            counter.bits == 2 && counter.threshold == 2 &&
-           fsSlots == 2 && traceThreshold == 0.7;
+           fsSlots == 2 && traceThreshold == 0.7 &&
+           fsOpt == profile::FsOptLevel::None;
 }
 
 double
@@ -207,7 +213,8 @@ expandGrid(const SweepAxes &axes)
                     !axes.counterBits.empty() &&
                     !axes.counterThresholds.empty() &&
                     !axes.fsSlots.empty() &&
-                    !axes.traceThresholds.empty(),
+                    !axes.traceThresholds.empty() &&
+                    !axes.fsOptLevels.empty(),
                 "every sweep axis needs at least one value");
     for (const pipeline::PipelineConfig &pipe : axes.pipelines)
         pipe.validate();
@@ -224,7 +231,8 @@ expandGrid(const SweepAxes &axes)
                                axes.counterBits.size() *
                                axes.counterThresholds.size() *
                                axes.fsSlots.size() *
-                               axes.traceThresholds.size();
+                               axes.traceThresholds.size() *
+                               axes.fsOptLevels.size();
                     continue;
                 }
                 for (const predict::ReplacementPolicy policy :
@@ -236,25 +244,34 @@ expandGrid(const SweepAxes &axes)
                                 bits >= 1 && bits <= 16;
                             if (!bits_ok || threshold < 1 ||
                                 threshold > ((1u << bits) - 1)) {
-                                skipped += axes.fsSlots.size() *
-                                           axes.traceThresholds.size();
+                                skipped +=
+                                    axes.fsSlots.size() *
+                                    axes.traceThresholds.size() *
+                                    axes.fsOptLevels.size();
                                 continue;
                             }
                             for (const unsigned slots : axes.fsSlots) {
                                 for (const double trace_threshold :
                                      axes.traceThresholds) {
-                                    SweepPoint point;
-                                    point.index = grid.size();
-                                    point.pipe = pipe;
-                                    point.btb.entries = entries;
-                                    point.btb.associativity = assoc;
-                                    point.btb.policy = policy;
-                                    point.counter.bits = bits;
-                                    point.counter.threshold = threshold;
-                                    point.fsSlots = slots;
-                                    point.traceThreshold =
-                                        trace_threshold;
-                                    grid.push_back(point);
+                                    for (const profile::FsOptLevel
+                                             level :
+                                         axes.fsOptLevels) {
+                                        SweepPoint point;
+                                        point.index = grid.size();
+                                        point.pipe = pipe;
+                                        point.btb.entries = entries;
+                                        point.btb.associativity =
+                                            assoc;
+                                        point.btb.policy = policy;
+                                        point.counter.bits = bits;
+                                        point.counter.threshold =
+                                            threshold;
+                                        point.fsSlots = slots;
+                                        point.traceThreshold =
+                                            trace_threshold;
+                                        point.fsOpt = level;
+                                        grid.push_back(point);
+                                    }
                                 }
                             }
                         }
@@ -288,6 +305,7 @@ sweepPointKey(const SweepPoint &point,
     hasher.u64(point.counter.bits).u64(point.counter.threshold);
     hasher.u64(point.fsSlots);
     hasher.u64(std::bit_cast<std::uint64_t>(point.traceThreshold));
+    hasher.str(profile::fsOptLevelName(point.fsOpt));
     hasher.u64(workloads.size());
     for (std::size_t i = 0; i < workloads.size(); ++i) {
         hasher.str(workloads[i]);
@@ -423,15 +441,21 @@ SweepJournal::store(std::uint64_t key,
 namespace
 {
 
+/** The FS coordinates a workload's software-scheme measurements
+ *  depend on; everything else about a point is hardware-only. */
+using FsTriple = std::tuple<profile::FsOptLevel, unsigned, double>;
+
 /** Everything per-workload the per-point replays share. */
 struct PreparedWorkload
 {
     RecordedWorkload recorded;
-    /** FS accuracy is point-independent (the likely map and the
-     *  stream are fixed); measured once, shared by every point. */
-    double fsAccuracy = 0.0;
-    /** Code increase per distinct (fsSlots, traceThreshold) pair. */
-    std::map<std::pair<unsigned, double>, double> codeIncrease;
+    /** FS accuracy per distinct (level, slots, threshold) triple:
+     *  the stream and the likely map are fixed, so only the FS axes
+     *  move the number (tail duplication refines conditional
+     *  contexts; none/slots match the seed replay kernel). */
+    std::map<FsTriple, double> fsAccuracy;
+    /** Code increase per distinct (level, slots, threshold) triple. */
+    std::map<FsTriple, double> codeIncrease;
 };
 
 /** Grid points per batch-replay pass. Large enough to amortise one
@@ -452,9 +476,13 @@ cellFromBatch(const predict::BtbBatchCell &batch,
     cell.sbtbMissRatio = batch.sbtb.missRatio;
     cell.cbtbAccuracy = batch.cbtb.stats.accuracy.ratio();
     cell.cbtbMissRatio = batch.cbtb.missRatio;
-    cell.fsAccuracy = prepared.fsAccuracy;
-    const auto it = prepared.codeIncrease.find(
-        {point.fsSlots, point.traceThreshold});
+    const FsTriple triple{point.fsOpt, point.fsSlots,
+                          point.traceThreshold};
+    const auto acc_it = prepared.fsAccuracy.find(triple);
+    blab_assert(acc_it != prepared.fsAccuracy.end(),
+                "FS accuracy missing for sweep point");
+    cell.fsAccuracy = acc_it->second;
+    const auto it = prepared.codeIncrease.find(triple);
     blab_assert(it != prepared.codeIncrease.end(),
                 "code increase missing for sweep point");
     cell.codeIncrease = it->second;
@@ -489,16 +517,17 @@ runSweep(const SweepConfig &config)
     const std::vector<SweepPoint> grid = expandGrid(config.axes);
     blab_assert(!grid.empty(), "sweep grid is empty");
 
-    // The distinct (slots, threshold) pairs the grid touches; the
-    // code-size transform is point-independent beyond this pair, so
-    // each is built once per workload rather than once per point.
-    std::vector<std::pair<unsigned, double>> code_pairs;
+    // The distinct (level, slots, threshold) triples the grid
+    // touches; the software-scheme measurements are point-independent
+    // beyond this triple, so each image is built once per workload
+    // rather than once per point.
+    std::vector<FsTriple> fs_triples;
     for (const SweepPoint &point : grid) {
-        const std::pair<unsigned, double> pair{point.fsSlots,
-                                               point.traceThreshold};
-        if (std::find(code_pairs.begin(), code_pairs.end(), pair) ==
-            code_pairs.end()) {
-            code_pairs.push_back(pair);
+        const FsTriple triple{point.fsOpt, point.fsSlots,
+                              point.traceThreshold};
+        if (std::find(fs_triples.begin(), fs_triples.end(), triple) ==
+            fs_triples.end()) {
+            fs_triples.push_back(triple);
         }
     }
 
@@ -515,10 +544,13 @@ runSweep(const SweepConfig &config)
             PreparedWorkload &slot = prepared[i];
             slot.recorded = recordWorkload(*suite[i], config.base);
 
+            // Level-none accuracy comes from the seed replay kernel
+            // (bit-identical to pre-optimizer sweeps); optimized
+            // levels are scored by the analytic image walk below.
             KernelSpec fs_spec;
             fs_spec.kind = SchemeKind::ForwardSemantic;
             fs_spec.likely = &slot.recorded.likelyMap;
-            slot.fsAccuracy =
+            const double kernel_accuracy =
                 replayKernel(slot.recorded.traceView(), fs_spec)
                     .accuracy;
 
@@ -541,10 +573,26 @@ runSweep(const SweepConfig &config)
                         rebuilt->onBranch(block.event(e));
                 profile = &*rebuilt;
             }
-            for (const auto &[slots, threshold] : code_pairs) {
-                slot.codeIncrease[{slots, threshold}] =
-                    profile::codeIncreaseFor(*profile, slots,
-                                             threshold);
+            for (const FsTriple &triple : fs_triples) {
+                const auto &[level, slots, threshold] = triple;
+                if (level == profile::FsOptLevel::None) {
+                    slot.fsAccuracy[triple] = kernel_accuracy;
+                    slot.codeIncrease[triple] =
+                        profile::codeIncreaseFor(*profile, slots,
+                                                 threshold);
+                    continue;
+                }
+                profile::FsOptConfig opt_config;
+                opt_config.fs.slotCount = slots;
+                opt_config.fs.trace.minArcProbability = threshold;
+                opt_config.level = level;
+                const profile::FsOptResult optimized =
+                    profile::FsOptimizer(*profile, opt_config)
+                        .build();
+                slot.fsAccuracy[triple] = profile::fsOptAccuracy(
+                    *profile, optimized, slot.recorded.traceView());
+                slot.codeIncrease[triple] =
+                    optimized.codeSizeIncrease();
             }
         });
     }
@@ -759,6 +807,10 @@ axisViews()
          [](const SweepPoint &p) {
              return formatFixed(p.traceThreshold, 4);
          }},
+        {"fs opt level",
+         [](const SweepPoint &p) {
+             return std::string(profile::fsOptLevelName(p.fsOpt));
+         }},
     };
     return views;
 }
@@ -889,7 +941,8 @@ sweepToJson(const SweepResult &result)
            << ", \"counter_threshold\": " << p.counter.threshold
            << ", \"fs_slots\": " << p.fsSlots
            << ", \"trace_threshold\": "
-           << jsonNumber(p.traceThreshold) << "},\n";
+           << jsonNumber(p.traceThreshold) << ", \"fs_opt\": \""
+           << profile::fsOptLevelName(p.fsOpt) << "\"},\n";
         os << "      \"means\": {\"sbtb_accuracy\": "
            << jsonNumber(point.meanAccuracy("SBTB"))
            << ", \"cbtb_accuracy\": "
@@ -936,9 +989,9 @@ sweepToCsv(const SweepResult &result)
     std::ostringstream os;
     os << "point,label,k,ell,m,btb_entries,btb_associativity,"
           "btb_policy,counter_bits,counter_threshold,fs_slots,"
-          "trace_threshold,workload,sbtb_accuracy,sbtb_miss_ratio,"
-          "cbtb_accuracy,cbtb_miss_ratio,fs_accuracy,code_increase,"
-          "sbtb_cost,cbtb_cost,fs_cost\n";
+          "trace_threshold,fs_opt,workload,sbtb_accuracy,"
+          "sbtb_miss_ratio,cbtb_accuracy,cbtb_miss_ratio,fs_accuracy,"
+          "code_increase,sbtb_cost,cbtb_cost,fs_cost\n";
     for (const SweepPointResult &point : result.points) {
         const SweepPoint &p = point.point;
         for (std::size_t w = 0; w < point.cells.size(); ++w) {
@@ -949,7 +1002,8 @@ sweepToCsv(const SweepResult &result)
                << ',' << predict::policyName(p.btb.policy) << ','
                << p.counter.bits << ',' << p.counter.threshold << ','
                << p.fsSlots << ',' << csvNumber(p.traceThreshold)
-               << ',' << csvQuote(result.workloads[w]) << ','
+               << ',' << profile::fsOptLevelName(p.fsOpt) << ','
+               << csvQuote(result.workloads[w]) << ','
                << csvNumber(cell.sbtbAccuracy) << ','
                << csvNumber(cell.sbtbMissRatio) << ','
                << csvNumber(cell.cbtbAccuracy) << ','

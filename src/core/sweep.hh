@@ -43,6 +43,7 @@
 
 #include "core/runner.hh"
 #include "pipeline/cost_model.hh"
+#include "profile/fs_opt.hh"
 #include "support/table.hh"
 
 namespace branchlab::core
@@ -67,6 +68,9 @@ struct SweepAxes
     std::vector<unsigned> fsSlots = {2};
     /** Trace-selection arc thresholds. */
     std::vector<double> traceThresholds = {0.7};
+    /** FS optimizer levels (none = the paper's seed transform). */
+    std::vector<profile::FsOptLevel> fsOptLevels = {
+        profile::FsOptLevel::None};
 };
 
 /** One fully resolved grid point. */
@@ -79,8 +83,9 @@ struct SweepPoint
     predict::CounterConfig counter{};
     unsigned fsSlots = 2;
     double traceThreshold = 0.7;
+    profile::FsOptLevel fsOpt = profile::FsOptLevel::None;
 
-    /** Compact label, e.g. "k1l1m1-e256w0-lru-b2t2-s2-p0.70". */
+    /** Compact label, e.g. "k1l1m1-e256w0-lru-b2t2-s2-p0.70-onone". */
     std::string label() const;
 
     /** True when this is the configuration Tables 2-5 report (the

@@ -13,6 +13,18 @@ using ir::CodeLocation;
 using ir::FuncId;
 using ir::Opcode;
 
+const char *
+slotProvenanceName(SlotProvenance provenance)
+{
+    switch (provenance) {
+      case SlotProvenance::Seed: return "seed";
+      case SlotProvenance::SlotFill: return "slot-fill";
+      case SlotProvenance::Superblock: return "superblock";
+      case SlotProvenance::Hoist: return "hoist";
+    }
+    return "?";
+}
+
 double
 FsResult::codeSizeIncrease() const
 {
@@ -181,6 +193,7 @@ ForwardSlotFiller::build() const
         out.copied = static_cast<unsigned>(
             std::min<std::size_t>(config_.slotCount, avail));
         out.padded = config_.slotCount - out.copied;
+        out.consumed = out.copied;
         if (offset + out.copied < window.size())
             out.resume = window[offset + out.copied];
         filled.emplace(std::make_pair(site.traceIdx, site.branchOffset),

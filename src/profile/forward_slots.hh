@@ -55,6 +55,19 @@ struct FsConfig
     TraceSelectConfig trace;
 };
 
+/** Which transformation pass emitted an image slot. */
+enum class SlotProvenance
+{
+    Seed,       ///< The paper's base transform (trace layout + slots).
+    SlotFill,   ///< Liveness-proven move of a real instruction into
+                ///< former NO-OP padding (fs_opt level >= slots).
+    Superblock, ///< Tail-duplicated block copy (level >= superblock).
+    Hoist,      ///< Placeholder recorded on elision bookkeeping; the
+                ///< hoist pass removes homes rather than adding slots.
+};
+
+const char *slotProvenanceName(SlotProvenance provenance);
+
 /** One position of the transformed linear image. */
 struct ImageSlot
 {
@@ -63,11 +76,17 @@ struct ImageSlot
         Home, ///< A block's own instruction, at its (single) home.
         Copy, ///< A forward-slot copy of a target-path instruction.
         Pad,  ///< NO-OP padding in a partially filled slot group.
+        Fill, ///< A real instruction moved into former padding by the
+              ///< liveness-aware slot filler; executes inside the slot
+              ///< region on the predicted path only.
+        Dup,  ///< A tail-duplicated copy of a side-entered block.
     };
 
     Kind kind = Kind::Pad;
-    /** Original identity (valid for Home and Copy). */
+    /** Original identity (valid for every kind except Pad). */
     ir::CodeLocation orig{};
+    /** The pass that emitted this slot. */
+    SlotProvenance provenance = SlotProvenance::Seed;
 };
 
 /** One predicted-taken branch that received forward slots. */
@@ -81,6 +100,14 @@ struct SlotSite
     unsigned copied = 0;
     /** NO-OP pads appended after the copies. */
     unsigned padded = 0;
+    /** Instructions moved in front of the copies by the liveness-
+     *  aware slot filler (always 0 in the seed transform). */
+    unsigned filled = 0;
+    /** Target-window instructions the region covers: the resume point
+     *  is the window advanced by this many entries. The seed transform
+     *  keeps consumed == copied; the optimizer may drop provably dead
+     *  copies while still skipping them on the region path. */
+    unsigned consumed = 0;
     /** Original-layout address of the likely-path target. */
     ir::Addr origTargetAddr = ir::kNoAddr;
     /** Where control resumes after the slots: the target path

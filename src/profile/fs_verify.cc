@@ -80,10 +80,12 @@ verifyFsImage(const ProgramProfile &profile, const FsResult &image,
         }
     }
 
-    // V1 + V2 + V3: per-site shape, copy contents, resume point. A
-    // structurally broken site is abandoned after its first error (its
-    // slot indices cannot be trusted); the scan still continues with
-    // the remaining sites.
+    // V1 + V2 + V3: per-site shape, copy contents, resume point. The
+    // whole violation set is collected: every check that can still be
+    // evaluated after an earlier failure runs (slot accesses are
+    // bounds-guarded instead of trusting the site's counts), and every
+    // message naming a slot carries the slot's provenance so a broken
+    // image points at the pass that emitted it.
     for (const SlotSite &site : image.sites) {
         if (site.copied + site.padded != slot_count) {
             std::ostringstream os;
@@ -91,21 +93,31 @@ verifyFsImage(const ProgramProfile &profile, const FsResult &image,
                << " has " << site.copied << "+" << site.padded
                << " slots, expected " << slot_count;
             fail(os);
-            continue;
         }
-        // The group occupies [branch+1, branch+slot_count].
-        if (site.branchImageIndex + slot_count >= image.slots.size()) {
+        // The group occupies [branch+1, branch+copied+padded].
+        const std::size_t group = site.copied + site.padded;
+        if (site.branchImageIndex + group >= image.slots.size()) {
             std::ostringstream os;
             os << "V1: site slot group overruns the image";
             fail(os);
-            continue;
         }
-        const ImageSlot &branch_slot = image.slots[site.branchImageIndex];
-        if (branch_slot.kind != ImageSlot::Kind::Home ||
-            !(branch_slot.orig == site.branchOrig)) {
+        const auto slotAt =
+            [&image](std::size_t index) -> const ImageSlot * {
+            return index < image.slots.size() ? &image.slots[index]
+                                              : nullptr;
+        };
+        const ImageSlot *branch_slot = slotAt(site.branchImageIndex);
+        if (branch_slot == nullptr ||
+            branch_slot->kind != ImageSlot::Kind::Home ||
+            !(branch_slot->orig == site.branchOrig)) {
             std::ostringstream os;
             os << "V1: site branch slot mismatch at "
                << describeLoc(prog, site.branchOrig);
+            if (branch_slot != nullptr) {
+                os << " ["
+                   << slotProvenanceName(branch_slot->provenance)
+                   << "]";
+            }
             fail(os);
         }
 
@@ -116,37 +128,44 @@ verifyFsImage(const ProgramProfile &profile, const FsResult &image,
             os << "V2: site target " << describeLoc(prog, target)
                << " not in any trace";
             fail(os);
-            continue;
+            continue; // Content and resume checks need the window.
         }
         const std::size_t ut = home_it->second.first;
         const std::size_t uoff = home_it->second.second + target.index;
 
         for (unsigned c = 0; c < site.copied; ++c) {
-            const ImageSlot &slot =
-                image.slots[site.branchImageIndex + 1 + c];
-            if (slot.kind != ImageSlot::Kind::Copy) {
+            const ImageSlot *slot =
+                slotAt(site.branchImageIndex + 1 + c);
+            if (slot == nullptr)
+                break;
+            if (slot->kind != ImageSlot::Kind::Copy) {
                 std::ostringstream os;
                 os << "V1: expected Copy slot " << c << " after "
-                   << describeLoc(prog, site.branchOrig);
+                   << describeLoc(prog, site.branchOrig) << " ["
+                   << slotProvenanceName(slot->provenance) << "]";
                 fail(os);
                 continue;
             }
             if (uoff + c >= base[ut].size() ||
-                !(slot.orig == base[ut][uoff + c])) {
+                !(slot->orig == base[ut][uoff + c])) {
                 std::ostringstream os;
                 os << "V2: copy slot " << c << " after "
                    << describeLoc(prog, site.branchOrig)
-                   << " does not match the target path";
+                   << " does not match the target path ["
+                   << slotProvenanceName(slot->provenance) << "]";
                 fail(os);
             }
         }
         for (unsigned p = 0; p < site.padded; ++p) {
-            const ImageSlot &slot =
-                image.slots[site.branchImageIndex + 1 + site.copied + p];
-            if (slot.kind != ImageSlot::Kind::Pad) {
+            const ImageSlot *slot =
+                slotAt(site.branchImageIndex + 1 + site.copied + p);
+            if (slot == nullptr)
+                break;
+            if (slot->kind != ImageSlot::Kind::Pad) {
                 std::ostringstream os;
                 os << "V1: expected Pad slot after copies at "
-                   << describeLoc(prog, site.branchOrig);
+                   << describeLoc(prog, site.branchOrig) << " ["
+                   << slotProvenanceName(slot->provenance) << "]";
                 fail(os);
             }
         }
@@ -292,6 +311,15 @@ printFsImage(std::ostream &os, const ProgramProfile &profile,
           case ImageSlot::Kind::Pad:
             os << "nop    ; forward-slot pad";
             break;
+          case ImageSlot::Kind::Fill:
+          case ImageSlot::Kind::Dup: {
+            const ir::Function &fn = prog.function(slot.orig.func);
+            const ir::Instruction &inst =
+                fn.block(slot.orig.block).inst(slot.orig.index);
+            os << ir::formatInstruction(prog, fn, inst) << "    ; "
+               << slotProvenanceName(slot.provenance);
+            break;
+          }
         }
         os << "\n";
     }

@@ -32,6 +32,21 @@ ImageExecutor::ImageExecutor(const ProgramProfile &profile,
                              const FsResult &image)
     : prog_(profile.program()), layout_(profile.layout()), image_(image)
 {
+    decodeImage();
+}
+
+ImageExecutor::ImageExecutor(const ProgramProfile &profile,
+                             const FsOptResult &opt)
+    : prog_(profile.program()), layout_(profile.layout()),
+      image_(opt.image)
+{
+    decodeImage();
+    applyDuplicates(opt.dups);
+}
+
+void
+ImageExecutor::decodeImage()
+{
     std::unordered_map<std::size_t, const SlotSite *> site_at;
     for (const SlotSite &site : image_.sites)
         site_at[site.branchImageIndex] = &site;
@@ -83,13 +98,36 @@ ImageExecutor::ImageExecutor(const ProgramProfile &profile,
             const SlotSite &site = *site_it->second;
             d.site = &site;
             d.siteTargetBlock = layout_.locate(site.origTargetAddr).block;
-            d.regionEnd = i + 1 + site.copied;
+            d.regionEnd = i + 1 + site.filled + site.copied;
             d.regionResume =
                 site.resume.has_value()
                     ? homeOf(layout_.instAddr(site.resume->func,
                                               site.resume->block,
                                               site.resume->index))
                     : std::numeric_limits<std::size_t>::max();
+        }
+    }
+}
+
+void
+ImageExecutor::applyDuplicates(const std::vector<DupTail> &dups)
+{
+    for (const DupTail &dup : dups) {
+        DecodedSlot &d = decoded_[homeOf(dup.predTermAddr)];
+        blab_assert(d.inst != nullptr && (d.inst->isConditional() ||
+                                          d.inst->op == Opcode::Jmp),
+                    "duplicate redirect on a non-redirectable branch");
+        // A site's likely side enters the slot region instead; the
+        // builder never duplicates for it, so only free sides are
+        // overridden here.
+        const bool likely_side =
+            d.site != nullptr &&
+            d.site->origTargetAddr == dup.blockStartAddr;
+        if (d.takenAddr == dup.blockStartAddr && !likely_side)
+            d.takenDup = dup.imageStart;
+        if (d.inst->isConditional() &&
+            d.fallAddr == dup.blockStartAddr && !likely_side) {
+            d.fallDup = dup.imageStart;
         }
     }
 }
@@ -333,14 +371,25 @@ ImageExecutor::run(const std::vector<std::vector<Word>> &inputs,
                 sink->onBranch(ev);
             }
             const BlockId dest = taken ? inst.target : inst.next;
-            if (d.site != nullptr && dest == d.siteTargetBlock &&
-                d.site->copied > 0) {
-                // The likely direction: fall into the forward
-                // slots, resume at the advanced target.
-                in_region = true;
-                region_end = d.regionEnd;
-                region_resume = d.regionResume;
-                ++pc;
+            if (d.site != nullptr && dest == d.siteTargetBlock) {
+                // The likely direction: fall into the forward slots
+                // (fills first, then copies), resume at the advanced
+                // target. An emptied region (every copy dropped)
+                // resumes immediately.
+                if (d.regionEnd > pc + 1) {
+                    in_region = true;
+                    region_end = d.regionEnd;
+                    region_resume = d.regionResume;
+                    ++pc;
+                } else {
+                    go_home(d.regionResume);
+                }
+                break;
+            }
+            const std::size_t dup =
+                taken ? d.takenDup : d.fallDup;
+            if (dup != DecodedSlot::kNoIndex) {
+                go_home(dup);
                 break;
             }
             go_home(taken ? d.takenHome : d.fallHome);
@@ -359,11 +408,19 @@ ImageExecutor::run(const std::vector<std::vector<Word>> &inputs,
                 ev.nextPc = d.takenAddr;
                 sink->onBranch(ev);
             }
-            if (d.site != nullptr && d.site->copied > 0) {
-                in_region = true;
-                region_end = d.regionEnd;
-                region_resume = d.regionResume;
-                ++pc;
+            if (d.site != nullptr) {
+                if (d.regionEnd > pc + 1) {
+                    in_region = true;
+                    region_end = d.regionEnd;
+                    region_resume = d.regionResume;
+                    ++pc;
+                } else {
+                    go_home(d.regionResume);
+                }
+                break;
+            }
+            if (d.takenDup != DecodedSlot::kNoIndex) {
+                go_home(d.takenDup);
                 break;
             }
             go_home(d.takenHome);
@@ -498,6 +555,65 @@ checkImageEquivalence(const ProgramProfile &profile, const FsResult &image,
             os << "committed streams diverge at instruction " << i
                << ": original " << recorder.addrs()[i] << ", image "
                << transformed.committed[i];
+            return os.str();
+        }
+    }
+    for (int chan = 0; chan < 8; ++chan) {
+        if (transformed.outputs[static_cast<std::size_t>(chan)] !=
+            machine.output(chan)) {
+            os << "outputs differ on channel " << chan;
+            return os.str();
+        }
+    }
+    return std::string();
+}
+
+std::string
+checkImageEquivalenceOpt(const ProgramProfile &profile,
+                         const FsOptResult &opt,
+                         const std::vector<std::vector<Word>> &inputs)
+{
+    const ir::Program &prog = profile.program();
+    const ir::Layout &layout = profile.layout();
+
+    trace::InstRecorder recorder;
+    vm::Machine machine(prog, layout);
+    for (std::size_t chan = 0; chan < inputs.size(); ++chan)
+        machine.setInput(static_cast<int>(chan), inputs[chan]);
+    machine.setSink(&recorder);
+    const vm::RunResult reference = machine.run();
+
+    ImageExecutor executor(profile, opt);
+    const ImageRunResult transformed = executor.run(inputs);
+
+    std::ostringstream os;
+    if (transformed.reason != reference.reason) {
+        os << "stop reasons differ";
+        return os.str();
+    }
+
+    // The committed streams, with the provably indifferent addresses
+    // (moved fills, dropped dead copies, elisions) removed from both.
+    const auto filtered = [&opt](const std::vector<Addr> &stream) {
+        std::vector<Addr> out;
+        out.reserve(stream.size());
+        for (Addr addr : stream) {
+            if (!opt.relaxedAddrs.count(addr))
+                out.push_back(addr);
+        }
+        return out;
+    };
+    const std::vector<Addr> want = filtered(recorder.addrs());
+    const std::vector<Addr> got = filtered(transformed.committed);
+    if (got.size() != want.size()) {
+        os << "filtered committed stream lengths differ: original "
+           << want.size() << ", image " << got.size();
+        return os.str();
+    }
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        if (got[i] != want[i]) {
+            os << "filtered committed streams diverge at instruction "
+               << i << ": original " << want[i] << ", image " << got[i];
             return os.str();
         }
     }

@@ -32,7 +32,9 @@
 #ifndef BRANCHLAB_PROFILE_IMAGE_EXEC_HH
 #define BRANCHLAB_PROFILE_IMAGE_EXEC_HH
 
-#include "profile/forward_slots.hh"
+#include <limits>
+
+#include "profile/fs_opt.hh"
 #include "vm/machine.hh"
 
 namespace branchlab::profile
@@ -62,6 +64,19 @@ class ImageExecutor
 {
   public:
     ImageExecutor(const ProgramProfile &profile, const FsResult &image);
+
+    /**
+     * Execute an *optimized* image (fs_opt.hh). Extends the region
+     * model: Fill slots execute first inside a region (before the
+     * copies), a region may be empty (every copy dropped -- control
+     * goes straight to the advanced resume point), and branches whose
+     * destination block was tail-duplicated for them redirect into
+     * their duplicate instead of the home (site-region entry takes
+     * precedence on the likely side). Elided instructions have no
+     * home and never execute.
+     */
+    ImageExecutor(const ProgramProfile &profile,
+                  const FsOptResult &opt);
 
     /**
      * Run from main's entry with the given channel inputs.
@@ -101,9 +116,17 @@ class ImageExecutor
         ir::BlockId siteTargetBlock = ir::kNoBlock;
         std::size_t regionEnd = 0;
         std::size_t regionResume = 0;
+        /** Tail-duplicate redirects for this branch's destinations
+         *  (kNoIndex when the side keeps its home target). */
+        static constexpr std::size_t kNoIndex =
+            std::numeric_limits<std::size_t>::max();
+        std::size_t takenDup = kNoIndex;
+        std::size_t fallDup = kNoIndex;
     };
 
     std::size_t homeOf(ir::Addr addr) const;
+    void decodeImage();
+    void applyDuplicates(const std::vector<DupTail> &dups);
 
     const ir::Program &prog_;
     const ir::Layout &layout_;
@@ -122,6 +145,18 @@ class ImageExecutor
 std::string
 checkImageEquivalence(const ProgramProfile &profile, const FsResult &image,
                       const std::vector<std::vector<ir::Word>> &inputs);
+
+/**
+ * Equivalence check for *optimized* images: committed streams are
+ * compared with the result's relaxedAddrs (moved fills, dropped dead
+ * copies, hoist elisions) filtered from both sides -- those addresses
+ * execute on provably indifferent paths only. Outputs and the stop
+ * reason must still match exactly.
+ */
+std::string
+checkImageEquivalenceOpt(const ProgramProfile &profile,
+                         const FsOptResult &opt,
+                         const std::vector<std::vector<ir::Word>> &inputs);
 
 } // namespace branchlab::profile
 

@@ -38,6 +38,15 @@ ProgramProfile::onBranch(const trace::BranchEvent &event)
     else
         ++counts.notTaken;
     ++counts.nextCounts[event.nextPc];
+    if (prevPc_ != ir::kNoAddr) {
+        BranchCounts &path = pathCounts_[{event.pc, prevPc_}];
+        if (event.taken)
+            ++path.taken;
+        else
+            ++path.notTaken;
+        ++path.nextCounts[event.nextPc];
+    }
+    prevPc_ = event.pc;
 }
 
 const BranchCounts &
@@ -45,6 +54,13 @@ ProgramProfile::branchCounts(Addr pc) const
 {
     const auto it = counts_.find(pc);
     return it == counts_.end() ? zero_ : it->second;
+}
+
+const BranchCounts &
+ProgramProfile::pathCounts(Addr pc, Addr prevPc) const
+{
+    const auto it = pathCounts_.find({pc, prevPc});
+    return it == pathCounts_.end() ? zero_ : it->second;
 }
 
 Addr

@@ -13,6 +13,7 @@
 
 #include <map>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "ir/layout.hh"
@@ -60,12 +61,35 @@ class ProgramProfile : public trace::TraceSink
     void onBranch(const trace::BranchEvent &event) override;
 
     /** Record that a run started (weights the entry block). */
-    void noteRun() { ++runs_; }
+    void
+    noteRun()
+    {
+        ++runs_;
+        prevPc_ = ir::kNoAddr;
+    }
 
     std::uint64_t runs() const { return runs_; }
 
     /** Counts for the branch at @p pc (zeros when never executed). */
     const BranchCounts &branchCounts(ir::Addr pc) const;
+
+    /**
+     * Counts for the branch at @p pc restricted to executions whose
+     * immediately preceding branch event of the same run was at
+     * @p prevPc (zeros when the pair never executed). Every block
+     * transition is a terminator execution, so the previous event
+     * identifies the dynamic predecessor block -- the path
+     * correlation the superblock pass duplicates for.
+     */
+    const BranchCounts &pathCounts(ir::Addr pc, ir::Addr prevPc) const;
+
+    /** Every recorded (pc, prevPc) tally, ordered by pc then prevPc
+     *  (for passes that enumerate a branch's entry contexts). */
+    const std::map<std::pair<ir::Addr, ir::Addr>, BranchCounts> &
+    allPathCounts() const
+    {
+        return pathCounts_;
+    }
 
     /**
      * Execution count of a block: the execution count of its
@@ -102,6 +126,8 @@ class ProgramProfile : public trace::TraceSink
     const ir::Program &prog_;
     const ir::Layout &layout_;
     std::unordered_map<ir::Addr, BranchCounts> counts_;
+    std::map<std::pair<ir::Addr, ir::Addr>, BranchCounts> pathCounts_;
+    ir::Addr prevPc_ = ir::kNoAddr;
     std::uint64_t runs_ = 0;
     BranchCounts zero_;
 };

@@ -146,6 +146,48 @@ TraceSelector::selectProgram() const
     return all;
 }
 
+std::vector<SideEntrance>
+findSideEntrances(const ProgramProfile &profile,
+                  const std::vector<Trace> &traces)
+{
+    const ir::Program &prog = profile.program();
+
+    // Where every block sits in the selection.
+    struct Home
+    {
+        std::size_t trace = 0;
+        std::size_t pos = 0;
+    };
+    std::vector<std::vector<Home>> homes(prog.numFunctions());
+    for (FuncId f = 0; f < prog.numFunctions(); ++f)
+        homes[f].assign(prog.function(f).numBlocks(), Home{});
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        for (std::size_t j = 0; j < traces[t].blocks.size(); ++j)
+            homes[traces[t].func][traces[t].blocks[j]] = Home{t, j};
+    }
+
+    std::vector<SideEntrance> entrances;
+    for (FuncId f = 0; f < prog.numFunctions(); ++f) {
+        const ir::Function &fn = prog.function(f);
+        for (BlockId p = 0; p < fn.numBlocks(); ++p) {
+            const ir::Instruction &term = fn.block(p).terminator();
+            if (!term.isConditional() && term.op != ir::Opcode::Jmp)
+                continue;
+            for (const Arc &arc : profile.outArcs(f, p)) {
+                const Home &home = homes[f][arc.to];
+                if (home.pos == 0)
+                    continue; // Trace heads are legal entries.
+                const Trace &trace = traces[home.trace];
+                if (trace.blocks[home.pos - 1] == p)
+                    continue; // The on-trace predecessor.
+                entrances.push_back(SideEntrance{
+                    f, p, arc.to, arc.weight, home.trace, home.pos});
+            }
+        }
+    }
+    return entrances;
+}
+
 std::string
 checkTraces(const ir::Program &program, const std::vector<Trace> &traces)
 {

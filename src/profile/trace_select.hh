@@ -66,6 +66,39 @@ class TraceSelector
 };
 
 /**
+ * A side entrance into a trace: a profiled CFG arc P -> B where B sits
+ * at a non-head position of its trace and P is not the block laid out
+ * in front of it. Superblock formation removes these entrances by
+ * duplicating B for the off-trace predecessor, so B's branch history
+ * can be predicted per entry path.
+ */
+struct SideEntrance
+{
+    ir::FuncId func = ir::kNoFunc;
+    /** The off-trace predecessor. */
+    ir::BlockId pred = ir::kNoBlock;
+    /** The side-entered block. */
+    ir::BlockId block = ir::kNoBlock;
+    /** Profiled weight of the P -> B arc. */
+    std::uint64_t arcWeight = 0;
+    /** Index of B's trace in the selection, and B's position in it. */
+    std::size_t traceIdx = 0;
+    std::size_t posInTrace = 0;
+};
+
+/**
+ * Enumerate side entrances across a trace selection. Only entrances a
+ * tail duplicate can absorb are reported: the predecessor's terminator
+ * must be a conditional branch or a direct jump (jump tables, calls
+ * and returns resolve their continuation dynamically and keep the
+ * original home as their target). Order is deterministic: by function,
+ * then predecessor block, then the predecessor's arc order.
+ */
+std::vector<SideEntrance>
+findSideEntrances(const ProgramProfile &profile,
+                  const std::vector<Trace> &traces);
+
+/**
  * Sanity checks used by tests: every block appears in exactly one
  * trace; consecutive trace blocks are connected by a CFG arc.
  * Returns an empty string when well-formed, else a diagnostic.

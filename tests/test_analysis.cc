@@ -242,6 +242,45 @@ TEST(Liveness, LiveBeforeStepsBackwardThroughTheBlock)
     EXPECT_FALSE(live.liveBefore(fn.entry(), 2)[x]);
 }
 
+TEST(Liveness, PerInstructionCacheMatchesTheReferenceWalk)
+{
+    // Differential: the cached per-instruction sets (liveBeforeAt /
+    // liveAfterAt) must agree with the recomputing reference
+    // (liveBefore) at every position, stitch to the block-level sets
+    // at both ends, and chain across adjacent instructions.
+    for (const ir::Program &prog :
+         {test::buildCountdown(6), test::buildFactorial(5),
+          buildDiamond()}) {
+        ir::verifyProgramOrDie(prog);
+        for (FuncId f = 0; f < prog.numFunctions(); ++f) {
+            const ir::Function &fn = prog.function(f);
+            const Cfg cfg(fn);
+            const Liveness live(cfg);
+            for (BlockId bId = 0; bId < fn.numBlocks(); ++bId) {
+                const ir::BasicBlock &bb = fn.block(bId);
+                ASSERT_GT(bb.size(), 0u);
+                EXPECT_EQ(live.liveBeforeAt(bId, 0), live.liveIn(bId))
+                    << prog.name() << " f" << f << " b" << bId;
+                EXPECT_EQ(live.liveAfterAt(bId, bb.size() - 1),
+                          live.liveOut(bId))
+                    << prog.name() << " f" << f << " b" << bId;
+                for (std::size_t i = 0; i < bb.size(); ++i) {
+                    EXPECT_EQ(live.liveBeforeAt(bId, i),
+                              live.liveBefore(bId, i))
+                        << prog.name() << " f" << f << " b" << bId
+                        << "[" << i << "]";
+                    if (i + 1 < bb.size()) {
+                        EXPECT_EQ(live.liveAfterAt(bId, i),
+                                  live.liveBeforeAt(bId, i + 1))
+                            << prog.name() << " f" << f << " b" << bId
+                            << "[" << i << "]";
+                    }
+                }
+            }
+        }
+    }
+}
+
 TEST(DefiniteAssignment, OneArmedWritesAreNotDefinite)
 {
     ir::Program prog("half");

@@ -1,0 +1,625 @@
+/**
+ * @file
+ * Tests for the analysis-driven FS optimizer (fs_opt.hh): level
+ * plumbing, bit-identity of level none with the seed transform,
+ * liveness-proven slot filling, superblock tail duplication,
+ * dominator-based hoisting, the accuracy walk against the FS replay
+ * kernel, the adversarial corruption suite for verifyFsOptImage, and
+ * the all-workloads equivalence sweep at every level.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/replay_kernel.hh"
+#include "helpers.hh"
+#include "profile/fs_opt.hh"
+#include "profile/fs_verify.hh"
+#include "profile/image_exec.hh"
+#include "support/logging.hh"
+#include "trace/soa.hh"
+#include "workloads/workload.hh"
+
+namespace branchlab::profile
+{
+namespace
+{
+
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::Reg;
+
+struct Built
+{
+    ir::Program program;
+    std::unique_ptr<ir::Layout> layout;
+    std::unique_ptr<ProgramProfile> profile;
+};
+
+Built
+profileOver(ir::Program prog, std::vector<ir::Word> input = {},
+            int extra_runs = 0)
+{
+    ir::verifyProgramOrDie(prog);
+    Built built{std::move(prog), nullptr, nullptr};
+    built.layout = std::make_unique<ir::Layout>(built.program);
+    built.profile = std::make_unique<ProgramProfile>(built.program,
+                                                     *built.layout);
+    for (int r = 0; r <= extra_runs; ++r) {
+        built.profile->noteRun();
+        vm::Machine machine(built.program, *built.layout);
+        machine.setSink(built.profile.get());
+        if (!input.empty())
+            machine.setInput(0, input);
+        machine.run();
+    }
+    return built;
+}
+
+/** Record the program's branch stream over the profiled run's inputs
+ *  (deterministic programs: the same stream the profile saw). */
+trace::SoaTrace
+recordStream(const Built &built, std::vector<ir::Word> input = {})
+{
+    trace::SoaRecorder recorder;
+    vm::Machine machine(built.program, *built.layout);
+    machine.setSink(&recorder);
+    if (!input.empty())
+        machine.setInput(0, std::move(input));
+    machine.run();
+    return recorder.take();
+}
+
+FsOptResult
+optimize(const Built &built, FsOptLevel level, unsigned slots = 2)
+{
+    FsOptConfig config;
+    config.fs.slotCount = slots;
+    config.level = level;
+    // The crafted programs are tiny; the default 5%-of-static-size
+    // duplication budget would reject every candidate outright, and
+    // their entry paths carry no direction correlation for the
+    // profile-guided gain gate to find.
+    config.dupMaxGrowth = 1.0;
+    config.dupRequireGain = false;
+    return FsOptimizer(*built.profile, config).build();
+}
+
+/** The paper's Figure 2 shape: hot loop, rare inner path, join. */
+ir::Program
+buildFigure2Like()
+{
+    ir::Program prog("fig2");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg n = b.newReg();
+    const Reg acc = b.newReg();
+    b.ldiTo(n, 50);
+    b.ldiTo(acc, 0);
+    b.doWhile(
+        [&] {
+            const Reg r = b.remi(n, 7);
+            b.ifThen([&] { return IrBuilder::cmpEqi(r, 0); },
+                     [&] {
+                         b.emitBinaryImmTo(Opcode::Add, acc, acc, 100);
+                     });
+            b.emitBinaryImmTo(Opcode::Sub, n, n, 1);
+        },
+        [&] { return IrBuilder::cmpGti(n, 0); });
+    b.out(acc, 1);
+    b.halt();
+    b.endFunction();
+    return prog;
+}
+
+/**
+ * A two-block loop built for slot filling: the check block computes a
+ * value dead outside the loop right before its likely-taken back
+ * branch, and the branch's target block is short, so the slot group
+ * has pad space (dropped at level slots) for the move.
+ *
+ *   body:  t += 1; i -= 1; jmp check
+ *   check: t += 0; s = i * 3; bgt i, 0 -> body  (s dead on exit)
+ */
+ir::Program
+buildFillable()
+{
+    ir::Program prog("fillable");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg i = b.newReg();
+    const Reg t = b.newReg();
+    const Reg s = b.newReg();
+    b.ldiTo(i, 30);
+    b.ldiTo(t, 0);
+    const ir::BlockId body = b.newBlock("body");
+    const ir::BlockId check = b.newBlock("check");
+    const ir::BlockId done = b.newBlock("done");
+    b.jmp(body);
+    b.setBlock(body);
+    b.emitBinaryImmTo(Opcode::Add, t, t, 1);
+    b.emitBinaryImmTo(Opcode::Sub, i, i, 1);
+    b.jmp(check);
+    b.setBlock(check);
+    b.emitBinaryImmTo(Opcode::Add, t, t, 0);
+    b.emitBinaryImmTo(Opcode::Mul, s, i, 3);
+    b.branch(IrBuilder::cmpGti(i, 0), body, done);
+    b.setBlock(done);
+    b.out(t, 1);
+    b.halt();
+    b.endFunction();
+    return prog;
+}
+
+/**
+ * A shape for branch target forwarding: the loop head ends in a 60/40
+ * conditional (below the 0.7 trace-growth threshold, so the trace
+ * stops there and the branch becomes a slot site), and the majority
+ * target `hot` has that branch as its only CFG entry -- its copied
+ * prefix can carry the home.
+ *
+ *   head: r = i % 5; s = r / 3; i -= 1; beq s, 0 -> hot else cold
+ *   hot:  t += 10; jmp join          (single entry, from head only)
+ *   cold: t += 1;  jmp join
+ *   join: bgt i, 0 -> head else exit
+ */
+ir::Program
+buildForwardable()
+{
+    ir::Program prog("forwardable");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg i = b.newReg();
+    const Reg t = b.newReg();
+    const Reg r = b.newReg();
+    const Reg s = b.newReg();
+    b.ldiTo(i, 20);
+    b.ldiTo(t, 0);
+    const ir::BlockId head = b.newBlock("head");
+    const ir::BlockId hot = b.newBlock("hot");
+    const ir::BlockId cold = b.newBlock("cold");
+    const ir::BlockId join = b.newBlock("join");
+    const ir::BlockId done = b.newBlock("done");
+    b.jmp(head);
+    b.setBlock(head);
+    b.emitBinaryImmTo(Opcode::Rem, r, i, 5);
+    b.emitBinaryImmTo(Opcode::Div, s, r, 3);
+    b.emitBinaryImmTo(Opcode::Sub, i, i, 1);
+    b.branch(IrBuilder::cmpEqi(s, 0), hot, cold);
+    b.setBlock(hot);
+    b.emitBinaryImmTo(Opcode::Add, t, t, 10);
+    b.jmp(join);
+    b.setBlock(cold);
+    b.emitBinaryImmTo(Opcode::Add, t, t, 1);
+    b.jmp(join);
+    b.setBlock(join);
+    b.branch(IrBuilder::cmpGti(i, 0), head, done);
+    b.setBlock(done);
+    b.out(t, 1);
+    b.halt();
+    b.endFunction();
+    return prog;
+}
+
+/**
+ * A dominated recomputation for the hoist level: a compute block
+ * derives base = x * 9, the loop leaves x and base alone, and the
+ * exit recomputes base = x * 9 identically -- the dominating value
+ * still holds. x is defined in a separate predecessor so no
+ * definition of it sits on the compute -> exit paths.
+ */
+ir::Program
+buildHoistable()
+{
+    ir::Program prog("hoistable");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg x = b.newReg();
+    const Reg base = b.newReg();
+    const Reg i = b.newReg();
+    const Reg t = b.newReg();
+    b.ldiTo(x, 11);
+    const ir::BlockId compute = b.newBlock("compute");
+    b.jmp(compute);
+    b.setBlock(compute);
+    b.emitBinaryImmTo(Opcode::Mul, base, x, 9);
+    b.ldiTo(i, 25);
+    b.ldiTo(t, 0);
+    b.doWhile(
+        [&] {
+            b.emitBinaryTo(Opcode::Add, t, t, base);
+            b.emitBinaryImmTo(Opcode::Sub, i, i, 1);
+        },
+        [&] { return IrBuilder::cmpGti(i, 0); });
+    b.emitBinaryImmTo(Opcode::Add, t, t, 7);
+    b.emitBinaryImmTo(Opcode::Mul, base, x, 9);
+    b.emitBinaryTo(Opcode::Add, t, t, base);
+    b.out(t, 1);
+    b.halt();
+    b.endFunction();
+    return prog;
+}
+
+std::string
+listingOf(const Built &built, const FsResult &image)
+{
+    std::ostringstream os;
+    printFsImage(os, *built.profile, image);
+    return os.str();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Level plumbing
+// ---------------------------------------------------------------------
+
+TEST(FsOpt, LevelNamesRoundTrip)
+{
+    const auto &levels = allFsOptLevels();
+    ASSERT_EQ(levels.size(), 4u);
+    EXPECT_EQ(levels.front(), FsOptLevel::None);
+    EXPECT_EQ(levels.back(), FsOptLevel::Hoist);
+    for (const FsOptLevel level : levels)
+        EXPECT_EQ(parseFsOptLevel(fsOptLevelName(level)), level);
+    EXPECT_STREQ(fsOptLevelName(FsOptLevel::Superblock), "superblock");
+}
+
+// ---------------------------------------------------------------------
+// Level none: the seed transform, bit for bit
+// ---------------------------------------------------------------------
+
+TEST(FsOpt, NoneWrapsTheSeedBitIdentically)
+{
+    Built built = profileOver(buildFigure2Like());
+    FsConfig seed_config;
+    seed_config.slotCount = 2;
+    const FsResult seed =
+        ForwardSlotFiller(*built.profile, seed_config).build();
+    const FsOptResult opt = optimize(built, FsOptLevel::None);
+
+    EXPECT_EQ(listingOf(built, seed), listingOf(built, opt.image));
+    EXPECT_EQ(opt.image.slots.size(), seed.slots.size());
+    EXPECT_EQ(opt.image.sites.size(), seed.sites.size());
+    EXPECT_EQ(opt.codeSizeIncrease(), seed.codeSizeIncrease());
+    EXPECT_TRUE(opt.fills.empty());
+    EXPECT_TRUE(opt.dups.empty());
+    EXPECT_TRUE(opt.elisions.empty());
+    EXPECT_TRUE(opt.relaxedAddrs.empty());
+    EXPECT_EQ(opt.counters.slotsFilled, 0u);
+    EXPECT_EQ(verifyFsOptImage(*built.profile, opt).message(), "");
+    // Committed-stream equivalence against the original program is
+    // exact at level none: no relaxation is in play.
+    EXPECT_TRUE(opt.relaxedAddrs.empty());
+    EXPECT_EQ(checkImageEquivalence(*built.profile, opt.image, {}), "");
+}
+
+// ---------------------------------------------------------------------
+// Level slots: pad dropping and liveness-proven fills
+// ---------------------------------------------------------------------
+
+TEST(FsOpt, SlotsLevelShrinksTheImageAndVerifies)
+{
+    Built built = profileOver(buildFigure2Like());
+    const FsOptResult none = optimize(built, FsOptLevel::None, 8);
+    const FsOptResult slots = optimize(built, FsOptLevel::Slots, 8);
+
+    EXPECT_LE(slots.image.slots.size(), none.image.slots.size());
+    EXPECT_GT(slots.counters.padsDropped + slots.counters.copiesTruncated +
+                  slots.counters.deadCopiesDropped,
+              0u);
+    EXPECT_LE(slots.codeSizeIncrease(), none.codeSizeIncrease());
+    EXPECT_EQ(verifyFsOptImage(*built.profile, slots).message(), "");
+    EXPECT_EQ(checkImageEquivalenceOpt(*built.profile, slots, {}), "");
+}
+
+TEST(FsOpt, FillsAreProvenAndSurviveExecution)
+{
+    Built built = profileOver(buildFillable());
+    const FsOptResult opt = optimize(built, FsOptLevel::Slots, 4);
+
+    ASSERT_GT(opt.counters.slotsFilled, 0u) << "the crafted loop must "
+                                               "yield at least one "
+                                               "liveness-proven fill";
+    ASSERT_FALSE(opt.fills.empty());
+    for (const FillRecord &fill : opt.fills) {
+        // Moved definitions relax the stream at their address.
+        EXPECT_TRUE(opt.relaxedAddrs.count(fill.originAddr) > 0);
+        const ImageSlot &slot = opt.image.slots[fill.imageIndex];
+        EXPECT_EQ(slot.kind, ImageSlot::Kind::Fill);
+    }
+    EXPECT_EQ(verifyFsOptImage(*built.profile, opt).message(), "");
+    EXPECT_EQ(checkImageEquivalenceOpt(*built.profile, opt, {}), "");
+}
+
+// ---------------------------------------------------------------------
+// Level superblock: tail duplication
+// ---------------------------------------------------------------------
+
+TEST(FsOpt, SuperblockDuplicationPreservesSemantics)
+{
+    Built built = profileOver(buildFigure2Like());
+    const FsOptResult opt = optimize(built, FsOptLevel::Superblock);
+    // Figure 2's rare path re-enters the hot trace at the join block:
+    // that side entrance earns the join a duplicate.
+    ASSERT_FALSE(opt.dups.empty());
+    EXPECT_EQ(opt.counters.tailsDuplicated, opt.dups.size());
+    for (const DupTail &dup : opt.dups) {
+        EXPECT_GT(dup.arcWeight, 0u);
+        EXPECT_GT(dup.length, 0u);
+    }
+    EXPECT_EQ(verifyFsOptImage(*built.profile, opt).message(), "");
+    EXPECT_EQ(checkImageEquivalenceOpt(*built.profile, opt, {}), "");
+}
+
+TEST(FsOpt, SuperblockNeverLosesAccuracy)
+{
+    Built built = profileOver(buildFigure2Like());
+    const trace::SoaTrace stream = recordStream(built);
+    const trace::TraceView view = trace::TraceView::of(stream);
+
+    const FsOptResult none = optimize(built, FsOptLevel::None);
+    const FsOptResult super = optimize(built, FsOptLevel::Superblock);
+    const double base = fsOptAccuracy(*built.profile, none, view);
+    const double dup = fsOptAccuracy(*built.profile, super, view);
+    // Per-duplicate likely bits predict a superset of what the shared
+    // bit predicts; accuracy must not regress.
+    EXPECT_GE(dup, base);
+}
+
+// ---------------------------------------------------------------------
+// Level hoist: dominator-based redundancy elision
+// ---------------------------------------------------------------------
+
+TEST(FsOpt, HoistElidesDominatedRecomputation)
+{
+    Built built = profileOver(buildHoistable());
+    const FsOptResult opt = optimize(built, FsOptLevel::Hoist);
+    ASSERT_GT(opt.counters.hoistElisions, 0u)
+        << "the duplicated base = x * 9 must be elided";
+    for (const HoistElision &elision : opt.elisions) {
+        EXPECT_TRUE(opt.relaxedAddrs.count(elision.addr) > 0);
+        EXPECT_NE(elision.addr, elision.fromAddr);
+    }
+    const FsOptResult none = optimize(built, FsOptLevel::None);
+    EXPECT_LT(opt.codeSizeIncrease(), none.codeSizeIncrease());
+    EXPECT_EQ(verifyFsOptImage(*built.profile, opt).message(), "");
+    EXPECT_EQ(checkImageEquivalenceOpt(*built.profile, opt, {}), "");
+}
+
+// ---------------------------------------------------------------------
+// Branch target forwarding
+// ---------------------------------------------------------------------
+
+TEST(FsOpt, ForwardsSingleEntryTargetHomes)
+{
+    Built built = profileOver(buildForwardable());
+    const FsOptResult opt = optimize(built, FsOptLevel::Slots);
+
+    ASSERT_GT(opt.counters.homesForwarded, 0u)
+        << "the 60/40 site's single-entry target must forward";
+    ASSERT_FALSE(opt.forwards.empty());
+    for (const ForwardedHome &fwd : opt.forwards) {
+        // The home now lives in its site's Copy slot...
+        const ImageSlot &slot = opt.image.slots[fwd.imageIndex];
+        EXPECT_EQ(slot.kind, ImageSlot::Kind::Copy);
+        EXPECT_TRUE(slot.orig == fwd.loc);
+        const auto it = opt.image.homeIndex.find(fwd.addr);
+        ASSERT_NE(it, opt.image.homeIndex.end());
+        EXPECT_EQ(it->second, fwd.imageIndex);
+        const SlotSite &site = opt.image.sites[fwd.site];
+        EXPECT_GT(fwd.imageIndex, site.branchImageIndex);
+        EXPECT_LE(fwd.imageIndex, site.branchImageIndex +
+                                      site.filled + site.copied);
+        // ...and the committed stream is untouched: forwarding never
+        // relaxes an address.
+        EXPECT_EQ(opt.relaxedAddrs.count(fwd.addr), 0u);
+    }
+    // The elided homes shrink the image (O7 re-proves the exact
+    // accounting).
+    const FsOptResult none = optimize(built, FsOptLevel::None);
+    EXPECT_LT(opt.image.expandedSize(), none.image.expandedSize());
+    EXPECT_EQ(verifyFsOptImage(*built.profile, opt).message(), "");
+    EXPECT_EQ(checkImageEquivalenceOpt(*built.profile, opt, {}), "");
+}
+
+// ---------------------------------------------------------------------
+// The accuracy walk against the FS replay kernel
+// ---------------------------------------------------------------------
+
+TEST(FsOpt, AccuracyWalkMatchesTheKernelBelowSuperblock)
+{
+    Built built = profileOver(buildFigure2Like());
+    const trace::SoaTrace stream = recordStream(built);
+    const trace::TraceView view = trace::TraceView::of(stream);
+
+    const predict::LikelyMap likely = built.profile->buildLikelyMap();
+    core::KernelSpec spec;
+    spec.kind = core::SchemeKind::ForwardSemantic;
+    spec.likely = &likely;
+    const double kernel = core::replayKernel(view, spec).accuracy;
+
+    for (const FsOptLevel level :
+         {FsOptLevel::None, FsOptLevel::Slots}) {
+        const FsOptResult opt = optimize(built, level);
+        EXPECT_DOUBLE_EQ(fsOptAccuracy(*built.profile, opt, view),
+                         kernel)
+            << fsOptLevelName(level);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adversarial corruption: the safety verifier must reject, with the
+// full violation set and slot provenance
+// ---------------------------------------------------------------------
+
+TEST(FsOptVerify, RejectsFillAtACallSite)
+{
+    Built built = profileOver(buildFillable());
+    FsOptResult opt = optimize(built, FsOptLevel::Slots, 4);
+    ASSERT_FALSE(opt.fills.empty());
+    ASSERT_TRUE(verifyFsOptImage(*built.profile, opt).ok());
+
+    // Claim the filled site is a call: its region never executes, so
+    // the verifier must reject the (now lost) moved instructions.
+    opt.image.sites[opt.fills.front().site].viaCall = true;
+    const FsVerifyResult verdict = verifyFsOptImage(*built.profile, opt);
+    ASSERT_FALSE(verdict.ok());
+    EXPECT_NE(verdict.message().find("O2"), std::string::npos);
+    EXPECT_NE(verdict.message().find("call"), std::string::npos);
+}
+
+TEST(FsOptVerify, RejectsAClobberingFill)
+{
+    Built built = profileOver(buildFillable());
+    FsOptResult opt = optimize(built, FsOptLevel::Slots, 4);
+    ASSERT_FALSE(opt.fills.empty());
+
+    // Redirect the moved instruction's record at index 0 of its block:
+    // position 0 is never movable (the block must keep an entry).
+    opt.fills.front().origin.index = 0;
+    const FsVerifyResult verdict = verifyFsOptImage(*built.profile, opt);
+    ASSERT_FALSE(verdict.ok());
+    EXPECT_NE(verdict.message().find("O2"), std::string::npos);
+    EXPECT_NE(verdict.message().find("[slot-fill]"), std::string::npos);
+}
+
+TEST(FsOptVerify, RejectsADuplicateWithoutItsEdge)
+{
+    Built built = profileOver(buildFigure2Like());
+    FsOptResult opt = optimize(built, FsOptLevel::Superblock);
+    ASSERT_FALSE(opt.dups.empty());
+    // Reassign the duplicate to a predecessor with no arc into the
+    // duplicated block.
+    DupTail &dup = opt.dups.front();
+    dup.pred = dup.block;
+    const FsVerifyResult verdict = verifyFsOptImage(*built.profile, opt);
+    ASSERT_FALSE(verdict.ok());
+    EXPECT_NE(verdict.message().find("O5"), std::string::npos);
+}
+
+TEST(FsOptVerify, RejectsACorruptedElision)
+{
+    Built built = profileOver(buildHoistable());
+    FsOptResult opt = optimize(built, FsOptLevel::Hoist);
+    ASSERT_FALSE(opt.elisions.empty());
+
+    // Re-point the elision's dominating source at the elided location
+    // itself: the claimed value supplier no longer exists.
+    opt.elisions.front().from = opt.elisions.front().loc;
+    opt.elisions.front().fromAddr = opt.elisions.front().addr;
+    const FsVerifyResult verdict = verifyFsOptImage(*built.profile, opt);
+    ASSERT_FALSE(verdict.ok());
+    EXPECT_NE(verdict.message().find("O6"), std::string::npos);
+}
+
+TEST(FsOptVerify, RejectsAForwardAcrossACall)
+{
+    Built built = profileOver(buildForwardable());
+    FsOptResult opt = optimize(built, FsOptLevel::Slots);
+    ASSERT_FALSE(opt.forwards.empty());
+    ASSERT_TRUE(verifyFsOptImage(*built.profile, opt).ok());
+
+    // Claim the forwarding site is a call: its region is bypassed on
+    // the return path, so the forwarded home would be lost.
+    opt.image.sites[opt.forwards.front().site].viaCall = true;
+    const FsVerifyResult verdict = verifyFsOptImage(*built.profile, opt);
+    ASSERT_FALSE(verdict.ok());
+    EXPECT_NE(verdict.message().find("O9"), std::string::npos);
+    EXPECT_NE(verdict.message().find("call"), std::string::npos);
+}
+
+TEST(FsOptVerify, RejectsABrokenForwardPrefix)
+{
+    Built built = profileOver(buildForwardable());
+    FsOptResult opt = optimize(built, FsOptLevel::Slots);
+    ASSERT_FALSE(opt.forwards.empty());
+
+    // Shift the forwarded position off the block's copied prefix: the
+    // claimed Copy slot no longer carries the block start.
+    opt.forwards.front().loc.index += 1;
+    const FsVerifyResult verdict = verifyFsOptImage(*built.profile, opt);
+    ASSERT_FALSE(verdict.ok());
+    EXPECT_NE(verdict.message().find("O9"), std::string::npos);
+    EXPECT_NE(verdict.message().find("prefix"), std::string::npos);
+}
+
+TEST(FsOptVerify, CollectsEveryViolationAcrossFamilies)
+{
+    Built built = profileOver(buildFillable());
+    FsOptResult opt = optimize(built, FsOptLevel::Slots, 4);
+    ASSERT_FALSE(opt.fills.empty());
+
+    // Two independent corruptions in different invariant families:
+    // both must be reported, not just the first.
+    opt.fills.front().origin.index = 0;
+    opt.image.originalSize += 1;
+    const FsVerifyResult verdict = verifyFsOptImage(*built.profile, opt);
+    ASSERT_FALSE(verdict.ok());
+    EXPECT_GE(verdict.errors.size(), 2u);
+    EXPECT_NE(verdict.message().find("O2"), std::string::npos);
+    EXPECT_NE(verdict.message().find("O7"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// The all-workloads sweep: every level builds, verifies, and preserves
+// the committed stream (exactly at none, filtered above it)
+// ---------------------------------------------------------------------
+
+class FsOptEquivalenceSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(FsOptEquivalenceSweep, WorkloadImageIsSafeAndEquivalent)
+{
+    const auto &[workload_index, level_index] = GetParam();
+    const workloads::Workload *workload =
+        workloads::allWorkloads()[static_cast<std::size_t>(
+            workload_index)];
+    const FsOptLevel level =
+        allFsOptLevels()[static_cast<std::size_t>(level_index)];
+
+    ir::Program prog = workload->buildProgram();
+    ir::verifyProgramOrDie(prog);
+    const ir::Layout layout(prog);
+    ProgramProfile profile(prog, layout);
+    profile.noteRun();
+    Rng rng(2026);
+    const auto inputs = workload->makeInputs(rng, 1);
+    vm::Machine machine(prog, layout);
+    for (std::size_t chan = 0; chan < inputs[0].channels.size(); ++chan)
+        machine.setInput(static_cast<int>(chan), inputs[0].channels[chan]);
+    machine.setSink(&profile);
+    machine.run();
+
+    FsOptConfig config;
+    config.fs.slotCount = 2;
+    config.level = level;
+    const FsOptResult opt = FsOptimizer(profile, config).build();
+
+    EXPECT_EQ(verifyFsOptImage(profile, opt).message(), "")
+        << workload->name() << " at " << fsOptLevelName(level);
+    if (level == FsOptLevel::None) {
+        // Bit-identical committed stream against the original program
+        // (and hence against the seed transform, which is equivalent).
+        EXPECT_TRUE(opt.relaxedAddrs.empty());
+        EXPECT_EQ(checkImageEquivalence(profile, opt.image,
+                                        inputs[0].channels),
+                  "")
+            << workload->name();
+    } else {
+        EXPECT_EQ(checkImageEquivalenceOpt(profile, opt,
+                                           inputs[0].channels),
+                  "")
+            << workload->name() << " at " << fsOptLevelName(level);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsAllLevels, FsOptEquivalenceSweep,
+    ::testing::Combine(::testing::Range(0, 10),
+                       ::testing::Range(0, 4)));
+
+} // namespace branchlab::profile

@@ -16,6 +16,7 @@
 #include "ir/layout.hh"
 #include "ir/verifier.hh"
 #include "profile/forward_slots.hh"
+#include "profile/fs_opt.hh"
 #include "profile/fs_verify.hh"
 #include "profile/profile.hh"
 #include "vm/machine.hh"
@@ -115,6 +116,75 @@ buildClobberProne()
     b.halt();
     b.endFunction();
     return prog;
+}
+
+/**
+ * A two-block loop whose slot group gains a liveness-proven fill at
+ * level slots: the dead s = i * 3 right before the back branch moves
+ * into the pad space freed by the short target block.
+ */
+ir::Program
+buildFillProne()
+{
+    ir::Program prog("fillprone");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg i = b.newReg();
+    const Reg t = b.newReg();
+    const Reg s = b.newReg();
+    b.ldiTo(i, 30);
+    b.ldiTo(t, 0);
+    const BlockId body = b.newBlock("body");
+    const BlockId check = b.newBlock("check");
+    const BlockId done = b.newBlock("done");
+    b.jmp(body);
+    b.setBlock(body);
+    b.emitBinaryImmTo(Opcode::Add, t, t, 1);
+    b.emitBinaryImmTo(Opcode::Sub, i, i, 1);
+    b.jmp(check);
+    b.setBlock(check);
+    b.emitBinaryImmTo(Opcode::Add, t, t, 0);
+    b.emitBinaryImmTo(Opcode::Mul, s, i, 3);
+    b.branch(IrBuilder::cmpGti(i, 0), body, done);
+    b.setBlock(done);
+    b.out(t, 1);
+    b.halt();
+    b.endFunction();
+    return prog;
+}
+
+/** Profile @p prog and build its optimized image at @p level. */
+struct Optimized
+{
+    ir::Program program;
+    std::unique_ptr<ir::Layout> layout;
+    std::unique_ptr<profile::ProgramProfile> profile;
+    profile::FsOptResult opt;
+};
+
+Optimized
+optimizedOf(ir::Program prog, profile::FsOptLevel level,
+            unsigned slot_count = 4)
+{
+    ir::verifyProgramOrDie(prog);
+    Optimized built{std::move(prog), nullptr, nullptr, {}};
+    built.layout = std::make_unique<ir::Layout>(built.program);
+    built.profile = std::make_unique<profile::ProgramProfile>(
+        built.program, *built.layout);
+    built.profile->noteRun();
+    vm::Machine machine(built.program, *built.layout);
+    machine.setSink(built.profile.get());
+    machine.run();
+    profile::FsOptConfig config;
+    config.fs.slotCount = slot_count;
+    config.level = level;
+    config.dupMaxGrowth = 1.0; // Tiny programs: don't cap duplicates.
+    config.dupRequireGain = false; // No path correlation to find.
+    built.opt =
+        profile::FsOptimizer(*built.profile, config).build();
+    EXPECT_TRUE(
+        profile::verifyFsOptImage(*built.profile, built.opt).ok());
+    return built;
 }
 
 } // namespace
@@ -362,6 +432,211 @@ TEST(LintRules, FsClobberedLiveRegisterFires)
                     .empty());
 }
 
+TEST(LintRules, FsSpeculativeSlotClobberFiresOnCorruptedFills)
+{
+    Optimized built =
+        optimizedOf(buildFillProne(), profile::FsOptLevel::Slots);
+    ASSERT_FALSE(built.opt.fills.empty());
+    DiagnosticEngine engine = builtinEngine();
+    engine.enableOnly({"fs-speculative-slot-clobber"});
+
+    // The legitimately built image is clean: the builder proved every
+    // move with the same predicates the rule re-checks.
+    EXPECT_TRUE(
+        engine.lintFsImage(*built.profile, built.opt).empty());
+
+    // Claim the filled site is a call: its region never executes.
+    const std::size_t site = built.opt.fills.front().site;
+    built.opt.image.sites[site].viaCall = true;
+    const auto diags = engine.lintFsImage(*built.profile, built.opt);
+    ASSERT_FALSE(diags.empty());
+    EXPECT_EQ(diags[0].severity, Severity::Error);
+    EXPECT_NE(diags[0].message.find("call"), std::string::npos);
+    EXPECT_TRUE(diags[0].hasSpan);
+    EXPECT_STREQ(diags[0].spanUnit, "image-slot");
+
+    // Re-point the Fill slot at a non-speculable instruction (the
+    // program's out): the rule must flag the possible fault.
+    built.opt.image.sites[site].viaCall = false;
+    profile::ImageSlot &slot =
+        built.opt.image.slots[built.opt.fills.front().imageIndex];
+    ASSERT_EQ(slot.kind, profile::ImageSlot::Kind::Fill);
+    bool found_out = false;
+    const ir::Function &fn = built.program.function(0);
+    for (BlockId bId = 0; bId < fn.numBlocks() && !found_out; ++bId) {
+        for (std::uint32_t i = 0; i < fn.block(bId).size(); ++i) {
+            if (fn.block(bId).inst(i).op == Opcode::Out) {
+                slot.orig = ir::CodeLocation{0, bId, i};
+                found_out = true;
+                break;
+            }
+        }
+    }
+    ASSERT_TRUE(found_out);
+    const auto faulty = engine.lintFsImage(*built.profile, built.opt);
+    ASSERT_FALSE(faulty.empty());
+    EXPECT_EQ(faulty[0].severity, Severity::Error);
+    EXPECT_NE(faulty[0].message.find("speculatively"),
+              std::string::npos);
+}
+
+TEST(LintRules, FsUnreachableDupTailFiresOnForgedDuplicates)
+{
+    Optimized built =
+        optimizedOf(buildFillProne(), profile::FsOptLevel::Slots);
+    DiagnosticEngine engine = builtinEngine();
+    engine.enableOnly({"fs-unreachable-dup-tail"});
+    EXPECT_TRUE(
+        engine.lintFsImage(*built.profile, built.opt).empty());
+
+    // Forge a duplicate for a predecessor with no CFG edge into the
+    // duplicated block (done never branches back to body).
+    const ir::Function &fn = built.program.function(0);
+    BlockId body = ir::kNoBlock;
+    BlockId done = ir::kNoBlock;
+    for (BlockId bId = 0; bId < fn.numBlocks(); ++bId) {
+        if (fn.block(bId).label() == "body")
+            body = bId;
+        if (fn.block(bId).label() == "done")
+            done = bId;
+    }
+    ASSERT_NE(body, ir::kNoBlock);
+    ASSERT_NE(done, ir::kNoBlock);
+    profile::DupTail forged;
+    forged.func = 0;
+    forged.pred = done;
+    forged.block = body;
+    forged.imageStart = 0;
+    forged.length = 1;
+    built.opt.dups.push_back(forged);
+    const auto diags = engine.lintFsImage(*built.profile, built.opt);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].severity, Severity::Error);
+    EXPECT_NE(diags[0].message.find("no such CFG edge"),
+              std::string::npos);
+
+    // A real edge the profile never took is pure code growth: the
+    // check -> done exit arc is taken, but done -> done's self loop
+    // does not exist; use the never-taken direction instead. The
+    // fallthrough check -> done arc executed once, so forge the
+    // opposite: entry -> body exists and ran, while body has a second
+    // predecessor arc from check that ran too -- so craft a
+    // zero-weight case from a never-executed edge is impossible here;
+    // instead verify the Warning on a dup whose arc exists but whose
+    // weight the profile recorded as zero by using a fresh profile
+    // with no runs.
+    profile::ProgramProfile cold(built.program, *built.layout);
+    profile::DupTail unused;
+    unused.func = 0;
+    unused.pred = body; // body -> check edge exists (jmp)...
+    for (BlockId bId = 0; bId < fn.numBlocks(); ++bId) {
+        if (fn.block(bId).label() == "check")
+            unused.block = bId;
+    }
+    unused.imageStart = 0;
+    unused.length = 1;
+    profile::FsOptResult forged_opt;
+    forged_opt.level = built.opt.level;
+    forged_opt.config = built.opt.config;
+    forged_opt.image = built.opt.image;
+    forged_opt.dups.push_back(unused);
+    const auto warns = engine.lintFsImage(cold, forged_opt);
+    ASSERT_EQ(warns.size(), 1u);
+    EXPECT_EQ(warns[0].severity, Severity::Warning);
+    EXPECT_NE(warns[0].message.find("pure code growth"),
+              std::string::npos);
+}
+
+TEST(LintRules, FsProfileCfgMismatchFiresOnForeignCounts)
+{
+    // An unreachable halt-island carries the run count as weight --
+    // a profile that "executed" a block the CFG cannot reach.
+    ir::Program prog = buildFillProne();
+    ir::Function &fn = prog.function(0);
+    const BlockId island = fn.newBlock("island");
+    fn.block(island).append(ir::makeHalt());
+    Imaged built = imageOf(std::move(prog), 2);
+    DiagnosticEngine engine = builtinEngine();
+    engine.enableOnly({"fs-profile-cfg-mismatch"});
+    const auto diags = engine.lintFsImage(*built.profile, built.image,
+                                          built.slotCount);
+    ASSERT_FALSE(diags.empty());
+    EXPECT_EQ(diags[0].severity, Severity::Error);
+    EXPECT_NE(diags[0].message.find("CFG-unreachable"),
+              std::string::npos);
+}
+
+TEST(LintRules, FsProfileCfgMismatchFlagsImpossibleDirections)
+{
+    // A constant-true condition whose profile claims a not-taken
+    // execution: inject the impossible event into the sink.
+    ir::Program prog("consttrue");
+    IrBuilder b(prog);
+    b.beginFunction("main");
+    const Reg x = b.newReg();
+    const Reg t = b.newReg();
+    b.ldiTo(x, 5);
+    b.ldiTo(t, 0);
+    b.ifThen([&] { return IrBuilder::cmpGti(x, 0); },
+             [&] { b.emitBinaryImmTo(Opcode::Add, t, t, 1); });
+    b.out(t, 1);
+    b.halt();
+    b.endFunction();
+    Imaged built = imageOf(std::move(prog), 2);
+
+    DiagnosticEngine engine = builtinEngine();
+    engine.enableOnly({"fs-profile-cfg-mismatch"});
+    EXPECT_TRUE(engine
+                    .lintFsImage(*built.profile, built.image,
+                                 built.slotCount)
+                    .empty());
+
+    // Find the conditional and forge one not-taken execution.
+    const ir::Function &fn = built.program.function(0);
+    trace::BranchEvent forged;
+    for (BlockId bId = 0; bId < fn.numBlocks(); ++bId) {
+        const ir::BasicBlock &bb = fn.block(bId);
+        const ir::Instruction &term = bb.terminator();
+        if (!term.isConditional())
+            continue;
+        const auto index = static_cast<std::uint32_t>(bb.size() - 1);
+        forged.pc = built.layout->instAddr(0, bId, index);
+        forged.conditional = true;
+        forged.taken = false;
+        forged.op = term.op;
+        forged.nextPc = forged.pc + 1;
+        forged.fallthroughAddr = forged.pc + 1;
+        forged.targetAddr = built.layout->blockAddr(0, term.target);
+        break;
+    }
+    ASSERT_NE(forged.pc, ir::kNoAddr);
+    built.profile->onBranch(forged);
+
+    const auto diags = engine.lintFsImage(*built.profile, built.image,
+                                          built.slotCount);
+    ASSERT_FALSE(diags.empty());
+    EXPECT_EQ(diags[0].severity, Severity::Warning);
+    EXPECT_NE(diags[0].message.find("impossible"), std::string::npos);
+}
+
+TEST(LintRules, OptimizedImagesLintCleanAtEveryLevel)
+{
+    // The builder and the FS rules share their safety predicates: a
+    // legitimately optimized image must produce zero diagnostics from
+    // the optimizer-aware rules at every level.
+    for (const profile::FsOptLevel level : profile::allFsOptLevels()) {
+        Optimized built = optimizedOf(buildFillProne(), level);
+        DiagnosticEngine engine = builtinEngine();
+        engine.enableOnly({"fs-speculative-slot-clobber",
+                           "fs-unreachable-dup-tail",
+                           "fs-profile-cfg-mismatch",
+                           "fs-slot-region-target"});
+        EXPECT_TRUE(
+            engine.lintFsImage(*built.profile, built.opt).empty())
+            << profile::fsOptLevelName(level);
+    }
+}
+
 // ---------------------------------------------------------------------
 // Engine post-processing and rendering
 // ---------------------------------------------------------------------
@@ -399,7 +674,7 @@ TEST(LintEngine, MinSeverityDropsNotes)
 TEST(LintEngine, EnableOnlyRestrictsAndRejectsUnknownNames)
 {
     DiagnosticEngine engine = builtinEngine();
-    EXPECT_EQ(engine.rules().size(), 7u);
+    EXPECT_EQ(engine.rules().size(), 10u);
     engine.enableOnly({"dead-store"});
     ir::Program prog = test::buildCountdown(2);
     ir::Function &fn = prog.function(0);
@@ -429,4 +704,36 @@ TEST(LintEngine, RenderersFormatDiagnostics)
     EXPECT_NE(json.find("\\n"), std::string::npos);
     EXPECT_NE(json.find("\"severity\": \"note\""), std::string::npos);
     EXPECT_EQ(renderDiagnosticsJson({}), "[]");
+}
+
+TEST(LintEngine, FixPreviewJsonNamesTheOffendingSpan)
+{
+    const std::vector<Diagnostic> diags{
+        {Severity::Error, "demo-rule", "broke", "main.check[2]", true,
+         "inst", 2, 3},
+        {Severity::Note, "demo-rule", "fine", ""},
+    };
+    const std::string json = renderFixPreviewJson(diags);
+    EXPECT_NE(json.find("\"span\": {\"unit\": \"inst\", "
+                        "\"begin\": 2, \"end\": 3}"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"span\": null"), std::string::npos) << json;
+    EXPECT_EQ(renderFixPreviewJson({}), "[]");
+}
+
+TEST(LintEngine, ProducedDiagnosticsCarrySpans)
+{
+    // Every built-in rule now reports the offending instruction or
+    // image-slot range; spot-check a program rule end to end.
+    ir::Program prog = test::buildCountdown(2);
+    ir::Function &fn = prog.function(0);
+    const BlockId island = fn.newBlock("island");
+    fn.block(island).append(ir::makeHalt());
+    ir::verifyProgramOrDie(prog);
+    const auto diags = lintWith("unreachable-block", prog);
+    ASSERT_FALSE(diags.empty());
+    EXPECT_TRUE(diags[0].hasSpan);
+    EXPECT_STREQ(diags[0].spanUnit, "inst");
+    EXPECT_LT(diags[0].spanBegin, diags[0].spanEnd);
 }

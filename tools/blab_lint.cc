@@ -14,9 +14,13 @@
  *   --Werror          promote warnings to errors (exit 1 on any)
  *   --min-severity S  drop diagnostics below note|warning|error
  *   --json            emit a JSON array instead of text lines
+ *   --fix-preview     emit JSON with per-diagnostic "span" objects
+ *                     naming the offending instruction range
  *   --rules A,B,...   run only the named rules
  *   --list-rules      print the registered rules and exit
  *   --slots K[,K...]  FS slot counts to lint (default 2,8)
+ *   --fs-opt L[,L...] optimizer levels to lint the images at
+ *                     (none|slots|superblock|hoist; default none)
  *   --no-images       skip the FS-image checks
  *   --runs N          profiling runs per benchmark (default 1)
  *   --seed S          input-suite seed (default 1989)
@@ -36,6 +40,7 @@
 #include "ir/layout.hh"
 #include "ir/verifier.hh"
 #include "profile/forward_slots.hh"
+#include "profile/fs_opt.hh"
 #include "profile/fs_verify.hh"
 #include "profile/profile.hh"
 #include "support/logging.hh"
@@ -58,9 +63,13 @@ usage()
            "  --min-severity S  drop diagnostics below "
            "note|warning|error\n"
            "  --json            emit a JSON array\n"
+           "  --fix-preview     emit JSON with per-diagnostic "
+           "\"span\" objects\n"
            "  --rules A,B,...   run only the named rules\n"
            "  --list-rules      print registered rules and exit\n"
            "  --slots K[,K...]  FS slot counts to lint (default 2,8)\n"
+           "  --fs-opt L[,L...] optimizer levels "
+           "(none|slots|superblock|hoist; default none)\n"
            "  --no-images       skip the FS-image checks\n"
            "  --runs N          profiling runs per benchmark "
            "(default 1)\n"
@@ -74,8 +83,11 @@ struct Options
     std::vector<std::string> benchmarks;
     std::vector<std::string> rules;
     std::vector<unsigned> slots{2, 8};
+    std::vector<profile::FsOptLevel> fsOptLevels{
+        profile::FsOptLevel::None};
     analysis::LintOptions lint;
     bool json = false;
+    bool fixPreview = false;
     bool listRules = false;
     bool images = true;
     unsigned runs = 1;
@@ -107,6 +119,8 @@ parseArgs(int argc, char **argv, Options &opts)
             opts.lint.warningsAsErrors = true;
         } else if (arg == "--json") {
             opts.json = true;
+        } else if (arg == "--fix-preview") {
+            opts.fixPreview = true;
         } else if (arg == "--list-rules") {
             opts.listRules = true;
         } else if (arg == "--no-images") {
@@ -137,6 +151,16 @@ parseArgs(int argc, char **argv, Options &opts)
                 opts.slots.push_back(
                     static_cast<unsigned>(std::stoul(item)));
             if (opts.slots.empty())
+                return false;
+        } else if (arg == "--fs-opt") {
+            const char *value = next();
+            if (value == nullptr)
+                return false;
+            opts.fsOptLevels.clear();
+            for (const std::string &item : splitList(value))
+                opts.fsOptLevels.push_back(
+                    profile::parseFsOptLevel(item));
+            if (opts.fsOptLevels.empty())
                 return false;
         } else if (arg == "--runs") {
             const char *value = next();
@@ -215,22 +239,51 @@ lintBenchmark(const workloads::Workload &workload,
     const profile::ProgramProfile profile =
         profileWorkload(workload, program, layout, opts);
     for (unsigned slots : opts.slots) {
-        profile::FsConfig config;
-        config.slotCount = slots;
-        const profile::FsResult image =
-            profile::ForwardSlotFiller(profile, config).build();
-        const profile::FsVerifyResult fs_verdict =
-            profile::verifyFsImage(profile, image, slots);
-        if (!fs_verdict.ok()) {
-            std::cerr << "blab_lint: benchmark '" << workload.name()
-                      << "' fs image (slots=" << slots
-                      << ") violates the FS invariants:\n"
-                      << fs_verdict.message() << "\n";
-            return 1;
+        for (const profile::FsOptLevel level : opts.fsOptLevels) {
+            if (level == profile::FsOptLevel::None) {
+                profile::FsConfig config;
+                config.slotCount = slots;
+                const profile::FsResult image =
+                    profile::ForwardSlotFiller(profile, config)
+                        .build();
+                const profile::FsVerifyResult fs_verdict =
+                    profile::verifyFsImage(profile, image, slots);
+                if (!fs_verdict.ok()) {
+                    std::cerr << "blab_lint: benchmark '"
+                              << workload.name() << "' fs image (slots="
+                              << slots
+                              << ") violates the FS invariants:\n"
+                              << fs_verdict.message() << "\n";
+                    return 1;
+                }
+                tagAndCollect(
+                    engine.lintFsImage(profile, image, slots),
+                    workload.name() + "/fs" + std::to_string(slots),
+                    out);
+                continue;
+            }
+            profile::FsOptConfig config;
+            config.fs.slotCount = slots;
+            config.level = level;
+            const profile::FsOptResult optimized =
+                profile::FsOptimizer(profile, config).build();
+            const profile::FsVerifyResult fs_verdict =
+                profile::verifyFsOptImage(profile, optimized);
+            if (!fs_verdict.ok()) {
+                std::cerr << "blab_lint: benchmark '"
+                          << workload.name() << "' fs image (slots="
+                          << slots << ", opt="
+                          << profile::fsOptLevelName(level)
+                          << ") violates the FS invariants:\n"
+                          << fs_verdict.message() << "\n";
+                return 1;
+            }
+            tagAndCollect(
+                engine.lintFsImage(profile, optimized),
+                workload.name() + "/fs" + std::to_string(slots) + "-" +
+                    profile::fsOptLevelName(level),
+                out);
         }
-        tagAndCollect(engine.lintFsImage(profile, image, slots),
-                      workload.name() + "/fs" + std::to_string(slots),
-                      out);
     }
     return 0;
 }
@@ -273,7 +326,9 @@ main(int argc, char **argv)
             return rc;
     }
 
-    if (opts.json) {
+    if (opts.fixPreview) {
+        std::cout << analysis::renderFixPreviewJson(diags) << "\n";
+    } else if (opts.json) {
         std::cout << analysis::renderDiagnosticsJson(diags) << "\n";
     } else {
         std::cout << analysis::renderDiagnosticsText(diags);

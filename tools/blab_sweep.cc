@@ -11,6 +11,8 @@
  *   --btb-entries LIST --btb-assoc LIST --btb-policy LIST
  *   --counter-bits LIST --counter-threshold LIST
  *   --fs-slots LIST --trace-threshold LIST
+ *   --fs-opt LIST      optimizer levels (none|slots|superblock|hoist,
+ *                      or "all")
  *
  * Run flags:
  *   --workloads LIST   benchmark names (default: the Table 1 suite)
@@ -52,6 +54,7 @@ usage()
            "  --btb-entries LIST --btb-assoc LIST --btb-policy LIST\n"
            "  --counter-bits LIST --counter-threshold LIST\n"
            "  --fs-slots LIST --trace-threshold LIST\n"
+           "  --fs-opt LIST (none|slots|superblock|hoist|all)\n"
            "run control:\n"
            "  --workloads LIST --runs N --seed S --jobs N\n"
            "  --trace-cache DIR --trace-cache-max-bytes N\n"
@@ -178,6 +181,18 @@ parseOptions(int argc, char **argv)
         } else if (arg == "--trace-threshold") {
             options.axes.traceThresholds =
                 parseDoubleList(arg, need_value());
+        } else if (arg == "--fs-opt") {
+            options.axes.fsOptLevels.clear();
+            for (const std::string &name : splitList(need_value())) {
+                if (name == "all") {
+                    for (const profile::FsOptLevel level :
+                         profile::allFsOptLevels())
+                        options.axes.fsOptLevels.push_back(level);
+                } else {
+                    options.axes.fsOptLevels.push_back(
+                        profile::parseFsOptLevel(name));
+                }
+            }
         } else if (arg == "--workloads") {
             options.sweep.workloads = splitList(need_value());
         } else if (arg == "--runs") {
