@@ -9,18 +9,24 @@
  *   1. cold:    empty journal and trace cache; every point replays
  *               and every workload records exactly once;
  *   2. resume:  the same sweep against the populated journal; every
- *               point must load, nothing may replay or record;
+ *               point must load (mapped from journal segments:
+ *               sweep.journal.bytes_mapped must move), nothing may
+ *               replay or record;
  *   3. partial: a fresh journal capped at half the grid, then the
  *               uncapped rerun that finishes it -- the rerun must
  *               resume exactly the capped half and evaluate the rest,
- *               and its grid must be bit-identical to the cold run's
+ *               and its grid must be bit-identical to the cold run's;
+ *   4. journal10k: a synthetic 10,000-point journal stored through
+ *               SweepJournal, then re-opened cold -- times the mmap
+ *               resume path at a scale the real grid cannot reach in
+ *               CI
  *
  * -- asserting the record-once invariant with the vm.runs telemetry
  * counter and the trace-cache hit/miss counters, and checking the
  * resumed grids cell-for-cell against the cold run. Everything is
  * emitted machine-readable to BENCH_sweep.json (points/s per phase,
- * resume-hit statistics, record/cache counters) so the sweep's perf
- * trajectory is tracked PR over PR.
+ * resume_s, journal byte sizes, resume-hit statistics, record/cache
+ * counters) so the sweep's perf trajectory is tracked PR over PR.
  *
  *   sweep_perf [--runs N] [--jobs N] [--out FILE]
  */
@@ -34,9 +40,12 @@
 
 #include <unistd.h>
 
+#include <chrono>
+
 #include "bench_common.hh"
 
 #include "core/sweep.hh"
+#include "core/sweep_journal.hh"
 #include "obs/metrics.hh"
 #include "trace/cache.hh"
 
@@ -71,6 +80,37 @@ benchSweep(unsigned runs, unsigned jobs)
     config.base.runsOverride = runs;
     config.base.jobs = jobs;
     return config;
+}
+
+/** Total bytes of journal files (segments + legacy entries). */
+std::uint64_t
+journalBytes(const std::string &dir)
+{
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (std::filesystem::recursive_directory_iterator
+             it(dir, ec),
+         end;
+         !ec && it != end; it.increment(ec)) {
+        std::error_code file_ec;
+        if (it->is_regular_file(file_ec) && !file_ec)
+            total += it->file_size(file_ec);
+    }
+    return total;
+}
+
+/** Deterministic synthetic cells for the 10k-point journal phase. */
+std::vector<core::SweepCell>
+syntheticCells(std::uint64_t key)
+{
+    std::vector<core::SweepCell> cells(3);
+    for (std::size_t w = 0; w < cells.size(); ++w) {
+        const double base =
+            static_cast<double>((key + w) % 997) / 997.0;
+        cells[w] = {base, 1.0 - base, base * 0.5, 1.0 - base * 0.5,
+                    base * 0.25, base * 0.125};
+    }
+    return cells;
 }
 
 std::size_t
@@ -167,15 +207,27 @@ main(int argc, char **argv)
                config.workloads.size(),
            "cold sweep stored each workload's trace");
 
-    // ---- Phase 2: full resume (no replays, no records). ----
+    const std::uint64_t cold_journal_bytes =
+        journalBytes(journal_dir);
+
+    // ---- Phase 2: full resume (no replays, no records; every point
+    // served out of the mapped journal segments). ----
     std::cerr << "resumed sweep...\n";
+    obs::Counter &journal_mapped = obs::Registry::global().counter(
+        "sweep.journal.bytes_mapped");
+    const std::uint64_t mapped_before = journal_mapped.value();
     const core::SweepResult resumed = core::runSweep(config);
+    const std::uint64_t resume_bytes_mapped =
+        journal_mapped.value() - mapped_before;
     expect(resumed.stats.evaluated == 0,
            "resumed sweep re-evaluated points");
     expect(resumed.stats.resumed == cold.points.size(),
            "resumed sweep loaded every point from the journal");
     expect(resumed.stats.traceCacheHits == config.workloads.size(),
            "resumed sweep hit the trace cache for every workload");
+    expect(resume_bytes_mapped > 0,
+           "resumed sweep mapped journal segments "
+           "(sweep.journal.bytes_mapped)");
     expect(countGridMismatches(cold, resumed) == 0,
            "resumed grid bit-identical to cold grid");
 
@@ -199,6 +251,45 @@ main(int argc, char **argv)
            "finishing rerun evaluated exactly the remainder");
     expect(countGridMismatches(cold, finished) == 0,
            "finished grid bit-identical to cold grid");
+
+    // ---- Phase 4: 10k-point journal resume. The real grid stays
+    // small for CI wall-time, so scale is exercised synthetically:
+    // store 10,000 points through the journal, then time a cold
+    // open()+load of every key -- the mmap'd resume path end to end.
+    // ----
+    std::cerr << "10k-point journal resume...\n";
+    constexpr std::size_t k10kPoints = 10000;
+    const std::string big_dir = makeTempDir("blab-sweep-journal-10k");
+    {
+        core::SweepJournal writer(big_dir);
+        for (std::size_t i = 0; i < k10kPoints; ++i) {
+            const std::uint64_t key =
+                0x9e3779b97f4a7c15ULL * (i + 1);
+            writer.store(key, syntheticCells(key));
+        }
+        writer.flush();
+    }
+    const std::uint64_t big_journal_bytes = journalBytes(big_dir);
+    double resume_10k_s = 0.0;
+    std::size_t big_loaded = 0;
+    {
+        const auto begin = std::chrono::steady_clock::now();
+        core::SweepJournal reader(big_dir);
+        reader.open();
+        std::vector<core::SweepCell> cells;
+        for (std::size_t i = 0; i < k10kPoints; ++i) {
+            const std::uint64_t key =
+                0x9e3779b97f4a7c15ULL * (i + 1);
+            if (reader.load(key, cells) &&
+                cells == syntheticCells(key))
+                ++big_loaded;
+        }
+        resume_10k_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - begin)
+                           .count();
+    }
+    expect(big_loaded == k10kPoints,
+           "10k-point journal resumed every point bit-identically");
 
     const double cold_pps =
         static_cast<double>(cold.stats.evaluated) /
@@ -227,12 +318,19 @@ main(int argc, char **argv)
          << ", \"points_resumed\": " << resumed.stats.resumed
          << ", \"points_evaluated\": " << resumed.stats.evaluated
          << ", \"trace_cache_hits\": "
-         << resumed.stats.traceCacheHits << "},\n";
+         << resumed.stats.traceCacheHits
+         << ", \"bytes_mapped\": " << resume_bytes_mapped << "},\n";
+    json << "  \"resume_s\": " << resumed.stats.elapsedSeconds
+         << ",\n";
     json << "  \"partial\": {\"capped_evaluated\": "
          << partial.stats.evaluated
          << ", \"rerun_resumed\": " << finished.stats.resumed
          << ", \"rerun_evaluated\": " << finished.stats.evaluated
          << "},\n";
+    json << "  \"journal\": {\"bytes\": " << cold_journal_bytes
+         << ", \"resume_10k_points\": " << k10kPoints
+         << ", \"resume_10k_s\": " << resume_10k_s
+         << ", \"bytes_10k\": " << big_journal_bytes << "},\n";
     json << "  \"failures\": " << failures << "\n";
     json << "}\n";
     std::ofstream file(out, std::ios::trunc);
@@ -242,6 +340,7 @@ main(int argc, char **argv)
     std::error_code ec;
     std::filesystem::remove_all(journal_dir, ec);
     std::filesystem::remove_all(partial_dir, ec);
+    std::filesystem::remove_all(big_dir, ec);
     std::filesystem::remove_all(cache_dir, ec);
 
     if (failures != 0) {

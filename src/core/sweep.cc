@@ -1,20 +1,13 @@
 #include "core/sweep.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <bit>
 #include <chrono>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <functional>
-#include <iomanip>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <tuple>
-
-#include <unistd.h>
 
 #include "core/replay_kernel.hh"
 #include "obs/metrics.hh"
@@ -30,15 +23,6 @@ namespace branchlab::core
 namespace
 {
 
-/** Bump when the journal encoding or cell semantics change; old
- *  entries then simply never match their key again. v2 added the FS
- *  optimizer level to the point key. */
-constexpr std::uint64_t kJournalSchemaVersion = 2;
-
-constexpr char kJournalMagic[4] = {'B', 'L', 'S', 'J'};
-
-std::atomic<std::uint64_t> g_journalTmpSequence{0};
-
 struct SweepTelemetry
 {
     obs::Counter &evaluated =
@@ -47,8 +31,6 @@ struct SweepTelemetry
         obs::Registry::global().counter("sweep.points.resumed");
     obs::Counter &replays =
         obs::Registry::global().counter("sweep.replays");
-    obs::Counter &journalStores =
-        obs::Registry::global().counter("sweep.journal.stores");
 };
 
 SweepTelemetry &
@@ -74,44 +56,6 @@ pipeLabel(const pipeline::PipelineConfig &pipe)
     std::ostringstream os;
     os << 'k' << pipe.k << 'l' << pipe.ell << 'm' << pipe.m;
     return os.str();
-}
-
-void
-putU64(std::string &out, std::uint64_t value)
-{
-    for (int i = 0; i < 8; ++i)
-        out.push_back(
-            static_cast<char>((value >> (8 * i)) & 0xff));
-}
-
-void
-putF64(std::string &out, double value)
-{
-    putU64(out, std::bit_cast<std::uint64_t>(value));
-}
-
-bool
-getU64(const std::string &in, std::size_t &pos, std::uint64_t &value)
-{
-    if (pos + 8 > in.size())
-        return false;
-    value = 0;
-    for (int i = 0; i < 8; ++i)
-        value |= static_cast<std::uint64_t>(
-                     static_cast<unsigned char>(in[pos + i]))
-                 << (8 * i);
-    pos += 8;
-    return true;
-}
-
-bool
-getF64(const std::string &in, std::size_t &pos, double &value)
-{
-    std::uint64_t bits = 0;
-    if (!getU64(in, pos, bits))
-        return false;
-    value = std::bit_cast<double>(bits);
-    return true;
 }
 
 /** JSON numbers with round-trip precision (matches the perf
@@ -314,130 +258,6 @@ sweepPointKey(const SweepPoint &point,
     return hasher.digest();
 }
 
-std::string
-SweepJournal::entryPath(std::uint64_t key) const
-{
-    blab_assert(enabled(), "journal is disabled");
-    std::ostringstream os;
-    os << "point-" << std::hex << std::setw(16) << std::setfill('0')
-       << key << ".blsj";
-    return (std::filesystem::path(dir_) / os.str()).string();
-}
-
-bool
-SweepJournal::load(std::uint64_t key,
-                   std::vector<SweepCell> &cells) const
-{
-    if (!enabled())
-        return false;
-    const std::string path = entryPath(key);
-    std::ifstream file(path, std::ios::binary);
-    if (!file)
-        return false;
-    std::ostringstream content;
-    content << file.rdbuf();
-    const std::string data = content.str();
-
-    std::size_t pos = 0;
-    if (data.size() < 4 ||
-        std::string_view(data.data(), 4) !=
-            std::string_view(kJournalMagic, 4)) {
-        blab_warn("corrupt sweep journal entry '", path,
-                  "' (bad magic); re-evaluating point");
-        return false;
-    }
-    pos = 4;
-    std::uint64_t version = 0;
-    std::uint64_t stored_key = 0;
-    std::uint64_t count = 0;
-    if (!getU64(data, pos, version) ||
-        version != kJournalSchemaVersion ||
-        !getU64(data, pos, stored_key) || stored_key != key ||
-        !getU64(data, pos, count)) {
-        blab_warn("corrupt sweep journal entry '", path,
-                  "' (bad header); re-evaluating point");
-        return false;
-    }
-    std::vector<SweepCell> loaded(count);
-    for (SweepCell &cell : loaded) {
-        if (!getF64(data, pos, cell.sbtbAccuracy) ||
-            !getF64(data, pos, cell.sbtbMissRatio) ||
-            !getF64(data, pos, cell.cbtbAccuracy) ||
-            !getF64(data, pos, cell.cbtbMissRatio) ||
-            !getF64(data, pos, cell.fsAccuracy) ||
-            !getF64(data, pos, cell.codeIncrease)) {
-            blab_warn("corrupt sweep journal entry '", path,
-                      "' (truncated cells); re-evaluating point");
-            return false;
-        }
-    }
-    if (pos != data.size()) {
-        blab_warn("corrupt sweep journal entry '", path,
-                  "' (trailing bytes); re-evaluating point");
-        return false;
-    }
-    cells = std::move(loaded);
-    return true;
-}
-
-void
-SweepJournal::store(std::uint64_t key,
-                    const std::vector<SweepCell> &cells) const
-{
-    if (!enabled())
-        return;
-    std::error_code ec;
-    std::filesystem::create_directories(dir_, ec);
-
-    std::string data(kJournalMagic, 4);
-    putU64(data, kJournalSchemaVersion);
-    putU64(data, key);
-    putU64(data, cells.size());
-    for (const SweepCell &cell : cells) {
-        putF64(data, cell.sbtbAccuracy);
-        putF64(data, cell.sbtbMissRatio);
-        putF64(data, cell.cbtbAccuracy);
-        putF64(data, cell.cbtbMissRatio);
-        putF64(data, cell.fsAccuracy);
-        putF64(data, cell.codeIncrease);
-    }
-
-    // The trace cache's atomic-store discipline: write a uniquely
-    // named temp file, then rename into place, so an interrupted
-    // sweep leaves either nothing or a complete entry and concurrent
-    // stores never clobber each other mid-write.
-    const std::string path = entryPath(key);
-    const std::string tmp =
-        path + ".tmp-" +
-        std::to_string(static_cast<long>(::getpid())) + "-" +
-        std::to_string(
-            g_journalTmpSequence.fetch_add(1,
-                                           std::memory_order_relaxed));
-    {
-        std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-        if (!file) {
-            blab_warn("cannot write sweep journal entry '", tmp, "'");
-            return;
-        }
-        file.write(data.data(),
-                   static_cast<std::streamsize>(data.size()));
-        if (!file) {
-            blab_warn("sweep journal write failed for '", tmp, "'");
-            file.close();
-            std::filesystem::remove(tmp, ec);
-            return;
-        }
-    }
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
-        blab_warn("sweep journal rename failed for '", path, "': ",
-                  ec.message());
-        std::filesystem::remove(tmp, ec);
-        return;
-    }
-    sweepTelemetry().journalStores.add(1);
-}
-
 namespace
 {
 
@@ -603,9 +423,13 @@ runSweep(const SweepConfig &config)
             ++result.stats.recordPasses;
     }
 
-    // ---- Resume: load every journalled point up front (grid order),
-    // then evaluate only the remainder. ----
-    const SweepJournal journal(config.journalDir);
+    // ---- Resume: map the journal's segments once, resolve every
+    // journalled point from the index (grid order), then evaluate
+    // only the remainder. ----
+    SweepJournal journal(config.journalDir,
+                         SweepJournal::resolveMaxBytes(
+                             config.journalMaxBytes));
+    journal.open();
     std::vector<std::uint64_t> stream_hashes;
     stream_hashes.reserve(prepared.size());
     for (const PreparedWorkload &slot : prepared)
@@ -699,6 +523,10 @@ runSweep(const SweepConfig &config)
             }
         }
     });
+    // Seal the pending journal tail and enforce the byte cap before
+    // reporting: a killed run can lose only points completed after
+    // the last seal, and those simply re-evaluate.
+    journal.flush();
     result.stats.evaluated = pending.size();
 
     // Emit resolved points in grid order; points beyond the cap have

@@ -22,17 +22,19 @@
  * 500 suite runs.
  *
  * Resume: when SweepConfig::journalDir is set, every completed point
- * is persisted as one journal entry (temp-file + rename, the trace
- * cache's atomic-store discipline) keyed by a content hash of the
- * point configuration AND the recorded streams it was measured over.
- * An interrupted sweep rerun with the same journal reloads completed
- * points bit-identically and evaluates only the remainder; a changed
- * seed, run count, workload set, or point config changes the key, so
- * a stale entry is never served.
+ * is persisted through the SweepJournal (core/sweep_journal.hh):
+ * checksummed, feature-bit-versioned segments sealed via the trace
+ * cache's fsync+rename discipline and mmap'd back on resume, keyed by
+ * a content hash of the point configuration AND the recorded streams
+ * it was measured over. An interrupted sweep rerun with the same
+ * journal reloads completed points bit-identically and evaluates only
+ * the remainder; a changed seed, run count, workload set, or point
+ * config changes the key, so a stale entry is never served.
  *
  * Telemetry: spans sweep.suite / sweep.record / sweep.prepare /
  * sweep.point, counters sweep.points.evaluated /
- * sweep.points.resumed / sweep.replays / sweep.journal.stores.
+ * sweep.points.resumed / sweep.replays, and the sweep.journal.*
+ * family (see sweep_journal.hh).
  */
 
 #ifndef BRANCHLAB_CORE_SWEEP_HH
@@ -42,6 +44,7 @@
 #include <vector>
 
 #include "core/runner.hh"
+#include "core/sweep_journal.hh"
 #include "pipeline/cost_model.hh"
 #include "profile/fs_opt.hh"
 #include "support/table.hh"
@@ -93,22 +96,8 @@ struct SweepPoint
     bool isPaperDesign() const;
 };
 
-/** Everything measured for one workload at one grid point. */
-struct SweepCell
-{
-    double sbtbAccuracy = 0.0;
-    double sbtbMissRatio = 0.0;
-    double cbtbAccuracy = 0.0;
-    double cbtbMissRatio = 0.0;
-    double fsAccuracy = 0.0;
-    /** Table 5's relative code-size increase at the point's
-     *  (fsSlots, traceThreshold). */
-    double codeIncrease = 0.0;
-
-    bool operator==(const SweepCell &) const = default;
-};
-
-/** One grid point's results over every swept workload. */
+/** One grid point's results over every swept workload. (SweepCell
+ *  itself lives in core/sweep_journal.hh with its persistence.) */
 struct SweepPointResult
 {
     SweepPoint point;
@@ -137,6 +126,9 @@ struct SweepConfig
     std::vector<std::string> workloads;
     /** Journal directory; empty disables resume persistence. */
     std::string journalDir;
+    /** Journal byte cap; 0 defers to
+     *  BRANCHLAB_SWEEP_JOURNAL_MAX_BYTES, then uncapped. */
+    std::uint64_t journalMaxBytes = 0;
     /** Stop after evaluating this many points (0 = no cap). Loaded
      *  journal entries do not count toward the cap, so a capped run
      *  makes forward progress when resumed. Used by the CI resume
@@ -193,36 +185,6 @@ SweepResult runSweep(const SweepConfig &config);
 std::uint64_t sweepPointKey(const SweepPoint &point,
                             const std::vector<std::string> &workloads,
                             const std::vector<std::uint64_t> &streamHashes);
-
-/**
- * The per-point resume journal: one file per completed point under
- * dir ("point-<key16>.blsj"), written via temp-file + rename so an
- * interrupted sweep leaves either nothing or a complete entry.
- * Default-constructed (empty-dir) journals are disabled no-ops.
- */
-class SweepJournal
-{
-  public:
-    SweepJournal() = default;
-    explicit SweepJournal(std::string dir) : dir_(std::move(dir)) {}
-
-    bool enabled() const { return !dir_.empty(); }
-    const std::string &dir() const { return dir_; }
-
-    /** Path of the entry stored under @p key. */
-    std::string entryPath(std::uint64_t key) const;
-
-    /** Load the cells stored under @p key; false on miss/corruption
-     *  (corruption warns and the point is simply re-evaluated). */
-    bool load(std::uint64_t key, std::vector<SweepCell> &cells) const;
-
-    /** Persist @p cells under @p key (atomic; failures warn). */
-    void store(std::uint64_t key,
-               const std::vector<SweepCell> &cells) const;
-
-  private:
-    std::string dir_;
-};
 
 // ---- Reporting ----
 

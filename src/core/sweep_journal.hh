@@ -1,0 +1,229 @@
+/**
+ * @file
+ * The sweep resume journal, productionized like the trace cache.
+ *
+ * v1 (PR 5) stored one flat `point-<key16>.blsj` file per completed
+ * grid point: no fsync before the rename, no payload checksum, no
+ * size cap, and an O(points) open-read-parse loop on every resume.
+ * This module replaces it with a segmented store:
+ *
+ *  - Completed points accumulate in a streaming writer and are sealed
+ *    into BLSG *segments* (many records per file) under two-hex-digit
+ *    shard subdirectories, named by the segment's content hash.
+ *  - Every segment carries a feature-bit-versioned header and a
+ *    checksum64 per record; resume `mmap`s each segment once,
+ *    validates it, and serves every point lookup from the in-memory
+ *    index -- no per-point file I/O.
+ *  - Sealing follows the trace cache's durability discipline: a
+ *    pid+sequence temp file, fsync of the file, atomic rename, fsync
+ *    of the directory. A crash leaves either nothing or a complete
+ *    segment (plus at most the unsealed in-memory tail, which the
+ *    resumed run simply re-evaluates).
+ *  - Validation failures are classified exactly like trace/cache.*:
+ *    **Foreign** (a version or feature bit this reader does not know;
+ *    quiet counter, clean re-evaluate) vs **Corrupt** (actual damage;
+ *    warning + counter). A corrupt record abandons the rest of its
+ *    segment but keeps the verified prefix.
+ *  - `--sweep-journal-max-bytes` / BRANCHLAB_SWEEP_JOURNAL_MAX_BYTES
+ *    cap the store; eviction is LRU by mtime with a cost-aware
+ *    tie-break (fewer records per byte evict first) and never touches
+ *    a segment sealed by this run.
+ *  - Legacy v1 per-point entries still load (now with domain
+ *    validation instead of blind trust), stale `*.tmp-<pid>-<seq>`
+ *    files from killed runs are reclaimed on open, and
+ *    BRANCHLAB_SWEEP_JOURNAL_FORMAT=v1 keeps writing the old format
+ *    for the upgrade-compat gate in CI.
+ *
+ * Telemetry: sweep.journal.{stores, segments, corrupt, foreign,
+ * evictions, bytes_mapped, bytes_evicted, tmp_reclaimed}.
+ */
+
+#ifndef BRANCHLAB_CORE_SWEEP_JOURNAL_HH
+#define BRANCHLAB_CORE_SWEEP_JOURNAL_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace branchlab::trace
+{
+class MappedFile;
+}
+
+namespace branchlab::core
+{
+
+/** Everything measured for one workload at one grid point. */
+struct SweepCell
+{
+    double sbtbAccuracy = 0.0;
+    double sbtbMissRatio = 0.0;
+    double cbtbAccuracy = 0.0;
+    double cbtbMissRatio = 0.0;
+    double fsAccuracy = 0.0;
+    /** Table 5's relative code-size increase at the point's
+     *  (fsSlots, traceThreshold). */
+    double codeIncrease = 0.0;
+
+    bool operator==(const SweepCell &) const = default;
+};
+
+/** Bump when the cell encoding or cell semantics change; old entries
+ *  then classify as Foreign and simply re-evaluate. v2 added the FS
+ *  optimizer level to the point key. */
+inline constexpr std::uint64_t kJournalSchemaVersion = 2;
+
+/** Segment container version: the layout of the BLSG header and
+ *  record framing. Orthogonal to the schema above (which covers what
+ *  a cell means). */
+inline constexpr std::uint32_t kJournalSegmentVersion = 1;
+
+/** Feature bits this reader understands. None are defined yet; a
+ *  future writer that sets one marks its segments as requiring that
+ *  feature, and this reader refuses them as Foreign (never as
+ *  corrupt). */
+inline constexpr std::uint64_t kJournalKnownFeatureBits = 0;
+
+inline constexpr std::size_t kJournalSegmentHeaderBytes = 64;
+/** Bytes per encoded cell (6 little-endian doubles). */
+inline constexpr std::size_t kJournalCellBytes = 48;
+/** Per-record framing: key(8) + cellCount(4) + pad(4) ... crc(8). */
+inline constexpr std::size_t kJournalRecordOverheadBytes = 24;
+
+/** Why a segment or legacy entry was refused. */
+enum class JournalFailure
+{
+    None,
+    /** Structural damage: bad magic, bad bounds, checksum mismatch. */
+    Corrupt,
+    /** A version/schema/feature this reader does not speak. */
+    Foreign,
+};
+
+/** Encode one legacy v1 per-point entry ("BLSJ" + schema + key +
+ *  count + cells, no checksum). Exposed for the upgrade-compat
+ *  tests. */
+std::string encodeJournalEntryV1(std::uint64_t key,
+                                 const std::vector<SweepCell> &cells);
+
+/**
+ * Decode and validate a legacy v1 entry. The format carries no
+ * checksum, so the cells are additionally domain-validated (finite,
+ * ratios inside [0, 1], code increase non-negative) -- a bit-flipped
+ * double is rejected instead of silently resumed. A schema-version
+ * mismatch classifies as Foreign, not Corrupt.
+ *
+ * @return JournalFailure::None on success (cells filled), else the
+ * classification with a diagnostic in @p error.
+ */
+JournalFailure decodeJournalEntryV1(std::string_view data,
+                                    std::uint64_t key,
+                                    std::vector<SweepCell> &cells,
+                                    std::string &error);
+
+/**
+ * The resume journal. Default-constructed (empty-dir) journals are
+ * disabled no-ops. `store()` is thread-safe (the sweep's worker
+ * threads journal points concurrently); `open()`, `load()` and
+ * `flush()` are serialized by the same lock.
+ */
+class SweepJournal
+{
+  public:
+    SweepJournal();
+    explicit SweepJournal(std::string dir, std::uint64_t maxBytes = 0);
+    ~SweepJournal();
+
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+
+    /** The byte cap: @p configured if non-zero, else
+     *  BRANCHLAB_SWEEP_JOURNAL_MAX_BYTES, else 0 (uncapped). */
+    static std::uint64_t resolveMaxBytes(std::uint64_t configured);
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+    std::uint64_t maxBytes() const { return maxBytes_; }
+
+    /**
+     * Bring the journal up: reclaim stale temp files left by killed
+     * runs, then map and validate every segment and build the key
+     * index. Idempotent; load() and store() call it lazily.
+     */
+    void open();
+
+    /** Load the cells stored under @p key: from the mapped segment
+     *  index first, else from a legacy v1 per-point file. False on
+     *  miss; corruption warns (Foreign informs) and reads as a
+     *  miss. */
+    bool load(std::uint64_t key, std::vector<SweepCell> &cells);
+
+    /** Buffer @p cells under @p key; segments seal automatically when
+     *  the pending tail grows past the flush threshold and on
+     *  flush()/destruction. Thread-safe. */
+    void store(std::uint64_t key, const std::vector<SweepCell> &cells);
+
+    /** Seal the pending tail (fsync + atomic rename) and enforce the
+     *  byte cap. Called by runSweep() after the grid completes and by
+     *  the destructor. */
+    void flush();
+
+    /** The flat legacy v1 location of @p key
+     *  ("<dir>/point-<key16>.blsj"). */
+    std::string legacyEntryPath(std::uint64_t key) const;
+
+    /** Mapped-segment observability for tests and the perf
+     *  harness. */
+    std::size_t mappedSegments() const;
+    std::size_t indexedRecords() const;
+
+  private:
+    struct Segment;
+
+    void ensureOpenLocked();
+    void reclaimStaleTempsLocked();
+    void mapSegmentsLocked();
+    void indexSegmentLocked(std::size_t segment_index);
+    bool loadLegacyLocked(std::uint64_t key,
+                          std::vector<SweepCell> &cells);
+    void sealLocked();
+    void storeLegacyLocked(std::uint64_t key,
+                           const std::vector<SweepCell> &cells);
+    void enforceByteCapLocked();
+
+    mutable std::mutex mutex_;
+    std::string dir_;
+    std::uint64_t maxBytes_ = 0;
+    /** BRANCHLAB_SWEEP_JOURNAL_FORMAT=v1: write legacy per-point
+     *  entries (the CI upgrade-compat gate stores through this). */
+    bool writeLegacy_ = false;
+    bool opened_ = false;
+
+    /** A record inside a mapped segment: a borrowed pointer to its
+     *  cell bytes (kept alive by segments_). */
+    struct IndexEntry
+    {
+        std::size_t segment = 0;
+        const std::uint8_t *cells = nullptr;
+        std::uint32_t count = 0;
+    };
+
+    std::vector<Segment> segments_;
+    std::unordered_map<std::uint64_t, IndexEntry> index_;
+    /** Points stored by this run (pending or already sealed): owned
+     *  copies, so a load never re-reads what this process wrote. */
+    std::unordered_map<std::uint64_t, std::vector<SweepCell>> owned_;
+    /** Encoded records awaiting their segment. */
+    std::string pendingRecords_;
+    std::uint32_t pendingCount_ = 0;
+    /** Segments sealed by this run -- never evicted by this run. */
+    std::vector<std::string> sealedPaths_;
+};
+
+} // namespace branchlab::core
+
+#endif // BRANCHLAB_CORE_SWEEP_JOURNAL_HH

@@ -107,52 +107,40 @@ TEST(SweepGrid, LabelsAndPaperDesignDetection)
     EXPECT_FALSE(expandGrid(other)[0].isPaperDesign());
 }
 
-TEST(SweepJournal, RoundTripsCells)
+TEST(SweepJournal, RoundTripsCellsAcrossInstances)
 {
-    const SweepJournal journal(makeJournalDir("roundtrip"));
+    const std::string dir = makeJournalDir("roundtrip");
     const std::vector<SweepCell> cells = {
         {0.5, 0.25, 0.75, 0.125, 0.875, 0.1},
         {0.25, 0.5, 0.625, 0.0625, 0.9375, 0.2},
     };
-    journal.store(42, cells);
+    {
+        SweepJournal journal(dir);
+        journal.store(42, cells);
 
+        // Served from the in-memory copy before any seal...
+        std::vector<SweepCell> loaded;
+        ASSERT_TRUE(journal.load(42, loaded));
+        EXPECT_EQ(loaded, cells);
+        EXPECT_FALSE(journal.load(43, loaded));
+    } // ...and the destructor seals the segment.
+
+    SweepJournal reopened(dir);
     std::vector<SweepCell> loaded;
-    ASSERT_TRUE(journal.load(42, loaded));
+    ASSERT_TRUE(reopened.load(42, loaded));
     EXPECT_EQ(loaded, cells);
-    EXPECT_FALSE(journal.load(43, loaded));
+    EXPECT_EQ(reopened.mappedSegments(), 1u);
+    EXPECT_FALSE(reopened.load(43, loaded));
 }
 
 TEST(SweepJournal, DisabledJournalIsANoOp)
 {
-    const SweepJournal journal;
+    SweepJournal journal;
     EXPECT_FALSE(journal.enabled());
     journal.store(1, {{}});
+    journal.flush();
     std::vector<SweepCell> cells;
     EXPECT_FALSE(journal.load(1, cells));
-}
-
-TEST(SweepJournal, RejectsCorruptEntries)
-{
-    const SweepJournal journal(makeJournalDir("corrupt"));
-    journal.store(7, {{}});
-
-    // Truncate the entry; load must soft-fail, not crash.
-    const std::string path = journal.entryPath(7);
-    {
-        std::ofstream file(path,
-                           std::ios::binary | std::ios::trunc);
-        file << "BLSJ";
-    }
-    std::vector<SweepCell> cells;
-    EXPECT_FALSE(journal.load(7, cells));
-
-    // Garbage magic.
-    {
-        std::ofstream file(path,
-                           std::ios::binary | std::ios::trunc);
-        file << "not a journal entry";
-    }
-    EXPECT_FALSE(journal.load(7, cells));
 }
 
 TEST(SweepJournal, KeyCoversConfigAndStreams)

@@ -1,0 +1,519 @@
+/**
+ * @file
+ * Tests for the productionized sweep journal, mirroring
+ * test_trace_cache: segment round trips, truncation and checksum
+ * damage (Corrupt: warn + counter, keep the verified prefix),
+ * foreign versions/feature bits (quiet refusal), legacy v1 compat
+ * (including the backported integrity check), byte-cap LRU eviction,
+ * stale-temp reclamation, env resolution, thread safety, and a
+ * mapped-vs-v1 resume bit-identity differential over a >= 100-point
+ * grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "core/sweep_journal.hh"
+#include "obs/metrics.hh"
+#include "support/logging.hh"
+
+namespace branchlab::core
+{
+namespace
+{
+
+/** Fresh throwaway journal directory per test. */
+std::string
+makeDir(const std::string &tag)
+{
+    const std::string dir =
+        ::testing::TempDir() + "blab_sweep_journal_" + tag;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+std::vector<SweepCell>
+makeCells(std::uint64_t salt)
+{
+    std::vector<SweepCell> cells(2);
+    for (std::size_t w = 0; w < cells.size(); ++w) {
+        const double base =
+            static_cast<double>((salt + w) % 97) / 97.0;
+        cells[w] = {base, 1.0 - base, base * 0.5, 1.0 - base * 0.5,
+                    base * 0.25, base * 0.125};
+    }
+    return cells;
+}
+
+/** Every sealed segment under @p dir, sorted for determinism. */
+std::vector<std::string>
+segmentFiles(const std::string &dir)
+{
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (std::filesystem::recursive_directory_iterator it(dir, ec),
+         end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->path().extension() == ".blsg")
+            files.push_back(it->path().string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+void
+patchByte(const std::string &path, std::streamoff offset,
+          unsigned char xor_mask)
+{
+    std::fstream file(path, std::ios::binary | std::ios::in |
+                                std::ios::out);
+    ASSERT_TRUE(file.is_open());
+    file.seekg(offset);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(static_cast<unsigned char>(byte) ^
+                             xor_mask);
+    file.seekp(offset);
+    file.write(&byte, 1);
+}
+
+std::uint64_t
+counterValue(const char *name)
+{
+    return obs::Registry::global().counter(name).value();
+}
+
+TEST(SweepJournalSegments, RoundTripsManyRecordsAcrossSegments)
+{
+    const std::string dir = makeDir("segments");
+    const std::uint64_t mapped_before =
+        counterValue("sweep.journal.bytes_mapped");
+    {
+        SweepJournal journal(dir);
+        for (std::uint64_t key = 1; key <= 10; ++key)
+            journal.store(key, makeCells(key));
+        journal.flush(); // first segment
+        for (std::uint64_t key = 11; key <= 20; ++key)
+            journal.store(key, makeCells(key));
+        journal.flush(); // second segment
+    }
+    ASSERT_EQ(segmentFiles(dir).size(), 2u);
+
+    SweepJournal journal(dir);
+    journal.open();
+    EXPECT_EQ(journal.mappedSegments(), 2u);
+    EXPECT_EQ(journal.indexedRecords(), 20u);
+    EXPECT_GT(counterValue("sweep.journal.bytes_mapped"),
+              mapped_before);
+    std::vector<SweepCell> cells;
+    for (std::uint64_t key = 1; key <= 20; ++key) {
+        ASSERT_TRUE(journal.load(key, cells)) << key;
+        EXPECT_EQ(cells, makeCells(key));
+    }
+    EXPECT_FALSE(journal.load(21, cells));
+}
+
+TEST(SweepJournalSegments, TruncationKeepsTheVerifiedPrefix)
+{
+    const std::string dir = makeDir("truncate");
+    {
+        SweepJournal journal(dir);
+        for (std::uint64_t key = 1; key <= 3; ++key)
+            journal.store(key, makeCells(key));
+    }
+    const std::vector<std::string> segments = segmentFiles(dir);
+    ASSERT_EQ(segments.size(), 1u);
+    std::error_code ec;
+    const std::uintmax_t size =
+        std::filesystem::file_size(segments[0], ec);
+    ASSERT_FALSE(ec);
+    // Cut into the last record: its checksum can no longer match.
+    std::filesystem::resize_file(segments[0], size - 8, ec);
+    ASSERT_FALSE(ec);
+
+    const std::uint64_t corrupt_before =
+        counterValue("sweep.journal.corrupt");
+    resetWarningCount();
+    SweepJournal journal(dir);
+    journal.open();
+    EXPECT_GE(warningCount(), 1u);
+    EXPECT_EQ(counterValue("sweep.journal.corrupt"),
+              corrupt_before + 1);
+    // The verified prefix survives; only the damaged tail
+    // re-evaluates.
+    std::vector<SweepCell> cells;
+    EXPECT_TRUE(journal.load(1, cells));
+    EXPECT_TRUE(journal.load(2, cells));
+    EXPECT_FALSE(journal.load(3, cells));
+}
+
+TEST(SweepJournalSegments, ChecksumFlipAbandonsTheSegmentTail)
+{
+    const std::string dir = makeDir("bitflip");
+    {
+        SweepJournal journal(dir);
+        journal.store(1, makeCells(1));
+        journal.store(2, makeCells(2));
+    }
+    const std::vector<std::string> segments = segmentFiles(dir);
+    ASSERT_EQ(segments.size(), 1u);
+    // Flip one payload byte of the FIRST record (offset 64 header +
+    // 16 framing lands in its first cell): its checksum mismatches,
+    // and the framing beyond it is no longer trusted.
+    patchByte(segments[0], 64 + 16, 0x40);
+
+    const std::uint64_t corrupt_before =
+        counterValue("sweep.journal.corrupt");
+    resetWarningCount();
+    SweepJournal journal(dir);
+    journal.open();
+    EXPECT_GE(warningCount(), 1u);
+    EXPECT_EQ(counterValue("sweep.journal.corrupt"),
+              corrupt_before + 1);
+    std::vector<SweepCell> cells;
+    EXPECT_FALSE(journal.load(1, cells));
+    EXPECT_FALSE(journal.load(2, cells));
+}
+
+TEST(SweepJournalSegments, ForeignFeatureBitsRefuseQuietly)
+{
+    const std::string dir = makeDir("foreign_bits");
+    {
+        SweepJournal journal(dir);
+        journal.store(1, makeCells(1));
+    }
+    const std::vector<std::string> segments = segmentFiles(dir);
+    ASSERT_EQ(segments.size(), 1u);
+    // Feature bits live at offset 8; setting an unknown bit marks
+    // the segment as needing a feature this reader lacks.
+    patchByte(segments[0], 8, 0x01);
+
+    const std::uint64_t foreign_before =
+        counterValue("sweep.journal.foreign");
+    const std::uint64_t corrupt_before =
+        counterValue("sweep.journal.corrupt");
+    resetWarningCount();
+    SweepJournal journal(dir);
+    journal.open();
+    // Foreign, not broken: no warning, no corrupt count.
+    EXPECT_EQ(warningCount(), 0u);
+    EXPECT_EQ(counterValue("sweep.journal.foreign"),
+              foreign_before + 1);
+    EXPECT_EQ(counterValue("sweep.journal.corrupt"), corrupt_before);
+    std::vector<SweepCell> cells;
+    EXPECT_FALSE(journal.load(1, cells));
+}
+
+TEST(SweepJournalSegments, ForeignContainerVersionRefusesQuietly)
+{
+    const std::string dir = makeDir("foreign_version");
+    {
+        SweepJournal journal(dir);
+        journal.store(1, makeCells(1));
+    }
+    const std::vector<std::string> segments = segmentFiles(dir);
+    ASSERT_EQ(segments.size(), 1u);
+    patchByte(segments[0], 4, 0x40); // container version field
+
+    const std::uint64_t foreign_before =
+        counterValue("sweep.journal.foreign");
+    resetWarningCount();
+    SweepJournal journal(dir);
+    journal.open();
+    EXPECT_EQ(warningCount(), 0u);
+    EXPECT_EQ(counterValue("sweep.journal.foreign"),
+              foreign_before + 1);
+    std::vector<SweepCell> cells;
+    EXPECT_FALSE(journal.load(1, cells));
+}
+
+TEST(SweepJournalLegacy, V1EntriesStillLoad)
+{
+    const std::string dir = makeDir("v1_load");
+    std::filesystem::create_directories(dir);
+    SweepJournal journal(dir);
+    const std::vector<SweepCell> cells = makeCells(7);
+    {
+        std::ofstream file(journal.legacyEntryPath(7),
+                           std::ios::binary | std::ios::trunc);
+        const std::string data = encodeJournalEntryV1(7, cells);
+        file.write(data.data(),
+                   static_cast<std::streamsize>(data.size()));
+    }
+    std::vector<SweepCell> loaded;
+    ASSERT_TRUE(journal.load(7, loaded));
+    EXPECT_EQ(loaded, cells);
+}
+
+TEST(SweepJournalLegacy, V1BitFlippedCellsAreRejectedNotTrusted)
+{
+    const std::string dir = makeDir("v1_bitflip");
+    std::filesystem::create_directories(dir);
+    SweepJournal journal(dir);
+    {
+        std::ofstream file(journal.legacyEntryPath(9),
+                           std::ios::binary | std::ios::trunc);
+        const std::string data =
+            encodeJournalEntryV1(9, makeCells(9));
+        file.write(data.data(),
+                   static_cast<std::streamsize>(data.size()));
+    }
+    // v1 has no checksum; flip the sign/exponent byte of the first
+    // cell double (header is 4 + 3 * 8 = 28 bytes). The backported
+    // domain check must reject it instead of resuming garbage.
+    patchByte(journal.legacyEntryPath(9), 28 + 7, 0x80);
+
+    const std::uint64_t corrupt_before =
+        counterValue("sweep.journal.corrupt");
+    resetWarningCount();
+    std::vector<SweepCell> loaded;
+    EXPECT_FALSE(journal.load(9, loaded));
+    EXPECT_GE(warningCount(), 1u);
+    EXPECT_EQ(counterValue("sweep.journal.corrupt"),
+              corrupt_before + 1);
+}
+
+TEST(SweepJournalLegacy, V1SchemaMismatchIsForeignNotCorrupt)
+{
+    const std::string dir = makeDir("v1_schema");
+    std::filesystem::create_directories(dir);
+    SweepJournal journal(dir);
+    {
+        std::ofstream file(journal.legacyEntryPath(5),
+                           std::ios::binary | std::ios::trunc);
+        const std::string data =
+            encodeJournalEntryV1(5, makeCells(5));
+        file.write(data.data(),
+                   static_cast<std::streamsize>(data.size()));
+    }
+    // The schema version is the u64 at offset 4; a bumped schema is
+    // another build's journal, not damage.
+    patchByte(journal.legacyEntryPath(5), 4, 0x40);
+
+    const std::uint64_t foreign_before =
+        counterValue("sweep.journal.foreign");
+    const std::uint64_t corrupt_before =
+        counterValue("sweep.journal.corrupt");
+    resetWarningCount();
+    std::vector<SweepCell> loaded;
+    EXPECT_FALSE(journal.load(5, loaded));
+    EXPECT_EQ(warningCount(), 0u);
+    EXPECT_EQ(counterValue("sweep.journal.foreign"),
+              foreign_before + 1);
+    EXPECT_EQ(counterValue("sweep.journal.corrupt"), corrupt_before);
+
+    // decodeJournalEntryV1 classifies directly, too.
+    std::string error;
+    const std::string data = encodeJournalEntryV1(5, makeCells(5));
+    std::string patched = data;
+    patched[4] = static_cast<char>(patched[4] ^ 0x40);
+    EXPECT_EQ(decodeJournalEntryV1(patched, 5, loaded, error),
+              JournalFailure::Foreign);
+    EXPECT_EQ(decodeJournalEntryV1(data, 5, loaded, error),
+              JournalFailure::None);
+    EXPECT_EQ(decodeJournalEntryV1("garbage", 5, loaded, error),
+              JournalFailure::Corrupt);
+}
+
+TEST(SweepJournalEviction, ByteCapEvictsLeastRecentlyUsedFirst)
+{
+    const std::string dir = makeDir("evict");
+    const auto seal_one = [&](std::uint64_t key,
+                              std::chrono::hours age) {
+        {
+            SweepJournal journal(dir);
+            journal.store(key, makeCells(key));
+        }
+        // Age the newest segment so eviction order is deterministic.
+        std::filesystem::path newest;
+        std::filesystem::file_time_type newest_mtime;
+        for (const std::string &path : segmentFiles(dir)) {
+            std::error_code ec;
+            const auto mtime =
+                std::filesystem::last_write_time(path, ec);
+            if (newest.empty() || mtime > newest_mtime) {
+                newest = path;
+                newest_mtime = mtime;
+            }
+        }
+        std::error_code ec;
+        std::filesystem::last_write_time(
+            newest,
+            std::filesystem::file_time_type::clock::now() - age, ec);
+    };
+    seal_one(1, std::chrono::hours(3));
+    seal_one(2, std::chrono::hours(2));
+    seal_one(3, std::chrono::hours(1));
+    ASSERT_EQ(segmentFiles(dir).size(), 3u);
+    std::error_code ec;
+    const std::uintmax_t segment_bytes =
+        std::filesystem::file_size(segmentFiles(dir)[0], ec);
+
+    const std::uint64_t evictions_before =
+        counterValue("sweep.journal.evictions");
+    const std::uint64_t bytes_before =
+        counterValue("sweep.journal.bytes_evicted");
+    {
+        // Cap admits two segments: sealing the fourth must evict the
+        // two stalest and keep the third and the just-sealed one.
+        SweepJournal journal(dir, 2 * segment_bytes + 16);
+        journal.store(4, makeCells(4));
+        journal.flush();
+    }
+    EXPECT_EQ(counterValue("sweep.journal.evictions"),
+              evictions_before + 2);
+    EXPECT_EQ(counterValue("sweep.journal.bytes_evicted"),
+              bytes_before + 2 * segment_bytes);
+    EXPECT_EQ(segmentFiles(dir).size(), 2u);
+
+    SweepJournal journal(dir);
+    std::vector<SweepCell> cells;
+    EXPECT_FALSE(journal.load(1, cells));
+    EXPECT_FALSE(journal.load(2, cells));
+    EXPECT_TRUE(journal.load(3, cells));
+    EXPECT_TRUE(journal.load(4, cells));
+}
+
+TEST(SweepJournalEviction, ResolveMaxBytesPrefersConfigThenEnv)
+{
+    unsetenv("BRANCHLAB_SWEEP_JOURNAL_MAX_BYTES");
+    EXPECT_EQ(SweepJournal::resolveMaxBytes(123), 123u);
+    EXPECT_EQ(SweepJournal::resolveMaxBytes(0), 0u);
+
+    setenv("BRANCHLAB_SWEEP_JOURNAL_MAX_BYTES", "4096", 1);
+    EXPECT_EQ(SweepJournal::resolveMaxBytes(0), 4096u);
+    EXPECT_EQ(SweepJournal::resolveMaxBytes(123), 123u);
+
+    setenv("BRANCHLAB_SWEEP_JOURNAL_MAX_BYTES", "not-a-number", 1);
+    resetWarningCount();
+    EXPECT_EQ(SweepJournal::resolveMaxBytes(0), 0u);
+    EXPECT_GE(warningCount(), 1u);
+    unsetenv("BRANCHLAB_SWEEP_JOURNAL_MAX_BYTES");
+}
+
+TEST(SweepJournalTemps, StaleTempsAreReclaimedFreshOnesKept)
+{
+    const std::string dir = makeDir("temps");
+    std::filesystem::create_directories(dir);
+    const std::string stale =
+        dir + "/seg-dead.blsg.tmp-99999-0";
+    const std::string fresh =
+        dir + "/seg-beef.blsg.tmp-99999-1";
+    {
+        std::ofstream(stale) << "torn";
+        std::ofstream(fresh) << "in-flight";
+    }
+    std::error_code ec;
+    std::filesystem::last_write_time(
+        stale,
+        std::filesystem::file_time_type::clock::now() -
+            std::chrono::hours(1),
+        ec);
+    ASSERT_FALSE(ec);
+
+    const std::uint64_t reclaimed_before =
+        counterValue("sweep.journal.tmp_reclaimed");
+    SweepJournal journal(dir);
+    journal.open();
+    EXPECT_EQ(counterValue("sweep.journal.tmp_reclaimed"),
+              reclaimed_before + 1);
+    // The orphan of a killed run is gone; a temp young enough to
+    // belong to a live concurrent writer survives.
+    EXPECT_FALSE(std::filesystem::exists(stale, ec));
+    EXPECT_TRUE(std::filesystem::exists(fresh, ec));
+}
+
+TEST(SweepJournalConcurrency, ParallelStoresAllPersist)
+{
+    const std::string dir = makeDir("parallel");
+    {
+        SweepJournal journal(dir);
+        std::vector<std::thread> threads;
+        for (unsigned t = 0; t < 4; ++t) {
+            threads.emplace_back([&journal, t] {
+                for (std::uint64_t i = 0; i < 64; ++i) {
+                    const std::uint64_t key = t * 64 + i + 1;
+                    journal.store(key, makeCells(key));
+                }
+            });
+        }
+        for (std::thread &thread : threads)
+            thread.join();
+    }
+    SweepJournal journal(dir);
+    std::vector<SweepCell> cells;
+    for (std::uint64_t key = 1; key <= 4 * 64; ++key) {
+        ASSERT_TRUE(journal.load(key, cells)) << key;
+        EXPECT_EQ(cells, makeCells(key));
+    }
+}
+
+/** The >= 100-point mapped-vs-v1 differential: a sweep journalled
+ *  through the legacy v1 writer and one journalled through the
+ *  segment writer must resume to byte-identical CSV grids (and to
+ *  the uninterrupted cold grid). This is the upgrade-compat gate in
+ *  miniature: store with the old format, resume with the new code. */
+TEST(SweepJournalResume, MappedAndV1JournalsResumeBitIdentically)
+{
+    SweepConfig config;
+    config.axes.btbEntries = {16, 32, 64, 128, 256};
+    config.axes.btbAssociativity = {0, 2};
+    config.axes.btbPolicies = {predict::ReplacementPolicy::Lru,
+                               predict::ReplacementPolicy::Fifo,
+                               predict::ReplacementPolicy::Random};
+    config.axes.counterThresholds = {1, 2};
+    config.axes.fsSlots = {1, 2};
+    config.workloads = {"tee", "cmp"};
+    config.base.runsOverride = 1;
+
+    // Cold reference, no journal.
+    SweepConfig reference = config;
+    const SweepResult cold = runSweep(reference);
+    ASSERT_GE(cold.points.size(), 100u);
+
+    // Journal the grid through the LEGACY v1 writer...
+    config.journalDir = makeDir("differential_v1");
+    setenv("BRANCHLAB_SWEEP_JOURNAL_FORMAT", "v1", 1);
+    const SweepResult v1_cold = runSweep(config);
+    unsetenv("BRANCHLAB_SWEEP_JOURNAL_FORMAT");
+    EXPECT_EQ(v1_cold.stats.evaluated, cold.points.size());
+    // ...and the journal directory holds per-point files, no
+    // segments.
+    EXPECT_TRUE(segmentFiles(config.journalDir).empty());
+
+    // The new code resumes the v1 journal entry by entry.
+    const SweepResult v1_resumed = runSweep(config);
+    EXPECT_EQ(v1_resumed.stats.resumed, cold.points.size());
+    EXPECT_EQ(v1_resumed.stats.evaluated, 0u);
+
+    // The same sweep journalled through the segment writer.
+    config.journalDir = makeDir("differential_v2");
+    const SweepResult v2_cold = runSweep(config);
+    EXPECT_EQ(v2_cold.stats.evaluated, cold.points.size());
+    EXPECT_FALSE(segmentFiles(config.journalDir).empty());
+    const std::uint64_t mapped_before =
+        counterValue("sweep.journal.bytes_mapped");
+    const SweepResult v2_resumed = runSweep(config);
+    EXPECT_EQ(v2_resumed.stats.resumed, cold.points.size());
+    EXPECT_EQ(v2_resumed.stats.evaluated, 0u);
+    // The mapped resume actually mapped.
+    EXPECT_GT(counterValue("sweep.journal.bytes_mapped"),
+              mapped_before);
+
+    // Bit-identity across every path.
+    const std::string csv = sweepToCsv(cold);
+    EXPECT_EQ(sweepToCsv(v1_cold), csv);
+    EXPECT_EQ(sweepToCsv(v1_resumed), csv);
+    EXPECT_EQ(sweepToCsv(v2_cold), csv);
+    EXPECT_EQ(sweepToCsv(v2_resumed), csv);
+}
+
+} // namespace
+} // namespace branchlab::core

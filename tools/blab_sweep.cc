@@ -20,6 +20,9 @@
  *   --journal DIR      persist per-point results; an interrupted
  *                      sweep rerun with the same journal resumes
  *                      without re-evaluating completed points
+ *   --sweep-journal-max-bytes N
+ *                      cap the journal store (LRU eviction; also
+ *                      BRANCHLAB_SWEEP_JOURNAL_MAX_BYTES)
  *   --max-points N     stop after evaluating N points this run
  *                      (journalled points do not count); the CI
  *                      resume test uses this to interrupt a sweep
@@ -58,7 +61,8 @@ usage()
            "run control:\n"
            "  --workloads LIST --runs N --seed S --jobs N\n"
            "  --trace-cache DIR --trace-cache-max-bytes N\n"
-           "  --journal DIR --max-points N\n"
+           "  --journal DIR --sweep-journal-max-bytes N\n"
+           "  --max-points N\n"
            "output:\n"
            "  --json FILE --csv FILE --telemetry FILE --list\n";
     return 2;
@@ -211,6 +215,9 @@ parseOptions(int argc, char **argv)
                 parseNumberList(arg, need_value()).front();
         } else if (arg == "--journal") {
             options.sweep.journalDir = need_value();
+        } else if (arg == "--sweep-journal-max-bytes") {
+            options.sweep.journalMaxBytes =
+                parseNumberList(arg, need_value()).front();
         } else if (arg == "--max-points") {
             options.sweep.maxPoints =
                 parseNumberList(arg, need_value()).front();
