@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Load harness for the branchlabd serving path.
+ *
+ * Drives an in-process serve::Daemon over its Unix socket in three
+ * phases --
+ *
+ *   1. cold:    one experiment request per paper workload against
+ *               empty stores; every request records and evaluates;
+ *   2. warm:    the same ten keys repeated for many rounds across
+ *               several client connections; every response must be a
+ *               cache hit served straight from the mmap'd journal,
+ *               and the throughput must beat the cold pass by at
+ *               least 10x;
+ *   3. restart: the daemon is drained and destroyed, a fresh daemon
+ *               opens the same stores, and the ten requests come back
+ *               as hits with vm.runs unmoved -- the kill-and-restart
+ *               serving guarantee, asserted at the VM level
+ *
+ * -- checking warm-pass cells bit-identical against the cold pass and
+ * emitting BENCH_serve.json (requests/s cold vs warm, speedup, hit and
+ * reject counts, restart stats) so serving-path perf is tracked PR
+ * over PR. Any violated invariant makes the exit status nonzero.
+ *
+ *   serve_load [--runs N] [--warm-rounds N] [--clients N] [--out FILE]
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_common.hh"
+
+#include "obs/metrics.hh"
+#include "serve/client.hh"
+#include "serve/daemon.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace branchlab;
+
+std::string
+makeTempDir(const std::string &stem)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         (stem + "-" + std::to_string(static_cast<long>(::getpid()))))
+            .string();
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+    return path;
+}
+
+serve::Request
+requestFor(const std::string &workload, unsigned runs,
+           std::uint64_t id)
+{
+    serve::Request request;
+    request.requestId = id;
+    request.runs = runs;
+    request.workloads = {workload};
+    return request;
+}
+
+struct PassStats
+{
+    std::size_t requests = 0;
+    std::size_t hits = 0;
+    std::size_t errors = 0;
+    double seconds = 0.0;
+
+    double
+    rps() const
+    {
+        return seconds > 0.0
+                   ? static_cast<double>(requests) / seconds
+                   : 0.0;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned runs = 1;
+    std::size_t warm_rounds = 50;
+    std::size_t client_count = 4;
+    std::string out = "BENCH_serve.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto need_value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--runs")
+            runs = static_cast<unsigned>(std::stoul(need_value()));
+        else if (arg == "--warm-rounds")
+            warm_rounds = std::stoul(need_value());
+        else if (arg == "--clients")
+            client_count = std::stoul(need_value());
+        else if (arg == "--out")
+            out = need_value();
+        else {
+            std::cerr << "usage: serve_load [--runs N] "
+                         "[--warm-rounds N] [--clients N] "
+                         "[--out FILE]\n";
+            return 2;
+        }
+    }
+    if (client_count == 0)
+        client_count = 1;
+
+    const std::string dir = makeTempDir("blab-serve-load");
+    serve::DaemonConfig config;
+    config.listen = "unix:" + dir + "/d.sock";
+    config.service.traceCacheDir = dir + "/tc";
+    config.service.journalDir = dir + "/jr";
+
+    std::vector<std::string> names;
+    for (const workloads::Workload *workload :
+         workloads::allWorkloads())
+        names.push_back(workload->name());
+
+    obs::Counter &vm_runs =
+        obs::Registry::global().counter("vm.runs");
+    obs::Counter &rejects =
+        obs::Registry::global().counter("serve.rejects");
+
+    std::size_t failures = 0;
+    const auto expect = [&failures](bool ok,
+                                    const std::string &what) {
+        if (!ok) {
+            ++failures;
+            std::cerr << "  FAIL: " << what << "\n";
+        }
+    };
+
+    PassStats cold, warm, restart;
+    std::vector<core::SweepCell> cold_cells(names.size());
+    std::uint64_t cold_vm_runs = 0;
+    std::uint64_t restart_vm_runs = 0;
+    std::uint64_t warm_rejects = 0;
+
+    {
+        serve::Daemon daemon(config);
+        daemon.start();
+
+        // ---- Phase 1: cold. Ten unique keys, empty stores: every
+        // request records its workload and evaluates the point. ----
+        std::cerr << "cold pass (" << names.size()
+                  << " requests)...\n";
+        const std::uint64_t vm_before = vm_runs.value();
+        serve::Client client(daemon.address());
+        Stopwatch cold_watch;
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const serve::Response response =
+                client.call(requestFor(names[i], runs, i + 1));
+            ++cold.requests;
+            if (response.status != serve::ResponseStatus::Ok ||
+                response.cells.size() != 1) {
+                ++cold.errors;
+                continue;
+            }
+            cold.hits += response.cacheHit ? 1 : 0;
+            cold_cells[i] = response.cells.front();
+        }
+        cold.seconds = cold_watch.seconds();
+        cold_vm_runs = vm_runs.value() - vm_before;
+
+        expect(cold.errors == 0, "cold pass had errors");
+        expect(cold.hits == 0, "cold pass must not hit the cache");
+        expect(cold_vm_runs > 0, "cold pass must execute the VM");
+
+        // ---- Phase 2: warm. The same ten keys, many rounds, spread
+        // over concurrent client connections: pure journal reads. ----
+        const std::size_t warm_total = names.size() * warm_rounds;
+        std::cerr << "warm pass (" << warm_total << " requests on "
+                  << client_count << " client(s))...\n";
+        const std::uint64_t rejects_before = rejects.value();
+        std::vector<PassStats> per_client(client_count);
+        std::vector<std::size_t> cell_mismatches(client_count, 0);
+        std::vector<std::thread> clients;
+        Stopwatch warm_watch;
+        for (std::size_t c = 0; c < client_count; ++c) {
+            clients.emplace_back([&, c] {
+                serve::Client warm_client(daemon.address());
+                PassStats &stats = per_client[c];
+                for (std::size_t round = c; round < warm_rounds;
+                     round += client_count) {
+                    for (std::size_t i = 0; i < names.size(); ++i) {
+                        serve::Response response = warm_client.call(
+                            requestFor(names[i], runs, i + 1));
+                        while (response.status ==
+                               serve::ResponseStatus::Reject) {
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(
+                                    response.retryAfterMs ? response
+                                                                .retryAfterMs
+                                                          : 10));
+                            response = warm_client.call(
+                                requestFor(names[i], runs, i + 1));
+                        }
+                        ++stats.requests;
+                        if (response.status !=
+                            serve::ResponseStatus::Ok) {
+                            ++stats.errors;
+                            continue;
+                        }
+                        stats.hits += response.cacheHit ? 1 : 0;
+                        if (response.cells.size() != 1 ||
+                            response.cells.front() != cold_cells[i])
+                            ++cell_mismatches[c];
+                    }
+                }
+            });
+        }
+        for (std::thread &thread : clients)
+            thread.join();
+        warm.seconds = warm_watch.seconds();
+        for (std::size_t c = 0; c < client_count; ++c) {
+            warm.requests += per_client[c].requests;
+            warm.hits += per_client[c].hits;
+            warm.errors += per_client[c].errors;
+        }
+        warm_rejects = rejects.value() - rejects_before;
+        std::size_t mismatches = 0;
+        for (const std::size_t count : cell_mismatches)
+            mismatches += count;
+
+        expect(warm.errors == 0, "warm pass had errors");
+        expect(warm.hits == warm.requests,
+               "warm pass must be all cache hits");
+        expect(mismatches == 0,
+               "warm cells must be bit-identical to cold cells");
+        expect(warm.rps() >= 10.0 * cold.rps(),
+               "warm throughput must be >= 10x cold");
+
+        daemon.requestDrain();
+        daemon.waitStopped();
+    }
+
+    // ---- Phase 3: restart. A fresh daemon over the same stores must
+    // serve every key as a hit without touching the VM: the results
+    // outlive the process that computed them. ----
+    std::cerr << "restart pass...\n";
+    {
+        serve::DaemonConfig restart_config = config;
+        restart_config.listen = "unix:" + dir + "/d2.sock";
+        serve::Daemon daemon(restart_config);
+        daemon.start();
+        serve::Client client(daemon.address());
+        const std::uint64_t vm_before = vm_runs.value();
+        Stopwatch restart_watch;
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const serve::Response response =
+                client.call(requestFor(names[i], runs, i + 1));
+            ++restart.requests;
+            if (response.status != serve::ResponseStatus::Ok) {
+                ++restart.errors;
+                continue;
+            }
+            restart.hits += response.cacheHit ? 1 : 0;
+            if (response.cells.size() != 1 ||
+                response.cells.front() != cold_cells[i])
+                ++failures;
+        }
+        restart.seconds = restart_watch.seconds();
+        restart_vm_runs = vm_runs.value() - vm_before;
+        daemon.requestDrain();
+        daemon.waitStopped();
+    }
+    expect(restart.errors == 0, "restart pass had errors");
+    expect(restart.hits == restart.requests,
+           "restarted daemon must serve every key from the store");
+    expect(restart_vm_runs == 0,
+           "restarted daemon must not execute the VM (vm.runs)");
+
+    const double speedup =
+        cold.rps() > 0.0 ? warm.rps() / cold.rps() : 0.0;
+    std::cerr << "cold: " << formatFixed(cold.rps(), 1)
+              << " req/s, warm: " << formatFixed(warm.rps(), 1)
+              << " req/s (" << formatFixed(speedup, 1)
+              << "x), restart hits: " << restart.hits << "/"
+              << restart.requests << "\n";
+
+    std::ostringstream json;
+    json.precision(17);
+    json << "{\n";
+    json << "  \"schema\": \"branchlab-serve-load-v1\",\n";
+    json << "  \"workloads\": " << names.size() << ",\n";
+    json << "  \"runs_per_workload\": " << runs << ",\n";
+    json << "  \"warm_rounds\": " << warm_rounds << ",\n";
+    json << "  \"clients\": " << client_count << ",\n";
+    json << "  \"cold\": {\"requests\": " << cold.requests
+         << ", \"seconds\": " << cold.seconds
+         << ", \"requests_per_second\": " << cold.rps()
+         << ", \"cache_hits\": " << cold.hits
+         << ", \"vm_runs\": " << cold_vm_runs << "},\n";
+    json << "  \"warm\": {\"requests\": " << warm.requests
+         << ", \"seconds\": " << warm.seconds
+         << ", \"requests_per_second\": " << warm.rps()
+         << ", \"cache_hits\": " << warm.hits
+         << ", \"rejects\": " << warm_rejects << "},\n";
+    json << "  \"speedup_warm_over_cold\": " << speedup << ",\n";
+    json << "  \"restart\": {\"requests\": " << restart.requests
+         << ", \"cache_hits\": " << restart.hits
+         << ", \"vm_runs\": " << restart_vm_runs << "},\n";
+    json << "  \"failures\": " << failures << "\n";
+    json << "}\n";
+    std::ofstream file(out, std::ios::trunc);
+    file << json.str();
+    std::cerr << "wrote " << out << "\n";
+
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+
+    if (failures != 0) {
+        std::cerr << failures << " check(s) failed\n";
+        return 1;
+    }
+    return 0;
+}

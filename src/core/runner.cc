@@ -555,9 +555,10 @@ ExperimentRunner::runAll() const
     // Workload-level fan-out: every benchmark seeds its own RNG
     // sub-stream and owns all of its state, so any job count produces
     // bit-identical results in deterministic (Table 1) order.
-    parallelFor(all.size(), jobs, [&](std::size_t i) {
-        results[i] = runBenchmark(*all[i]);
-    });
+    parallelFor(
+        all.size(), jobs,
+        [&](std::size_t i) { results[i] = runBenchmark(*all[i]); },
+        "engine");
     return results;
 }
 

@@ -8,6 +8,7 @@
 #include <optional>
 #include <sstream>
 #include <tuple>
+#include <utility>
 
 #include "core/replay_kernel.hh"
 #include "obs/metrics.hh"
@@ -284,6 +285,61 @@ struct PreparedWorkload
  *  the inner loop and parallel groups still load-balance. */
 constexpr std::size_t kBatchPoints = 16;
 
+/** The workload's full block/arc profile: the record pass's when
+ *  present, else rebuilt into @p storage by folding the cached stream
+ *  back through the profiler (a pure fold, so bit-identical to the
+ *  online one). */
+const profile::ProgramProfile &
+resolveProfile(const RecordedWorkload &recorded,
+               std::optional<profile::ProgramProfile> &storage)
+{
+    if (recorded.profile != nullptr)
+        return *recorded.profile;
+    storage.emplace(*recorded.program, *recorded.layout);
+    for (unsigned r = 0; r < recorded.runs; ++r)
+        storage->noteRun();
+    const trace::TraceView view = recorded.traceView();
+    trace::TraceView::Cursor cursor = view.cursor();
+    trace::TraceBlock block;
+    while (cursor.next(block))
+        for (std::size_t e = 0; e < block.count; ++e)
+            storage->onBranch(block.event(e));
+    return *storage;
+}
+
+/** FS accuracy and code increase at one (level, slots, threshold)
+ *  coordinate. Level none is the seed replay kernel (bit-identical to
+ *  pre-optimizer sweeps); optimized levels score the analytic image
+ *  walk. @p kernelAccuracy caches the kernel's number so triples
+ *  sharing level none replay the stream once, not once per triple. */
+std::pair<double, double>
+measureFs(const RecordedWorkload &recorded,
+          const profile::ProgramProfile &profile,
+          profile::FsOptLevel level, unsigned slots, double threshold,
+          std::optional<double> &kernelAccuracy)
+{
+    if (level == profile::FsOptLevel::None) {
+        if (!kernelAccuracy) {
+            KernelSpec spec;
+            spec.kind = SchemeKind::ForwardSemantic;
+            spec.likely = &recorded.likelyMap;
+            kernelAccuracy =
+                replayKernel(recorded.traceView(), spec).accuracy;
+        }
+        return {*kernelAccuracy,
+                profile::codeIncreaseFor(profile, slots, threshold)};
+    }
+    profile::FsOptConfig config;
+    config.fs.slotCount = slots;
+    config.fs.trace.minArcProbability = threshold;
+    config.level = level;
+    const profile::FsOptResult optimized =
+        profile::FsOptimizer(profile, config).build();
+    return {profile::fsOptAccuracy(profile, optimized,
+                                   recorded.traceView()),
+            optimized.codeSizeIncrease()};
+}
+
 /** Assemble one journal cell from a batch-replayed pair of hardware
  *  schemes plus the workload's point-independent measurements. */
 SweepCell
@@ -310,6 +366,33 @@ cellFromBatch(const predict::BtbBatchCell &batch,
 }
 
 } // namespace
+
+SweepCell
+evaluatePointCell(const RecordedWorkload &recorded,
+                  const SweepPoint &point)
+{
+    const obs::ScopedSpan point_span("sweep.point");
+    const std::vector<predict::BtbBatchCell> hw = replayBatch(
+        recorded.traceView(), {{point.btb, point.counter}});
+    sweepTelemetry().replays.add(2);
+
+    SweepCell cell;
+    cell.sbtbAccuracy = hw.front().sbtb.stats.accuracy.ratio();
+    cell.sbtbMissRatio = hw.front().sbtb.missRatio;
+    cell.cbtbAccuracy = hw.front().cbtb.stats.accuracy.ratio();
+    cell.cbtbMissRatio = hw.front().cbtb.missRatio;
+
+    std::optional<profile::ProgramProfile> rebuilt;
+    const profile::ProgramProfile &profile =
+        resolveProfile(recorded, rebuilt);
+    std::optional<double> kernel_accuracy;
+    const auto [accuracy, code] =
+        measureFs(recorded, profile, point.fsOpt, point.fsSlots,
+                  point.traceThreshold, kernel_accuracy);
+    cell.fsAccuracy = accuracy;
+    cell.codeIncrease = code;
+    return cell;
+}
 
 SweepResult
 runSweep(const SweepConfig &config)
@@ -364,57 +447,19 @@ runSweep(const SweepConfig &config)
             PreparedWorkload &slot = prepared[i];
             slot.recorded = recordWorkload(*suite[i], config.base);
 
-            // Level-none accuracy comes from the seed replay kernel
-            // (bit-identical to pre-optimizer sweeps); optimized
-            // levels are scored by the analytic image walk below.
-            KernelSpec fs_spec;
-            fs_spec.kind = SchemeKind::ForwardSemantic;
-            fs_spec.likely = &slot.recorded.likelyMap;
-            const double kernel_accuracy =
-                replayKernel(slot.recorded.traceView(), fs_spec)
-                    .accuracy;
-
-            const profile::ProgramProfile *profile =
-                slot.recorded.profile.get();
             std::optional<profile::ProgramProfile> rebuilt;
-            if (profile == nullptr) {
-                // Cache hit: fold the cached stream back into a
-                // profile (bit-identical to the online one).
-                rebuilt.emplace(*slot.recorded.program,
-                                *slot.recorded.layout);
-                for (unsigned r = 0; r < slot.recorded.runs; ++r)
-                    rebuilt->noteRun();
-                const trace::TraceView view =
-                    slot.recorded.traceView();
-                trace::TraceView::Cursor cursor = view.cursor();
-                trace::TraceBlock block;
-                while (cursor.next(block))
-                    for (std::size_t e = 0; e < block.count; ++e)
-                        rebuilt->onBranch(block.event(e));
-                profile = &*rebuilt;
-            }
+            const profile::ProgramProfile &profile =
+                resolveProfile(slot.recorded, rebuilt);
+            std::optional<double> kernel_accuracy;
             for (const FsTriple &triple : fs_triples) {
                 const auto &[level, slots, threshold] = triple;
-                if (level == profile::FsOptLevel::None) {
-                    slot.fsAccuracy[triple] = kernel_accuracy;
-                    slot.codeIncrease[triple] =
-                        profile::codeIncreaseFor(*profile, slots,
-                                                 threshold);
-                    continue;
-                }
-                profile::FsOptConfig opt_config;
-                opt_config.fs.slotCount = slots;
-                opt_config.fs.trace.minArcProbability = threshold;
-                opt_config.level = level;
-                const profile::FsOptResult optimized =
-                    profile::FsOptimizer(*profile, opt_config)
-                        .build();
-                slot.fsAccuracy[triple] = profile::fsOptAccuracy(
-                    *profile, optimized, slot.recorded.traceView());
-                slot.codeIncrease[triple] =
-                    optimized.codeSizeIncrease();
+                const auto [accuracy, code] =
+                    measureFs(slot.recorded, profile, level, slots,
+                              threshold, kernel_accuracy);
+                slot.fsAccuracy[triple] = accuracy;
+                slot.codeIncrease[triple] = code;
             }
-        });
+        }, "sweep");
     }
     for (const PreparedWorkload &slot : prepared) {
         if (slot.recorded.cacheHit)
@@ -522,7 +567,7 @@ runSweep(const SweepConfig &config)
                 sweepTelemetry().evaluated.add(1);
             }
         }
-    });
+    }, "sweep");
     // Seal the pending journal tail and enforce the byte cap before
     // reporting: a killed run can lose only points completed after
     // the last seal, and those simply re-evaluate.

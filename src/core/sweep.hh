@@ -179,6 +179,17 @@ std::vector<SweepPoint> expandGrid(const SweepAxes &axes);
  */
 SweepResult runSweep(const SweepConfig &config);
 
+/**
+ * Evaluate one grid point's cell for one recorded workload: replay
+ * the stream against the point's SBTB/CBTB pair and measure the
+ * Forward Semantic at the point's (level, slots, threshold)
+ * coordinates. Bit-identical to the corresponding cell a full
+ * runSweep() would produce over the same stream -- the serving daemon
+ * (src/serve) and the sweep engine share this path.
+ */
+SweepCell evaluatePointCell(const RecordedWorkload &recorded,
+                            const SweepPoint &point);
+
 /** The stable key one journal entry is stored under: a content hash
  *  of the point configuration, the workload set, and the recorded
  *  streams' content hashes. Exposed for tests. */

@@ -7,7 +7,7 @@
  *
  * Metric names follow a dotted lowercase scheme,
  * `<subsystem>.<detail>`: `vm.instructions`, `engine.replay.events`,
- * `trace_cache.corrupt_entries`, `threadpool.queue_wait_ns`,
+ * `trace_cache.corrupt_entries`, `threadpool.engine.queue_wait_ns`,
  * `predict.buffer.indexed.evictions`, and the sweep engine's
  * `sweep.points.evaluated` / `sweep.points.resumed` /
  * `sweep.replays` / `sweep.journal.stores` counters and

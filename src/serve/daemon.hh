@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The branchlabd socket daemon: accepts framed experiment requests
+ * over a Unix or TCP socket and resolves them through the
+ * content-addressed ExperimentService.
+ *
+ * Listen addresses are "unix:<path>", "tcp:<host>:<port>", or a bare
+ * path (treated as unix:). TCP port 0 binds an ephemeral port;
+ * address() reports the resolved address either way, which is how
+ * tests and the load bench find their in-process daemon.
+ *
+ * Threading model: one accept thread, one reader thread per
+ * connection, and one shared ThreadPool ("serve", so its queue-wait
+ * histogram and job counters are its own -- see support/thread_pool)
+ * that evaluates requests. Readers decode and admit; workers
+ * evaluate and write the response under the connection's write lock,
+ * so one connection can pipeline many requests and receive responses
+ * as each completes.
+ *
+ * Admission control is a bounded pending count: a request arriving
+ * while `--max-queue` requests are queued or running is answered
+ * Reject with a retry-after hint immediately, on the reader thread --
+ * backpressure costs the server nothing but the write.
+ *
+ * Graceful drain (requestDrain, wired to SIGTERM by tools/branchlabd):
+ * stop accepting connections, answer any frame that still arrives
+ * with Draining, finish every admitted request and write its
+ * response, then close. waitStopped() joins everything; a drained
+ * daemon's destructor is a no-op.
+ *
+ * Protocol errors are fail-closed per connection: a malformed or
+ * oversized frame gets an Error response (when the transport still
+ * allows one) and the connection is closed; the daemon itself always
+ * survives client misbehaviour.
+ */
+
+#ifndef BRANCHLAB_SERVE_DAEMON_HH
+#define BRANCHLAB_SERVE_DAEMON_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hh"
+#include "support/thread_pool.hh"
+
+namespace branchlab::serve
+{
+
+struct DaemonConfig
+{
+    /** "unix:<path>", "tcp:<host>:<port>", or a bare unix path. */
+    std::string listen = "unix:branchlabd.sock";
+    /** Worker threads; 0 defers to BRANCHLAB_JOBS, then hardware. */
+    unsigned jobs = 0;
+    /** Admitted (queued + running) request ceiling; beyond it new
+     *  requests are rejected with a retry hint. */
+    std::size_t maxQueue = 64;
+    /** The Reject response's retry-after hint. */
+    std::uint32_t retryAfterMs = 100;
+    ServiceConfig service;
+};
+
+class Daemon
+{
+  public:
+    explicit Daemon(DaemonConfig config);
+    /** Drains and joins if still running. */
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /** Bind the listen address and start accepting. Fatal (throwing)
+     *  when the address cannot be bound. */
+    void start();
+
+    /** Begin graceful shutdown: stop accepting, answer new frames
+     *  with Draining, let every admitted request finish and respond.
+     *  Idempotent; returns without waiting. */
+    void requestDrain();
+
+    /** Block until the daemon has fully stopped (drain completed,
+     *  every thread joined, sockets closed). */
+    void waitStopped();
+
+    /** The resolved listen address ("unix:<path>" / "tcp:<host>:<port>"
+     *  with the actual port). Valid after start(). */
+    const std::string &address() const { return address_; }
+
+    ExperimentService &service() { return service_; }
+
+  private:
+    struct Connection;
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<Connection> connection);
+    void respond(Connection &connection, const Response &response);
+
+    DaemonConfig config_;
+    ExperimentService service_;
+    ThreadPool pool_;
+
+    std::atomic<bool> draining_{false};
+    std::atomic<std::size_t> pending_{0};
+
+    int listenFd_ = -1;
+    /** Unix socket path to unlink on stop; empty for TCP. */
+    std::string socketPath_;
+    std::string address_;
+    bool started_ = false;
+    bool stopped_ = false;
+
+    std::thread acceptThread_;
+    std::mutex connectionsMutex_;
+    std::vector<std::thread> readerThreads_;
+};
+
+} // namespace branchlab::serve
+
+#endif // BRANCHLAB_SERVE_DAEMON_HH

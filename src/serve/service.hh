@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The daemon's request handler: every experiment request is a lookup
+ * against the content-addressed result store, with evaluation as the
+ * miss path.
+ *
+ * A request's key is core::sweepPointKey over the design point, the
+ * workload list, and each workload's stream content hash
+ * (core::workloadContentHash) -- exactly the key the sweep engine
+ * journals under, so the daemon, the CLI's sweep command, and any
+ * prior run sharing the same journal directory all address one
+ * store. The warm path is journal-load only: no VM run, no replay,
+ * no profile rebuild; cells come straight out of the mmap'd segment.
+ *
+ * The cold path records each workload through the trace cache
+ * (core::recordWorkload -- itself content-addressed, so a restarted
+ * daemon re-evaluating a point still records nothing) and evaluates
+ * the point with core::evaluatePointCell, then stores AND seals the
+ * journal before responding: once a client has seen a result, a
+ * crash cannot lose it.
+ *
+ * Concurrent identical-key requests are single-flighted: the first
+ * evaluates, the rest wait on the in-flight set and are then served
+ * from the store, so one burst of identical requests costs one
+ * evaluation and one journal record.
+ *
+ * Telemetry: counters serve.requests / serve.cache_hits /
+ * serve.evaluations / serve.errors (rejects are counted by the
+ * daemon's admission control, which never reaches the service), span
+ * serve.request.
+ */
+
+#ifndef BRANCHLAB_SERVE_SERVICE_HH
+#define BRANCHLAB_SERVE_SERVICE_HH
+
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "core/sweep.hh"
+#include "core/sweep_journal.hh"
+#include "serve/protocol.hh"
+
+namespace branchlab::serve
+{
+
+/** Store locations the service resolves requests against. */
+struct ServiceConfig
+{
+    /** Persistent trace-cache directory; empty falls back to
+     *  BRANCHLAB_TRACE_CACHE, then to recording every cold miss. */
+    std::string traceCacheDir;
+    std::uint64_t traceCacheMaxBytes = 0;
+    /** Sweep-journal directory: the result store. Empty disables
+     *  persistence (every request evaluates; hits only dedupe
+     *  in-flight twins). */
+    std::string journalDir;
+    std::uint64_t journalMaxBytes = 0;
+};
+
+class ExperimentService
+{
+  public:
+    explicit ExperimentService(ServiceConfig config);
+
+    /** Resolve one request to an Ok or Error response. Thread-safe;
+     *  called from the daemon's worker pool. */
+    Response handle(const Request &request);
+
+    /** Test hook: called at the start of every cold evaluation (after
+     *  single-flight admission, before any work). Lets tests hold an
+     *  evaluation open to exercise drain and concurrency paths. */
+    std::function<void()> evalHook;
+
+  private:
+    std::uint64_t requestKey(const Request &request,
+                             std::vector<std::uint64_t> &streamHashes);
+
+    ServiceConfig config_;
+    core::SweepJournal journal_;
+
+    /** Stream content hashes memoized by (workload, seed, runs):
+     *  computing one builds the program and inputs but never runs
+     *  the VM, so the memo just trims repeated request overhead. */
+    std::mutex hashMutex_;
+    std::map<std::tuple<std::string, std::uint64_t, std::uint32_t>,
+             std::uint64_t>
+        streamHashes_;
+
+    /** Keys currently evaluating (single-flight dedup). */
+    std::mutex flightMutex_;
+    std::condition_variable flightCv_;
+    std::set<std::uint64_t> inFlight_;
+};
+
+} // namespace branchlab::serve
+
+#endif // BRANCHLAB_SERVE_SERVICE_HH

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <map>
 #include <string>
+#include <tuple>
 
 #include "obs/metrics.hh"
 #include "support/logging.hh"
@@ -10,31 +12,62 @@
 namespace branchlab
 {
 
+/** One named metric family. Families are registered on first use and
+ *  live for the process, so pools constructed later under the same
+ *  name keep accumulating into the same counters -- the per-process
+ *  double-counting the unnamed globals suffered (a daemon's long-lived
+ *  pool plus per-request pools folding into one number) cannot recur:
+ *  each pool only ever touches its own name. */
+struct PoolMetricsFamily
+{
+    explicit PoolMetricsFamily(const std::string &name)
+        : jobs(obs::Registry::global().counter("threadpool." + name +
+                                               ".jobs")),
+          discarded(obs::Registry::global().counter(
+              "threadpool." + name + ".jobs_discarded")),
+          queueWaitNs(obs::Registry::global().counter(
+              "threadpool." + name + ".queue_wait_ns_total")),
+          queueWait(obs::Registry::global().histogram(
+              "threadpool." + name + ".queue_wait_ns",
+              {1'000, 10'000, 100'000, 1'000'000, 10'000'000,
+               100'000'000, 1'000'000'000}))
+    {}
+
+    obs::Counter &jobs;
+    obs::Counter &discarded;
+    obs::Counter &queueWaitNs;
+    obs::Histogram &queueWait;
+};
+
 namespace
 {
 
-/** Registry handles resolved once; hot-path updates are lock-free. */
-struct PoolTelemetry
+obs::Counter &
+poolsCounter()
 {
-    obs::Counter &pools =
+    static obs::Counter &pools =
         obs::Registry::global().counter("threadpool.pools");
-    obs::Counter &jobs =
-        obs::Registry::global().counter("threadpool.jobs");
-    obs::Counter &discarded =
-        obs::Registry::global().counter("threadpool.jobs_discarded");
-    obs::Counter &queueWaitNs =
-        obs::Registry::global().counter("threadpool.queue_wait_ns_total");
-    obs::Histogram &queueWait = obs::Registry::global().histogram(
-        "threadpool.queue_wait_ns",
-        {1'000, 10'000, 100'000, 1'000'000, 10'000'000, 100'000'000,
-         1'000'000'000});
-};
+    return pools;
+}
 
-PoolTelemetry &
-poolTelemetry()
+/** Named families, resolved once per name; hot-path updates are
+ *  lock-free through the cached references. */
+const PoolMetricsFamily &
+poolMetrics(std::string_view name)
 {
-    static PoolTelemetry *telemetry = new PoolTelemetry;
-    return *telemetry;
+    static std::mutex mutex;
+    static auto *families =
+        new std::map<std::string, PoolMetricsFamily, std::less<>>;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = families->find(name);
+    if (it == families->end()) {
+        it = families
+                 ->emplace(std::piecewise_construct,
+                           std::forward_as_tuple(name),
+                           std::forward_as_tuple(std::string(name)))
+                 .first;
+    }
+    return it->second;
 }
 
 } // namespace
@@ -76,13 +109,14 @@ resolveJobs(unsigned requested)
     return env > 0 ? env : hardwareJobs();
 }
 
-ThreadPool::ThreadPool(unsigned workers)
+ThreadPool::ThreadPool(unsigned workers, std::string_view name)
+    : metrics_(poolMetrics(name))
 {
     const unsigned count = workers == 0 ? 1u : workers;
     workers_.reserve(count);
     for (unsigned w = 0; w < count; ++w)
         workers_.emplace_back([this] { workerLoop(); });
-    poolTelemetry().pools.add(1);
+    poolsCounter().add(1);
 }
 
 ThreadPool::~ThreadPool()
@@ -151,13 +185,13 @@ ThreadPool::workerLoop()
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
                     waited)
                     .count());
-            poolTelemetry().queueWait.observe(ns);
-            poolTelemetry().queueWaitNs.add(ns);
+            metrics_.queueWait.observe(ns);
+            metrics_.queueWaitNs.add(ns);
         }
         if (discard) {
-            poolTelemetry().discarded.add(1);
+            metrics_.discarded.add(1);
         } else {
-            poolTelemetry().jobs.add(1);
+            metrics_.jobs.add(1);
             try {
                 item.fn();
             } catch (...) {
@@ -176,7 +210,8 @@ ThreadPool::workerLoop()
 
 void
 parallelFor(std::size_t count, unsigned jobs,
-            const std::function<void(std::size_t)> &body)
+            const std::function<void(std::size_t)> &body,
+            std::string_view name)
 {
     if (count == 0)
         return;
@@ -187,7 +222,7 @@ parallelFor(std::size_t count, unsigned jobs,
             body(i);
         return;
     }
-    ThreadPool pool(workers);
+    ThreadPool pool(workers, name);
     for (std::size_t i = 0; i < count; ++i)
         pool.submit([&body, i] { body(i); });
     pool.waitIdle();

@@ -17,10 +17,15 @@
  * DISCARDED (popped without running), and waitIdle() rethrows the
  * captured exception exactly once. See waitIdle() for the contract.
  *
- * The pool reports telemetry to obs::Registry::global():
- * `threadpool.pools`, `threadpool.jobs`, `threadpool.jobs_discarded`,
- * and the `threadpool.queue_wait_ns` histogram (submit-to-dequeue
- * latency, stamped only while telemetry is enabled).
+ * The pool reports telemetry to obs::Registry::global(), namespaced
+ * by the pool's *name* so independent pools never pollute each
+ * other's numbers (the serving daemon's long-lived pool coexists with
+ * the engine's per-call pools): `threadpool.pools` counts every
+ * construction, and each named family carries
+ * `threadpool.<name>.jobs`, `threadpool.<name>.jobs_discarded`, the
+ * `threadpool.<name>.queue_wait_ns` histogram (submit-to-dequeue
+ * latency, stamped only while telemetry is enabled) and its
+ * `..._total` counter. Unnamed pools share the "adhoc" family.
  */
 
 #ifndef BRANCHLAB_SUPPORT_THREAD_POOL_HH
@@ -32,11 +37,15 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 namespace branchlab
 {
+
+/** A pool's named telemetry family (defined in the .cc). */
+struct PoolMetricsFamily;
 
 /** max(1, std::thread::hardware_concurrency()). */
 unsigned hardwareJobs();
@@ -61,8 +70,11 @@ unsigned resolveJobs(unsigned requested);
 class ThreadPool
 {
   public:
-    /** Spawn @p workers threads (clamped to at least 1). */
-    explicit ThreadPool(unsigned workers);
+    /** Spawn @p workers threads (clamped to at least 1). @p name
+     *  namespaces the pool's telemetry (`threadpool.<name>.*`);
+     *  unnamed pools share the "adhoc" family. */
+    explicit ThreadPool(unsigned workers,
+                        std::string_view name = "adhoc");
 
     /** Drains the queue, then joins all workers. */
     ~ThreadPool();
@@ -105,6 +117,9 @@ class ThreadPool
 
     void workerLoop();
 
+    /** This pool's named metric family, resolved once at
+     *  construction (registration is the only locked step). */
+    const PoolMetricsFamily &metrics_;
     std::vector<std::thread> workers_;
     std::deque<QueuedJob> queue_;
     std::mutex mutex_;
@@ -121,10 +136,12 @@ class ThreadPool
  * thread, byte-for-byte the serial loop. Rethrows the first job
  * exception; iterations still queued when it was thrown are discarded
  * (the pool's fail-fast contract), and the serial path likewise stops
- * at the throwing iteration.
+ * at the throwing iteration. @p name namespaces the backing pool's
+ * telemetry, like the ThreadPool constructor.
  */
 void parallelFor(std::size_t count, unsigned jobs,
-                 const std::function<void(std::size_t)> &body);
+                 const std::function<void(std::size_t)> &body,
+                 std::string_view name = "adhoc");
 
 } // namespace branchlab
 

@@ -16,6 +16,7 @@
 #include <numeric>
 #include <thread>
 
+#include "obs/metrics.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
 #include "support/stats.hh"
@@ -554,6 +555,34 @@ TEST(ThreadPool, ConcurrentConstructionWithBadEnvJobsIsSafe)
     b.join();
     ASSERT_EQ(unsetenv("BRANCHLAB_JOBS"), 0);
     EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPool, TelemetryIsNamespacedByPoolName)
+{
+    // Regression: pool telemetry used to be one set of per-process
+    // globals, so a long-lived daemon pool and per-request pools all
+    // folded into the same counters. Each named family must only see
+    // its own pool's jobs.
+    obs::Counter &alpha =
+        obs::Registry::global().counter("threadpool.tp_alpha.jobs");
+    obs::Counter &beta =
+        obs::Registry::global().counter("threadpool.tp_beta.jobs");
+    const std::uint64_t alphaBefore = alpha.value();
+    const std::uint64_t betaBefore = beta.value();
+    {
+        ThreadPool pool(2, "tp_alpha");
+        for (int i = 0; i < 7; ++i)
+            pool.submit([] {});
+        pool.waitIdle();
+    }
+    {
+        ThreadPool pool(2, "tp_beta");
+        for (int i = 0; i < 3; ++i)
+            pool.submit([] {});
+        pool.waitIdle();
+    }
+    EXPECT_EQ(alpha.value() - alphaBefore, 7u);
+    EXPECT_EQ(beta.value() - betaBefore, 3u);
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce)

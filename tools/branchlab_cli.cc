@@ -10,15 +10,28 @@
  *   branchlab replay <trace.bin> --scheme <name> [--flush-every Q]
  *   branchlab tables [--runs N] [--seed S]
  *   branchlab figures [--runs N] [--seed S]
+ *   branchlab client --connect ADDR [--workloads a,b,...]
+ *                    [--repeat N] [--runs N] [--seed S] [-o FILE]
+ *                    [--expect-all-hits]
+ *
+ * `client` drives a running branchlabd (tools/branchlabd): one
+ * experiment request per named workload per repeat round, at the
+ * paper's design point. -o writes a canonical full-precision dump of
+ * the served cells (no hit flags), so two rounds against a warm
+ * store must compare byte-identical.
  *
  * Scheme names: sbtb, cbtb, gshare, always-taken, always-not-taken,
  * btfnt, opcode-bias, fs (fs derives its likely bits from the trace
  * itself, the paper's same-inputs methodology).
  */
 
+#include <chrono>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <thread>
 
 #include "core/figures.hh"
 #include "core/runner.hh"
@@ -29,6 +42,7 @@
 #include "predict/gshare.hh"
 #include "predict/profile_predictor.hh"
 #include "predict/static_predictors.hh"
+#include "serve/client.hh"
 #include "support/logging.hh"
 #include "trace/io.hh"
 
@@ -50,6 +64,9 @@ usage()
            "[--flush-every Q]\n"
            "  branchlab tables [--runs N] [--seed S] [--jobs N]\n"
            "  branchlab figures [--runs N] [--seed S] [--jobs N]\n"
+           "  branchlab client --connect ADDR [--workloads a,b,...] "
+           "[--repeat N] [--runs N] [--seed S] [-o FILE] "
+           "[--expect-all-hits]\n"
            "schemes: sbtb cbtb gshare always-taken always-not-taken "
            "btfnt opcode-bias fs\n"
            "--jobs defaults to BRANCHLAB_JOBS, then the hardware "
@@ -76,6 +93,10 @@ struct Options
     std::string traceCache;
     std::uint64_t traceCacheMaxBytes = 0;
     std::string telemetry;
+    std::string connect;
+    std::string workloads;
+    unsigned repeat = 1;
+    bool expectAllHits = false;
 };
 
 Options
@@ -120,6 +141,14 @@ parseOptions(int argc, char **argv, int first)
             options.traceCacheMaxBytes = need_number();
         else if (arg == "--telemetry")
             options.telemetry = need_value();
+        else if (arg == "--connect")
+            options.connect = need_value();
+        else if (arg == "--workloads")
+            options.workloads = need_value();
+        else if (arg == "--repeat")
+            options.repeat = static_cast<unsigned>(need_number());
+        else if (arg == "--expect-all-hits")
+            options.expectAllHits = true;
         else
             blab_fatal("unknown option '", arg, "'");
     }
@@ -326,6 +355,108 @@ cmdFigures(const Options &options)
     return 0;
 }
 
+int
+cmdClient(const Options &options)
+{
+    if (options.connect.empty())
+        blab_fatal("client needs --connect ADDR");
+    std::vector<std::string> names;
+    if (options.workloads.empty()) {
+        for (const workloads::Workload *workload :
+             workloads::allWorkloads()) {
+            names.push_back(workload->name());
+        }
+    } else {
+        std::istringstream stream(options.workloads);
+        std::string name;
+        while (std::getline(stream, name, ','))
+            if (!name.empty())
+                names.push_back(name);
+    }
+    if (names.empty())
+        blab_fatal("client needs at least one workload");
+
+    serve::Client client(options.connect);
+    std::size_t ok = 0, hits = 0, rejects = 0, errors = 0;
+    std::size_t sent = 0;
+    std::ostringstream dump;
+    dump.precision(17);
+    for (unsigned round = 0; round < options.repeat; ++round) {
+        for (const std::string &name : names) {
+            serve::Request request;
+            request.requestId = ++sent;
+            if (options.seed != 0)
+                request.seed = options.seed;
+            request.runs = options.runs;
+            request.workloads = {name};
+            serve::Response response = client.call(request);
+            // Backpressure is a protocol answer, not a failure:
+            // honour the retry hint a bounded number of times.
+            for (int retry = 0;
+                 response.status == serve::ResponseStatus::Reject &&
+                 retry < 100;
+                 ++retry) {
+                ++rejects;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(
+                        response.retryAfterMs == 0
+                            ? 10
+                            : response.retryAfterMs));
+                response = client.call(request);
+            }
+            switch (response.status) {
+              case serve::ResponseStatus::Ok:
+                ++ok;
+                if (response.cacheHit)
+                    ++hits;
+                // The dump is cache-hit-agnostic on purpose: a cold
+                // and a warm round must be byte-identical.
+                for (const core::SweepCell &cell : response.cells) {
+                    dump << name << ' ' << cell.sbtbAccuracy << ' '
+                         << cell.sbtbMissRatio << ' '
+                         << cell.cbtbAccuracy << ' '
+                         << cell.cbtbMissRatio << ' '
+                         << cell.fsAccuracy << ' '
+                         << cell.codeIncrease << '\n';
+                }
+                break;
+              case serve::ResponseStatus::Error:
+                ++errors;
+                std::cerr << "error for " << name << ": "
+                          << response.message << "\n";
+                break;
+              case serve::ResponseStatus::Reject:
+                ++errors;
+                std::cerr << "gave up on " << name
+                          << " after repeated rejects\n";
+                break;
+              case serve::ResponseStatus::Draining:
+                ++errors;
+                std::cerr << "server is draining\n";
+                break;
+            }
+        }
+    }
+    if (!options.output.empty()) {
+        std::ofstream out(options.output,
+                          std::ios::binary | std::ios::trunc);
+        if (!out)
+            blab_fatal("cannot write ", options.output);
+        out << dump.str();
+    }
+    std::cout << "requests=" << sent << " ok=" << ok
+              << " hits=" << hits << " rejects=" << rejects
+              << " errors=" << errors << "\n";
+    if (errors != 0)
+        return 1;
+    if (options.expectAllHits && hits != ok) {
+        std::cerr << "expected every request to hit the store, got "
+                  << hits << "/" << ok << "\n";
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -355,6 +486,9 @@ main(int argc, char **argv)
     } else if (command == "figures") {
         options = parseOptions(argc, argv, 2);
         rc = cmdFigures(options);
+    } else if (command == "client") {
+        options = parseOptions(argc, argv, 2);
+        rc = cmdClient(options);
     } else {
         return usage();
     }
